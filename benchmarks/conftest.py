@@ -1,0 +1,20 @@
+"""Benchmark configuration: one bench per paper table/figure.
+
+Each benchmark times its experiment end-to-end on the fast configuration
+(the shapes are resolution-independent), prints the regenerated rows /
+series, and attaches headline numbers to the benchmark record via
+``extra_info`` so ``--benchmark-json`` exports carry the measured paper
+comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Deterministic fast configuration shared by every bench."""
+    return ExperimentConfig(seed=42, noise_sigma=0.02, fast=True)

@@ -1,0 +1,129 @@
+"""Benchmarks: the ablation studies (design choices beyond the paper)."""
+
+from repro.experiments.ablations import (
+    aspect_ratio,
+    blocking_factor,
+    comm_aware,
+    cpm_calibration,
+    dma_engines,
+    dynamic_vs_static,
+    gpu_kernel_version,
+    hierarchical_cluster,
+    noise_sensitivity,
+    online_fpm,
+    task_granularity,
+)
+
+
+def test_ablation_blocking_factor(benchmark, config):
+    result = benchmark(blocking_factor.run, config)
+    print()
+    print(blocking_factor.format_result(result))
+    assert result.best_factor in (320, 640, 1280)
+    benchmark.extra_info["best_factor"] = result.best_factor
+    benchmark.extra_info["paper_factor"] = 640
+
+
+def test_ablation_dynamic_vs_static(benchmark, config):
+    result = benchmark(dynamic_vs_static.run, config)
+    print()
+    print(dynamic_vs_static.format_result(result))
+    assert result.fpm_time <= result.dynamic_time <= result.homogeneous_time
+    benchmark.extra_info["fpm_s"] = round(result.fpm_time, 1)
+    benchmark.extra_info["dynamic_s"] = round(result.dynamic_time, 1)
+    benchmark.extra_info["homogeneous_s"] = round(result.homogeneous_time, 1)
+
+
+def test_ablation_noise_sensitivity(benchmark, config):
+    result = benchmark(noise_sensitivity.run, config, (0.0, 0.05, 0.2))
+    print()
+    print(noise_sensitivity.format_result(result))
+    reps = [p.repetitions_total for p in result.points]
+    assert reps == sorted(reps)
+    benchmark.extra_info["reps_by_sigma"] = reps
+
+
+def test_ablation_cpm_calibration(benchmark, config):
+    result = benchmark(cpm_calibration.run, config)
+    print()
+    print(cpm_calibration.format_result(result))
+    for cal in result.calibrations:
+        assert result.regret(cal) > 1.1
+    benchmark.extra_info["regrets"] = {
+        str(cal): round(result.regret(cal), 2) for cal in result.calibrations
+    }
+
+
+def test_ablation_hierarchical_cluster(benchmark, config):
+    result = benchmark(hierarchical_cluster.run, config)
+    print()
+    print(hierarchical_cluster.format_result(result))
+    assert result.agreement_l1 < 0.03
+    benchmark.extra_info["node_allocations"] = list(result.node_allocations)
+    benchmark.extra_info["hierarchy_overhead"] = round(
+        result.hierarchy_overhead, 4
+    )
+
+
+def test_ablation_dma_engines(benchmark, config):
+    result = benchmark(dma_engines.run, config)
+    print()
+    print(dma_engines.format_result(result))
+    assert result.mean_gain(2) > result.mean_gain(1) > 0.05
+    benchmark.extra_info["gain_1_engine"] = round(result.mean_gain(1), 2)
+    benchmark.extra_info["gain_2_engines"] = round(result.mean_gain(2), 2)
+
+
+def test_ablation_online_fpm(benchmark, config):
+    result = benchmark(online_fpm.run, config)
+    print()
+    print(online_fpm.format_result(result))
+    assert result.online_converged
+    assert result.allocation_distance < 0.08
+    benchmark.extra_info["measurement_saving"] = round(
+        result.measurement_saving, 2
+    )
+    benchmark.extra_info["rounds"] = result.online_rounds
+
+
+def test_ablation_task_granularity(benchmark, config):
+    result = benchmark(task_granularity.run, config)
+    print()
+    print(task_granularity.format_result(result))
+    assert result.fpm_makespan <= result.best_makespan * 1.05
+    benchmark.extra_info["best_chunk"] = result.best_chunk
+    benchmark.extra_info["fpm_vs_best_chunk"] = round(
+        result.fpm_makespan / result.best_makespan, 3
+    )
+
+
+def test_ablation_gpu_kernel_version(benchmark, config):
+    result = benchmark(gpu_kernel_version.run, config)
+    print()
+    print(gpu_kernel_version.format_result(result))
+    big = result.sizes[-1]
+    assert result.time_of(3, big) <= result.time_of(1, big)
+    benchmark.extra_info["app_gain_v3_over_v1"] = round(
+        result.app_gain_v3_over_v1(big), 2
+    )
+
+
+def test_ablation_aspect_ratio(benchmark, config):
+    result = benchmark(aspect_ratio.run, config)
+    print()
+    print(aspect_ratio.format_result(result))
+    assert result.worst_near_square < 0.05
+    benchmark.extra_info["near_square_spread"] = round(
+        result.worst_near_square, 3
+    )
+    benchmark.extra_info["extreme_spread"] = round(result.worst_extreme, 3)
+
+
+def test_ablation_comm_aware(benchmark, config):
+    result = benchmark(comm_aware.run, config)
+    print()
+    print(comm_aware.format_result(result))
+    assert result.blocks_moved[0] == 0  # paper bandwidth: nothing to fix
+    benchmark.extra_info["savings"] = {
+        str(bw): round(result.saving(bw), 4) for bw in result.bandwidths_gbs
+    }

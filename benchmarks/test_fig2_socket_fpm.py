@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (socket speed functions s5, s6)."""
+
+from repro.experiments import fig2_socket_fpm
+
+
+def test_fig2_socket_speed_functions(benchmark, config):
+    result = benchmark(fig2_socket_fpm.run, config)
+    print()
+    print(fig2_socket_fpm.format_result(result))
+    # paper shape: s6 above s5, plateaus near 105 / 92 GFlops
+    assert all(b > a for a, b in zip(result.s5, result.s6))
+    assert 95 <= result.plateau("s6") <= 115
+    assert 82 <= result.plateau("s5") <= 102
+    benchmark.extra_info["s6_plateau_gflops"] = round(result.plateau("s6"), 1)
+    benchmark.extra_info["s5_plateau_gflops"] = round(result.plateau("s5"), 1)
+    benchmark.extra_info["paper_s6_plateau"] = 105.0
+    benchmark.extra_info["paper_s5_plateau"] = 92.0

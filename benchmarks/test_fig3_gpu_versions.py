@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (GTX680 kernel versions 1/2/3)."""
+
+from repro.experiments import fig3_gpu_versions
+
+
+def test_fig3_gpu_kernel_versions(benchmark, config):
+    result = benchmark(fig3_gpu_versions.run, config)
+    print()
+    print(fig3_gpu_versions.format_result(result))
+
+    in_core = [i for i in result.in_core_sizes() if result.sizes[i] > 300]
+    v2_over_v1 = sum(result.v2[i] / result.v1[i] for i in in_core) / len(in_core)
+    out = result.out_of_core_sizes()
+    near = [i for i in out if result.sizes[i] <= 2 * result.memory_limit_blocks]
+    v3_gain = sum(result.v3[i] / result.v2[i] for i in near) / len(near) - 1
+
+    # paper shape: v2 ~2x v1 resident; cliff at the limit; v3 ~+30% past it
+    assert 1.5 <= v2_over_v1 <= 2.7
+    assert result.v2[out[0]] < 0.7 * max(result.v2[i] for i in result.in_core_sizes())
+    assert 0.15 <= v3_gain <= 0.9
+    benchmark.extra_info["v2_over_v1_in_core"] = round(v2_over_v1, 2)
+    benchmark.extra_info["v3_gain_out_of_core"] = round(v3_gain, 2)
+    benchmark.extra_info["memory_limit_blocks"] = round(result.memory_limit_blocks)
+    benchmark.extra_info["paper_v2_over_v1"] = 2.0
+    benchmark.extra_info["paper_v3_gain"] = 0.30
+    benchmark.extra_info["paper_memory_limit"] = 1200

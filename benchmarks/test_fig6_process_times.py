@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (per-process computation times, 60x60)."""
+
+from repro.experiments import fig6_process_times
+
+
+def test_fig6_process_computation_times(benchmark, config):
+    result = benchmark(fig6_process_times.run, config)
+    print()
+    print(fig6_process_times.format_result(result))
+
+    # paper shape: under CPM the GTX680 process straggles; FPM levels the
+    # profile and cuts the computation makespan (~40% in the paper)
+    assert result.straggler_rank(result.cpm_times) == result.dedicated_ranks[1]
+    assert result.imbalance(result.fpm_times) < result.imbalance(result.cpm_times)
+    assert 0.15 <= result.computation_cut <= 0.6
+
+    benchmark.extra_info["cpm_makespan_s"] = round(result.cpm_makespan, 1)
+    benchmark.extra_info["fpm_makespan_s"] = round(result.fpm_makespan, 1)
+    benchmark.extra_info["computation_cut"] = round(result.computation_cut, 2)
+    benchmark.extra_info["paper_computation_cut"] = 0.40

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 7 (execution time vs matrix size)."""
+
+from repro.experiments import fig7_exec_vs_size
+
+
+def test_fig7_execution_vs_size(benchmark, config):
+    result = benchmark(fig7_exec_vs_size.run, config)
+    print()
+    print(fig7_exec_vs_size.format_result(result))
+
+    # paper shape: FPM < CPM < homogeneous at scale; CPM diverges from FPM
+    # once the GTX680 allocation exceeds device memory (n >= 50); FPM cuts
+    # ~30% vs CPM and ~45% vs homogeneous in the large range
+    for n in (50, 60, 70, 80):
+        i = result.sizes.index(n)
+        assert result.fpm[i] < result.cpm[i] < result.homogeneous[i]
+    big = result.sizes[-1]
+    assert result.cut_vs_cpm(big) >= 0.15
+    assert result.cut_vs_homogeneous(big) >= 0.3
+
+    benchmark.extra_info["cut_vs_cpm"] = round(result.cut_vs_cpm(big), 2)
+    benchmark.extra_info["cut_vs_homogeneous"] = round(
+        result.cut_vs_homogeneous(big), 2
+    )
+    benchmark.extra_info["paper_cut_vs_cpm"] = 0.30
+    benchmark.extra_info["paper_cut_vs_homogeneous"] = 0.45

@@ -1,0 +1,23 @@
+"""Benchmark: the second application (Jacobi stencil) under FPM balancing."""
+
+from repro.experiments import jacobi_app
+
+
+def test_jacobi_second_application(benchmark, config):
+    result = benchmark(jacobi_app.run, config)
+    print()
+    print(jacobi_app.format_result(result))
+
+    # the application-specific FPM story: GPUs pinned near their stencil
+    # capacity, FPM beating both baselines, near-perfect balance
+    gtx = result.allocation_of("GeForce GTX680")
+    assert 0.9 * result.gtx_capacity_rows <= gtx <= 1.3 * result.gtx_capacity_rows
+    assert result.fpm_time < result.homogeneous_time < result.cpm_time
+    assert result.fpm_imbalance < 1.3
+
+    benchmark.extra_info["fpm_s"] = round(result.fpm_time, 1)
+    benchmark.extra_info["homogeneous_s"] = round(result.homogeneous_time, 1)
+    benchmark.extra_info["cpm_s"] = round(result.cpm_time, 1)
+    benchmark.extra_info["speedup_vs_homogeneous"] = round(
+        result.fpm_speedup_vs_homogeneous, 2
+    )

@@ -1,0 +1,67 @@
+"""Microbenchmarks of the partitioning algorithms themselves.
+
+The FPM partitioner runs a bisection whose every step queries each model's
+inverse time function — these benches pin its cost and scaling so a
+performance regression in the core algorithm is caught independently of
+the (much heavier) experiment pipelines.
+"""
+
+import pytest
+
+from repro.core.geometry import column_based_partition
+from repro.core.integer import round_partition
+from repro.core.partition import balance_report, partition_fpm
+from repro.core.speed_function import SpeedFunction
+
+
+def ramped(peak, half):
+    sizes = [half / 4, half, 2 * half, 8 * half, 32 * half]
+    return SpeedFunction.from_points(
+        sizes, [peak * s / (s + half) for s in sizes]
+    )
+
+
+@pytest.fixture(scope="module")
+def heterogeneous_models():
+    """100 devices spanning two orders of magnitude in speed."""
+    return [
+        ramped(20.0 * (1.05**i), 10.0 + (7 * i) % 90) for i in range(100)
+    ]
+
+
+def test_partition_fpm_100_devices(benchmark, heterogeneous_models):
+    total = 1e6
+    alloc = benchmark(partition_fpm, heterogeneous_models, total)
+    assert sum(alloc) == pytest.approx(total, rel=1e-6)
+    assert balance_report(heterogeneous_models, alloc).imbalance < 1.01
+
+
+def test_integer_rounding_100_devices(benchmark, heterogeneous_models):
+    total = 100_000
+    continuous = partition_fpm(heterogeneous_models, float(total))
+    alloc = benchmark(
+        round_partition, heterogeneous_models, continuous, total
+    )
+    assert sum(alloc) == total
+
+
+def test_column_geometry_100_rectangles(benchmark):
+    n = 100
+    allocs = [100] * 100  # 100 processors, 100 blocks each on a 100x100 grid
+    partition = benchmark(column_based_partition, allocs, n)
+    partition.validate_tiling()
+
+
+def test_partition_scaling_is_subquadratic(heterogeneous_models):
+    """Doubling the device count far less than quadruples the cost."""
+    import time
+
+    def cost(p):
+        models = heterogeneous_models[:p]
+        start = time.perf_counter()
+        for _ in range(3):
+            partition_fpm(models, 1e5)
+        return (time.perf_counter() - start) / 3
+
+    small, large = cost(25), cost(100)
+    assert large < 16 * small  # 4x devices, allow 16x before alarming

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table II (application execution times)."""
+
+from repro.experiments import table2_exec_time
+from repro.experiments.paper_data import (
+    TABLE2_CPUS_ONLY,
+    TABLE2_GTX680_ONLY,
+    TABLE2_HYBRID_FPM,
+)
+
+
+def test_table2_execution_times(benchmark, config):
+    result = benchmark(table2_exec_time.run, config)
+    print()
+    print(table2_exec_time.format_result(result))
+
+    # paper shape: GPU wins resident, loses past memory; hybrid wins all
+    cpus40, gtx40, hyb40 = result.row(40)
+    cpus70, gtx70, hyb70 = result.row(70)
+    assert gtx40 < cpus40
+    assert gtx70 > cpus70
+    for n in result.sizes:
+        assert result.row(n)[2] == min(result.row(n))
+
+    for i, n in enumerate(result.sizes):
+        benchmark.extra_info[f"cpus_{n}"] = round(result.cpus_only[i], 1)
+        benchmark.extra_info[f"gtx680_{n}"] = round(result.gtx680_only[i], 1)
+        benchmark.extra_info[f"hybrid_{n}"] = round(result.hybrid_fpm[i], 1)
+    benchmark.extra_info["paper_cpus"] = TABLE2_CPUS_ONLY
+    benchmark.extra_info["paper_gtx680"] = TABLE2_GTX680_ONLY
+    benchmark.extra_info["paper_hybrid"] = TABLE2_HYBRID_FPM

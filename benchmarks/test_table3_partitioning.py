@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table III (CPM vs FPM block allocations)."""
+
+from repro.experiments import table3_partitioning
+
+
+def test_table3_partitioning(benchmark, config):
+    result = benchmark(table3_partitioning.run, config)
+    print()
+    print(table3_partitioning.format_result(result))
+
+    # paper shape: CPM keeps overloading G1 (ratio ~8 at 70x70); FPM tracks
+    # the GPU's decline (ratio toward ~4.5)
+    assert result.cpm_row(70).ratio_g1_s6() > 6.5
+    assert 3.2 <= result.fpm_row(70).ratio_g1_s6() <= 6.0
+    for n in (50, 60, 70):
+        assert result.cpm_row(n).g1 > result.fpm_row(n).g1
+
+    for n in result.sizes:
+        f = result.fpm_row(n)
+        benchmark.extra_info[f"fpm_{n}"] = (f.g1, f.g2, f.s5, f.s6)
+        c = result.cpm_row(n)
+        benchmark.extra_info[f"cpm_{n}"] = (c.g1, c.g2, c.s5, c.s6)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""FPMs are application-specific: balancing a Jacobi solver.
+
+The same hybrid node, modelled for a memory-bound 5-point stencil instead
+of GEMM, has completely different speed functions — and the identical FPM
+partitioning machinery balances it.  This example contrasts the two
+applications' balanced distributions, then verifies the stencil's strip
+decomposition numerically against whole-grid sweeping.
+
+Run:  python examples/jacobi_stencil.py
+"""
+
+import numpy as np
+
+from repro import HybridMatMul, PartitioningStrategy, ig_icl_node
+from repro.app.jacobi import (
+    JacobiApp,
+    reference_jacobi,
+    run_partitioned_jacobi,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    node = ig_icl_node()
+
+    # --- GEMM distribution (the paper's application) -------------------
+    gemm = HybridMatMul(node, seed=11, noise_sigma=0.02)
+    gemm.build_models(max_blocks=4000.0)
+    gemm_plan = gemm.plan(60, PartitioningStrategy.FPM)
+    gemm_share = {
+        u.name: a / 3600 for u, a in zip(gemm_plan.units, gemm_plan.unit_allocations)
+    }
+
+    # --- stencil distribution on the same node -------------------------
+    jacobi = JacobiApp(node, width=16384, seed=11, noise_sigma=0.02)
+    jacobi.build_models(max_rows=120_000.0)
+    strip, result = jacobi.run(60_000, iterations=100, strategy="fpm")
+    unit_names = list(jacobi.unit_kernels().keys())
+    stencil_share = {
+        n: r / 60_000 for n, r in zip(unit_names, strip.rows_per_unit)
+    }
+
+    rows = [
+        [
+            name,
+            f"{100 * gemm_share.get(name, 0):.0f}%",
+            f"{100 * stencil_share.get(name, 0):.0f}%",
+        ]
+        for name in unit_names
+    ]
+    print(
+        render_table(
+            ["unit", "GEMM share", "stencil share"],
+            rows,
+            title="Balanced workload shares depend on the application",
+        )
+    )
+    print(
+        "\nGEMM is compute-bound (GPUs tower over sockets); the stencil is "
+        "bandwidth-bound\n(sockets hit the DRAM wall, GPUs pinned near "
+        "device-memory capacity)."
+    )
+    print(
+        f"\nstencil run: {result.total_time:.1f}s for 100 iterations, "
+        f"computation imbalance {result.imbalance:.2f}"
+    )
+
+    # --- numeric verification of the strip decomposition ----------------
+    plan_small = jacobi.plan(96, "fpm")
+    rng = np.random.default_rng(0)
+    grid = rng.standard_normal((96, 64))
+    got = run_partitioned_jacobi(grid, plan_small, iterations=5)
+    ref = reference_jacobi(grid, 5)
+    print(
+        f"\nnumeric check on a 96x64 grid, 5 sweeps: "
+        f"max |partitioned - reference| = {np.max(np.abs(got - ref)):.2e}"
+    )
+    assert np.allclose(got, ref)
+
+
+if __name__ == "__main__":
+    main()

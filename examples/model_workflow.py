@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The measurement workflow: build, inspect, persist and reuse FPMs.
+
+Functional performance models are expensive to build (each point is a
+statistically reliable benchmark), so like the authors' fupermod tool the
+library persists them as JSON.  This example:
+
+1. builds the GTX680's speed functions for all three kernel versions with
+   the repeat-until-reliable protocol (Section III);
+2. prints the Figure-3-style series, showing the memory-limit cliff;
+3. saves the version-3 model, reloads it, and partitions with it.
+
+Run:  python examples/model_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import HybridBenchmark, FpmBuilder, SizeGrid, ig_icl_node
+from repro import partition_fpm
+from repro.core.serialization import load_models, save_models
+from repro.util.tables import render_series
+
+GTX680 = 1  # index in the preset node's attachment order
+
+
+def main() -> None:
+    bench = HybridBenchmark(ig_icl_node(), seed=7, noise_sigma=0.02)
+    builder = FpmBuilder(bench)
+
+    grid = SizeGrid.geometric(16.0, 4000.0, 12)
+    models = {}
+    for version in (1, 2, 3):
+        kernel = bench.gpu_kernel(GTX680, version)
+        models[version] = builder.build(
+            kernel, grid, adaptive=True, name=f"GTX680-v{version}"
+        )
+        print(
+            f"built v{version}: {len(models[version].speed_function)} samples "
+            f"({models[version].repetitions_total} repetitions)"
+        )
+
+    sizes = [50, 200, 600, 1000, 1400, 2200, 3200, 4000]
+    print()
+    print(
+        render_series(
+            "blocks",
+            sizes,
+            {
+                f"v{v} (GFlops)": [models[v].speed(x) for x in sizes]
+                for v in (1, 2, 3)
+            },
+            title="GTX680 speed functions (cf. paper Fig. 3)",
+            precision=1,
+        )
+    )
+    limit = bench.gpu_kernel(GTX680, 3).memory_limit_blocks
+    print(f"device-memory limit: ~{limit:.0f} blocks — note the v2 cliff past it")
+
+    # persist and reuse
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gtx680.json"
+        save_models(path, [models[3]])
+        (reloaded,) = load_models(path)
+        print(f"\nmodel saved to JSON and reloaded: {reloaded.name}")
+
+        # partition a 2500-block workload between the GPU and a plain
+        # 100-GFlops processor using the reloaded model
+        alloc = partition_fpm([reloaded, 100.0], 2500.0)
+        print(
+            f"FPM partition of 2500 blocks: GPU {alloc[0]:.0f}, "
+            f"CPU {alloc[1]:.0f} "
+            f"(ratio {alloc[0] / alloc[1]:.1f} — below the in-core ~9x "
+            f"because 2500 blocks exceed device memory)"
+        )
+
+
+if __name__ == "__main__":
+    main()

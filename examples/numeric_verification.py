@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Prove the partitioned algorithm numerically correct, end to end.
+
+The simulator predicts *when* each process finishes; this example shows the
+data layout and update schedule are *right*: it takes a real FPM plan,
+shrinks the blocking factor so the matrices fit in RAM, executes the
+column-based blocked multiplication with numpy — every rectangle owner
+updating its piece from broadcast pivot panels — and compares with
+``A @ B``.  It also reports the communication-volume advantage of the
+column-based arrangement over a 1D striping (Section IV).
+
+Run:  python examples/numeric_verification.py
+"""
+
+import numpy as np
+
+from repro import HybridMatMul, PartitioningStrategy, ig_icl_node
+from repro.app.verify import run_partitioned_matmul
+from repro.core.comm_volume import (
+    one_d_volume_blocks,
+    per_iteration_volume_blocks,
+)
+
+
+def main() -> None:
+    app = HybridMatMul(ig_icl_node(), seed=1, noise_sigma=0.01)
+    app.build_models(max_blocks=600.0, cpu_points=6, gpu_points=8, adaptive=False)
+
+    n = 16
+    plan = app.plan(n, PartitioningStrategy.FPM)
+    print(f"FPM plan for a {n}x{n}-block product over 24 processes")
+    nonzero = sum(1 for a in plan.process_allocations if a > 0)
+    print(f"  processes with work: {nonzero} / {len(plan.process_allocations)}")
+
+    column = per_iteration_volume_blocks(plan.partition)
+    striped = one_d_volume_blocks(list(plan.process_allocations), n)
+    print(
+        f"  per-iteration communication: column-based {column:.0f} blocks vs "
+        f"1D striping {striped:.0f} blocks "
+        f"({striped / column:.2f}x more for striping)"
+    )
+
+    block = 8  # tiny blocking factor: full matrices are (16*8)^2 = 128^2
+    rng = np.random.default_rng(0)
+    size = n * block
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    print(f"\nexecuting the blocked algorithm numerically (b = {block})...")
+    c = run_partitioned_matmul(a, b, plan.partition, block_size=block)
+    reference = a @ b
+    deviation = float(np.max(np.abs(c - reference)))
+    print(f"  max |C - A@B| = {deviation:.2e}")
+    assert np.allclose(c, reference), "partitioned product disagrees!"
+    print("  partitioned result matches the numpy reference — layout correct.")
+
+
+if __name__ == "__main__":
+    main()

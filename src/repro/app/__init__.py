@@ -1,0 +1,30 @@
+"""The heterogeneous parallel column-based matrix multiplication
+(paper Section IV).
+
+:mod:`repro.app.matmul` assembles the whole pipeline: build / accept
+performance models per compute unit (sockets and GPUs), partition the
+``n x n``-block matrices, arrange rectangles with the column-based
+geometry, and simulate the blocked multiplication's execution
+(:mod:`repro.app.execution`).  :mod:`repro.app.verify` runs the same
+partition numerically with numpy on small matrices, proving the data
+layout and update logic correct.
+"""
+
+from repro.app.execution import ExecutionResult, simulate_execution
+from repro.app.matmul import (
+    ComputeUnit,
+    HybridMatMul,
+    MatMulPlan,
+    PartitioningStrategy,
+)
+from repro.app.verify import verify_partition_numerically
+
+__all__ = [
+    "ExecutionResult",
+    "simulate_execution",
+    "ComputeUnit",
+    "HybridMatMul",
+    "MatMulPlan",
+    "PartitioningStrategy",
+    "verify_partition_numerically",
+]

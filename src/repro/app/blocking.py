@@ -1,0 +1,88 @@
+"""Blocked-matrix bookkeeping for the numeric path.
+
+The matrices are square grids of ``n x n`` blocks of ``b x b`` elements.
+These helpers slice numpy arrays by block rectangles and extract the pivot
+column/row panels of each iteration of the main loop (paper Fig. 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.geometry import Rectangle
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """Geometry of an ``n x n``-block matrix with blocking factor ``b``."""
+
+    n: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n)
+        check_positive_int("block_size", self.block_size)
+
+    @property
+    def elements(self) -> int:
+        """Matrix side length in elements."""
+        return self.n * self.block_size
+
+    def block_slice(self, first_block: int, num_blocks: int) -> slice:
+        """Element slice covering ``num_blocks`` blocks from ``first_block``."""
+        if first_block < 0 or num_blocks < 0 or first_block + num_blocks > self.n:
+            raise ValueError(
+                f"block range [{first_block}, {first_block + num_blocks}) "
+                f"outside grid of {self.n} blocks"
+            )
+        b = self.block_size
+        return slice(first_block * b, (first_block + num_blocks) * b)
+
+    def rectangle_view(self, matrix: np.ndarray, rect: Rectangle) -> np.ndarray:
+        """A writable view of ``matrix`` covering a block rectangle."""
+        self._check_matrix(matrix)
+        return matrix[
+            self.block_slice(rect.row, rect.height),
+            self.block_slice(rect.col, rect.width),
+        ]
+
+    def pivot_column_panel(
+        self, matrix: np.ndarray, iteration: int, rect: Rectangle
+    ) -> np.ndarray:
+        """The piece of pivot block-column ``iteration`` spanning the
+        rectangle's rows — what the rectangle's owner receives from the
+        horizontal broadcast."""
+        self._check_matrix(matrix)
+        self._check_iteration(iteration)
+        return matrix[
+            self.block_slice(rect.row, rect.height),
+            self.block_slice(iteration, 1),
+        ]
+
+    def pivot_row_panel(
+        self, matrix: np.ndarray, iteration: int, rect: Rectangle
+    ) -> np.ndarray:
+        """The piece of pivot block-row ``iteration`` spanning the
+        rectangle's columns (the vertical broadcast)."""
+        self._check_matrix(matrix)
+        self._check_iteration(iteration)
+        return matrix[
+            self.block_slice(iteration, 1),
+            self.block_slice(rect.col, rect.width),
+        ]
+
+    def _check_matrix(self, matrix: np.ndarray) -> None:
+        expected = (self.elements, self.elements)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match grid {expected}"
+            )
+
+    def _check_iteration(self, iteration: int) -> None:
+        if not 0 <= iteration < self.n:
+            raise ValueError(
+                f"iteration {iteration} outside the {self.n} main-loop steps"
+            )

@@ -1,0 +1,233 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs one experiment (or the full report) and prints the same rows/series
+the paper's tables and figures show.  ``--plot`` renders curve figures as
+ASCII charts; ``--export-json PATH`` archives the raw result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig2_socket_fpm,
+    fig3_gpu_versions,
+    fig5_contention,
+    fig6_process_times,
+    fig7_exec_vs_size,
+    jacobi_app,
+    table2_exec_time,
+    table3_partitioning,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.export import export_json
+from repro.experiments.report import full_report
+from repro.util.asciiplot import line_plot
+
+_EXPERIMENTS = {
+    "fig2": (fig2_socket_fpm.run, fig2_socket_fpm.format_result),
+    "fig3": (fig3_gpu_versions.run, fig3_gpu_versions.format_result),
+    "fig5": (fig5_contention.run, fig5_contention.format_result),
+    "fig6": (fig6_process_times.run, fig6_process_times.format_result),
+    "fig7": (fig7_exec_vs_size.run, fig7_exec_vs_size.format_result),
+    "table2": (table2_exec_time.run, table2_exec_time.format_result),
+    "table3": (table3_partitioning.run, table3_partitioning.format_result),
+    "jacobi": (jacobi_app.run, jacobi_app.format_result),
+}
+
+
+def _plot_fig2(result) -> str:
+    return line_plot(
+        result.sizes,
+        {"s5": result.s5, "s6": result.s6},
+        title="Figure 2: socket speed functions (GFlops vs blocks)",
+        y_label="GFlops",
+        x_label="blocks",
+    )
+
+
+def _plot_fig3(result) -> str:
+    return line_plot(
+        result.sizes,
+        {"v1": result.v1, "v2": result.v2, "v3": result.v3},
+        title=(
+            "Figure 3: GTX680 kernel versions (GFlops vs blocks; memory "
+            f"limit ~{result.memory_limit_blocks:.0f})"
+        ),
+        y_label="GFlops",
+        x_label="blocks",
+    )
+
+
+def _plot_fig7(result) -> str:
+    return line_plot(
+        result.sizes,
+        {
+            "homogeneous": result.homogeneous,
+            "CPM": result.cpm,
+            "FPM": result.fpm,
+        },
+        title="Figure 7: execution time vs matrix size (seconds)",
+        y_label="s",
+        x_label="n",
+    )
+
+
+def _plot_fig6(result) -> str:
+    ranks = list(range(len(result.cpm_times)))
+    return line_plot(
+        ranks,
+        {"CPM": result.cpm_times, "FPM": result.fpm_times},
+        title="Figure 6: per-process computation time (seconds vs rank)",
+        y_label="s",
+        x_label="rank",
+    )
+
+
+_PLOTTERS = {
+    "fig2": _plot_fig2,
+    "fig3": _plot_fig3,
+    "fig6": _plot_fig6,
+    "fig7": _plot_fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce the tables and figures of Zhong, Rychkov, "
+            "Lastovetsky (CLUSTER 2012) on the simulated hybrid node."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["report", "models", "ablations"],
+        help=(
+            "which table/figure to reproduce ('report' runs everything; "
+            "'models' builds and saves the node's FPMs; 'ablations' runs "
+            "all extension studies)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.02,
+        help="measurement noise sigma (log-time std)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="coarser sweeps for a quick run",
+    )
+    parser.add_argument(
+        "--gpu-version",
+        type=int,
+        default=3,
+        choices=(1, 2, 3),
+        help="GPU kernel version for the application experiments",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render curve figures as ASCII charts",
+    )
+    parser.add_argument(
+        "--export-json",
+        metavar="PATH",
+        help="write the raw experiment result as JSON",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="models.json",
+        help="output file for the 'models' command (default: models.json)",
+    )
+    parser.add_argument(
+        "--max-blocks",
+        type=float,
+        default=6500.0,
+        help="model range for the 'models' command, in b x b blocks",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        seed=args.seed,
+        noise_sigma=args.noise,
+        fast=args.fast,
+        gpu_version=args.gpu_version,
+    )
+    if args.experiment == "report":
+        print(full_report(config))
+        return 0
+    if args.experiment == "models":
+        return _build_models_command(config, args.out, args.max_blocks)
+    if args.experiment == "ablations":
+        return _run_ablations_command(config)
+    run, fmt = _EXPERIMENTS[args.experiment]
+    result = run(config)
+    print(fmt(result))
+    if args.plot:
+        plotter = _PLOTTERS.get(args.experiment)
+        if plotter is None:
+            print(f"(no plot defined for {args.experiment})")
+        else:
+            print()
+            print(plotter(result))
+    if args.export_json:
+        export_json(result, args.export_json)
+        print(f"result written to {args.export_json}")
+    return 0
+
+
+def _run_ablations_command(config: ExperimentConfig) -> int:
+    """Run every extension study and print its regenerated output."""
+    from repro.experiments import ablations
+
+    for name in ablations.__all__:
+        module = getattr(ablations, name)
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        print(module.format_result(module.run(config)))
+        print()
+    return 0
+
+
+def _build_models_command(
+    config: ExperimentConfig, out: str, max_blocks: float
+) -> int:
+    """Build the preset node's FPMs and persist them as JSON."""
+    from repro.app.matmul import HybridMatMul
+    from repro.core.serialization import save_models
+    from repro.platform.presets import ig_icl_node
+
+    app = HybridMatMul(
+        ig_icl_node(),
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+        gpu_version=config.gpu_version,
+    )
+    models = app.build_models(
+        max_blocks=max_blocks,
+        cpu_points=8 if config.fast else 12,
+        gpu_points=10 if config.fast else 16,
+        adaptive=not config.fast,
+    )
+    ordered = [models[name] for name in sorted(models)]
+    save_models(out, ordered)
+    total_reps = sum(m.repetitions_total for m in ordered)
+    for m in ordered:
+        print(
+            f"  {m.name:18s} {len(m.speed_function):3d} samples "
+            f"({m.repetitions_total} repetitions)"
+        )
+    print(f"{len(ordered)} models ({total_reps} repetitions) saved to {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Constant performance models — the traditional baseline (paper Section VI).
+
+A CPM describes a processor by one positive number.  The paper obtains the
+constants "from the speed measurements when some workload is distributed
+evenly between the processors": each device is benchmarked at ``n_cal / p``
+blocks, and the resulting speeds become the constants.  Because the GPU's
+calibration share usually fits its memory, the constants overestimate GPUs
+at large problem sizes — the failure mode Table III demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.speed_function import SpeedFunction
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ConstantPerformanceModel:
+    """One processor's constant speed (GFlops, or any consistent unit)."""
+
+    name: str
+    speed: float
+    kernel_name: str = ""
+    calibration_size: float = float("nan")
+
+    def __post_init__(self) -> None:
+        check_positive("speed", self.speed)
+
+    def time(self, size: float) -> float:
+        """Relative execution time ``x / s`` under the constant model."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        return size / self.speed
+
+    def as_speed_function(self) -> SpeedFunction:
+        """The CPM viewed as a (degenerate) speed function."""
+        return SpeedFunction.constant(self.speed)
+
+
+def cpm_from_fpm(
+    model: FunctionalPerformanceModel, calibration_size: float
+) -> ConstantPerformanceModel:
+    """Derive the constant a traditional partitioner would use.
+
+    ``calibration_size`` is the per-processor share of the calibration
+    problem (even split), mirroring the paper's CPM procedure.
+    """
+    check_positive("calibration_size", calibration_size)
+    return ConstantPerformanceModel(
+        name=model.name,
+        speed=model.to_constant(calibration_size),
+        kernel_name=model.kernel_name,
+        calibration_size=calibration_size,
+    )
+
+
+def cpms_from_even_split(
+    models: list[FunctionalPerformanceModel], calibration_total: float
+) -> list[ConstantPerformanceModel]:
+    """Constants for a device set from one even-split calibration run."""
+    if not models:
+        raise ValueError("need at least one model")
+    share = calibration_total / len(models)
+    return [cpm_from_fpm(m, share) for m in models]

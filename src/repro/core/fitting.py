@@ -1,0 +1,182 @@
+"""Approximation schemes for speed functions, with cross-validation.
+
+The authors' fupermod tool supports several ways to turn (size, speed)
+observations into a usable model; this module reproduces that flexibility:
+
+* :func:`fit_piecewise_linear` — the FPM default (interpolate the points);
+* :func:`fit_constant` — the CPM: one number (the speed-weighted mean);
+* :func:`fit_rational_saturation` — the parametric form
+  ``s(x) = peak * x / (x + half)`` fitted by least squares, a good match
+  for GPU-style ramp-up curves;
+* :func:`fit_log_polynomial` — least-squares polynomial in ``log x``, a
+  smooth general-purpose approximant that damps measurement noise.
+
+:func:`cross_validate` scores any fitter by leave-one-out prediction error,
+and :func:`best_fit` picks the scheme a given sample actually supports —
+useful when deciding whether a device needs a full FPM or a constant will
+do (small, flat samples pick the constant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.speed_function import SpeedFunction, SpeedSample
+
+#: A fitter maps observations to a SpeedFunction.
+Fitter = Callable[[Sequence[SpeedSample]], SpeedFunction]
+
+
+def _check_samples(samples: Sequence[SpeedSample], minimum: int = 1) -> None:
+    if len(samples) < minimum:
+        raise ValueError(
+            f"fitting needs at least {minimum} samples, got {len(samples)}"
+        )
+    sizes = [s.size for s in samples]
+    if sorted(set(sizes)) != sizes:
+        raise ValueError("sample sizes must be strictly increasing")
+
+
+def fit_piecewise_linear(samples: Sequence[SpeedSample]) -> SpeedFunction:
+    """The FPM default: exact interpolation of the observations."""
+    _check_samples(samples)
+    return SpeedFunction(list(samples))
+
+
+def fit_constant(samples: Sequence[SpeedSample]) -> SpeedFunction:
+    """The CPM view: one constant, the size-weighted harmonic-mean speed.
+
+    Weighting by size makes the constant reproduce the *total* time of the
+    observed workloads: ``sum x_i / sum t_i``.
+    """
+    _check_samples(samples)
+    total_size = sum(s.size for s in samples)
+    total_time = sum(s.size / s.speed for s in samples)
+    return SpeedFunction.constant(total_size / total_time)
+
+
+def fit_rational_saturation(samples: Sequence[SpeedSample]) -> SpeedFunction:
+    """Least-squares fit of ``s(x) = peak * x / (x + half)``.
+
+    Linearised: ``1/s = 1/peak + (half/peak) * (1/x)`` — ordinary least
+    squares on the reciprocals, the classic Lineweaver–Burk trick.  The
+    result is sampled back onto the observation grid (extended 4x beyond)
+    so downstream code sees an ordinary piecewise-linear function.
+    """
+    _check_samples(samples, minimum=2)
+    inv_x = np.array([1.0 / s.size for s in samples])
+    inv_s = np.array([1.0 / s.speed for s in samples])
+    slope, intercept = np.polyfit(inv_x, inv_s, 1)
+    if intercept <= 0:
+        # degenerate (speed grows without bound); fall back to the sample max
+        peak = max(s.speed for s in samples) * 1.05
+        half = max(1e-9, slope * peak)
+    else:
+        peak = 1.0 / intercept
+        half = max(0.0, slope * peak)
+
+    def model(x: float) -> float:
+        return peak * x / (x + half) if half > 0 else peak
+
+    grid = _dense_grid(
+        [s.size for s in samples] + [samples[-1].size * 4.0], per_interval=6
+    )
+    return SpeedFunction.from_points(grid, [max(1e-12, model(x)) for x in grid])
+
+
+def fit_log_polynomial(
+    samples: Sequence[SpeedSample], degree: int = 2
+) -> SpeedFunction:
+    """Least-squares polynomial in ``log x``, clipped positive.
+
+    Smooths measurement noise at the cost of bias near sharp features
+    (the GPU memory cliff defeats any global polynomial — which is itself
+    an argument for the piecewise FPM, and visible in cross-validation).
+    """
+    _check_samples(samples, minimum=degree + 1)
+    if degree < 0:
+        raise ValueError(f"degree must be >= 0, got {degree}")
+    logs = np.log([s.size for s in samples])
+    speeds = np.array([s.speed for s in samples])
+    coeffs = np.polyfit(logs, speeds, degree)
+    floor = min(speeds) * 1e-3
+
+    def model(x: float) -> float:
+        return float(max(floor, np.polyval(coeffs, math.log(x))))
+
+    grid = _dense_grid([s.size for s in samples], per_interval=6)
+    return SpeedFunction.from_points(grid, [model(x) for x in grid])
+
+
+def _dense_grid(anchors: list[float], per_interval: int) -> list[float]:
+    """Geometric refinement of an increasing grid (parametric resampling)."""
+    out: list[float] = []
+    for lo, hi in zip(anchors, anchors[1:]):
+        ratio = (hi / lo) ** (1.0 / per_interval)
+        out.extend(lo * ratio**k for k in range(per_interval))
+    out.append(anchors[-1])
+    return out
+
+
+@dataclass(frozen=True)
+class FitScore:
+    """Leave-one-out cross-validation result of one fitter."""
+
+    name: str
+    mean_relative_error: float
+    worst_relative_error: float
+
+
+def cross_validate(
+    fitter: Fitter, samples: Sequence[SpeedSample], name: str = ""
+) -> FitScore:
+    """Leave-one-out: fit without each interior point, predict it.
+
+    End points are kept (extrapolation is a different question); a sample
+    needs at least 4 points to have an interior to validate on.
+    """
+    _check_samples(samples, minimum=4)
+    errors = []
+    for i in range(1, len(samples) - 1):
+        reduced = [s for j, s in enumerate(samples) if j != i]
+        try:
+            model = fitter(reduced)
+            predicted = model.speed(samples[i].size)
+        except ValueError:
+            errors.append(math.inf)
+            continue
+        errors.append(abs(predicted - samples[i].speed) / samples[i].speed)
+    return FitScore(
+        name=name or getattr(fitter, "__name__", "fitter"),
+        mean_relative_error=float(sum(errors) / len(errors)),
+        worst_relative_error=float(max(errors)),
+    )
+
+
+#: The candidate schemes best_fit() considers, in preference order.
+STANDARD_FITTERS: dict[str, Fitter] = {
+    "piecewise-linear": fit_piecewise_linear,
+    "rational-saturation": fit_rational_saturation,
+    "log-polynomial": fit_log_polynomial,
+    "constant": fit_constant,
+}
+
+
+def best_fit(
+    samples: Sequence[SpeedSample],
+    fitters: dict[str, Fitter] | None = None,
+) -> tuple[str, SpeedFunction, FitScore]:
+    """Cross-validate the candidate schemes and fit with the winner."""
+    fitters = fitters or STANDARD_FITTERS
+    if not fitters:
+        raise ValueError("need at least one candidate fitter")
+    scores = [
+        cross_validate(fitter, samples, name)
+        for name, fitter in fitters.items()
+    ]
+    winner = min(scores, key=lambda s: s.mean_relative_error)
+    return winner.name, fitters[winner.name](samples), winner

@@ -1,0 +1,274 @@
+"""Column-based 2D matrix partitioning (Clarke, Lastovetsky, Rychkov [17]).
+
+The application arranges the processors' submatrices over a 2D grid so that
+(i) every processor's rectangle area matches its workload allocation and
+(ii) the total communication volume — proportional to the sum of rectangle
+half-perimeters — is minimised, making the rectangles "as square as
+possible" (paper Section IV).
+
+The algorithm, following the column-based scheme of Beaumont et al. used by
+[17]:
+
+1. sort processors by allocated area, descending;
+2. group the sorted sequence into contiguous *columns*; for a column with
+   relative areas ``a_i`` the column width is ``sum a_i`` and each
+   processor's height is ``a_i / width`` — areas are exact by construction;
+3. choose the grouping minimising the half-perimeter sum
+   ``sum_cols (count_c * w_c) + num_cols`` by dynamic programming over
+   contiguous splits (optimal for the column-based family);
+4. snap to the integer block grid with largest-remainder rounding, columns
+   first, then heights within each column — the rectangles tile the
+   ``n x n`` block matrix exactly, with realized areas as close to the
+   requested allocation as the grid allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """One processor's submatrix in block coordinates (column-major layout)."""
+
+    owner: int
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if min(self.col, self.row, self.width, self.height) < 0:
+            raise ValueError("rectangle coordinates must be non-negative")
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def half_perimeter(self) -> int:
+        return self.width + self.height
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """True when the two rectangles overlap in a nonzero area."""
+        return (
+            self.col < other.col + other.width
+            and other.col < self.col + self.width
+            and self.row < other.row + other.height
+            and other.row < self.row + self.height
+        )
+
+
+@dataclass(frozen=True)
+class ColumnPartition:
+    """The complete arrangement: rectangles indexed by processor."""
+
+    n: int
+    rectangles: tuple[Rectangle, ...]
+    column_widths: tuple[int, ...]
+
+    def rectangle_of(self, owner: int) -> Rectangle:
+        for r in self.rectangles:
+            if r.owner == owner:
+                return r
+        raise KeyError(f"no rectangle for processor {owner}")
+
+    def realized_allocations(self, num_processors: int) -> list[int]:
+        """Block areas actually granted by the grid, per processor."""
+        out = [0] * num_processors
+        for r in self.rectangles:
+            out[r.owner] += r.area
+        return out
+
+    def total_half_perimeter(self) -> int:
+        """The communication-volume proxy the arrangement minimises."""
+        return sum(r.half_perimeter for r in self.rectangles if r.area > 0)
+
+    def validate_tiling(self) -> None:
+        """Raise ValueError unless rectangles tile the n x n grid exactly."""
+        area = sum(r.area for r in self.rectangles)
+        if area != self.n * self.n:
+            raise ValueError(
+                f"rectangles cover {area} blocks, expected {self.n * self.n}"
+            )
+        live = [r for r in self.rectangles if r.area > 0]
+        for i, a in enumerate(live):
+            if a.col + a.width > self.n or a.row + a.height > self.n:
+                raise ValueError(f"rectangle {a} exceeds the matrix bounds")
+            for b in live[i + 1 :]:
+                if a.intersects(b):
+                    raise ValueError(f"rectangles overlap: {a} and {b}")
+
+
+def _largest_remainder(targets: list[float], total: int, minimum: list[int]) -> list[int]:
+    """Round non-negative targets to integers summing to ``total``.
+
+    Every entry receives at least its ``minimum``; leftovers go to the
+    largest fractional remainders (ties resolved by index for determinism).
+    """
+    if sum(minimum) > total:
+        raise ValueError(
+            f"cannot round: minimums sum to {sum(minimum)} > total {total}"
+        )
+    floors = [max(m, int(math.floor(t))) for t, m in zip(targets, minimum)]
+    while sum(floors) > total:
+        # shrink the entry that most over-rounded its target, respecting
+        # minimums; feasibility is guaranteed by the check above
+        candidates = [i for i in range(len(floors)) if floors[i] > minimum[i]]
+        i = min(candidates, key=lambda j: targets[j] - floors[j])
+        floors[i] -= 1
+    remainders = sorted(
+        range(len(targets)),
+        key=lambda i: (-(targets[i] - floors[i]), i),
+    )
+    deficit = total - sum(floors)
+    out = list(floors)
+    for k in range(deficit):
+        out[remainders[k % len(remainders)]] += 1
+    return out
+
+
+def ascii_layout(partition: ColumnPartition, cell_width: int = 2) -> str:
+    """Render the arrangement as a character grid (one cell per block).
+
+    Owners are labelled 0-9 then a-z then A-Z then '#'; useful in examples
+    and docs to *see* the column-based structure.
+    """
+    if cell_width < 1:
+        raise ValueError(f"cell_width must be >= 1, got {cell_width}")
+    labels = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    n = partition.n
+    grid = [["?"] * n for _ in range(n)]
+    for rect in partition.rectangles:
+        if rect.area == 0:
+            continue
+        mark = labels[rect.owner] if rect.owner < len(labels) else "#"
+        for r in range(rect.row, rect.row + rect.height):
+            for c in range(rect.col, rect.col + rect.width):
+                grid[r][c] = mark
+    return "\n".join(
+        "".join(cell * cell_width for cell in row) for row in grid
+    )
+
+
+def _column_groups(
+    areas_sorted: list[float], max_group: int, max_columns: int | None = None
+) -> list[int]:
+    """DP over contiguous groups minimising sum(count_c * width_c) + c.
+
+    ``max_group`` caps the processors per column (a column of the n x n
+    grid cannot stack more than n rectangles).  Returns the group sizes in
+    order.
+    """
+    p = len(areas_sorted)
+    if max_group < 1:
+        raise ValueError(f"max_group must be >= 1, got {max_group}")
+    prefix = [0.0]
+    for a in areas_sorted:
+        prefix.append(prefix[-1] + a)
+    # cost[j][k]: best cost of first j processors in k columns
+    inf = math.inf
+    cost = [[inf] * (p + 1) for _ in range(p + 1)]
+    back = [[-1] * (p + 1) for _ in range(p + 1)]
+    cost[0][0] = 0.0
+    for j in range(1, p + 1):
+        for k in range(1, j + 1):
+            for m in range(max(k - 1, j - max_group), j):
+                if cost[m][k - 1] is inf:
+                    continue
+                width = prefix[j] - prefix[m]
+                c = cost[m][k - 1] + (j - m) * width
+                if c < cost[j][k]:
+                    cost[j][k] = c
+                    back[j][k] = m
+    k_limit = p if max_columns is None else min(p, max_columns)
+    feasible = [k for k in range(1, k_limit + 1) if cost[p][k] < inf]
+    if not feasible:
+        raise ValueError(
+            f"cannot arrange {p} processors with at most {max_group} per "
+            f"column and {k_limit} columns"
+        )
+    best_k = min(feasible, key=lambda k: cost[p][k] + k)
+    groups: list[int] = []
+    j, k = p, best_k
+    while k > 0:
+        m = back[j][k]
+        groups.append(j - m)
+        j, k = m, k - 1
+    groups.reverse()
+    return groups
+
+
+def column_based_partition(allocations: list[int], n: int) -> ColumnPartition:
+    """Arrange integer block allocations into a column-based 2D partition.
+
+    Parameters
+    ----------
+    allocations:
+        Blocks per processor, summing to ``n * n``.  Zero allocations yield
+        empty (zero-area) rectangles.
+    n:
+        Matrix size in blocks (the matrix is ``n x n`` blocks).
+    """
+    check_positive_int("n", n)
+    if any(a < 0 for a in allocations):
+        raise ValueError("allocations must be non-negative")
+    if sum(allocations) != n * n:
+        raise ValueError(
+            f"allocations sum to {sum(allocations)}, expected {n * n}"
+        )
+
+    active = [(i, a) for i, a in enumerate(allocations) if a > 0]
+    if not active:
+        raise ValueError("at least one allocation must be positive")
+    if len(active) > n * n:
+        raise ValueError(
+            f"{len(active)} non-empty allocations cannot tile an "
+            f"{n} x {n} grid"
+        )
+    order = sorted(active, key=lambda t: (-t[1], t[0]))
+    rel = [a / (n * n) for _, a in order]
+    groups = _column_groups(rel, max_group=n, max_columns=n)
+
+    # --- integer column widths -----------------------------------------
+    col_rel_widths = []
+    idx = 0
+    col_members: list[list[tuple[int, int]]] = []
+    for g in groups:
+        members = order[idx : idx + g]
+        idx += g
+        col_members.append(members)
+        col_rel_widths.append(sum(a for _, a in members) / (n * n))
+    widths = _largest_remainder(
+        [w * n for w in col_rel_widths], n, minimum=[1] * len(groups)
+    )
+
+    # --- integer heights within each column ----------------------------
+    rects: list[Rectangle] = []
+    col_start = 0
+    for members, width in zip(col_members, widths):
+        targets = [a / width for _, a in members]
+        heights = _largest_remainder(targets, n, minimum=[1] * len(members))
+        row = 0
+        for (owner, _), h in zip(members, heights):
+            rects.append(
+                Rectangle(owner=owner, col=col_start, row=row, width=width, height=h)
+            )
+            row += h
+        col_start += width
+
+    # zero-allocation processors get empty rectangles for index stability
+    present = {r.owner for r in rects}
+    for i, a in enumerate(allocations):
+        if i not in present:
+            rects.append(Rectangle(owner=i, col=0, row=0, width=0, height=0))
+
+    rects.sort(key=lambda r: r.owner)
+    part = ColumnPartition(n=n, rectangles=tuple(rects), column_widths=tuple(widths))
+    part.validate_tiling()
+    return part
+
+

@@ -1,0 +1,138 @@
+"""Hierarchical (cluster-level) FPM partitioning.
+
+The paper treats one hybrid node as a distributed-memory system; its
+companion work (reference [6]) partitions *between* nodes of a
+heterogeneous cluster using each node's own FPM.  This module provides the
+two building blocks:
+
+* :func:`aggregate_speed_function` — a whole node's speed function derived
+  from its compute units' models: at total size ``x`` the node, internally
+  balanced by FPM partitioning, finishes in ``T(x)``, so its aggregate
+  speed is ``x / T(x)``.  This is the model a cluster-level partitioner
+  sees.
+* :func:`hierarchical_partition` — two-level partitioning: split the
+  global workload between nodes using the aggregate models, then split
+  each node's share between its units.
+
+A useful invariant (tested): because FPM partitioning equalises times at
+both levels, the hierarchical solution coincides with flat partitioning
+over the union of all units — hierarchy changes the *cost* of modelling
+and partitioning (linear in nodes instead of units), not the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fpm import FunctionalPerformanceModel, as_speed_function
+from repro.core.integer import round_partition
+from repro.core.partition import partition_fpm
+from repro.core.speed_function import SpeedFunction, SpeedSample
+from repro.util.validation import check_positive, check_positive_int
+
+
+def aggregate_speed_function(
+    models: list,
+    sizes: list[float],
+) -> SpeedFunction:
+    """A node's aggregate speed function from its units' models.
+
+    For each sampled total ``x`` the units are balanced by
+    :func:`repro.core.partition.partition_fpm`; the node's speed is the
+    total divided by the common finish time.  Bounded unit models bound
+    the aggregate only when *every* unit is bounded.
+    """
+    if not models:
+        raise ValueError("need at least one unit model")
+    if not sizes:
+        raise ValueError("need at least one sample size")
+    fns = [as_speed_function(m) for m in models]
+    capacity = sum(
+        fn.max_size if fn.bounded else float("inf") for fn in fns
+    )
+    samples = []
+    for x in sorted(set(sizes)):
+        check_positive("sample size", x)
+        if x > capacity:
+            break
+        allocs = partition_fpm(fns, x)
+        finish = max(
+            fn.time(a) for fn, a in zip(fns, allocs) if a > 0
+        )
+        samples.append(SpeedSample(size=x, speed=x / finish))
+    if not samples:
+        raise ValueError(
+            "no sample size fits the node's combined capacity"
+        )
+    return SpeedFunction(samples, bounded=capacity != float("inf"))
+
+
+@dataclass(frozen=True)
+class HierarchicalPartition:
+    """The two-level result: blocks per node, and per unit within nodes."""
+
+    node_allocations: tuple[int, ...]
+    unit_allocations: tuple[tuple[int, ...], ...]
+
+    @property
+    def flat(self) -> list[int]:
+        """All unit allocations, in node order."""
+        return [a for node in self.unit_allocations for a in node]
+
+    def __post_init__(self) -> None:
+        for node_alloc, units in zip(self.node_allocations, self.unit_allocations):
+            if sum(units) != node_alloc:
+                raise ValueError(
+                    f"unit allocations {units} do not sum to the node's "
+                    f"{node_alloc}"
+                )
+
+
+def hierarchical_partition(
+    node_unit_models: list[list],
+    total: int,
+    aggregate_samples: int = 24,
+) -> HierarchicalPartition:
+    """Two-level FPM partitioning of ``total`` blocks across a cluster.
+
+    Parameters
+    ----------
+    node_unit_models:
+        One list of unit models (FPMs / speed functions / constants) per
+        node.
+    total:
+        Global workload in blocks.
+    aggregate_samples:
+        Sample count for each node's aggregate speed function; sampled
+        geometrically up to ``total``.
+    """
+    check_positive_int("total", total)
+    check_positive_int("aggregate_samples", aggregate_samples)
+    if not node_unit_models:
+        raise ValueError("need at least one node")
+
+    # geometric sample grid up to the full workload
+    lo, hi = max(1.0, total / 512.0), float(total)
+    if aggregate_samples == 1 or lo >= hi:
+        grid = [hi]
+    else:
+        ratio = (hi / lo) ** (1.0 / (aggregate_samples - 1))
+        grid = [lo * ratio**i for i in range(aggregate_samples)]
+
+    node_models = [
+        aggregate_speed_function(units, grid) for units in node_unit_models
+    ]
+    continuous = partition_fpm(node_models, float(total))
+    node_allocs = round_partition(node_models, continuous, total)
+
+    unit_allocs = []
+    for units, share in zip(node_unit_models, node_allocs):
+        if share == 0:
+            unit_allocs.append(tuple(0 for _ in units))
+            continue
+        inner = partition_fpm(units, float(share))
+        unit_allocs.append(tuple(round_partition(units, inner, share)))
+    return HierarchicalPartition(
+        node_allocations=tuple(node_allocs),
+        unit_allocations=tuple(unit_allocs),
+    )

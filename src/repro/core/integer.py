@@ -1,0 +1,134 @@
+"""Integer block allocation on top of the continuous partitioners.
+
+The application distributes whole b x b blocks (Table III reports integer
+block counts), so the continuous solution must be rounded without ruining
+the balance.  :func:`round_partition` floors the continuous allocation and
+hands the leftover blocks, one at a time, to the processor whose finish
+time grows the least — the standard incremental refinement, optimal for
+monotone time functions.  :func:`refine_integer_partition` then hill-climbs
+single-block moves from the straggler, which also repairs allocations that
+did not come from a balanced continuous solution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.fpm import as_speed_function
+from repro.core.speed_function import SpeedFunction
+from repro.util.validation import check_nonnegative_int
+
+
+def _caps(fns: list[SpeedFunction]) -> list[float]:
+    return [fn.max_size if fn.bounded else math.inf for fn in fns]
+
+
+def round_partition(models, continuous: list[float], total: int) -> list[int]:
+    """Round a continuous allocation to whole blocks summing to ``total``.
+
+    Parameters
+    ----------
+    models:
+        Per-processor models (FPMs / speed functions / constants) used to
+        judge which processor absorbs each leftover block most cheaply.
+    continuous:
+        The continuous allocation (need not sum exactly to ``total``).
+    total:
+        The exact number of blocks to distribute.
+    """
+    check_nonnegative_int("total", total)
+    fns = [as_speed_function(m) for m in models]
+    if len(fns) != len(continuous):
+        raise ValueError(
+            f"{len(fns)} models but {len(continuous)} allocations"
+        )
+    caps = _caps(fns)
+    alloc = [min(int(math.floor(max(0.0, x))), int(min(c, 1e18))) for x, c in zip(continuous, caps)]
+    if sum(alloc) > total:
+        # floor overshoot can only happen if `continuous` oversummed; trim
+        # from the largest-time processors first
+        while sum(alloc) > total:
+            i = max(
+                (j for j in range(len(alloc)) if alloc[j] > 0),
+                key=lambda j: fns[j].time(alloc[j]),
+            )
+            alloc[i] -= 1
+    while sum(alloc) < total:
+        best = None
+        best_time = math.inf
+        for i, fn in enumerate(fns):
+            if alloc[i] + 1 > caps[i]:
+                continue
+            t = fn.time(alloc[i] + 1)
+            if t < best_time:
+                best, best_time = i, t
+        if best is None:
+            raise ValueError(
+                f"combined capacity cannot hold {total} blocks"
+            )
+        alloc[best] += 1
+    return alloc
+
+
+def makespan(models, allocation: list[int]) -> float:
+    """Relative finish time of an integer allocation."""
+    fns = [as_speed_function(m) for m in models]
+    if len(fns) != len(allocation):
+        raise ValueError(
+            f"{len(fns)} models but {len(allocation)} allocations"
+        )
+    return max(
+        (fn.time(a) for fn, a in zip(fns, allocation) if a > 0), default=0.0
+    )
+
+
+def refine_integer_partition(
+    models, allocation: list[int], max_moves: int = 10_000
+) -> list[int]:
+    """Hill-climb single-block moves until the makespan stops improving.
+
+    Each step moves one block away from (one of) the slowest-finishing
+    processors to the processor whose time after the gift stays smallest,
+    accepting the move only when the makespan strictly decreases.
+    """
+    fns = [as_speed_function(m) for m in models]
+    if len(fns) != len(allocation):
+        raise ValueError(
+            f"{len(fns)} models but {len(allocation)} allocations"
+        )
+    caps = _caps(fns)
+    alloc = [int(a) for a in allocation]
+    for a in alloc:
+        check_nonnegative_int("allocation entry", a)
+
+    def span(current: list[int]) -> float:
+        return max(
+            (fn.time(a) for fn, a in zip(fns, current) if a > 0), default=0.0
+        )
+
+    current_span = span(alloc)
+    for _ in range(max_moves):
+        donor = max(
+            (i for i in range(len(alloc)) if alloc[i] > 0),
+            key=lambda i: fns[i].time(alloc[i]),
+            default=None,
+        )
+        if donor is None:
+            break
+        candidates = [
+            i
+            for i in range(len(alloc))
+            if i != donor and alloc[i] + 1 <= caps[i]
+        ]
+        if not candidates:
+            break
+        receiver = min(candidates, key=lambda i: fns[i].time(alloc[i] + 1))
+        trial = list(alloc)
+        trial[donor] -= 1
+        trial[receiver] += 1
+        trial_span = span(trial)
+        if trial_span < current_span * (1.0 - 1e-12):
+            alloc, current_span = trial, trial_span
+        else:
+            break
+    return alloc

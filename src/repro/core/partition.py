@@ -1,0 +1,266 @@
+"""Data partitioning algorithms (paper Sections II and VI).
+
+Three algorithms are compared in the paper:
+
+* **FPM-based** (:func:`partition_fpm`) — the Lastovetsky–Reddy algorithm:
+  find allocations ``x_i`` with ``sum x_i = n`` such that all processors
+  finish simultaneously, ``x_1 / s_1(x_1) = ... = x_p / s_p(x_p)``.  With
+  increasing time functions the common finish time ``T`` is found by
+  bisection; each processor's allocation is the inverse of its time
+  function at ``T``.
+* **Geometric formulation** (:func:`geometric_partition`) — the same
+  solution derived as in [5]: a line through the origin of the (size,
+  speed) plane intersects each speed curve at the points of equal execution
+  time (the ray's inverse slope *is* that time); the ray is rotated until
+  the intersection sizes sum to ``n``.  Kept as an independent code path
+  and tested to agree with :func:`partition_fpm`.
+* **CPM-based** (:func:`partition_cpm`) — workload proportional to constant
+  speeds.
+* **Homogeneous** (:func:`partition_homogeneous`) — the even split.
+
+All partitioners work in continuous block units; integer allocation is the
+job of :mod:`repro.core.integer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cpm import ConstantPerformanceModel
+from repro.core.fpm import as_speed_function
+from repro.core.speed_function import SpeedFunction
+from repro.util.validation import check_positive, check_positive_int
+
+#: Relative tolerance on the total allocation reached by bisection.
+_SUM_TOL = 1e-9
+
+
+def _normalise_models(models) -> list[SpeedFunction]:
+    if not models:
+        raise ValueError("need at least one performance model")
+    return [as_speed_function(m) for m in models]
+
+
+def _capacity(fn: SpeedFunction) -> float:
+    return fn.max_size if fn.bounded else math.inf
+
+
+def _allocations_at(fns: list[SpeedFunction], finish_time: float) -> list[float]:
+    """Each processor's largest workload finishing within ``finish_time``."""
+    allocs = []
+    for fn in fns:
+        cap = _capacity(fn)
+        x = fn.max_size_within_time(finish_time)
+        allocs.append(min(x, cap))
+    return allocs
+
+
+def partition_fpm(models, total: float) -> list[float]:
+    """FPM-based data partitioning: equal-finish-time allocations.
+
+    Parameters
+    ----------
+    models:
+        Per-processor FPMs / speed functions / constants.
+    total:
+        Total workload in problem-size units (b x b blocks).
+
+    Returns
+    -------
+    Continuous allocations summing to ``total`` (to numerical tolerance),
+    each within its model's valid range.
+
+    Raises
+    ------
+    ValueError
+        If every model is bounded and the combined capacity cannot hold
+        ``total``.
+    """
+    check_positive("total", total)
+    fns = _normalise_models(models)
+    caps = [_capacity(fn) for fn in fns]
+    if sum(caps) < total:
+        raise ValueError(
+            f"total workload {total} exceeds the combined model capacity "
+            f"{sum(caps)} (all models bounded)"
+        )
+
+    # Bracket the finish time: t_lo gives too little work, t_hi enough.
+    t_lo = 0.0
+    t_hi = max(fn.time(min(total, cap)) for fn, cap in zip(fns, caps)) + 1e-12
+    while sum(_allocations_at(fns, t_hi)) < total:
+        t_hi *= 2.0
+        if t_hi > 1e30:  # pragma: no cover - capacity check above prevents this
+            raise RuntimeError("failed to bracket the balanced finish time")
+
+    for _ in range(200):
+        t_mid = 0.5 * (t_lo + t_hi)
+        if sum(_allocations_at(fns, t_mid)) >= total:
+            t_hi = t_mid
+        else:
+            t_lo = t_mid
+        if t_hi - t_lo <= 1e-12 * max(1.0, t_hi):
+            break
+
+    allocs = _allocations_at(fns, t_hi)
+    return _rescale(allocs, total, caps)
+
+
+def geometric_partition(models, total: float) -> list[float]:
+    """The line-rotation formulation of FPM partitioning (see module doc).
+
+    A ray ``s = k x`` intersects speed curve ``s_i`` where
+    ``s_i(x) = k x``; that intersection is the allocation with execution
+    time ``1 / k``.  The slope ``k`` is rotated (bisected) until the
+    intersections sum to ``total``.
+    """
+    check_positive("total", total)
+    fns = _normalise_models(models)
+    caps = [_capacity(fn) for fn in fns]
+    if sum(caps) < total:
+        raise ValueError(
+            f"total workload {total} exceeds the combined model capacity "
+            f"{sum(caps)} (all models bounded)"
+        )
+
+    def intersection(fn: SpeedFunction, slope: float, cap: float) -> float:
+        """Solve s(x) = slope * x for x (unique under increasing time)."""
+        hi = max(1.0, fn.min_size)
+        limit = cap if math.isfinite(cap) else 1e18
+        # grow until the ray is above the curve: slope * hi >= s(hi)
+        while slope * hi < fn.speed(hi):
+            if hi >= limit:
+                return limit
+            hi = min(hi * 2.0, limit)
+        lo = 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if slope * mid < fn.speed(mid):
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return hi
+
+    # Steeper ray (larger k) => smaller time 1/k => smaller allocations.
+    k_hi = max(
+        fn.speed(min(total, cap)) / min(total, cap) for fn, cap in zip(fns, caps)
+    )
+    while sum(intersection(fn, k_hi, cap) for fn, cap in zip(fns, caps)) < total:
+        k_hi /= 2.0
+        if k_hi < 1e-30:  # pragma: no cover
+            raise RuntimeError("failed to bracket the partitioning ray")
+    k_lo = k_hi
+    while sum(intersection(fn, k_lo, cap) for fn, cap in zip(fns, caps)) < total:
+        k_lo /= 2.0  # pragma: no cover - k_hi loop already reached the bracket
+    k_steep = k_hi * 2.0
+    # bisect slope between k_lo (enough work) and k_steep (too little)
+    while sum(intersection(fn, k_steep, cap) for fn, cap in zip(fns, caps)) >= total:
+        k_steep *= 2.0
+        if k_steep > 1e30:
+            break
+    lo, hi = k_lo, k_steep
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if sum(intersection(fn, mid, cap) for fn, cap in zip(fns, caps)) >= total:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1e-30, hi):
+            break
+    allocs = [intersection(fn, lo, cap) for fn, cap in zip(fns, caps)]
+    return _rescale(allocs, total, [_capacity(fn) for fn in fns])
+
+
+def partition_cpm(models, total: float) -> list[float]:
+    """Traditional partitioning: workload proportional to constant speeds.
+
+    ``models`` may be :class:`ConstantPerformanceModel` instances or bare
+    positive numbers.
+    """
+    check_positive("total", total)
+    if not models:
+        raise ValueError("need at least one performance model")
+    speeds = []
+    for m in models:
+        if isinstance(m, ConstantPerformanceModel):
+            speeds.append(m.speed)
+        elif isinstance(m, (int, float)) and not isinstance(m, bool):
+            check_positive("constant speed", float(m))
+            speeds.append(float(m))
+        else:
+            raise TypeError(
+                f"partition_cpm expects constants, got {type(m).__name__}"
+            )
+    s = sum(speeds)
+    return [total * v / s for v in speeds]
+
+
+def partition_homogeneous(num_processors: int, total: float) -> list[float]:
+    """The even split used by homogeneous partitioning."""
+    check_positive_int("num_processors", num_processors)
+    check_positive("total", total)
+    return [total / num_processors] * num_processors
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Per-processor times and imbalance statistics of an allocation."""
+
+    times: tuple[float, ...]
+    makespan: float
+    imbalance: float  # max time / min positive time (1.0 == perfect)
+
+    @property
+    def balanced(self) -> bool:
+        """Within 1% of perfect balance."""
+        return self.imbalance <= 1.01
+
+
+def balance_report(models, allocations) -> BalanceReport:
+    """Evaluate how balanced an allocation is under the given models."""
+    fns = _normalise_models(models)
+    if len(fns) != len(allocations):
+        raise ValueError(
+            f"{len(fns)} models but {len(allocations)} allocations"
+        )
+    times = tuple(
+        fn.time(x) if x > 0 else 0.0 for fn, x in zip(fns, allocations)
+    )
+    positive = [t for t in times if t > 0]
+    makespan = max(times) if times else 0.0
+    imbalance = (makespan / min(positive)) if positive else 1.0
+    return BalanceReport(times=times, makespan=makespan, imbalance=imbalance)
+
+
+def _rescale(allocs: list[float], total: float, caps: list[float]) -> list[float]:
+    """Scale allocations to sum exactly to ``total`` without breaching caps."""
+    s = sum(allocs)
+    if s <= 0:
+        raise RuntimeError("partitioner produced an empty allocation")
+    if abs(s - total) <= _SUM_TOL * total:
+        factor = total / s
+        scaled = [min(a * factor, cap) for a, cap in zip(allocs, caps)]
+        deficit = total - sum(scaled)
+        if abs(deficit) > _SUM_TOL * total:
+            # push any residual into uncapped processors
+            free = [i for i, cap in enumerate(caps) if scaled[i] < cap]
+            if not free:
+                raise ValueError("capacity exhausted while rescaling")
+            scaled[free[0]] += deficit
+        return scaled
+    # Bisection stopped short (pathological models); distribute the gap
+    # proportionally among uncapped processors.
+    gap = total - s
+    free = [i for i in range(len(allocs)) if allocs[i] < caps[i]]
+    if not free:
+        raise ValueError("capacity exhausted while balancing")
+    share = gap / len(free)
+    out = list(allocs)
+    for i in free:
+        out[i] = min(max(0.0, out[i] + share), caps[i])
+    # final exact fix on the largest free allocation
+    out[free[-1]] += total - sum(out)
+    return out

@@ -1,0 +1,107 @@
+"""Fine-grained dynamic task scheduling — Section II's other family.
+
+Besides iterative rebalancing (:mod:`repro.core.dynamic`), the paper's
+related work covers task-queue runtimes (StarPU, Merge, work stealing):
+the workload is cut into fine-grained tasks that idle devices pull.  This
+module simulates a central-queue scheduler on the library's kernels so the
+trade-off the paper states qualitatively — "dynamic algorithms do not
+require a priori information but may incur significant overhead" — can be
+measured:
+
+* small chunks balance the finish times tightly, but pay per-task
+  scheduling overhead *and* starve devices whose efficiency grows with
+  problem size (a GPU fed 16-block crumbs never reaches its rate);
+* large chunks feed the devices well but quantise the distribution and
+  leave stragglers.
+
+Somewhere in between sits a sweet spot — which FPM static partitioning
+meets or beats without searching, because the model already knows each
+device's size-dependent speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class WorkStealingResult:
+    """Outcome of one simulated task-queue run."""
+
+    makespan: float
+    blocks_per_device: tuple[int, ...]
+    tasks_per_device: tuple[int, ...]
+    scheduling_overhead: float  # total seconds spent on task dispatch
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks_per_device)
+
+
+def simulate_work_stealing(
+    kernels: list,
+    total_blocks: int,
+    chunk_blocks: int,
+    per_task_overhead: float = 5.0e-4,
+) -> WorkStealingResult:
+    """Simulate a central task queue over one kernel run's workload.
+
+    The workload (``total_blocks`` of ``C`` area) is cut into chunks of
+    ``chunk_blocks``; whenever a device finishes its chunk it pulls the
+    next one, paying ``per_task_overhead`` seconds per pull (queue lock,
+    kernel launch, data staging bookkeeping).  Device chunk execution time
+    comes from each kernel's ``run_time`` — so size-dependent efficiency
+    (GPU ramp-up, out-of-core cliffs) is fully in effect, evaluated at the
+    *chunk* size, which is the crucial difference from static FPM
+    partitioning where each device runs one large, efficient piece.
+    """
+    if not kernels:
+        raise ValueError("need at least one kernel")
+    check_positive_int("total_blocks", total_blocks)
+    check_positive_int("chunk_blocks", chunk_blocks)
+    check_nonnegative("per_task_overhead", per_task_overhead)
+
+    remaining = total_blocks
+    blocks = [0] * len(kernels)
+    tasks = [0] * len(kernels)
+    overhead_total = 0.0
+    # priority queue of (time device becomes free, device index)
+    free_at = [(0.0, i) for i in range(len(kernels))]
+    heapq.heapify(free_at)
+    finish = [0.0] * len(kernels)
+    while remaining > 0:
+        now, dev = heapq.heappop(free_at)
+        chunk = min(chunk_blocks, remaining)
+        remaining -= chunk
+        duration = per_task_overhead + kernels[dev].run_time(float(chunk))
+        overhead_total += per_task_overhead
+        blocks[dev] += chunk
+        tasks[dev] += 1
+        finish[dev] = now + duration
+        heapq.heappush(free_at, (finish[dev], dev))
+    return WorkStealingResult(
+        makespan=max(finish),
+        blocks_per_device=tuple(blocks),
+        tasks_per_device=tuple(tasks),
+        scheduling_overhead=overhead_total,
+    )
+
+
+def static_reference_makespan(kernels: list, allocations: list[int]) -> float:
+    """Makespan of a static distribution on the same kernels (one big run
+    each) — the FPM comparison point."""
+    if len(kernels) != len(allocations):
+        raise ValueError(
+            f"{len(kernels)} kernels but {len(allocations)} allocations"
+        )
+    return max(
+        (k.run_time(float(a)) for k, a in zip(kernels, allocations) if a > 0),
+        default=0.0,
+    )

@@ -1,0 +1,278 @@
+"""Piecewise-linear speed functions — the representation behind FPMs.
+
+The functional performance model represents processor speed as a continuous
+function of problem size, "built empirically by measuring the execution
+time" at a set of sizes (paper Section II).  Between samples we interpolate
+linearly; before the first sample the speed is held at the first sample's
+value; after the last sample it is held constant (the paper's extension of
+out-of-core models "to infinity") unless the function is marked bounded, in
+which case evaluation beyond the range is an error (plain in-core kernels).
+
+The FPM partitioning algorithm of Lastovetsky & Reddy assumes that the
+*time* function ``t(x) = x / s(x)`` is increasing.  Measured functions
+usually satisfy this; :meth:`SpeedFunction.with_monotonic_time` repairs
+those that do not by flattening speed spikes until the assumption holds
+(the standard practical fix, applied by the authors' fupermod tool).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class SpeedSample:
+    """One empirical point of a speed function.
+
+    ``speed`` is in GFlops (or any consistent speed unit — the partitioner
+    only uses ratios).  ``rel_precision`` records the measurement's
+    confidence-interval half-width relative to the mean, when known.
+    """
+
+    size: float
+    speed: float
+    rel_precision: float = math.nan
+
+    def __post_init__(self) -> None:
+        check_positive("size", self.size)
+        check_positive("speed", self.speed)
+
+
+class SpeedFunction:
+    """Continuous piecewise-linear speed ``s(x)`` built from samples.
+
+    Parameters
+    ----------
+    samples:
+        Empirical (size, speed) points; sizes must be strictly increasing.
+    bounded:
+        When True, evaluating beyond the last sample raises — the model is
+        only defined for sizes that fit the device (in-core GPU kernels).
+    """
+
+    def __init__(self, samples: list[SpeedSample], bounded: bool = False):
+        if not samples:
+            raise ValueError("a speed function needs at least one sample")
+        sizes = [s.size for s in samples]
+        for a, b in zip(sizes, sizes[1:]):
+            if not a < b:
+                raise ValueError(
+                    f"sample sizes must be strictly increasing, got {a} then {b}"
+                )
+        self._samples = tuple(samples)
+        self._sizes = tuple(sizes)
+        self._speeds = tuple(s.speed for s in samples)
+        self.bounded = bool(bounded)
+
+    # ------------------------------------------------------------------ api
+    @property
+    def samples(self) -> tuple[SpeedSample, ...]:
+        return self._samples
+
+    @property
+    def min_size(self) -> float:
+        return self._sizes[0]
+
+    @property
+    def max_size(self) -> float:
+        return self._sizes[-1]
+
+    def speed(self, size: float) -> float:
+        """Interpolated speed at ``size`` (constant beyond the sampled ends)."""
+        check_nonnegative("size", size)
+        if size <= self._sizes[0]:
+            return self._speeds[0]
+        if size >= self._sizes[-1]:
+            if self.bounded and size > self._sizes[-1] * (1 + 1e-12):
+                raise ValueError(
+                    f"size {size} beyond the bounded model range "
+                    f"[0, {self._sizes[-1]}]"
+                )
+            return self._speeds[-1]
+        i = bisect.bisect_right(self._sizes, size)
+        x0, x1 = self._sizes[i - 1], self._sizes[i]
+        s0, s1 = self._speeds[i - 1], self._speeds[i]
+        w = (size - x0) / (x1 - x0)
+        return s0 + w * (s1 - s0)
+
+    def time(self, size: float) -> float:
+        """Execution time in *size units per speed unit*: ``t(x) = x / s(x)``.
+
+        With speed in GFlops and size in b x b blocks this is proportional
+        to wall-clock seconds (one kernel run does ``2 b^3`` flops per
+        block); the partitioner equalises it across processors, and any
+        common factor cancels.
+        """
+        check_nonnegative("size", size)
+        if size == 0.0:
+            return 0.0
+        return size / self.speed(size)
+
+    def max_size_within_time(self, budget: float) -> float:
+        """Largest ``x`` with ``t(x) <= budget`` (inverse of the time function).
+
+        Assumes a monotonically increasing time function (see
+        :meth:`is_time_monotonic`); for bounded models the answer is capped
+        at the model range.
+
+        On monotone functions the inverse is computed *exactly*: time is
+        piecewise rational on the piecewise-linear speed segments, so the
+        segment is found by bisecting the knot times and the equation
+        ``x / (s0 + m (x - x0)) = T`` solved in closed form.  Functions
+        whose knot times are not non-decreasing fall back to numerical
+        bisection.
+        """
+        check_nonnegative("budget", budget)
+        if budget == 0.0:
+            return 0.0
+        knot_times = self._knot_times()
+        if knot_times is not None:
+            return self._invert_time_exact(budget, knot_times)
+        return self._invert_time_bisect(budget)
+
+    def _knot_times(self) -> tuple[float, ...] | None:
+        """Times at the sample knots, or None if not non-decreasing."""
+        cached = getattr(self, "_knot_times_cache", False)
+        if cached is not False:
+            return cached
+        times = tuple(x / s for x, s in zip(self._sizes, self._speeds))
+        result: tuple[float, ...] | None = times
+        for a, b in zip(times, times[1:]):
+            if b < a * (1.0 - 1e-12):
+                result = None
+                break
+        object.__setattr__(self, "_knot_times_cache", result)
+        return result
+
+    def _invert_time_exact(
+        self, budget: float, knot_times: tuple[float, ...]
+    ) -> float:
+        hi_cap = self._sizes[-1] if self.bounded else math.inf
+        if budget <= knot_times[0]:
+            # constant-speed head: t(x) = x / s0
+            return min(budget * self._speeds[0], self._sizes[0])
+        if budget >= knot_times[-1]:
+            if self.bounded:
+                return hi_cap
+            # constant-speed tail
+            return max(self._sizes[-1], budget * self._speeds[-1])
+        seg = bisect.bisect_right(knot_times, budget) - 1
+        seg = min(max(seg, 0), len(self._sizes) - 2)
+        x0, x1 = self._sizes[seg], self._sizes[seg + 1]
+        s0, s1 = self._speeds[seg], self._speeds[seg + 1]
+        m = (s1 - s0) / (x1 - x0)
+        # solve x = budget * (s0 + m (x - x0))
+        denom = 1.0 - budget * m
+        if abs(denom) < 1e-300:
+            return x1
+        x = budget * (s0 - m * x0) / denom
+        return min(max(x, x0), x1)
+
+    def _invert_time_bisect(self, budget: float) -> float:
+        hi_cap = self._sizes[-1] if self.bounded else math.inf
+        hi = max(1.0, self._sizes[0])
+        while self.time(hi) <= budget:
+            if hi >= hi_cap:
+                return hi_cap
+            hi = min(hi * 2.0, hi_cap)
+        lo = 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.time(mid) <= budget:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return lo
+
+    def is_time_monotonic(self, grid_points: int = 512) -> bool:
+        """Check (numerically) that ``t(x)`` is non-decreasing on the range.
+
+        Piecewise-linear speed makes time piecewise smooth; checking on the
+        sample grid plus a refinement grid is exact enough in practice
+        because the only way time decreases is a speed segment rising
+        faster than linearly through the origin — visible at segment ends.
+        """
+        xs = list(self._sizes)
+        lo, hi = self._sizes[0], self._sizes[-1]
+        if grid_points > 0 and hi > lo:
+            step = (hi - lo) / grid_points
+            xs.extend(lo + i * step for i in range(1, grid_points))
+        xs.sort()
+        prev = 0.0
+        for x in xs:
+            t = self.time(x)
+            if t < prev * (1.0 - 1e-12):
+                return False
+            prev = t
+        return True
+
+    def with_monotonic_time(self) -> "SpeedFunction":
+        """A repaired copy whose time function is non-decreasing.
+
+        Sweeping sizes upward, any sample whose speed rise would make
+        ``t(x) = x / s(x)`` dip below the running maximum is clipped to the
+        largest speed that keeps time non-decreasing: ``s_i <= x_i / t_max``.
+        """
+        repaired: list[SpeedSample] = []
+        t_max = 0.0
+        for sample in self._samples:
+            cap = sample.size / t_max if t_max > 0 else math.inf
+            speed = min(sample.speed, cap)
+            t_max = max(t_max, sample.size / speed)
+            repaired.append(
+                SpeedSample(sample.size, speed, sample.rel_precision)
+            )
+        return SpeedFunction(repaired, bounded=self.bounded)
+
+    def scaled(self, factor: float) -> "SpeedFunction":
+        """A copy with every speed multiplied by ``factor`` (> 0)."""
+        check_positive("factor", factor)
+        return SpeedFunction(
+            [
+                SpeedSample(s.size, s.speed * factor, s.rel_precision)
+                for s in self._samples
+            ],
+            bounded=self.bounded,
+        )
+
+    @classmethod
+    def constant(cls, speed: float, size: float = 1.0) -> "SpeedFunction":
+        """A degenerate single-sample function — a CPM seen as an FPM."""
+        return cls([SpeedSample(size, speed)])
+
+    @classmethod
+    def from_points(
+        cls,
+        sizes: list[float],
+        speeds: list[float],
+        bounded: bool = False,
+    ) -> "SpeedFunction":
+        """Build from parallel size/speed lists."""
+        if len(sizes) != len(speeds):
+            raise ValueError(
+                f"sizes and speeds must have equal length "
+                f"({len(sizes)} != {len(speeds)})"
+            )
+        return cls(
+            [SpeedSample(x, s) for x, s in zip(sizes, speeds)], bounded=bounded
+        )
+
+    # -------------------------------------------------------------- dunders
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpeedFunction({len(self._samples)} samples, "
+            f"range [{self.min_size}, {self.max_size}], "
+            f"bounded={self.bounded})"
+        )

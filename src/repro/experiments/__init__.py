@@ -1,0 +1,30 @@
+"""Reproduction experiments — one module per table/figure of the paper.
+
+Every module exposes ``run(config) -> <Result>`` and a ``format_result``
+helper that renders the same rows/series the paper reports.  Paper
+reference values live in :mod:`repro.experiments.paper_data`;
+:mod:`repro.experiments.report` compares measured against paper for the
+whole evaluation at once.
+"""
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig2_socket_fpm import run as run_fig2
+from repro.experiments.fig3_gpu_versions import run as run_fig3
+from repro.experiments.fig5_contention import run as run_fig5
+from repro.experiments.fig6_process_times import run as run_fig6
+from repro.experiments.fig7_exec_vs_size import run as run_fig7
+from repro.experiments.jacobi_app import run as run_jacobi
+from repro.experiments.table2_exec_time import run as run_table2
+from repro.experiments.table3_partitioning import run as run_table3
+
+__all__ = [
+    "ExperimentConfig",
+    "run_fig2",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_jacobi",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,60 @@
+"""Ablation studies beyond the paper's published evaluation.
+
+The paper argues several design points qualitatively; these experiments
+quantify them on the simulated platform:
+
+* :mod:`blocking_factor` — the Section V trade-off: larger ``b`` feeds the
+  GEMM kernels and cuts out-of-core traffic, but coarsens the partition.
+* :mod:`dynamic_vs_static` — Section II's static-vs-dynamic comparison:
+  model-free iterative rebalancing converges to the FPM distribution but
+  pays warm-up iterations and data migration.
+* :mod:`noise_sensitivity` — how measurement noise propagates through the
+  reliability protocol into partition quality.
+* :mod:`cpm_calibration` — no single CPM calibration size balances all
+  problem sizes (why Table III's failure is structural, not a bad choice).
+* :mod:`dma_engines` — the Fig. 4b hardware axis: overlap gain vs the
+  number of copy engines.
+* :mod:`hierarchical_cluster` — the reference-[6] extension: whole-node
+  aggregate FPMs and two-level partitioning across a heterogeneous
+  cluster.
+* :mod:`online_fpm` — partial FPMs built online, refined only at assigned
+  sizes; same partition, a fraction of the measurement cost.
+* :mod:`task_granularity` — fine-grained task-queue scheduling vs FPM
+  static: the chunk-size U-shape and where the model-based answer sits.
+* :mod:`gpu_kernel_version` — Fig. 3's kernel engineering measured at
+  application level, with the FPM re-partitioning around each version.
+* :mod:`aspect_ratio` — the Section IV near-square assumption checked on
+  a two-parameter speed surface.
+* :mod:`comm_aware` — whether communication-aware allocation refinement
+  would beat the paper's computation-only partitioning (it does not: the
+  broadcast term grows as sqrt of the allocation, so the simplification
+  is robust even at 40x the communication cost).
+"""
+
+from repro.experiments.ablations import (
+    aspect_ratio,
+    blocking_factor,
+    comm_aware,
+    cpm_calibration,
+    dma_engines,
+    dynamic_vs_static,
+    gpu_kernel_version,
+    hierarchical_cluster,
+    noise_sensitivity,
+    online_fpm,
+    task_granularity,
+)
+
+__all__ = [
+    "aspect_ratio",
+    "blocking_factor",
+    "comm_aware",
+    "cpm_calibration",
+    "dma_engines",
+    "dynamic_vs_static",
+    "gpu_kernel_version",
+    "hierarchical_cluster",
+    "noise_sensitivity",
+    "online_fpm",
+    "task_granularity",
+]

@@ -1,0 +1,90 @@
+"""Ablation: the blocking factor ``b`` (paper Section V discussion).
+
+The element-size of the product is held fixed (25600 x 25600 — the paper's
+40x40 blocks at b = 640) while ``b`` sweeps.  Small ``b`` starves the GEMM
+kernels and multiplies per-iteration overheads; large ``b`` coarsens the
+block grid until the partitioner cannot balance the heterogeneous devices.
+The expected curve is U-shaped with its basin around the paper's b = 640.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import HybridMatMul, PartitioningStrategy
+from repro.experiments.common import ExperimentConfig
+from repro.platform.presets import ig_icl_node
+from repro.util.tables import render_table
+
+#: Blocking factors dividing the fixed 25600-element matrix side.
+DEFAULT_FACTORS = (160, 320, 640, 1280, 2560)
+MATRIX_ELEMS = 25600
+
+
+@dataclass(frozen=True)
+class BlockingFactorResult:
+    factors: tuple[int, ...]
+    n_blocks: tuple[int, ...]
+    total_times: tuple[float, ...]
+    imbalances: tuple[float, ...]
+
+    @property
+    def best_factor(self) -> int:
+        i = min(range(len(self.factors)), key=lambda j: self.total_times[j])
+        return self.factors[i]
+
+    def time_of(self, factor: int) -> float:
+        return self.total_times[self.factors.index(factor)]
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    factors: tuple[int, ...] = DEFAULT_FACTORS,
+    matrix_elems: int = MATRIX_ELEMS,
+) -> BlockingFactorResult:
+    """Sweep the blocking factor at a fixed element-size product."""
+    times, imbalances, ns = [], [], []
+    for b in factors:
+        if matrix_elems % b:
+            raise ValueError(f"blocking factor {b} does not divide {matrix_elems}")
+        n = matrix_elems // b
+        app = HybridMatMul(
+            ig_icl_node(block_size=b),
+            seed=config.seed,
+            noise_sigma=config.noise_sigma,
+            gpu_version=config.gpu_version,
+        )
+        app.build_models(
+            max_blocks=float(n * n),
+            cpu_points=6 if config.fast else 10,
+            gpu_points=8 if config.fast else 12,
+            adaptive=not config.fast,
+        )
+        _, result = app.run(n, PartitioningStrategy.FPM)
+        ns.append(n)
+        times.append(result.total_time)
+        imbalances.append(result.computation_imbalance)
+    return BlockingFactorResult(
+        factors=tuple(factors),
+        n_blocks=tuple(ns),
+        total_times=tuple(times),
+        imbalances=tuple(imbalances),
+    )
+
+
+def format_result(result: BlockingFactorResult) -> str:
+    rows = [
+        [b, n, t, imb]
+        for b, n, t, imb in zip(
+            result.factors, result.n_blocks, result.total_times, result.imbalances
+        )
+    ]
+    table = render_table(
+        ["b", "n (blocks)", "FPM time (s)", "imbalance"],
+        rows,
+        title=(
+            f"Blocking-factor ablation ({MATRIX_ELEMS}x{MATRIX_ELEMS} elements, "
+            "FPM partitioning)"
+        ),
+    )
+    return table + f"\nbest blocking factor: b = {result.best_factor}"

@@ -1,0 +1,100 @@
+"""Ablation: can the CPM be rescued by a better calibration size?
+
+Table III shows the CPM (calibrated on an in-memory even split) failing at
+large problems.  The obvious retort — "calibrate on a larger problem!" —
+is what this ablation tests: constants derived at several calibration
+totals, each evaluated across the full problem range.
+
+Expected: every calibration size is good *near itself* and bad elsewhere
+(a large calibration under-uses the GPU on small, resident problems; a
+small one overloads it on large problems).  The FPM column dominates or
+matches everywhere — the failure is structural to constants, not a tuning
+mistake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.util.tables import render_table
+
+DEFAULT_CALIBRATIONS = (400.0, 1600.0, 4900.0)
+DEFAULT_SIZES = (30, 40, 50, 60, 70)
+
+
+@dataclass(frozen=True)
+class CpmCalibrationResult:
+    sizes: tuple[int, ...]
+    calibrations: tuple[float, ...]
+    #: cpm_times[calibration index][size index]
+    cpm_times: tuple[tuple[float, ...], ...]
+    fpm_times: tuple[float, ...]
+
+    def cpm_time(self, calibration: float, n: int) -> float:
+        i = self.calibrations.index(calibration)
+        j = self.sizes.index(n)
+        return self.cpm_times[i][j]
+
+    def fpm_time(self, n: int) -> float:
+        return self.fpm_times[self.sizes.index(n)]
+
+    def regret(self, calibration: float) -> float:
+        """Worst-case CPM/FPM time ratio across the size range."""
+        i = self.calibrations.index(calibration)
+        return max(
+            c / f for c, f in zip(self.cpm_times[i], self.fpm_times)
+        )
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    calibrations: tuple[float, ...] = DEFAULT_CALIBRATIONS,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+) -> CpmCalibrationResult:
+    """Evaluate CPM partitions from several calibration sizes."""
+    app = make_app(config)
+    fpm_times = []
+    for n in sizes:
+        _, r = app.run(n, PartitioningStrategy.FPM)
+        fpm_times.append(r.total_time)
+    cpm_times = []
+    for cal in calibrations:
+        row = []
+        for n in sizes:
+            plan = app.plan(
+                n, PartitioningStrategy.CPM, cpm_calibration_total=cal
+            )
+            row.append(app.execute(plan).total_time)
+        cpm_times.append(tuple(row))
+    return CpmCalibrationResult(
+        sizes=tuple(sizes),
+        calibrations=tuple(calibrations),
+        cpm_times=tuple(cpm_times),
+        fpm_times=tuple(fpm_times),
+    )
+
+
+def format_result(result: CpmCalibrationResult) -> str:
+    headers = ["n"] + [
+        f"CPM@{cal:.0f} (s)" for cal in result.calibrations
+    ] + ["FPM (s)"]
+    rows = []
+    for j, n in enumerate(result.sizes):
+        rows.append(
+            [n]
+            + [result.cpm_times[i][j] for i in range(len(result.calibrations))]
+            + [result.fpm_times[j]]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title="CPM calibration-size ablation (execution time)",
+        precision=1,
+    )
+    regrets = ", ".join(
+        f"@{cal:.0f}: {result.regret(cal):.2f}x"
+        for cal in result.calibrations
+    )
+    return table + f"\nworst-case CPM/FPM ratio per calibration — {regrets}"

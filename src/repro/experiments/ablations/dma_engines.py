@@ -1,0 +1,85 @@
+"""Ablation: overlap gain vs copy-engine count (the Fig. 4b hardware axis).
+
+The paper observes that the GTX680 (two DMA engines, concurrent
+bidirectional copies) gains more from kernel version 3 than the Tesla C870
+(one engine).  Here the *same* GPU is simulated with one and with two
+engines, isolating the hardware feature from every other difference
+between the two cards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.experiments.common import ExperimentConfig
+from repro.kernels.gemm_gpu import gpu_kernel
+from repro.platform.contention import CpuGpuInterference
+from repro.platform.device import SimulatedGpu
+from repro.platform.presets import geforce_gtx680
+from repro.util.tables import render_series
+from repro.util.units import gemm_kernel_flops
+
+
+@dataclass(frozen=True)
+class DmaEnginesResult:
+    sizes: tuple[float, ...]
+    gain_one_engine: tuple[float, ...]  # v3/v2 speedup - 1
+    gain_two_engines: tuple[float, ...]
+
+    def mean_gain(self, engines: int) -> float:
+        series = self.gain_one_engine if engines == 1 else self.gain_two_engines
+        return sum(series) / len(series)
+
+
+def _gpu_with_engines(engines: int, block_size: int) -> SimulatedGpu:
+    spec = dc_replace(geforce_gtx680(), dma_engines=engines)
+    return SimulatedGpu(
+        name=f"GTX680-{engines}dma",
+        spec=spec,
+        interference=CpuGpuInterference(),
+        socket_cores=6,
+        block_size=block_size,
+    )
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    block_size: int = 640,
+) -> DmaEnginesResult:
+    """Measure the v3-over-v2 gain for 1 and 2 copy engines."""
+    gains = {}
+    sizes = None
+    for engines in (1, 2):
+        gpu = _gpu_with_engines(engines, block_size)
+        v2 = gpu_kernel(gpu, 2)
+        v3 = gpu_kernel(gpu, 3)
+        limit = v3.memory_limit_blocks
+        points = max(4, config.sweep_points // 2)
+        sizes = tuple(
+            limit * (1.2 + 1.8 * i / (points - 1)) for i in range(points)
+        )
+        gains[engines] = tuple(
+            v2.run_time(x) / v3.run_time(x) - 1.0 for x in sizes
+        )
+    return DmaEnginesResult(
+        sizes=sizes,
+        gain_one_engine=gains[1],
+        gain_two_engines=gains[2],
+    )
+
+
+def format_result(result: DmaEnginesResult) -> str:
+    table = render_series(
+        "blocks",
+        [round(x) for x in result.sizes],
+        {
+            "gain 1 engine": result.gain_one_engine,
+            "gain 2 engines": result.gain_two_engines,
+        },
+        title="Overlap gain (v3 over v2) vs DMA engine count, same GPU",
+        precision=3,
+    )
+    return table + (
+        f"\nmean gain: 1 engine {100 * result.mean_gain(1):.0f}%, "
+        f"2 engines {100 * result.mean_gain(2):.0f}%"
+    )

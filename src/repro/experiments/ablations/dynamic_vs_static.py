@@ -1,0 +1,142 @@
+"""Ablation: FPM static partitioning vs dynamic rebalancing (Section II).
+
+The same iterative computation (one kernel run per compute unit per
+iteration, ``n`` iterations) is executed three ways:
+
+* **homogeneous static** — the even split, never changed;
+* **dynamic** — starts even, observes per-iteration times, redistributes
+  proportionally to observed speeds, paying a migration cost per block
+  moved (reference [14]'s family);
+* **FPM static** — the paper's approach: balanced from iteration one, no
+  migration.
+
+Expected: dynamic converges to (nearly) the FPM distribution, so its
+steady-state iterations match — but the warm-up iterations and the data
+migration put its total between homogeneous and FPM-static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.core.dynamic import ThresholdRebalancer, run_dynamic_balancing
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.util.tables import render_table
+
+MATRIX_SIZE = 60
+#: one b x b block of C plus halo, over the node's shared memory (s/block).
+MIGRATION_COST_PER_BLOCK = 0.0009
+
+
+@dataclass(frozen=True)
+class DynamicVsStaticResult:
+    n: int
+    homogeneous_time: float
+    dynamic_time: float
+    dynamic_migration_time: float
+    dynamic_blocks_migrated: int
+    fpm_time: float
+    fpm_distribution: tuple[int, ...]
+    dynamic_final_distribution: tuple[int, ...]
+
+    @property
+    def dynamic_converged_to_fpm(self) -> float:
+        """L1 distance between the final dynamic and FPM distributions,
+        as a fraction of the total workload."""
+        total = sum(self.fpm_distribution)
+        l1 = sum(
+            abs(a - b)
+            for a, b in zip(self.dynamic_final_distribution, self.fpm_distribution)
+        )
+        return l1 / total
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(), n: int = MATRIX_SIZE
+) -> DynamicVsStaticResult:
+    """Compare the three balancing schemes on the paper's compute units."""
+    app = make_app(config)
+    units = app.compute_units()
+    models = app.models_for(units)
+    kernels = []
+    for unit in units:
+        if unit.kind == "gpu":
+            kernels.append(app.bench.gpu_kernel(unit.gpu_index, config.gpu_version))
+        else:
+            gpu_here = bool(app.node.gpus_on_socket(unit.socket_index))
+            kernels.append(
+                app.bench.socket_kernel(
+                    unit.socket_index, len(unit.member_ranks), gpu_active=gpu_here
+                )
+            )
+
+    def time_of(i: int, blocks: int) -> float:
+        return kernels[i].run_time(float(blocks))
+
+    total = n * n
+
+    homogeneous = run_dynamic_balancing(
+        time_of,
+        len(units),
+        total,
+        iterations=n,
+        policy=_FrozenPolicy(),
+    )
+    dynamic = run_dynamic_balancing(
+        time_of,
+        len(units),
+        total,
+        iterations=n,
+        policy=ThresholdRebalancer(threshold=1.05),
+        migration_cost_per_block=MIGRATION_COST_PER_BLOCK,
+    )
+    fpm_plan = app.plan(n, PartitioningStrategy.FPM)
+    fpm_static = run_dynamic_balancing(
+        time_of,
+        len(units),
+        total,
+        iterations=n,
+        policy=_FrozenPolicy(),
+        initial=list(fpm_plan.unit_allocations),
+    )
+    return DynamicVsStaticResult(
+        n=n,
+        homogeneous_time=homogeneous.total_time,
+        dynamic_time=dynamic.total_time,
+        dynamic_migration_time=dynamic.migration_time,
+        dynamic_blocks_migrated=dynamic.blocks_migrated,
+        fpm_time=fpm_static.total_time,
+        fpm_distribution=tuple(fpm_plan.unit_allocations),
+        dynamic_final_distribution=dynamic.final_distribution,
+    )
+
+
+class _FrozenPolicy:
+    """A policy that never redistributes (pure static execution)."""
+
+    def next_distribution(self, current, times, total):
+        return list(current)
+
+
+def format_result(result: DynamicVsStaticResult) -> str:
+    rows = [
+        ["homogeneous static", result.homogeneous_time, 0.0, 0],
+        [
+            "dynamic (threshold)",
+            result.dynamic_time,
+            result.dynamic_migration_time,
+            result.dynamic_blocks_migrated,
+        ],
+        ["FPM static", result.fpm_time, 0.0, 0],
+    ]
+    table = render_table(
+        ["scheme", "total (s)", "migration (s)", "blocks moved"],
+        rows,
+        title=f"Dynamic vs static balancing, {result.n}x{result.n} blocks",
+    )
+    return table + (
+        f"\ndynamic steady state within "
+        f"{100 * result.dynamic_converged_to_fpm:.1f}% (L1) of the FPM "
+        f"distribution"
+    )

@@ -1,0 +1,109 @@
+"""Extension: online partial-FPM partitioning vs the full sweep.
+
+Builds the hybrid node's models two ways and partitions a 60x60 problem:
+
+* **full sweep** — every unit measured across the whole size grid up
+  front (what the main experiments do);
+* **online partial** — two bootstrap points per unit, then refinement only
+  at each round's assigned sizes.
+
+Reported: benchmark repetitions spent, rounds to convergence, and the L1
+distance between the two final distributions.  Expected: the online loop
+reaches (nearly) the same partition for a small fraction of the
+measurement cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.measurement.online import PartialFpmBuilder, online_partition
+from repro.util.tables import render_table
+
+MATRIX_SIZE = 60
+
+
+@dataclass(frozen=True)
+class OnlineFpmResult:
+    n: int
+    full_repetitions: int
+    online_repetitions: int
+    online_rounds: int
+    online_converged: bool
+    full_allocations: tuple[int, ...]
+    online_allocations: tuple[int, ...]
+
+    @property
+    def measurement_saving(self) -> float:
+        """Fraction of the full sweep's repetitions the online loop saved."""
+        return 1.0 - self.online_repetitions / self.full_repetitions
+
+    @property
+    def allocation_distance(self) -> float:
+        """L1 distance between the distributions, relative to the total."""
+        total = sum(self.full_allocations)
+        return (
+            sum(
+                abs(a - b)
+                for a, b in zip(self.full_allocations, self.online_allocations)
+            )
+            / total
+        )
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(), n: int = MATRIX_SIZE
+) -> OnlineFpmResult:
+    """Compare the full-sweep and online model-building strategies."""
+    app = make_app(config)
+    units = app.compute_units()
+    full_models = app.models_for(units)
+    full_reps = sum(m.repetitions_total for m in full_models)
+    full_plan = app.plan(n, PartitioningStrategy.FPM)
+
+    builders = []
+    for unit in units:
+        if unit.kind == "gpu":
+            kernel = app.bench.gpu_kernel(unit.gpu_index, config.gpu_version)
+        else:
+            gpu_here = bool(app.node.gpus_on_socket(unit.socket_index))
+            kernel = app.bench.socket_kernel(
+                unit.socket_index, len(unit.member_ranks), gpu_active=gpu_here
+            )
+        builders.append(
+            PartialFpmBuilder(bench=app.bench, kernel=kernel, name=unit.name)
+        )
+    online = online_partition(builders, n * n)
+
+    return OnlineFpmResult(
+        n=n,
+        full_repetitions=full_reps,
+        online_repetitions=online.repetitions_spent,
+        online_rounds=online.num_rounds,
+        online_converged=online.converged,
+        full_allocations=tuple(full_plan.unit_allocations),
+        online_allocations=online.allocations,
+    )
+
+
+def format_result(result: OnlineFpmResult) -> str:
+    rows = [
+        ["full sweep", result.full_repetitions, "-", "-"],
+        [
+            "online partial",
+            result.online_repetitions,
+            result.online_rounds,
+            result.online_converged,
+        ],
+    ]
+    table = render_table(
+        ["strategy", "benchmark reps", "rounds", "converged"],
+        rows,
+        title=f"Online partial-FPM vs full sweep ({result.n}x{result.n} blocks)",
+    )
+    return table + (
+        f"\nmeasurement saving {100 * result.measurement_saving:.0f}%, "
+        f"final distributions within {100 * result.allocation_distance:.1f}% (L1)"
+    )

@@ -1,0 +1,104 @@
+"""Ablation: task-queue scheduling granularity vs FPM static partitioning.
+
+One kernel run's workload (the 60x60 problem's 3600 blocks) is executed by
+a central task queue at several chunk sizes and compared with the FPM
+static distribution.  Expected U-shape over chunk size — fine chunks pay
+overhead and starve the GPUs' size-dependent efficiency, coarse chunks
+quantise badly — with FPM static at or below the best of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.core.scheduling import simulate_work_stealing, static_reference_makespan
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.util.tables import render_table
+
+MATRIX_SIZE = 60
+DEFAULT_CHUNKS = (8, 32, 128, 512, 1024)
+
+
+@dataclass(frozen=True)
+class TaskGranularityResult:
+    n: int
+    chunks: tuple[int, ...]
+    makespans: tuple[float, ...]
+    gpu_share: tuple[float, ...]  # fraction of blocks the GTX680 processed
+    fpm_makespan: float
+
+    @property
+    def best_chunk(self) -> int:
+        i = min(range(len(self.chunks)), key=lambda j: self.makespans[j])
+        return self.chunks[i]
+
+    @property
+    def best_makespan(self) -> float:
+        return min(self.makespans)
+
+    def makespan_of(self, chunk: int) -> float:
+        return self.makespans[self.chunks.index(chunk)]
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    n: int = MATRIX_SIZE,
+    chunks: tuple[int, ...] = DEFAULT_CHUNKS,
+) -> TaskGranularityResult:
+    """Sweep the task chunk size on the hybrid node's units."""
+    app = make_app(config)
+    units = app.compute_units()
+    kernels = []
+    gtx_index = None
+    for i, unit in enumerate(units):
+        if unit.kind == "gpu":
+            kernels.append(app.bench.gpu_kernel(unit.gpu_index, config.gpu_version))
+            if "GTX680" in unit.name:
+                gtx_index = i
+        else:
+            gpu_here = bool(app.node.gpus_on_socket(unit.socket_index))
+            kernels.append(
+                app.bench.socket_kernel(
+                    unit.socket_index, len(unit.member_ranks), gpu_active=gpu_here
+                )
+            )
+
+    total = n * n
+    makespans, gpu_shares = [], []
+    for chunk in chunks:
+        result = simulate_work_stealing(kernels, total, chunk)
+        makespans.append(result.makespan)
+        gpu_shares.append(result.blocks_per_device[gtx_index] / total)
+
+    fpm_plan = app.plan(n, PartitioningStrategy.FPM)
+    fpm = static_reference_makespan(kernels, list(fpm_plan.unit_allocations))
+    return TaskGranularityResult(
+        n=n,
+        chunks=tuple(chunks),
+        makespans=tuple(makespans),
+        gpu_share=tuple(gpu_shares),
+        fpm_makespan=fpm,
+    )
+
+
+def format_result(result: TaskGranularityResult) -> str:
+    rows = [
+        [chunk, span, f"{100 * share:.0f}%"]
+        for chunk, span, share in zip(
+            result.chunks, result.makespans, result.gpu_share
+        )
+    ]
+    rows.append(["FPM static", result.fpm_makespan, "-"])
+    table = render_table(
+        ["chunk (blocks)", "one-run makespan (s)", "GTX680 share"],
+        rows,
+        title=(
+            f"Task-queue granularity vs FPM static "
+            f"({result.n}x{result.n} blocks, one kernel run)"
+        ),
+    )
+    return table + (
+        f"\nbest chunk {result.best_chunk}: {result.best_makespan:.3f}s; "
+        f"FPM static {result.fpm_makespan:.3f}s"
+    )

@@ -1,0 +1,82 @@
+"""Shared configuration and helpers for the reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.app.matmul import HybridMatMul
+from repro.measurement.benchmark import HybridBenchmark
+from repro.measurement.reliability import ReliabilityCriterion
+from repro.platform.presets import cpu_only_node, ig_icl_node
+from repro.platform.spec import NodeSpec
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    ``fast`` reduces sweep resolution (fewer grid points / sizes) so the
+    benchmark suite stays quick; the default resolution matches the
+    figures' visual density.
+    """
+
+    seed: int = 42
+    noise_sigma: float = 0.02
+    gpu_version: int = 3
+    fast: bool = False
+    #: largest problem the models must cover, in blocks (Fig. 7 goes to
+    #: 80 x 80 = 6400).
+    model_max_blocks: float = 6500.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("noise_sigma", self.noise_sigma)
+        check_positive("model_max_blocks", self.model_max_blocks)
+
+    @property
+    def sweep_points(self) -> int:
+        return 8 if self.fast else 16
+
+    def faster(self) -> "ExperimentConfig":
+        return replace(self, fast=True)
+
+
+def make_bench(config: ExperimentConfig, node: NodeSpec | None = None) -> HybridBenchmark:
+    """A benchmark facade on the paper's node (or a supplied one)."""
+    return HybridBenchmark(
+        node or ig_icl_node(),
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+    )
+
+
+def make_app(
+    config: ExperimentConfig,
+    node: NodeSpec | None = None,
+    build_models: bool = True,
+) -> HybridMatMul:
+    """The application with models built over the configured range."""
+    app = HybridMatMul(
+        node or ig_icl_node(),
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+        gpu_version=config.gpu_version,
+    )
+    if build_models:
+        app.build_models(
+            max_blocks=config.model_max_blocks,
+            cpu_points=8 if config.fast else 12,
+            gpu_points=10 if config.fast else 16,
+            adaptive=not config.fast,
+        )
+    return app
+
+
+def make_cpu_only_app(config: ExperimentConfig) -> HybridMatMul:
+    """The 24-core CPU-only configuration of Table II's first column."""
+    return HybridMatMul(
+        cpu_only_node(),
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+        gpu_version=config.gpu_version,
+    )

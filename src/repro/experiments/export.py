@@ -1,0 +1,73 @@
+"""Export experiment results to JSON and CSV.
+
+Every experiment's ``run()`` returns a (possibly nested) frozen dataclass;
+this module flattens them generically so results can be archived next to
+EXPERIMENTS.md or post-processed elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def result_to_dict(result: Any) -> Any:
+    """Recursively convert dataclasses/tuples to JSON-compatible values."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            f.name: result_to_dict(getattr(result, f.name))
+            for f in dataclasses.fields(result)
+        }
+    if isinstance(result, dict):
+        return {str(k): result_to_dict(v) for k, v in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(v) for v in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    raise TypeError(
+        f"cannot export value of type {type(result).__name__}"
+    )
+
+
+def export_json(result: Any, path: str | Path) -> None:
+    """Write one experiment result as a JSON document."""
+    payload = result_to_dict(result)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def series_to_csv(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+) -> str:
+    """Render aligned series (a figure's data) as CSV text."""
+    for name, col in series.items():
+        if len(col) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(col)} points, x has {len(x_values)}"
+            )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([x_name, *series.keys()])
+    columns = list(series.values())
+    for i, x in enumerate(x_values):
+        writer.writerow([x, *(col[i] for col in columns)])
+    return buf.getvalue()
+
+
+def export_csv(
+    path: str | Path,
+    x_name: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+) -> None:
+    """Write aligned series to a CSV file."""
+    Path(path).write_text(
+        series_to_csv(x_name, x_values, series), encoding="utf-8"
+    )

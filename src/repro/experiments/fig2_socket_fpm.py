@@ -1,0 +1,54 @@
+"""Figure 2 — speed functions of a socket: ``s5(x)`` and ``s6(x)``.
+
+The ACML-stand-in kernel is measured on 5 and 6 cores of one socket across
+problem sizes up to 1200 blocks (b = 640, single precision).  Expected
+shape: both curves ramp up quickly, plateau (s6 around 105 GFlops, s5
+around 92), with s6 strictly above s5 — more active cores beat contention
+losses — and a gentle droop at the far right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, make_bench
+from repro.measurement.fpm_builder import SizeGrid
+from repro.util.tables import render_series
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Two measured speed series over a shared size grid."""
+
+    sizes: tuple[float, ...]
+    s5: tuple[float, ...]  # GFlops
+    s6: tuple[float, ...]  # GFlops
+
+    def plateau(self, series: str) -> float:
+        """The series' maximum — the plateau speed the paper reads off."""
+        return max(getattr(self, series))
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> Fig2Result:
+    """Measure s5 and s6 on the paper's node."""
+    bench = make_bench(config)
+    # socket 2 is CPU-only (6 usable cores); socket 0 hosts the C870 so its
+    # CPU group has 5 cores — exactly the paper's S5/S6 split.
+    grid = SizeGrid.linear(12.0, 1200.0, config.sweep_points)
+    s5 = []
+    s6 = []
+    for x in grid.sizes:
+        s5.append(bench.measure_socket_speed(0, 5, x).speed_gflops)
+        s6.append(bench.measure_socket_speed(2, 6, x).speed_gflops)
+    return Fig2Result(sizes=grid.sizes, s5=tuple(s5), s6=tuple(s6))
+
+
+def format_result(result: Fig2Result) -> str:
+    """Render the figure's two series as a table (GFlops)."""
+    return render_series(
+        "blocks",
+        [round(x) for x in result.sizes],
+        {"s5 (GFlops)": result.s5, "s6 (GFlops)": result.s6},
+        title="Figure 2: socket speed functions s5(x), s6(x) (b=640, SP)",
+        precision=1,
+    )

@@ -1,0 +1,79 @@
+"""Figure 3 — GeForce GTX680 speed functions for kernel versions 1/2/3.
+
+Measured on the GPU plus its dedicated core with the other cores idle.
+Expected shape: version 2 doubles version 1 while the problem is
+device-resident; past the memory limit (~1200 blocks) version 2 drops
+sharply (serial out-of-core transfers) to around or below version 1;
+version 3's overlap recovers a substantial part of the drop (~30% gain
+near the limit, growing with size on this two-DMA device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, make_bench
+from repro.measurement.fpm_builder import SizeGrid
+from repro.util.tables import render_series
+
+#: Index of the GTX680 in the preset node's GPU attachment order.
+GTX680_INDEX = 1
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Three measured speed series and the device's memory limit."""
+
+    sizes: tuple[float, ...]
+    v1: tuple[float, ...]
+    v2: tuple[float, ...]
+    v3: tuple[float, ...]
+    memory_limit_blocks: float
+
+    def in_core_sizes(self) -> list[int]:
+        return [
+            i for i, x in enumerate(self.sizes) if x <= self.memory_limit_blocks
+        ]
+
+    def out_of_core_sizes(self) -> list[int]:
+        return [
+            i for i, x in enumerate(self.sizes) if x > self.memory_limit_blocks
+        ]
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(), gpu_index: int = GTX680_INDEX
+) -> Fig3Result:
+    """Measure the three kernel versions across the figure's size range."""
+    bench = make_bench(config)
+    grid = SizeGrid.linear(40.0, 4200.0, config.sweep_points)
+    limit = bench.gpu_kernel(gpu_index, 3).memory_limit_blocks
+    series = {1: [], 2: [], 3: []}
+    for x in grid.sizes:
+        for version in (1, 2, 3):
+            series[version].append(
+                bench.measure_gpu_speed(gpu_index, x, version).speed_gflops
+            )
+    return Fig3Result(
+        sizes=grid.sizes,
+        v1=tuple(series[1]),
+        v2=tuple(series[2]),
+        v3=tuple(series[3]),
+        memory_limit_blocks=limit,
+    )
+
+
+def format_result(result: Fig3Result) -> str:
+    """Render the figure's three series as a table (GFlops)."""
+    table = render_series(
+        "blocks",
+        [round(x) for x in result.sizes],
+        {
+            "v1 (GFlops)": result.v1,
+            "v2 (GFlops)": result.v2,
+            "v3 (GFlops)": result.v3,
+        },
+        title="Figure 3: GTX680 kernel versions (b=640, SP)",
+        precision=1,
+    )
+    return table + f"\nmemory limit ~ {result.memory_limit_blocks:.0f} blocks"

@@ -1,0 +1,165 @@
+"""Figure 5 — impact of CPU/GPU resource contention on the speed functions.
+
+The CPU and GPU kernels run simultaneously on the GTX680's socket with the
+workload split in proportion to the solo speeds.  Following the paper, the
+1:10 split is exercised on problem sizes whose GPU share fits device
+memory, and the 1:5 split on large (out-of-core) sizes.  Expected outcome
+(Section V):
+
+* the 5 CPU cores' speed is nearly identical to their GPU-idle curve
+  (Fig. 5a);
+* the GPU's combined speed drops by 7–15%, i.e. the exclusive model still
+  approximates it with ~85% accuracy (Fig. 5b).
+
+Each shared measurement is paired with an exclusive measurement at exactly
+the same per-device problem size, so the reported drops are pointwise, not
+interpolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, make_bench
+from repro.measurement.fpm_builder import SizeGrid
+from repro.util.tables import render_table
+
+GTX680_INDEX = 1
+#: (cpu fraction, gpu size range) — the paper's two sharing regimes.
+SHARE_REGIMES = (
+    (1.0 / 11.0, (200.0, 1100.0)),  # 1:10, GPU share resident
+    (1.0 / 6.0, (1300.0, 4000.0)),  # 1:5, GPU share out-of-core
+)
+
+
+@dataclass(frozen=True)
+class SharePoint:
+    """One total-size point of a sharing regime, with exclusive baselines."""
+
+    cpu_area: float
+    gpu_area: float
+    cpu_speed_shared: float
+    cpu_speed_exclusive: float
+    gpu_speed_shared: float
+    gpu_speed_exclusive: float
+
+    @property
+    def gpu_drop(self) -> float:
+        return 1.0 - self.gpu_speed_shared / self.gpu_speed_exclusive
+
+    @property
+    def cpu_drop(self) -> float:
+        return 1.0 - self.cpu_speed_shared / self.cpu_speed_exclusive
+
+
+@dataclass(frozen=True)
+class ContentionSeries:
+    """All points of one sharing ratio."""
+
+    cpu_fraction: float
+    points: tuple[SharePoint, ...]
+
+    @property
+    def label(self) -> str:
+        return f"cores:GPU = 1:{round(1 / self.cpu_fraction) - 1}"
+
+    @property
+    def mean_gpu_drop(self) -> float:
+        return sum(p.gpu_drop for p in self.points) / len(self.points)
+
+    @property
+    def mean_cpu_drop(self) -> float:
+        return sum(p.cpu_drop for p in self.points) / len(self.points)
+
+    @property
+    def gpu_model_accuracy(self) -> float:
+        """How well the exclusive GPU model approximates shared speed."""
+        return 1.0 - self.mean_gpu_drop
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both sharing regimes of the figure."""
+
+    shared: tuple[ContentionSeries, ...]
+
+    def series(self, cpu_fraction: float) -> ContentionSeries:
+        for s in self.shared:
+            if abs(s.cpu_fraction - cpu_fraction) < 1e-12:
+                return s
+        raise KeyError(f"no series with cpu_fraction={cpu_fraction}")
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(), gpu_index: int = GTX680_INDEX
+) -> Fig5Result:
+    """Measure shared vs exclusive speeds for both regimes."""
+    bench = make_bench(config)
+    att = bench.node.gpus[gpu_index]
+    cpu_cores = bench.node.socket_spec(att.socket_index).cores - 1
+
+    series: list[ContentionSeries] = []
+    for frac, (gpu_lo, gpu_hi) in SHARE_REGIMES:
+        grid = SizeGrid.linear(gpu_lo, gpu_hi, max(4, config.sweep_points // 2))
+        points: list[SharePoint] = []
+        for gpu_area in grid.sizes:
+            total = gpu_area / (1.0 - frac)
+            cpu_shared, gpu_shared = bench.measure_shared_socket(
+                gpu_index, total, frac, config.gpu_version
+            )
+            cpu_excl = bench.measure_socket_speed(
+                att.socket_index, cpu_cores, cpu_shared.area_blocks
+            )
+            gpu_excl = bench.measure_gpu_speed(
+                gpu_index, gpu_area, config.gpu_version
+            )
+            points.append(
+                SharePoint(
+                    cpu_area=cpu_shared.area_blocks,
+                    gpu_area=gpu_area,
+                    cpu_speed_shared=cpu_shared.speed_gflops,
+                    cpu_speed_exclusive=cpu_excl.speed_gflops,
+                    gpu_speed_shared=gpu_shared.speed_gflops,
+                    gpu_speed_exclusive=gpu_excl.speed_gflops,
+                )
+            )
+        series.append(ContentionSeries(cpu_fraction=frac, points=tuple(points)))
+    return Fig5Result(shared=tuple(series))
+
+
+def format_result(result: Fig5Result) -> str:
+    """Render both panels plus the measured contention drops."""
+    parts = []
+    for s in result.shared:
+        rows = [
+            [
+                round(p.cpu_area),
+                p.cpu_speed_exclusive,
+                p.cpu_speed_shared,
+                round(p.gpu_area),
+                p.gpu_speed_exclusive,
+                p.gpu_speed_shared,
+            ]
+            for p in s.points
+        ]
+        parts.append(
+            render_table(
+                [
+                    "cpu blocks",
+                    "CPU-only",
+                    "CPU shared",
+                    "gpu blocks",
+                    "GPU-only",
+                    "GPU shared",
+                ],
+                rows,
+                title=f"Figure 5 ({s.label}): speeds in GFlops",
+                precision=1,
+            )
+        )
+        parts.append(
+            f"{s.label}: mean GPU drop {100 * s.mean_gpu_drop:.1f}% "
+            f"(model accuracy {100 * s.gpu_model_accuracy:.0f}%), "
+            f"mean CPU drop {100 * s.mean_cpu_drop:.1f}%"
+        )
+    return "\n".join(parts)

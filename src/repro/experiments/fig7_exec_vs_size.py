@@ -1,0 +1,80 @@
+"""Figure 7 — application execution time vs matrix size, three partitioners.
+
+Homogeneous, CPM-based and FPM-based partitioning for n = 10..80 blocks.
+Expected shape: homogeneous is dominated by the slowest elements (CPU
+cores) and grows steeply; CPM tracks FPM while problems are small, then
+diverges once the GTX680's allocation exceeds device memory (n >= 50);
+FPM is lowest everywhere — ~30% below CPM and ~45% below homogeneous in
+the large range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.util.tables import render_series
+
+DEFAULT_SIZES = (10, 20, 30, 40, 50, 60, 70, 80)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Total execution time per strategy over the size sweep."""
+
+    sizes: tuple[int, ...]
+    homogeneous: tuple[float, ...]
+    cpm: tuple[float, ...]
+    fpm: tuple[float, ...]
+
+    def cut_vs_cpm(self, n: int) -> float:
+        i = self.sizes.index(n)
+        return 1.0 - self.fpm[i] / self.cpm[i]
+
+    def cut_vs_homogeneous(self, n: int) -> float:
+        i = self.sizes.index(n)
+        return 1.0 - self.fpm[i] / self.homogeneous[i]
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+) -> Fig7Result:
+    """Simulate the three strategies across the size sweep."""
+    app = make_app(config)
+    homog, cpm, fpm = [], [], []
+    for n in sizes:
+        _, r = app.run(n, PartitioningStrategy.HOMOGENEOUS)
+        homog.append(r.total_time)
+        _, r = app.run(n, PartitioningStrategy.CPM)
+        cpm.append(r.total_time)
+        _, r = app.run(n, PartitioningStrategy.FPM)
+        fpm.append(r.total_time)
+    return Fig7Result(
+        sizes=tuple(sizes),
+        homogeneous=tuple(homog),
+        cpm=tuple(cpm),
+        fpm=tuple(fpm),
+    )
+
+
+def format_result(result: Fig7Result) -> str:
+    """Render the figure's three series plus the headline cuts."""
+    table = render_series(
+        "n",
+        list(result.sizes),
+        {
+            "Homogeneous (s)": result.homogeneous,
+            "CPM-based (s)": result.cpm,
+            "FPM-based (s)": result.fpm,
+        },
+        title="Figure 7: execution time vs matrix size",
+        precision=1,
+    )
+    big = result.sizes[-1]
+    return (
+        table
+        + f"\nat n={big}: FPM cuts {100 * result.cut_vs_cpm(big):.0f}% vs CPM, "
+        + f"{100 * result.cut_vs_homogeneous(big):.0f}% vs homogeneous"
+    )

@@ -1,0 +1,113 @@
+"""Second-application experiment: FPM partitioning of a Jacobi solver.
+
+The paper's claim that FPMs work "with any data-parallel application"
+(Section II) is exercised on a memory-bound 5-point stencil — a completely
+different performance regime from GEMM:
+
+* socket speed is bandwidth-bound, so S5 and S6 are nearly identical
+  (the sixth core adds no DRAM bandwidth) — unlike Fig. 2;
+* the GPU/socket speed ratio is much larger in the resident range (device
+  memory bandwidth vs DDR2) and collapses harder out-of-core;
+* consequently the balanced distribution pins the GPUs near their memory
+  capacity, where for GEMM they ranged far beyond it.
+
+Reported: per-strategy execution times, unit allocations, and the
+GEMM-vs-stencil allocation contrast for the same node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.jacobi import JacobiApp
+from repro.experiments.common import ExperimentConfig
+from repro.platform.presets import ig_icl_node
+from repro.util.tables import render_table
+
+GRID_ROWS = 60_000
+GRID_WIDTH = 16_384
+ITERATIONS = 100
+
+
+@dataclass(frozen=True)
+class JacobiExperimentResult:
+    rows: int
+    width: int
+    iterations: int
+    unit_names: tuple[str, ...]
+    fpm_allocations: tuple[int, ...]
+    fpm_time: float
+    fpm_imbalance: float
+    cpm_time: float
+    homogeneous_time: float
+    gtx_capacity_rows: float
+
+    @property
+    def fpm_speedup_vs_homogeneous(self) -> float:
+        return self.homogeneous_time / self.fpm_time
+
+    @property
+    def fpm_speedup_vs_cpm(self) -> float:
+        return self.cpm_time / self.fpm_time
+
+    def allocation_of(self, unit_name: str) -> int:
+        return self.fpm_allocations[self.unit_names.index(unit_name)]
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    rows: int = GRID_ROWS,
+    width: int = GRID_WIDTH,
+    iterations: int = ITERATIONS,
+) -> JacobiExperimentResult:
+    """Balance the Jacobi solver on the paper's node, three ways."""
+    app = JacobiApp(
+        ig_icl_node(),
+        width=width,
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+    )
+    app.build_models(max_rows=float(2 * rows), points=8 if config.fast else 12)
+
+    fpm_part, fpm_res = app.run(rows, iterations, "fpm")
+    _, cpm_res = app.run(rows, iterations, "cpm")
+    _, hom_res = app.run(rows, iterations, "homogeneous")
+
+    kernels = app.unit_kernels()
+    gtx = kernels["GeForce GTX680"]
+    return JacobiExperimentResult(
+        rows=rows,
+        width=width,
+        iterations=iterations,
+        unit_names=tuple(kernels.keys()),
+        fpm_allocations=tuple(fpm_part.rows_per_unit),
+        fpm_time=fpm_res.total_time,
+        fpm_imbalance=fpm_res.imbalance,
+        cpm_time=cpm_res.total_time,
+        homogeneous_time=hom_res.total_time,
+        gtx_capacity_rows=gtx.resident_capacity_rows,
+    )
+
+
+def format_result(result: JacobiExperimentResult) -> str:
+    rows = [
+        [name, alloc]
+        for name, alloc in zip(result.unit_names, result.fpm_allocations)
+    ]
+    table = render_table(
+        ["unit", "rows"],
+        rows,
+        title=(
+            f"Jacobi solver ({result.rows} x {result.width} grid, "
+            f"{result.iterations} iterations): FPM strip allocation"
+        ),
+    )
+    return table + (
+        f"\nGTX680 stencil capacity ~ {result.gtx_capacity_rows:.0f} rows"
+        f"\nexecution: FPM {result.fpm_time:.1f}s "
+        f"(imbalance {result.fpm_imbalance:.2f}), "
+        f"CPM {result.cpm_time:.1f}s, "
+        f"homogeneous {result.homogeneous_time:.1f}s — "
+        f"FPM is {result.fpm_speedup_vs_homogeneous:.2f}x homogeneous, "
+        f"{result.fpm_speedup_vs_cpm:.1f}x CPM"
+    )

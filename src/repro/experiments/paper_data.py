@@ -1,0 +1,59 @@
+"""The paper's published numbers, transcribed for comparison.
+
+These are *reference* values: the reproduction runs on a simulator, so we
+compare curve shapes, orderings and improvement factors — not absolute
+seconds — but the absolute numbers are kept here verbatim for the
+EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------- Table II
+# Execution time (seconds) of the parallel matrix multiplication.
+# Matrix sizes are in 640x640 blocks (n x n).
+TABLE2_SIZES = (40, 50, 60, 70)
+TABLE2_CPUS_ONLY = {40: 99.5, 50: 195.4, 60: 300.1, 70: 491.6}
+TABLE2_GTX680_ONLY = {40: 74.2, 50: 162.7, 60: 316.8, 70: 554.8}
+TABLE2_HYBRID_FPM = {40: 26.6, 50: 77.8, 60: 114.4, 70: 226.1}
+
+# ---------------------------------------------------------------- Table III
+# Block allocations (G1 = GTX680, G2 = Tesla C870, S5 = socket w/ 5 CPU
+# cores, S6 = socket w/ 6 CPU cores).  CPM- and FPM-based partitioning.
+TABLE3_SIZES = (40, 50, 60, 70)
+TABLE3_CPM = {
+    40: {"G1": 928, "G2": 226, "S5": 105, "S6": 120},
+    50: {"G1": 1460, "G2": 352, "S5": 160, "S6": 186},
+    60: {"G1": 2085, "G2": 501, "S5": 235, "S6": 270},
+    70: {"G1": 2848, "G2": 677, "S5": 320, "S6": 366},
+}
+TABLE3_FPM = {
+    40: {"G1": 1000, "G2": 210, "S5": 95, "S6": 102},
+    50: {"G1": 1250, "G2": 429, "S5": 190, "S6": 222},
+    60: {"G1": 1627, "G2": 657, "S5": 295, "S6": 342},
+    70: {"G1": 2250, "G2": 806, "S5": 425, "S6": 504},
+}
+
+# ------------------------------------------------------------ shape criteria
+#: GTX680 / socket speed ratio while the problem fits device memory
+#: ("around 9 times faster", Section VI).
+RATIO_G1_S6_IN_CORE = 9.0
+#: ... and "around 6 ~ 4 times faster" past the memory (50x50 .. 70x70).
+RATIO_G1_S6_OUT_OF_CORE = (4.0, 6.0)
+#: GPU slowdown under CPU contention: "dropped by 7-15%" (Section III) and
+#: "85% accuracy" (Section V).
+GPU_CONTENTION_DROP = (0.07, 0.15)
+#: Kernel version 2 vs 1 in the resident range: "the performance doubles".
+V2_OVER_V1_IN_CORE = 2.0
+#: Kernel version 3 vs 2 on the GTX680: "improves by around 30%".
+V3_OVER_V2_GAIN = 0.30
+#: FPM cut of total computation time vs CPM at 60x60 (Fig. 6): ~40%.
+FIG6_COMPUTATION_CUT = 0.40
+#: FPM vs CPM / homogeneous total-time cuts at large sizes (Fig. 7).
+FIG7_CUT_VS_CPM = 0.30
+FIG7_CUT_VS_HOMOGENEOUS = 0.45
+
+#: Approximate socket plateau speeds read off Fig. 2 (GFlops, b = 640).
+FIG2_S6_PLATEAU = 105.0
+FIG2_S5_PLATEAU = 92.0
+#: Fig. 3 memory-limit line (blocks) for the GTX680.
+FIG3_MEMORY_LIMIT = 1200.0

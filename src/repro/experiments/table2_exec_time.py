@@ -1,0 +1,106 @@
+"""Table II — execution time of the parallel matrix multiplication.
+
+Three configurations for n = 40, 50, 60, 70 blocks (b = 640):
+
+* 24 CPU cores, homogeneous distribution;
+* GeForce GTX680 + its dedicated core, alone;
+* the full hybrid (22 CPU cores + 2 GPUs + 2 dedicated cores) with
+  FPM-based partitioning.
+
+Expected shape: the GTX680 alone beats the CPUs while the problem fits its
+memory (40x40), loses past it; the hybrid-FPM configuration wins at every
+size by a wide margin (paper: ~3.7x over CPUs at 40x40, ~2.2x at 70x70).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import PartitioningStrategy
+from repro.experiments.common import (
+    ExperimentConfig,
+    make_app,
+    make_bench,
+    make_cpu_only_app,
+)
+from repro.experiments.paper_data import (
+    TABLE2_CPUS_ONLY,
+    TABLE2_GTX680_ONLY,
+    TABLE2_HYBRID_FPM,
+    TABLE2_SIZES,
+)
+from repro.util.tables import render_table
+
+GTX680_INDEX = 1
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured execution times (seconds) per configuration."""
+
+    sizes: tuple[int, ...]
+    cpus_only: tuple[float, ...]
+    gtx680_only: tuple[float, ...]
+    hybrid_fpm: tuple[float, ...]
+
+    def row(self, n: int) -> tuple[float, float, float]:
+        i = self.sizes.index(n)
+        return (self.cpus_only[i], self.gtx680_only[i], self.hybrid_fpm[i])
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    sizes: tuple[int, ...] = TABLE2_SIZES,
+) -> Table2Result:
+    """Simulate all three configurations across the table's sizes."""
+    cpu_app = make_cpu_only_app(config)
+    hybrid_app = make_app(config)
+    bench = make_bench(config)
+    gtx_kernel = bench.gpu_kernel(GTX680_INDEX, config.gpu_version)
+
+    cpus, gtx, hybrid = [], [], []
+    for n in sizes:
+        _, cpu_res = cpu_app.run(n, PartitioningStrategy.HOMOGENEOUS)
+        cpus.append(cpu_res.total_time)
+        # GTX680 alone: one process updates the entire C every iteration
+        # (no inter-process communication).
+        gtx.append(n * gtx_kernel.run_time(float(n * n)))
+        _, hybrid_res = hybrid_app.run(n, PartitioningStrategy.FPM)
+        hybrid.append(hybrid_res.total_time)
+    return Table2Result(
+        sizes=tuple(sizes),
+        cpus_only=tuple(cpus),
+        gtx680_only=tuple(gtx),
+        hybrid_fpm=tuple(hybrid),
+    )
+
+
+def format_result(result: Table2Result) -> str:
+    """Render measured next to the paper's published seconds."""
+    rows = []
+    for i, n in enumerate(result.sizes):
+        rows.append(
+            [
+                f"{n}x{n}",
+                result.cpus_only[i],
+                TABLE2_CPUS_ONLY.get(n, float("nan")),
+                result.gtx680_only[i],
+                TABLE2_GTX680_ONLY.get(n, float("nan")),
+                result.hybrid_fpm[i],
+                TABLE2_HYBRID_FPM.get(n, float("nan")),
+            ]
+        )
+    return render_table(
+        [
+            "matrix",
+            "CPUs (s)",
+            "paper",
+            "GTX680 (s)",
+            "paper",
+            "Hybrid-FPM (s)",
+            "paper",
+        ],
+        rows,
+        title="Table II: execution time of parallel matrix multiplication",
+        precision=1,
+    )

@@ -1,0 +1,118 @@
+"""Table III — heterogeneous data partitioning on the hybrid node.
+
+CPM- and FPM-based block allocations for n = 40..70.  The paper's headline:
+the CPM (calibrated on an in-memory even split) keeps believing the GTX680
+is ~9x a socket and overloads it once the real allocation exceeds device
+memory (G1:S6 ratio stays near 8), while the FPM tracks the decline and
+keeps the load balanced.
+
+Columns follow the paper: G1 (GTX680), G2 (Tesla C870), S5 (socket with a
+dedicated core removed), S6 (full socket).  The node has two of each socket
+type; like the paper we report one representative of each (they differ only
+by rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.matmul import HybridMatMul, PartitioningStrategy
+from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.paper_data import TABLE3_CPM, TABLE3_FPM, TABLE3_SIZES
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class PartitionRow:
+    """One matrix size's allocations under one strategy."""
+
+    n: int
+    g1: int
+    g2: int
+    s5: int
+    s6: int
+
+    def ratio_g1_s6(self) -> float:
+        return self.g1 / self.s6 if self.s6 else float("inf")
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    sizes: tuple[int, ...]
+    cpm: tuple[PartitionRow, ...]
+    fpm: tuple[PartitionRow, ...]
+
+    def cpm_row(self, n: int) -> PartitionRow:
+        return next(r for r in self.cpm if r.n == n)
+
+    def fpm_row(self, n: int) -> PartitionRow:
+        return next(r for r in self.fpm if r.n == n)
+
+
+def _row_from_plan(app: HybridMatMul, plan) -> PartitionRow:
+    """Collapse unit allocations into the paper's G1/G2/S5/S6 columns."""
+    g1 = g2 = s5 = s6 = 0
+    for unit, alloc in zip(plan.units, plan.unit_allocations):
+        if unit.kind == "gpu":
+            if "GTX680" in unit.name:
+                g1 = alloc
+            else:
+                g2 = alloc
+        else:
+            cores = len(unit.member_ranks)
+            if cores < app.node.socket_spec(unit.socket_index).cores:
+                s5 = alloc  # representative S5 socket
+            else:
+                s6 = alloc  # representative S6 socket
+    return PartitionRow(n=plan.n, g1=g1, g2=g2, s5=s5, s6=s6)
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    sizes: tuple[int, ...] = TABLE3_SIZES,
+) -> Table3Result:
+    """Produce CPM- and FPM-based allocations for each matrix size."""
+    app = make_app(config)
+    cpm_rows, fpm_rows = [], []
+    for n in sizes:
+        cpm_rows.append(_row_from_plan(app, app.plan(n, PartitioningStrategy.CPM)))
+        fpm_rows.append(_row_from_plan(app, app.plan(n, PartitioningStrategy.FPM)))
+    return Table3Result(
+        sizes=tuple(sizes), cpm=tuple(cpm_rows), fpm=tuple(fpm_rows)
+    )
+
+
+def format_result(result: Table3Result) -> str:
+    """Render measured next to the paper's published allocations."""
+    rows = []
+    for n in result.sizes:
+        c, f = result.cpm_row(n), result.fpm_row(n)
+        pc, pf = TABLE3_CPM.get(n, {}), TABLE3_FPM.get(n, {})
+        rows.append(
+            [
+                f"{n}x{n}",
+                f"{c.g1}/{pc.get('G1', '-')}",
+                f"{c.g2}/{pc.get('G2', '-')}",
+                f"{c.s5}/{pc.get('S5', '-')}",
+                f"{c.s6}/{pc.get('S6', '-')}",
+                f"{f.g1}/{pf.get('G1', '-')}",
+                f"{f.g2}/{pf.get('G2', '-')}",
+                f"{f.s5}/{pf.get('S5', '-')}",
+                f"{f.s6}/{pf.get('S6', '-')}",
+            ]
+        )
+    return render_table(
+        [
+            "matrix",
+            "CPM G1 (ours/paper)",
+            "G2",
+            "S5",
+            "S6",
+            "FPM G1 (ours/paper)",
+            "G2",
+            "S5",
+            "S6",
+        ],
+        rows,
+        title="Table III: heterogeneous data partitioning (blocks)",
+    )

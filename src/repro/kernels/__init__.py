@@ -1,0 +1,58 @@
+"""Computational kernels of the matrix-multiplication application.
+
+The application's kernel is one rank-``b`` update ``C_i += A_(b) x B_(b)``
+(paper Fig. 1b).  This package provides:
+
+* :mod:`repro.kernels.gemm_cpu` — the ACML-stand-in kernel running on a
+  group of socket cores;
+* :mod:`repro.kernels.gemm_gpu` — the CUBLAS-stand-in kernel in the paper's
+  three versions (host-resident C; device-resident C with out-of-core
+  tiling; out-of-core with communication/computation overlap);
+* :mod:`repro.kernels.outofcore` — the rectangle tiling planner (Fig. 4a);
+* :mod:`repro.kernels.overlap` — the stream/DMA pipeline scheduler
+  (Fig. 4b), honouring single- vs dual-DMA-engine devices.
+
+All kernels implement the :class:`repro.kernels.interface.Kernel` protocol:
+a deterministic mapping from problem area (in b x b blocks) to the execution
+time of one kernel run, given the contention state.
+"""
+
+from repro.kernels.gemm_cpu import CpuCoreGemmKernel, CpuGemmKernel
+from repro.kernels.gemm_gpu import (
+    GpuGemmKernelV1,
+    GpuGemmKernelV2,
+    GpuGemmKernelV3,
+    InCoreGpuGemmKernel,
+    gpu_kernel,
+)
+from repro.kernels.interface import Kernel, KernelRange, kernel_speed_gflops
+from repro.kernels.outofcore import (
+    Tile,
+    TilingPlan,
+    plan_tiling,
+    simulate_consecutive_runs,
+)
+from repro.kernels.overlap import OverlapSchedule, TileWork, schedule_overlap
+from repro.kernels.stencil import CpuStencilKernel, GpuStencilKernel
+
+__all__ = [
+    "CpuCoreGemmKernel",
+    "CpuGemmKernel",
+    "GpuGemmKernelV1",
+    "GpuGemmKernelV2",
+    "GpuGemmKernelV3",
+    "InCoreGpuGemmKernel",
+    "gpu_kernel",
+    "Kernel",
+    "KernelRange",
+    "kernel_speed_gflops",
+    "Tile",
+    "TilingPlan",
+    "plan_tiling",
+    "simulate_consecutive_runs",
+    "OverlapSchedule",
+    "TileWork",
+    "schedule_overlap",
+    "CpuStencilKernel",
+    "GpuStencilKernel",
+]

@@ -1,0 +1,48 @@
+"""Performance measurement on the (simulated) hybrid platform.
+
+Implements the paper's Section III methodology:
+
+* processes **bound to cores**, one kernel per core, with a dedicated core
+  per GPU (:mod:`repro.measurement.binding`);
+* benchmarks **synchronised** so groups of cores generate maximal shared
+  traffic and measured together (:mod:`repro.measurement.benchmark`);
+* repetitions **until statistically reliable** — Student-t confidence
+  interval within a requested fraction of the mean
+  (:mod:`repro.measurement.reliability`);
+* FPM construction by sweeping problem sizes
+  (:mod:`repro.measurement.fpm_builder`).
+"""
+
+from repro.measurement.benchmark import (
+    HybridBenchmark,
+    measure_gpu_speed,
+    measure_shared_socket,
+    measure_socket_speed,
+)
+from repro.measurement.binding import BindingPlan, ProcessBinding, default_binding
+from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+from repro.measurement.online import PartialFpmBuilder, online_partition
+from repro.measurement.reliability import (
+    Measurement,
+    ReliabilityCriterion,
+    measure_until_reliable,
+)
+from repro.measurement.timer import SimulatedTimer
+
+__all__ = [
+    "HybridBenchmark",
+    "measure_gpu_speed",
+    "measure_shared_socket",
+    "measure_socket_speed",
+    "BindingPlan",
+    "ProcessBinding",
+    "default_binding",
+    "FpmBuilder",
+    "SizeGrid",
+    "PartialFpmBuilder",
+    "online_partition",
+    "Measurement",
+    "ReliabilityCriterion",
+    "measure_until_reliable",
+    "SimulatedTimer",
+]

@@ -1,0 +1,127 @@
+"""Process binding and placement (paper Section III, points i–ii).
+
+"Since automatic rearranging of the processes provided by the operating
+system may result in performance degradation, processes are bound to
+cores."  On the simulated platform binding is bookkeeping — but it is the
+bookkeeping the application and benchmarks rely on: which core belongs to
+which process, which cores are dedicated to GPUs, and how many CPU kernels
+a socket is running (the contention state every timing depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.spec import NodeSpec
+from repro.util.validation import check_nonnegative_int
+
+
+@dataclass(frozen=True)
+class ProcessBinding:
+    """One process pinned to one core."""
+
+    rank: int
+    socket_index: int
+    core_index: int
+    gpu_index: int | None = None  # set when this is a GPU's dedicated core
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int("rank", self.rank)
+        check_nonnegative_int("socket_index", self.socket_index)
+        check_nonnegative_int("core_index", self.core_index)
+
+    @property
+    def is_dedicated(self) -> bool:
+        return self.gpu_index is not None
+
+
+@dataclass(frozen=True)
+class BindingPlan:
+    """A full placement of processes on a node, one process per core.
+
+    The default plan mirrors the paper's Fig. 6 setup: ranks are laid out
+    socket by socket, and on a socket hosting a GPU the *first* rank is the
+    GPU's dedicated core (the paper binds ranks 0 and 6 — the first core of
+    sockets 0 and 1 — to the Tesla C870 and the GTX680).
+    """
+
+    node: NodeSpec
+    bindings: tuple[ProcessBinding, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for b in self.bindings:
+            if b.socket_index >= self.node.num_sockets:
+                raise ValueError(
+                    f"rank {b.rank} bound to socket {b.socket_index}, but the "
+                    f"node has {self.node.num_sockets} sockets"
+                )
+            socket_cores = self.node.socket_spec(b.socket_index).cores
+            if b.core_index >= socket_cores:
+                raise ValueError(
+                    f"rank {b.rank} bound to core {b.core_index}, but socket "
+                    f"{b.socket_index} has {socket_cores} cores"
+                )
+            key = (b.socket_index, b.core_index)
+            if key in seen:
+                raise ValueError(
+                    f"two processes bound to socket {b.socket_index} core "
+                    f"{b.core_index}"
+                )
+            seen.add(key)
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.bindings)
+
+    def dedicated_ranks(self) -> list[int]:
+        """Ranks that drive a GPU, in GPU-attachment order."""
+        pairs = [(b.gpu_index, b.rank) for b in self.bindings if b.is_dedicated]
+        return [rank for _, rank in sorted(pairs)]
+
+    def cpu_ranks(self) -> list[int]:
+        """Ranks running the CPU kernel."""
+        return [b.rank for b in self.bindings if not b.is_dedicated]
+
+    def cpu_ranks_on_socket(self, socket_index: int) -> list[int]:
+        """CPU-kernel ranks bound to one socket."""
+        return [
+            b.rank
+            for b in self.bindings
+            if b.socket_index == socket_index and not b.is_dedicated
+        ]
+
+    def binding_of(self, rank: int) -> ProcessBinding:
+        for b in self.bindings:
+            if b.rank == rank:
+                return b
+        raise KeyError(f"no binding for rank {rank}")
+
+
+def default_binding(node: NodeSpec) -> BindingPlan:
+    """The paper's placement: one process per core, dedicated cores first.
+
+    Ranks increase socket by socket; on a GPU-hosting socket the dedicated
+    process occupies the socket's first core and the socket's first rank.
+    """
+    bindings: list[ProcessBinding] = []
+    rank = 0
+    for s in range(node.num_sockets):
+        attachments = node.gpus_on_socket(s)
+        gpu_order = [node.gpus.index(a) for a in attachments]
+        core = 0
+        for gpu_index in gpu_order:
+            bindings.append(
+                ProcessBinding(
+                    rank=rank, socket_index=s, core_index=core, gpu_index=gpu_index
+                )
+            )
+            rank += 1
+            core += 1
+        while core < node.socket_spec(s).cores:
+            bindings.append(
+                ProcessBinding(rank=rank, socket_index=s, core_index=core)
+            )
+            rank += 1
+            core += 1
+    return BindingPlan(node=node, bindings=tuple(bindings))

@@ -1,0 +1,196 @@
+"""Building functional performance models from benchmark sweeps.
+
+The FPM of a device is its empirical speed function: reliable kernel
+timings over a grid of problem sizes (paper Section V).  The builder
+supports fixed linear/geometric grids and an adaptive mode that inserts
+midpoints where the piecewise-linear interpolation mispredicts the
+measured speed — spending measurements where the curve actually bends
+(around cache and device-memory boundaries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.speed_function import SpeedFunction, SpeedSample
+from repro.kernels.interface import Kernel
+from repro.measurement.benchmark import HybridBenchmark
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class SizeGrid:
+    """A grid of problem sizes (b x b blocks) to sample a speed function on."""
+
+    sizes: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("a size grid needs at least one size")
+        for a, b in zip(self.sizes, self.sizes[1:]):
+            if not 0 < a < b:
+                raise ValueError(
+                    f"grid sizes must be positive and strictly increasing "
+                    f"(got {a} then {b})"
+                )
+
+    @classmethod
+    def linear(cls, start: float, stop: float, count: int) -> "SizeGrid":
+        """``count`` evenly spaced sizes across [start, stop]."""
+        check_positive("start", start)
+        check_positive_int("count", count)
+        if count == 1:
+            return cls((start,))
+        if not stop > start:
+            raise ValueError(f"stop ({stop}) must exceed start ({start})")
+        step = (stop - start) / (count - 1)
+        return cls(tuple(start + i * step for i in range(count)))
+
+    @classmethod
+    def geometric(cls, start: float, stop: float, count: int) -> "SizeGrid":
+        """``count`` geometrically spaced sizes across [start, stop]."""
+        check_positive("start", start)
+        check_positive_int("count", count)
+        if count == 1:
+            return cls((start,))
+        if not stop > start:
+            raise ValueError(f"stop ({stop}) must exceed start ({start})")
+        ratio = (stop / start) ** (1.0 / (count - 1))
+        return cls(tuple(start * ratio**i for i in range(count)))
+
+    def clamped(self, max_size: float) -> "SizeGrid":
+        """Restrict the grid to a kernel's valid range.
+
+        Points beyond ``max_size`` are dropped, and ``max_size`` itself is
+        appended when the grid extended past it — a bounded model should
+        know its speed right at the boundary (the device-capacity point).
+        """
+        kept = [s for s in self.sizes if s <= max_size]
+        if not kept:
+            raise ValueError(
+                f"no grid point is within the valid range (max {max_size})"
+            )
+        if kept[-1] < max_size < self.sizes[-1]:
+            kept.append(max_size)
+        return SizeGrid(tuple(kept))
+
+
+@dataclass
+class FpmBuilder:
+    """Builds FPMs by timing a kernel over a size grid.
+
+    Adaptive refinement splits an interval when the measured midpoint
+    deviates from the linear prediction by more than
+    ``adaptive_tolerance`` — or when the endpoint speeds differ by more
+    than ``adaptive_variation`` even if the midpoint happens to sit on
+    the chord (a cliff-shaped curve can fool the chord test alone: the
+    point just past the cliff lies near the straight line between the
+    pre-cliff and far-past-cliff samples, yet the curve between them is
+    nothing like that line).
+    """
+
+    bench: HybridBenchmark
+    adaptive_tolerance: float = 0.05
+    adaptive_variation: float = 1.5
+    max_adaptive_rounds: int = 3
+    min_interval: float = 1.0
+
+    def build(
+        self,
+        kernel: Kernel,
+        grid: SizeGrid,
+        busy_cpu_cores: int = 0,
+        name: str | None = None,
+        bounded: bool | None = None,
+        adaptive: bool = False,
+    ) -> FunctionalPerformanceModel:
+        """Measure the kernel across the grid and assemble its FPM.
+
+        ``bounded`` defaults to whether the kernel itself has a finite
+        valid range; ``adaptive`` enables midpoint refinement.
+        """
+        valid = kernel.valid_range
+        if math.isfinite(valid.max_blocks):
+            grid = grid.clamped(valid.max_blocks)
+        samples: dict[float, SpeedSample] = {}
+        reps_total = 0
+        for size in grid.sizes:
+            sample, reps = self._measure_sample(kernel, size, busy_cpu_cores)
+            samples[size] = sample
+            reps_total += reps
+
+        if adaptive:
+            reps_total += self._refine(kernel, samples, busy_cpu_cores)
+
+        ordered = [samples[k] for k in sorted(samples)]
+        fn = SpeedFunction(
+            ordered,
+            bounded=(
+                bounded
+                if bounded is not None
+                else math.isfinite(valid.max_blocks)
+            ),
+        )
+        return FunctionalPerformanceModel(
+            name=name or kernel.name,
+            speed_function=fn,
+            kernel_name=kernel.name,
+            block_size=kernel.block_size,
+            repetitions_total=reps_total,
+        )
+
+    # ------------------------------------------------------------ internal
+    def _measure_sample(
+        self, kernel: Kernel, size: float, busy_cpu_cores: int
+    ) -> tuple[SpeedSample, int]:
+        m = self.bench.measure_speed(kernel, size, busy_cpu_cores)
+        return (
+            SpeedSample(
+                size=size,
+                speed=m.speed_gflops,
+                rel_precision=m.timing.rel_precision,
+            ),
+            m.timing.repetitions,
+        )
+
+    def _refine(
+        self,
+        kernel: Kernel,
+        samples: dict[float, SpeedSample],
+        busy_cpu_cores: int,
+    ) -> int:
+        """Insert midpoints where linear interpolation mispredicts speed."""
+        reps_total = 0
+        intervals = _adjacent_pairs(sorted(samples))
+        for _ in range(self.max_adaptive_rounds):
+            next_intervals: list[tuple[float, float]] = []
+            for lo, hi in intervals:
+                mid = 0.5 * (lo + hi)
+                if mid <= lo or mid >= hi or (hi - lo) < self.min_interval:
+                    continue  # nothing meaningfully between the endpoints
+                predicted = 0.5 * (samples[lo].speed + samples[hi].speed)
+                sample, reps = self._measure_sample(kernel, mid, busy_cpu_cores)
+                reps_total += reps
+                samples[mid] = sample
+                err = abs(predicted - sample.speed) / sample.speed
+                if err > self.adaptive_tolerance:
+                    next_intervals.extend([(lo, mid), (mid, hi)])
+                else:
+                    # chord test passed; still recurse into halves whose
+                    # endpoint speeds differ strongly (cliff detection)
+                    for a, b in ((lo, mid), (mid, hi)):
+                        ratio = max(samples[a].speed, samples[b].speed) / min(
+                            samples[a].speed, samples[b].speed
+                        )
+                        if ratio > self.adaptive_variation:
+                            next_intervals.append((a, b))
+            if not next_intervals:
+                break
+            intervals = next_intervals
+        return reps_total
+
+
+def _adjacent_pairs(values: list[float]) -> list[tuple[float, float]]:
+    return list(zip(values, values[1:]))

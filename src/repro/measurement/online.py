@@ -1,0 +1,163 @@
+"""Partial functional performance models, built online.
+
+A full FPM sweep measures each device at many sizes it will never be
+assigned.  The *partial FPM* technique from the authors' follow-on work
+builds models incrementally while iterating toward the balanced partition:
+
+1. start from a minimal two-point model per device;
+2. partition with the current models;
+3. benchmark each device **at its assigned size** and insert the point;
+4. repeat until the partition stops moving.
+
+Because refinement happens exactly where the solution lives, the loop
+typically converges in a handful of rounds, spending an order of magnitude
+fewer benchmark repetitions than a full sweep for the same final
+distribution (quantified by
+:mod:`repro.experiments.ablations.online_fpm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.integer import round_partition
+from repro.core.partition import partition_fpm
+from repro.core.speed_function import SpeedFunction, SpeedSample
+from repro.kernels.interface import Kernel
+from repro.measurement.benchmark import HybridBenchmark
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass
+class PartialFpmBuilder:
+    """Incrementally refined speed function of one device.
+
+    ``min_spacing`` controls when a new operating point is worth a fresh
+    measurement: a request closer (relatively) than this to an existing
+    sample reuses the model instead.
+    """
+
+    bench: HybridBenchmark
+    kernel: Kernel
+    name: str
+    min_spacing: float = 0.08
+    _samples: dict[float, SpeedSample] = field(default_factory=dict)
+    repetitions_spent: int = 0
+
+    def bootstrap(self, lo: float, hi: float) -> None:
+        """Seed the model with measurements at the range ends."""
+        check_positive("lo", lo)
+        if not hi > lo:
+            raise ValueError(f"hi ({hi}) must exceed lo ({lo})")
+        for size in (lo, hi):
+            self._measure(size)
+
+    def refine_at(self, size: float) -> bool:
+        """Measure at ``size`` unless a nearby sample already exists.
+
+        Returns True when a new point was actually measured.
+        """
+        check_positive("size", size)
+        for existing in self._samples:
+            if abs(existing - size) <= self.min_spacing * size:
+                return False
+        self._measure(size)
+        return True
+
+    def model(self) -> FunctionalPerformanceModel:
+        """The current partial model (monotonic-time repaired)."""
+        if not self._samples:
+            raise ValueError(
+                f"partial model {self.name!r} has no samples; call bootstrap()"
+            )
+        ordered = [self._samples[k] for k in sorted(self._samples)]
+        return FunctionalPerformanceModel(
+            name=self.name,
+            speed_function=SpeedFunction(ordered).with_monotonic_time(),
+            kernel_name=self.kernel.name,
+            block_size=self.kernel.block_size,
+            repetitions_total=self.repetitions_spent,
+        )
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def _measure(self, size: float) -> None:
+        m = self.bench.measure_speed(self.kernel, size)
+        self._samples[size] = SpeedSample(
+            size=size,
+            speed=m.speed_gflops,
+            rel_precision=m.timing.rel_precision,
+        )
+        self.repetitions_spent += m.timing.repetitions
+
+
+@dataclass(frozen=True)
+class OnlineRound:
+    """One iteration of the online partitioning loop."""
+
+    allocations: tuple[int, ...]
+    new_points: int
+
+
+@dataclass(frozen=True)
+class OnlinePartitionResult:
+    """Convergence history and the final distribution."""
+
+    rounds: tuple[OnlineRound, ...]
+    allocations: tuple[int, ...]
+    converged: bool
+    repetitions_spent: int
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def online_partition(
+    builders: list[PartialFpmBuilder],
+    total: int,
+    max_rounds: int = 12,
+    movement_tolerance: float = 0.01,
+) -> OnlinePartitionResult:
+    """Run the partition/refine loop until the distribution stabilises.
+
+    ``movement_tolerance`` — the loop stops once the L1 change between
+    successive distributions is below this fraction of ``total`` *and*
+    the last round added no new measurements.
+    """
+    check_positive_int("total", total)
+    check_positive_int("max_rounds", max_rounds)
+    if not builders:
+        raise ValueError("need at least one partial model builder")
+    for b in builders:
+        if b.num_samples < 2:
+            b.bootstrap(max(1.0, total / 256.0), float(total))
+
+    previous: tuple[int, ...] | None = None
+    rounds: list[OnlineRound] = []
+    converged = False
+    for _ in range(max_rounds):
+        models = [b.model() for b in builders]
+        continuous = partition_fpm(models, float(total))
+        allocations = tuple(round_partition(models, continuous, total))
+        new_points = sum(
+            1
+            for b, a in zip(builders, allocations)
+            if a > 0 and b.refine_at(float(a))
+        )
+        rounds.append(OnlineRound(allocations=allocations, new_points=new_points))
+        if previous is not None:
+            moved = sum(abs(a - p) for a, p in zip(allocations, previous))
+            if moved <= movement_tolerance * total and new_points == 0:
+                converged = True
+                break
+        previous = allocations
+    return OnlinePartitionResult(
+        rounds=tuple(rounds),
+        allocations=rounds[-1].allocations,
+        converged=converged,
+        repetitions_spent=sum(b.repetitions_spent for b in builders),
+    )

@@ -1,0 +1,82 @@
+"""Repeat-until-reliable measurement protocol (paper Section III, point iii).
+
+"To ensure the reliability of the measurement, experiments are repeated
+multiple times until the results are statistically reliable."  The standard
+criterion (used by the authors' tooling): stop once the Student-t
+confidence interval of the mean is within a requested fraction of the mean,
+subject to minimum and maximum repetition counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.stats import RunningStats
+from repro.util.validation import check_positive, check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class ReliabilityCriterion:
+    """Stopping rule for repeated measurements."""
+
+    rel_err: float = 0.025
+    confidence: float = 0.95
+    min_repetitions: int = 5
+    max_repetitions: int = 100
+
+    def __post_init__(self) -> None:
+        check_positive("rel_err", self.rel_err)
+        check_probability("confidence", self.confidence)
+        check_positive_int("min_repetitions", self.min_repetitions)
+        check_positive_int("max_repetitions", self.max_repetitions)
+        if self.max_repetitions < self.min_repetitions:
+            raise ValueError(
+                "max_repetitions must be >= min_repetitions "
+                f"({self.max_repetitions} < {self.min_repetitions})"
+            )
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """The outcome of a repeated measurement."""
+
+    mean: float
+    std: float
+    repetitions: int
+    rel_precision: float
+    reliable: bool
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("a measurement needs at least one repetition")
+
+
+def measure_until_reliable(
+    sample: Callable[[int], float],
+    criterion: ReliabilityCriterion = ReliabilityCriterion(),
+) -> Measurement:
+    """Repeat ``sample(repetition_index)`` until the criterion is met.
+
+    Returns the sample statistics; ``reliable`` is False when the
+    repetition budget ran out first (the result is still usable, as on a
+    noisy real platform, but flagged).
+    """
+    stats = RunningStats()
+    for rep in range(criterion.max_repetitions):
+        value = sample(rep)
+        if value < 0:
+            raise ValueError(f"negative timing {value} from repetition {rep}")
+        stats.add(value)
+        if (
+            stats.count >= criterion.min_repetitions
+            and stats.is_reliable(criterion.rel_err, criterion.confidence)
+        ):
+            break
+    return Measurement(
+        mean=stats.mean,
+        std=stats.std,
+        repetitions=stats.count,
+        rel_precision=stats.relative_precision(criterion.confidence),
+        reliable=stats.is_reliable(criterion.rel_err, criterion.confidence),
+    )

@@ -1,0 +1,45 @@
+"""The simulated benchmark timer.
+
+Real experiments time kernels with a wall clock; this reproduction times
+them by querying the device models and perturbing the ideal duration with
+the platform's noise model.  The synchronous GPU measurement approach of
+the paper (the dedicated host core observes begin and end of each
+operation) corresponds to timing the kernel's full ``run_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.interface import Kernel
+from repro.platform.noise import NoiseModel
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class SimulatedTimer:
+    """Times kernel runs on the simulated platform.
+
+    One timer per experiment; the ``noise`` model keys draws by kernel
+    name, problem size, contention state and repetition index, so repeated
+    timings differ (as on hardware) while the full experiment stays
+    reproducible from one seed.
+    """
+
+    noise: NoiseModel
+
+    def time_kernel(
+        self,
+        kernel: Kernel,
+        area_blocks: float,
+        repetition: int,
+        busy_cpu_cores: int = 0,
+    ) -> float:
+        """One noisy timing of one kernel run (seconds)."""
+        check_nonnegative("area_blocks", area_blocks)
+        if repetition < 0:
+            raise ValueError(f"repetition must be >= 0, got {repetition}")
+        ideal = kernel.run_time(area_blocks, busy_cpu_cores)
+        return self.noise.perturb(
+            ideal, kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}", f"r{repetition}"
+        )

@@ -1,0 +1,43 @@
+"""Simulated hybrid multicore / multi-GPU platform substrate.
+
+The paper runs on a real NUMA node (4 x six-core AMD Opteron 8439SE + GeForce
+GTX680 + Tesla C870, Table I).  This environment has neither GPUs nor ACML /
+CUBLAS, so — per the reproduction's substitution rule — this package provides
+an *analytic performance substrate*: device models that map (kernel, problem
+size, contention state) to execution time, with calibrated curve shapes and
+multiplicative measurement noise.  Everything above this package (measurement,
+FPM construction, partitioning, the application) treats these devices exactly
+as the paper treats hardware: as black boxes that can be timed.
+"""
+
+from repro.platform.contention import CpuGpuInterference, SocketContention
+from repro.platform.device import SimulatedCore, SimulatedGpu, SimulatedSocket
+from repro.platform.memory import CoreCacheModel, GpuMemoryModel
+from repro.platform.noise import NoiseModel
+from repro.platform.pcie import PcieLink
+from repro.platform.presets import ig_icl_node
+from repro.platform.spec import (
+    CpuSpec,
+    GpuSpec,
+    HybridNode,
+    NodeSpec,
+    SocketSpec,
+)
+
+__all__ = [
+    "CpuGpuInterference",
+    "SocketContention",
+    "SimulatedCore",
+    "SimulatedGpu",
+    "SimulatedSocket",
+    "CoreCacheModel",
+    "GpuMemoryModel",
+    "NoiseModel",
+    "PcieLink",
+    "ig_icl_node",
+    "CpuSpec",
+    "GpuSpec",
+    "HybridNode",
+    "NodeSpec",
+    "SocketSpec",
+]

@@ -1,0 +1,193 @@
+"""Automated calibration of device-model parameters.
+
+The preset node (:mod:`repro.platform.presets`) was tuned so the simulated
+speed functions land on the paper's reported relationships.  This module
+makes that process reproducible: given target (size, speed) observations —
+digitised figure points, or measurements from real hardware — it fits the
+free parameters of a :class:`~repro.platform.spec.CpuSpec` or
+:class:`~repro.platform.spec.GpuSpec` by robust least squares on relative
+speed error.
+
+The same machinery retargets the simulator at *other* machines: measure a
+few GEMM points on your node, fit, and every experiment in
+:mod:`repro.experiments` runs against a model of your hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.kernels.gemm_cpu import CpuGemmKernel
+from repro.kernels.gemm_gpu import gpu_kernel
+from repro.kernels.interface import kernel_speed_gflops
+from repro.platform.contention import CpuGpuInterference
+from repro.platform.device import SimulatedGpu, SimulatedSocket
+from repro.platform.spec import CpuSpec, GpuSpec, SocketSpec
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One desired point of a speed function (GFlops at an area)."""
+
+    area_blocks: float
+    speed_gflops: float
+
+    def __post_init__(self) -> None:
+        check_positive("area_blocks", self.area_blocks)
+        check_positive("speed_gflops", self.speed_gflops)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of a fit: the tuned spec and its residual error."""
+
+    mean_relative_error: float
+    worst_relative_error: float
+
+    def acceptable(self, tolerance: float = 0.10) -> bool:
+        return self.worst_relative_error <= tolerance
+
+
+def _relative_errors(
+    predicted: Sequence[float], targets: Sequence[CalibrationTarget]
+) -> np.ndarray:
+    return np.array(
+        [
+            (p - t.speed_gflops) / t.speed_gflops
+            for p, t in zip(predicted, targets)
+        ]
+    )
+
+
+def calibrate_cpu(
+    base: CpuSpec,
+    targets: Sequence[CalibrationTarget],
+    active_cores: int,
+    socket_cores: int = 6,
+    contention_alpha: float = 0.04,
+    block_size: int = 640,
+) -> tuple[CpuSpec, CalibrationReport]:
+    """Fit (peak_gflops, ramp_depth, ramp_blocks) to socket speed targets.
+
+    ``targets`` describe the socket-level speed function ``s_c(x)`` for
+    ``active_cores = c`` simultaneously busy cores (the paper's Fig. 2
+    representation).
+    """
+    if len(targets) < 3:
+        raise ValueError("CPU calibration needs at least 3 target points")
+    check_positive_int("active_cores", active_cores)
+
+    def predict(params: np.ndarray) -> list[float]:
+        peak, depth, ramp = params
+        spec = dataclasses.replace(
+            base,
+            peak_gflops=float(peak),
+            ramp_depth=float(min(max(depth, 0.0), 0.95)),
+            ramp_blocks=float(max(ramp, 1e-3)),
+        )
+        socket = SimulatedSocket(
+            name="cal",
+            spec=SocketSpec(
+                cpu=spec,
+                cores=socket_cores,
+                memory_gb=16.0,
+                contention_alpha=contention_alpha,
+            ),
+            interference=CpuGpuInterference(),
+            block_size=block_size,
+        )
+        kernel = CpuGemmKernel(socket, active_cores)
+        return [kernel_speed_gflops(kernel, t.area_blocks) for t in targets]
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        return _relative_errors(predict(params), targets)
+
+    x0 = np.array([base.peak_gflops, base.ramp_depth, base.ramp_blocks])
+    fit = optimize.least_squares(
+        residuals,
+        x0,
+        bounds=([0.1, 0.0, 1e-3], [1e4, 0.95, 1e4]),
+        xtol=1e-10,
+    )
+    peak, depth, ramp = fit.x
+    tuned = dataclasses.replace(
+        base,
+        peak_gflops=float(peak),
+        ramp_depth=float(depth),
+        ramp_blocks=float(ramp),
+    )
+    errs = np.abs(residuals(fit.x))
+    return tuned, CalibrationReport(
+        mean_relative_error=float(errs.mean()),
+        worst_relative_error=float(errs.max()),
+    )
+
+
+def calibrate_gpu(
+    base: GpuSpec,
+    targets: Sequence[CalibrationTarget],
+    kernel_version: int = 3,
+    socket_cores: int = 6,
+    block_size: int = 640,
+) -> tuple[GpuSpec, CalibrationReport]:
+    """Fit (peak_gflops, rate_half_blocks, pcie_pageable_gbs) to targets.
+
+    Targets may mix in-core and out-of-core points; the out-of-core ones
+    constrain the pageable-transfer bandwidth, the in-core ones the kernel
+    rate parameters.  Memory capacity is taken from ``base`` (it is known
+    hardware data, not a free parameter).
+    """
+    if len(targets) < 3:
+        raise ValueError("GPU calibration needs at least 3 target points")
+
+    def make_gpu(params: np.ndarray) -> SimulatedGpu:
+        peak, half, pageable = params
+        spec = dataclasses.replace(
+            base,
+            peak_gflops=float(max(peak, 1e-3)),
+            rate_half_blocks=float(max(half, 1e-3)),
+            pcie_pageable_gbs=float(max(pageable, 1e-3)),
+        )
+        return SimulatedGpu(
+            name="cal",
+            spec=spec,
+            interference=CpuGpuInterference(),
+            socket_cores=socket_cores,
+            block_size=block_size,
+        )
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        kernel = gpu_kernel(make_gpu(params), kernel_version)
+        predicted = [
+            kernel_speed_gflops(kernel, t.area_blocks) for t in targets
+        ]
+        return _relative_errors(predicted, targets)
+
+    x0 = np.array(
+        [base.peak_gflops, base.rate_half_blocks, base.pcie_pageable_gbs]
+    )
+    fit = optimize.least_squares(
+        residuals,
+        x0,
+        bounds=([1e-3, 1e-3, 1e-3], [1e5, 1e5, 64.0]),
+        diff_step=1e-3,
+        xtol=1e-10,
+    )
+    peak, half, pageable = fit.x
+    tuned = dataclasses.replace(
+        base,
+        peak_gflops=float(peak),
+        rate_half_blocks=float(half),
+        pcie_pageable_gbs=float(pageable),
+    )
+    errs = np.abs(residuals(fit.x))
+    return tuned, CalibrationReport(
+        mean_relative_error=float(errs.mean()),
+        worst_relative_error=float(errs.max()),
+    )

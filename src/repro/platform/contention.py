@@ -1,0 +1,85 @@
+"""Shared-resource contention models.
+
+Two distinct effects from the paper:
+
+* **Intra-socket CPU contention** (Section III / Fig. 2): cores of one socket
+  compete for shared cache and memory bandwidth, so socket speed grows
+  sub-linearly with the number of active cores.  The paper measures cores in
+  a *group* for exactly this reason.
+* **CPU <-> GPU interference** (Section V / Fig. 5): when the CPU kernel and
+  the GPU kernel run simultaneously on one socket, the GPU (i.e. the
+  combined GPU + dedicated-core process) slows by 7–15% while the CPU cores
+  are barely affected, because the GPU computes out of its own memory and
+  only its host-side transfers compete for socket resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive_int
+
+
+@dataclass(frozen=True)
+class SocketContention:
+    """Per-core efficiency when ``c`` cores run the kernel simultaneously.
+
+    ``efficiency(c) = 1 / (1 + alpha * (c - 1))``; the socket's aggregate
+    speed is then ``c * efficiency(c) * solo_core_speed`` — increasing in
+    ``c`` but with diminishing returns, matching the paper's observation
+    that socket performance "does not increase linearly with the number of
+    active cores".
+    """
+
+    alpha: float = 0.04
+
+    def __post_init__(self) -> None:
+        check_nonnegative("alpha", self.alpha)
+
+    def efficiency(self, active_cores: int) -> float:
+        """Per-core speed multiplier for ``active_cores`` concurrent kernels."""
+        check_positive_int("active_cores", active_cores)
+        return 1.0 / (1.0 + self.alpha * (active_cores - 1))
+
+    def socket_scaling(self, active_cores: int) -> float:
+        """Socket aggregate speed relative to one solo core."""
+        return active_cores * self.efficiency(active_cores)
+
+
+@dataclass(frozen=True)
+class CpuGpuInterference:
+    """Mutual slowdown of co-located CPU and GPU kernels on one socket.
+
+    Multipliers are applied to *time* (so a drop of 0.11 makes the GPU take
+    ``1 / (1 - 0.11)`` times longer).  The GPU drop scales with how many CPU
+    cores are actually busy (an idle socket does not interfere), saturating
+    at the configured maximum, which reproduces the paper's 7–15% range
+    across workload splits.
+    """
+
+    gpu_drop_max: float = 0.11
+    cpu_drop: float = 0.015
+
+    def __post_init__(self) -> None:
+        check_nonnegative("gpu_drop_max", self.gpu_drop_max)
+        check_nonnegative("cpu_drop", self.cpu_drop)
+        if self.gpu_drop_max >= 1 or self.cpu_drop >= 1:
+            raise ValueError("interference drops are fractions < 1")
+
+    def gpu_speed_factor(self, busy_cpu_cores: int, socket_cores: int) -> float:
+        """Speed multiplier (<= 1) for the GPU process.
+
+        ``busy_cpu_cores`` counts cores running the *CPU* kernel on the
+        GPU's socket (the dedicated core itself is not a competitor).
+        """
+        if busy_cpu_cores < 0:
+            raise ValueError("busy_cpu_cores must be >= 0")
+        check_positive_int("socket_cores", socket_cores)
+        if busy_cpu_cores == 0:
+            return 1.0
+        share = min(1.0, busy_cpu_cores / max(1, socket_cores - 1))
+        return 1.0 - self.gpu_drop_max * share
+
+    def cpu_speed_factor(self, gpu_active: bool) -> float:
+        """Speed multiplier (<= 1) for CPU cores sharing with a busy GPU."""
+        return 1.0 - self.cpu_drop if gpu_active else 1.0

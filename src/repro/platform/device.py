@@ -1,0 +1,271 @@
+"""Simulated processing elements of the hybrid node.
+
+Devices are *deterministic* time oracles — measurement noise belongs to the
+measurement layer (:mod:`repro.measurement`), mirroring reality where the
+hardware is what it is and the noise enters through timing.
+
+Device taxonomy (paper Section III):
+
+* :class:`SimulatedCore` — one CPU core running the CPU GEMM kernel; its
+  speed depends on its per-core problem area, on how many sibling cores run
+  the kernel simultaneously, and on whether a GPU process is busy on the
+  same socket.
+* :class:`SimulatedSocket` — a group of cores measured together (the paper's
+  unit of CPU performance modelling).
+* :class:`SimulatedGpu` — a GPU plus its PCIe link and memory model; exposes
+  compute/transfer primitives from which :mod:`repro.kernels.gemm_gpu`
+  assembles the three kernel versions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.platform.contention import CpuGpuInterference, SocketContention
+from repro.platform.memory import (
+    CoreCacheModel,
+    GpuMemoryModel,
+    blocking_factor_efficiency,
+)
+from repro.platform.pcie import PcieLink
+from repro.platform.spec import GpuSpec, NodeSpec, SocketSpec
+from repro.util.units import gemm_kernel_flops
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class SimulatedCore:
+    """One CPU core of a socket, running the CPU GEMM kernel."""
+
+    name: str
+    socket: SocketSpec
+    interference: CpuGpuInterference
+    block_size: int
+
+    @property
+    def cache(self) -> CoreCacheModel:
+        return CoreCacheModel(self.socket.cpu)
+
+    @property
+    def contention(self) -> SocketContention:
+        return SocketContention(self.socket.contention_alpha)
+
+    def rate_gflops(
+        self,
+        per_core_area_blocks: float,
+        active_cores: int = 1,
+        gpu_active: bool = False,
+    ) -> float:
+        """Effective GEMM rate of this core under the given sharing state."""
+        check_nonnegative("per_core_area_blocks", per_core_area_blocks)
+        solo = self.cache.core_rate_gflops(per_core_area_blocks)
+        return (
+            solo
+            * blocking_factor_efficiency(
+                self.block_size, self.socket.cpu.gemm_halfpoint_elems
+            )
+            * self.contention.efficiency(active_cores)
+            * self.interference.cpu_speed_factor(gpu_active)
+        )
+
+    def kernel_time(
+        self,
+        per_core_area_blocks: float,
+        active_cores: int = 1,
+        gpu_active: bool = False,
+    ) -> float:
+        """Seconds for ONE kernel run (``C_i += A_(b) x B_(b)``) on this core."""
+        if per_core_area_blocks == 0:
+            return 0.0
+        flops = gemm_kernel_flops(per_core_area_blocks, self.block_size)
+        rate = self.rate_gflops(per_core_area_blocks, active_cores, gpu_active)
+        return flops / (rate * 1e9)
+
+
+@dataclass(frozen=True)
+class SimulatedSocket:
+    """A socket measured as a group of ``c`` cores running kernels together.
+
+    The paper's CPU speed functions ``s_c(x)`` give the aggregate socket
+    speed when the socket's area ``x`` is split evenly across ``c`` active
+    cores (``x / c`` each).
+    """
+
+    name: str
+    spec: SocketSpec
+    interference: CpuGpuInterference
+    block_size: int
+
+    def core(self, index: int = 0) -> SimulatedCore:
+        """One of the socket's (identical) cores."""
+        if not 0 <= index < self.spec.cores:
+            raise ValueError(f"core index {index} out of range on {self.name}")
+        return SimulatedCore(
+            name=f"{self.name}.core{index}",
+            socket=self.spec,
+            interference=self.interference,
+            block_size=self.block_size,
+        )
+
+    def kernel_time(
+        self,
+        socket_area_blocks: float,
+        active_cores: int | None = None,
+        gpu_active: bool = False,
+    ) -> float:
+        """Seconds for one kernel run with the socket area split evenly.
+
+        All active cores run identical shares in lockstep, so the group
+        finishes when each core's run finishes.
+        """
+        cores = self.spec.cores if active_cores is None else active_cores
+        check_positive_int("active_cores", cores)
+        if cores > self.spec.cores:
+            raise ValueError(
+                f"{cores} active cores requested but {self.name} has "
+                f"{self.spec.cores}"
+            )
+        per_core = socket_area_blocks / cores
+        return self.core(0).kernel_time(per_core, cores, gpu_active)
+
+    def speed_gflops(
+        self,
+        socket_area_blocks: float,
+        active_cores: int | None = None,
+        gpu_active: bool = False,
+    ) -> float:
+        """Aggregate socket speed ``s_c(x)`` at area ``x`` (paper Fig. 2)."""
+        if socket_area_blocks == 0:
+            return 0.0
+        t = self.kernel_time(socket_area_blocks, active_cores, gpu_active)
+        return gemm_kernel_flops(socket_area_blocks, self.block_size) / t / 1e9
+
+
+@dataclass(frozen=True)
+class SimulatedGpu:
+    """A GPU, its PCIe link, memory model and host-side interference state."""
+
+    name: str
+    spec: GpuSpec
+    interference: CpuGpuInterference
+    socket_cores: int
+    block_size: int
+
+    @property
+    def memory(self) -> GpuMemoryModel:
+        return GpuMemoryModel(self.spec, self.block_size)
+
+    @property
+    def pcie(self) -> PcieLink:
+        return PcieLink(self.spec, staging_blocks=self.memory.resident_capacity_blocks())
+
+    def kernel_rate_gflops(
+        self,
+        tile_area_blocks: float,
+        aligned: bool = True,
+        aspect: float = 1.0,
+    ) -> float:
+        """On-device GEMM rate for one tile (saturating with tile size).
+
+        ``aspect`` is the tile's rows/cols ratio: nearly square tiles run
+        at full rate (the paper's Section IV assumption), extreme strips
+        pay a small quadratic-in-log penalty.
+        """
+        check_nonnegative("tile_area_blocks", tile_area_blocks)
+        check_positive("aspect", aspect)
+        if tile_area_blocks == 0:
+            return self.spec.peak_gflops  # vacuous; no work
+        rate = (
+            self.spec.peak_gflops
+            * tile_area_blocks
+            / (tile_area_blocks + self.spec.rate_half_blocks)
+        )
+        rate *= blocking_factor_efficiency(
+            self.block_size, self.spec.gemm_halfpoint_elems
+        )
+        if aspect != 1.0 and self.spec.aspect_penalty > 0.0:
+            rate /= 1.0 + self.spec.aspect_penalty * math.log2(aspect) ** 2
+        if not aligned:
+            rate /= self.spec.misalignment_penalty
+        return rate
+
+    def compute_time(
+        self,
+        tile_area_blocks: float,
+        aligned: bool = True,
+        busy_cpu_cores: int = 0,
+    ) -> float:
+        """Seconds of on-device GEMM for one tile of ``C``.
+
+        ``busy_cpu_cores`` — CPU kernels running on the host socket slow the
+        combined GPU process down (paper Fig. 5b); the slowdown is applied
+        uniformly to the GPU's contributions.
+        """
+        if tile_area_blocks == 0:
+            return 0.0
+        flops = gemm_kernel_flops(tile_area_blocks, self.block_size)
+        rate = self.kernel_rate_gflops(tile_area_blocks, aligned)
+        rate *= self.interference.gpu_speed_factor(busy_cpu_cores, self.socket_cores)
+        return flops / (rate * 1e9)
+
+    def upload_pivots_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
+        """Seconds to send the pivot column and row pieces for area ``x``."""
+        blocks = self.memory.pivot_blocks(area_blocks)
+        nbytes = blocks * self.memory.block_bytes
+        t = self.pcie.contiguous_time(nbytes)
+        return t / self.interference.gpu_speed_factor(busy_cpu_cores, self.socket_cores)
+
+    def transfer_c_time(
+        self,
+        tile_area_blocks: float,
+        footprint_blocks: float,
+        busy_cpu_cores: int = 0,
+        kernel_active: bool = False,
+    ) -> float:
+        """Seconds for a one-way pitched transfer of a C rectangle.
+
+        ``footprint_blocks`` is the area of the whole host submatrix being
+        walked (drives the staging bandwidth decay); ``kernel_active``
+        applies the concurrent-copy slowdown for overlapped schedules.
+        """
+        if tile_area_blocks == 0:
+            return 0.0
+        nbytes = tile_area_blocks * self.memory.block_bytes
+        t = self.pcie.pitched_time(nbytes, footprint_blocks)
+        t /= self.pcie.concurrent_copy_factor(kernel_active)
+        return t / self.interference.gpu_speed_factor(busy_cpu_cores, self.socket_cores)
+
+
+def build_devices(
+    node: NodeSpec,
+) -> tuple[list[SimulatedSocket], list[SimulatedGpu]]:
+    """Instantiate the simulated devices of a node specification."""
+    interference = CpuGpuInterference(
+        gpu_drop_max=node.gpu_interference_drop,
+        cpu_drop=node.cpu_interference_drop,
+    )
+    sockets = [
+        SimulatedSocket(
+            name=f"{node.name}.socket{i}",
+            spec=node.socket_spec(i),
+            interference=interference,
+            block_size=node.block_size,
+        )
+        for i in range(node.num_sockets)
+    ]
+    gpus = [
+        SimulatedGpu(
+            name=f"{node.name}.{att.gpu.name}",
+            spec=att.gpu,
+            interference=interference,
+            socket_cores=node.socket_spec(att.socket_index).cores,
+            block_size=node.block_size,
+        )
+        for att in node.gpus
+    ]
+    return sockets, gpus

@@ -1,0 +1,71 @@
+"""Measurement noise for the simulated platform.
+
+Real benchmark timings fluctuate run to run; the paper's measurement
+methodology (Section III) explicitly repeats experiments "until the results
+are statistically reliable".  To keep that machinery honest, every simulated
+timing is multiplied by log-normal noise with median 1.  Noise draws are
+keyed by (device, context, repetition) through named RNG streams, so a whole
+experiment is reproducible from one seed while distinct repetitions differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class NoiseModel:
+    """Multiplicative log-normal timing noise, with optional outliers.
+
+    ``sigma`` is the standard deviation of log-time; 0.02 corresponds to
+    roughly +/-2% run-to-run variation, typical of a dedicated node.
+    ``sigma = 0`` makes the platform fully deterministic (useful in tests).
+
+    ``outlier_prob`` / ``outlier_factor`` inject occasional timing spikes
+    (an OS daemon waking up, a page-cache flush): with the given
+    probability a measurement is stretched by the factor.  This is the
+    failure-injection knob the reliability-protocol tests use — a
+    measurement pipeline that trusts single timings breaks under it.
+    """
+
+    rng: RngStream
+    sigma: float = 0.02
+    outlier_prob: float = 0.0
+    outlier_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("sigma", self.sigma)
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError(
+                f"outlier_prob must be in [0, 1], got {self.outlier_prob}"
+            )
+        if self.outlier_factor < 1.0:
+            raise ValueError(
+                f"outlier_factor must be >= 1, got {self.outlier_factor}"
+            )
+
+    def perturb(self, seconds: float, *context: object) -> float:
+        """Return a noisy version of an ideal timing.
+
+        ``context`` names the measurement (device, size, repetition index,
+        ...); the same context always yields the same draw.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if seconds == 0.0 or (self.sigma == 0.0 and self.outlier_prob == 0.0):
+            return seconds
+        stream = self.rng
+        for part in context:
+            stream = stream.child(str(part))
+        value = seconds * stream.lognormal_factor(self.sigma)
+        if self.outlier_prob > 0.0:
+            if stream.child("outlier").uniform() < self.outlier_prob:
+                value *= self.outlier_factor
+        return value
+
+    def quiet(self) -> "NoiseModel":
+        """A zero-noise copy (deterministic timings)."""
+        return NoiseModel(rng=self.rng, sigma=0.0)

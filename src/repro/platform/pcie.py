@@ -1,0 +1,65 @@
+"""PCI Express link model for host <-> device transfers.
+
+Two transfer classes, matching how the GPU kernels move data:
+
+* **contiguous** — pivot column/row pieces, staged through pinned buffers;
+  a fixed effective bandwidth plus per-call latency.
+* **pitched** — 2D rectangles of the ``C`` submatrix, copied row-by-row out
+  of the (much larger) host matrix.  While the walked submatrix fits the
+  pinned staging area (sized like device memory) these run at pinned speed;
+  past it the runtime falls back to pageable copies, whose bandwidth is much
+  lower and decays mildly with footprint.  This cliff is what produces the
+  sharp performance drop past the device-memory limit in the paper's Fig. 3
+  and the GPU/socket speed-ratio decline (9x -> ~4x) around Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.spec import GpuSpec
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """Transfer-time model of one GPU's PCIe connection."""
+
+    gpu: GpuSpec
+    staging_blocks: float
+
+    def __post_init__(self) -> None:
+        check_positive("staging_blocks", self.staging_blocks)
+
+    def contiguous_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` of contiguous (pinned) data one way."""
+        check_nonnegative("nbytes", nbytes)
+        if nbytes == 0:
+            return 0.0
+        return self.gpu.pcie_latency_s + nbytes / (self.gpu.pcie_contig_gbs * 1e9)
+
+    def pitched_bandwidth_gbs(self, footprint_blocks: float) -> float:
+        """Effective GB/s of pitched C-rectangle copies.
+
+        ``footprint_blocks`` is the area of the full host submatrix being
+        walked during the kernel run (not the size of one transfer call).
+        Within the staging area: pinned speed.  Past it: pageable fallback
+        with a mild footprint-dependent decay.
+        """
+        check_nonnegative("footprint_blocks", footprint_blocks)
+        if footprint_blocks <= self.staging_blocks:
+            return self.gpu.pcie_pitched_pinned_gbs
+        ratio = footprint_blocks / self.staging_blocks
+        return self.gpu.pcie_pageable_gbs / (ratio ** self.gpu.pageable_decay_power)
+
+    def pitched_time(self, nbytes: float, footprint_blocks: float) -> float:
+        """Seconds to move ``nbytes`` of a pitched rectangle one way."""
+        check_nonnegative("nbytes", nbytes)
+        if nbytes == 0:
+            return 0.0
+        bw = self.pitched_bandwidth_gbs(footprint_blocks)
+        return self.gpu.pcie_latency_s + nbytes / (bw * 1e9)
+
+    def concurrent_copy_factor(self, kernel_active: bool) -> float:
+        """Bandwidth multiplier while a kernel occupies the memory controller."""
+        return self.gpu.concurrent_copy_slowdown if kernel_active else 1.0

@@ -1,0 +1,135 @@
+"""Preset platform configurations.
+
+:func:`ig_icl_node` reproduces the paper's experimental platform
+(``ig.icl.utk.edu``, Table I): four six-core AMD Opteron 8439SE sockets with
+16 GB each, accelerated by a GeForce GTX680 and a Tesla C870.  The
+calibration constants are chosen so the simulated speed functions land on
+the paper's own reported relationships:
+
+* socket plateau ``s6 ~ 105`` GFlops single precision at b = 640 (Fig. 2,
+  and consistent with Table II: 24 cores finishing the 40x40-block product
+  in ~100 s);
+* GTX680 combined speed ~9x a socket while ``C`` is device-resident
+  (capacity ~1150 blocks, the "memory limit" line in Fig. 3), decaying to
+  ~6x..4x for 50x50..70x70-block totals (Table III discussion);
+* kernel version 2 doubles version 1 in the resident range; version 3
+  gains ~30% over version 2 past the limit on the two-DMA GTX680 and less
+  on the single-DMA C870 (Fig. 3 / Fig. 4);
+* Tesla C870 ~2x a socket inside its ~718-block capacity (Table III,
+  40x40 row), ~1.6x at the 70x70 allocation;
+* GPU speed drops 7-15% under CPU contention, CPU cores barely affected
+  (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import (
+    CpuSpec,
+    GpuAttachment,
+    GpuSpec,
+    NodeSpec,
+    SocketSpec,
+)
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
+
+#: Calibrated solo-core sustained SGEMM rate of the Opteron 8439SE (GFlops).
+_OPTERON_CORE_GFLOPS = 21.0
+
+
+def opteron_8439se() -> CpuSpec:
+    """The node's CPU: six-core AMD Opteron 8439SE at 2.8 GHz."""
+    return CpuSpec(
+        name="AMD Opteron 8439SE",
+        clock_ghz=2.8,
+        peak_gflops=_OPTERON_CORE_GFLOPS,
+        ramp_depth=0.35,
+        ramp_blocks=8.0,
+        mem_pressure_blocks=120.0,
+        mem_pressure_slope=0.0004,
+    )
+
+
+def geforce_gtx680() -> GpuSpec:
+    """GeForce GTX680: 2 GB, two DMA engines (concurrent bidirectional copies)."""
+    return GpuSpec(
+        name="GeForce GTX680",
+        clock_mhz=1006.0,
+        cuda_cores=1536,
+        memory_mb=2048.0,
+        mem_bandwidth_gbs=192.3,
+        peak_gflops=1050.0,
+        rate_half_blocks=60.0,
+        reserved_mb=53.0,
+        pcie_contig_gbs=6.4,
+        pcie_pitched_pinned_gbs=6.4,
+        pcie_pageable_gbs=1.9,
+        pageable_decay_power=0.5,
+        dma_engines=2,
+        concurrent_copy_slowdown=0.9,
+    )
+
+
+def tesla_c870() -> GpuSpec:
+    """Tesla C870: 1.5 GB, a single DMA engine (one copy direction at a time)."""
+    return GpuSpec(
+        name="Tesla C870",
+        clock_mhz=600.0,
+        cuda_cores=128,
+        memory_mb=1536.0,
+        mem_bandwidth_gbs=76.8,
+        peak_gflops=245.0,
+        rate_half_blocks=40.0,
+        reserved_mb=268.0,
+        pcie_contig_gbs=3.0,
+        pcie_pitched_pinned_gbs=3.0,
+        pcie_pageable_gbs=1.0,
+        pageable_decay_power=0.5,
+        dma_engines=1,
+        concurrent_copy_slowdown=0.9,
+    )
+
+
+def ig_icl_node(block_size: int = DEFAULT_BLOCKING_FACTOR) -> NodeSpec:
+    """The paper's hybrid node (Table I), with GPUs on sockets 0 and 1.
+
+    The paper binds process 0 (Tesla C870's dedicated core) and process 6
+    (GTX680's) on different sockets; we attach the C870 to socket 0 and the
+    GTX680 to socket 1, leaving sockets 2 and 3 CPU-only.
+    """
+    socket = SocketSpec(
+        cpu=opteron_8439se(),
+        cores=6,
+        memory_gb=16.0,
+        contention_alpha=0.04,
+    )
+    return NodeSpec(
+        name="ig.icl.utk.edu",
+        socket=socket,
+        num_sockets=4,
+        gpus=(
+            GpuAttachment(gpu=tesla_c870(), socket_index=0),
+            GpuAttachment(gpu=geforce_gtx680(), socket_index=1),
+        ),
+        gpu_interference_drop=0.11,
+        cpu_interference_drop=0.015,
+        block_size=block_size,
+    )
+
+
+def cpu_only_node(
+    num_sockets: int = 4, block_size: int = DEFAULT_BLOCKING_FACTOR
+) -> NodeSpec:
+    """The same node without accelerators (baseline configurations)."""
+    socket = SocketSpec(
+        cpu=opteron_8439se(),
+        cores=6,
+        memory_gb=16.0,
+        contention_alpha=0.04,
+    )
+    return NodeSpec(
+        name="ig.icl.utk.edu-cpu",
+        socket=socket,
+        num_sockets=num_sockets,
+        gpus=(),
+        block_size=block_size,
+    )

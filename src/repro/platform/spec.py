@@ -1,0 +1,309 @@
+"""Hardware specification dataclasses (the simulator's "Table I").
+
+Specs are pure data: names, counts, capacities and calibration parameters.
+Behaviour (time prediction) lives in :mod:`repro.platform.device` and its
+helper models.  Separating the two lets tests and examples define synthetic
+platforms without touching the performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU core's calibration parameters for the GEMM kernel.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (e.g. ``"AMD Opteron 8439SE"``).
+    clock_ghz:
+        Core clock; informational only (speed comes from ``peak_gflops``).
+    peak_gflops:
+        Sustained single-core single-precision GEMM rate at large sizes,
+        with no sharing (one active core on the socket).
+    ramp_depth, ramp_blocks:
+        Small-size efficiency ramp: a kernel on a per-core area of ``a``
+        blocks runs at ``peak * (1 - ramp_depth * exp(-a / ramp_blocks))``.
+        Models loop / cache warm-up overheads dominating tiny problems.
+    mem_pressure_blocks, mem_pressure_slope:
+        Beyond ``mem_pressure_blocks`` per core, speed decays mildly as
+        ``1 / (1 + slope * (a - threshold))`` — the gentle droop visible at
+        the right of the paper's Fig. 2.
+    gemm_halfpoint_elems:
+        GEMM rate dependence on the blocking factor ``b`` (the kernel's
+        inner dimension): rate scales with ``b / (b + halfpoint)``,
+        normalised to 1.0 at the paper's b = 640.  Drives the Section V
+        discussion that "with a larger b, all processing elements perform
+        better".
+    """
+
+    name: str
+    clock_ghz: float
+    peak_gflops: float
+    ramp_depth: float = 0.35
+    ramp_blocks: float = 8.0
+    mem_pressure_blocks: float = 120.0
+    mem_pressure_slope: float = 0.0004
+    gemm_halfpoint_elems: float = 40.0
+
+    def __post_init__(self) -> None:
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("peak_gflops", self.peak_gflops)
+        check_nonnegative("ramp_depth", self.ramp_depth)
+        if self.ramp_depth >= 1.0:
+            raise ValueError("ramp_depth must be < 1 (speed must stay positive)")
+        check_positive("ramp_blocks", self.ramp_blocks)
+        check_nonnegative("mem_pressure_blocks", self.mem_pressure_blocks)
+        check_nonnegative("mem_pressure_slope", self.mem_pressure_slope)
+        check_nonnegative("gemm_halfpoint_elems", self.gemm_halfpoint_elems)
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """A multicore socket: identical cores sharing memory bandwidth.
+
+    ``contention_alpha`` parameterises the per-core slowdown when ``c`` cores
+    run the kernel simultaneously: each runs at ``1 / (1 + alpha * (c - 1))``
+    of its solo speed (see :class:`repro.platform.contention.SocketContention`).
+    """
+
+    cpu: CpuSpec
+    cores: int
+    memory_gb: float
+    contention_alpha: float = 0.04
+    #: Aggregate socket memory bandwidth (DDR2-800 dual channel for the
+    #: paper's Opterons) — the wall memory-bound kernels hit.
+    mem_bandwidth_gbs: float = 12.8
+
+    def __post_init__(self) -> None:
+        check_positive_int("cores", self.cores)
+        check_positive("memory_gb", self.memory_gb)
+        check_nonnegative("contention_alpha", self.contention_alpha)
+        check_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU accelerator and its host link.
+
+    Attributes
+    ----------
+    peak_gflops:
+        Asymptotic on-device GEMM rate.
+    rate_half_blocks:
+        Size at which the kernel reaches half of peak:
+        ``rate(a) = peak * a / (a + rate_half_blocks)`` — GPUs are strongly
+        under-utilised on small matrices.
+    memory_mb / reserved_mb:
+        Device memory and the part unavailable to kernel buffers (runtime,
+        context, alignment slack).
+    pcie_contig_gbs:
+        Effective bandwidth of contiguous (pinned) host<->device transfers —
+        used for pivot rows/columns.
+    pcie_pitched_pinned_gbs:
+        Bandwidth of 2D pitched C-rectangle transfers while the whole walked
+        submatrix fits the pinned staging area (sized like device memory).
+    pcie_pageable_gbs:
+        Bandwidth of pitched transfers once the host footprint exceeds the
+        staging area and the runtime falls back to pageable copies — the
+        classic cudaMemcpy2D-from-pageable-memory cliff.  It decays mildly
+        with footprint: ``bw = pageable / (footprint / staging) ** power``.
+    pageable_decay_power:
+        Exponent of that mild decay (0 disables it).
+    dma_engines:
+        1 (Tesla C870: one copy direction at a time) or 2 (GTX680:
+        concurrent bidirectional copies) — drives the overlap gain of GPU
+        kernel version 3 (paper Fig. 4b).
+    concurrent_copy_slowdown:
+        DMA bandwidth multiplier while a kernel is executing (copies and
+        compute share the memory controller).
+    alignment_unit:
+        Tile dimensions should be multiples of this (32 for CUBLAS, see the
+        paper's citation of Barrachina et al.); misaligned tiles pay
+        ``misalignment_penalty`` on compute.
+    gemm_halfpoint_elems:
+        GEMM rate dependence on the blocking factor (see
+        :class:`CpuSpec.gemm_halfpoint_elems`); GPUs are hungrier for a
+        large inner dimension than CPUs.
+    """
+
+    name: str
+    clock_mhz: float
+    cuda_cores: int
+    memory_mb: float
+    mem_bandwidth_gbs: float
+    peak_gflops: float
+    rate_half_blocks: float = 60.0
+    reserved_mb: float = 160.0
+    pcie_contig_gbs: float = 6.4
+    pcie_pitched_pinned_gbs: float = 6.4
+    pcie_pageable_gbs: float = 1.9
+    pcie_latency_s: float = 2.0e-5
+    pageable_decay_power: float = 0.5
+    dma_engines: int = 2
+    concurrent_copy_slowdown: float = 1.0
+    alignment_unit: int = 32
+    misalignment_penalty: float = 1.15
+    gemm_halfpoint_elems: float = 100.0
+    #: Rate penalty coefficient for non-square tiles:
+    #: ``rate /= 1 + coeff * log2(aspect)^2``.  Small, so nearly square
+    #: shapes are equivalent (the paper's Section IV assumption) while
+    #: extreme strips lose measurably.
+    aspect_penalty: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_positive("clock_mhz", self.clock_mhz)
+        check_positive_int("cuda_cores", self.cuda_cores)
+        check_positive("memory_mb", self.memory_mb)
+        check_nonnegative("reserved_mb", self.reserved_mb)
+        if self.reserved_mb >= self.memory_mb:
+            raise ValueError("reserved_mb must be smaller than memory_mb")
+        check_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+        check_positive("peak_gflops", self.peak_gflops)
+        check_positive("rate_half_blocks", self.rate_half_blocks)
+        check_positive("pcie_contig_gbs", self.pcie_contig_gbs)
+        check_positive("pcie_pitched_pinned_gbs", self.pcie_pitched_pinned_gbs)
+        check_positive("pcie_pageable_gbs", self.pcie_pageable_gbs)
+        if self.pcie_pageable_gbs > self.pcie_pitched_pinned_gbs:
+            raise ValueError(
+                "pcie_pageable_gbs cannot exceed pcie_pitched_pinned_gbs "
+                "(pageable copies are never faster than pinned ones)"
+            )
+        check_nonnegative("pcie_latency_s", self.pcie_latency_s)
+        check_nonnegative("pageable_decay_power", self.pageable_decay_power)
+        if self.dma_engines not in (1, 2):
+            raise ValueError(f"dma_engines must be 1 or 2, got {self.dma_engines}")
+        check_positive("concurrent_copy_slowdown", self.concurrent_copy_slowdown)
+        if self.concurrent_copy_slowdown > 1.0:
+            raise ValueError("concurrent_copy_slowdown is a multiplier <= 1")
+        check_positive_int("alignment_unit", self.alignment_unit)
+        check_positive("misalignment_penalty", self.misalignment_penalty)
+        check_nonnegative("gemm_halfpoint_elems", self.gemm_halfpoint_elems)
+        check_nonnegative("aspect_penalty", self.aspect_penalty)
+
+    @property
+    def usable_memory_mb(self) -> float:
+        """Device memory available for kernel buffers."""
+        return self.memory_mb - self.reserved_mb
+
+
+@dataclass(frozen=True)
+class GpuAttachment:
+    """Placement of a GPU on the node: which socket hosts its dedicated core."""
+
+    gpu: GpuSpec
+    socket_index: int
+
+    def __post_init__(self) -> None:
+        if self.socket_index < 0:
+            raise ValueError("socket_index must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A full hybrid node: sockets plus attached GPUs.
+
+    Sockets default to identical copies of ``socket``; a heterogeneous
+    machine (mixed CPU generations, different core counts) supplies
+    per-index overrides via ``socket_overrides``.
+
+    ``gpu_interference_drop`` is the fractional slowdown of a GPU's combined
+    (GPU + dedicated core) speed when CPU kernels run on the same socket —
+    the paper measures 7–15% (Fig. 5b).  ``cpu_interference_drop`` is the
+    (much smaller) reverse effect on the CPU cores (Fig. 5a).
+    """
+
+    name: str
+    socket: SocketSpec
+    num_sockets: int
+    gpus: tuple[GpuAttachment, ...] = ()
+    gpu_interference_drop: float = 0.11
+    cpu_interference_drop: float = 0.015
+    block_size: int = DEFAULT_BLOCKING_FACTOR
+    socket_overrides: tuple[tuple[int, SocketSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_sockets", self.num_sockets)
+        check_nonnegative("gpu_interference_drop", self.gpu_interference_drop)
+        check_nonnegative("cpu_interference_drop", self.cpu_interference_drop)
+        if self.gpu_interference_drop >= 1 or self.cpu_interference_drop >= 1:
+            raise ValueError("interference drops are fractions < 1")
+        check_positive_int("block_size", self.block_size)
+        seen_overrides = set()
+        for idx, spec in self.socket_overrides:
+            if not 0 <= idx < self.num_sockets:
+                raise ValueError(
+                    f"socket override index {idx} outside the node's "
+                    f"{self.num_sockets} sockets"
+                )
+            if idx in seen_overrides:
+                raise ValueError(f"duplicate socket override for index {idx}")
+            seen_overrides.add(idx)
+            if not isinstance(spec, SocketSpec):
+                raise TypeError(
+                    f"socket override {idx} must be a SocketSpec, got "
+                    f"{type(spec).__name__}"
+                )
+        for att in self.gpus:
+            if att.socket_index >= self.num_sockets:
+                raise ValueError(
+                    f"GPU {att.gpu.name} attached to socket {att.socket_index} "
+                    f"but node has only {self.num_sockets} sockets"
+                )
+        per_socket = {}
+        for att in self.gpus:
+            per_socket[att.socket_index] = per_socket.get(att.socket_index, 0) + 1
+        for idx, count in per_socket.items():
+            cores = self.socket_spec(idx).cores
+            if count >= cores:
+                raise ValueError(
+                    f"socket {idx} hosts {count} GPUs but has only "
+                    f"{cores} cores for dedicated host processes"
+                )
+
+    def socket_spec(self, index: int) -> SocketSpec:
+        """The (possibly overridden) spec of one socket."""
+        if not 0 <= index < self.num_sockets:
+            raise ValueError(
+                f"socket index {index} outside the node's "
+                f"{self.num_sockets} sockets"
+            )
+        for idx, spec in self.socket_overrides:
+            if idx == index:
+                return spec
+        return self.socket
+
+    @property
+    def heterogeneous_sockets(self) -> bool:
+        """True when any socket differs from the default."""
+        return bool(self.socket_overrides)
+
+    @property
+    def total_cores(self) -> int:
+        """All CPU cores on the node (dedicated ones included)."""
+        return sum(
+            self.socket_spec(i).cores for i in range(self.num_sockets)
+        )
+
+    def cpu_cores_available(self) -> int:
+        """Cores left for CPU kernels after dedicating one per GPU."""
+        return self.total_cores - len(self.gpus)
+
+    def gpus_on_socket(self, socket_index: int) -> list[GpuAttachment]:
+        """GPU attachments hosted by one socket."""
+        return [a for a in self.gpus if a.socket_index == socket_index]
+
+
+# Backwards-friendly alias used in examples/docs: a NodeSpec *is* the hybrid
+# node description.
+HybridNode = NodeSpec

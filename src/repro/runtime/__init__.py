@@ -1,0 +1,20 @@
+"""Simulated distributed-memory runtime.
+
+The paper executes the application as MPI processes bound to cores of one
+hybrid node.  This package provides the simulation equivalents: a
+discrete-event engine (:mod:`repro.runtime.event_sim`), a communicator with
+a latency/bandwidth cost model and tree collectives
+(:mod:`repro.runtime.mpi_sim`), and process abstractions bound to simulated
+devices (:mod:`repro.runtime.process`).
+"""
+
+from repro.runtime.event_sim import EventSimulator
+from repro.runtime.mpi_sim import CommModel, SimulatedComm
+from repro.runtime.process import DeviceBoundProcess
+
+__all__ = [
+    "EventSimulator",
+    "CommModel",
+    "SimulatedComm",
+    "DeviceBoundProcess",
+]

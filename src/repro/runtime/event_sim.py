@@ -1,0 +1,67 @@
+"""A minimal deterministic discrete-event simulation engine.
+
+Used by the simulated communicator to time tree collectives, and available
+to extensions that need richer schedules than the analytic paths (e.g. the
+per-process traces of the execution simulator).  Determinism: ties in event
+time break by insertion sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[["EventSimulator"], None] = field(compare=False)
+
+
+class EventSimulator:
+    """A classic event-queue simulator with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, action: Callable[["EventSimulator"], None]) -> None:
+        """Run ``action`` ``delay`` seconds from the current clock."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, _Event(self.now + delay, next(self._seq), action)
+        )
+
+    def schedule_at(self, time: float, action: Callable[["EventSimulator"], None]) -> None:
+        """Run ``action`` at an absolute simulation time (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, clock already at {self.now}"
+            )
+        heapq.heappush(self._queue, _Event(time, next(self._seq), action))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally only up to ``until``); return the clock."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            self._processed += 1
+            event.action(self)
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,158 @@
+"""Simulated communicator with a latency/bandwidth cost model.
+
+Processes live on one shared-memory NUMA node, so point-to-point transfers
+follow the classic Hockney model ``t = latency + nbytes / bandwidth``.
+Collectives are timed by simulating the binomial communication tree on the
+discrete-event engine — not by a closed-form log formula — so irregular
+message sizes and rooted subsets behave correctly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.runtime.event_sim import EventSimulator
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Hockney point-to-point parameters for intra-node messaging.
+
+    Defaults model shared-memory MPI on the paper's node: a few
+    microseconds of latency and a couple of GB/s of effective per-pair
+    copy bandwidth.
+    """
+
+    latency_s: float = 5.0e-6
+    bandwidth_gbs: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("latency_s", self.latency_s)
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+
+    def p2p_time(self, nbytes: float) -> float:
+        """Seconds to move one message between two processes."""
+        check_nonnegative("nbytes", nbytes)
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+class SimulatedComm:
+    """A communicator over ``size`` ranks with a shared cost model."""
+
+    def __init__(self, size: int, model: CommModel = CommModel()):
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self.model = model
+
+    def bcast_time(self, nbytes: float, participants: int | None = None) -> float:
+        """Completion time of a binomial-tree broadcast to ``participants``.
+
+        The root sends to progressively nearer ranks; each receiver
+        forwards in later rounds, all simulated on the event engine.
+        """
+        p = self.size if participants is None else participants
+        if p < 1 or p > self.size:
+            raise ValueError(
+                f"participants must be in [1, {self.size}], got {p}"
+            )
+        if p == 1 or nbytes == 0:
+            return 0.0
+        sim = EventSimulator()
+        per_hop = self.model.p2p_time(nbytes)
+        done = [math.inf] * p
+        done[0] = 0.0
+
+        def send(sim: EventSimulator, sender: int, receiver: int) -> None:
+            def deliver(sim2: EventSimulator) -> None:
+                done[receiver] = sim2.now
+                _fanout(sim2, receiver)
+
+            sim.schedule(per_hop, deliver)
+
+        def _fanout(sim: EventSimulator, rank: int) -> None:
+            # binomial tree: rank r sends to r + 2^k for increasing k
+            offset = 1
+            while rank + offset < p:
+                if rank % (2 * offset) == 0:
+                    send(sim, rank, rank + offset)
+                    offset *= 2
+                else:
+                    break
+
+        def kick(sim: EventSimulator) -> None:
+            _fanout(sim, 0)
+
+        sim.schedule(0.0, kick)
+        sim.run()
+        finish = max(t for t in done if math.isfinite(t))
+        return finish
+
+    def gather_time(self, nbytes_per_rank: float) -> float:
+        """Completion time of a binomial-tree gather to rank 0.
+
+        Symmetric to broadcast for equal contributions (message sizes grow
+        toward the root; we charge each merge its combined payload).
+        """
+        check_nonnegative("nbytes_per_rank", nbytes_per_rank)
+        if self.size == 1 or nbytes_per_rank == 0:
+            return 0.0
+        # reverse binomial tree: at round k, ranks with bit k set send their
+        # accumulated 2^k contributions
+        total = 0.0
+        rounds = math.ceil(math.log2(self.size))
+        for k in range(rounds):
+            payload = nbytes_per_rank * (2**k)
+            total += self.model.p2p_time(payload)
+        return total
+
+    def barrier_time(self) -> float:
+        """A zero-byte dissemination barrier: latency * ceil(log2 p)."""
+        if self.size == 1:
+            return 0.0
+        return self.model.latency_s * math.ceil(math.log2(self.size))
+
+    def scatter_time(self, nbytes_per_rank: float) -> float:
+        """Binomial-tree scatter from rank 0, halving payloads per level.
+
+        The root first sends half the data to its subtree peer, then a
+        quarter, and so on — each round's message is the portion destined
+        for the receiving subtree.
+        """
+        check_nonnegative("nbytes_per_rank", nbytes_per_rank)
+        if self.size == 1 or nbytes_per_rank == 0:
+            return 0.0
+        total = 0.0
+        remaining = self.size
+        while remaining > 1:
+            half = remaining // 2
+            total += self.model.p2p_time(nbytes_per_rank * half)
+            remaining -= half
+        return total
+
+    def allgather_time(self, nbytes_per_rank: float) -> float:
+        """Recursive-doubling allgather: payloads double each round."""
+        check_nonnegative("nbytes_per_rank", nbytes_per_rank)
+        if self.size == 1 or nbytes_per_rank == 0:
+            return 0.0
+        rounds = math.ceil(math.log2(self.size))
+        total = 0.0
+        for k in range(rounds):
+            total += self.model.p2p_time(nbytes_per_rank * (2**k))
+        return total
+
+    def reduce_time(self, nbytes: float) -> float:
+        """Binomial-tree reduction to rank 0 of fixed-size contributions.
+
+        Unlike gather, the payload does not grow toward the root (partial
+        results are combined), so every round moves ``nbytes``.
+        """
+        check_nonnegative("nbytes", nbytes)
+        if self.size == 1 or nbytes == 0:
+            return 0.0
+        rounds = math.ceil(math.log2(self.size))
+        return rounds * self.model.p2p_time(nbytes)

@@ -1,0 +1,107 @@
+"""Real parallel execution of the partitioned product (multiprocessing).
+
+Everything else in :mod:`repro.runtime` *simulates* the distributed
+runtime; this module actually runs the heterogeneous decomposition in
+parallel on the host machine: each worker process computes one rectangle
+of ``C`` with numpy (``C_rect = A[rows, :] @ B[:, cols]`` — the
+mathematical effect of the rectangle's accumulated rank-``b`` updates).
+
+Purpose: an end-to-end, genuinely parallel demonstration that an FPM plan
+is a correct decomposition — every block of the result is produced by
+exactly one owner, workers share nothing, and the assembled matrix equals
+``A @ B``.  Worker payloads are the input *strips* a rectangle owner would
+hold, so the communication pattern mirrors the data distribution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.app.blocking import BlockGrid
+from repro.core.geometry import ColumnPartition, Rectangle
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ParallelRunReport:
+    """What the parallel run did (for tests and curious users)."""
+
+    workers_used: int
+    rectangles_computed: int
+    elements_computed: int
+
+
+def _compute_rectangle(
+    payload: tuple[int, np.ndarray, np.ndarray]
+) -> tuple[int, np.ndarray]:
+    """Worker: multiply one owner's strips (runs in a separate process)."""
+    owner, a_strip, b_strip = payload
+    return owner, a_strip @ b_strip
+
+
+def parallel_partitioned_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    partition: ColumnPartition,
+    block_size: int,
+    max_workers: int | None = None,
+) -> tuple[np.ndarray, ParallelRunReport]:
+    """Compute ``C = A @ B`` with one parallel task per rectangle.
+
+    Parameters
+    ----------
+    a, b:
+        Square matrices matching the partition's block grid.
+    partition:
+        The column-based arrangement whose rectangles define the tasks.
+    block_size:
+        Blocking factor of the grid.
+    max_workers:
+        Process-pool size (defaults to the pool's own policy).  Rectangles
+        are independent, so any worker count yields the same result.
+    """
+    check_positive_int("block_size", block_size)
+    grid = BlockGrid(partition.n, block_size)
+    if a.shape != (grid.elements, grid.elements) or b.shape != a.shape:
+        raise ValueError(
+            f"matrices must be {grid.elements} x {grid.elements} for this "
+            f"partition, got A {a.shape}, B {b.shape}"
+        )
+    live: list[Rectangle] = [r for r in partition.rectangles if r.area > 0]
+    payloads = []
+    for rect in live:
+        rows = grid.block_slice(rect.row, rect.height)
+        cols = grid.block_slice(rect.col, rect.width)
+        payloads.append((rect.owner, a[rows, :], b[:, cols]))
+
+    c = np.zeros_like(a)
+    workers = max_workers or min(8, len(live))
+    if workers <= 1 or len(live) == 1:
+        results = [_compute_rectangle(p) for p in payloads]
+        workers_used = 1
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_compute_rectangle, payloads))
+        workers_used = workers
+
+    by_owner = {r.owner: r for r in live}
+    elements = 0
+    for owner, block in results:
+        rect = by_owner[owner]
+        rows = grid.block_slice(rect.row, rect.height)
+        cols = grid.block_slice(rect.col, rect.width)
+        c[rows, cols] = block
+        elements += block.size
+    if elements != grid.elements * grid.elements:
+        raise RuntimeError(
+            f"workers produced {elements} elements, expected "
+            f"{grid.elements ** 2} — the partition did not tile the matrix"
+        )
+    return c, ParallelRunReport(
+        workers_used=workers_used,
+        rectangles_computed=len(live),
+        elements_computed=elements,
+    )

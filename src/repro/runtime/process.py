@@ -1,0 +1,82 @@
+"""Processes bound to devices: the unit the application simulator schedules.
+
+Each application process is one rank pinned to one core; a *dedicated*
+process drives a GPU and charges the GPU kernel's combined time, every
+other process charges the CPU kernel time of its core group.  Contention
+state is derived from the binding plan: CPU processes know whether a GPU
+shares their socket, GPU processes know how many CPU kernels run beside
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.gemm_cpu import CpuCoreGemmKernel
+from repro.kernels.gemm_gpu import gpu_kernel as make_gpu_kernel
+from repro.measurement.binding import BindingPlan, ProcessBinding
+from repro.platform.device import SimulatedGpu, SimulatedSocket
+
+
+@dataclass(frozen=True)
+class DeviceBoundProcess:
+    """One application rank with its kernel and contention context."""
+
+    binding: ProcessBinding
+    kernel: object  # Kernel protocol
+    busy_cpu_cores: int  # CPU kernels sharing the socket (GPU processes)
+
+    @property
+    def rank(self) -> int:
+        return self.binding.rank
+
+    @property
+    def is_dedicated(self) -> bool:
+        return self.binding.is_dedicated
+
+    def iteration_time(self, area_blocks: float) -> float:
+        """Ideal seconds of one kernel run on this process's area."""
+        if area_blocks == 0:
+            return 0.0
+        return self.kernel.run_time(area_blocks, self.busy_cpu_cores)
+
+
+def bind_processes(
+    plan: BindingPlan,
+    sockets: list[SimulatedSocket],
+    gpus: list[SimulatedGpu],
+    gpu_version: int = 3,
+    cpu_loaded: bool = True,
+) -> list[DeviceBoundProcess]:
+    """Instantiate all ranks of a binding plan with their kernels.
+
+    ``cpu_loaded`` marks whether CPU processes actually receive work (it
+    determines the GPU processes' contention state in the default, fully
+    loaded application).
+    """
+    processes: list[DeviceBoundProcess] = []
+    for b in plan.bindings:
+        socket = sockets[b.socket_index]
+        cpu_ranks_here = plan.cpu_ranks_on_socket(b.socket_index)
+        gpus_here = [
+            pb for pb in plan.bindings
+            if pb.socket_index == b.socket_index and pb.is_dedicated
+        ]
+        if b.is_dedicated:
+            kernel = make_gpu_kernel(gpus[b.gpu_index], gpu_version)
+            busy = len(cpu_ranks_here) if cpu_loaded else 0
+            processes.append(
+                DeviceBoundProcess(binding=b, kernel=kernel, busy_cpu_cores=busy)
+            )
+        else:
+            # each CPU process runs the kernel on 1 core; the effective
+            # per-core speed reflects all active CPU kernels on the socket
+            kernel = CpuCoreGemmKernel(
+                socket=socket,
+                active_cores=max(1, len(cpu_ranks_here)),
+                gpu_active=bool(gpus_here),
+            )
+            processes.append(
+                DeviceBoundProcess(binding=b, kernel=kernel, busy_cpu_cores=0)
+            )
+    return processes

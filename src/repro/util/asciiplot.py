@@ -1,0 +1,116 @@
+"""Terminal line plots for the experiment CLI.
+
+The paper's figures are speed/time curves; ``python -m repro fig3 --plot``
+renders them as ASCII charts so the shapes (plateaus, cliffs, crossovers)
+are visible without leaving the terminal.  Pure-text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.validation import check_positive_int
+
+#: Symbols assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 68,
+    height: int = 18,
+    title: str | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more y-series against a shared x-axis.
+
+    Points are plotted with one marker per series; a legend maps markers
+    to names.  Values are linearly scaled into the plot box; non-finite
+    values are skipped.
+    """
+    check_positive_int("width", width)
+    check_positive_int("height", height)
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x_values)}"
+            )
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    xs = [float(x) for x in x_values]
+    all_y = [
+        float(y)
+        for ys in series.values()
+        for y in ys
+        if math.isfinite(float(y))
+    ]
+    if not xs or not all_y:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = mark
+
+    for (name, ys), mark in zip(series.items(), _MARKERS):
+        pts = [
+            (x, float(y))
+            for x, y in zip(xs, ys)
+            if math.isfinite(float(y))
+        ]
+        # connect consecutive points with interpolated marks for visibility
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(
+                2,
+                round(abs(x1 - x0) / (x_hi - x_lo) * (width - 1)) + 1,
+            )
+            for k in range(steps + 1):
+                t = k / steps
+                place(x0 + t * (x1 - x0), y0 + t * (y1 - y0), mark)
+        for x, y in pts:
+            place(x, y, mark)
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"), len(y_label)
+    )
+    if y_label:
+        lines.append(f"{y_label:>{label_width}}")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.4g}"
+        elif i == height - 1:
+            label = f"{y_lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+    axis = f"{'':>{label_width}} +{'-' * width}+"
+    lines.append(axis)
+    x_left = f"{x_lo:.4g}"
+    x_right = f"{x_hi:.4g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{'':>{label_width}}  {x_left}{' ' * max(1, padding)}{x_right}"
+        + (f"  {x_label}" if x_label else "")
+    )
+    legend = "   ".join(
+        f"{mark} = {name}" for (name, _), mark in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)

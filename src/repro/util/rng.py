@@ -1,0 +1,79 @@
+"""Deterministic random-number management.
+
+Every stochastic element of the simulation (measurement noise, contention
+jitter) draws from an :class:`RngStream`, a thin wrapper around
+``numpy.random.Generator`` that supports hierarchical, *named* child streams.
+Deriving children by name rather than by call order keeps experiments
+reproducible even when the code paths that consume randomness are reordered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *names: str) -> int:
+    """Derive a child seed from a base seed and a path of names.
+
+    Uses BLAKE2 over the textual path so the mapping is stable across runs,
+    platforms and Python versions (unlike ``hash()``).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(base_seed)).encode("utf-8"))
+    for name in names:
+        h.update(b"/")
+        h.update(str(name).encode("utf-8"))
+    return int.from_bytes(h.digest(), "little")
+
+
+class RngStream:
+    """A named, seedable random stream with named child derivation.
+
+    >>> root = RngStream(42)
+    >>> a = root.child("gpu0")
+    >>> b = root.child("gpu0")
+    >>> a.uniform(0, 1) == b.uniform(0, 1)
+    True
+    """
+
+    def __init__(self, seed: int, _path: tuple[str, ...] = ()):
+        self.seed = int(seed)
+        self.path = _path
+        self._gen = np.random.default_rng(derive_seed(self.seed, *_path))
+
+    def child(self, name: str) -> "RngStream":
+        """Return an independent stream derived from this one by ``name``."""
+        return RngStream(self.seed, self.path + (str(name),))
+
+    # -- convenience draws -------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in [low, high)."""
+        return float(self._gen.uniform(low, high))
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        """One Gaussian draw."""
+        return float(self._gen.normal(mean, std))
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """A multiplicative noise factor with median 1.0 (log-normal)."""
+        if sigma == 0.0:
+            return 1.0
+        return float(np.exp(self._gen.normal(0.0, sigma)))
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer draw in [low, high)."""
+        return int(self._gen.integers(low, high))
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._gen.shuffle(items)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy Generator (for bulk array draws)."""
+        return self._gen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngStream(seed={self.seed}, path={'/'.join(self.path) or '<root>'})"

@@ -1,0 +1,129 @@
+"""Statistical helpers for the measurement subsystem.
+
+Section III of the paper requires that "experiments are repeated multiple
+times until the results are statistically reliable".  The standard protocol
+(used by the authors' fupermod tool) is: keep repeating until the half-width
+of the Student-t confidence interval of the mean drops below a requested
+fraction of the mean, subject to a minimum/maximum repetition count.
+
+:class:`RunningStats` implements Welford's online algorithm so the benchmark
+loop never stores the full sample history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as _scipy_stats
+
+from repro.util.validation import check_positive, check_probability
+
+
+def student_t_critical(confidence: float, dof: int) -> float:
+    """Two-sided Student-t critical value for a confidence level and dof >= 1."""
+    check_probability("confidence", confidence)
+    if dof < 1:
+        raise ValueError(f"dof must be >= 1, got {dof}")
+    alpha = 1.0 - confidence
+    return float(_scipy_stats.t.ppf(1.0 - alpha / 2.0, dof))
+
+
+def confidence_interval(
+    mean: float, std: float, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Student-t confidence interval of the mean of ``n`` observations."""
+    if n < 2:
+        raise ValueError("confidence interval needs at least 2 observations")
+    half = student_t_critical(confidence, n - 1) * std / math.sqrt(n)
+    return (mean - half, mean + half)
+
+
+def relative_precision(mean: float, std: float, n: int, confidence: float = 0.95) -> float:
+    """CI half-width divided by the mean (the reliability criterion).
+
+    Returns ``inf`` when fewer than two observations exist or the mean is 0.
+    """
+    if n < 2 or mean == 0.0:
+        return math.inf
+    half = student_t_critical(confidence, n - 1) * std / math.sqrt(n)
+    return abs(half / mean)
+
+
+@dataclass
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    >>> rs = RunningStats()
+    >>> for v in (1.0, 2.0, 3.0):
+    ...     rs.add(v)
+    >>> rs.mean
+    2.0
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Accumulate one observation."""
+        if not math.isfinite(value):
+            raise ValueError(f"observation must be finite, got {value!r}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 until two observations exist)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def relative_precision(self, confidence: float = 0.95) -> float:
+        """Reliability criterion of the accumulated sample (see module doc)."""
+        return relative_precision(self.mean, self.std, self.count, confidence)
+
+    def is_reliable(self, rel_err: float = 0.025, confidence: float = 0.95) -> bool:
+        """True when the CI half-width is within ``rel_err`` of the mean."""
+        check_positive("rel_err", rel_err)
+        return self.relative_precision(confidence) <= rel_err
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to both samples combined."""
+        if other.count == 0:
+            return RunningStats(self.count, self.mean, self._m2)
+        if self.count == 0:
+            return RunningStats(other.count, other.mean, other._m2)
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / n
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        return RunningStats(n, mean, m2)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    log_sum = 0.0
+    for v in values:
+        check_positive("value", v)
+        log_sum += math.log(v)
+    return math.exp(log_sum / len(values))
+
+
+def coefficient_of_variation(values: list[float]) -> float:
+    """Sample std / mean; 0.0 for constant or single-element samples."""
+    rs = RunningStats()
+    for v in values:
+        rs.add(v)
+    if rs.count < 2 or rs.mean == 0.0:
+        return 0.0
+    return rs.std / abs(rs.mean)

@@ -1,0 +1,79 @@
+"""Minimal ASCII table rendering for experiment and benchmark output.
+
+The experiment harness prints the same rows the paper's tables report; this
+module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    """Render a single cell: floats get fixed precision, others use str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking columns.
+
+    >>> print(render_table(["n", "t"], [[1, 2.5]]))
+    n |    t
+    --+-----
+    1 | 2.50
+    """
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[j]) for j, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render several named y-series against a common x-axis as a table.
+
+    This mirrors how the paper's figures are tabulated in EXPERIMENTS.md.
+    """
+    headers = [x_name, *series.keys()]
+    columns = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(col)} points but x has {len(x_values)}"
+            )
+    rows = [
+        [x, *(col[i] for col in columns)]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title, precision=precision)

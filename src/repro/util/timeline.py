@@ -1,0 +1,114 @@
+"""Resource timelines for the out-of-core overlap simulator.
+
+The GPU kernel version 3 (paper Fig. 4b) pipelines three resource classes —
+the compute engine and one or two DMA engines — and its simulated schedule is
+recorded as a :class:`Timeline` of :class:`Interval` records.  The timeline
+offers the integrity checks the tests rely on: intervals on one resource must
+never overlap, and makespan/utilization queries drive the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open occupancy interval ``[start, end)`` of one resource."""
+
+    resource: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.end >= self.start:
+            raise ValueError(
+                f"interval end {self.end} earlier than start {self.start}"
+            )
+        if self.start < 0:
+            raise ValueError(f"interval start must be >= 0, got {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two half-open intervals intersect in time."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Timeline:
+    """An append-only schedule of resource occupancy intervals."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, resource: str, start: float, end: float, label: str = "") -> Interval:
+        """Record an occupancy interval and return it."""
+        iv = Interval(resource, start, end, label)
+        self.intervals.append(iv)
+        return iv
+
+    def makespan(self) -> float:
+        """Latest end time over all intervals (0.0 when empty)."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def resources(self) -> list[str]:
+        """Sorted list of distinct resource names seen so far."""
+        return sorted({iv.resource for iv in self.intervals})
+
+    def on_resource(self, resource: str) -> list[Interval]:
+        """Intervals of one resource, ordered by start time."""
+        return sorted(
+            (iv for iv in self.intervals if iv.resource == resource),
+            key=lambda iv: (iv.start, iv.end),
+        )
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupied time of a resource (union of its intervals)."""
+        merged = merge_intervals(self.on_resource(resource))
+        return sum(end - start for start, end in merged)
+
+    def utilization(self, resource: str) -> float:
+        """Busy time of a resource divided by the makespan (0.0 when empty)."""
+        span = self.makespan()
+        if span == 0.0:
+            return 0.0
+        return self.busy_time(resource) / span
+
+    def conflicts(self) -> list[tuple[Interval, Interval]]:
+        """Pairs of same-resource intervals that overlap (should be empty).
+
+        Zero-duration intervals never conflict.
+        """
+        bad: list[tuple[Interval, Interval]] = []
+        for resource in self.resources():
+            ivs = [iv for iv in self.on_resource(resource) if iv.duration > 0]
+            for a, b in zip(ivs, ivs[1:]):
+                if a.overlaps(b):
+                    bad.append((a, b))
+        return bad
+
+    def validate(self) -> None:
+        """Raise ValueError when any resource double-books itself."""
+        bad = self.conflicts()
+        if bad:
+            a, b = bad[0]
+            raise ValueError(
+                f"resource {a.resource!r} double-booked: "
+                f"{a.label or a} overlaps {b.label or b}"
+            )
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping intervals into disjoint (start, end) spans."""
+    spans = sorted((iv.start, iv.end) for iv in intervals)
+    merged: list[tuple[float, float]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,60 @@
+"""Unit tests for blocked-matrix bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.app.blocking import BlockGrid
+from repro.core.geometry import Rectangle
+
+
+@pytest.fixture()
+def grid():
+    return BlockGrid(n=4, block_size=3)
+
+
+@pytest.fixture()
+def matrix(grid):
+    return np.arange(grid.elements**2, dtype=float).reshape(
+        grid.elements, grid.elements
+    )
+
+
+class TestBlockGrid:
+    def test_elements(self, grid):
+        assert grid.elements == 12
+
+    def test_block_slice(self, grid):
+        s = grid.block_slice(1, 2)
+        assert (s.start, s.stop) == (3, 9)
+
+    def test_block_slice_bounds(self, grid):
+        with pytest.raises(ValueError):
+            grid.block_slice(3, 2)
+
+    def test_rectangle_view_is_view(self, grid, matrix):
+        rect = Rectangle(owner=0, col=1, row=2, width=2, height=1)
+        view = grid.rectangle_view(matrix, rect)
+        assert view.shape == (3, 6)
+        view[:] = -1
+        assert (matrix[6:9, 3:9] == -1).all()
+
+    def test_pivot_column_panel(self, grid, matrix):
+        rect = Rectangle(owner=0, col=1, row=2, width=2, height=1)
+        panel = grid.pivot_column_panel(matrix, 3, rect)
+        assert panel.shape == (3, 3)
+        np.testing.assert_array_equal(panel, matrix[6:9, 9:12])
+
+    def test_pivot_row_panel(self, grid, matrix):
+        rect = Rectangle(owner=0, col=1, row=2, width=2, height=1)
+        panel = grid.pivot_row_panel(matrix, 0, rect)
+        assert panel.shape == (3, 6)
+        np.testing.assert_array_equal(panel, matrix[0:3, 3:9])
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValueError, match="shape"):
+            grid.rectangle_view(np.zeros((5, 5)), Rectangle(0, 0, 0, 1, 1))
+
+    def test_iteration_validation(self, grid, matrix):
+        rect = Rectangle(0, 0, 0, 1, 1)
+        with pytest.raises(ValueError, match="iteration"):
+            grid.pivot_column_panel(matrix, 4, rect)

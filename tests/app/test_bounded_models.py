@@ -1,0 +1,92 @@
+"""End-to-end pipeline with bounded (in-core-only) GPU models.
+
+The paper notes that without out-of-core kernels the GPU's FPM "can be
+defined only for the range of problem sizes that fit the local memory".
+These tests run the full application pipeline in that regime: the bounded
+models cap the GPUs at their capacities and the partitioner routes the
+overflow to the sockets.
+"""
+
+import pytest
+
+from repro.app.matmul import HybridMatMul, PartitioningStrategy
+from repro.kernels.gemm_gpu import InCoreGpuGemmKernel
+from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+
+
+@pytest.fixture(scope="module")
+def bounded_app(node):
+    app = HybridMatMul(node, seed=13, noise_sigma=0.01)
+    builder = FpmBuilder(app.bench)
+    models = {}
+    for unit in app.compute_units():
+        if unit.kind == "gpu":
+            kernel = InCoreGpuGemmKernel(gpu=app.bench.gpus[unit.gpu_index])
+            grid = SizeGrid.geometric(8.0, 5000.0, 10)
+        else:
+            gpu_here = bool(node.gpus_on_socket(unit.socket_index))
+            kernel = app.bench.socket_kernel(
+                unit.socket_index, len(unit.member_ranks), gpu_active=gpu_here
+            )
+            grid = SizeGrid.geometric(8.0, 3000.0, 8)
+        models[unit.name] = builder.build(kernel, grid, name=unit.name).repaired()
+    app.set_models(models)
+    return app
+
+
+class TestBoundedPipeline:
+    def test_models_are_bounded(self, bounded_app):
+        gtx = bounded_app._models["GeForce GTX680"]
+        c870 = bounded_app._models["Tesla C870"]
+        assert gtx.bounded and c870.bounded
+        assert gtx.max_size < 1300
+        assert c870.max_size < 800
+
+    def test_gpu_allocations_capped(self, bounded_app):
+        """At 60x60 both GPUs are pinned at their memory capacities."""
+        plan = bounded_app.plan(60, PartitioningStrategy.FPM)
+        gtx_cap = bounded_app._models["GeForce GTX680"].max_size
+        c870_cap = bounded_app._models["Tesla C870"].max_size
+        assert plan.allocation_of("GeForce GTX680") <= gtx_cap + 1
+        assert plan.allocation_of("Tesla C870") <= c870_cap + 1
+        assert sum(plan.unit_allocations) == 3600
+
+    def test_sockets_absorb_overflow(self, bounded_app):
+        small = bounded_app.plan(40, PartitioningStrategy.FPM)
+        large = bounded_app.plan(70, PartitioningStrategy.FPM)
+
+        def socket_share(plan):
+            return sum(
+                a
+                for u, a in zip(plan.units, plan.unit_allocations)
+                if u.kind == "socket"
+            ) / (plan.n * plan.n)
+
+        assert socket_share(large) > socket_share(small)
+
+    def test_in_range_sizes_match_unbounded_plan(self, bounded_app, node):
+        """While everything fits, bounded and unbounded models agree."""
+        unbounded = HybridMatMul(node, seed=13, noise_sigma=0.01)
+        unbounded.build_models(
+            max_blocks=2500.0, cpu_points=8, gpu_points=10, adaptive=False
+        )
+        a = bounded_app.plan(30, PartitioningStrategy.FPM)
+        b = unbounded.plan(30, PartitioningStrategy.FPM)
+        for x, y in zip(a.unit_allocations, b.unit_allocations):
+            assert abs(x - y) <= max(20, 0.1 * max(x, y))
+
+    def test_execution_works(self, bounded_app):
+        plan = bounded_app.plan(50, PartitioningStrategy.FPM)
+        result = bounded_app.execute(plan)
+        assert result.total_time > 0
+        plan.partition.validate_tiling()
+
+    def test_infeasible_problem_raises(self, bounded_app, node):
+        """A problem too large even for sockets+GPUs... cannot happen here
+        (sockets are unbounded), but a pure-bounded model set must raise."""
+        from repro.core.partition import partition_fpm
+
+        gtx = bounded_app._models["GeForce GTX680"]
+        c870 = bounded_app._models["Tesla C870"]
+        with pytest.raises(ValueError, match="capacity"):
+            partition_fpm([gtx, c870], 10_000.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the application execution simulator."""
+
+import pytest
+
+from repro.app.execution import simulate_execution
+from repro.core.geometry import column_based_partition
+from repro.measurement.binding import default_binding
+from repro.runtime.mpi_sim import CommModel, SimulatedComm
+from repro.runtime.process import bind_processes
+
+
+@pytest.fixture()
+def processes(node, devices):
+    sockets, gpus = devices
+    return bind_processes(default_binding(node), sockets, gpus)
+
+
+@pytest.fixture()
+def comm(node):
+    return SimulatedComm(node.total_cores, CommModel())
+
+
+def even_partition(n, p):
+    total = n * n
+    base, extra = divmod(total, p)
+    allocs = [base + (1 if r < extra else 0) for r in range(p)]
+    return column_based_partition(allocs, n)
+
+
+class TestSimulateExecution:
+    def test_total_is_iterations_times_iteration(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        assert res.total_time == pytest.approx(12 * res.iteration_time)
+
+    def test_computation_time_per_process(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        by_rank = {p.rank: p for p in processes}
+        for rank, t in enumerate(res.computation_time):
+            area = res.areas[rank]
+            assert t == pytest.approx(12 * by_rank[rank].iteration_time(area))
+
+    def test_areas_match_partition(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        assert list(res.areas) == part.realized_allocations(len(processes))
+
+    def test_communication_positive(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        assert res.communication_time > 0
+        assert res.total_time > res.makespan_computation
+
+    def test_even_distribution_straggles_on_gpu_sockets(
+        self, processes, comm, node
+    ):
+        """Homogeneous distribution leaves GPUs underused: CPU processes
+        dominate the iteration (the premise of Fig. 7)."""
+        part = even_partition(24, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        dedicated = {0, 6}
+        cpu_times = [
+            t
+            for r, t in enumerate(res.computation_time)
+            if r not in dedicated
+        ]
+        gpu_times = [res.computation_time[0], res.computation_time[6]]
+        assert max(gpu_times) < min(cpu_times)
+
+    def test_imbalance_metric(self, processes, comm, node):
+        part = even_partition(24, len(processes))
+        res = simulate_execution(processes, part, comm, node.block_size)
+        assert res.computation_imbalance > 1.0
+
+    def test_rejects_partition_without_processes(self, processes, comm, node):
+        part = even_partition(12, 30)  # 30 owners > 24 processes
+        with pytest.raises(ValueError, match="without processes"):
+            simulate_execution(processes, part, comm, node.block_size)

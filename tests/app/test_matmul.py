@@ -1,0 +1,114 @@
+"""Integration tests for the full application pipeline."""
+
+import pytest
+
+from repro.app.matmul import HybridMatMul, PartitioningStrategy
+from repro.app.verify import verify_partition_numerically
+from repro.core.serialization import load_models, save_models
+
+
+@pytest.fixture(scope="module")
+def app(node):
+    app = HybridMatMul(node, seed=11, noise_sigma=0.01)
+    app.build_models(max_blocks=5200.0, cpu_points=8, gpu_points=10, adaptive=False)
+    return app
+
+
+class TestComputeUnits:
+    def test_paper_unit_set(self, app):
+        units = app.compute_units()
+        kinds = [u.kind for u in units]
+        assert kinds.count("gpu") == 2
+        assert kinds.count("socket") == 4
+        socket_sizes = sorted(
+            len(u.member_ranks) for u in units if u.kind == "socket"
+        )
+        assert socket_sizes == [5, 5, 6, 6]  # 2 x S5, 2 x S6
+
+    def test_units_cover_all_ranks(self, app):
+        ranks = [r for u in app.compute_units() for r in u.member_ranks]
+        assert sorted(ranks) == list(range(24))
+
+
+class TestPlan:
+    def test_fpm_plan_sums(self, app):
+        plan = app.plan(40, PartitioningStrategy.FPM)
+        assert sum(plan.unit_allocations) == 1600
+        assert sum(plan.process_allocations) == 1600
+        plan.partition.validate_tiling()
+
+    def test_fpm_favours_gtx680(self, app):
+        plan = app.plan(40, PartitioningStrategy.FPM)
+        g1 = plan.allocation_of("GeForce GTX680")
+        others = [
+            a
+            for u, a in zip(plan.units, plan.unit_allocations)
+            if u.name != "GeForce GTX680"
+        ]
+        assert g1 > max(others)
+
+    def test_cpm_overloads_gpu_at_scale(self, app):
+        """Table III: CPM's G1 share exceeds FPM's for n >= 50."""
+        for n in (50, 60, 70):
+            cpm = app.plan(n, PartitioningStrategy.CPM)
+            fpm = app.plan(n, PartitioningStrategy.FPM)
+            assert cpm.allocation_of("GeForce GTX680") > fpm.allocation_of(
+                "GeForce GTX680"
+            )
+
+    def test_homogeneous_plan_even(self, app):
+        plan = app.plan(24, PartitioningStrategy.HOMOGENEOUS)
+        assert set(plan.process_allocations) == {24}
+
+    def test_socket_share_split_evenly(self, app):
+        plan = app.plan(60, PartitioningStrategy.FPM)
+        for unit, alloc in zip(plan.units, plan.unit_allocations):
+            if unit.kind == "socket":
+                member_allocs = [
+                    plan.process_allocations[r] for r in unit.member_ranks
+                ]
+                assert max(member_allocs) - min(member_allocs) <= 1
+                assert sum(member_allocs) == alloc
+
+    def test_strategy_accepts_strings(self, app):
+        plan = app.plan(20, "fpm")
+        assert plan.strategy is PartitioningStrategy.FPM
+
+    def test_unknown_strategy_rejected(self, app):
+        with pytest.raises(ValueError):
+            app.plan(20, "magic")
+
+    def test_models_required(self, node):
+        bare = HybridMatMul(node, seed=1)
+        with pytest.raises(ValueError, match="no models"):
+            bare.plan(20, PartitioningStrategy.FPM)
+
+
+class TestExecute:
+    def test_fpm_beats_alternatives_at_scale(self, app):
+        _, fpm = app.run(60, PartitioningStrategy.FPM)
+        _, cpm = app.run(60, PartitioningStrategy.CPM)
+        _, hom = app.run(60, PartitioningStrategy.HOMOGENEOUS)
+        assert fpm.total_time < cpm.total_time < hom.total_time
+
+    def test_fpm_flattens_computation(self, app):
+        _, fpm = app.run(60, PartitioningStrategy.FPM)
+        _, cpm = app.run(60, PartitioningStrategy.CPM)
+        assert fpm.computation_imbalance < cpm.computation_imbalance
+
+    def test_fpm_plan_is_numerically_correct(self, app):
+        """The planned geometry really computes C = A @ B."""
+        plan = app.plan(12, PartitioningStrategy.FPM)
+        verify_partition_numerically(plan.partition, block_size=3, seed=0)
+
+
+class TestModelPersistence:
+    def test_models_round_trip_through_json(self, app, node, tmp_path):
+        path = tmp_path / "models.json"
+        units = app.compute_units()
+        save_models(path, app.models_for(units))
+        fresh = HybridMatMul(node, seed=11, noise_sigma=0.01)
+        fresh.set_models({m.name: m for m in load_models(path)})
+        a = app.plan(60, PartitioningStrategy.FPM)
+        b = fresh.plan(60, PartitioningStrategy.FPM)
+        assert a.unit_allocations == b.unit_allocations

@@ -1,0 +1,91 @@
+"""Robustness tests: non-standard node topologies through the full pipeline."""
+
+import pytest
+
+from repro.app.matmul import HybridMatMul, PartitioningStrategy
+from repro.platform.presets import geforce_gtx680, opteron_8439se, tesla_c870
+from repro.platform.spec import GpuAttachment, NodeSpec, SocketSpec
+
+
+def socket(cores=6):
+    return SocketSpec(cpu=opteron_8439se(), cores=cores, memory_gb=16.0)
+
+
+@pytest.fixture(scope="module")
+def two_gpus_one_socket_app():
+    """Both GPUs on socket 0: 4 CPU cores there, two dedicated."""
+    node = NodeSpec(
+        name="stacked",
+        socket=socket(),
+        num_sockets=2,
+        gpus=(
+            GpuAttachment(tesla_c870(), 0),
+            GpuAttachment(geforce_gtx680(), 0),
+        ),
+    )
+    app = HybridMatMul(node, seed=9, noise_sigma=0.01)
+    app.build_models(max_blocks=2000.0, cpu_points=6, gpu_points=8, adaptive=False)
+    return app
+
+
+class TestTwoGpusOneSocket:
+    def test_units(self, two_gpus_one_socket_app):
+        units = two_gpus_one_socket_app.compute_units()
+        names = [u.name for u in units]
+        assert "socket0:c4" in names  # 6 cores - 2 dedicated
+        assert "socket1:c6" in names
+        assert len(units) == 4
+
+    def test_binding(self, two_gpus_one_socket_app):
+        plan = two_gpus_one_socket_app.binding
+        assert plan.dedicated_ranks() == [0, 1]
+        assert len(plan.cpu_ranks_on_socket(0)) == 4
+
+    def test_plan_and_execute(self, two_gpus_one_socket_app):
+        plan, result = two_gpus_one_socket_app.run(
+            30, PartitioningStrategy.FPM
+        )
+        assert sum(plan.unit_allocations) == 900
+        plan.partition.validate_tiling()
+        assert result.total_time > 0
+
+    def test_both_dedicated_processes_feel_contention(
+        self, two_gpus_one_socket_app
+    ):
+        processes = two_gpus_one_socket_app.processes()
+        dedicated = [p for p in processes if p.is_dedicated]
+        assert all(p.busy_cpu_cores == 4 for p in dedicated)
+
+
+class TestSingleSocketNoGpu:
+    def test_minimal_node_runs(self):
+        node = NodeSpec(name="mini", socket=socket(4), num_sockets=1)
+        app = HybridMatMul(node, seed=2, noise_sigma=0.0)
+        app.build_models(
+            max_blocks=500.0, cpu_points=5, gpu_points=5, adaptive=False
+        )
+        plan, result = app.run(10, PartitioningStrategy.FPM)
+        assert sum(plan.unit_allocations) == 100
+        # one homogeneous unit: FPM == homogeneous
+        _, hom = app.run(10, PartitioningStrategy.HOMOGENEOUS)
+        assert result.total_time == pytest.approx(hom.total_time, rel=0.02)
+
+
+class TestOddCoreCounts:
+    def test_three_core_sockets(self):
+        node = NodeSpec(
+            name="odd",
+            socket=socket(3),
+            num_sockets=3,
+            gpus=(GpuAttachment(tesla_c870(), 1),),
+        )
+        app = HybridMatMul(node, seed=4, noise_sigma=0.01)
+        app.build_models(
+            max_blocks=800.0, cpu_points=6, gpu_points=7, adaptive=False
+        )
+        plan, result = app.run(16, PartitioningStrategy.FPM)
+        assert sum(plan.process_allocations) == 256
+        # socket 1 has only 2 CPU processes
+        units = {u.name: u for u in plan.units}
+        assert len(units["socket1:c2"].member_ranks) == 2
+        assert result.computation_imbalance < 2.0

@@ -1,0 +1,80 @@
+"""Unit tests for the application execution trace."""
+
+import pytest
+
+from repro.app.execution import simulate_execution
+from repro.app.trace import ascii_gantt, trace_execution
+from repro.core.geometry import column_based_partition
+from repro.measurement.binding import default_binding
+from repro.runtime.mpi_sim import SimulatedComm
+from repro.runtime.process import bind_processes
+
+
+@pytest.fixture()
+def setup(node, devices):
+    sockets, gpus = devices
+    processes = bind_processes(default_binding(node), sockets, gpus)
+    comm = SimulatedComm(node.total_cores)
+    total = 144
+    base, extra = divmod(total, len(processes))
+    allocs = [base + (1 if r < extra else 0) for r in range(len(processes))]
+    partition = column_based_partition(allocs, 12)
+    return processes, partition, comm
+
+
+class TestTraceExecution:
+    def test_makespan_matches_simulator(self, setup, node):
+        processes, partition, comm = setup
+        trace = trace_execution(processes, partition, comm, node.block_size)
+        result = simulate_execution(processes, partition, comm, node.block_size)
+        assert trace.makespan == pytest.approx(result.total_time, rel=1e-9)
+
+    def test_truncation(self, setup, node):
+        processes, partition, comm = setup
+        short = trace_execution(
+            processes, partition, comm, node.block_size, max_iterations=3
+        )
+        full = trace_execution(processes, partition, comm, node.block_size)
+        assert short.makespan == pytest.approx(full.makespan * 3 / 12, rel=1e-9)
+
+    def test_no_double_booking(self, setup, node):
+        processes, partition, comm = setup
+        trace = trace_execution(processes, partition, comm, node.block_size)
+        trace.timeline.validate()
+
+    def test_idle_fraction_reflects_imbalance(self, setup, node):
+        """Homogeneous distribution: GPU ranks idle most (they are fast)."""
+        processes, partition, comm = setup
+        trace = trace_execution(processes, partition, comm, node.block_size)
+        gpu_idle = trace.idle_fraction(6)  # GTX680's dedicated rank
+        cpu_idle = trace.idle_fraction(12)  # a plain core on socket 2
+        assert gpu_idle > cpu_idle
+        assert 0 <= cpu_idle < 0.3
+        assert trace.mean_idle_fraction() > 0
+
+    def test_every_working_rank_present(self, setup, node):
+        processes, partition, comm = setup
+        trace = trace_execution(
+            processes, partition, comm, node.block_size, max_iterations=1
+        )
+        ranks = {
+            r for r in trace.timeline.resources() if r.startswith("rank")
+        }
+        assert len(ranks) == 24
+
+
+class TestAsciiGantt:
+    def test_renders_rows(self, setup, node):
+        processes, partition, comm = setup
+        trace = trace_execution(
+            processes, partition, comm, node.block_size, max_iterations=2
+        )
+        art = ascii_gantt(trace.timeline, width=40)
+        lines = art.splitlines()
+        assert len(lines) == len(trace.timeline.resources())
+        assert all("|" in line for line in lines)
+
+    def test_empty_timeline(self):
+        from repro.util.timeline import Timeline
+
+        assert "empty" in ascii_gantt(Timeline())

@@ -1,0 +1,52 @@
+"""Numeric correctness of the partitioned multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.app.verify import run_partitioned_matmul, verify_partition_numerically
+from repro.core.geometry import column_based_partition
+
+
+class TestRunPartitionedMatmul:
+    def test_single_owner_equals_reference(self):
+        p = column_based_partition([16], 4)
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        c = run_partitioned_matmul(a, b, p, block_size=4)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+
+    def test_heterogeneous_partition_equals_reference(self):
+        allocs = [20, 20, 14, 8, 2]
+        p = column_based_partition(allocs, 8)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((40, 40))
+        b = rng.standard_normal((40, 40))
+        c = run_partitioned_matmul(a, b, p, block_size=5)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-9, atol=1e-9)
+
+    def test_shape_validation(self):
+        p = column_based_partition([16], 4)
+        with pytest.raises(ValueError, match="matrices must be"):
+            run_partitioned_matmul(
+                np.zeros((3, 3)), np.zeros((3, 3)), p, block_size=4
+            )
+
+
+class TestVerifyHelper:
+    def test_passes_for_valid_partition(self):
+        p = column_based_partition([30, 30, 20, 20], 10)
+        deviation = verify_partition_numerically(p, block_size=4, seed=3)
+        assert deviation < 1e-6
+
+    def test_many_processors(self):
+        """A 24-process arrangement like the paper's, numerically exact."""
+        allocs = [40, 10] + [2] * 22 + [6]
+        n = 10
+        assert sum(allocs) == n * n
+        p = column_based_partition(allocs, n)
+        verify_partition_numerically(p, block_size=3, seed=4)
+
+    def test_zero_allocations_ignored(self):
+        p = column_based_partition([100, 0], 10)
+        verify_partition_numerically(p, block_size=2, seed=5)

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's node, its devices, and fast configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.measurement.benchmark import HybridBenchmark
+from repro.platform.device import build_devices
+from repro.platform.presets import cpu_only_node, ig_icl_node
+
+
+@pytest.fixture(scope="session")
+def node():
+    """The paper's hybrid node (Table I preset)."""
+    return ig_icl_node()
+
+
+@pytest.fixture(scope="session")
+def cpu_node():
+    """The accelerator-free baseline node."""
+    return cpu_only_node()
+
+
+@pytest.fixture(scope="session")
+def devices(node):
+    """(sockets, gpus) of the preset node."""
+    return build_devices(node)
+
+
+@pytest.fixture(scope="session")
+def sockets(devices):
+    return devices[0]
+
+
+@pytest.fixture(scope="session")
+def gpus(devices):
+    """[Tesla C870, GeForce GTX680] in attachment order."""
+    return devices[1]
+
+
+@pytest.fixture(scope="session")
+def c870(gpus):
+    return gpus[0]
+
+
+@pytest.fixture(scope="session")
+def gtx680(gpus):
+    return gpus[1]
+
+
+@pytest.fixture()
+def bench(node):
+    """A benchmark facade with mild noise (fresh per test)."""
+    return HybridBenchmark(node, seed=123, noise_sigma=0.01)
+
+
+@pytest.fixture()
+def quiet_bench(node):
+    """A noise-free benchmark facade (deterministic timings)."""
+    return HybridBenchmark(node, seed=123, noise_sigma=0.0)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """A coarse experiment config for quick end-to-end tests."""
+    return ExperimentConfig(seed=7, noise_sigma=0.01, fast=True)

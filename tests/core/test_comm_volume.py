@@ -1,0 +1,56 @@
+"""Unit tests for communication-volume accounting."""
+
+import pytest
+
+from repro.core.comm_volume import (
+    one_d_volume_blocks,
+    per_iteration_volume_blocks,
+    per_iteration_volume_bytes,
+    total_volume_bytes,
+    volume_improvement,
+)
+from repro.core.geometry import column_based_partition
+
+
+@pytest.fixture()
+def square_partition():
+    return column_based_partition([25, 25, 25, 25], 10)
+
+
+class TestVolumes:
+    def test_per_iteration_is_half_perimeter_sum(self, square_partition):
+        assert per_iteration_volume_blocks(square_partition) == float(
+            square_partition.total_half_perimeter()
+        )
+
+    def test_bytes_scaling(self, square_partition):
+        blocks = per_iteration_volume_blocks(square_partition)
+        assert per_iteration_volume_bytes(
+            square_partition, 640
+        ) == pytest.approx(blocks * 640 * 640 * 4)
+
+    def test_total_is_n_iterations(self, square_partition):
+        per_iter = per_iteration_volume_bytes(square_partition, 640)
+        assert total_volume_bytes(square_partition, 640) == pytest.approx(
+            10 * per_iter
+        )
+
+    def test_one_d_volume(self):
+        # 4 strips of 10x2.5 blocks
+        v = one_d_volume_blocks([25, 25, 25, 25], 10)
+        assert v == pytest.approx(4 * (10 + 2.5))
+
+    def test_one_d_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            one_d_volume_blocks([10, 10], 10)
+
+    def test_column_based_beats_striping(self, square_partition):
+        assert volume_improvement(square_partition, [25, 25, 25, 25]) >= 1.0
+
+    def test_improvement_grows_with_processor_count(self):
+        n = 24
+        p16 = column_based_partition([n * n // 16] * 16, n)
+        imp16 = volume_improvement(p16, [n * n // 16] * 16)
+        p4 = column_based_partition([n * n // 4] * 4, n)
+        imp4 = volume_improvement(p4, [n * n // 4] * 4)
+        assert imp16 > imp4

@@ -1,0 +1,63 @@
+"""Unit tests for constant performance models."""
+
+import math
+
+import pytest
+
+from repro.core.cpm import (
+    ConstantPerformanceModel,
+    cpm_from_fpm,
+    cpms_from_even_split,
+)
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.speed_function import SpeedFunction
+
+
+def gpu_like_model():
+    """Fast while small (resident), slow when large — like the GTX680."""
+    fn = SpeedFunction.from_points([100, 1000, 1200, 2000], [900, 950, 500, 450])
+    return FunctionalPerformanceModel(name="gpu", speed_function=fn)
+
+
+class TestCpm:
+    def test_time(self):
+        cpm = ConstantPerformanceModel("a", 10.0)
+        assert cpm.time(50) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            ConstantPerformanceModel("a", 0.0)
+
+    def test_as_speed_function(self):
+        cpm = ConstantPerformanceModel("a", 10.0)
+        assert cpm.as_speed_function().speed(1e6) == 10.0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            ConstantPerformanceModel("a", 1.0).time(-1)
+
+
+class TestDerivation:
+    def test_cpm_from_fpm_evaluates_at_calibration(self):
+        cpm = cpm_from_fpm(gpu_like_model(), 1000)
+        assert cpm.speed == 950.0
+        assert cpm.calibration_size == 1000
+
+    def test_cpm_overestimates_gpu_at_scale(self):
+        """The paper's CPM failure mode: in-memory calibration."""
+        model = gpu_like_model()
+        cpm = cpm_from_fpm(model, 500)
+        assert cpm.speed > model.speed(2000)
+
+    def test_even_split(self):
+        models = [gpu_like_model(), gpu_like_model()]
+        cpms = cpms_from_even_split(models, 2000)
+        assert all(c.calibration_size == 1000 for c in cpms)
+
+    def test_even_split_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cpms_from_even_split([], 100)
+
+    def test_rejects_bad_calibration(self):
+        with pytest.raises(ValueError):
+            cpm_from_fpm(gpu_like_model(), 0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for partition diagnostics."""
+
+import math
+
+import pytest
+
+from repro.core.diagnostics import diagnose_partition
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.speed_function import SpeedFunction, SpeedSample
+
+
+def model_with_precision(precisions):
+    samples = [
+        SpeedSample(size=10.0 * (i + 1), speed=100.0, rel_precision=p)
+        for i, p in enumerate(precisions)
+    ]
+    return FunctionalPerformanceModel(name="m", speed_function=SpeedFunction(samples))
+
+
+class TestDiagnosePartition:
+    def test_in_range_flat_model_is_trustworthy(self):
+        m = model_with_precision([0.01, 0.01, 0.01])
+        diag = diagnose_partition([m, m], [15.0, 25.0])
+        assert diag.trustworthy
+        assert diag.extrapolating == []
+        assert diag.steep_operating_points == []
+
+    def test_extrapolation_flagged(self):
+        m = model_with_precision([0.01, 0.01])
+        diag = diagnose_partition([m], [500.0])
+        assert diag.extrapolating == [0]
+        assert not diag.trustworthy
+
+    def test_steep_segment_flagged(self):
+        cliff = SpeedFunction.from_points([100, 120, 4000], [900, 400, 380])
+        diag = diagnose_partition([cliff], [110.0])
+        assert diag.steep_operating_points == [0]
+
+    def test_gentle_segment_not_flagged(self):
+        gentle = SpeedFunction.from_points([100, 200, 400], [100, 105, 108])
+        diag = diagnose_partition([gentle], [250.0])
+        assert diag.steep_operating_points == []
+
+    def test_imbalance_band_from_precision(self):
+        m = model_with_precision([0.04, 0.04])
+        diag = diagnose_partition([m], [15.0])
+        assert diag.estimated_imbalance_band == pytest.approx(0.08)
+
+    def test_sloppy_measurements_not_trustworthy(self):
+        m = model_with_precision([0.08, 0.08])
+        diag = diagnose_partition([m], [15.0])
+        assert diag.estimated_imbalance_band == pytest.approx(0.16)
+        assert not diag.trustworthy
+
+    def test_zero_allocation_harmless(self):
+        m = model_with_precision([0.01])
+        diag = diagnose_partition([m], [0.0])
+        assert diag.entries[0].local_slope == 0.0
+        assert not diag.entries[0].extrapolated
+
+    def test_bare_speed_function_has_nan_precision(self):
+        fn = SpeedFunction.constant(50.0)
+        diag = diagnose_partition([fn], [10.0])
+        assert math.isnan(diag.entries[0].rel_precision)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            diagnose_partition([SpeedFunction.constant(1.0)], [1.0, 2.0])
+
+    def test_real_fpm_partition_diagnosis(self, quiet_bench):
+        """End to end: diagnose a real plan from real models."""
+        from repro.core.partition import partition_fpm
+        from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+
+        builder = FpmBuilder(quiet_bench)
+        models = [
+            builder.build(
+                quiet_bench.gpu_kernel(1, 3), SizeGrid.geometric(8, 4000, 10)
+            ),
+            builder.build(
+                quiet_bench.socket_kernel(2, 6), SizeGrid.geometric(8, 2000, 10)
+            ),
+        ]
+        alloc = partition_fpm(models, 3000.0)
+        diag = diagnose_partition(models, alloc)
+        assert diag.extrapolating == []  # grids covered the solution
+        assert diag.estimated_imbalance_band < 0.2

@@ -1,0 +1,146 @@
+"""Unit tests for the dynamic load balancer (paper Section II family)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import (
+    DynamicRunResult,
+    SpeedBasedRebalancer,
+    ThresholdRebalancer,
+    run_dynamic_balancing,
+)
+
+
+def constant_times(speeds):
+    """time_of for processors with fixed speeds (blocks/second)."""
+
+    def time_of(i, blocks):
+        return blocks / speeds[i]
+
+    return time_of
+
+
+class TestSpeedBasedRebalancer:
+    def test_converges_in_one_step_for_constants(self):
+        policy = SpeedBasedRebalancer()
+        nxt = policy.next_distribution([50, 50], [5.0, 1.0], 100)
+        # observed speeds 10 and 50 -> 1:5 split
+        assert nxt == [17, 83]
+
+    def test_keeps_total(self):
+        policy = SpeedBasedRebalancer()
+        nxt = policy.next_distribution([30, 30, 40], [3.0, 1.0, 2.0], 100)
+        assert sum(nxt) == 100
+
+    def test_idle_processor_reenters(self):
+        policy = SpeedBasedRebalancer()
+        nxt = policy.next_distribution([100, 0], [10.0, 0.0], 100)
+        assert nxt[1] > 0
+
+    def test_rejects_no_signal(self):
+        with pytest.raises(ValueError):
+            SpeedBasedRebalancer().next_distribution([0, 0], [0.0, 0.0], 10)
+
+
+class TestThresholdRebalancer:
+    def test_no_move_when_balanced(self):
+        policy = ThresholdRebalancer(threshold=1.1)
+        current = [50, 50]
+        assert policy.next_distribution(current, [1.0, 1.05], 100) == current
+
+    def test_moves_when_imbalanced(self):
+        policy = ThresholdRebalancer(threshold=1.1)
+        nxt = policy.next_distribution([50, 50], [5.0, 1.0], 100)
+        assert nxt != [50, 50]
+
+    def test_rejects_threshold_below_one(self):
+        with pytest.raises(ValueError):
+            ThresholdRebalancer(threshold=0.9)
+
+
+class TestRunDynamicBalancing:
+    def test_converges_to_proportional(self):
+        res = run_dynamic_balancing(
+            constant_times([10.0, 30.0]), 2, 100, iterations=10
+        )
+        assert res.final_distribution == (25, 75)
+
+    def test_first_iteration_unbalanced_then_flat(self):
+        res = run_dynamic_balancing(
+            constant_times([10.0, 30.0]), 2, 100, iterations=10
+        )
+        assert res.iteration_times[0] > res.iteration_times[-1]
+        # steady state: max time ~ balanced time 100/40
+        assert res.iteration_times[-1] == pytest.approx(2.5, rel=0.05)
+
+    def test_migration_accounting(self):
+        res = run_dynamic_balancing(
+            constant_times([10.0, 30.0]),
+            2,
+            100,
+            iterations=5,
+            migration_cost_per_block=0.1,
+        )
+        assert res.blocks_migrated >= 25
+        assert res.migration_time == pytest.approx(0.1 * res.blocks_migrated)
+        assert res.total_time == res.compute_time + res.migration_time
+
+    def test_static_start_skips_migration(self):
+        res = run_dynamic_balancing(
+            constant_times([10.0, 30.0]),
+            2,
+            100,
+            iterations=5,
+            migration_cost_per_block=0.1,
+            initial=[25, 75],
+        )
+        assert res.blocks_migrated == 0
+        assert res.rebalance_count == 0
+
+    def test_dynamic_beats_homogeneous_but_not_oracle(self):
+        """The paper's qualitative claim quantified."""
+        speeds = [10.0, 30.0, 60.0]
+        total, iters = 300, 20
+        dynamic = run_dynamic_balancing(
+            constant_times(speeds), 3, total, iters, migration_cost_per_block=0.01
+        )
+        homogeneous = iters * (total / 3 / min(speeds))
+        oracle = iters * (total / sum(speeds))
+        assert dynamic.total_time < homogeneous
+        assert dynamic.total_time >= oracle
+
+    def test_initial_validation(self):
+        with pytest.raises(ValueError):
+            run_dynamic_balancing(
+                constant_times([1.0]), 1, 10, 2, initial=[5]
+            )
+
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=6
+        ),
+        total=st.integers(min_value=10, max_value=2000),
+    )
+    @settings(max_examples=50)
+    def test_distribution_always_sums_to_total(self, speeds, total):
+        res = run_dynamic_balancing(
+            constant_times(speeds), len(speeds), total, iterations=6
+        )
+        for dist in res.distributions:
+            assert sum(dist) == total
+            assert all(d >= 0 for d in dist)
+
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=40)
+    def test_steady_state_near_balance(self, speeds):
+        res = run_dynamic_balancing(
+            constant_times(speeds), len(speeds), 1000, iterations=12
+        )
+        final = res.final_distribution
+        times = [d / s for d, s in zip(final, speeds) if d > 0]
+        assert max(times) / min(times) < 1.35

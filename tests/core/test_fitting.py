@@ -1,0 +1,142 @@
+"""Unit tests for speed-function fitting and cross-validation."""
+
+import math
+
+import pytest
+
+from repro.core.fitting import (
+    STANDARD_FITTERS,
+    best_fit,
+    cross_validate,
+    fit_constant,
+    fit_log_polynomial,
+    fit_piecewise_linear,
+    fit_rational_saturation,
+)
+from repro.core.speed_function import SpeedSample
+
+
+def samples_from(fn, sizes):
+    return [SpeedSample(x, fn(x)) for x in sizes]
+
+
+SIZES = [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0]
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_exactly(self):
+        samples = samples_from(lambda x: 50 + x / 100, SIZES)
+        model = fit_piecewise_linear(samples)
+        for s in samples:
+            assert model.speed(s.size) == pytest.approx(s.speed)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_piecewise_linear([])
+
+
+class TestConstant:
+    def test_flat_sample_recovered(self):
+        samples = samples_from(lambda x: 42.0, SIZES)
+        model = fit_constant(samples)
+        assert model.speed(500) == pytest.approx(42.0)
+
+    def test_preserves_total_time(self):
+        samples = samples_from(lambda x: 50 + x / 10, SIZES)
+        model = fit_constant(samples)
+        total_time = sum(s.size / s.speed for s in samples)
+        total_size = sum(s.size for s in samples)
+        assert total_size / model.speed(1) == pytest.approx(total_time)
+
+
+class TestRationalSaturation:
+    def test_recovers_generating_parameters(self):
+        truth = lambda x: 900 * x / (x + 60)
+        samples = samples_from(truth, SIZES)
+        model = fit_rational_saturation(samples)
+        for x in (20, 200, 2000):
+            assert model.speed(x) == pytest.approx(truth(x), rel=0.05)
+
+    def test_extends_beyond_sample_range(self):
+        truth = lambda x: 900 * x / (x + 60)
+        model = fit_rational_saturation(samples_from(truth, SIZES))
+        assert model.max_size > max(SIZES)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_rational_saturation([SpeedSample(1, 1)])
+
+    def test_degenerate_growing_sample_stays_positive(self):
+        # speed growing superlinearly: intercept <= 0 fallback path
+        samples = samples_from(lambda x: x**1.2, SIZES)
+        model = fit_rational_saturation(samples)
+        for x in SIZES:
+            assert model.speed(x) > 0
+
+
+class TestLogPolynomial:
+    def test_fits_smooth_curve(self):
+        truth = lambda x: 100 - 20 * (math.log(x) - 4) ** 2 / 10
+        samples = samples_from(lambda x: max(truth(x), 5), SIZES)
+        model = fit_log_polynomial(samples, degree=2)
+        mid = 300.0
+        assert model.speed(mid) == pytest.approx(max(truth(mid), 5), rel=0.15)
+
+    def test_positive_clipping(self):
+        samples = samples_from(lambda x: max(1.0, 100 - x / 20), SIZES)
+        model = fit_log_polynomial(samples, degree=1)
+        for x in SIZES:
+            assert model.speed(x) > 0
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_log_polynomial(samples_from(lambda x: 1.0, SIZES[:2]), degree=2)
+
+
+class TestCrossValidation:
+    def test_perfect_fitter_scores_zero_on_linear_data(self):
+        samples = samples_from(lambda x: 50 + x / 100, SIZES)
+        # a straight line in x: piecewise linear predicts interior points...
+        # but sizes are uneven; use constant data for an exact-zero score
+        flat = samples_from(lambda x: 42.0, SIZES)
+        score = cross_validate(fit_piecewise_linear, flat, "pl")
+        assert score.mean_relative_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_fitter_penalised_on_curved_data(self):
+        curved = samples_from(lambda x: 900 * x / (x + 60), SIZES)
+        const = cross_validate(fit_constant, curved)
+        rational = cross_validate(fit_rational_saturation, curved)
+        assert rational.mean_relative_error < const.mean_relative_error
+
+    def test_needs_interior_points(self):
+        with pytest.raises(ValueError):
+            cross_validate(fit_constant, samples_from(lambda x: 1.0, SIZES[:3]))
+
+
+class TestBestFit:
+    def test_saturating_data_picks_rational(self):
+        curved = samples_from(lambda x: 900 * x / (x + 60), SIZES)
+        name, model, score = best_fit(curved)
+        assert name == "rational-saturation"
+        assert score.mean_relative_error < 0.02
+
+    def test_flat_data_accepts_cheap_models(self):
+        flat = samples_from(lambda x: 42.0, SIZES)
+        name, model, score = best_fit(flat)
+        assert score.mean_relative_error < 1e-6
+        assert model.speed(100) == pytest.approx(42.0)
+
+    def test_cliff_data_picks_piecewise(self):
+        """The GPU memory cliff defeats smooth global fits — the FPM's
+        piecewise representation wins (the module's design argument)."""
+        cliff = lambda x: 950.0 if x <= 1200 else 450.0
+        sizes = [100, 400, 800, 1100, 1190, 1250, 1600, 2400, 3600]
+        samples = samples_from(cliff, sizes)
+        name, _, _ = best_fit(samples)
+        assert name == "piecewise-linear"
+
+    def test_all_standard_fitters_usable(self):
+        curved = samples_from(lambda x: 500 * x / (x + 100), SIZES)
+        for name, fitter in STANDARD_FITTERS.items():
+            model = fitter(curved)
+            assert model.speed(100) > 0

@@ -1,0 +1,75 @@
+"""Unit tests for the FPM wrapper and model normalisation."""
+
+import math
+
+import pytest
+
+from repro.core.fpm import FunctionalPerformanceModel, as_speed_function
+from repro.core.speed_function import SpeedFunction
+
+
+def make_model(**kwargs):
+    fn = SpeedFunction.from_points([10, 100, 1000], [50, 100, 80])
+    defaults = dict(name="dev", speed_function=fn, kernel_name="k", block_size=640)
+    defaults.update(kwargs)
+    return FunctionalPerformanceModel(**defaults)
+
+
+class TestFpm:
+    def test_passthroughs(self):
+        m = make_model()
+        assert m.speed(100) == 100
+        assert m.time(100) == pytest.approx(1.0)
+        assert m.max_size == 1000
+
+    def test_inverse_time(self):
+        m = make_model()
+        t = m.time(500)
+        assert m.max_size_within_time(t) == pytest.approx(500, rel=1e-6)
+
+    def test_to_constant_is_cpm_procedure(self):
+        m = make_model()
+        assert m.to_constant(100) == 100.0
+        assert m.to_constant(10) == 50.0
+
+    def test_repaired_preserves_metadata(self):
+        m = make_model(repetitions_total=42)
+        r = m.repaired()
+        assert r.name == m.name
+        assert r.repetitions_total == 42
+        assert r.speed_function.is_time_monotonic()
+
+    def test_rejects_negative_repetitions(self):
+        with pytest.raises(ValueError):
+            make_model(repetitions_total=-1)
+
+    def test_bounded_flag(self):
+        fn = SpeedFunction.from_points([10, 20], [5, 5], bounded=True)
+        m = make_model(speed_function=fn)
+        assert m.bounded
+
+
+class TestAsSpeedFunction:
+    def test_accepts_fpm(self):
+        m = make_model()
+        assert as_speed_function(m) is m.speed_function
+
+    def test_accepts_speed_function(self):
+        fn = SpeedFunction.constant(5.0)
+        assert as_speed_function(fn) is fn
+
+    def test_accepts_number(self):
+        fn = as_speed_function(7.5)
+        assert fn.speed(123) == 7.5
+
+    def test_rejects_nonpositive_number(self):
+        with pytest.raises(ValueError):
+            as_speed_function(0.0)
+        with pytest.raises(ValueError):
+            as_speed_function(math.inf)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_speed_function("fast")
+        with pytest.raises(TypeError):
+            as_speed_function(True)

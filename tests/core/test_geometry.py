@@ -1,0 +1,137 @@
+"""Unit and property tests for the column-based 2D partition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rectangle, ascii_layout, column_based_partition
+
+
+class TestRectangle:
+    def test_area_and_half_perimeter(self):
+        r = Rectangle(owner=0, col=0, row=0, width=3, height=4)
+        assert r.area == 12
+        assert r.half_perimeter == 7
+
+    def test_intersection(self):
+        a = Rectangle(0, 0, 0, 2, 2)
+        b = Rectangle(1, 1, 1, 2, 2)
+        c = Rectangle(2, 2, 0, 2, 2)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Rectangle(0, -1, 0, 1, 1)
+
+
+class TestColumnBasedPartition:
+    def test_single_processor(self):
+        p = column_based_partition([16], 4)
+        assert p.rectangle_of(0).area == 16
+        p.validate_tiling()
+
+    def test_equal_processors(self):
+        p = column_based_partition([8, 8], 4)
+        p.validate_tiling()
+        assert p.realized_allocations(2) == [8, 8]
+
+    def test_paperlike_heterogeneous(self):
+        """A GPU-dominated allocation like Table III's 40x40 row."""
+        # 25 processors: 1 big GPU, 1 small GPU, 23 cores
+        allocs = [1000, 210] + [17] * 22 + [16]
+        total = sum(allocs)
+        n = 40  # n^2 = 1600
+        assert total == n * n
+        p = column_based_partition(allocs, n)
+        p.validate_tiling()
+        realized = p.realized_allocations(len(allocs))
+        # realized areas track requests within a few blocks per processor
+        for want, got in zip(allocs, realized):
+            assert abs(want - got) <= max(6, 0.1 * want)
+
+    def test_zero_allocations_get_empty_rectangles(self):
+        p = column_based_partition([16, 0], 4)
+        assert p.rectangle_of(1).area == 0
+        p.validate_tiling()
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(ValueError, match="sum"):
+            column_based_partition([10], 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            column_based_partition([-1, 17], 4)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            column_based_partition([0, 0], 4)
+
+    def test_too_many_processors(self):
+        # more active processors than grid cells is caught by the sum check
+        # (every active processor holds at least one block)
+        with pytest.raises(ValueError):
+            column_based_partition([1] * 5, 2)
+
+    def test_full_grid_of_unit_rectangles(self):
+        p = column_based_partition([1] * 4, 2)
+        p.validate_tiling()
+        assert all(r.area == 1 for r in p.rectangles)
+
+    def test_near_square_rectangles_beat_strips(self):
+        """The communication objective: better than a 1D striping."""
+        allocs = [25] * 4
+        p = column_based_partition(allocs, 10)
+        striped_hp = sum(10 + 25 // 10 for _ in allocs)  # width-10 strips
+        assert p.total_half_perimeter() <= striped_hp
+
+    def test_columns_sum_to_n(self):
+        p = column_based_partition([30, 30, 20, 20], 10)
+        assert sum(p.column_widths) == 10
+
+    def test_ascii_layout_covers_grid(self):
+        p = column_based_partition([40, 30, 20, 10], 10)
+        art = ascii_layout(p, cell_width=1)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 10 for line in lines)
+        assert "?" not in art  # every block owned
+        # each owner's symbol count equals its realized (grid-snapped) area
+        realized = p.realized_allocations(4)
+        for owner, area in enumerate(realized):
+            assert art.count(str(owner)) == area
+
+    def test_ascii_layout_single_block_grid(self):
+        p = column_based_partition([1], 1)
+        assert ascii_layout(p, cell_width=1) == "0"
+
+    def test_ascii_layout_rejects_bad_width(self):
+        p = column_based_partition([1], 1)
+        with pytest.raises(ValueError):
+            ascii_layout(p, cell_width=0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=25
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_allocations_tile_exactly(self, n, weights):
+        total = n * n
+        raw = [w / sum(weights) * total for w in weights]
+        allocs = [int(a) for a in raw]
+        allocs[0] += total - sum(allocs)  # exact total
+        if allocs[0] < 0:
+            return
+        active = sum(1 for a in allocs if a > 0)
+        if active == 0 or active > total:
+            return
+        p = column_based_partition(allocs, n)
+        p.validate_tiling()  # exact cover, no overlap, in bounds
+        realized = p.realized_allocations(len(allocs))
+        assert sum(realized) == total
+        # processors with zero request realize zero
+        for want, got in zip(allocs, realized):
+            if want == 0:
+                assert got == 0

@@ -1,0 +1,129 @@
+"""Unit and property tests for hierarchical (cluster-level) partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchical import (
+    HierarchicalPartition,
+    aggregate_speed_function,
+    hierarchical_partition,
+)
+from repro.core.integer import makespan
+from repro.core.partition import partition_fpm
+from repro.core.speed_function import SpeedFunction
+
+
+def constant(speed):
+    return SpeedFunction.constant(speed)
+
+
+def ramped(peak, half):
+    sizes = [half / 4, half, 2 * half, 8 * half, 32 * half]
+    speeds = [peak * s / (s + half) for s in sizes]
+    return SpeedFunction.from_points(sizes, speeds)
+
+
+class TestAggregateSpeedFunction:
+    def test_constants_add_up(self):
+        agg = aggregate_speed_function([constant(10), constant(30)], [100.0])
+        assert agg.speed(100) == pytest.approx(40.0, rel=1e-6)
+
+    def test_monotone_sampling(self):
+        agg = aggregate_speed_function(
+            [ramped(900, 60), constant(100)], [50.0, 500.0, 5000.0]
+        )
+        assert len(agg) == 3
+
+    def test_aggregate_at_least_fastest_unit(self):
+        units = [ramped(900, 60), constant(100)]
+        agg = aggregate_speed_function(units, [1000.0])
+        assert agg.speed(1000) > 900 * 1000 / 1060  # more than the GPU alone
+
+    def test_bounded_only_when_all_bounded(self):
+        bounded = SpeedFunction.from_points([1, 100], [10, 10], bounded=True)
+        mixed = aggregate_speed_function([bounded, constant(5)], [50.0])
+        assert not mixed.bounded
+        both = aggregate_speed_function([bounded, bounded], [50.0, 150.0])
+        assert both.bounded
+
+    def test_capacity_truncates_grid(self):
+        bounded = SpeedFunction.from_points([1, 100], [10, 10], bounded=True)
+        agg = aggregate_speed_function([bounded], [50.0, 99.0, 500.0])
+        assert agg.max_size == 99.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_speed_function([], [1.0])
+        with pytest.raises(ValueError):
+            aggregate_speed_function([constant(1)], [])
+
+
+class TestHierarchicalPartition:
+    def test_sums(self):
+        nodes = [[constant(10), constant(20)], [constant(30)]]
+        part = hierarchical_partition(nodes, 600)
+        assert sum(part.node_allocations) == 600
+        assert sum(part.flat) == 600
+
+    def test_matches_flat_partitioning(self):
+        """The headline invariant: hierarchy does not change the answer."""
+        nodes = [
+            [ramped(900, 60), constant(105), constant(105)],
+            [constant(90), constant(90)],
+            [ramped(200, 40)],
+        ]
+        total = 3600
+        hier = hierarchical_partition(nodes, total)
+        flat_models = [m for node in nodes for m in node]
+        flat = partition_fpm(flat_models, float(total))
+        for h, f in zip(hier.flat, flat):
+            assert abs(h - f) <= max(4.0, 0.05 * f)
+
+    def test_balanced_across_all_units(self):
+        nodes = [
+            [ramped(900, 60), constant(105)],
+            [constant(90), constant(45)],
+        ]
+        part = hierarchical_partition(nodes, 2000)
+        flat_models = [m for node in nodes for m in node]
+        span = makespan(flat_models, part.flat)
+        times = [
+            m.time(a) for m, a in zip(flat_models, part.flat) if a > 0
+        ]
+        assert span / min(times) < 1.1
+
+    def test_zero_share_node(self):
+        """A node vastly slower than the rest may receive nothing."""
+        nodes = [[constant(1e6)], [constant(1e-3)]]
+        part = hierarchical_partition(nodes, 100)
+        assert part.node_allocations[0] >= 99
+
+    def test_validation_of_result_dataclass(self):
+        with pytest.raises(ValueError, match="sum"):
+            HierarchicalPartition(
+                node_allocations=(10,), unit_allocations=((4, 4),)
+            )
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            hierarchical_partition([], 10)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1.0, max_value=500.0),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=50, max_value=5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_sums_and_nonnegative(self, speeds, total):
+        nodes = [[constant(s) for s in unit] for unit in speeds]
+        part = hierarchical_partition(nodes, total)
+        assert sum(part.flat) == total
+        assert all(a >= 0 for a in part.flat)

@@ -1,0 +1,118 @@
+"""Unit and property tests for integer block allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integer import makespan, refine_integer_partition, round_partition
+from repro.core.partition import partition_fpm
+from repro.core.speed_function import SpeedFunction
+
+
+def constant(speed):
+    return SpeedFunction.constant(speed)
+
+
+def ramped(peak, half):
+    sizes = [half / 4, half, 2 * half, 8 * half, 32 * half]
+    speeds = [peak * s / (s + half) for s in sizes]
+    return SpeedFunction.from_points(sizes, speeds)
+
+
+class TestRoundPartition:
+    def test_exact_sum(self):
+        models = [constant(10), constant(20), constant(30)]
+        alloc = round_partition(models, [16.6, 33.3, 50.1], 100)
+        assert sum(alloc) == 100
+        assert all(isinstance(a, int) for a in alloc)
+
+    def test_within_one_of_continuous(self):
+        models = [constant(10), constant(20), constant(30)]
+        continuous = partition_fpm(models, 100.0)
+        alloc = round_partition(models, continuous, 100)
+        for a, c in zip(alloc, continuous):
+            assert abs(a - c) <= 1.0 + 1e-9
+
+    def test_balanced_outcome(self):
+        models = [ramped(900, 60), ramped(100, 50), ramped(250, 40)]
+        continuous = partition_fpm(models, 3000.0)
+        alloc = round_partition(models, continuous, 3000)
+        times = [m.time(a) for m, a in zip(models, alloc)]
+        assert max(times) / min(times) < 1.02
+
+    def test_handles_overshoot(self):
+        models = [constant(10), constant(10)]
+        alloc = round_partition(models, [60.0, 60.0], 100)
+        assert sum(alloc) == 100
+
+    def test_respects_bounded_caps(self):
+        bounded = SpeedFunction.from_points([1, 50], [100, 100], bounded=True)
+        models = [bounded, constant(1.0)]
+        alloc = round_partition(models, [50.0, 50.0], 100)
+        assert alloc[0] <= 50
+        assert sum(alloc) == 100
+
+    def test_infeasible_capacity(self):
+        bounded = SpeedFunction.from_points([1, 5], [10, 10], bounded=True)
+        with pytest.raises(ValueError, match="capacity"):
+            round_partition([bounded], [5.0], 10)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            round_partition([constant(1)], [1.0, 2.0], 3)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=200), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=80)
+    def test_sum_property(self, speeds, total):
+        models = [constant(s) for s in speeds]
+        continuous = partition_fpm(models, float(total))
+        alloc = round_partition(models, continuous, total)
+        assert sum(alloc) == total
+        assert all(a >= 0 for a in alloc)
+
+
+class TestRefine:
+    def test_improves_bad_allocation(self):
+        models = [constant(10), constant(10)]
+        refined = refine_integer_partition(models, [90, 10])
+        assert makespan(models, refined) < makespan(models, [90, 10])
+        assert sum(refined) == 100
+
+    def test_keeps_balanced_allocation(self):
+        models = [constant(10), constant(10)]
+        assert refine_integer_partition(models, [50, 50]) == [50, 50]
+
+    def test_sum_preserved(self):
+        models = [ramped(900, 60), constant(100), constant(30)]
+        refined = refine_integer_partition(models, [10, 10, 1000])
+        assert sum(refined) == 1020
+
+    def test_respects_caps(self):
+        bounded = SpeedFunction.from_points([1, 20], [1000, 1000], bounded=True)
+        models = [bounded, constant(1.0)]
+        refined = refine_integer_partition(models, [0, 100])
+        assert refined[0] <= 20
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=200), min_size=2, max_size=6),
+        st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_never_worse(self, speeds, alloc):
+        k = min(len(speeds), len(alloc))
+        speeds, alloc = speeds[:k], alloc[:k]
+        models = [constant(s) for s in speeds]
+        refined = refine_integer_partition(models, alloc)
+        assert sum(refined) == sum(alloc)
+        assert makespan(models, refined) <= makespan(models, alloc) + 1e-9
+
+
+class TestMakespan:
+    def test_zero_for_empty(self):
+        assert makespan([constant(1)], [0]) == 0.0
+
+    def test_value(self):
+        assert makespan([constant(10), constant(5)], [10, 10]) == pytest.approx(2.0)

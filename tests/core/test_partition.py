@@ -1,0 +1,217 @@
+"""Unit and property tests for the partitioning algorithms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpm import ConstantPerformanceModel
+from repro.core.partition import (
+    balance_report,
+    geometric_partition,
+    partition_cpm,
+    partition_fpm,
+    partition_homogeneous,
+)
+from repro.core.speed_function import SpeedFunction
+
+
+def constant(speed):
+    return SpeedFunction.constant(speed)
+
+
+def ramped(peak, half):
+    """A realistic saturating speed function."""
+    sizes = [half / 4, half, 2 * half, 8 * half, 32 * half]
+    speeds = [peak * s / (s + half) for s in sizes]
+    return SpeedFunction.from_points(sizes, speeds)
+
+
+class TestPartitionFpmBasics:
+    def test_equal_models_equal_split(self):
+        models = [constant(10.0)] * 4
+        alloc = partition_fpm(models, 100.0)
+        assert alloc == pytest.approx([25.0] * 4)
+
+    def test_proportional_for_constants(self):
+        alloc = partition_fpm([constant(10), constant(30)], 100.0)
+        assert alloc == pytest.approx([25.0, 75.0], rel=1e-6)
+
+    def test_sum_invariant(self):
+        models = [ramped(100, 50), ramped(900, 60), constant(20)]
+        alloc = partition_fpm(models, 1234.0)
+        assert sum(alloc) == pytest.approx(1234.0, rel=1e-6)
+
+    def test_equal_time_property(self):
+        models = [ramped(100, 50), ramped(900, 60), ramped(250, 40)]
+        alloc = partition_fpm(models, 3000.0)
+        report = balance_report(models, alloc)
+        assert report.imbalance < 1.001
+
+    def test_single_model_gets_everything(self):
+        alloc = partition_fpm([ramped(100, 10)], 500.0)
+        assert alloc == pytest.approx([500.0])
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            partition_fpm([constant(1)], 0.0)
+
+    def test_bounded_capacity_respected(self):
+        bounded = SpeedFunction.from_points([1, 100], [50, 50], bounded=True)
+        models = [bounded, constant(10.0)]
+        alloc = partition_fpm(models, 500.0)
+        assert alloc[0] <= 100.0 + 1e-9
+        assert sum(alloc) == pytest.approx(500.0)
+
+    def test_infeasible_capacity_raises(self):
+        bounded = SpeedFunction.from_points([1, 10], [5, 5], bounded=True)
+        with pytest.raises(ValueError, match="capacity"):
+            partition_fpm([bounded, bounded], 100.0)
+
+    def test_accepts_raw_constants(self):
+        alloc = partition_fpm([10.0, 30.0], 40.0)
+        assert alloc == pytest.approx([10.0, 30.0], rel=1e-6)
+
+
+class TestGeometricAgreement:
+    def test_agrees_with_bisection_constants(self):
+        models = [constant(10), constant(25), constant(65)]
+        a = partition_fpm(models, 500.0)
+        b = geometric_partition(models, 500.0)
+        assert a == pytest.approx(b, rel=1e-4)
+
+    def test_agrees_with_bisection_curved(self):
+        models = [ramped(100, 50), ramped(900, 60), ramped(250, 40)]
+        a = partition_fpm(models, 2500.0)
+        b = geometric_partition(models, 2500.0)
+        assert a == pytest.approx(b, rel=1e-3)
+
+    def test_agrees_with_bounded_models(self):
+        bounded = SpeedFunction.from_points([1, 100], [50, 50], bounded=True)
+        models = [bounded, constant(10.0)]
+        a = partition_fpm(models, 400.0)
+        b = geometric_partition(models, 400.0)
+        assert a == pytest.approx(b, rel=1e-3)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=2000.0),
+                st.floats(min_value=1.0, max_value=300.0),
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        st.floats(min_value=10.0, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_agreement(self, params, total):
+        models = [ramped(peak, half) for peak, half in params]
+        a = partition_fpm(models, total)
+        b = geometric_partition(models, total)
+        for x, y in zip(a, b):
+            assert x == pytest.approx(y, rel=1e-3, abs=total * 1e-6)
+
+
+class TestPartitionCpm:
+    def test_proportionality(self):
+        cpms = [
+            ConstantPerformanceModel("a", 10.0),
+            ConstantPerformanceModel("b", 40.0),
+        ]
+        alloc = partition_cpm(cpms, 100.0)
+        assert alloc == pytest.approx([20.0, 80.0])
+
+    def test_accepts_numbers(self):
+        assert partition_cpm([1.0, 1.0], 10.0) == pytest.approx([5.0, 5.0])
+
+    def test_rejects_speed_functions(self):
+        with pytest.raises(TypeError):
+            partition_cpm([constant(5.0)], 10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_cpm([], 10.0)
+
+
+class TestPartitionHomogeneous:
+    def test_even_split(self):
+        assert partition_homogeneous(4, 100.0) == pytest.approx([25.0] * 4)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            partition_homogeneous(0, 10.0)
+
+
+class TestBalanceReport:
+    def test_perfect_balance(self):
+        models = [constant(10), constant(10)]
+        report = balance_report(models, [5.0, 5.0])
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.balanced
+
+    def test_detects_imbalance(self):
+        models = [constant(10), constant(10)]
+        report = balance_report(models, [9.0, 1.0])
+        assert report.imbalance == pytest.approx(9.0)
+        assert not report.balanced
+
+    def test_zero_allocations_ignored(self):
+        models = [constant(10), constant(10)]
+        report = balance_report(models, [10.0, 0.0])
+        assert report.imbalance == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            balance_report([constant(1)], [1.0, 2.0])
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=500.0), min_size=1, max_size=8),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=80)
+    def test_constants_reduce_to_proportional(self, speeds, total):
+        models = [constant(s) for s in speeds]
+        alloc = partition_fpm(models, total)
+        expected = [total * s / sum(speeds) for s in speeds]
+        for a, e in zip(alloc, expected):
+            assert a == pytest.approx(e, rel=1e-5, abs=total * 1e-7)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=2000.0),
+                st.floats(min_value=1.0, max_value=300.0),
+            ),
+            min_size=1,
+            max_size=7,
+        ),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sum_and_balance_invariants(self, params, total):
+        models = [ramped(peak, half) for peak, half in params]
+        alloc = partition_fpm(models, total)
+        assert sum(alloc) == pytest.approx(total, rel=1e-5)
+        assert all(a >= -1e-9 for a in alloc)
+        report = balance_report(models, alloc)
+        assert report.imbalance < 1.01
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=500.0), min_size=2, max_size=6),
+        st.floats(min_value=10.0, max_value=1e4),
+    )
+    @settings(max_examples=50)
+    def test_faster_processor_gets_no_less(self, speeds, total):
+        models = [constant(s) for s in speeds]
+        alloc = partition_fpm(models, total)
+        order_speed = sorted(range(len(speeds)), key=lambda i: speeds[i])
+        order_alloc = sorted(range(len(speeds)), key=lambda i: alloc[i])
+        # allocation order matches speed order (ties may permute freely)
+        for i, j in zip(order_speed, order_alloc):
+            assert speeds[i] <= speeds[j] + 1e-9 or alloc[i] == pytest.approx(
+                alloc[j], rel=1e-6
+            )

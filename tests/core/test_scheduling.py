@@ -1,0 +1,103 @@
+"""Unit tests for the task-queue scheduler simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduling import (
+    simulate_work_stealing,
+    static_reference_makespan,
+)
+
+
+class FakeKernel:
+    """A kernel with linear time plus size-dependent efficiency ramp."""
+
+    def __init__(self, rate, half=0.0):
+        self.rate = rate
+        self.half = half
+
+    def run_time(self, blocks, busy_cpu_cores=0):
+        if blocks == 0:
+            return 0.0
+        eff = blocks / (blocks + self.half) if self.half else 1.0
+        return blocks / (self.rate * eff)
+
+
+class TestSimulateWorkStealing:
+    def test_all_blocks_processed(self):
+        result = simulate_work_stealing(
+            [FakeKernel(10), FakeKernel(30)], 100, chunk_blocks=7
+        )
+        assert sum(result.blocks_per_device) == 100
+
+    def test_faster_device_takes_more(self):
+        result = simulate_work_stealing(
+            [FakeKernel(10), FakeKernel(30)], 300, chunk_blocks=5
+        )
+        assert result.blocks_per_device[1] > result.blocks_per_device[0]
+
+    def test_fine_chunks_approach_proportional(self):
+        result = simulate_work_stealing(
+            [FakeKernel(10), FakeKernel(30)], 400, chunk_blocks=1,
+            per_task_overhead=0.0,
+        )
+        assert result.blocks_per_device[1] == pytest.approx(300, abs=5)
+
+    def test_overhead_accumulates(self):
+        fine = simulate_work_stealing(
+            [FakeKernel(10)], 100, chunk_blocks=1, per_task_overhead=0.01
+        )
+        coarse = simulate_work_stealing(
+            [FakeKernel(10)], 100, chunk_blocks=50, per_task_overhead=0.01
+        )
+        assert fine.scheduling_overhead > coarse.scheduling_overhead
+        assert fine.makespan > coarse.makespan
+
+    def test_ramped_device_starved_by_small_chunks(self):
+        """A GPU-like kernel at chunk 1 runs far below its rate."""
+        gpu = FakeKernel(100, half=50)
+        cpu = FakeKernel(10)
+        fine = simulate_work_stealing([gpu, cpu], 500, 1, per_task_overhead=0)
+        coarse = simulate_work_stealing([gpu, cpu], 500, 100, per_task_overhead=0)
+        assert fine.blocks_per_device[0] < coarse.blocks_per_device[0]
+
+    def test_single_device(self):
+        result = simulate_work_stealing([FakeKernel(10)], 50, 10)
+        assert result.blocks_per_device == (50,)
+        assert result.tasks_per_device == (5,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing([], 10, 1)
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=1, max_size=5
+        ),
+        total=st.integers(min_value=1, max_value=500),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60)
+    def test_conservation_and_bounds(self, rates, total, chunk):
+        kernels = [FakeKernel(r) for r in rates]
+        result = simulate_work_stealing(
+            kernels, total, chunk, per_task_overhead=1e-4
+        )
+        assert sum(result.blocks_per_device) == total
+        # makespan at least the perfectly parallel lower bound
+        lower = total / sum(rates)
+        assert result.makespan >= lower - 1e-9
+
+
+class TestStaticReference:
+    def test_value(self):
+        kernels = [FakeKernel(10), FakeKernel(30)]
+        assert static_reference_makespan(kernels, [10, 30]) == pytest.approx(1.0)
+
+    def test_zero_allocation_skipped(self):
+        assert static_reference_makespan([FakeKernel(10)], [0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            static_reference_makespan([FakeKernel(1)], [1, 2])

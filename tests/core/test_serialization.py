@@ -1,0 +1,114 @@
+"""Round-trip tests for model persistence."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.cpm import ConstantPerformanceModel
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.serialization import (
+    cpm_from_dict,
+    cpm_to_dict,
+    fpm_from_dict,
+    fpm_to_dict,
+    load_models,
+    save_models,
+)
+from repro.core.speed_function import SpeedFunction, SpeedSample
+
+
+def sample_fpm(bounded=False):
+    fn = SpeedFunction(
+        [
+            SpeedSample(10, 50, rel_precision=0.01),
+            SpeedSample(100, 100),
+        ],
+        bounded=bounded,
+    )
+    return FunctionalPerformanceModel(
+        name="socket0:c6",
+        speed_function=fn,
+        kernel_name="cpu-gemm",
+        block_size=640,
+        repetitions_total=33,
+    )
+
+
+class TestFpmRoundTrip:
+    def test_identity(self):
+        m = sample_fpm()
+        r = fpm_from_dict(fpm_to_dict(m))
+        assert r.name == m.name
+        assert r.kernel_name == m.kernel_name
+        assert r.block_size == m.block_size
+        assert r.repetitions_total == m.repetitions_total
+        assert len(r.speed_function) == 2
+        assert r.speed(55) == m.speed(55)
+
+    def test_bounded_preserved(self):
+        r = fpm_from_dict(fpm_to_dict(sample_fpm(bounded=True)))
+        assert r.bounded
+
+    def test_rel_precision_preserved_and_nan_omitted(self):
+        d = fpm_to_dict(sample_fpm())
+        assert d["samples"][0]["rel_precision"] == 0.01
+        assert "rel_precision" not in d["samples"][1]
+        r = fpm_from_dict(d)
+        assert math.isnan(r.speed_function.samples[1].rel_precision)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="not an FPM"):
+            fpm_from_dict({"type": "cpm"})
+
+    def test_rejects_wrong_format_version(self):
+        d = fpm_to_dict(sample_fpm())
+        d["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            fpm_from_dict(d)
+
+
+class TestCpmRoundTrip:
+    def test_identity(self):
+        m = ConstantPerformanceModel("gpu", 950.0, "k", calibration_size=266.0)
+        r = cpm_from_dict(cpm_to_dict(m))
+        assert r == m
+
+    def test_nan_calibration_omitted(self):
+        m = ConstantPerformanceModel("gpu", 950.0)
+        d = cpm_to_dict(m)
+        assert "calibration_size" not in d
+        assert math.isnan(cpm_from_dict(d).calibration_size)
+
+
+class TestFiles:
+    def test_save_load_mixed(self, tmp_path):
+        path = tmp_path / "models.json"
+        models = [sample_fpm(), ConstantPerformanceModel("c", 5.0)]
+        save_models(path, models)
+        loaded = load_models(path)
+        assert isinstance(loaded[0], FunctionalPerformanceModel)
+        assert isinstance(loaded[1], ConstantPerformanceModel)
+        assert loaded[0].name == "socket0:c6"
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_models(path, [sample_fpm()])
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list)
+
+    def test_save_rejects_unknown_types(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_models(tmp_path / "x.json", [object()])
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="list"):
+            load_models(path)
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"type": "mystery"}]')
+        with pytest.raises(ValueError, match="mystery"):
+            load_models(path)

@@ -1,0 +1,198 @@
+"""Unit and property tests for piecewise-linear speed functions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.speed_function import SpeedFunction, SpeedSample
+
+
+def fn(points, bounded=False):
+    return SpeedFunction.from_points(
+        [p[0] for p in points], [p[1] for p in points], bounded=bounded
+    )
+
+
+class TestConstruction:
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            SpeedFunction([])
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            fn([(2, 10), (1, 10)])
+
+    def test_rejects_duplicate_sizes(self):
+        with pytest.raises(ValueError):
+            fn([(1, 10), (1, 20)])
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            SpeedSample(1.0, 0.0)
+
+    def test_from_points_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SpeedFunction.from_points([1, 2], [10])
+
+    def test_constant_factory(self):
+        c = SpeedFunction.constant(42.0)
+        assert c.speed(0.1) == 42.0
+        assert c.speed(1e9) == 42.0
+
+
+class TestEvaluation:
+    def test_exact_at_samples(self):
+        f = fn([(1, 10), (2, 20), (4, 15)])
+        assert f.speed(1) == 10
+        assert f.speed(2) == 20
+        assert f.speed(4) == 15
+
+    def test_linear_between_samples(self):
+        f = fn([(0.5, 10), (2.5, 30)])
+        assert f.speed(1.5) == pytest.approx(20.0)
+
+    def test_constant_extension_below(self):
+        f = fn([(10, 50), (20, 80)])
+        assert f.speed(1) == 50
+
+    def test_constant_extension_above_unbounded(self):
+        f = fn([(10, 50), (20, 80)])
+        assert f.speed(100) == 80
+
+    def test_bounded_raises_above_range(self):
+        f = fn([(10, 50), (20, 80)], bounded=True)
+        with pytest.raises(ValueError, match="bounded"):
+            f.speed(21)
+
+    def test_bounded_allows_at_range_end(self):
+        f = fn([(10, 50), (20, 80)], bounded=True)
+        assert f.speed(20) == 80
+
+
+class TestTime:
+    def test_time_zero_at_zero(self):
+        f = fn([(1, 10)])
+        assert f.time(0.0) == 0.0
+
+    def test_time_is_size_over_speed(self):
+        f = fn([(1, 10), (100, 10)])
+        assert f.time(50) == pytest.approx(5.0)
+
+    def test_inverse_recovers_size(self):
+        f = fn([(10, 10), (100, 40), (1000, 25)])
+        for x in (5.0, 37.0, 250.0, 900.0):
+            t = f.time(x)
+            assert f.max_size_within_time(t) == pytest.approx(x, rel=1e-6)
+
+    def test_inverse_zero_budget(self):
+        f = fn([(1, 10)])
+        assert f.max_size_within_time(0.0) == 0.0
+
+    def test_inverse_caps_at_bounded_range(self):
+        f = fn([(10, 10), (100, 10)], bounded=True)
+        assert f.max_size_within_time(1e12) == 100.0
+
+    def test_monotonic_check_passes_for_constant(self):
+        f = fn([(1, 10), (100, 10)])
+        assert f.is_time_monotonic()
+
+    def test_monotonic_check_fails_for_superlinear_jump(self):
+        # speed jumping 10 -> 1000 makes time dip
+        f = fn([(10, 10), (11, 1000)])
+        assert not f.is_time_monotonic()
+
+    def test_repair_makes_time_monotonic(self):
+        f = fn([(10, 10), (11, 1000), (50, 500)])
+        repaired = f.with_monotonic_time()
+        assert repaired.is_time_monotonic()
+        # repair never raises speeds
+        for s_old, s_new in zip(f.samples, repaired.samples):
+            assert s_new.speed <= s_old.speed + 1e-12
+
+
+class TestTransforms:
+    def test_scaled(self):
+        f = fn([(1, 10), (2, 20)])
+        g = f.scaled(2.0)
+        assert g.speed(1.5) == pytest.approx(2 * f.speed(1.5))
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fn([(1, 10)]).scaled(0.0)
+
+    def test_len(self):
+        assert len(fn([(1, 1), (2, 2), (3, 3)])) == 3
+
+
+@st.composite
+def speed_functions(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    sizes = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=1e4),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    speeds = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e4), min_size=n, max_size=n
+        )
+    )
+    return SpeedFunction.from_points(sizes, speeds)
+
+
+class TestProperties:
+    @given(speed_functions(), st.floats(min_value=0, max_value=2e4))
+    @settings(max_examples=100)
+    def test_speed_within_sample_envelope(self, f, x):
+        s = f.speed(x)
+        lo = min(p.speed for p in f.samples)
+        hi = max(p.speed for p in f.samples)
+        assert lo - 1e-9 <= s <= hi + 1e-9
+
+    @given(speed_functions())
+    @settings(max_examples=100)
+    def test_repair_idempotent(self, f):
+        once = f.with_monotonic_time()
+        twice = once.with_monotonic_time()
+        assert [s.speed for s in once.samples] == pytest.approx(
+            [s.speed for s in twice.samples]
+        )
+        assert once.is_time_monotonic()
+
+    @given(speed_functions(), st.floats(min_value=1e-3, max_value=1e4))
+    @settings(max_examples=100)
+    def test_inverse_time_respects_budget(self, f, budget):
+        g = f.with_monotonic_time()
+        x = g.max_size_within_time(budget)
+        if x > 0:
+            assert g.time(x) <= budget * (1 + 1e-6)
+
+    @given(speed_functions(), st.floats(min_value=1e-3, max_value=1e4))
+    @settings(max_examples=100)
+    def test_exact_inverse_agrees_with_bisection(self, f, budget):
+        """The closed-form segment inversion equals numerical bisection."""
+        g = f.with_monotonic_time()
+        knots = g._knot_times()
+        if knots is None:
+            return  # non-monotone: only the bisection path exists
+        exact = g._invert_time_exact(budget, knots)
+        numeric = g._invert_time_bisect(budget)
+        assert exact == pytest.approx(numeric, rel=1e-6, abs=1e-6)
+
+    @given(speed_functions(), st.floats(min_value=1e-3, max_value=1e4))
+    @settings(max_examples=100)
+    def test_inverse_is_tight(self, f, budget):
+        """No strictly larger size still fits the budget (maximality)."""
+        g = f.with_monotonic_time()
+        x = g.max_size_within_time(budget)
+        cap = g.max_size if g.bounded else math.inf
+        bigger = min(x * (1 + 1e-4) + 1e-6, cap)
+        if bigger > x:
+            assert g.time(bigger) >= budget * (1 - 1e-4)

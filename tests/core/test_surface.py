@@ -1,0 +1,138 @@
+"""Unit tests for two-parameter speed surfaces."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import partition_fpm
+from repro.core.surface import (
+    SpeedSurface,
+    area_slice,
+    aspect_sensitivity,
+    build_surface,
+)
+
+
+def flat_surface(speed=100.0):
+    return build_surface(
+        lambda r, c: speed, [10, 100, 1000], [10, 100, 1000]
+    )
+
+
+def gpu_like_speed(rows, cols):
+    """Area-saturating rate with a mild aspect penalty (device-model-like)."""
+    area = rows * cols
+    aspect = rows / cols
+    rate = 900 * area / (area + 3600)
+    return rate / (1 + 0.02 * math.log2(aspect) ** 2)
+
+
+class TestSpeedSurface:
+    def test_exact_at_grid_points(self):
+        surface = build_surface(gpu_like_speed, [10, 50, 200], [10, 50, 200])
+        assert surface.speed(50, 200) == pytest.approx(gpu_like_speed(50, 200))
+
+    def test_bilinear_between_points(self):
+        surface = build_surface(lambda r, c: r + c, [10, 20], [10, 20])
+        assert surface.speed(15, 15) == pytest.approx(30.0)
+
+    def test_constant_extension_outside(self):
+        surface = flat_surface()
+        assert surface.speed(1, 1) == 100.0
+        assert surface.speed(1e6, 1e6) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedSurface((10, 5), (10,), ((1.0,), (1.0,)))
+        with pytest.raises(ValueError):
+            SpeedSurface((10,), (10,), ((0.0,),))
+        with pytest.raises(ValueError):
+            SpeedSurface((10, 20), (10,), ((1.0,),))
+
+    def test_speed_at_area_square(self):
+        surface = build_surface(gpu_like_speed, [10, 60, 300], [10, 60, 300])
+        # aspect 1 -> rows = cols = sqrt(area)
+        assert surface.speed_at_area(3600.0) == pytest.approx(
+            surface.speed(60, 60)
+        )
+
+    @given(
+        rows=st.floats(min_value=1, max_value=2000),
+        cols=st.floats(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=80)
+    def test_interpolation_within_envelope(self, rows, cols):
+        surface = build_surface(gpu_like_speed, [10, 50, 200, 800], [10, 50, 200, 800])
+        s = surface.speed(rows, cols)
+        flat = [v for row in surface.speeds for v in row]
+        assert min(flat) - 1e-9 <= s <= max(flat) + 1e-9
+
+
+class TestAreaSlice:
+    def test_slice_matches_surface(self):
+        surface = build_surface(gpu_like_speed, [10, 60, 300], [10, 60, 300])
+        fn = area_slice(surface, [100.0, 3600.0, 40000.0])
+        assert fn.speed(3600.0) == pytest.approx(surface.speed_at_area(3600.0))
+
+    def test_slice_feeds_partitioner(self):
+        surface = build_surface(gpu_like_speed, [10, 60, 300], [10, 60, 300])
+        gpu_fn = area_slice(surface, [100.0, 1000.0, 10000.0])
+        alloc = partition_fpm([gpu_fn, 100.0], 5000.0)
+        assert sum(alloc) == pytest.approx(5000.0)
+        assert alloc[0] > alloc[1]  # the surface device is faster
+
+    def test_aspect_changes_the_slice(self):
+        surface = build_surface(gpu_like_speed, [10, 60, 300], [10, 60, 300])
+        square = area_slice(surface, [3600.0], aspect=1.0)
+        strip = area_slice(surface, [3600.0], aspect=4.0)
+        assert strip.speed(3600.0) < square.speed(3600.0)
+
+
+class TestAspectSensitivity:
+    def test_flat_surface_insensitive(self):
+        assert aspect_sensitivity(flat_surface(), 1000.0) == pytest.approx(0.0)
+
+    def test_papers_near_square_assumption(self):
+        """Within 2:1 aspect the speed varies by only a few percent."""
+        surface = build_surface(
+            gpu_like_speed, [10, 50, 200, 800], [10, 50, 200, 800]
+        )
+        near_square = aspect_sensitivity(
+            surface, 10000.0, aspects=[0.5, 1.0, 2.0]
+        )
+        assert near_square < 0.05
+
+    def test_extreme_strips_measurably_slower(self):
+        surface = build_surface(
+            gpu_like_speed, [10, 50, 200, 800], [10, 50, 200, 800]
+        )
+        wide = aspect_sensitivity(surface, 10000.0, aspects=[0.1, 1.0, 10.0])
+        near = aspect_sensitivity(surface, 10000.0, aspects=[0.5, 1.0, 2.0])
+        assert wide > 2 * near
+
+
+class TestDeviceAspectSupport:
+    def test_device_rate_penalises_strips(self, gtx680):
+        square = gtx680.kernel_rate_gflops(400, aspect=1.0)
+        strip = gtx680.kernel_rate_gflops(400, aspect=8.0)
+        assert strip < square
+        # but nearly square shapes are equivalent (Section IV assumption)
+        near = gtx680.kernel_rate_gflops(400, aspect=1.5)
+        assert near > 0.99 * square
+
+    def test_surface_from_device(self, gtx680):
+        """Build a real speed surface from the simulated device."""
+
+        def speed(rows_blocks, cols_blocks):
+            area = rows_blocks * cols_blocks
+            return gtx680.kernel_rate_gflops(
+                area, aspect=rows_blocks / cols_blocks
+            )
+
+        # the grid must resolve the rate ramp, or interpolation error
+        # across areas swamps the (small) aspect effect
+        axis = [5, 8, 12, 18, 27, 40, 60]
+        surface = build_surface(speed, axis, axis)
+        assert aspect_sensitivity(surface, 900.0, aspects=[0.5, 1, 2]) < 0.05

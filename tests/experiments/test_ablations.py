@@ -1,0 +1,252 @@
+"""Shape tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    aspect_ratio,
+    blocking_factor,
+    comm_aware,
+    cpm_calibration,
+    dma_engines,
+    dynamic_vs_static,
+    gpu_kernel_version,
+    hierarchical_cluster,
+    noise_sensitivity,
+    online_fpm,
+    task_granularity,
+)
+
+
+@pytest.fixture(scope="module")
+def blocking(fast_config):
+    return blocking_factor.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def dyn(fast_config):
+    return dynamic_vs_static.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def noise(fast_config):
+    return noise_sensitivity.run(fast_config, sigmas=(0.0, 0.05, 0.2))
+
+
+@pytest.fixture(scope="module")
+def cpm_cal(fast_config):
+    return cpm_calibration.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def dma(fast_config):
+    return dma_engines.run(fast_config)
+
+
+class TestBlockingFactor:
+    def test_u_shape_basin_near_640(self, blocking):
+        assert blocking.best_factor in (320, 640, 1280)
+
+    def test_extremes_are_worse(self, blocking):
+        best = blocking.time_of(blocking.best_factor)
+        assert blocking.time_of(160) > best
+        assert blocking.time_of(2560) > best
+
+    def test_coarse_blocks_hurt_balance(self, blocking):
+        assert blocking.imbalances[-1] > blocking.imbalances[1]
+
+    def test_rejects_non_divisor(self, fast_config):
+        with pytest.raises(ValueError, match="divide"):
+            blocking_factor.run(fast_config, factors=(777,))
+
+    def test_format(self, blocking):
+        out = blocking_factor.format_result(blocking)
+        assert "best blocking factor" in out
+
+
+class TestDynamicVsStatic:
+    def test_ordering(self, dyn):
+        assert dyn.fpm_time <= dyn.dynamic_time <= dyn.homogeneous_time
+
+    def test_dynamic_converges_to_fpm(self, dyn):
+        assert dyn.dynamic_converged_to_fpm < 0.10
+
+    def test_dynamic_pays_migration(self, dyn):
+        assert dyn.dynamic_blocks_migrated > 0
+        assert dyn.dynamic_migration_time > 0
+
+    def test_dynamic_much_better_than_homogeneous(self, dyn):
+        assert dyn.dynamic_time < 0.7 * dyn.homogeneous_time
+
+
+class TestNoiseSensitivity:
+    def test_repetitions_grow_with_noise(self, noise):
+        reps = [p.repetitions_total for p in noise.points]
+        assert reps[0] < reps[1] < reps[2]
+
+    def test_balance_robust_to_noise(self, noise):
+        """The reliability protocol keeps partitions near-balanced."""
+        base = noise.points[0].true_imbalance
+        for p in noise.points:
+            assert p.true_imbalance <= base * 1.2 + 0.1
+
+    def test_time_robust_to_noise(self, noise):
+        base = noise.points[0].fpm_total_time
+        for p in noise.points:
+            assert p.fpm_total_time <= base * 1.15
+
+
+class TestCpmCalibration:
+    def test_no_calibration_beats_fpm_overall(self, cpm_cal):
+        for cal in cpm_cal.calibrations:
+            assert cpm_cal.regret(cal) > 1.1
+
+    def test_small_calibration_bad_for_small_problems(self, cpm_cal):
+        n = cpm_cal.sizes[0]
+        assert cpm_cal.cpm_time(400.0, n) > cpm_cal.fpm_time(n)
+
+    def test_large_calibration_bad_for_large_problems(self, cpm_cal):
+        n = cpm_cal.sizes[-1]
+        assert cpm_cal.cpm_time(4900.0, n) > 1.15 * cpm_cal.fpm_time(n)
+
+    def test_fpm_within_tolerance_everywhere(self, cpm_cal):
+        """FPM matches or beats the best CPM at every size (5% slack)."""
+        for j, n in enumerate(cpm_cal.sizes):
+            best_cpm = min(row[j] for row in cpm_cal.cpm_times)
+            assert cpm_cal.fpm_times[j] <= best_cpm * 1.05
+
+
+class TestHierarchicalCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self, fast_config):
+        return hierarchical_cluster.run(fast_config)
+
+    def test_allocations_cover_workload(self, cluster):
+        assert sum(cluster.node_allocations) == 100 * 100
+
+    def test_hybrid_node_gets_most(self, cluster):
+        assert cluster.node_allocations[0] == max(cluster.node_allocations)
+
+    def test_hierarchy_matches_flat(self, cluster):
+        """The headline invariant: two-level == flat partitioning."""
+        assert cluster.agreement_l1 < 0.03
+        assert cluster.hierarchy_overhead < 1.02
+
+    def test_format(self, cluster):
+        out = hierarchical_cluster.format_result(cluster)
+        assert "hierarchical vs flat" in out
+
+
+class TestOnlineFpm:
+    @pytest.fixture(scope="class")
+    def online(self, fast_config):
+        return online_fpm.run(fast_config)
+
+    def test_converges(self, online):
+        assert online.online_converged
+        assert online.online_rounds <= 12
+
+    def test_saves_measurements(self, online):
+        assert online.measurement_saving > 0.3
+
+    def test_reaches_full_sweep_partition(self, online):
+        assert online.allocation_distance < 0.08
+
+    def test_format(self, online):
+        assert "measurement saving" in online_fpm.format_result(online)
+
+
+class TestDmaEngines:
+    def test_two_engines_gain_more(self, dma):
+        assert dma.mean_gain(2) > dma.mean_gain(1)
+
+    def test_both_engines_give_positive_gain(self, dma):
+        assert dma.mean_gain(1) > 0.05
+        assert dma.mean_gain(2) > 0.2
+
+    def test_format(self, dma):
+        out = dma_engines.format_result(dma)
+        assert "mean gain" in out
+
+
+class TestTaskGranularity:
+    @pytest.fixture(scope="class")
+    def tasks(self, fast_config):
+        return task_granularity.run(fast_config)
+
+    def test_u_shape(self, tasks):
+        best = tasks.best_makespan
+        assert tasks.makespan_of(tasks.chunks[0]) > best
+        assert tasks.makespan_of(tasks.chunks[-1]) > best
+
+    def test_fpm_at_or_below_best_chunk(self, tasks):
+        assert tasks.fpm_makespan <= tasks.best_makespan * 1.05
+
+    def test_fine_chunks_starve_gpu(self, tasks):
+        """Tiny tasks keep the GPU slow, shrinking its share."""
+        i_fine = 0
+        i_best = tasks.chunks.index(tasks.best_chunk)
+        assert tasks.gpu_share[i_fine] < tasks.gpu_share[i_best]
+
+    def test_format(self, tasks):
+        assert "best chunk" in task_granularity.format_result(tasks)
+
+
+class TestGpuKernelVersion:
+    @pytest.fixture(scope="class")
+    def versions(self, fast_config):
+        return gpu_kernel_version.run(fast_config)
+
+    def test_later_versions_never_slower(self, versions):
+        for n in versions.sizes:
+            assert versions.time_of(3, n) <= versions.time_of(2, n) * 1.02
+            assert versions.time_of(2, n) <= versions.time_of(1, n) * 1.02
+
+    def test_v3_buys_real_application_speedup(self, versions):
+        assert versions.app_gain_v3_over_v1(versions.sizes[-1]) > 0.3
+
+    def test_better_kernel_earns_bigger_share(self, versions):
+        assert versions.gtx_share[2] >= versions.gtx_share[0]
+
+    def test_format(self, versions):
+        assert "application-level gain" in gpu_kernel_version.format_result(
+            versions
+        )
+
+
+class TestAspectRatio:
+    @pytest.fixture(scope="class")
+    def aspect(self, fast_config):
+        return aspect_ratio.run(fast_config)
+
+    def test_near_square_collapse_holds(self, aspect):
+        """Section IV assumption: <5% spread within the 1:2..2:1 band."""
+        assert aspect.worst_near_square < 0.05
+
+    def test_extreme_strips_lose(self, aspect):
+        assert aspect.worst_extreme > 2 * aspect.worst_near_square
+
+    def test_format(self, aspect):
+        assert "near-square" in aspect_ratio.format_result(aspect)
+
+
+class TestCommAware:
+    @pytest.fixture(scope="class")
+    def comm(self, fast_config):
+        return comm_aware.run(fast_config)
+
+    def test_paper_bandwidth_untouched(self, comm):
+        """At the paper's bandwidth the refinement changes nothing."""
+        assert comm.blocks_moved[0] == 0
+        assert comm.saving(comm.bandwidths_gbs[0]) == pytest.approx(0.0)
+
+    def test_simplification_robust_at_40x_cost(self, comm):
+        """Even at 40x the communication cost the gain stays negligible."""
+        worst_bw = comm.bandwidths_gbs[-1]
+        assert abs(comm.saving(worst_bw)) < 0.02
+
+    def test_refined_never_meaningfully_worse(self, comm):
+        for bw in comm.bandwidths_gbs:
+            assert comm.saving(bw) > -0.02
+
+    def test_format(self, comm):
+        assert "bandwidth" in comm_aware.format_result(comm)

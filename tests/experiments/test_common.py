@@ -1,0 +1,58 @@
+"""Unit tests for the shared experiment configuration."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    make_app,
+    make_bench,
+    make_cpu_only_app,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.fast is False
+        assert cfg.sweep_points == 16
+
+    def test_fast_halves_sweeps(self):
+        assert ExperimentConfig(fast=True).sweep_points == 8
+
+    def test_faster_copy(self):
+        cfg = ExperimentConfig()
+        assert cfg.faster().fast is True
+        assert cfg.fast is False  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(model_max_blocks=0.0)
+
+
+class TestFactories:
+    def test_make_bench_uses_paper_node(self, fast_config):
+        bench = make_bench(fast_config)
+        assert bench.node.name == "ig.icl.utk.edu"
+        assert len(bench.gpus) == 2
+
+    def test_make_app_builds_models(self, fast_config):
+        app = make_app(fast_config)
+        assert len(app._models) == 6  # 2 GPUs + 4 sockets
+
+    def test_make_app_without_models(self, fast_config):
+        app = make_app(fast_config, build_models=False)
+        assert app._models == {}
+
+    def test_cpu_only_app(self, fast_config):
+        app = make_cpu_only_app(fast_config)
+        assert app.node.gpus == ()
+        assert app.binding.num_processes == 24
+
+    def test_deterministic_across_instances(self, fast_config):
+        a = make_app(fast_config)
+        b = make_app(fast_config)
+        plan_a = a.plan(30, "fpm")
+        plan_b = b.plan(30, "fpm")
+        assert plan_a.unit_allocations == plan_b.unit_allocations

@@ -1,0 +1,226 @@
+"""End-to-end tests of the reproduction experiments (fast configuration).
+
+Each test checks the *shape* criteria DESIGN.md lists for its table or
+figure — who wins, where the crossovers sit, rough improvement factors.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_socket_fpm,
+    fig3_gpu_versions,
+    fig5_contention,
+    fig6_process_times,
+    fig7_exec_vs_size,
+    jacobi_app,
+    table2_exec_time,
+    table3_partitioning,
+)
+from repro.experiments.paper_data import TABLE3_FPM
+
+
+@pytest.fixture(scope="module")
+def fig2(fast_config):
+    return fig2_socket_fpm.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def fig3(fast_config):
+    return fig3_gpu_versions.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def fig5(fast_config):
+    return fig5_contention.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def table2(fast_config):
+    return table2_exec_time.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def table3(fast_config):
+    return table3_partitioning.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def fig6(fast_config):
+    return fig6_process_times.run(fast_config)
+
+
+@pytest.fixture(scope="module")
+def fig7(fast_config):
+    return fig7_exec_vs_size.run(fast_config)
+
+
+class TestFig2:
+    def test_s6_above_s5(self, fig2):
+        for a, b in zip(fig2.s5, fig2.s6):
+            assert b > a
+
+    def test_plateaus_in_paper_band(self, fig2):
+        assert 95 <= fig2.plateau("s6") <= 115
+        assert 82 <= fig2.plateau("s5") <= 102
+
+    def test_ramp_up_shape(self, fig2):
+        assert fig2.s6[0] < fig2.plateau("s6")
+
+    def test_format(self, fig2):
+        out = fig2_socket_fpm.format_result(fig2)
+        assert "s5" in out and "s6" in out
+
+
+class TestFig3:
+    def test_v2_doubles_v1_resident(self, fig3):
+        idx = [i for i in fig3.in_core_sizes() if fig3.sizes[i] > 300]
+        ratios = [fig3.v2[i] / fig3.v1[i] for i in idx]
+        assert all(1.5 <= r <= 2.7 for r in ratios)
+
+    def test_v2_cliff_at_limit(self, fig3):
+        peak_in = max(fig3.v2[i] for i in fig3.in_core_sizes())
+        first_out = fig3.v2[fig3.out_of_core_sizes()[0]]
+        assert first_out < 0.7 * peak_in
+
+    def test_v3_gains_out_of_core(self, fig3):
+        for i in fig3.out_of_core_sizes():
+            assert fig3.v3[i] > fig3.v2[i] * 1.1
+
+    def test_v3_equals_v2_resident(self, fig3):
+        for i in fig3.in_core_sizes():
+            assert fig3.v3[i] == pytest.approx(fig3.v2[i], rel=0.05)
+
+    def test_memory_limit_near_papers_line(self, fig3):
+        assert 1000 <= fig3.memory_limit_blocks <= 1300
+
+
+class TestFig5:
+    def test_gpu_drop_band(self, fig5):
+        for s in fig5.shared:
+            assert 0.04 <= s.mean_gpu_drop <= 0.18
+
+    def test_model_accuracy_near_85(self, fig5):
+        for s in fig5.shared:
+            assert 0.82 <= s.gpu_model_accuracy <= 0.96
+
+    def test_cpu_barely_affected(self, fig5):
+        for s in fig5.shared:
+            assert s.mean_cpu_drop < 0.05
+
+
+class TestTable2:
+    def test_gpu_beats_cpus_in_memory(self, table2):
+        cpus, gtx, _ = table2.row(40)
+        assert gtx < cpus
+
+    def test_cpus_beat_gpu_out_of_memory(self, table2):
+        cpus, gtx, _ = table2.row(70)
+        assert gtx > cpus
+
+    def test_hybrid_wins_everywhere(self, table2):
+        for n in table2.sizes:
+            row = table2.row(n)
+            assert row[2] == min(row)
+
+    def test_hybrid_speedup_band(self, table2):
+        cpus, _, hybrid = table2.row(40)
+        assert 2.0 <= cpus / hybrid <= 5.0
+
+    def test_magnitudes_within_2x_of_paper(self, table2):
+        from repro.experiments.paper_data import TABLE2_CPUS_ONLY
+
+        for i, n in enumerate(table2.sizes):
+            ratio = table2.cpus_only[i] / TABLE2_CPUS_ONLY[n]
+            assert 0.5 <= ratio <= 2.0
+
+
+class TestTable3:
+    def test_cpm_ratio_stays_high(self, table3):
+        assert table3.cpm_row(70).ratio_g1_s6() > 6.5
+
+    def test_fpm_ratio_declines(self, table3):
+        r40 = table3.fpm_row(40).ratio_g1_s6()
+        r70 = table3.fpm_row(70).ratio_g1_s6()
+        assert r40 > r70
+        assert 3.2 <= r70 <= 6.0
+
+    def test_cpm_overloads_g1_beyond_memory(self, table3):
+        for n in (50, 60, 70):
+            assert table3.cpm_row(n).g1 > table3.fpm_row(n).g1
+
+    def test_fpm_allocations_near_paper(self, table3):
+        """Every FPM cell within 35% of the paper's (same simulator caveat)."""
+        for n in table3.sizes:
+            ours = table3.fpm_row(n)
+            paper = TABLE3_FPM[n]
+            for key, got in (
+                ("G1", ours.g1),
+                ("G2", ours.g2),
+                ("S5", ours.s5),
+                ("S6", ours.s6),
+            ):
+                assert abs(got - paper[key]) / paper[key] < 0.35
+
+    def test_rows_sum_close_to_total(self, table3):
+        """2 GPUs + 2 S5 + 2 S6 should cover the matrix."""
+        for n in table3.sizes:
+            r = table3.fpm_row(n)
+            total = r.g1 + r.g2 + 2 * r.s5 + 2 * r.s6
+            assert abs(total - n * n) <= 0.02 * n * n
+
+
+class TestFig6:
+    def test_cpm_straggler_is_gtx680(self, fig6):
+        assert fig6.straggler_rank(fig6.cpm_times) == fig6.dedicated_ranks[1]
+
+    def test_fpm_flatter_than_cpm(self, fig6):
+        assert fig6.imbalance(fig6.fpm_times) < fig6.imbalance(fig6.cpm_times)
+
+    def test_computation_cut_band(self, fig6):
+        assert 0.15 <= fig6.computation_cut <= 0.6
+
+
+class TestJacobiApplication:
+    @pytest.fixture(scope="class")
+    def jacobi(self, fast_config):
+        return jacobi_app.run(fast_config)
+
+    def test_fpm_wins(self, jacobi):
+        assert jacobi.fpm_time < jacobi.homogeneous_time < jacobi.cpm_time
+
+    def test_fpm_balanced(self, jacobi):
+        assert jacobi.fpm_imbalance < 1.3
+
+    def test_gpu_pinned_near_capacity(self, jacobi):
+        gtx = jacobi.allocation_of("GeForce GTX680")
+        assert 0.9 * jacobi.gtx_capacity_rows <= gtx
+        assert gtx <= 1.3 * jacobi.gtx_capacity_rows
+
+    def test_sockets_bandwidth_bound(self, jacobi):
+        """S5 and S6 sockets get near-equal stencil shares (DRAM wall)."""
+        s5 = jacobi.allocation_of("socket0:c5")
+        s6 = jacobi.allocation_of("socket2:c6")
+        assert abs(s5 - s6) / s6 < 0.1
+
+    def test_format(self, jacobi):
+        assert "FPM" in jacobi_app.format_result(jacobi)
+
+
+class TestFig7:
+    def test_orderings_at_scale(self, fig7):
+        for n in (50, 60, 70, 80):
+            i = fig7.sizes.index(n)
+            assert fig7.fpm[i] < fig7.cpm[i] < fig7.homogeneous[i]
+
+    def test_cpm_tracks_fpm_when_small(self, fig7):
+        i = fig7.sizes.index(30)
+        assert fig7.cpm[i] <= fig7.fpm[i] * 1.35
+
+    def test_cuts_at_largest_size(self, fig7):
+        big = fig7.sizes[-1]
+        assert fig7.cut_vs_cpm(big) >= 0.15
+        assert fig7.cut_vs_homogeneous(big) >= 0.3
+
+    def test_monotone_growth(self, fig7):
+        for series in (fig7.homogeneous, fig7.cpm, fig7.fpm):
+            assert all(a < b for a, b in zip(series, series[1:]))

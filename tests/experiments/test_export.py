@@ -1,0 +1,80 @@
+"""Unit tests for experiment-result export."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.export import (
+    export_csv,
+    export_json,
+    result_to_dict,
+    series_to_csv,
+)
+
+
+@dataclass(frozen=True)
+class Inner:
+    value: float
+
+
+@dataclass(frozen=True)
+class Outer:
+    name: str
+    points: tuple[Inner, ...]
+    sizes: tuple[int, ...]
+
+
+class TestResultToDict:
+    def test_nested_dataclasses(self):
+        result = Outer("x", (Inner(1.5), Inner(2.5)), (10, 20))
+        d = result_to_dict(result)
+        assert d == {
+            "name": "x",
+            "points": [{"value": 1.5}, {"value": 2.5}],
+            "sizes": [10, 20],
+        }
+
+    def test_scalars_pass_through(self):
+        assert result_to_dict(3) == 3
+        assert result_to_dict(None) is None
+
+    def test_rejects_exotic_types(self):
+        with pytest.raises(TypeError):
+            result_to_dict(object())
+
+
+class TestExportJson:
+    def test_round_trip(self, tmp_path):
+        result = Outer("exp", (Inner(1.0),), (5,))
+        path = tmp_path / "r.json"
+        export_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["name"] == "exp"
+        assert loaded["points"][0]["value"] == 1.0
+
+    def test_real_experiment_result_exports(self, fast_config, tmp_path):
+        from repro.experiments import fig2_socket_fpm
+
+        result = fig2_socket_fpm.run(fast_config)
+        path = tmp_path / "fig2.json"
+        export_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["s5"]) == len(loaded["sizes"])
+
+
+class TestCsv:
+    def test_series_layout(self):
+        text = series_to_csv("x", [1, 2], {"a": [10, 20], "b": [30, 40]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,10,30"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv("x", [1], {"a": [1, 2]})
+
+    def test_export_csv_file(self, tmp_path):
+        path = tmp_path / "s.csv"
+        export_csv(path, "n", [1], {"t": [2.0]})
+        assert path.read_text().startswith("n,t")

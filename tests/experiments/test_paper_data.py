@@ -1,0 +1,85 @@
+"""Internal-consistency checks of the transcribed paper data.
+
+These tests validate the *transcription* (and the paper's own
+arithmetic): the published tables must be consistent with the claims the
+text makes about them.  They involve no simulation, so a typo in
+``paper_data.py`` cannot silently skew every comparison.
+"""
+
+import pytest
+
+from repro.experiments import paper_data as pd
+
+
+class TestTable2Transcription:
+    def test_all_sizes_present(self):
+        for table in (pd.TABLE2_CPUS_ONLY, pd.TABLE2_GTX680_ONLY, pd.TABLE2_HYBRID_FPM):
+            assert set(table) == set(pd.TABLE2_SIZES)
+
+    def test_hybrid_wins_everywhere(self):
+        for n in pd.TABLE2_SIZES:
+            assert pd.TABLE2_HYBRID_FPM[n] < pd.TABLE2_CPUS_ONLY[n]
+            assert pd.TABLE2_HYBRID_FPM[n] < pd.TABLE2_GTX680_ONLY[n]
+
+    def test_gpu_crossover_between_40_and_60(self):
+        """GTX680 alone beats the CPUs at 40x40 and loses by 60x60."""
+        assert pd.TABLE2_GTX680_ONLY[40] < pd.TABLE2_CPUS_ONLY[40]
+        assert pd.TABLE2_GTX680_ONLY[60] > pd.TABLE2_CPUS_ONLY[60]
+
+    def test_times_grow_with_problem_size(self):
+        for table in (pd.TABLE2_CPUS_ONLY, pd.TABLE2_GTX680_ONLY, pd.TABLE2_HYBRID_FPM):
+            times = [table[n] for n in pd.TABLE2_SIZES]
+            assert times == sorted(times)
+
+    def test_cpu_scaling_roughly_cubic(self):
+        """CPU-only time should scale ~n^3 (fixed hardware, cubic work)."""
+        t40, t70 = pd.TABLE2_CPUS_ONLY[40], pd.TABLE2_CPUS_ONLY[70]
+        ratio = t70 / t40
+        assert 0.6 * (70 / 40) ** 3 <= ratio <= 1.4 * (70 / 40) ** 3
+
+
+class TestTable3Transcription:
+    def test_rows_sum_close_to_matrix_area(self):
+        """G1 + G2 + 2 S5 + 2 S6 must cover the n^2 blocks (both schemes)."""
+        for table in (pd.TABLE3_CPM, pd.TABLE3_FPM):
+            for n, row in table.items():
+                total = row["G1"] + row["G2"] + 2 * row["S5"] + 2 * row["S6"]
+                assert abs(total - n * n) <= 0.02 * n * n, (n, total)
+
+    def test_text_claim_fpm_ratio_nine_in_core(self):
+        row = pd.TABLE3_FPM[40]
+        assert 8.5 <= row["G1"] / row["S6"] <= 10.5
+
+    def test_text_claim_fpm_ratio_declines(self):
+        r50 = pd.TABLE3_FPM[50]["G1"] / pd.TABLE3_FPM[50]["S6"]
+        r70 = pd.TABLE3_FPM[70]["G1"] / pd.TABLE3_FPM[70]["S6"]
+        assert r50 > r70
+        assert 4.0 <= r70 <= 5.0  # "around 6 ~ 4 times"
+
+    def test_text_claim_cpm_ratio_stays_near_eight(self):
+        row = pd.TABLE3_CPM[70]
+        assert 7.0 <= row["G1"] / row["S6"] <= 8.5  # "nearly 8"
+
+    def test_cpm_overloads_g1_beyond_memory(self):
+        for n in (50, 60, 70):
+            assert pd.TABLE3_CPM[n]["G1"] > pd.TABLE3_FPM[n]["G1"]
+
+    def test_fpm_g1_within_memory_at_40(self):
+        assert pd.TABLE3_FPM[40]["G1"] <= pd.FIG3_MEMORY_LIMIT
+
+
+class TestShapeConstants:
+    def test_bands_are_ordered(self):
+        lo, hi = pd.RATIO_G1_S6_OUT_OF_CORE
+        assert lo < hi < pd.RATIO_G1_S6_IN_CORE
+        lo, hi = pd.GPU_CONTENTION_DROP
+        assert 0 < lo < hi < 1
+
+    def test_improvement_fractions_sane(self):
+        for v in (
+            pd.V3_OVER_V2_GAIN,
+            pd.FIG6_COMPUTATION_CUT,
+            pd.FIG7_CUT_VS_CPM,
+            pd.FIG7_CUT_VS_HOMOGENEOUS,
+        ):
+            assert 0 < v < 1

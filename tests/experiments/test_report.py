@@ -1,0 +1,30 @@
+"""The full report: every shape check must pass in the fast configuration."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text(fast_config):
+    return full_report(fast_config)
+
+
+class TestFullReport:
+    def test_contains_every_section(self, report_text):
+        for marker in (
+            "Figure 2",
+            "Figure 3",
+            "Figure 5",
+            "Table II",
+            "Table III",
+            "Figure 6",
+            "Figure 7",
+            "Shape checks",
+        ):
+            assert marker in report_text
+
+    def test_all_shape_checks_pass(self, report_text):
+        assert "[FAIL]" not in report_text
+        assert report_text.count("[PASS]") >= 9

@@ -1,0 +1,93 @@
+"""Unit tests for the CPU GEMM kernels (socket-group and per-core views)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gemm_cpu import (
+    CpuCoreGemmKernel,
+    CpuGemmKernel,
+    numpy_gemm_update,
+)
+
+
+class TestCpuGemmKernel:
+    def test_more_cores_faster_socket(self, sockets):
+        t5 = CpuGemmKernel(sockets[0], 5).run_time(600)
+        t6 = CpuGemmKernel(sockets[0], 6).run_time(600)
+        assert t6 < t5
+
+    def test_zero_area(self, sockets):
+        assert CpuGemmKernel(sockets[0], 6).run_time(0) == 0.0
+
+    def test_negative_area_rejected(self, sockets):
+        with pytest.raises(ValueError):
+            CpuGemmKernel(sockets[0], 6).run_time(-1)
+
+    def test_too_many_cores_rejected(self, sockets):
+        with pytest.raises(ValueError):
+            CpuGemmKernel(sockets[0], 7)
+
+    def test_gpu_active_slows_group(self, sockets):
+        busy = CpuGemmKernel(sockets[0], 5, gpu_active=True).run_time(500)
+        idle = CpuGemmKernel(sockets[0], 5, gpu_active=False).run_time(500)
+        assert idle < busy < idle * 1.05
+
+    def test_name_encodes_configuration(self, sockets):
+        k = CpuGemmKernel(sockets[1], 5, gpu_active=True)
+        assert "c5" in k.name and "+gpu" in k.name
+
+    def test_unbounded_range(self, sockets):
+        assert CpuGemmKernel(sockets[0], 6).valid_range.contains(1e9)
+
+
+class TestCpuCoreGemmKernel:
+    def test_consistent_with_socket_view(self, sockets):
+        """core_time(a) == socket_time(c * a) — the two-views identity."""
+        core = CpuCoreGemmKernel(sockets[0], active_cores=6)
+        group = CpuGemmKernel(sockets[0], active_cores=6)
+        a = 75.0
+        assert core.run_time(a) == pytest.approx(group.run_time(6 * a))
+
+    def test_contention_state_matters(self, sockets):
+        solo = CpuCoreGemmKernel(sockets[0], 1).run_time(50)
+        crowded = CpuCoreGemmKernel(sockets[0], 6).run_time(50)
+        assert solo < crowded
+
+    def test_zero_area(self, sockets):
+        assert CpuCoreGemmKernel(sockets[0], 3).run_time(0) == 0.0
+
+
+class TestNumpyGemmUpdate:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        c = rng.standard_normal((6, 8))
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 8))
+        expected = c + a @ b
+        numpy_gemm_update(c, a, b)
+        np.testing.assert_allclose(c, expected)
+
+    def test_in_place(self):
+        c = np.zeros((2, 2))
+        original = c
+        numpy_gemm_update(c, np.eye(2), np.eye(2))
+        assert c is original
+        np.testing.assert_allclose(c, np.eye(2))
+
+    def test_accumulates_over_calls(self):
+        c = np.zeros((2, 2))
+        numpy_gemm_update(c, np.eye(2), np.eye(2))
+        numpy_gemm_update(c, np.eye(2), np.eye(2))
+        np.testing.assert_allclose(c, 2 * np.eye(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            numpy_gemm_update(np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)))
+
+    def test_inner_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inner"):
+            numpy_gemm_update(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            numpy_gemm_update(np.zeros(4), np.zeros(4), np.zeros(4))

@@ -1,0 +1,133 @@
+"""Unit tests for the GPU GEMM kernel versions (paper Section V)."""
+
+import math
+
+import pytest
+
+from repro.kernels.gemm_gpu import (
+    GpuGemmKernelV1,
+    GpuGemmKernelV2,
+    GpuGemmKernelV3,
+    InCoreGpuGemmKernel,
+    gpu_kernel,
+)
+from repro.kernels.interface import kernel_speed_gflops
+
+
+class TestFactory:
+    def test_versions(self, gtx680):
+        assert isinstance(gpu_kernel(gtx680, 1), GpuGemmKernelV1)
+        assert isinstance(gpu_kernel(gtx680, 2), GpuGemmKernelV2)
+        assert isinstance(gpu_kernel(gtx680, 3), GpuGemmKernelV3)
+
+    def test_default_is_v3(self, gtx680):
+        assert isinstance(gpu_kernel(gtx680), GpuGemmKernelV3)
+
+    def test_unknown_version(self, gtx680):
+        with pytest.raises(ValueError, match="version 4"):
+            gpu_kernel(gtx680, 4)
+
+
+class TestVersionRelationships:
+    def test_v2_equals_v3_resident(self, gtx680):
+        """Overlap has nothing to hide while C is resident (Fig. 3)."""
+        v2 = gpu_kernel(gtx680, 2)
+        v3 = gpu_kernel(gtx680, 3)
+        x = v2.memory_limit_blocks * 0.8
+        assert v2.run_time(x) == pytest.approx(v3.run_time(x))
+
+    def test_v1_slower_than_v2_everywhere(self, gtx680):
+        v1 = gpu_kernel(gtx680, 1)
+        v2 = gpu_kernel(gtx680, 2)
+        for x in (100, 800, 1500, 3000):
+            assert v1.run_time(x) > v2.run_time(x)
+
+    def test_v3_never_slower_than_v2(self, gtx680):
+        v2 = gpu_kernel(gtx680, 2)
+        v3 = gpu_kernel(gtx680, 3)
+        for x in (100, 1000, 1500, 2500, 4000):
+            assert v3.run_time(x) <= v2.run_time(x) * (1 + 1e-9)
+
+    def test_v2_drops_sharply_at_memory_limit(self, gtx680):
+        """Fig. 3: the cliff at the memory-limit line."""
+        v2 = gpu_kernel(gtx680, 2)
+        cap = v2.memory_limit_blocks
+        inside = kernel_speed_gflops(v2, cap * 0.95)
+        outside = kernel_speed_gflops(v2, cap * 1.1)
+        assert outside < inside * 0.7
+
+    def test_speeds_ramp_up_at_small_sizes(self, gtx680):
+        v3 = gpu_kernel(gtx680, 3)
+        assert kernel_speed_gflops(v3, 50) < kernel_speed_gflops(v3, 800)
+
+    def test_zero_area_zero_time(self, gtx680):
+        for v in (1, 2, 3):
+            assert gpu_kernel(gtx680, v).run_time(0) == 0.0
+
+    def test_contention_slows_all_versions(self, gtx680):
+        for v in (1, 2, 3):
+            k = gpu_kernel(gtx680, v)
+            assert k.run_time(900, busy_cpu_cores=5) > k.run_time(900)
+
+
+class TestOverlapSchedule:
+    def test_schedule_valid(self, gtx680):
+        v3 = gpu_kernel(gtx680, 3)
+        x = v3.memory_limit_blocks * 2.0
+        sched = v3.schedule(x)
+        sched.timeline.validate()
+        assert sched.makespan == pytest.approx(v3.run_time(x))
+
+    def test_schedule_overlaps(self, gtx680):
+        v3 = gpu_kernel(gtx680, 3)
+        x = v3.memory_limit_blocks * 2.0
+        sched = v3.schedule(x)
+        assert sched.overlap_gain > 1.0
+
+    def test_c870_single_engine_resources(self, c870):
+        v3 = gpu_kernel(c870, 3)
+        x = v3.memory_limit_blocks * 1.5
+        sched = v3.schedule(x)
+        assert "dma" in sched.timeline.resources()
+        assert "h2d" not in sched.timeline.resources()
+
+    def test_gtx680_dual_engine_resources(self, gtx680):
+        v3 = gpu_kernel(gtx680, 3)
+        x = v3.memory_limit_blocks * 2.5
+        sched = v3.schedule(x)
+        resources = sched.timeline.resources()
+        assert "h2d" in resources and "d2h" in resources
+
+
+class TestInCoreKernel:
+    def test_bounded_range(self, gtx680):
+        k = InCoreGpuGemmKernel(gpu=gtx680)
+        assert math.isfinite(k.valid_range.max_blocks)
+        assert k.valid_range.max_blocks == pytest.approx(k.memory_limit_blocks)
+
+    def test_raises_beyond_memory(self, gtx680):
+        k = InCoreGpuGemmKernel(gpu=gtx680)
+        with pytest.raises(ValueError, match="outside the valid"):
+            k.run_time(k.memory_limit_blocks * 1.01)
+
+    def test_matches_v2_within_range(self, gtx680):
+        k = InCoreGpuGemmKernel(gpu=gtx680)
+        v2 = gpu_kernel(gtx680, 2)
+        x = k.memory_limit_blocks * 0.5
+        assert k.run_time(x) == pytest.approx(v2.run_time(x))
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_run_time_increases_with_area(self, gtx680, version):
+        k = gpu_kernel(gtx680, version)
+        xs = [50, 200, 600, 1000, 1400, 2000, 3000, 4500]
+        times = [k.run_time(x) for x in xs]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_c870_run_time_increases_with_area(self, c870, version):
+        k = gpu_kernel(c870, version)
+        xs = [50, 200, 500, 800, 1200, 2000]
+        times = [k.run_time(x) for x in xs]
+        assert all(a < b for a, b in zip(times, times[1:]))

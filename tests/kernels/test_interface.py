@@ -1,0 +1,48 @@
+"""Unit tests for the kernel protocol types."""
+
+import math
+
+import pytest
+
+from repro.kernels.gemm_cpu import CpuGemmKernel
+from repro.kernels.interface import Kernel, KernelRange, kernel_speed_gflops
+
+
+class TestKernelRange:
+    def test_unbounded_by_default(self):
+        r = KernelRange()
+        assert r.contains(1e15)
+
+    def test_bounded_containment(self):
+        r = KernelRange(max_blocks=100)
+        assert r.contains(100)
+        assert not r.contains(100.1)
+
+    def test_min_bound(self):
+        r = KernelRange(min_blocks=10, max_blocks=20)
+        assert not r.contains(5)
+
+    def test_require_raises_with_kernel_name(self):
+        r = KernelRange(max_blocks=10)
+        with pytest.raises(ValueError, match="mykernel"):
+            r.require(11, "mykernel")
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            KernelRange(min_blocks=5, max_blocks=5)
+
+
+class TestProtocol:
+    def test_cpu_kernel_satisfies_protocol(self, sockets):
+        kernel = CpuGemmKernel(sockets[0], 5)
+        assert isinstance(kernel, Kernel)
+
+    def test_speed_helper(self, sockets):
+        kernel = CpuGemmKernel(sockets[0], 5)
+        speed = kernel_speed_gflops(kernel, 500)
+        assert 60 < speed < 110  # a 5-core socket's band
+
+    def test_speed_helper_rejects_zero_area(self, sockets):
+        kernel = CpuGemmKernel(sockets[0], 5)
+        with pytest.raises(ValueError):
+            kernel_speed_gflops(kernel, 0)

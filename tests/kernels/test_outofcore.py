@@ -1,0 +1,113 @@
+"""Unit and property tests for the out-of-core tiling planner (Fig. 4a)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.outofcore import (
+    Tile,
+    near_square_shape,
+    plan_tiling,
+)
+
+
+class TestTile:
+    def test_alignment_detection(self):
+        assert Tile(64, 128, alignment=32).aligned
+        assert not Tile(65, 128, alignment=32).aligned
+
+    def test_area_blocks(self):
+        t = Tile(640, 1280, alignment=32)
+        assert t.area_blocks(640) == pytest.approx(2.0)
+
+
+class TestPlanTiling:
+    def test_single_resident_tile_when_fits(self):
+        plan = plan_tiling(640, 640, tile_capacity_blocks=10, block_size=640)
+        assert plan.num_tiles == 1
+        assert plan.tiles[0].upload_needed is False
+        assert plan.transferred_blocks_each_way == 0.0
+
+    def test_v1_semantics_single_tile_transfers(self):
+        plan = plan_tiling(
+            640, 640, tile_capacity_blocks=10, block_size=640, keep_resident=0
+        )
+        assert plan.num_tiles == 1
+        assert plan.tiles[0].upload_needed is True
+        assert plan.transferred_blocks_each_way == pytest.approx(1.0)
+
+    def test_out_of_core_split(self):
+        # 4 blocks of capacity 1.5 -> 3 tiles
+        plan = plan_tiling(1280, 1280, 1.5, block_size=640)
+        assert plan.num_tiles >= 3
+        plan.validate_coverage()
+
+    def test_keep_resident_saves_two(self):
+        plan = plan_tiling(640 * 4, 640 * 4, 3.9, block_size=640, keep_resident=2)
+        resident = [t for t in plan.tiles if not t.upload_needed]
+        assert len(resident) == 2
+        assert plan.kept_resident == 2
+
+    def test_at_least_one_tile_transfers_out_of_core(self):
+        plan = plan_tiling(1280, 1280, 3.0, block_size=640, keep_resident=5)
+        assert any(t.upload_needed for t in plan.tiles)
+
+    def test_tiles_respect_capacity(self):
+        plan = plan_tiling(3200, 3200, 7.3, block_size=640)
+        for t in plan.tiles:
+            assert t.area_blocks(640) <= 7.3 * (1 + 1e-9)
+
+    def test_alignment_of_interior_tiles(self):
+        plan = plan_tiling(2048, 2048, 2.0, block_size=640, alignment=32)
+        for t in plan.tiles[:-1]:
+            assert t.aligned
+
+    def test_splits_longer_dimension(self):
+        plan = plan_tiling(640, 2560, 2.0, block_size=640)
+        # columns split, rows stay
+        assert all(t.rows == 640 for t in plan.tiles)
+
+    def test_rejects_impossible_split(self):
+        with pytest.raises(ValueError):
+            plan_tiling(2, 2, tile_capacity_blocks=1e-9, block_size=640)
+
+    @given(
+        rows=st.integers(min_value=32, max_value=3000),
+        cols=st.integers(min_value=32, max_value=3000),
+        capacity=st.floats(min_value=0.05, max_value=50.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_coverage_and_capacity_invariants(self, rows, cols, capacity):
+        area = rows * cols / (640 * 640)
+        if area / capacity > max(rows, cols):
+            return  # unsatisfiable split request
+        plan = plan_tiling(rows, cols, capacity, block_size=640)
+        plan.validate_coverage()
+        # every tile is within capacity unless the split hit its floor
+        if plan.num_tiles < max(rows, cols):
+            for t in plan.tiles:
+                assert t.area_blocks(640) <= capacity * (1 + 1e-9)
+        # transferred blocks never exceed the full area
+        assert plan.transferred_blocks_each_way <= plan.area_blocks + 1e-9
+
+
+class TestNearSquareShape:
+    def test_exact_square(self):
+        rows, cols = near_square_shape(4.0, 640)
+        assert rows == cols == 1280
+
+    def test_area_preserved_approximately(self):
+        rows, cols = near_square_shape(7.3, 640)
+        assert rows * cols / 640**2 == pytest.approx(7.3, rel=0.01)
+
+    def test_nearly_square(self):
+        rows, cols = near_square_shape(123.4, 640)
+        assert 0.9 < rows / cols < 1.1
+
+    @given(st.floats(min_value=0.01, max_value=10000))
+    @settings(max_examples=60)
+    def test_always_positive_dims(self, area):
+        rows, cols = near_square_shape(area, 640)
+        assert rows >= 1 and cols >= 1

@@ -1,0 +1,96 @@
+"""Tests for the cross-run residency policy (Fig. 4a's reversal trick)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.outofcore import plan_tiling, simulate_consecutive_runs
+
+
+def make_plan(num_tiles, keep=2):
+    """A plan with exactly num_tiles square-ish tiles of ~1 block each."""
+    rows = 640
+    cols = 640 * num_tiles
+    return plan_tiling(
+        rows, cols, tile_capacity_blocks=1.01, block_size=640, keep_resident=keep
+    )
+
+
+class TestResidencySimulation:
+    def test_first_run_uploads_everything(self):
+        plan = make_plan(5)
+        logs = simulate_consecutive_runs(plan, 1)
+        assert sorted(logs[0].uploads) == [0, 1, 2, 3, 4]
+
+    def test_steady_state_matches_timing_model(self):
+        """After warm-up, transfers per run equal the plan's accounting."""
+        plan = make_plan(5, keep=2)
+        logs = simulate_consecutive_runs(plan, 6)
+        expected = len(plan.uploads)  # k - 2 tiles
+        for log in logs[1:]:
+            assert len(log.uploads) == expected
+            assert len(log.downloads) == expected
+
+    def test_reversal_saves_two_per_direction(self):
+        """The headline claim: keep-2 + reversal saves 2 each way per run."""
+        plan_keep = make_plan(6, keep=2)
+        plan_v1 = make_plan(6, keep=0)
+        keep_logs = simulate_consecutive_runs(plan_keep, 4)
+        v1_logs = simulate_consecutive_runs(plan_v1, 4)
+        for k_log, v_log in zip(keep_logs[1:], v1_logs[1:]):
+            assert len(v_log.uploads) - len(k_log.uploads) == 2
+            assert len(v_log.downloads) - len(k_log.downloads) == 2
+
+    def test_resident_tiles_are_runs_first(self):
+        """Each run starts with the tiles the previous run left behind."""
+        plan = make_plan(5, keep=2)
+        logs = simulate_consecutive_runs(plan, 4)
+        for prev, nxt in zip(logs, logs[1:]):
+            # no uploaded tile in the next run is one that stayed resident
+            assert not set(nxt.uploads) & set(prev.resident_after)
+
+    def test_v1_no_residency(self):
+        plan = make_plan(4, keep=0)
+        logs = simulate_consecutive_runs(plan, 3)
+        for log in logs:
+            assert len(log.uploads) == 4
+            assert len(log.downloads) == 4
+            assert log.resident_after == ()
+
+    def test_single_tile_uploads_once(self):
+        plan = make_plan(1, keep=2)
+        logs = simulate_consecutive_runs(plan, 5)
+        assert logs[0].uploads == (0,)
+        for log in logs[1:]:
+            assert log.uploads == ()
+            assert log.downloads == ()
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            simulate_consecutive_runs(make_plan(3), 0)
+
+    @given(
+        num_tiles=st.integers(min_value=1, max_value=12),
+        keep=st.integers(min_value=0, max_value=4),
+        runs=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_tile_updated_every_run(self, num_tiles, keep, runs):
+        """Conservation: each run touches each tile exactly once; residency
+        never exceeds the configured capacity."""
+        plan = make_plan(num_tiles, keep=keep)
+        logs = simulate_consecutive_runs(plan, runs)
+        if keep == 0:
+            capacity = 0
+        elif num_tiles == 1:
+            capacity = 1
+        else:
+            capacity = plan.kept_resident
+        for log in logs:
+            assert len(log.resident_after) <= max(capacity, 0)
+            # uploads and prior residents together cover all tiles
+            assert len(set(log.uploads)) == len(log.uploads)
+        # steady state transfer count equals the plan's accounting
+        steady = logs[-1]
+        expected = len(plan.uploads)
+        assert len(steady.uploads) == expected

@@ -1,0 +1,147 @@
+"""Unit tests for the DMA/stream overlap scheduler (Fig. 4b)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.overlap import TileWork, schedule_overlap
+
+
+def works(*triples):
+    return [TileWork(u, c, d) for (u, c, d) in triples]
+
+
+class TestScheduleBasics:
+    def test_single_tile_serial(self):
+        s = schedule_overlap(works((1.0, 2.0, 1.0)), dma_engines=2)
+        assert s.makespan == pytest.approx(4.0)
+        assert s.serial_time == pytest.approx(4.0)
+
+    def test_empty_like_tile(self):
+        s = schedule_overlap(works((0.0, 1.0, 0.0)), dma_engines=2)
+        assert s.makespan == pytest.approx(1.0)
+
+    def test_rejects_bad_engine_count(self):
+        with pytest.raises(ValueError):
+            schedule_overlap(works((1, 1, 1)), dma_engines=0)
+
+    def test_rejects_bad_buffer_count(self):
+        with pytest.raises(ValueError):
+            schedule_overlap(works((1, 1, 1)), dma_engines=2, c_buffers=0)
+
+
+class TestOverlapBehaviour:
+    def test_two_dma_overlaps_upload_with_compute(self):
+        """Upload of tile 1 runs under compute of tile 0."""
+        s = schedule_overlap(
+            works((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)), dma_engines=2
+        )
+        assert s.makespan < s.serial_time
+
+    def test_pipeline_approaches_bottleneck(self):
+        """Many equal tiles: makespan approaches the busiest resource."""
+        tiles = works(*[(0.5, 1.0, 0.5)] * 10)
+        s = schedule_overlap(tiles, dma_engines=2)
+        compute_total = 10.0
+        assert compute_total <= s.makespan <= compute_total + 2.0 + 1e-9
+
+    def test_transfer_bound_pipeline(self):
+        tiles = works(*[(2.0, 0.5, 2.0)] * 6)
+        s = schedule_overlap(tiles, dma_engines=2)
+        # bound by one DMA direction: 12s of uploads
+        assert s.makespan >= 12.0
+        assert s.makespan < s.serial_time
+
+    def test_single_dma_serialises_directions(self):
+        tiles = works(*[(1.0, 0.1, 1.0)] * 4)
+        two = schedule_overlap(tiles, dma_engines=2)
+        one = schedule_overlap(tiles, dma_engines=1)
+        # one engine must carry 8s of copies; two engines split them
+        assert one.makespan >= 8.0
+        assert two.makespan < one.makespan
+
+    def test_single_dma_still_overlaps_compute(self):
+        """Fig. 4b bottom: C870 overlaps copies with GEMM, one copy at a time."""
+        tiles = works(*[(1.0, 1.0, 1.0)] * 4)
+        s = schedule_overlap(tiles, dma_engines=1)
+        assert s.makespan < s.serial_time
+
+    def test_resident_tiles_warm_the_pipeline(self):
+        """Tiles with no transfers (kept resident) compute immediately."""
+        tiles = works((0.1, 1.0, 0.0), (0.1, 1.0, 0.0), (1.0, 1.0, 1.0))
+        s = schedule_overlap(tiles, dma_engines=2)
+        first_compute = min(
+            iv.start for iv in s.timeline.on_resource("kernel")
+        )
+        assert first_compute == pytest.approx(0.1)
+
+
+class TestScheduleIntegrity:
+    def test_no_resource_conflicts(self):
+        tiles = works(*[(0.7, 1.3, 0.9)] * 8)
+        s = schedule_overlap(tiles, dma_engines=2)
+        s.timeline.validate()
+
+    def test_download_after_compute(self):
+        tiles = works(*[(0.5, 1.0, 0.5)] * 5)
+        s = schedule_overlap(tiles, dma_engines=2)
+        computes = {
+            iv.label: iv for iv in s.timeline.intervals if iv.label.startswith("comp")
+        }
+        for iv in s.timeline.intervals:
+            if iv.label.startswith("down"):
+                idx = iv.label[4:]
+                assert iv.start >= computes[f"comp{idx}"].end - 1e-12
+
+    def test_buffer_constraint_limits_inflight(self):
+        """With 2 C buffers, upload i+2 waits for download i."""
+        tiles = works(*[(1.0, 0.01, 1.0)] * 5)
+        s = schedule_overlap(tiles, dma_engines=2, c_buffers=2)
+        ups = sorted(
+            (iv for iv in s.timeline.intervals if iv.label.startswith("up")),
+            key=lambda iv: int(iv.label[2:]),
+        )
+        downs = {
+            int(iv.label[4:]): iv
+            for iv in s.timeline.intervals
+            if iv.label.startswith("down")
+        }
+        for i, up in enumerate(ups):
+            if i >= 2:
+                assert up.start >= downs[i - 2].end - 1e-12
+
+    def test_makespan_at_least_critical_path(self):
+        tiles = works((1.0, 2.0, 3.0))
+        s = schedule_overlap(tiles, dma_engines=2)
+        assert s.makespan >= 6.0 - 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=5),
+                st.floats(min_value=0, max_value=5),
+                st.floats(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_schedules_are_valid_and_bounded(self, triples, engines):
+        tiles = works(*triples)
+        s = schedule_overlap(tiles, dma_engines=engines)
+        s.timeline.validate()
+        # overlap can only help, never hurt, and cannot beat the busiest
+        # resource's total work
+        assert s.makespan <= s.serial_time + 1e-9
+        compute_total = sum(t.compute for t in tiles)
+        assert s.makespan >= compute_total - 1e-9
+        if engines == 1:
+            copies = sum(t.upload + t.download for t in tiles)
+            assert s.makespan >= copies - 1e-9
+
+    def test_overlap_gain_property(self):
+        tiles = works(*[(1.0, 1.0, 1.0)] * 6)
+        s = schedule_overlap(tiles, dma_engines=2)
+        assert s.overlap_gain > 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the Jacobi stencil kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.stencil import (
+    CpuStencilKernel,
+    GpuStencilKernel,
+    numpy_jacobi_sweep,
+)
+
+WIDTH = 16384
+
+
+class TestCpuStencilKernel:
+    def test_bandwidth_bound_scaling(self, sockets):
+        """Past three cores the DRAM bus saturates: no further speedup."""
+        t3 = CpuStencilKernel(sockets[0], 3, WIDTH).run_time(20000)
+        t6 = CpuStencilKernel(sockets[0], 6, WIDTH).run_time(20000)
+        assert t6 == pytest.approx(t3, rel=0.02)  # the wall, unlike GEMM
+
+    def test_single_core_flop_bound(self, sockets):
+        """One core cannot saturate the bus: core count matters at c=1->2."""
+        t1 = CpuStencilKernel(sockets[0], 1, WIDTH).run_time(20000)
+        t2 = CpuStencilKernel(sockets[0], 2, WIDTH).run_time(20000)
+        assert t2 < t1
+
+    def test_linear_in_rows(self, sockets):
+        k = CpuStencilKernel(sockets[0], 6, WIDTH)
+        assert k.run_time(40000) == pytest.approx(
+            2 * k.run_time(20000), rel=0.01
+        )
+
+    def test_zero_rows(self, sockets):
+        assert CpuStencilKernel(sockets[0], 6, WIDTH).run_time(0) == 0.0
+
+    def test_gpu_interference_small(self, sockets):
+        busy = CpuStencilKernel(sockets[0], 5, WIDTH, gpu_active=True)
+        idle = CpuStencilKernel(sockets[0], 5, WIDTH, gpu_active=False)
+        assert idle.run_time(10000) < busy.run_time(10000) < idle.run_time(10000) * 1.05
+
+    def test_rejects_too_many_cores(self, sockets):
+        with pytest.raises(ValueError):
+            CpuStencilKernel(sockets[0], 7, WIDTH)
+
+
+class TestGpuStencilKernel:
+    def test_resident_capacity(self, gtx680):
+        k = GpuStencilKernel(gtx680, WIDTH)
+        cap = k.resident_capacity_rows
+        # two float32 buffers of width 16384: ~15-16k rows in 2 GB
+        assert 13000 < cap < 17000
+
+    def test_gpu_dominates_sockets_in_core(self, gtx680, sockets):
+        gpu = GpuStencilKernel(gtx680, WIDTH)
+        cpu = CpuStencilKernel(sockets[2], 6, WIDTH)
+        rows = 10000
+        assert gpu.run_time(rows) < cpu.run_time(rows) / 8
+
+    def test_out_of_core_cliff(self, gtx680):
+        k = GpuStencilKernel(gtx680, WIDTH)
+        cap = k.resident_capacity_rows
+        in_core = k.run_time(cap * 0.99)
+        past = k.run_time(cap * 1.2)
+        assert past > 5 * in_core
+
+    def test_streamed_time_monotone(self, gtx680):
+        k = GpuStencilKernel(gtx680, WIDTH)
+        rows = [5000, 10000, 15000, 17000, 20000, 30000]
+        times = [k.run_time(r) for r in rows]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_resident_variant_bounded(self, gtx680):
+        k = GpuStencilKernel(gtx680, WIDTH, streamed=False)
+        assert k.valid_range.max_blocks == pytest.approx(
+            k.resident_capacity_rows
+        )
+        with pytest.raises(ValueError, match="outside the valid"):
+            k.run_time(k.resident_capacity_rows * 1.1)
+
+    def test_contention_slows_gpu(self, gtx680):
+        k = GpuStencilKernel(gtx680, WIDTH)
+        assert k.run_time(10000, busy_cpu_cores=5) > k.run_time(10000)
+
+    def test_c870_smaller_capacity(self, gtx680, c870):
+        big = GpuStencilKernel(gtx680, WIDTH)
+        small = GpuStencilKernel(c870, WIDTH)
+        assert small.resident_capacity_rows < big.resident_capacity_rows
+
+
+class TestNumpyJacobiSweep:
+    def test_interior_update(self):
+        grid = np.zeros((4, 4))
+        grid[0, :] = 4.0  # hot top boundary
+        out = np.empty_like(grid)
+        numpy_jacobi_sweep(grid, out)
+        assert out[1, 1] == pytest.approx(1.0)  # only the top neighbour is hot
+        assert out[0, 0] == 4.0  # boundary kept
+
+    def test_boundary_rows_fixed(self):
+        rng = np.random.default_rng(0)
+        grid = rng.standard_normal((6, 5))
+        out = np.empty_like(grid)
+        numpy_jacobi_sweep(grid, out)
+        np.testing.assert_array_equal(out[0], grid[0])
+        np.testing.assert_array_equal(out[-1], grid[-1])
+        np.testing.assert_array_equal(out[:, 0], grid[:, 0])
+
+    def test_constant_field_is_fixed_point(self):
+        grid = np.full((5, 5), 3.0)
+        out = np.empty_like(grid)
+        numpy_jacobi_sweep(grid, out)
+        np.testing.assert_allclose(out, grid)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            numpy_jacobi_sweep(np.zeros((3, 3)), np.zeros((4, 4)))

@@ -1,0 +1,66 @@
+"""Property tests for the stencil kernels and Jacobi strip planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.jacobi import (
+    StripPartition,
+    reference_jacobi,
+    run_partitioned_jacobi,
+)
+from repro.kernels.stencil import CpuStencilKernel, GpuStencilKernel
+
+
+class TestStencilKernelProperties:
+    @given(
+        rows=st.floats(min_value=1.0, max_value=200_000.0),
+        cores=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60)
+    def test_cpu_time_positive_and_monotone_in_rows(self, sockets, rows, cores):
+        k = CpuStencilKernel(sockets[0], cores, width=16384)
+        t = k.run_time(rows)
+        assert t > 0
+        assert k.run_time(rows * 2) > t
+
+    @given(cores=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_cpu_more_cores_never_slower(self, sockets, cores):
+        if cores == 6:
+            return
+        k_small = CpuStencilKernel(sockets[0], cores, width=16384)
+        k_big = CpuStencilKernel(sockets[0], cores + 1, width=16384)
+        assert k_big.run_time(30000) <= k_small.run_time(30000) * (1 + 1e-9)
+
+    @given(rows=st.floats(min_value=1.0, max_value=100_000.0))
+    @settings(max_examples=60)
+    def test_gpu_streamed_time_monotone(self, gtx680, rows):
+        k = GpuStencilKernel(gtx680, width=16384)
+        assert k.run_time(rows * 1.5) > k.run_time(rows)
+
+    @given(width=st.integers(min_value=64, max_value=65536))
+    @settings(max_examples=30)
+    def test_gpu_capacity_scales_inversely_with_width(self, gtx680, width):
+        k = GpuStencilKernel(gtx680, width=width)
+        expected = gtx680.spec.usable_memory_mb * 1024 * 1024 / (2 * width * 4)
+        assert k.resident_capacity_rows == pytest.approx(expected)
+
+
+class TestJacobiNumericProperties:
+    @given(
+        heights=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=6
+        ).filter(lambda h: sum(h) >= 3),
+        iterations=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_strip_decomposition_is_exact(self, heights, iterations):
+        total = sum(heights)
+        part = StripPartition(total_rows=total, rows_per_unit=tuple(heights))
+        rng = np.random.default_rng(sum(heights))
+        grid = rng.standard_normal((total, 7))
+        got = run_partitioned_jacobi(grid, part, iterations)
+        ref = reference_jacobi(grid, iterations)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=1e-12)

@@ -1,0 +1,71 @@
+"""Unit tests for process binding plans."""
+
+import pytest
+
+from repro.measurement.binding import (
+    BindingPlan,
+    ProcessBinding,
+    default_binding,
+)
+
+
+class TestDefaultBinding:
+    def test_one_process_per_core(self, node):
+        plan = default_binding(node)
+        assert plan.num_processes == node.total_cores
+
+    def test_dedicated_count_matches_gpus(self, node):
+        plan = default_binding(node)
+        assert len(plan.dedicated_ranks()) == len(node.gpus)
+
+    def test_papers_rank_layout(self, node):
+        """Fig. 6: ranks 0 and 6 drive the C870 and the GTX680."""
+        plan = default_binding(node)
+        assert plan.dedicated_ranks() == [0, 6]
+
+    def test_cpu_ranks_complement_dedicated(self, node):
+        plan = default_binding(node)
+        cpu = set(plan.cpu_ranks())
+        dedicated = set(plan.dedicated_ranks())
+        assert cpu | dedicated == set(range(plan.num_processes))
+        assert not cpu & dedicated
+
+    def test_cpu_ranks_on_gpu_socket(self, node):
+        plan = default_binding(node)
+        # socket 0 hosts the C870: 5 CPU ranks
+        assert len(plan.cpu_ranks_on_socket(0)) == 5
+        # socket 2 is CPU-only: 6 ranks
+        assert len(plan.cpu_ranks_on_socket(2)) == 6
+
+    def test_binding_of(self, node):
+        plan = default_binding(node)
+        b = plan.binding_of(0)
+        assert b.is_dedicated
+        assert b.socket_index == 0
+        with pytest.raises(KeyError):
+            plan.binding_of(999)
+
+    def test_cpu_only_node(self, cpu_node):
+        plan = default_binding(cpu_node)
+        assert plan.dedicated_ranks() == []
+        assert len(plan.cpu_ranks()) == 24
+
+
+class TestValidation:
+    def test_rejects_double_booked_core(self, node):
+        bindings = (
+            ProcessBinding(rank=0, socket_index=0, core_index=0),
+            ProcessBinding(rank=1, socket_index=0, core_index=0),
+        )
+        with pytest.raises(ValueError, match="two processes"):
+            BindingPlan(node=node, bindings=bindings)
+
+    def test_rejects_out_of_range_socket(self, node):
+        bindings = (ProcessBinding(rank=0, socket_index=9, core_index=0),)
+        with pytest.raises(ValueError, match="socket"):
+            BindingPlan(node=node, bindings=bindings)
+
+    def test_rejects_out_of_range_core(self, node):
+        bindings = (ProcessBinding(rank=0, socket_index=0, core_index=10),)
+        with pytest.raises(ValueError, match="core"):
+            BindingPlan(node=node, bindings=bindings)

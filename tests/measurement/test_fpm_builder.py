@@ -1,0 +1,97 @@
+"""Unit tests for FPM construction from benchmark sweeps."""
+
+import math
+
+import pytest
+
+from repro.kernels.gemm_gpu import InCoreGpuGemmKernel
+from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+
+
+class TestSizeGrid:
+    def test_linear(self):
+        g = SizeGrid.linear(10, 50, 5)
+        assert g.sizes == (10, 20, 30, 40, 50)
+
+    def test_geometric(self):
+        g = SizeGrid.geometric(1, 16, 5)
+        assert g.sizes == pytest.approx((1, 2, 4, 8, 16))
+
+    def test_single_point(self):
+        assert SizeGrid.linear(10, 50, 1).sizes == (10,)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            SizeGrid.linear(50, 10, 3)
+
+    def test_clamped(self):
+        g = SizeGrid.linear(10, 100, 10).clamped(45)
+        assert max(g.sizes) <= 45
+
+    def test_clamped_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SizeGrid.linear(50, 100, 3).clamped(10)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SizeGrid((3.0, 2.0))
+
+
+class TestFpmBuilder:
+    def test_builds_model_over_grid(self, quiet_bench):
+        builder = FpmBuilder(quiet_bench)
+        kernel = quiet_bench.socket_kernel(2, 6)
+        model = builder.build(kernel, SizeGrid.linear(50, 1000, 6))
+        assert len(model.speed_function) == 6
+        assert model.kernel_name == kernel.name
+        assert model.repetitions_total >= 6 * 5
+
+    def test_model_matches_device_speeds(self, quiet_bench):
+        builder = FpmBuilder(quiet_bench)
+        kernel = quiet_bench.socket_kernel(2, 6)
+        model = builder.build(kernel, SizeGrid.linear(50, 1000, 6))
+        direct = quiet_bench.measure_speed(kernel, 500).speed_gflops
+        assert model.speed(500) == pytest.approx(direct, rel=0.02)
+
+    def test_bounded_kernel_clamps_grid_and_flags_model(self, quiet_bench):
+        kernel = InCoreGpuGemmKernel(gpu=quiet_bench.gpus[1])
+        builder = FpmBuilder(quiet_bench)
+        model = builder.build(kernel, SizeGrid.linear(100, 5000, 10))
+        assert model.bounded
+        assert model.max_size <= kernel.memory_limit_blocks
+
+    def test_adaptive_adds_points_at_the_cliff(self, quiet_bench):
+        """The GPU's memory-limit cliff attracts adaptive refinement."""
+        builder = FpmBuilder(quiet_bench, adaptive_tolerance=0.05)
+        kernel = quiet_bench.gpu_kernel(1, 2)
+        coarse = builder.build(kernel, SizeGrid.linear(200, 3000, 5))
+        refined = builder.build(
+            kernel, SizeGrid.linear(200, 3000, 5), adaptive=True
+        )
+        assert len(refined.speed_function) > len(coarse.speed_function)
+        limit = kernel.memory_limit_blocks
+        near_cliff = [
+            s.size
+            for s in refined.speed_function.samples
+            if 0.7 * limit < s.size < 1.5 * limit
+        ]
+        assert len(near_cliff) >= 2
+
+    def test_adaptive_skips_flat_regions(self, quiet_bench):
+        """A nearly flat socket curve needs few extra points."""
+        builder = FpmBuilder(quiet_bench, adaptive_tolerance=0.05)
+        kernel = quiet_bench.socket_kernel(2, 6)
+        model = builder.build(
+            kernel, SizeGrid.linear(300, 900, 4), adaptive=True
+        )
+        # one refinement round measures the 3 midpoints; flatness stops there
+        assert len(model.speed_function) <= 4 + 3
+
+    def test_custom_name(self, quiet_bench):
+        builder = FpmBuilder(quiet_bench)
+        model = builder.build(
+            quiet_bench.socket_kernel(0, 5),
+            SizeGrid.linear(100, 200, 2),
+            name="socket0:c5",
+        )
+        assert model.name == "socket0:c5"

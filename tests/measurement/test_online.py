@@ -1,0 +1,131 @@
+"""Unit tests for online partial-FPM building."""
+
+import pytest
+
+from repro.measurement.online import (
+    PartialFpmBuilder,
+    online_partition,
+)
+
+
+def make_builder(bench, name="s6"):
+    kernel = bench.socket_kernel(2, 6)
+    return PartialFpmBuilder(bench=bench, kernel=kernel, name=name)
+
+
+class TestPartialFpmBuilder:
+    def test_bootstrap_two_points(self, quiet_bench):
+        b = make_builder(quiet_bench)
+        b.bootstrap(10.0, 1000.0)
+        assert b.num_samples == 2
+        assert b.repetitions_spent >= 10
+
+    def test_model_requires_samples(self, quiet_bench):
+        with pytest.raises(ValueError, match="no samples"):
+            make_builder(quiet_bench).model()
+
+    def test_refine_adds_point(self, quiet_bench):
+        b = make_builder(quiet_bench)
+        b.bootstrap(10.0, 1000.0)
+        assert b.refine_at(300.0)
+        assert b.num_samples == 3
+
+    def test_refine_skips_nearby(self, quiet_bench):
+        b = make_builder(quiet_bench)
+        b.bootstrap(10.0, 1000.0)
+        b.refine_at(300.0)
+        assert not b.refine_at(305.0)  # within min_spacing
+        assert b.num_samples == 3
+
+    def test_model_reflects_device(self, quiet_bench):
+        b = make_builder(quiet_bench)
+        b.bootstrap(10.0, 1000.0)
+        b.refine_at(400.0)
+        model = b.model()
+        direct = quiet_bench.measure_speed(b.kernel, 400.0).speed_gflops
+        assert model.speed(400.0) == pytest.approx(direct, rel=0.02)
+
+    def test_bootstrap_validation(self, quiet_bench):
+        b = make_builder(quiet_bench)
+        with pytest.raises(ValueError):
+            b.bootstrap(100.0, 100.0)
+
+
+class TestOnlinePartition:
+    def test_converges_on_node_units(self, quiet_bench):
+        builders = [
+            PartialFpmBuilder(
+                bench=quiet_bench,
+                kernel=quiet_bench.gpu_kernel(1, 3),
+                name="gtx",
+            ),
+            PartialFpmBuilder(
+                bench=quiet_bench,
+                kernel=quiet_bench.socket_kernel(2, 6),
+                name="s6",
+            ),
+        ]
+        result = online_partition(builders, 3600)
+        assert result.converged
+        assert sum(result.allocations) == 3600
+        # GPU dominates but out-of-core limits its edge
+        assert result.allocations[0] > result.allocations[1]
+
+    def test_matches_direct_partition(self, quiet_bench):
+        """The online loop lands near the exact device-model partition."""
+        from repro.core.partition import partition_fpm
+        from repro.core.speed_function import SpeedFunction
+        from repro.kernels.interface import kernel_speed_gflops
+
+        gtx = quiet_bench.gpu_kernel(1, 3)
+        s6 = quiet_bench.socket_kernel(2, 6)
+        builders = [
+            PartialFpmBuilder(bench=quiet_bench, kernel=gtx, name="g"),
+            PartialFpmBuilder(bench=quiet_bench, kernel=s6, name="s"),
+        ]
+        result = online_partition(builders, 3600)
+        # dense reference model straight from the devices
+        sizes = [10, 50, 150, 400, 800, 1100, 1300, 1800, 2600, 3600]
+        ref_models = [
+            SpeedFunction.from_points(
+                sizes, [kernel_speed_gflops(k, x) for x in sizes]
+            ).with_monotonic_time()
+            for k in (gtx, s6)
+        ]
+        reference = partition_fpm(ref_models, 3600.0)
+        for got, want in zip(result.allocations, reference):
+            assert abs(got - want) / 3600.0 < 0.06
+
+    def test_measurement_cost_tracked(self, quiet_bench):
+        builders = [
+            PartialFpmBuilder(
+                bench=quiet_bench,
+                kernel=quiet_bench.socket_kernel(0, 5),
+                name="s5",
+            )
+        ]
+        result = online_partition(builders, 400)
+        assert result.repetitions_spent == builders[0].repetitions_spent
+        assert result.repetitions_spent > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            online_partition([], 100)
+
+    def test_round_history_recorded(self, quiet_bench):
+        builders = [
+            PartialFpmBuilder(
+                bench=quiet_bench,
+                kernel=quiet_bench.socket_kernel(2, 6),
+                name="s6",
+            ),
+            PartialFpmBuilder(
+                bench=quiet_bench,
+                kernel=quiet_bench.socket_kernel(0, 5),
+                name="s5",
+            ),
+        ]
+        result = online_partition(builders, 1000)
+        assert result.num_rounds >= 2
+        for rnd in result.rounds:
+            assert sum(rnd.allocations) == 1000

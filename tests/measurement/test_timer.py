@@ -1,0 +1,41 @@
+"""Unit tests for the simulated benchmark timer."""
+
+import pytest
+
+from repro.measurement.timer import SimulatedTimer
+from repro.platform.noise import NoiseModel
+from repro.util.rng import RngStream
+
+
+@pytest.fixture()
+def timer():
+    return SimulatedTimer(NoiseModel(RngStream(7), sigma=0.05))
+
+
+class TestSimulatedTimer:
+    def test_noisy_around_ideal(self, timer, quiet_bench):
+        kernel = quiet_bench.socket_kernel(0, 5)
+        ideal = kernel.run_time(400)
+        samples = [timer.time_kernel(kernel, 400, rep) for rep in range(50)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(ideal, rel=0.05)
+        assert len(set(samples)) > 1
+
+    def test_repetition_keyed(self, timer, quiet_bench):
+        kernel = quiet_bench.socket_kernel(0, 5)
+        assert timer.time_kernel(kernel, 400, 0) == timer.time_kernel(
+            kernel, 400, 0
+        )
+        assert timer.time_kernel(kernel, 400, 0) != timer.time_kernel(
+            kernel, 400, 1
+        )
+
+    def test_contention_context_keyed(self, timer, quiet_bench):
+        kernel = quiet_bench.gpu_kernel(1, 3)
+        idle = timer.time_kernel(kernel, 900, 0, busy_cpu_cores=0)
+        busy = timer.time_kernel(kernel, 900, 0, busy_cpu_cores=5)
+        assert busy > idle  # contention dominates the small noise
+
+    def test_rejects_negative_repetition(self, timer, quiet_bench):
+        with pytest.raises(ValueError):
+            timer.time_kernel(quiet_bench.socket_kernel(0, 5), 10, -1)

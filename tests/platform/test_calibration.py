@@ -1,0 +1,103 @@
+"""Unit tests for automated device calibration."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels.gemm_cpu import CpuGemmKernel
+from repro.kernels.gemm_gpu import gpu_kernel
+from repro.kernels.interface import kernel_speed_gflops
+from repro.platform.calibration import (
+    CalibrationTarget,
+    calibrate_cpu,
+    calibrate_gpu,
+)
+from repro.platform.contention import CpuGpuInterference
+from repro.platform.device import SimulatedGpu, SimulatedSocket
+from repro.platform.presets import geforce_gtx680, opteron_8439se
+from repro.platform.spec import SocketSpec
+
+
+def socket_speeds(cpu_spec, cores, sizes):
+    socket = SimulatedSocket(
+        name="truth",
+        spec=SocketSpec(cpu=cpu_spec, cores=6, memory_gb=16.0),
+        interference=CpuGpuInterference(),
+        block_size=640,
+    )
+    kernel = CpuGemmKernel(socket, cores)
+    return [kernel_speed_gflops(kernel, x) for x in sizes]
+
+
+class TestCpuCalibration:
+    def test_recovers_known_parameters(self):
+        truth = dataclasses.replace(
+            opteron_8439se(), peak_gflops=17.0, ramp_depth=0.25, ramp_blocks=12.0
+        )
+        sizes = [10, 30, 80, 200, 500, 900]
+        targets = [
+            CalibrationTarget(x, s)
+            for x, s in zip(sizes, socket_speeds(truth, 6, sizes))
+        ]
+        start = opteron_8439se()  # wrong initial guess (peak 21, depth .35)
+        tuned, report = calibrate_cpu(start, targets, active_cores=6)
+        assert report.worst_relative_error < 0.02
+        assert tuned.peak_gflops == pytest.approx(17.0, rel=0.05)
+
+    def test_report_flags_bad_fit(self):
+        """Targets violating the model family cannot be fitted well."""
+        targets = [
+            CalibrationTarget(10, 100.0),
+            CalibrationTarget(100, 10.0),
+            CalibrationTarget(1000, 300.0),
+        ]
+        _, report = calibrate_cpu(opteron_8439se(), targets, active_cores=6)
+        assert not report.acceptable(0.10)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            calibrate_cpu(
+                opteron_8439se(), [CalibrationTarget(1, 1)], active_cores=6
+            )
+
+
+class TestGpuCalibration:
+    def test_recovers_known_parameters(self):
+        truth_spec = dataclasses.replace(
+            geforce_gtx680(),
+            peak_gflops=800.0,
+            rate_half_blocks=90.0,
+            pcie_pageable_gbs=1.4,
+        )
+        truth = SimulatedGpu(
+            name="truth",
+            spec=truth_spec,
+            interference=CpuGpuInterference(),
+            socket_cores=6,
+            block_size=640,
+        )
+        kernel = gpu_kernel(truth, 3)
+        sizes = [100, 400, 900, 1400, 2200, 3600]
+        targets = [
+            CalibrationTarget(x, kernel_speed_gflops(kernel, x)) for x in sizes
+        ]
+        tuned, report = calibrate_gpu(geforce_gtx680(), targets)
+        assert report.worst_relative_error < 0.05
+        assert tuned.peak_gflops == pytest.approx(800.0, rel=0.15)
+        assert tuned.pcie_pageable_gbs == pytest.approx(1.4, rel=0.2)
+
+    def test_preset_is_self_consistent(self, gtx680):
+        """Calibrating against the preset's own curve returns the preset."""
+        kernel = gpu_kernel(gtx680, 3)
+        sizes = [200, 800, 1400, 2600, 4000]
+        targets = [
+            CalibrationTarget(x, kernel_speed_gflops(kernel, x)) for x in sizes
+        ]
+        tuned, report = calibrate_gpu(geforce_gtx680(), targets)
+        assert report.worst_relative_error < 1e-4
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationTarget(-1, 10)
+        with pytest.raises(ValueError):
+            calibrate_gpu(geforce_gtx680(), [CalibrationTarget(1, 1)])

@@ -1,0 +1,75 @@
+"""Unit tests for the contention models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.contention import CpuGpuInterference, SocketContention
+
+
+class TestSocketContention:
+    def test_single_core_full_efficiency(self):
+        assert SocketContention(0.04).efficiency(1) == 1.0
+
+    def test_efficiency_decreases_with_cores(self):
+        model = SocketContention(0.04)
+        effs = [model.efficiency(c) for c in range(1, 7)]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+
+    def test_socket_scaling_increases_with_cores(self):
+        """More active cores always increase aggregate speed (Fig. 2)."""
+        model = SocketContention(0.04)
+        scales = [model.socket_scaling(c) for c in range(1, 7)]
+        assert all(a < b for a, b in zip(scales, scales[1:]))
+
+    def test_sublinear_scaling(self):
+        model = SocketContention(0.04)
+        assert model.socket_scaling(6) < 6.0
+
+    def test_zero_alpha_is_linear(self):
+        model = SocketContention(0.0)
+        assert model.socket_scaling(6) == 6.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SocketContention().efficiency(0)
+
+    @given(st.floats(min_value=0.0, max_value=0.5), st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_efficiency_in_unit_interval(self, alpha, cores):
+        eff = SocketContention(alpha).efficiency(cores)
+        assert 0.0 < eff <= 1.0
+
+
+class TestCpuGpuInterference:
+    def test_idle_cpu_means_no_gpu_drop(self):
+        model = CpuGpuInterference(gpu_drop_max=0.11)
+        assert model.gpu_speed_factor(0, 6) == 1.0
+
+    def test_full_socket_gives_max_drop(self):
+        model = CpuGpuInterference(gpu_drop_max=0.11)
+        assert model.gpu_speed_factor(5, 6) == pytest.approx(0.89)
+
+    def test_drop_scales_with_busy_cores(self):
+        model = CpuGpuInterference(gpu_drop_max=0.11)
+        factors = [model.gpu_speed_factor(c, 6) for c in range(6)]
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+    def test_drop_saturates(self):
+        model = CpuGpuInterference(gpu_drop_max=0.11)
+        assert model.gpu_speed_factor(10, 6) == pytest.approx(0.89)
+
+    def test_cpu_factor(self):
+        model = CpuGpuInterference(cpu_drop=0.015)
+        assert model.cpu_speed_factor(False) == 1.0
+        assert model.cpu_speed_factor(True) == pytest.approx(0.985)
+
+    def test_paper_band(self):
+        """The default drop lands inside the paper's 7-15% range."""
+        model = CpuGpuInterference()
+        drop = 1.0 - model.gpu_speed_factor(5, 6)
+        assert 0.07 <= drop <= 0.15
+
+    def test_rejects_negative_busy_cores(self):
+        with pytest.raises(ValueError):
+            CpuGpuInterference().gpu_speed_factor(-1, 6)

@@ -1,0 +1,57 @@
+"""Unit tests for the measurement noise model."""
+
+import statistics
+
+import pytest
+
+from repro.platform.noise import NoiseModel
+from repro.util.rng import RngStream
+
+
+@pytest.fixture()
+def noise():
+    return NoiseModel(RngStream(99), sigma=0.05)
+
+
+class TestNoiseModel:
+    def test_reproducible_for_same_context(self, noise):
+        a = noise.perturb(1.0, "dev", 100, 0)
+        b = noise.perturb(1.0, "dev", 100, 0)
+        assert a == b
+
+    def test_different_repetitions_differ(self, noise):
+        a = noise.perturb(1.0, "dev", 100, 0)
+        b = noise.perturb(1.0, "dev", 100, 1)
+        assert a != b
+
+    def test_zero_sigma_identity(self):
+        quiet = NoiseModel(RngStream(1), sigma=0.0)
+        assert quiet.perturb(1.23, "x") == 1.23
+
+    def test_zero_time_unperturbed(self, noise):
+        assert noise.perturb(0.0, "x") == 0.0
+
+    def test_rejects_negative_time(self, noise):
+        with pytest.raises(ValueError):
+            noise.perturb(-1.0, "x")
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseModel(RngStream(1), sigma=-0.1)
+
+    def test_multiplicative_and_positive(self, noise):
+        values = [noise.perturb(2.0, "d", i) for i in range(200)]
+        assert all(v > 0 for v in values)
+        # median of the multiplicative factor is ~1
+        assert statistics.median(values) == pytest.approx(2.0, rel=0.05)
+
+    def test_spread_matches_sigma_roughly(self, noise):
+        import math
+
+        logs = [math.log(noise.perturb(1.0, "d", i)) for i in range(500)]
+        assert statistics.pstdev(logs) == pytest.approx(0.05, rel=0.25)
+
+    def test_quiet_copy(self, noise):
+        q = noise.quiet()
+        assert q.sigma == 0.0
+        assert noise.sigma == 0.05

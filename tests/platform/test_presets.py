@@ -1,0 +1,107 @@
+"""Calibration tests: the preset node must land in the paper's bands.
+
+These are the contract between the simulated substrate and the
+reproduction experiments — if a refactor moves a curve out of its band,
+the failure points here first.
+"""
+
+import pytest
+
+from repro.kernels.gemm_cpu import CpuGemmKernel
+from repro.kernels.gemm_gpu import gpu_kernel
+from repro.kernels.interface import kernel_speed_gflops
+from repro.platform.presets import cpu_only_node, ig_icl_node
+
+
+class TestNodeShape:
+    def test_table1_inventory(self, node):
+        assert node.num_sockets == 4
+        assert node.socket.cores == 6
+        assert len(node.gpus) == 2
+        names = {a.gpu.name for a in node.gpus}
+        assert names == {"GeForce GTX680", "Tesla C870"}
+
+    def test_gpus_on_distinct_sockets(self, node):
+        assert len({a.socket_index for a in node.gpus}) == 2
+
+    def test_cpu_only_variant(self):
+        n = cpu_only_node()
+        assert n.gpus == ()
+        assert n.total_cores == 24
+
+    def test_block_size_configurable(self):
+        assert ig_icl_node(block_size=64).block_size == 64
+
+
+class TestSocketCalibration:
+    def test_s6_plateau_band(self, sockets):
+        """Fig. 2: s6 plateaus near 105 GFlops."""
+        kernel = CpuGemmKernel(sockets[2], 6)
+        plateau = max(
+            kernel_speed_gflops(kernel, x) for x in (300, 500, 700, 900)
+        )
+        assert 95 <= plateau <= 115
+
+    def test_s5_below_s6(self, sockets):
+        s5 = CpuGemmKernel(sockets[0], 5)
+        s6 = CpuGemmKernel(sockets[2], 6)
+        for x in (120, 400, 900):
+            assert kernel_speed_gflops(s5, x) < kernel_speed_gflops(s6, x)
+
+    def test_24_cores_finish_40x40_in_table2_ballpark(self, sockets):
+        """Table II col 1: ~100 s for the 40x40-block homogeneous run."""
+        kernel = CpuGemmKernel(sockets[2], 6)
+        per_socket = 1600.0 / 4.0
+        total = 40 * kernel.run_time(per_socket)
+        assert 70 <= total <= 120
+
+
+class TestGpuCalibration:
+    def test_gtx680_nine_times_socket_in_core(self, sockets, gtx680):
+        """Section VI: G1 ~9x a socket while resident."""
+        g = gpu_kernel(gtx680, 3)
+        s6 = CpuGemmKernel(sockets[2], 6)
+        ratio = kernel_speed_gflops(g, 1000) / kernel_speed_gflops(s6, 102)
+        assert 7.5 <= ratio <= 11.5
+
+    def test_gtx680_four_to_six_times_out_of_core(self, sockets, gtx680):
+        """Section VI: decaying to ~6x..4x for 50x50..70x70 totals."""
+        g = gpu_kernel(gtx680, 3)
+        s6 = CpuGemmKernel(sockets[2], 6)
+        r50 = kernel_speed_gflops(g, 1250) / kernel_speed_gflops(s6, 222)
+        r70 = kernel_speed_gflops(g, 2250) / kernel_speed_gflops(s6, 504)
+        assert r50 > r70
+        assert 3.2 <= r70 <= 6.0
+        assert 4.0 <= r50 <= 7.5
+
+    def test_c870_twice_socket_in_core(self, sockets, c870):
+        """Table III 40x40: G2 ~2x a socket."""
+        g = gpu_kernel(c870, 3)
+        s6 = CpuGemmKernel(sockets[2], 6)
+        ratio = kernel_speed_gflops(g, 210) / kernel_speed_gflops(s6, 102)
+        assert 1.6 <= ratio <= 2.6
+
+    def test_version2_doubles_version1_resident(self, gtx680):
+        v1 = gpu_kernel(gtx680, 1)
+        v2 = gpu_kernel(gtx680, 2)
+        ratio = kernel_speed_gflops(v2, 1000) / kernel_speed_gflops(v1, 1000)
+        assert 1.6 <= ratio <= 2.6
+
+    def test_version3_gain_past_limit(self, gtx680):
+        v2 = gpu_kernel(gtx680, 2)
+        v3 = gpu_kernel(gtx680, 3)
+        x = gpu_kernel(gtx680, 3).memory_limit_blocks * 1.4
+        gain = kernel_speed_gflops(v3, x) / kernel_speed_gflops(v2, x) - 1
+        assert 0.15 <= gain <= 0.9
+
+    def test_c870_overlap_gain_smaller_than_gtx680(self, gtx680, c870):
+        """Fig. 4b: the single-DMA C870 benefits less from overlap."""
+
+        def gain(gpu):
+            v2 = gpu_kernel(gpu, 2)
+            v3 = gpu_kernel(gpu, 3)
+            x = v3.memory_limit_blocks * 1.6
+            return kernel_speed_gflops(v3, x) / kernel_speed_gflops(v2, x)
+
+        assert gain(c870) < gain(gtx680)
+        assert gain(c870) > 1.0  # still some benefit

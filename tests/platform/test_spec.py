@@ -1,0 +1,118 @@
+"""Unit tests for hardware specification dataclasses."""
+
+import pytest
+
+from repro.platform.presets import geforce_gtx680, opteron_8439se, tesla_c870
+from repro.platform.spec import (
+    CpuSpec,
+    GpuAttachment,
+    GpuSpec,
+    NodeSpec,
+    SocketSpec,
+)
+
+
+def _socket(cores=6):
+    return SocketSpec(cpu=opteron_8439se(), cores=cores, memory_gb=16.0)
+
+
+class TestCpuSpec:
+    def test_valid(self):
+        spec = opteron_8439se()
+        assert spec.peak_gflops > 0
+
+    def test_rejects_full_ramp(self):
+        with pytest.raises(ValueError, match="ramp_depth"):
+            CpuSpec(name="x", clock_ghz=1.0, peak_gflops=10.0, ramp_depth=1.0)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="x", clock_ghz=0.0, peak_gflops=10.0)
+
+
+class TestGpuSpec:
+    def test_usable_memory(self):
+        gpu = geforce_gtx680()
+        assert gpu.usable_memory_mb == pytest.approx(
+            gpu.memory_mb - gpu.reserved_mb
+        )
+
+    def test_rejects_reserve_exceeding_memory(self):
+        with pytest.raises(ValueError, match="reserved_mb"):
+            GpuSpec(
+                name="x",
+                clock_mhz=1.0,
+                cuda_cores=1,
+                memory_mb=100.0,
+                mem_bandwidth_gbs=1.0,
+                peak_gflops=1.0,
+                reserved_mb=100.0,
+            )
+
+    def test_rejects_bad_dma_count(self):
+        with pytest.raises(ValueError, match="dma_engines"):
+            GpuSpec(
+                name="x",
+                clock_mhz=1.0,
+                cuda_cores=1,
+                memory_mb=100.0,
+                mem_bandwidth_gbs=1.0,
+                peak_gflops=1.0,
+                reserved_mb=10.0,
+                dma_engines=3,
+            )
+
+    def test_dma_engines_of_presets(self):
+        assert geforce_gtx680().dma_engines == 2
+        assert tesla_c870().dma_engines == 1
+
+
+class TestNodeSpec:
+    def test_total_and_available_cores(self):
+        node = NodeSpec(
+            name="n",
+            socket=_socket(),
+            num_sockets=4,
+            gpus=(GpuAttachment(tesla_c870(), 0),),
+        )
+        assert node.total_cores == 24
+        assert node.cpu_cores_available() == 23
+
+    def test_rejects_gpu_on_missing_socket(self):
+        with pytest.raises(ValueError, match="socket 5"):
+            NodeSpec(
+                name="n",
+                socket=_socket(),
+                num_sockets=2,
+                gpus=(GpuAttachment(tesla_c870(), 5),),
+            )
+
+    def test_rejects_gpus_saturating_a_socket(self):
+        attachments = tuple(
+            GpuAttachment(tesla_c870(), 0) for _ in range(6)
+        )
+        with pytest.raises(ValueError, match="dedicated"):
+            NodeSpec(name="n", socket=_socket(), num_sockets=1, gpus=attachments)
+
+    def test_gpus_on_socket(self):
+        node = NodeSpec(
+            name="n",
+            socket=_socket(),
+            num_sockets=2,
+            gpus=(
+                GpuAttachment(tesla_c870(), 0),
+                GpuAttachment(geforce_gtx680(), 1),
+            ),
+        )
+        assert len(node.gpus_on_socket(0)) == 1
+        assert node.gpus_on_socket(0)[0].gpu.name == "Tesla C870"
+        assert node.gpus_on_socket(1)[0].gpu.name == "GeForce GTX680"
+
+    def test_rejects_interference_fraction_of_one(self):
+        with pytest.raises(ValueError):
+            NodeSpec(
+                name="n",
+                socket=_socket(),
+                num_sockets=1,
+                gpu_interference_drop=1.0,
+            )

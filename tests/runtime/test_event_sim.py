@@ -1,0 +1,69 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.runtime.event_sim import EventSimulator
+
+
+class TestEventSimulator:
+    def test_clock_advances_in_order(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(2.0, lambda s: seen.append(("b", s.now)))
+        sim.schedule(1.0, lambda s: seen.append(("a", s.now)))
+        end = sim.run()
+        assert seen == [("a", 1.0), ("b", 2.0)]
+        assert end == 2.0
+
+    def test_ties_break_by_insertion(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda s: seen.append("first"))
+        sim.schedule(1.0, lambda s: seen.append("second"))
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        seen = []
+
+        def chain(s):
+            seen.append(s.now)
+            if len(seen) < 3:
+                s.schedule(1.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_run_until(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda s: seen.append(1))
+        sim.schedule(5.0, lambda s: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_rejects_past_scheduling(self):
+        sim = EventSimulator()
+        sim.schedule(1.0, lambda s: s.schedule(-0.5, lambda s2: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_schedule_at_absolute(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_at(3.0, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_events_processed_counter(self):
+        sim = EventSimulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.events_processed == 4

@@ -1,0 +1,68 @@
+"""Unit tests for device-bound processes."""
+
+import pytest
+
+from repro.measurement.binding import default_binding
+from repro.runtime.process import bind_processes
+
+
+@pytest.fixture()
+def processes(node, devices):
+    sockets, gpus = devices
+    return bind_processes(default_binding(node), sockets, gpus)
+
+
+class TestBindProcesses:
+    def test_one_process_per_core(self, node, processes):
+        assert len(processes) == node.total_cores
+        assert [p.rank for p in processes] == list(range(node.total_cores))
+
+    def test_dedicated_processes_have_gpu_kernels(self, processes):
+        dedicated = [p for p in processes if p.is_dedicated]
+        assert len(dedicated) == 2
+        for p in dedicated:
+            assert "gpu-gemm" in p.kernel.name
+
+    def test_cpu_processes_have_core_kernels(self, processes):
+        cpu = [p for p in processes if not p.is_dedicated]
+        assert len(cpu) == 22
+        for p in cpu:
+            assert "cpu-core-gemm" in p.kernel.name
+
+    def test_gpu_contention_state(self, processes):
+        """GPU processes see the 5 CPU kernels of their socket."""
+        dedicated = [p for p in processes if p.is_dedicated]
+        assert all(p.busy_cpu_cores == 5 for p in dedicated)
+
+    def test_cpu_processes_on_gpu_socket_know_it(self, node, processes):
+        by_rank = {p.rank: p for p in processes}
+        # rank 1 shares socket 0 with the C870's host process
+        assert by_rank[1].kernel.gpu_active is True
+        # socket 2 (ranks 12..17) is GPU-free
+        assert by_rank[12].kernel.gpu_active is False
+
+    def test_active_core_counts(self, processes):
+        by_rank = {p.rank: p for p in processes}
+        assert by_rank[1].kernel.active_cores == 5  # socket with GPU
+        assert by_rank[12].kernel.active_cores == 6  # full socket
+
+    def test_iteration_time_zero_for_empty(self, processes):
+        assert processes[0].iteration_time(0) == 0.0
+
+    def test_iteration_time_positive(self, processes):
+        for p in processes:
+            assert p.iteration_time(10.0) > 0.0
+
+    def test_unloaded_cpu_removes_gpu_contention(self, node, devices):
+        sockets, gpus = devices
+        procs = bind_processes(
+            default_binding(node), sockets, gpus, cpu_loaded=False
+        )
+        dedicated = [p for p in procs if p.is_dedicated]
+        assert all(p.busy_cpu_cores == 0 for p in dedicated)
+
+    def test_gpu_version_selectable(self, node, devices):
+        sockets, gpus = devices
+        procs = bind_processes(default_binding(node), sockets, gpus, gpu_version=1)
+        dedicated = [p for p in procs if p.is_dedicated]
+        assert all("v1" in p.kernel.name for p in dedicated)

@@ -1,0 +1,80 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.seed == 42
+        assert args.fast is False
+        assert args.gpu_version == 3
+
+
+class TestMain:
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--fast", "--noise", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "s6" in out
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3", "--fast", "--noise", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "FPM" in out
+
+    def test_seed_changes_output(self, capsys):
+        main(["fig2", "--fast", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2", "--fast", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_plot_flag(self, capsys):
+        assert main(["fig2", "--fast", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o = s5" in out  # the ASCII chart legend
+
+    def test_plot_flag_without_plotter(self, capsys):
+        assert main(["table3", "--fast", "--plot"]) == 0
+        assert "no plot defined" in capsys.readouterr().out
+
+    def test_export_json(self, capsys, tmp_path):
+        path = tmp_path / "fig2.json"
+        assert main(["fig2", "--fast", "--export-json", str(path)]) == 0
+        assert path.exists()
+        import json
+
+        payload = json.loads(path.read_text())
+        assert "s6" in payload
+
+    def test_ablations_command_runs_every_study(self, capsys):
+        from repro.experiments import ablations
+
+        assert main(["ablations", "--fast", "--noise", "0.01"]) == 0
+        out = capsys.readouterr().out
+        for name in ablations.__all__:
+            assert f"=== {name} " in out
+
+    def test_models_command(self, capsys, tmp_path):
+        from repro.core.serialization import load_models
+
+        path = tmp_path / "models.json"
+        assert main(
+            ["models", "--fast", "--max-blocks", "800", "--out", str(path)]
+        ) == 0
+        assert "saved to" in capsys.readouterr().out
+        models = load_models(path)
+        assert len(models) == 6
+        names = {m.name for m in models}
+        assert "GeForce GTX680" in names

@@ -1,0 +1,47 @@
+"""Every subpackage's __all__ resolves and names real objects."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.kernels",
+    "repro.measurement",
+    "repro.platform",
+    "repro.runtime",
+    "repro.util",
+    "repro.experiments",
+    "repro.experiments.ablations",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert missing == [], f"{package} exports missing names: {missing}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_exports_are_documented(package):
+    """Exported classes and functions carry docstrings."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if callable(obj) and not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert undocumented == [], (
+        f"{package} exports undocumented callables: {undocumented}"
+    )
+
+
+def test_flagship_workflow_importable_from_top_level():
+    import repro
+
+    assert callable(repro.partition_fpm)
+    assert callable(repro.ig_icl_node)
+    assert callable(repro.HybridMatMul)

@@ -1,0 +1,28 @@
+"""The public API surface: everything __all__ promises exists and works."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_flow(self):
+        """The README quickstart, miniaturised."""
+        app = repro.HybridMatMul(repro.ig_icl_node(), seed=3, noise_sigma=0.0)
+        app.build_models(
+            max_blocks=1800.0, cpu_points=6, gpu_points=8, adaptive=False
+        )
+        plan, result = app.run(20, repro.PartitioningStrategy.FPM)
+        assert sum(plan.unit_allocations) == 400
+        assert result.total_time > 0
+
+    def test_partitioners_importable_and_consistent(self):
+        fn = repro.SpeedFunction.constant(10.0)
+        a = repro.partition_fpm([fn, fn], 10.0)
+        b = repro.partition_homogeneous(2, 10.0)
+        assert a == b

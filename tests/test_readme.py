@@ -1,0 +1,49 @@
+"""The README's promises hold: code blocks run, referenced files exist."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+README = (REPO / "README.md").read_text()
+
+
+class TestReadme:
+    def test_python_quickstart_block_runs(self):
+        """Execute the README's first python code block verbatim."""
+        blocks = re.findall(r"```python\n(.*?)```", README, flags=re.S)
+        assert blocks, "README lost its python quickstart block"
+        code = blocks[0]
+        # shrink the model build so the doc test stays fast, but keep the
+        # code otherwise verbatim
+        code = code.replace("max_blocks=4000.0", "max_blocks=4000.0, cpu_points=6, gpu_points=8, adaptive=False")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert "GTX680" in result.stdout
+
+    def test_referenced_documents_exist(self):
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO / name).exists(), name
+        for match in re.findall(r"`examples/([a-z_]+\.py)`", README):
+            assert (REPO / "examples" / match).exists(), match
+
+    def test_cli_commands_in_readme_are_valid(self):
+        """Every `python -m repro <experiment>` the README mentions parses."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for match in re.findall(r"python -m repro (\w+)", README):
+            args = parser.parse_args([match])
+            assert args.experiment == match
+
+    def test_examples_directory_documented(self):
+        listed = set(
+            re.findall(r"`([a-z_]+\.py)`", (REPO / "examples" / "README.md").read_text())
+        )
+        actual = {p.name for p in (REPO / "examples").glob("*.py")}
+        assert actual <= listed, actual - listed

@@ -1,0 +1,63 @@
+"""Unit tests for the terminal line plots."""
+
+import math
+
+import pytest
+
+from repro.util.asciiplot import line_plot
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        out = line_plot([1, 2, 3], {"y": [1.0, 4.0, 2.0]}, width=20, height=6)
+        lines = out.splitlines()
+        assert any("+--" in line for line in lines)  # x axis
+        assert "o = y" in lines[-1]  # legend
+
+    def test_title_and_labels(self):
+        out = line_plot(
+            [0, 1],
+            {"a": [0.0, 1.0]},
+            title="T",
+            y_label="GF",
+            x_label="blocks",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "blocks" in out
+
+    def test_extreme_values_on_borders(self):
+        out = line_plot([0, 10], {"a": [5.0, 25.0]}, width=30, height=5)
+        assert "25" in out and "5" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_plot(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, width=20, height=5
+        )
+        assert "o = a" in out and "x = b" in out
+        body = "\n".join(out.splitlines()[1:-3])
+        assert "o" in body and "x" in body
+
+    def test_constant_series_handled(self):
+        out = line_plot([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in out
+
+    def test_nonfinite_points_skipped(self):
+        out = line_plot([1, 2, 3], {"y": [1.0, math.nan, 3.0]})
+        assert "y" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_plot([1], {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"y": [1.0]})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            line_plot([1], series)
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            line_plot([1], {"y": [math.nan]})

@@ -1,0 +1,53 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_int_unchanged(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_not_formatted_as_float(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["n", "t"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0].strip().startswith("n")
+        assert "2.50" in lines[2]
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [[1], [100]])
+        rows = out.splitlines()[-2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_headers_and_rows(self):
+        out = render_series("x", [1, 2], {"y": [10.0, 20.0]})
+        assert "x" in out and "y" in out
+        assert "10.00" in out and "20.00" in out
+
+    def test_multiple_series(self):
+        out = render_series("x", [1], {"a": [1.0], "b": [2.0]})
+        header = out.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="series 'y'"):
+            render_series("x", [1, 2], {"y": [1.0]})

@@ -1,0 +1,105 @@
+"""Unit and property tests for resource timelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.timeline import Interval, Timeline, merge_intervals
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval("r", 1.0, 3.5).duration == 2.5
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Interval("r", 2.0, 1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Interval("r", -1.0, 0.0)
+
+    def test_overlap_detection(self):
+        a = Interval("r", 0.0, 2.0)
+        assert a.overlaps(Interval("r", 1.0, 3.0))
+        assert not a.overlaps(Interval("r", 2.0, 3.0))  # half-open
+
+
+class TestTimeline:
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 1.0)
+        tl.add("b", 0.5, 2.5)
+        assert tl.makespan() == 2.5
+
+    def test_makespan_empty(self):
+        assert Timeline().makespan() == 0.0
+
+    def test_busy_time_merges_overlaps(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 2.0)
+        tl.add("a", 1.0, 3.0)
+        assert tl.busy_time("a") == pytest.approx(3.0)
+
+    def test_utilization(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 1.0)
+        tl.add("b", 0.0, 4.0)
+        assert tl.utilization("a") == pytest.approx(0.25)
+
+    def test_conflicts_found(self):
+        tl = Timeline()
+        tl.add("eng", 0.0, 2.0, "op1")
+        tl.add("eng", 1.0, 3.0, "op2")
+        assert len(tl.conflicts()) == 1
+        with pytest.raises(ValueError, match="double-booked"):
+            tl.validate()
+
+    def test_no_conflict_across_resources(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 2.0)
+        tl.add("b", 0.0, 2.0)
+        tl.validate()
+
+    def test_zero_duration_never_conflicts(self):
+        tl = Timeline()
+        tl.add("a", 1.0, 1.0)
+        tl.add("a", 0.0, 2.0)
+        tl.validate()
+
+    def test_resources_sorted(self):
+        tl = Timeline()
+        tl.add("z", 0, 1)
+        tl.add("a", 0, 1)
+        assert tl.resources() == ["a", "z"]
+
+
+class TestMergeIntervals:
+    def test_disjoint_kept(self):
+        ivs = [Interval("r", 0, 1), Interval("r", 2, 3)]
+        assert merge_intervals(ivs) == [(0, 1), (2, 3)]
+
+    def test_touching_merged(self):
+        ivs = [Interval("r", 0, 1), Interval("r", 1, 2)]
+        assert merge_intervals(ivs) == [(0, 2)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ).map(lambda t: Interval("r", min(t), max(t))),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_merged_spans_are_disjoint_and_cover_same_length(self, ivs):
+        merged = merge_intervals(ivs)
+        # disjoint and ordered
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        # union length never exceeds the sum, never below the longest
+        total = sum(e - s for s, e in merged)
+        assert total <= sum(iv.duration for iv in ivs) + 1e-9
+        if ivs:
+            assert total >= max(iv.duration for iv in ivs) - 1e-9

@@ -1,0 +1,104 @@
+"""Unit tests for the validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_in,
+    check_nonnegative,
+    check_nonnegative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_sorted_unique,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -2)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+        with pytest.raises(ValueError):
+            check_positive("x", math.inf)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestIntChecks:
+    def test_positive_int(self):
+        assert check_positive_int("n", 3) == 3
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int("n", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int("n", -1)
+
+
+class TestSequences:
+    def test_sorted_unique_passes(self):
+        check_sorted_unique("xs", [1, 2, 3])
+
+    def test_sorted_unique_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            check_sorted_unique("xs", [1, 1, 2])
+
+    def test_sorted_unique_rejects_descending(self):
+        with pytest.raises(ValueError):
+            check_sorted_unique("xs", [3, 2])
+
+    def test_same_length(self):
+        check_same_length("a", [1], "b", [2])
+        with pytest.raises(ValueError, match="a and b"):
+            check_same_length("a", [1], "b", [])
