@@ -1,0 +1,48 @@
+"""AST-based static analysis enforcing the reproduction's invariants.
+
+The paper's conclusions rest on *statistically reliable, repeatable*
+measurements (Section III).  In this reproduction that reliability is an
+architectural property — all randomness flows through
+:mod:`repro.util.rng`, all time through the simulated clock of
+:mod:`repro.runtime.event_sim`, and all speed/size quantities through
+:mod:`repro.util.units` — and this package is the tool that *enforces* it.
+
+It is a small, pluggable lint framework:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and
+  stable keys for baseline matching;
+* :mod:`repro.analysis.context` — per-file parse context with
+  ``# repro: noqa`` suppression handling, and the cross-file
+  :class:`ProjectContext`;
+* :mod:`repro.analysis.registry` — the :class:`Rule` base class and the
+  rule registry;
+* :mod:`repro.analysis.engine` — file discovery and the lint pipeline;
+* :mod:`repro.analysis.baseline` — the committed-baseline workflow
+  (fail only on *new* violations);
+* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.rules` — the domain rules REP001..REP005.
+
+Run it as ``repro lint <paths>`` or ``python -m repro.analysis <paths>``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import FileContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "ProjectContext",
+    "Diagnostic",
+    "LintResult",
+    "lint_paths",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

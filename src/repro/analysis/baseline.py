@@ -1,0 +1,84 @@
+"""The committed-baseline workflow.
+
+A baseline is a JSON snapshot of the *accepted* violations: a mapping
+from :meth:`Diagnostic.key` to count.  The gate fails only on keys that
+are new or whose count grew, so the tree can be ratcheted clean without
+a flag-day fix — and a shrinking baseline is always a legal commit.
+The repository's committed baseline (``.repro-lint-baseline.json``) is
+kept **empty**: the tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Default baseline filename, looked up at the project root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted violations: ``{diagnostic key: count}``."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        """Snapshot a lint result as the new accepted state."""
+        entries: dict[str, int] = {}
+        for diag in diagnostics:
+            entries[diag.key()] = entries.get(diag.key(), 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data.get("entries", {})
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted keys, stable diffs)."""
+        payload = {
+            "comment": (
+                "Accepted repro-lint violations; shrink freely, grow never. "
+                "Regenerate with: repro lint --write-baseline <paths>"
+            ),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def filter_new(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[str]]:
+        """Split a run against this baseline.
+
+        Returns ``(new, fixed)``: diagnostics beyond the accepted counts
+        (oldest occurrences are forgiven first, by line order), and the
+        baseline keys no longer observed at their accepted counts.
+        """
+        seen: dict[str, int] = {}
+        new: list[Diagnostic] = []
+        for diag in sorted(diagnostics):
+            key = diag.key()
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > self.entries.get(key, 0):
+                new.append(diag)
+        fixed = [
+            key
+            for key, accepted in sorted(self.entries.items())
+            if seen.get(key, 0) < accepted
+        ]
+        return new, fixed
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,131 @@
+"""Command line for the static analyser.
+
+Invoked as ``repro lint <paths>`` (via :mod:`repro.cli`), as the
+``repro-lint`` console script, or directly as
+``python -m repro.analysis <paths>``.
+
+Exit status: 0 when no violations beyond the baseline (and no parse
+errors), 1 when new violations exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.context import find_project_root
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based static analysis enforcing the reproduction's "
+            "determinism, unit-safety and simulation-runtime invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline file of accepted violations "
+            f"(default: <project root>/{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current violations: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    try:
+        rules = (
+            None
+            if not args.rules
+            else [get_rule(rule_id.strip()) for rule_id in args.rules.split(",")]
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            "error: no such file or directory: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    result = lint_paths(args.paths, rules=rules)
+    root = find_project_root(Path(args.paths[0]))
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+
+    if args.write_baseline:
+        Baseline.from_diagnostics(result.diagnostics).save(baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(result.diagnostics)} accepted violation(s))"
+        )
+        return 0
+
+    if args.no_baseline:
+        new = result.diagnostics
+        report_new = None
+    else:
+        baseline = Baseline.load(baseline_path)
+        new, _fixed = baseline.filter_new(result.diagnostics)
+        report_new = new if len(baseline) else None
+
+    if args.format == "json":
+        print(render_json(result, new=report_new))
+    else:
+        print(render_text(result, new=report_new))
+    return 1 if (new or result.parse_errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

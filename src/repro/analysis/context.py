@@ -1,0 +1,225 @@
+"""Parse contexts handed to lint rules.
+
+:class:`FileContext` wraps one parsed source file: its AST, its dotted
+module name, and the ``# repro: noqa`` suppressions found on its lines.
+:class:`ProjectContext` provides the cross-file services some rules need
+(resolving a dotted module to a sibling source file, reading
+``docs/api.md``, collecting the paper constants of
+``experiments/paper_data.py``) with caching, so a whole-tree lint parses
+each file once.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Inline suppression: ``# repro: noqa`` (all rules) or
+#: ``# repro: noqa REP001,REP003`` (listed rules only).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9,\s]+))?")
+
+
+def parse_noqa(source: str) -> dict[int, set[str] | None]:
+    """Map 1-based line numbers to suppressed rule ids (``None`` = all)."""
+    suppressions: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            suppressions[lineno] = None
+        else:
+            rules = {r.strip() for r in spec.replace(",", " ").split()}
+            suppressions[lineno] = {r for r in rules if r}
+    return suppressions
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, anchored at the last ``repro`` dir.
+
+    ``src/repro/runtime/mpi_sim.py`` -> ``repro.runtime.mpi_sim``; fixture
+    trees that mimic the layout (``fixtures/repro/runtime/bad.py``) resolve
+    the same way, which lets the domain rules fire on test fixtures.
+    Files outside any ``repro`` directory use their bare stem.
+    """
+    parts = list(path.parts)
+    parts[-1] = path.stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts[:-1] or (parts and parts[-1] == "repro"):
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    return parts[-1] if parts else path.stem
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor containing ``pyproject.toml`` (fallback: cwd)."""
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+class ProjectContext:
+    """Cross-file knowledge shared by every :class:`FileContext` of a run."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root).resolve()
+        self._ast_cache: dict[Path, ast.Module | None] = {}
+        self._api_doc: str | None = None
+        self._api_doc_loaded = False
+        self._paper_constants: dict[tuple, frozenset[float]] = {}
+
+    # -- parsing -----------------------------------------------------------
+    def parse(self, path: Path) -> ast.Module | None:
+        """Parse ``path`` (cached); ``None`` when unreadable/unparsable."""
+        path = path.resolve()
+        if path not in self._ast_cache:
+            try:
+                source = path.read_text(encoding="utf-8")
+                self._ast_cache[path] = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, ValueError):
+                self._ast_cache[path] = None
+        return self._ast_cache[path]
+
+    def resolve_module(self, module: str, near: Path) -> Path | None:
+        """Locate the source file of a dotted ``repro.*`` module.
+
+        Resolution is purely lexical — relative to the package tree that
+        contains ``near`` — so fixture packages resolve against their own
+        tree, never against the installed :mod:`repro`.
+        """
+        parts = module.split(".")
+        if "repro" not in parts:
+            return None
+        near = near.resolve()
+        base_dir = near if near.is_dir() else near.parent
+        # climb to the directory that *contains* the tree's "repro" package
+        for ancestor in (base_dir, *base_dir.parents):
+            if ancestor.name == "repro":
+                base_dir = ancestor.parent
+                break
+        else:
+            return None
+        tail = parts[parts.index("repro"):]
+        as_module = base_dir.joinpath(*tail).with_suffix(".py")
+        if as_module.is_file():
+            return as_module
+        as_package = base_dir.joinpath(*tail, "__init__.py")
+        if as_package.is_file():
+            return as_package
+        return None
+
+    # -- documentation -----------------------------------------------------
+    @property
+    def api_doc(self) -> str | None:
+        """Contents of ``docs/api.md`` at the project root, if present."""
+        if not self._api_doc_loaded:
+            self._api_doc_loaded = True
+            candidate = self.root / "docs" / "api.md"
+            try:
+                self._api_doc = candidate.read_text(encoding="utf-8")
+            except OSError:
+                self._api_doc = None
+        return self._api_doc
+
+    # -- paper constants ---------------------------------------------------
+    def paper_constants(self, near: Path) -> frozenset[float]:
+        """Distinctive numeric constants owned by named reference modules.
+
+        Collects module-level *scalar* assignments (``NAME = <number>``) of
+        ``repro/experiments/paper_data.py`` and ``repro/util/units.py``,
+        then keeps only the distinctive ones — floats with a fractional
+        part, or magnitudes >= 90 — so loop bounds, sizes and tolerances
+        never trigger REP005.  Values nested in the transcription tables
+        (tuples/dicts) are deliberately excluded: small integers like
+        allocation counts collide with legitimate sweep parameters.
+        """
+        paths = tuple(
+            self.resolve_module(module, near)
+            for module in ("repro.experiments.paper_data", "repro.util.units")
+        )
+        if paths not in self._paper_constants:
+            values: set[float] = set()
+            for path in paths:
+                tree = self.parse(path) if path else None
+                if tree is None:
+                    continue
+                for stmt in tree.body:
+                    value = None
+                    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        value = stmt.value
+                    if (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, (int, float))
+                        and not isinstance(value.value, bool)
+                    ):
+                        values.add(float(value.value))
+            self._paper_constants[paths] = frozenset(
+                v
+                for v in values
+                if (not float(v).is_integer() and abs(v) >= 1.0) or abs(v) >= 90.0
+            )
+        return self._paper_constants[paths]
+
+
+class FileContext:
+    """Everything a rule needs to inspect one file and report on it."""
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        project: ProjectContext,
+    ):
+        self.path = Path(path).resolve()
+        self.source = source
+        self.tree = tree
+        self.project = project
+        self.module = module_name_for(self.path)
+        self.suppressions = parse_noqa(source)
+        self.diagnostics: list[Diagnostic] = []
+
+    @property
+    def relpath(self) -> str:
+        """Project-root-relative POSIX path (falls back to absolute)."""
+        try:
+            return self.path.relative_to(self.project.root).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this file's module lives under any dotted prefix."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``# repro: noqa`` on ``line`` silences ``rule``."""
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        """File a diagnostic at ``node`` unless suppressed inline."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.is_suppressed(rule, line):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.relpath,
+                line=line,
+                col=col + 1,
+                rule=rule,
+                message=message,
+            )
+        )

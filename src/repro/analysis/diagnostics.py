@@ -1,0 +1,63 @@
+"""The diagnostic record produced by lint rules.
+
+A :class:`Diagnostic` pinpoints one violation: file, position, rule id and
+message.  Its :meth:`Diagnostic.key` deliberately *excludes* the line
+number so that baseline entries survive unrelated edits that shift code
+up or down a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    ``path`` is repository-relative with forward slashes, so diagnostics
+    (and the baseline built from them) are portable across checkouts.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = field(default="error", compare=False)
+
+    def key(self) -> str:
+        """Stable identity for baseline matching (line-number free).
+
+        Two violations of the same rule with the same message in the same
+        file share a key; the baseline stores per-key *counts* so adding a
+        second identical violation still fails the gate.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the JSON reporter and golden fixtures."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Diagnostic":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+        )

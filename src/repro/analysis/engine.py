@@ -1,0 +1,109 @@
+"""File discovery and the lint pipeline.
+
+:func:`lint_paths` is the single entry point used by the CLI, the gate
+wrapper and the tests: expand paths to ``.py`` files, parse each once,
+run every (selected) rule over each :class:`FileContext`, and return the
+sorted diagnostics plus any files that failed to parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.context import FileContext, ProjectContext, find_project_root
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, all_rules
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".mypy_cache",
+    ".ruff_cache",
+    "build",
+    "dist",
+    ".eggs",
+}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def counts_by_rule(self) -> dict[str, int]:
+        """``{rule_id: violation count}`` over the whole run."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories to a sorted, de-duplicated ``.py`` list."""
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.add(candidate.resolve())
+    return sorted(found)
+
+
+def lint_file(
+    path: Path,
+    project: ProjectContext,
+    rules: list[Rule],
+) -> tuple[list[Diagnostic], str | None]:
+    """Lint one file; return (diagnostics, parse-error-or-None)."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [], f"{path}: unreadable ({exc})"
+    try:
+        import ast
+
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [], f"{path}:{exc.lineno}: syntax error: {exc.msg}"
+    ctx = FileContext(Path(path), source, tree, project)
+    for rule in rules:
+        rule.check(ctx)
+    return sorted(ctx.diagnostics), None
+
+
+def lint_paths(
+    paths: list[Path] | list[str],
+    rules: list[Rule] | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` with ``rules`` (default: all)."""
+    resolved = [Path(p) for p in paths]
+    files = iter_python_files(resolved)
+    if root is None:
+        anchor = files[0] if files else (resolved[0] if resolved else Path.cwd())
+        root = find_project_root(Path(anchor))
+    project = ProjectContext(Path(root))
+    active = list(all_rules()) if rules is None else list(rules)
+    diagnostics: list[Diagnostic] = []
+    parse_errors: list[str] = []
+    for path in files:
+        found, error = lint_file(path, project, active)
+        diagnostics.extend(found)
+        if error is not None:
+            parse_errors.append(error)
+    return LintResult(
+        diagnostics=sorted(diagnostics),
+        files_checked=len(files),
+        parse_errors=parse_errors,
+    )

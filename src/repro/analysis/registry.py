@@ -1,0 +1,60 @@
+"""The rule base class and the pluggable rule registry.
+
+Rules self-register at import time via the :func:`register_rule`
+decorator; :mod:`repro.analysis.rules` imports every built-in rule module
+so ``all_rules()`` is complete after ``import repro.analysis.rules``.
+Third-party extensions register the same way.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import FileContext
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id`` (``"REP00x"``), ``title`` and ``rationale``
+    (one line each, surfaced by ``--list-rules`` and the docs) and
+    implement :meth:`check`, reporting through ``ctx.report`` so inline
+    suppressions are honoured uniformly.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> None:
+        """Inspect one file; report violations via ``ctx.report``."""
+        raise NotImplementedError
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the registry (id-unique)."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    import repro.analysis.rules  # noqa: F401  (side effect: registration)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id; raise ``KeyError`` with the known ids."""
+    import repro.analysis.rules  # noqa: F401  (side effect: registration)
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None

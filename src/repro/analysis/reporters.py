@@ -1,0 +1,60 @@
+"""Diagnostic rendering: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintResult
+
+
+def render_text(result: LintResult, new: list[Diagnostic] | None = None) -> str:
+    """Grouped-by-file report with a per-rule summary line.
+
+    When ``new`` is given (baseline mode), only those diagnostics are
+    listed and the summary distinguishes accepted from new.
+    """
+    shown = result.diagnostics if new is None else new
+    lines: list[str] = []
+    current_file: str | None = None
+    for diag in shown:
+        if diag.path != current_file:
+            current_file = diag.path
+            lines.append(f"{diag.path}:")
+        lines.append(f"  {diag.line}:{diag.col} {diag.rule} {diag.message}")
+    if lines:
+        lines.append("")
+    counts = ", ".join(
+        f"{rule}={n}" for rule, n in sorted(LintResult(
+            diagnostics=shown, files_checked=0
+        ).counts_by_rule.items())
+    )
+    if new is None:
+        lines.append(
+            f"{len(shown)} violation(s) in {result.files_checked} file(s)"
+            + (f" [{counts}]" if counts else "")
+        )
+    else:
+        accepted = len(result.diagnostics) - len(shown)
+        lines.append(
+            f"{len(shown)} new violation(s) ({accepted} accepted by baseline) "
+            f"in {result.files_checked} file(s)"
+            + (f" [{counts}]" if counts else "")
+        )
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, new: list[Diagnostic] | None = None) -> str:
+    """Stable machine-readable report (used by the golden-fixture tests)."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "diagnostics": [d.to_json() for d in result.diagnostics],
+        "summary": result.counts_by_rule,
+        "parse_errors": list(result.parse_errors),
+    }
+    if new is not None:
+        payload["new"] = [d.to_json() for d in new]
+    return json.dumps(payload, indent=2, sort_keys=True)

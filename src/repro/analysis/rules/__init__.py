@@ -1,0 +1,22 @@
+"""Built-in domain rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry` (the modules self-register via the
+``@register_rule`` decorator).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    rep001_determinism,
+    rep002_units,
+    rep003_runtime,
+    rep004_api,
+    rep005_experiments,
+)
+
+__all__ = [
+    "rep001_determinism",
+    "rep002_units",
+    "rep003_runtime",
+    "rep004_api",
+    "rep005_experiments",
+]

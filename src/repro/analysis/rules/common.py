@@ -1,0 +1,65 @@
+"""Shared AST helpers for the domain rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully-qualified names they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``.
+    Only top-level and nested plain imports are considered — good enough
+    for invariant checking, no flow analysis attempted.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_target(node: ast.Call, imports: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of a call target, through import aliases.
+
+    ``np.random.default_rng()`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``.  Unresolvable targets (lambdas, calls on
+    call results) return ``None``.
+    """
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expansion = imports.get(head, head)
+    return f"{expansion}.{rest}" if rest else expansion
+
+
+def is_number(node: ast.AST) -> bool:
+    """Whether ``node`` is an int/float literal (bools excluded)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )

@@ -1,0 +1,84 @@
+"""REP001 — determinism: no wall clocks, no unmanaged randomness.
+
+The reproduction's core pipeline must be a pure function of its seed:
+the paper's reliability protocol (Section III) is meaningless if a rerun
+can observe different clocks or a different random stream.  Inside the
+simulation-critical packages all time must come from the simulated clock
+(:class:`repro.runtime.event_sim.EventSimulator`) or the simulated timer,
+and all randomness from :class:`repro.util.rng.RngStream`, whose *named*
+child streams stay reproducible under code reordering — a raw
+``np.random.default_rng(seed)`` does not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.rules.common import build_import_map, resolve_call_target
+
+#: Packages whose behaviour must be a pure function of the seed.
+ENFORCED_PACKAGES = (
+    "repro.core",
+    "repro.runtime",
+    "repro.measurement",
+    "repro.app",
+)
+
+#: Wall-clock reads (the sim clock or SimulatedTimer must be used instead).
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Module prefixes whose *any* call is unmanaged randomness.
+_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """Forbid wall-clock reads and RNG use that bypasses ``util/rng.py``."""
+
+    rule_id = "REP001"
+    title = "determinism: wall clocks and unmanaged randomness are forbidden"
+    rationale = (
+        "simulation-critical code must be a pure function of the seed; "
+        "use RngStream (util/rng.py) and the simulated clock (event_sim)"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.in_package(*ENFORCED_PACKAGES):
+            return
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            if target in _CLOCK_CALLS:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"wall-clock read `{target}`: simulated code must take "
+                    "time from the event simulator / SimulatedTimer",
+                )
+            elif target.startswith(_RNG_PREFIXES):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"unmanaged randomness `{target}`: draw from a named "
+                    "repro.util.rng.RngStream child instead",
+                )

@@ -1,0 +1,134 @@
+"""REP002 — unit safety: don't mix quantities of different units.
+
+The codebase encodes units in identifier suffixes (``_blocks``,
+``_bytes``, ``_flops``, ... — the conventions of :mod:`repro.util.units`).
+Adding, subtracting or comparing two quantities with *conflicting*
+suffixes is almost always a real bug (bytes-vs-blocks confusion corrupts
+FPM curves silently); multiplying or dividing them is how conversions
+are written, so those are allowed.  Passing a bare numeric literal as
+the quantity argument of a unit converter hides the unit entirely and
+is flagged inside the simulation-critical packages.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.rules.common import (
+    build_import_map,
+    dotted_name,
+    is_number,
+    resolve_call_target,
+)
+from repro.analysis.rules.rep001_determinism import ENFORCED_PACKAGES
+
+#: identifier suffix -> unit family.  Different families must not be
+#: added/subtracted/compared.  ``mib`` is deliberately a distinct family
+#: from ``bytes``: adding them compiles but is off by 2^20.
+SUFFIX_FAMILIES = {
+    "blocks": "blocks",
+    "nblocks": "blocks",
+    "bytes": "bytes",
+    "nbytes": "bytes",
+    "mib": "mebibytes",
+    "elements": "elements",
+    "flops": "flops",
+    "gflops": "gflops",
+    "seconds": "seconds",
+    "secs": "seconds",
+}
+
+#: Quantity-first converters of repro.util.units whose first argument
+#: should be a *named* value, not a bare literal (matched under any
+#: ``repro.util`` import path, including the package re-exports).
+_CONVERTER_NAMES = {
+    "blocks_to_elements",
+    "blocks_to_bytes",
+    "gemm_kernel_flops",
+    "matmul_total_flops",
+    "seconds_for",
+    "mib",
+}
+
+_MIXING_OPS = (ast.Add, ast.Sub)
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_family(node: ast.AST) -> str | None:
+    """Unit family of an operand, judged by its identifier suffix."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1].lower()
+    token = leaf.rsplit("_", 1)[-1]
+    return SUFFIX_FAMILIES.get(token)
+
+
+@register_rule
+class UnitSafetyRule(Rule):
+    """Flag arithmetic that mixes unit families, and literal quantities."""
+
+    rule_id = "REP002"
+    title = "unit safety: no arithmetic across conflicting unit suffixes"
+    rationale = (
+        "bytes-vs-blocks-vs-flops confusion corrupts speed functions "
+        "without failing any test; units live in identifier suffixes "
+        "(util/units.py conventions) and must agree under +/-/comparison"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        imports = build_import_map(ctx.tree)
+        in_enforced = ctx.in_package(*ENFORCED_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _MIXING_OPS):
+                self._check_pair(ctx, node, node.left, node.right, "arithmetic")
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(node.ops[0], _COMPARE_OPS):
+                    self._check_pair(
+                        ctx, node, node.left, node.comparators[0], "comparison"
+                    )
+            elif isinstance(node, ast.Call) and in_enforced:
+                self._check_literal_quantity(ctx, node, imports)
+
+    def _check_pair(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        what: str,
+    ) -> None:
+        left_family = unit_family(left)
+        right_family = unit_family(right)
+        if (
+            left_family is not None
+            and right_family is not None
+            and left_family != right_family
+        ):
+            ctx.report(
+                self.rule_id,
+                node,
+                f"{what} mixes units: `{dotted_name(left)}` [{left_family}] "
+                f"vs `{dotted_name(right)}` [{right_family}]",
+            )
+
+    def _check_literal_quantity(
+        self, ctx: FileContext, node: ast.Call, imports: dict[str, str]
+    ) -> None:
+        target = resolve_call_target(node, imports)
+        if (
+            target is None
+            or not target.startswith("repro.util")
+            or target.rsplit(".", 1)[-1] not in _CONVERTER_NAMES
+        ):
+            return
+        if node.args and is_number(node.args[0]):
+            ctx.report(
+                self.rule_id,
+                node,
+                f"bare numeric literal passed as the quantity of "
+                f"`{target.rsplit('.', 1)[-1]}`: bind it to a suffixed name "
+                "so its unit is visible",
+            )

@@ -1,0 +1,222 @@
+"""REP003 — simulation-runtime hygiene.
+
+The discrete-event engine only stays deterministic if its handlers are
+pure with respect to the outside world: a blocking call inside a handler
+(or a worker callable of ``parallel_exec`` / ``mpi_sim``) stalls the
+simulated clock against the real one, and a write to a shared mutable
+module global makes event outcomes depend on execution interleaving.
+Tagged sends additionally must have a matching receive, or the simulated
+communication deadlocks silently.
+
+Scope: every module under :mod:`repro.runtime`, plus any function
+anywhere in the tree whose parameters are annotated with
+``EventSimulator`` (i.e. event handlers registered from other layers).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.rules.common import build_import_map, resolve_call_target
+
+#: Calls that block on the outside world (never valid on the sim path).
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "input",
+    "open",
+    "os.system",
+    "os.popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+}
+
+_SEND_NAMES = {"send", "isend"}
+_RECV_NAMES = {"recv", "irecv"}
+
+
+def _annotation_mentions(node: ast.AST | None, name: str) -> bool:
+    """Whether an annotation expression references ``name`` anywhere."""
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == name:
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if name in sub.value:
+                return True
+    return False
+
+
+def _is_sim_handler(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether a function takes an ``EventSimulator`` parameter."""
+    args = fn.args
+    every = [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]
+    return any(
+        _annotation_mentions(arg.annotation, "EventSimulator") for arg in every
+    )
+
+
+@register_rule
+class RuntimeHygieneRule(Rule):
+    """No blocking calls, no shared-global writes, no orphan send tags."""
+
+    rule_id = "REP003"
+    title = "sim-runtime hygiene: handlers must not block or share state"
+    rationale = (
+        "blocking calls desynchronise the simulated clock and shared "
+        "mutable globals make event outcomes order-dependent; orphan "
+        "send tags are silent simulated deadlocks"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        imports = build_import_map(ctx.tree)
+        module_globals = self._module_level_names(ctx.tree)
+        if ctx.in_package("repro.runtime"):
+            bodies: list[ast.AST] = [ctx.tree]
+        else:
+            bodies = [
+                node
+                for node in ast.walk(ctx.tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and _is_sim_handler(node)
+            ]
+        for body in bodies:
+            self._check_blocking_and_globals(ctx, body, imports, module_globals)
+        self._check_send_recv_tags(ctx, imports)
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> set[str]:
+        """Names assigned at module level (candidate shared globals)."""
+        names: set[str] = set()
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return names
+
+    def _check_blocking_and_globals(
+        self,
+        ctx: FileContext,
+        body: ast.AST,
+        imports: dict[str, str],
+        module_globals: set[str],
+    ) -> None:
+        for node in ast.walk(body):
+            if isinstance(node, ast.Call):
+                target = resolve_call_target(node, imports)
+                if target in _BLOCKING_CALLS:
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        f"blocking call `{target}` on the simulation path: "
+                        "model the delay with EventSimulator.schedule instead",
+                    )
+        # shared-state checks only apply inside functions — module level
+        # runs once at import, before any events interleave
+        if isinstance(body, ast.Module):
+            functions = [
+                n
+                for n in ast.walk(body)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+        else:
+            functions = [body]
+        seen: set[int] = set()
+        for fn in functions:
+            for node in ast.walk(fn):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if isinstance(node, ast.Global):
+                    names = ", ".join(node.names)
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        f"write to shared module global(s) `{names}`: pass "
+                        "state through the event payloads or the simulator "
+                        "instance",
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    self._check_global_mutation(ctx, node, module_globals)
+
+    def _check_global_mutation(
+        self,
+        ctx: FileContext,
+        node: ast.Assign | ast.AugAssign,
+        module_globals: set[str],
+    ) -> None:
+        """Flag ``GLOBAL[x] = ...`` / ``GLOBAL.attr = ...`` in functions."""
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                base: ast.AST = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in module_globals:
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        f"mutation of shared module global `{base.id}` from "
+                        "handler/worker code: shared mutable state breaks "
+                        "run-to-run determinism",
+                    )
+
+    def _check_send_recv_tags(
+        self, ctx: FileContext, imports: dict[str, str]
+    ) -> None:
+        """Every constant-tagged send needs a matching recv tag (per file)."""
+        sends: list[tuple[ast.Call, object]] = []
+        recv_tags: set[object] = set()
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            if method not in _SEND_NAMES | _RECV_NAMES:
+                continue
+            tag = next(
+                (
+                    kw.value.value
+                    for kw in node.keywords
+                    if kw.arg == "tag" and isinstance(kw.value, ast.Constant)
+                ),
+                None,
+            )
+            if tag is None:
+                continue
+            if method in _SEND_NAMES:
+                sends.append((node, tag))
+            else:
+                recv_tags.add(tag)
+        for node, tag in sends:
+            if tag not in recv_tags:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"send with tag {tag!r} has no matching recv in this "
+                    "module: unmatched tags deadlock the simulated exchange",
+                )

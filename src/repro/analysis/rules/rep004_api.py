@@ -1,0 +1,200 @@
+"""REP004 — API-contract sync for package ``__init__`` files.
+
+A reproduction is only usable if its public surface is discoverable:
+every name a package ``__init__`` re-exports must appear in ``__all__``
+(so ``from repro.x import *`` and the docs agree), must carry a
+docstring at its definition site, and must be present in the generated
+API reference (``docs/api.md``, produced by ``tools/gen_api_docs.py``).
+All checks are lexical — nothing is imported — so the rule also works
+on broken trees and on test fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Rule, register_rule
+
+
+def _all_entries(tree: ast.Module) -> tuple[list[str] | None, ast.AST | None]:
+    """``(__all__ entries, assignment node)`` or ``(None, None)``."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            entries = [
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+            return entries, stmt
+    return None, None
+
+
+def _exported_imports(
+    tree: ast.Module, package: str
+) -> list[tuple[str, str, str, ast.AST]]:
+    """``(local name, source module, original name, node)`` per re-export.
+
+    ``package`` is the dotted name of the ``__init__``'s own package, used
+    to anchor relative imports (``from .common import X`` inside
+    ``repro.experiments`` resolves to ``repro.experiments.common``).
+    """
+    exports = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ImportFrom) or not stmt.module:
+            continue
+        module = stmt.module
+        if stmt.level > 0:
+            anchor = package.split(".")
+            anchor = anchor[: len(anchor) - (stmt.level - 1)]
+            module = ".".join([*anchor, module])
+        if not module.startswith("repro"):
+            continue
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            exports.append((local, module, alias.name, stmt))
+    return exports
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Top-level bindings of a module (defs, classes, assignments, imports)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+@register_rule
+class ApiContractRule(Rule):
+    """``__init__`` exports must be in ``__all__``, documented, and in api.md."""
+
+    rule_id = "REP004"
+    title = "API-contract sync: exports need __all__, docstrings, api.md"
+    rationale = (
+        "the public surface must stay discoverable: star-imports, help() "
+        "and the generated reference (tools/gen_api_docs.py) have to agree"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        if ctx.path.name != "__init__.py" or not ctx.in_package("repro"):
+            return
+        entries, _node = _all_entries(ctx.tree)
+        exports = _exported_imports(ctx.tree, ctx.module)
+        if entries is None:
+            if exports:
+                ctx.report(
+                    self.rule_id,
+                    ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    "package __init__ re-exports names but defines no "
+                    "__all__ list",
+                )
+            return
+        declared = set(entries)
+        bound = _defined_names(ctx.tree)
+        for name in entries:
+            if name not in bound:
+                ctx.report(
+                    self.rule_id,
+                    ctx.tree,
+                    f"__all__ lists `{name}` but the module never binds it",
+                )
+        for local, module, original, node in exports:
+            if local not in declared:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"exported name `{local}` (from {module}) is missing "
+                    "from __all__",
+                )
+                continue
+            self._check_definition(ctx, node, local, module, original)
+
+    def _check_definition(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        local: str,
+        module: str,
+        original: str,
+    ) -> None:
+        source_path = ctx.project.resolve_module(module, ctx.path)
+        tree = ctx.project.parse(source_path) if source_path else None
+        if tree is None:
+            return
+        definition = next(
+            (
+                stmt
+                for stmt in tree.body
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and stmt.name == original
+            ),
+            None,
+        )
+        if definition is None:
+            return  # constant or re-export — nothing to document
+        if ast.get_docstring(definition) is None:
+            ctx.report(
+                self.rule_id,
+                node,
+                f"exported `{local}` ({module}.{original}) has no docstring "
+                "at its definition",
+            )
+        self._check_api_doc(ctx, node, local, module, original, definition)
+
+    def _check_api_doc(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        local: str,
+        module: str,
+        original: str,
+        definition: ast.AST,
+    ) -> None:
+        api_doc = ctx.project.api_doc
+        if api_doc is None:
+            return
+        # only hold real source trees to the generated reference: fixture
+        # packages are never covered by docs/api.md
+        src_root = ctx.project.root / "src"
+        try:
+            Path(ctx.path).relative_to(src_root)
+        except ValueError:
+            return
+        kind = "class " if isinstance(definition, ast.ClassDef) else ""
+        pattern = re.compile(
+            rf"^###\s+{re.escape(kind)}`{re.escape(original)}[(`]", re.MULTILINE
+        )
+        if not pattern.search(api_doc):
+            ctx.report(
+                self.rule_id,
+                node,
+                f"exported `{local}` ({module}.{original}) is absent from "
+                "docs/api.md — regenerate with tools/gen_api_docs.py",
+            )

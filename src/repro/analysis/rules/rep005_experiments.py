@@ -1,0 +1,53 @@
+"""REP005 — experiment-config hygiene: no duplicated paper constants.
+
+:mod:`repro.experiments.paper_data` is the single transcription of the
+paper's published numbers (and :mod:`repro.util.units` owns the blocking
+factor b = 640).  An experiment module that re-types one of those values
+as a literal will silently diverge the moment the transcription is
+corrected or re-read — the reproduction then compares against a number
+that no longer exists in the paper.  Only *distinctive* constants are
+matched (see :meth:`ProjectContext.paper_constants`), so loop bounds and
+tolerances never trigger this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.rules.common import is_number
+
+#: The reference modules themselves are exempt (they *define* the values).
+_EXEMPT_MODULES = {"repro.experiments.paper_data", "repro.util.units"}
+
+
+@register_rule
+class ExperimentHygieneRule(Rule):
+    """Experiments must reference paper constants, not re-type them."""
+
+    rule_id = "REP005"
+    title = "experiment hygiene: paper constants must come from paper_data"
+    rationale = (
+        "the paper's numbers are transcribed once (experiments/paper_data.py"
+        " and units.DEFAULT_BLOCKING_FACTOR); re-typed literals silently "
+        "diverge when the transcription is corrected"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.in_package("repro.experiments"):
+            return
+        if ctx.module in _EXEMPT_MODULES:
+            return
+        constants = ctx.project.paper_constants(ctx.path)
+        if not constants:
+            return
+        for node in ast.walk(ctx.tree):
+            if is_number(node) and float(node.value) in constants:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"hard-coded paper constant {node.value!r}: reference "
+                    "the named value in experiments/paper_data.py (or "
+                    "repro.util.units.DEFAULT_BLOCKING_FACTOR)",
+                )

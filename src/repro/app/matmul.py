@@ -18,8 +18,7 @@
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.cpm import ConstantPerformanceModel, cpms_from_even_split
 from repro.core.fpm import FunctionalPerformanceModel

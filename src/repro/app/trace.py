@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.app.execution import ExecutionResult
 from repro.core.geometry import ColumnPartition
 from repro.runtime.mpi_sim import SimulatedComm
 from repro.runtime.process import DeviceBoundProcess

@@ -14,6 +14,7 @@ import numpy as np
 from repro.app.blocking import BlockGrid
 from repro.core.geometry import ColumnPartition
 from repro.kernels.gemm_cpu import numpy_gemm_update
+from repro.util.rng import RngStream
 from repro.util.validation import check_positive_int
 
 
@@ -61,7 +62,7 @@ def verify_partition_numerically(
     """
     check_positive_int("block_size", block_size)
     grid = BlockGrid(partition.n, block_size)
-    rng = np.random.default_rng(seed)
+    rng = RngStream(seed).child("verify-data").generator
     a = rng.standard_normal((grid.elements, grid.elements)).astype(np.float64)
     b = rng.standard_normal((grid.elements, grid.elements)).astype(np.float64)
     c = run_partitioned_matmul(a, b, partition, block_size)

@@ -3,6 +3,9 @@
 Runs one experiment (or the full report) and prints the same rows/series
 the paper's tables and figures show.  ``--plot`` renders curve figures as
 ASCII charts; ``--export-json PATH`` archives the raw result.
+
+``repro lint [paths]`` dispatches to the static analyser
+(:mod:`repro.analysis`) instead of running an experiment.
 """
 
 from __future__ import annotations
@@ -100,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the tables and figures of Zhong, Rychkov, "
             "Lastovetsky (CLUSTER 2012) on the simulated hybrid node."
         ),
+        epilog=(
+            "The static analyser is a separate subcommand: "
+            "`repro lint [paths] [--help]`."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -155,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["lint"]:
+        # the analyser owns its own argparse surface; keep the experiment
+        # parser free of lint flags
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(
         seed=args.seed,

@@ -10,7 +10,7 @@ column-based arrangement minimises and a 1D striped arrangement does not.
 
 from __future__ import annotations
 
-from repro.core.geometry import ColumnPartition, Rectangle
+from repro.core.geometry import ColumnPartition
 from repro.util.units import blocks_to_bytes
 from repro.util.validation import check_positive_int
 

@@ -10,7 +10,7 @@ serializer use the metadata.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.speed_function import SpeedFunction
 from repro.util.validation import check_positive_int

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.fpm import FunctionalPerformanceModel, as_speed_function
+from repro.core.fpm import as_speed_function
 from repro.core.integer import round_partition
 from repro.core.partition import partition_fpm
 from repro.core.speed_function import SpeedFunction, SpeedSample

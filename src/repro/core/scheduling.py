@@ -26,7 +26,6 @@ from dataclasses import dataclass
 
 from repro.util.validation import (
     check_nonnegative,
-    check_positive,
     check_positive_int,
 )
 

@@ -23,7 +23,6 @@ import bisect
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.util.validation import check_positive

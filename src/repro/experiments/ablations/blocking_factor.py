@@ -15,9 +15,17 @@ from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
 from repro.util.tables import render_table
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
 
-#: Blocking factors dividing the fixed 25600-element matrix side.
-DEFAULT_FACTORS = (160, 320, 640, 1280, 2560)
+#: Blocking factors dividing the fixed 25600-element matrix side: the
+#: paper's b and two octaves to either side.
+DEFAULT_FACTORS = (
+    DEFAULT_BLOCKING_FACTOR // 4,
+    DEFAULT_BLOCKING_FACTOR // 2,
+    DEFAULT_BLOCKING_FACTOR,
+    DEFAULT_BLOCKING_FACTOR * 2,
+    DEFAULT_BLOCKING_FACTOR * 4,
+)
 MATRIX_ELEMS = 25600
 
 

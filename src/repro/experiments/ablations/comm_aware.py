@@ -20,7 +20,7 @@ and the experiment quantifies that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.app.matmul import PartitioningStrategy
 from repro.core.comm_aware import comm_aware_refinement

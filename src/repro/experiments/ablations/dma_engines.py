@@ -17,7 +17,7 @@ from repro.platform.contention import CpuGpuInterference
 from repro.platform.device import SimulatedGpu
 from repro.platform.presets import geforce_gtx680
 from repro.util.tables import render_series
-from repro.util.units import gemm_kernel_flops
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
 
 
 @dataclass(frozen=True)
@@ -44,7 +44,7 @@ def _gpu_with_engines(engines: int, block_size: int) -> SimulatedGpu:
 
 def run(
     config: ExperimentConfig = ExperimentConfig(),
-    block_size: int = 640,
+    block_size: int = DEFAULT_BLOCKING_FACTOR,
 ) -> DmaEnginesResult:
     """Measure the v3-over-v2 gain for 1 and 2 copy engines."""
     gains = {}

@@ -11,7 +11,7 @@ partitioning (bad kernels degrade gracefully instead of unbalancing).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.app.matmul import HybridMatMul
 from repro.measurement.benchmark import HybridBenchmark
-from repro.measurement.reliability import ReliabilityCriterion
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.util.validation import check_nonnegative, check_positive

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentConfig, make_bench
+from repro.experiments.paper_data import FIG2_MAX_BLOCKS
 from repro.measurement.fpm_builder import SizeGrid
 from repro.util.tables import render_series
 
@@ -34,7 +35,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> Fig2Result:
     bench = make_bench(config)
     # socket 2 is CPU-only (6 usable cores); socket 0 hosts the C870 so its
     # CPU group has 5 cores — exactly the paper's S5/S6 split.
-    grid = SizeGrid.linear(12.0, 1200.0, config.sweep_points)
+    grid = SizeGrid.linear(12.0, FIG2_MAX_BLOCKS, config.sweep_points)
     s5 = []
     s6 = []
     for x in grid.sizes:

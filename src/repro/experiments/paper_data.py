@@ -55,5 +55,7 @@ FIG7_CUT_VS_HOMOGENEOUS = 0.45
 #: Approximate socket plateau speeds read off Fig. 2 (GFlops, b = 640).
 FIG2_S6_PLATEAU = 105.0
 FIG2_S5_PLATEAU = 92.0
+#: Largest problem size shown on Fig. 2's x-axis (blocks).
+FIG2_MAX_BLOCKS = 1200.0
 #: Fig. 3 memory-limit line (blocks) for the GTX680.
 FIG3_MEMORY_LIMIT = 1200.0

@@ -21,7 +21,7 @@ slots respected) rather than just a final number.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.timeline import Timeline
 from repro.util.validation import check_nonnegative

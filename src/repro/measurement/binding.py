@@ -10,7 +10,7 @@ a socket is running (the contention state every timing depends on).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.platform.spec import NodeSpec
 from repro.util.validation import check_nonnegative_int

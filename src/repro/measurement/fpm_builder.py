@@ -11,7 +11,7 @@ measured speed — spending measurements where the curve actually bends
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.speed_function import SpeedFunction, SpeedSample

@@ -20,7 +20,7 @@ Device taxonomy (paper Section III):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.platform.contention import CpuGpuInterference, SocketContention
 from repro.platform.memory import (

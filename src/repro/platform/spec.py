@@ -8,7 +8,7 @@ platforms without touching the performance models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.units import DEFAULT_BLOCKING_FACTOR
 from repro.util.validation import (

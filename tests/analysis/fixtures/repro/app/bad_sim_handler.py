@@ -1,0 +1,9 @@
+"""REP003 fixture: a blocking EventSimulator handler outside runtime/."""
+
+import time
+
+from repro.runtime.event_sim import EventSimulator
+
+
+def on_kernel_done(sim: EventSimulator) -> None:
+    time.sleep(0.5)  # handlers must model delays, not sleep through them

@@ -1,0 +1,13 @@
+"""REP004 fixture package: a public surface out of sync everywhere."""
+
+from repro.badpkg.helpers import (
+    documented_helper,
+    undocumented_export,
+    undocumented_helper,
+)
+
+__all__ = [
+    "documented_helper",
+    "ghost_name",
+    "undocumented_export",
+]

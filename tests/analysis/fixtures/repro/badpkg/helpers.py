@@ -1,0 +1,14 @@
+"""Helpers for the REP004 fixture package."""
+
+
+def documented_helper() -> int:
+    """A documented export (only its __all__ companion is broken)."""
+    return 1
+
+
+def undocumented_helper() -> int:
+    return 2
+
+
+def undocumented_export() -> int:
+    return 4

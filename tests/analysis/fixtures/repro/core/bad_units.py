@@ -1,0 +1,19 @@
+"""REP002 fixture: unit-suffix mixing and literal quantities."""
+
+from repro.util.units import blocks_to_bytes
+
+
+def confused_total(area_blocks: float, payload_bytes: float) -> float:
+    return area_blocks + payload_bytes  # blocks + bytes
+
+
+def confused_compare(kernel_flops: float, speed_gflops: float) -> bool:
+    return kernel_flops > speed_gflops  # flop count vs rate
+
+
+def hidden_unit() -> float:
+    return blocks_to_bytes(6400)  # literal quantity: unit invisible
+
+
+def fine_conversion(area_blocks: float, bytes_per_block: float) -> float:
+    return area_blocks * bytes_per_block  # multiplication converts: allowed

@@ -1,0 +1,17 @@
+"""REP005 fixture: paper constants re-typed instead of referenced."""
+
+
+def plateau_check(speed: float) -> bool:
+    return speed > 105.0  # re-typed FIG2_S6_PLATEAU
+
+
+def sweep_limit() -> float:
+    return 1200.0  # re-typed FIG3_MEMORY_LIMIT
+
+
+def block_elements(n: int) -> int:
+    return n * 640 * 640  # re-typed blocking factor, twice
+
+
+def fine_tolerance(x: float) -> bool:
+    return x < 0.15  # below the distinctiveness threshold: not flagged

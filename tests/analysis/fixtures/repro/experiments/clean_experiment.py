@@ -1,0 +1,12 @@
+"""Negative fixture: an experiment referencing constants by name."""
+
+from repro.experiments.paper_data import FIG2_S6_PLATEAU
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
+
+
+def expected_speed() -> float:
+    return FIG2_S6_PLATEAU
+
+
+def elements(n_blocks: int) -> int:
+    return n_blocks * DEFAULT_BLOCKING_FACTOR * DEFAULT_BLOCKING_FACTOR

@@ -1,0 +1,5 @@
+"""Fixture transcription module (mirrors experiments/paper_data.py)."""
+
+FIG2_S6_PLATEAU = 105.0
+FIG3_MEMORY_LIMIT = 1200.0
+SMALL_TOLERANCE = 0.15

@@ -1,0 +1,7 @@
+"""Negative fixture package: a public surface that is fully in sync."""
+
+from repro.goodpkg.helpers import tidy_helper
+
+__all__ = [
+    "tidy_helper",
+]

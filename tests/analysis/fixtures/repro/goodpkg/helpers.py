@@ -1,0 +1,6 @@
+"""Helpers for the clean REP004 fixture package."""
+
+
+def tidy_helper() -> int:
+    """Documented, listed in __all__ — nothing to report."""
+    return 3

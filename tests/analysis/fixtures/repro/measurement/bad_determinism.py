@@ -1,0 +1,20 @@
+"""REP001 fixture: every classic determinism leak in one file."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def leaky_measurement() -> tuple:
+    start = time.time()  # wall clock
+    tick = time.perf_counter()  # wall clock
+    jitter = random.random()  # stdlib RNG
+    gen = np.random.default_rng()  # numpy RNG bypassing RngStream
+    stamp = datetime.now()  # datetime wall clock
+    return start, tick, jitter, gen, stamp
+
+
+def suppressed_measurement() -> float:
+    return time.time()  # repro: noqa REP001

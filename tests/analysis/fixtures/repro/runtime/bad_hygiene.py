@@ -1,0 +1,21 @@
+"""REP003 fixture: blocking calls, shared globals, orphan send tags."""
+
+import time
+
+PENDING: dict[str, int] = {}
+COUNTER = 0
+
+
+def slow_handler(sim) -> None:
+    time.sleep(0.1)  # blocks the real clock, not the simulated one
+    PENDING["last"] = 1  # mutates a shared module global
+
+
+def racy_worker() -> None:
+    global COUNTER
+    COUNTER += 1
+
+
+def lopsided_exchange(comm) -> None:
+    comm.send(b"work", dest=1, tag=7)  # no matching recv tag 7
+    comm.recv(source=1, tag=8)

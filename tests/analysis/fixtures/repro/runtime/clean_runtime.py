@@ -1,0 +1,18 @@
+"""Negative fixture: idiomatic runtime code that every rule accepts."""
+
+
+def forward_after_delay(sim, delay_s: float, payload_bytes: float) -> None:
+    def deliver(sim2) -> None:
+        record(sim2, payload_bytes)
+
+    sim.schedule(delay_s, deliver)
+
+
+def record(sim, payload_bytes: float) -> None:
+    sizes: list[float] = []
+    sizes.append(payload_bytes)
+
+
+def matched_exchange(comm) -> None:
+    comm.send(b"work", dest=1, tag=3)
+    comm.recv(source=0, tag=3)

@@ -1,0 +1,3 @@
+"""Fixture units module (mirrors util/units.py's owned constant)."""
+
+DEFAULT_BLOCKING_FACTOR = 640

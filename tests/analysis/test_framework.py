@@ -1,0 +1,133 @@
+"""Unit tests for the lint framework itself (no domain rules involved)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import module_name_for, parse_noqa
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.registry import get_rule
+from repro.analysis.reporters import render_json, render_text
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+REPO_ROOT = HERE.parent.parent
+
+
+def diag(path="a.py", line=1, col=1, rule="REP001", message="m"):
+    return Diagnostic(path=path, line=line, col=col, rule=rule, message=message)
+
+
+# -- diagnostics -----------------------------------------------------------
+
+
+def test_diagnostic_json_roundtrip():
+    d = diag(path="src/x.py", line=3, col=7, message="boom")
+    assert Diagnostic.from_json(d.to_json()) == d
+
+
+def test_diagnostic_key_ignores_position():
+    a = diag(line=1, col=1)
+    b = diag(line=99, col=5)
+    assert a.key() == b.key()
+    assert a.format() == "a.py:1:1: REP001 m"
+
+
+# -- noqa / module naming --------------------------------------------------
+
+
+def test_parse_noqa_variants():
+    source = "\n".join(
+        [
+            "x = 1  # repro: noqa",
+            "y = 2  # repro: noqa REP001,REP003",
+            "z = 3  # repro: noqa REP002 REP004",
+            "w = 4",
+        ]
+    )
+    suppressions = parse_noqa(source)
+    assert suppressions[1] is None
+    assert suppressions[2] == {"REP001", "REP003"}
+    assert suppressions[3] == {"REP002", "REP004"}
+    assert 4 not in suppressions
+
+
+def test_module_name_anchors_at_repro():
+    assert module_name_for(Path("src/repro/runtime/mpi_sim.py")) == (
+        "repro.runtime.mpi_sim"
+    )
+    assert module_name_for(Path("tests/analysis/fixtures/repro/core/x.py")) == (
+        "repro.core.x"
+    )
+    assert module_name_for(Path("src/repro/util/__init__.py")) == "repro.util"
+    assert module_name_for(Path("elsewhere/plain.py")) == "plain"
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def test_baseline_accepts_existing_and_flags_growth():
+    existing = [diag(line=1), diag(line=2)]
+    baseline = Baseline.from_diagnostics(existing)
+    # same two occurrences: accepted
+    new, fixed = baseline.filter_new(existing)
+    assert new == [] and fixed == []
+    # a third identical occurrence is NEW even though the key is known
+    grown = [*existing, diag(line=3)]
+    new, _ = baseline.filter_new(grown)
+    assert [d.line for d in new] == [3]
+    # dropping one occurrence reports the key as (partially) fixed
+    new, fixed = baseline.filter_new([diag(line=1)])
+    assert new == [] and fixed == [diag().key()]
+
+
+def test_baseline_save_load_roundtrip(tmp_path):
+    baseline = Baseline.from_diagnostics([diag(), diag(rule="REP005")])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    assert Baseline.load(path).entries == baseline.entries
+    assert len(baseline) == 2
+    assert Baseline.load(tmp_path / "missing.json").entries == {}
+
+
+# -- engine / reporters ----------------------------------------------------
+
+
+def test_engine_reports_parse_errors(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = lint_paths([bad], root=REPO_ROOT)
+    assert result.diagnostics == []
+    assert len(result.parse_errors) == 1
+    assert "syntax error" in result.parse_errors[0]
+
+
+def test_engine_skips_non_python_and_cache_dirs(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x=", encoding="utf-8")
+    (tmp_path / "notes.txt").write_text("hi", encoding="utf-8")
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    result = lint_paths([tmp_path], root=REPO_ROOT)
+    assert result.files_checked == 1
+    assert result.parse_errors == []
+
+
+def test_render_text_and_json_agree():
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    result = lint_paths([bad], rules=[get_rule("REP002")], root=REPO_ROOT)
+    text = render_text(result)
+    payload = json.loads(render_json(result))
+    assert len(payload["diagnostics"]) == len(result.diagnostics) > 0
+    assert payload["summary"] == {"REP002": len(result.diagnostics)}
+    for entry in payload["diagnostics"]:
+        assert f"{entry['line']}:{entry['col']} REP002" in text
+
+
+def test_render_text_baseline_mode_counts_accepted():
+    diags = [diag(line=1), diag(line=2)]
+    result = LintResult(diagnostics=diags, files_checked=1)
+    text = render_text(result, new=[diags[1]])
+    assert "1 new violation(s) (1 accepted by baseline)" in text

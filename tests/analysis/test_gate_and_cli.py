@@ -1,0 +1,91 @@
+"""The self-lint gate (marked ``analysis``) and the CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import lint_paths
+from repro.cli import main as repro_main
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = HERE / "fixtures"
+
+
+@pytest.mark.analysis
+def test_src_tree_lints_clean_vs_committed_baseline():
+    """Tier-1 gate: the baseline may shrink but never grow.
+
+    The committed baseline is empty, so this asserts the whole ``src``
+    tree is violation-free; if a future PR legitimately accepts a
+    violation, the assertion still only fails on *new* ones.
+    """
+    result = lint_paths([SRC], root=REPO_ROOT)
+    assert result.parse_errors == []
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    new, _fixed = baseline.filter_new(result.diagnostics)
+    assert new == [], "new lint violations:\n" + "\n".join(
+        d.format() for d in new
+    )
+
+
+@pytest.mark.analysis
+def test_committed_baseline_is_empty():
+    """ISSUE 1 acceptance: the tree lints clean with an EMPTY baseline."""
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    assert baseline.entries == {}
+
+
+def test_lint_gate_wrapper_passes_on_clean_tree(capsys):
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import lint_gate
+    finally:
+        sys.path.pop(0)
+    assert lint_gate.main([]) == 0
+    assert "lint gate ok" in capsys.readouterr().out
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    # violations without a covering baseline -> exit 1, json parses
+    assert lint_main([str(bad), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"].get("REP002")
+    # write a baseline accepting them -> exit 0 afterwards
+    baseline_path = tmp_path / "accepted.json"
+    assert (
+        lint_main([str(bad), "--baseline", str(baseline_path), "--write-baseline"])
+        == 0
+    )
+    capsys.readouterr()
+    assert lint_main([str(bad), "--baseline", str(baseline_path)]) == 0
+
+
+def test_cli_rule_selection_and_errors(capsys):
+    clean = FIXTURES / "repro" / "goodpkg" / "helpers.py"
+    assert lint_main([str(clean), "--rules", "REP001", "--no-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(clean), "--rules", "NOPE"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert rule_id in out
+
+
+def test_repro_cli_dispatches_lint(capsys):
+    clean = FIXTURES / "repro" / "goodpkg" / "helpers.py"
+    assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Golden-fixture tests: each rule catches its seeded violations exactly.
+
+The fixture tree under ``fixtures/`` mimics the ``repro`` package layout
+(the engine anchors module names at the last ``repro`` directory), with
+one deliberately-broken file per rule and clean companions.  The expected
+diagnostics live as JSON next to the fixtures; a rule change that alters
+what is reported must update the golden file in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules, get_rule
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+EXPECTED = HERE / "expected"
+REPO_ROOT = HERE.parent.parent
+
+RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005"]
+
+CLEAN_FIXTURES = [
+    FIXTURES / "repro" / "runtime" / "clean_runtime.py",
+    FIXTURES / "repro" / "experiments" / "clean_experiment.py",
+    FIXTURES / "repro" / "goodpkg" / "__init__.py",
+    FIXTURES / "repro" / "goodpkg" / "helpers.py",
+]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_catches_seeded_violations(rule_id):
+    """Each rule reproduces its golden diagnostics on the fixture tree."""
+    expected = json.loads(
+        (EXPECTED / f"{rule_id.lower()}.json").read_text(encoding="utf-8")
+    )
+    result = lint_paths([FIXTURES], rules=[get_rule(rule_id)], root=REPO_ROOT)
+    assert result.parse_errors == []
+    assert [d.to_json() for d in result.diagnostics] == expected
+    assert expected, f"golden file for {rule_id} must seed at least one violation"
+
+
+def test_registry_is_complete():
+    """All five domain rules are registered with ids, titles, rationales."""
+    rules = all_rules()
+    assert [r.rule_id for r in rules] == RULE_IDS
+    assert all(r.title and r.rationale for r in rules)
+
+
+def test_clean_fixtures_yield_zero_diagnostics():
+    """Negative control: idiomatic code produces no diagnostics at all."""
+    result = lint_paths(CLEAN_FIXTURES, root=REPO_ROOT)
+    assert result.parse_errors == []
+    assert result.diagnostics == []
+    assert result.files_checked == len(CLEAN_FIXTURES)
+
+
+def test_noqa_suppresses_inline():
+    """The REP001 fixture's `# repro: noqa REP001` line stays silent."""
+    bad = FIXTURES / "repro" / "measurement" / "bad_determinism.py"
+    result = lint_paths([bad], rules=[get_rule("REP001")], root=REPO_ROOT)
+    flagged_lines = {d.line for d in result.diagnostics}
+    source_lines = bad.read_text(encoding="utf-8").splitlines()
+    noqa_lines = {
+        i for i, line in enumerate(source_lines, start=1) if "repro: noqa" in line
+    }
+    assert noqa_lines, "fixture must exercise suppression"
+    assert not (flagged_lines & noqa_lines)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI gate: fail on lint violations beyond the committed baseline.
+
+Thin wrapper over :mod:`repro.analysis` for CI jobs and pre-commit
+hooks.  Exit status is non-zero when the tree has violations that the
+committed ``.repro-lint-baseline.json`` does not accept (or when any
+file fails to parse); a shrinking tree always passes.  Run from the
+repository root:
+
+    PYTHONPATH=src python tools/lint_gate.py [paths...]
+
+``--update`` rewrites the baseline to the current state instead of
+failing — for deliberately accepting a violation (rare; prefer fixing,
+or an inline ``# repro: noqa REP00x`` with a justification).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline  # noqa: E402
+from repro.analysis.engine import lint_paths  # noqa: E402
+from repro.analysis.reporters import render_text  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_gate",
+        description="fail on new repro-lint violations vs the committed baseline",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[str(REPO_ROOT / "src")],
+        help="paths to lint (default: the repository's src tree)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / DEFAULT_BASELINE_NAME),
+        help="baseline file (default: committed repository baseline)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline to the current violations and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    result = lint_paths(args.paths, root=REPO_ROOT)
+    baseline_path = Path(args.baseline)
+
+    if args.update:
+        Baseline.from_diagnostics(result.diagnostics).save(baseline_path)
+        print(
+            f"baseline updated: {len(result.diagnostics)} accepted "
+            f"violation(s) in {baseline_path}"
+        )
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    new, fixed = baseline.filter_new(result.diagnostics)
+    if new or result.parse_errors:
+        print(render_text(result, new=new))
+        print(
+            f"\nlint gate FAILED: {len(new)} new violation(s), "
+            f"{len(result.parse_errors)} parse error(s). Fix them, suppress "
+            "with `# repro: noqa REP00x`, or (rare) --update the baseline."
+        )
+        return 1
+    message = (
+        f"lint gate ok: {result.files_checked} file(s), "
+        f"{len(result.diagnostics)} accepted violation(s)"
+    )
+    if fixed:
+        message += (
+            f"; {len(fixed)} baseline entr(y/ies) no longer fire — "
+            "shrink the baseline with --update"
+        )
+    print(message)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
