@@ -68,12 +68,28 @@ def find_project_root(start: Path) -> Path:
 class ProjectContext:
     """Cross-file knowledge shared by every :class:`FileContext` of a run."""
 
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, src_root: Path | None = None):
         self.root = Path(root).resolve()
+        #: Where the *real* ``repro`` package lives.  Fixture trees that
+        #: mimic the layout (``tests/analysis/fixtures/repro/...``) resolve
+        #: modules against their own directory but are never part of the
+        #: source tree, so root-anchored checks (docs/api.md coverage) can
+        #: tell the two apart explicitly instead of guessing from paths.
+        self.src_root = (
+            Path(src_root) if src_root is not None else self.root / "src"
+        ).resolve()
         self._ast_cache: dict[Path, ast.Module | None] = {}
         self._api_doc: str | None = None
         self._api_doc_loaded = False
         self._paper_constants: dict[tuple, frozenset[float]] = {}
+
+    def in_source_tree(self, path: Path) -> bool:
+        """Whether ``path`` lives under the project's real source root."""
+        try:
+            Path(path).resolve().relative_to(self.src_root)
+        except ValueError:
+            return False
+        return True
 
     # -- parsing -----------------------------------------------------------
     def parse(self, path: Path) -> ast.Module | None:

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import ast
 import re
-from pathlib import Path
 
 from repro.analysis.context import FileContext
 from repro.analysis.registry import Rule, register_rule
@@ -182,10 +181,7 @@ class ApiContractRule(Rule):
             return
         # only hold real source trees to the generated reference: fixture
         # packages are never covered by docs/api.md
-        src_root = ctx.project.root / "src"
-        try:
-            Path(ctx.path).relative_to(src_root)
-        except ValueError:
+        if not ctx.project.in_source_tree(ctx.path):
             return
         kind = "class " if isinstance(definition, ast.ClassDef) else ""
         pattern = re.compile(

@@ -12,13 +12,12 @@ communication.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.geometry import ColumnPartition
+from repro.obs import get_tracer
 from repro.runtime.mpi_sim import SimulatedComm
 from repro.runtime.process import DeviceBoundProcess
-from repro.util.units import blocks_to_bytes
 from repro.util.validation import check_positive_int
 
 
@@ -83,25 +82,23 @@ def simulate_execution(
             recv_blocks.append(0)
 
     # Broadcast phase: every process receives its pivot column and row
-    # pieces; with a tree distribution the completion time is dominated by
-    # the largest per-process payload plus the tree's latency depth.
+    # pieces; the cost model lives with the communicator (runtime layer).
     p = len(by_rank)
-    depth = math.ceil(math.log2(p)) if p > 1 else 0
-    comm_per_iter = max(
-        (
-            comm.model.latency_s * depth
-            + blocks_to_bytes(blocks, block_size) / (comm.model.bandwidth_gbs * 1e9)
-            for blocks in recv_blocks
-        ),
-        default=0.0,
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "exec.simulate", category="app", n=n, processes=p
+    ) as span:
+        comm_per_iter = comm.pivot_bcast_time(
+            recv_blocks, block_size, participants=p
+        )
 
-    iteration = comm_per_iter + max(compute_per_iter, default=0.0)
-    return ExecutionResult(
-        n=n,
-        total_time=n * iteration,
-        computation_time=tuple(n * t for t in compute_per_iter),
-        communication_time=n * comm_per_iter,
-        iteration_time=iteration,
-        areas=tuple(areas),
-    )
+        iteration = comm_per_iter + max(compute_per_iter, default=0.0)
+        span.mark_sim(0.0, n * iteration)
+        return ExecutionResult(
+            n=n,
+            total_time=n * iteration,
+            computation_time=tuple(n * t for t in compute_per_iter),
+            communication_time=n * comm_per_iter,
+            iteration_time=iteration,
+            areas=tuple(areas),
+        )

@@ -5,7 +5,9 @@ the paper's tables and figures show.  ``--plot`` renders curve figures as
 ASCII charts; ``--export-json PATH`` archives the raw result.
 
 ``repro lint [paths]`` dispatches to the static analyser
-(:mod:`repro.analysis`) instead of running an experiment.
+(:mod:`repro.analysis`) instead of running an experiment; ``repro
+profile <experiment>`` runs one experiment under the tracer
+(:mod:`repro.obs`) and exports spans/metrics.
 """
 
 from __future__ import annotations
@@ -104,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Lastovetsky (CLUSTER 2012) on the simulated hybrid node."
         ),
         epilog=(
-            "The static analyser is a separate subcommand: "
-            "`repro lint [paths] [--help]`."
+            "Separate subcommands: `repro lint [paths] [--help]` runs the "
+            "static analyser; `repro profile <experiment> [--help]` runs "
+            "one experiment under the tracer."
         ),
     )
     parser.add_argument(
@@ -169,6 +172,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["profile"]:
+        # ditto for the tracing front-end
+        from repro.obs.cli import main as profile_main
+
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(
         seed=args.seed,

@@ -28,6 +28,7 @@ from repro.core.fpm import as_speed_function
 from repro.core.integer import round_partition
 from repro.core.partition import partition_fpm
 from repro.core.speed_function import SpeedFunction, SpeedSample
+from repro.obs import get_tracer
 from repro.util.validation import check_positive, check_positive_int
 
 
@@ -50,21 +51,29 @@ def aggregate_speed_function(
     capacity = sum(
         fn.max_size if fn.bounded else float("inf") for fn in fns
     )
-    samples = []
-    for x in sorted(set(sizes)):
-        check_positive("sample size", x)
-        if x > capacity:
-            break
-        allocs = partition_fpm(fns, x)
-        finish = max(
-            fn.time(a) for fn, a in zip(fns, allocs) if a > 0
-        )
-        samples.append(SpeedSample(size=x, speed=x / finish))
-    if not samples:
-        raise ValueError(
-            "no sample size fits the node's combined capacity"
-        )
-    return SpeedFunction(samples, bounded=capacity != float("inf"))
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.aggregate",
+        category="partition",
+        units=len(fns),
+        grid_points=len(sizes),
+    ) as span:
+        samples = []
+        for x in sorted(set(sizes)):
+            check_positive("sample size", x)
+            if x > capacity:
+                break
+            allocs = partition_fpm(fns, x)
+            finish = max(
+                fn.time(a) for fn, a in zip(fns, allocs) if a > 0
+            )
+            samples.append(SpeedSample(size=x, speed=x / finish))
+        if not samples:
+            raise ValueError(
+                "no sample size fits the node's combined capacity"
+            )
+        span.set_attr("samples", len(samples))
+        return SpeedFunction(samples, bounded=capacity != float("inf"))
 
 
 @dataclass(frozen=True)
@@ -111,28 +120,38 @@ def hierarchical_partition(
     if not node_unit_models:
         raise ValueError("need at least one node")
 
-    # geometric sample grid up to the full workload
-    lo, hi = max(1.0, total / 512.0), float(total)
-    if aggregate_samples == 1 or lo >= hi:
-        grid = [hi]
-    else:
-        ratio = (hi / lo) ** (1.0 / (aggregate_samples - 1))
-        grid = [lo * ratio**i for i in range(aggregate_samples)]
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.hierarchical",
+        category="partition",
+        nodes=len(node_unit_models),
+        total=total,
+    ):
+        # geometric sample grid up to the full workload
+        lo, hi = max(1.0, total / 512.0), float(total)
+        if aggregate_samples == 1 or lo >= hi:
+            grid = [hi]
+        else:
+            ratio = (hi / lo) ** (1.0 / (aggregate_samples - 1))
+            grid = [lo * ratio**i for i in range(aggregate_samples)]
 
-    node_models = [
-        aggregate_speed_function(units, grid) for units in node_unit_models
-    ]
-    continuous = partition_fpm(node_models, float(total))
-    node_allocs = round_partition(node_models, continuous, total)
+        node_models = [
+            aggregate_speed_function(units, grid) for units in node_unit_models
+        ]
+        continuous = partition_fpm(node_models, float(total))
+        node_allocs = round_partition(node_models, continuous, total)
+        if tracer.enabled:
+            for share in node_allocs:
+                tracer.gauge("partition.hierarchical.node_blocks").set(share)
 
-    unit_allocs = []
-    for units, share in zip(node_unit_models, node_allocs):
-        if share == 0:
-            unit_allocs.append(tuple(0 for _ in units))
-            continue
-        inner = partition_fpm(units, float(share))
-        unit_allocs.append(tuple(round_partition(units, inner, share)))
-    return HierarchicalPartition(
-        node_allocations=tuple(node_allocs),
-        unit_allocations=tuple(unit_allocs),
-    )
+        unit_allocs = []
+        for units, share in zip(node_unit_models, node_allocs):
+            if share == 0:
+                unit_allocs.append(tuple(0 for _ in units))
+                continue
+            inner = partition_fpm(units, float(share))
+            unit_allocs.append(tuple(round_partition(units, inner, share)))
+        return HierarchicalPartition(
+            node_allocations=tuple(node_allocs),
+            unit_allocations=tuple(unit_allocs),
+        )

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from repro.core.cpm import ConstantPerformanceModel
 from repro.core.fpm import as_speed_function
 from repro.core.speed_function import SpeedFunction
+from repro.obs import get_tracer
 from repro.util.validation import check_positive, check_positive_int
 
 #: Relative tolerance on the total allocation reached by bisection.
@@ -86,25 +87,59 @@ def partition_fpm(models, total: float) -> list[float]:
             f"{sum(caps)} (all models bounded)"
         )
 
-    # Bracket the finish time: t_lo gives too little work, t_hi enough.
-    t_lo = 0.0
-    t_hi = max(fn.time(min(total, cap)) for fn, cap in zip(fns, caps)) + 1e-12
-    while sum(_allocations_at(fns, t_hi)) < total:
-        t_hi *= 2.0
-        if t_hi > 1e30:  # pragma: no cover - capacity check above prevents this
-            raise RuntimeError("failed to bracket the balanced finish time")
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.fpm", category="partition", processors=len(fns), total=total
+    ) as span:
+        # Bracket the finish time: t_lo gives too little work, t_hi enough.
+        t_lo = 0.0
+        t_hi = max(fn.time(min(total, cap)) for fn, cap in zip(fns, caps)) + 1e-12
+        while sum(_allocations_at(fns, t_hi)) < total:
+            t_hi *= 2.0
+            if t_hi > 1e30:  # pragma: no cover - capacity check prevents this
+                raise RuntimeError("failed to bracket the balanced finish time")
 
-    for _ in range(200):
-        t_mid = 0.5 * (t_lo + t_hi)
-        if sum(_allocations_at(fns, t_mid)) >= total:
-            t_hi = t_mid
-        else:
-            t_lo = t_mid
-        if t_hi - t_lo <= 1e-12 * max(1.0, t_hi):
-            break
+        iterations = 0
+        for iteration in range(200):
+            t_mid = 0.5 * (t_lo + t_hi)
+            mid_allocs = _allocations_at(fns, t_mid)
+            if sum(mid_allocs) >= total:
+                t_hi = t_mid
+            else:
+                t_lo = t_mid
+            iterations = iteration + 1
+            if tracer.enabled:
+                _trace_iteration(
+                    tracer, "partition.fpm", iteration, fns, mid_allocs, total
+                )
+            if t_hi - t_lo <= 1e-12 * max(1.0, t_hi):
+                break
 
-    allocs = _allocations_at(fns, t_hi)
-    return _rescale(allocs, total, caps)
+        allocs = _allocations_at(fns, t_hi)
+        span.set_attr("iterations", iterations)
+        return _rescale(allocs, total, caps)
+
+
+def _trace_iteration(
+    tracer, algorithm: str, iteration: int, fns, allocs, total: float
+) -> None:
+    """Record one partitioner iteration: a span plus convergence gauges.
+
+    Only called when tracing is enabled, so the extra balance evaluation
+    never runs on the production path.
+    """
+    allocated = sum(allocs)
+    times = [fn.time(x) for fn, x in zip(fns, allocs) if x > 0]
+    imbalance = max(times) / min(times) if times else 1.0
+    tracer.record(
+        f"{algorithm}.iteration",
+        category="partition",
+        iteration=iteration,
+        allocated=allocated,
+        residual=abs(allocated - total) / total,
+    )
+    tracer.gauge(f"{algorithm}.residual").set(abs(allocated - total) / total)
+    tracer.gauge(f"{algorithm}.load_imbalance").set(imbalance)
 
 
 def geometric_partition(models, total: float) -> list[float]:
@@ -144,34 +179,46 @@ def geometric_partition(models, total: float) -> list[float]:
                 break
         return hi
 
-    # Steeper ray (larger k) => smaller time 1/k => smaller allocations.
-    k_hi = max(
-        fn.speed(min(total, cap)) / min(total, cap) for fn, cap in zip(fns, caps)
-    )
-    while sum(intersection(fn, k_hi, cap) for fn, cap in zip(fns, caps)) < total:
-        k_hi /= 2.0
-        if k_hi < 1e-30:  # pragma: no cover
-            raise RuntimeError("failed to bracket the partitioning ray")
-    k_lo = k_hi
-    while sum(intersection(fn, k_lo, cap) for fn, cap in zip(fns, caps)) < total:
-        k_lo /= 2.0  # pragma: no cover - k_hi loop already reached the bracket
-    k_steep = k_hi * 2.0
-    # bisect slope between k_lo (enough work) and k_steep (too little)
-    while sum(intersection(fn, k_steep, cap) for fn, cap in zip(fns, caps)) >= total:
-        k_steep *= 2.0
-        if k_steep > 1e30:
-            break
-    lo, hi = k_lo, k_steep
-    for _ in range(200):
-        mid = 0.5 * (lo + hi)
-        if sum(intersection(fn, mid, cap) for fn, cap in zip(fns, caps)) >= total:
-            lo = mid
-        else:
-            hi = mid
-        if hi - lo <= 1e-12 * max(1e-30, hi):
-            break
-    allocs = [intersection(fn, lo, cap) for fn, cap in zip(fns, caps)]
-    return _rescale(allocs, total, [_capacity(fn) for fn in fns])
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.geometric", category="partition", processors=len(fns), total=total
+    ) as span:
+        # Steeper ray (larger k) => smaller time 1/k => smaller allocations.
+        k_hi = max(
+            fn.speed(min(total, cap)) / min(total, cap) for fn, cap in zip(fns, caps)
+        )
+        while sum(intersection(fn, k_hi, cap) for fn, cap in zip(fns, caps)) < total:
+            k_hi /= 2.0
+            if k_hi < 1e-30:  # pragma: no cover
+                raise RuntimeError("failed to bracket the partitioning ray")
+        k_lo = k_hi
+        while sum(intersection(fn, k_lo, cap) for fn, cap in zip(fns, caps)) < total:
+            k_lo /= 2.0  # pragma: no cover - k_hi loop already reached the bracket
+        k_steep = k_hi * 2.0
+        # bisect slope between k_lo (enough work) and k_steep (too little)
+        while sum(intersection(fn, k_steep, cap) for fn, cap in zip(fns, caps)) >= total:
+            k_steep *= 2.0
+            if k_steep > 1e30:
+                break
+        lo, hi = k_lo, k_steep
+        iterations = 0
+        for iteration in range(200):
+            mid = 0.5 * (lo + hi)
+            mid_allocs = [intersection(fn, mid, cap) for fn, cap in zip(fns, caps)]
+            if sum(mid_allocs) >= total:
+                lo = mid
+            else:
+                hi = mid
+            iterations = iteration + 1
+            if tracer.enabled:
+                _trace_iteration(
+                    tracer, "partition.geometric", iteration, fns, mid_allocs, total
+                )
+            if hi - lo <= 1e-12 * max(1e-30, hi):
+                break
+        allocs = [intersection(fn, lo, cap) for fn, cap in zip(fns, caps)]
+        span.set_attr("iterations", iterations)
+        return _rescale(allocs, total, [_capacity(fn) for fn in fns])
 
 
 def partition_cpm(models, total: float) -> list[float]:
@@ -195,14 +242,23 @@ def partition_cpm(models, total: float) -> list[float]:
                 f"partition_cpm expects constants, got {type(m).__name__}"
             )
     s = sum(speeds)
-    return [total * v / s for v in speeds]
+    with get_tracer().span(
+        "partition.cpm", category="partition", processors=len(speeds), total=total
+    ):
+        return [total * v / s for v in speeds]
 
 
 def partition_homogeneous(num_processors: int, total: float) -> list[float]:
     """The even split used by homogeneous partitioning."""
     check_positive_int("num_processors", num_processors)
     check_positive("total", total)
-    return [total / num_processors] * num_processors
+    with get_tracer().span(
+        "partition.homogeneous",
+        category="partition",
+        processors=num_processors,
+        total=total,
+    ):
+        return [total / num_processors] * num_processors
 
 
 @dataclass(frozen=True)
@@ -251,16 +307,30 @@ def _rescale(allocs: list[float], total: float, caps: list[float]) -> list[float
                 raise ValueError("capacity exhausted while rescaling")
             scaled[free[0]] += deficit
         return scaled
-    # Bisection stopped short (pathological models); distribute the gap
-    # proportionally among uncapped processors.
-    gap = total - s
-    free = [i for i in range(len(allocs)) if allocs[i] < caps[i]]
-    if not free:
-        raise ValueError("capacity exhausted while balancing")
-    share = gap / len(free)
+    # Bisection stopped short (pathological models, e.g. time plateaus);
+    # distribute the gap evenly among the processors that can absorb it —
+    # below-cap ones when adding work, positive ones when taking it away.
+    # Clamping may strand a remainder, so repeat until the sum converges
+    # (each round retires at least one clamped processor).
     out = list(allocs)
-    for i in free:
-        out[i] = min(max(0.0, out[i] + share), caps[i])
-    # final exact fix on the largest free allocation
-    out[free[-1]] += total - sum(out)
+    for _ in range(len(out) + 1):
+        gap = total - sum(out)
+        if abs(gap) <= _SUM_TOL * total:
+            break
+        if gap > 0:
+            adjustable = [i for i in range(len(out)) if out[i] < caps[i]]
+        else:
+            adjustable = [i for i in range(len(out)) if out[i] > 0.0]
+        if not adjustable:
+            raise ValueError("capacity exhausted while balancing")
+        share = gap / len(adjustable)
+        for i in adjustable:
+            out[i] = min(max(0.0, out[i] + share), caps[i])
+    # final exact fix on any allocation with room for the residual
+    gap = total - sum(out)
+    if gap != 0.0:
+        for i in range(len(out)):
+            if 0.0 <= out[i] + gap <= caps[i]:
+                out[i] += gap
+                break
     return out

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.app.matmul import HybridMatMul
 from repro.measurement.benchmark import HybridBenchmark
+from repro.obs import Span, get_tracer
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.util.validation import check_nonnegative, check_positive
@@ -38,6 +41,26 @@ class ExperimentConfig:
 
     def faster(self) -> "ExperimentConfig":
         return replace(self, fast=True)
+
+
+@contextmanager
+def experiment_span(name: str, config: ExperimentConfig) -> Iterator[Span]:
+    """Root span for one experiment run (inert when tracing is off).
+
+    ``repro profile`` wraps each experiment's ``run`` in this, so every
+    span the lower layers emit hangs off one ``experiment.<name>`` root
+    carrying the configuration that produced the trace.
+    """
+    tracer = get_tracer()
+    with tracer.span(
+        f"experiment.{name}",
+        category="experiment",
+        seed=config.seed,
+        noise_sigma=config.noise_sigma,
+        gpu_version=config.gpu_version,
+        fast=config.fast,
+    ) as span:
+        yield span
 
 
 def make_bench(config: ExperimentConfig, node: NodeSpec | None = None) -> HybridBenchmark:

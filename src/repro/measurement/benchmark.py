@@ -23,6 +23,7 @@ from repro.measurement.reliability import (
     measure_until_reliable,
 )
 from repro.measurement.timer import SimulatedTimer
+from repro.obs import get_tracer
 from repro.platform.device import SimulatedGpu, SimulatedSocket, build_devices
 from repro.platform.noise import NoiseModel
 from repro.platform.spec import NodeSpec
@@ -75,24 +76,45 @@ class HybridBenchmark:
     ) -> Measurement:
         """Reliable mean time of one kernel run at one problem size."""
         check_positive("area_blocks", area_blocks)
-        return measure_until_reliable(
-            lambda rep: self.timer.time_kernel(
-                kernel, area_blocks, rep, busy_cpu_cores
-            ),
-            self.criterion,
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "bench.measure_time",
+            category="measurement",
+            kernel=kernel.name,
+            area_blocks=area_blocks,
+        ) as span:
+            timing = measure_until_reliable(
+                lambda rep: self.timer.time_kernel(
+                    kernel, area_blocks, rep, busy_cpu_cores
+                ),
+                self.criterion,
+            )
+            if tracer.enabled:
+                span.set_attr("mean_s", timing.mean)
+                span.set_attr("repetitions", timing.repetitions)
+            return timing
 
     def measure_speed(
         self, kernel: Kernel, area_blocks: float, busy_cpu_cores: int = 0
     ) -> SpeedMeasurement:
         """Reliable speed (GFlops) of a kernel at one problem size."""
-        timing = self.measure_time(kernel, area_blocks, busy_cpu_cores)
-        flops = gemm_kernel_flops(area_blocks, kernel.block_size)
-        return SpeedMeasurement(
+        tracer = get_tracer()
+        with tracer.span(
+            "bench.measure_speed",
+            category="measurement",
+            kernel=kernel.name,
             area_blocks=area_blocks,
-            speed_gflops=flops / timing.mean / 1e9,
-            timing=timing,
-        )
+        ) as span:
+            timing = self.measure_time(kernel, area_blocks, busy_cpu_cores)
+            flops = gemm_kernel_flops(area_blocks, kernel.block_size)
+            speed = flops / timing.mean / 1e9
+            if tracer.enabled:
+                span.set_attr("speed_gflops", speed)
+            return SpeedMeasurement(
+                area_blocks=area_blocks,
+                speed_gflops=speed,
+                timing=timing,
+            )
 
     def measure_socket_speed(
         self,

@@ -17,6 +17,7 @@ from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.kernels.interface import Kernel
 from repro.measurement.benchmark import HybridBenchmark
+from repro.obs import get_tracer
 from repro.util.validation import check_positive, check_positive_int
 
 
@@ -114,46 +115,65 @@ class FpmBuilder:
         valid = kernel.valid_range
         if math.isfinite(valid.max_blocks):
             grid = grid.clamped(valid.max_blocks)
-        samples: dict[float, SpeedSample] = {}
-        reps_total = 0
-        for size in grid.sizes:
-            sample, reps = self._measure_sample(kernel, size, busy_cpu_cores)
-            samples[size] = sample
-            reps_total += reps
+        tracer = get_tracer()
+        with tracer.span(
+            "fpm.build",
+            category="measurement",
+            model=name or kernel.name,
+            grid_points=len(grid.sizes),
+            adaptive=adaptive,
+        ) as span:
+            samples: dict[float, SpeedSample] = {}
+            reps_total = 0
+            for size in grid.sizes:
+                sample, reps = self._measure_sample(kernel, size, busy_cpu_cores)
+                samples[size] = sample
+                reps_total += reps
 
-        if adaptive:
-            reps_total += self._refine(kernel, samples, busy_cpu_cores)
+            if adaptive:
+                reps_total += self._refine(kernel, samples, busy_cpu_cores)
 
-        ordered = [samples[k] for k in sorted(samples)]
-        fn = SpeedFunction(
-            ordered,
-            bounded=(
-                bounded
-                if bounded is not None
-                else math.isfinite(valid.max_blocks)
-            ),
-        )
-        return FunctionalPerformanceModel(
-            name=name or kernel.name,
-            speed_function=fn,
-            kernel_name=kernel.name,
-            block_size=kernel.block_size,
-            repetitions_total=reps_total,
-        )
+            ordered = [samples[k] for k in sorted(samples)]
+            if tracer.enabled:
+                span.set_attr("samples", len(ordered))
+                span.set_attr("repetitions_total", reps_total)
+                tracer.counter("fpm.models_built").add(1)
+            fn = SpeedFunction(
+                ordered,
+                bounded=(
+                    bounded
+                    if bounded is not None
+                    else math.isfinite(valid.max_blocks)
+                ),
+            )
+            return FunctionalPerformanceModel(
+                name=name or kernel.name,
+                speed_function=fn,
+                kernel_name=kernel.name,
+                block_size=kernel.block_size,
+                repetitions_total=reps_total,
+            )
 
     # ------------------------------------------------------------ internal
     def _measure_sample(
         self, kernel: Kernel, size: float, busy_cpu_cores: int
     ) -> tuple[SpeedSample, int]:
-        m = self.bench.measure_speed(kernel, size, busy_cpu_cores)
-        return (
-            SpeedSample(
-                size=size,
-                speed=m.speed_gflops,
-                rel_precision=m.timing.rel_precision,
-            ),
-            m.timing.repetitions,
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "fpm.sample", category="measurement", size_blocks=size
+        ) as span:
+            m = self.bench.measure_speed(kernel, size, busy_cpu_cores)
+            if tracer.enabled:
+                span.set_attr("speed_gflops", m.speed_gflops)
+                tracer.counter("fpm.samples").add(1)
+            return (
+                SpeedSample(
+                    size=size,
+                    speed=m.speed_gflops,
+                    rel_precision=m.timing.rel_precision,
+                ),
+                m.timing.repetitions,
+            )
 
     def _refine(
         self,
@@ -172,6 +192,7 @@ class FpmBuilder:
                     continue  # nothing meaningfully between the endpoints
                 predicted = 0.5 * (samples[lo].speed + samples[hi].speed)
                 sample, reps = self._measure_sample(kernel, mid, busy_cpu_cores)
+                get_tracer().counter("fpm.adaptive.points").add(1)
                 reps_total += reps
                 samples[mid] = sample
                 err = abs(predicted - sample.speed) / sample.speed

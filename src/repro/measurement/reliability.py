@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import get_tracer
 from repro.util.stats import RunningStats
 from repro.util.validation import check_positive, check_positive_int, check_probability
 
@@ -62,21 +63,40 @@ def measure_until_reliable(
     repetition budget ran out first (the result is still usable, as on a
     noisy real platform, but flagged).
     """
-    stats = RunningStats()
-    for rep in range(criterion.max_repetitions):
-        value = sample(rep)
-        if value < 0:
-            raise ValueError(f"negative timing {value} from repetition {rep}")
-        stats.add(value)
-        if (
-            stats.count >= criterion.min_repetitions
-            and stats.is_reliable(criterion.rel_err, criterion.confidence)
-        ):
-            break
-    return Measurement(
-        mean=stats.mean,
-        std=stats.std,
-        repetitions=stats.count,
-        rel_precision=stats.relative_precision(criterion.confidence),
-        reliable=stats.is_reliable(criterion.rel_err, criterion.confidence),
-    )
+    tracer = get_tracer()
+    with tracer.span("measure.reliable", category="measurement") as span:
+        stats = RunningStats()
+        for rep in range(criterion.max_repetitions):
+            if tracer.enabled:
+                with tracer.span(
+                    "measure.repetition", category="measurement", repetition=rep
+                ):
+                    value = sample(rep)
+            else:
+                value = sample(rep)
+            if value < 0:
+                raise ValueError(f"negative timing {value} from repetition {rep}")
+            stats.add(value)
+            if (
+                stats.count >= criterion.min_repetitions
+                and stats.is_reliable(criterion.rel_err, criterion.confidence)
+            ):
+                break
+        rel_precision = stats.relative_precision(criterion.confidence)
+        reliable = stats.is_reliable(criterion.rel_err, criterion.confidence)
+        if tracer.enabled:
+            # samples are accepted when their measurement converged, and
+            # charged as rejected when the repetition budget ran out first
+            kind = "accepted" if reliable else "rejected"
+            tracer.counter(f"measure.samples.{kind}").add(stats.count)
+            tracer.gauge("measure.ci_rel_width").set(rel_precision)
+            span.set_attr("repetitions", stats.count)
+            span.set_attr("reliable", reliable)
+            span.set_attr("mean_s", stats.mean)
+        return Measurement(
+            mean=stats.mean,
+            std=stats.std,
+            repetitions=stats.count,
+            rel_precision=rel_precision,
+            reliable=reliable,
+        )

@@ -1,0 +1,75 @@
+"""repro.obs — zero-dependency observability for the reproduction pipeline.
+
+The paper's argument rests on *where time goes*: repetitions until a
+measurement is statistically reliable (Section III), partitioner
+iterations converging to equal finish times (Section VI), and pipelined
+compute/DMA schedules (Fig. 4).  This package makes those inner loops
+visible without touching their numbers:
+
+* :mod:`repro.obs.tracer` — a process-local tracer with nested spans that
+  carry both wall-clock and simulated-clock bounds, plus the no-op
+  :class:`NullTracer` installed by default (one predictable branch on the
+  hot paths, no allocation);
+* :mod:`repro.obs.metrics` — typed counters and gauges; gauges keep their
+  sample series so partitioner convergence curves become data;
+* :mod:`repro.obs.export` — exporters to Chrome/Perfetto ``trace_event``
+  JSON, flat CSV metrics, a terminal summary tree, and the
+  duration-free span skeleton used by the golden-trace tests.
+
+Tracing is **off by default**: every instrumented call site reads the
+process-local tracer via :func:`get_tracer` and either finds the shared
+:data:`NULL_TRACER` (whose spans and metrics are inert singletons) or a
+live :class:`Tracer` installed by :func:`use_tracer` /
+``repro profile``.  Instrumentation therefore never changes simulated
+results — it only records them.
+
+Quickstart::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("experiment.demo", category="experiment"):
+            run_workload()
+    write_chrome_trace(tracer, "trace.json")
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_csv,
+    span_skeleton,
+    summary_tree,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.obs.metrics import Counter, Gauge, MetricRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    wall_clock_s,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "get_tracer",
+    "metrics_csv",
+    "set_tracer",
+    "span_skeleton",
+    "summary_tree",
+    "use_tracer",
+    "wall_clock_s",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]

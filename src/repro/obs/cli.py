@@ -1,0 +1,136 @@
+"""``repro profile``: run one experiment under a live tracer.
+
+Installs a :class:`~repro.obs.tracer.Tracer` for the duration of one
+experiment run, wraps it in the experiment root span, then exports the
+collected spans and metrics:
+
+- ``--trace PATH`` writes Chrome/Perfetto ``trace_event`` JSON (open it
+  at https://ui.perfetto.dev or ``chrome://tracing``),
+- ``--metrics PATH`` writes the counters/gauges as flat CSV,
+- ``--summary`` (the default when neither file is requested) prints the
+  aggregated span tree to the terminal.
+
+The experiment itself behaves exactly as under ``python -m repro``: same
+seed handling, same printed result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from repro.experiments.common import ExperimentConfig
+from repro.obs.export import summary_tree, write_chrome_trace, write_metrics_csv
+from repro.obs.tracer import Tracer, use_tracer
+
+
+def profile_experiment(
+    name: str, config: ExperimentConfig
+) -> tuple[Tracer, Any, Callable[[Any], str]]:
+    """Run experiment ``name`` under a fresh tracer.
+
+    Returns the tracer (spans + metrics populated), the experiment's raw
+    result, and its formatter.  This is the programmatic core of
+    ``repro profile``; the golden-trace tests call it directly.
+    """
+    # lazy: repro.cli imports the experiment modules; importing it at
+    # module scope would cycle through repro.obs during package init
+    from repro.cli import _EXPERIMENTS
+    from repro.experiments.common import experiment_span
+
+    if name not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    run, fmt = _EXPERIMENTS[name]
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with experiment_span(name, config):
+            result = run(config)
+    return tracer, result, fmt
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.cli import _EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description=(
+            "Run one experiment with tracing enabled and export the span "
+            "tree / metrics."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS),
+        help="which experiment to run under the tracer",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write Chrome/Perfetto trace_event JSON here",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write counters/gauges as CSV here",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the span summary tree (default if no files requested)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the experiment's own result output",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.02,
+        help="measurement noise sigma (log-time std)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="coarser sweeps for a quick run",
+    )
+    parser.add_argument(
+        "--gpu-version",
+        type=int,
+        default=3,
+        choices=(1, 2, 3),
+        help="GPU kernel version for the application experiments",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        seed=args.seed,
+        noise_sigma=args.noise,
+        fast=args.fast,
+        gpu_version=args.gpu_version,
+    )
+    tracer, result, fmt = profile_experiment(args.experiment, config)
+    if not args.quiet:
+        print(fmt(result))
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        write_metrics_csv(tracer, args.metrics)
+        print(f"metrics written to {args.metrics}")
+    if args.summary or (not args.trace and not args.metrics):
+        print()
+        print(summary_tree(tracer))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

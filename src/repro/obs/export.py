@@ -1,0 +1,195 @@
+"""Exporters for the tracer: Chrome JSON, CSV metrics, terminal tree.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (one ``X`` complete event per span, one ``C``
+  counter track per gauge series), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``;
+* :func:`metrics_csv` / :func:`write_metrics_csv` — a flat CSV of every
+  counter and gauge for spreadsheets and regression scripts;
+* :func:`summary_tree` — an aggregated terminal tree (call counts and
+  wall totals per span name) for quick eyeballing;
+* :func:`span_skeleton` — the duration-free structural view (names,
+  categories, nesting, counts) asserted byte-stable by the golden-trace
+  test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Span, Tracer
+
+#: Microseconds per second — Chrome trace timestamps are integer-ish µs.
+_US = 1e6
+
+
+def _trace_origin_s(tracer: Tracer) -> float:
+    """Wall time of the earliest root span (the trace's ts=0)."""
+    return min((s.wall_start_s for s in tracer.roots), default=0.0)
+
+
+def _span_events(span: Span, origin_s: float, events: list[dict]) -> None:
+    end = span.wall_end_s if span.wall_end_s is not None else span.wall_start_s
+    args = dict(span.attrs)
+    if span.sim_start_s is not None:
+        args["sim_start_s"] = span.sim_start_s
+    if span.sim_end_s is not None:
+        args["sim_end_s"] = span.sim_end_s
+    if span.sim_duration_s is not None:
+        args["sim_duration_s"] = span.sim_duration_s
+    events.append(
+        {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": (span.wall_start_s - origin_s) * _US,
+            "dur": (end - span.wall_start_s) * _US,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        }
+    )
+    for child in span.children:
+        _span_events(child, origin_s, events)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The full trace as a Chrome ``trace_event`` JSON object."""
+    origin = _trace_origin_s(tracer)
+    events: list[dict] = []
+    for root in tracer.roots:
+        _span_events(root, origin, events)
+    last_ts = max((e["ts"] + e["dur"] for e in events), default=0.0)
+    for name, gauge in tracer.metrics.gauges.items():
+        for ts, value in zip(gauge.timestamps_s, gauge.values):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": max(0.0, (ts - origin)) * _US,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"value": value},
+                }
+            )
+    for name, counter in tracer.metrics.counters.items():
+        events.append(
+            {
+                "name": name,
+                "cat": "metric",
+                "ph": "C",
+                "ts": last_ts,
+                "pid": 1,
+                "tid": 1,
+                "args": {"value": counter.value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> None:
+    """Serialise :func:`chrome_trace` to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(chrome_trace(tracer), indent=1, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+# ---------------------------------------------------------------- metrics CSV
+def metrics_csv(tracer: Tracer) -> str:
+    """Counters and gauges as flat CSV (kind,name,count,value,min,max)."""
+    lines = ["kind,name,count,value,min,max"]
+    for name in sorted(tracer.metrics.counters):
+        counter = tracer.metrics.counters[name]
+        lines.append(f"counter,{name},{counter.value},{counter.value},,")
+    for name in sorted(tracer.metrics.gauges):
+        gauge = tracer.metrics.gauges[name]
+        lines.append(
+            f"gauge,{name},{gauge.count},{gauge.last!r},{gauge.min!r},{gauge.max!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_csv(tracer: Tracer, path: str | Path) -> None:
+    """Write :func:`metrics_csv` to ``path``."""
+    Path(path).write_text(metrics_csv(tracer), encoding="utf-8")
+
+
+# ------------------------------------------------------------- span skeleton
+def span_skeleton(tracer: Tracer) -> list[dict]:
+    """Duration-free structure: spans aggregated by name at each level.
+
+    Sibling spans with the same (name, category) collapse into one node
+    with a ``count``; their children merge and aggregate recursively.
+    Deterministic runs therefore produce byte-identical skeletons even
+    though wall durations differ run to run.
+    """
+    return _skeleton_of(tracer.roots)
+
+
+def _skeleton_of(spans: list[Span]) -> list[dict]:
+    order: list[tuple[str, str]] = []
+    counts: dict[tuple[str, str], int] = {}
+    children: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        key = (span.name, span.category)
+        if key not in counts:
+            counts[key] = 0
+            children[key] = []
+            order.append(key)
+        counts[key] += 1
+        children[key].extend(span.children)
+    nodes = []
+    for key in order:
+        name, category = key
+        node: dict = {"name": name, "cat": category, "count": counts[key]}
+        kids = _skeleton_of(children[key])
+        if kids:
+            node["children"] = kids
+        nodes.append(node)
+    return nodes
+
+
+# -------------------------------------------------------------- summary tree
+def summary_tree(tracer: Tracer) -> str:
+    """Aggregated terminal view: per-name call counts and wall totals."""
+    lines: list[str] = ["span tree (count, total wall time)"]
+    _summarise(tracer.roots, 0, lines)
+    snapshot = tracer.metrics.snapshot()
+    if snapshot:
+        lines.append("metrics")
+        for name in sorted(snapshot):
+            lines.append(f"  {name} = {snapshot[name]:g}")
+    return "\n".join(lines)
+
+
+def _summarise(spans: list[Span], depth: int, lines: list[str]) -> None:
+    order: list[tuple[str, str]] = []
+    totals: dict[tuple[str, str], float] = {}
+    counts: dict[tuple[str, str], int] = {}
+    children: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        key = (span.name, span.category)
+        if key not in counts:
+            counts[key] = 0
+            totals[key] = 0.0
+            children[key] = []
+            order.append(key)
+        counts[key] += 1
+        totals[key] += span.wall_duration_s
+        children[key].extend(span.children)
+    for key in order:
+        name, _category = key
+        indent = "  " * (depth + 1)
+        lines.append(
+            f"{indent}{name:<40s} {counts[key]:6d}x {totals[key]:10.4f}s"
+        )
+        _summarise(children[key], depth + 1, lines)

@@ -1,0 +1,140 @@
+"""Typed counters and gauges for the observability subsystem.
+
+Two metric kinds cover everything the pipeline needs:
+
+* :class:`Counter` — a monotone event count (samples taken, events
+  processed, refinement points inserted);
+* :class:`Gauge` — a last-value instrument that additionally keeps its
+  min/max and the full sample series, so a gauge set once per partitioner
+  iteration *is* the convergence curve.
+
+Metrics are owned by a :class:`MetricRegistry` (one per
+:class:`repro.obs.tracer.Tracer`).  The no-op tracer hands out the inert
+:data:`NULL_COUNTER` / :data:`NULL_GAUGE` singletons instead, so
+disabled instrumentation never allocates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (must be >= 0: counters never go down)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+
+class Gauge:
+    """A float-valued instrument that remembers its whole series.
+
+    ``clock`` stamps each observation with a wall-clock timestamp so
+    exporters can render the series as Chrome ``Counter`` events; the
+    series itself (``values``) is what convergence assertions consume.
+    """
+
+    __slots__ = ("name", "values", "timestamps_s", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float]):
+        self.name = name
+        self.values: list[float] = []
+        self.timestamps_s: list[float] = []
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+        self.timestamps_s.append(self._clock())
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+
+class MetricRegistry:
+    """Name-keyed store of counters and gauges with stable iteration order."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter called ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or create) the gauge called ``name``."""
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name, self._clock)
+        return found
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{name: value}`` view (counters and gauge last-values)."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.last
+        return out
+
+
+class _NullCounter(Counter):
+    """A counter that ignores increments (handed out when tracing is off)."""
+
+    __slots__ = ()
+
+    def add(self, n: int = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge(Gauge):
+    """A gauge that ignores observations (handed out when tracing is off)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", lambda: 0.0)
+
+    def set(self, value: float) -> None:
+        """Discard the observation."""
+
+
+#: Shared inert instruments returned by the no-op tracer.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge()

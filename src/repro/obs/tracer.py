@@ -1,0 +1,282 @@
+"""Process-local tracer with nested, sim-clock-aware spans.
+
+A :class:`Span` records a named region of work: its wall-clock bounds
+(always) and its simulated-clock bounds (when the instrumented code runs
+on the simulated timeline and marks them with :meth:`Span.mark_sim`).
+Spans nest: the tracer keeps an open-span stack, so instrumented layers
+compose into one tree — experiment root over FPM construction over
+individual reliable measurements over repetitions.
+
+Tracing is off by default.  The module-level active tracer starts as
+:data:`NULL_TRACER`, whose spans and metrics are shared inert
+singletons; every instrumented call site pays one attribute load plus
+(at most) one branch.  ``repro profile`` — or any caller — installs a
+live :class:`Tracer` with :func:`use_tracer` for the duration of a run.
+
+The wall clock is read here, and only here, via
+:func:`wall_clock_s` — the simulation packages themselves stay free of
+wall-clock reads (lint rule REP001), and wall durations never feed back
+into simulated results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, Counter, Gauge, MetricRegistry
+
+
+def wall_clock_s() -> float:
+    """Monotonic wall-clock seconds (the tracer's time base).
+
+    Exposed as a function so worker processes can time themselves and
+    report durations back without importing :mod:`time` into the
+    simulation packages.
+    """
+    return time.perf_counter()
+
+
+class Span:
+    """One traced region: name, category, attrs, wall and sim bounds."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "attrs",
+        "children",
+        "wall_start_s",
+        "wall_end_s",
+        "sim_start_s",
+        "sim_end_s",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        wall_start_s: float,
+        tracer: "Tracer | None" = None,
+        attrs: dict | None = None,
+    ):
+        self.name = name
+        self.category = category
+        self.attrs: dict = attrs or {}
+        self.children: list[Span] = []
+        self.wall_start_s = wall_start_s
+        self.wall_end_s: float | None = None
+        self.sim_start_s: float | None = None
+        self.sim_end_s: float | None = None
+        self._tracer = tracer
+
+    # ------------------------------------------------------------- recording
+    def set_attr(self, key: str, value) -> None:
+        """Attach one key/value to the span (shown in exporters' ``args``)."""
+        self.attrs[key] = value
+
+    def mark_sim(self, start: float | None = None, end: float | None = None) -> None:
+        """Record the span's bounds on the *simulated* clock."""
+        if start is not None:
+            self.sim_start_s = start
+        if end is not None:
+            self.sim_end_s = end
+
+    def finish(self) -> None:
+        """Close the span (idempotent) and pop it off the tracer's stack."""
+        if self.wall_end_s is not None:
+            return
+        tracer = self._tracer
+        self.wall_end_s = tracer.now() if tracer is not None else self.wall_start_s
+        if tracer is not None:
+            tracer._pop(self)
+
+    # ---------------------------------------------------------------- derived
+    @property
+    def wall_duration_s(self) -> float:
+        """Wall seconds between start and finish (0.0 while still open)."""
+        if self.wall_end_s is None:
+            return 0.0
+        return self.wall_end_s - self.wall_start_s
+
+    @property
+    def sim_duration_s(self) -> float | None:
+        """Simulated seconds between the marked sim bounds, when both exist."""
+        if self.sim_start_s is None or self.sim_end_s is None:
+            return None
+        return self.sim_end_s - self.sim_start_s
+
+    # ------------------------------------------------------- context manager
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, cat={self.category!r}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """A live tracer: span tree plus a metric registry, one per run.
+
+    ``clock`` is injectable for deterministic tests; production use reads
+    :func:`wall_clock_s`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = wall_clock_s):
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.metrics = MetricRegistry(clock)
+
+    # ---------------------------------------------------------------- clocks
+    def now(self) -> float:
+        """Current wall-clock reading of the tracer's time base."""
+        return self._clock()
+
+    # ----------------------------------------------------------------- spans
+    def span(self, name: str, category: str = "repro", **attrs) -> Span:
+        """Open a nested span; use as a context manager or call ``finish``."""
+        span = Span(name, category, self._clock(), tracer=self, attrs=attrs)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        category: str = "repro",
+        wall_duration_s: float = 0.0,
+        sim_start_s: float | None = None,
+        sim_end_s: float | None = None,
+        **attrs,
+    ) -> Span:
+        """Add an already-completed child span (e.g. a worker's timing)."""
+        end = self._clock()
+        span = Span(name, category, end - wall_duration_s, tracer=None, attrs=attrs)
+        span.wall_end_s = end
+        span.mark_sim(sim_start_s, sim_end_s)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        """Remove ``span`` (and any unclosed descendants) from the stack."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                return
+            # a descendant left open: close it at the ancestor's end time
+            if top.wall_end_s is None:
+                top.wall_end_s = span.wall_end_s
+
+    @property
+    def active_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # --------------------------------------------------------------- metrics
+    def counter(self, name: str) -> Counter:
+        """The tracer-owned counter called ``name``."""
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """The tracer-owned gauge called ``name``."""
+        return self.metrics.gauge(name)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+    def mark_sim(self, start: float | None = None, end: float | None = None) -> None:
+        """Discard the sim bounds."""
+
+    def finish(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class NullTracer:
+    """The default, disabled tracer: every operation is a shared no-op.
+
+    Instrumented code checks :attr:`enabled` before doing any per-event
+    work (building attribute dicts, computing gauge values); the span and
+    metric objects returned here are inert singletons, so even unguarded
+    calls cost only a method dispatch.
+    """
+
+    enabled = False
+
+    def now(self) -> float:
+        """A constant: disabled tracing has no time base."""
+        return 0.0
+
+    def span(self, name: str, category: str = "repro", **attrs) -> _NullSpan:
+        """The shared no-op span."""
+        return NULL_SPAN
+
+    def record(self, name: str, category: str = "repro", **kwargs) -> _NullSpan:
+        """The shared no-op span."""
+        return NULL_SPAN
+
+    def counter(self, name: str) -> Counter:
+        """The shared no-op counter."""
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared no-op gauge."""
+        return NULL_GAUGE
+
+
+#: Shared singletons: the process starts with tracing disabled.
+NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-local active tracer (the no-op tracer by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import get_tracer
+
 
 @dataclass(order=True)
 class _Event:
@@ -37,6 +39,10 @@ class EventSimulator:
         heapq.heappush(
             self._queue, _Event(self.now + delay, next(self._seq), action)
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("sim.events.scheduled").add(1)
+            tracer.gauge("sim.queue_depth").set(len(self._queue))
 
     def schedule_at(self, time: float, action: Callable[["EventSimulator"], None]) -> None:
         """Run ``action`` at an absolute simulation time (>= now)."""
@@ -45,9 +51,14 @@ class EventSimulator:
                 f"cannot schedule at {time}, clock already at {self.now}"
             )
         heapq.heappush(self._queue, _Event(time, next(self._seq), action))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("sim.events.scheduled").add(1)
+            tracer.gauge("sim.queue_depth").set(len(self._queue))
 
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to ``until``); return the clock."""
+        tracer = get_tracer()
         while self._queue:
             if until is not None and self._queue[0].time > until:
                 self.now = until
@@ -55,6 +66,9 @@ class EventSimulator:
             event = heapq.heappop(self._queue)
             self.now = event.time
             self._processed += 1
+            if tracer.enabled:
+                tracer.counter("sim.events.processed").add(1)
+                tracer.gauge("sim.queue_depth").set(len(self._queue))
             event.action(self)
         return self.now
 

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
+from repro.obs import get_tracer
 from repro.runtime.event_sim import EventSimulator
+from repro.util.units import blocks_to_bytes
 from repro.util.validation import check_nonnegative, check_positive
 
 
@@ -62,6 +65,10 @@ class SimulatedComm:
             )
         if p == 1 or nbytes == 0:
             return 0.0
+        tracer = get_tracer()
+        span = tracer.span(
+            "mpi.bcast", category="runtime", nbytes=nbytes, participants=p
+        )
         sim = EventSimulator()
         per_hop = self.model.p2p_time(nbytes)
         done = [math.inf] * p
@@ -90,6 +97,8 @@ class SimulatedComm:
         sim.schedule(0.0, kick)
         sim.run()
         finish = max(t for t in done if math.isfinite(t))
+        span.mark_sim(0.0, finish)
+        span.finish()
         return finish
 
     def gather_time(self, nbytes_per_rank: float) -> float:
@@ -108,7 +117,48 @@ class SimulatedComm:
         for k in range(rounds):
             payload = nbytes_per_rank * (2**k)
             total += self.model.p2p_time(payload)
+        self._trace_collective("mpi.gather", total, nbytes_per_rank)
         return total
+
+    def _trace_collective(self, name: str, finish: float, nbytes: float) -> None:
+        """Record one closed-form collective as a completed runtime span."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record(
+                name,
+                category="runtime",
+                sim_start_s=0.0,
+                sim_end_s=finish,
+                nbytes=nbytes,
+                participants=self.size,
+            )
+
+    def pivot_bcast_time(
+        self,
+        recv_blocks: Iterable[float],
+        block_size: int,
+        participants: int | None = None,
+    ) -> float:
+        """Completion time of one pivot distribution of the main loop.
+
+        Every process receives its pivot block-column and block-row pieces
+        (``recv_blocks`` entries, in b x b blocks); with a tree
+        distribution the completion time is dominated by the largest
+        per-process payload plus the tree's latency depth.
+        """
+        p = self.size if participants is None else participants
+        depth = math.ceil(math.log2(p)) if p > 1 else 0
+        finish = max(
+            (
+                self.model.latency_s * depth
+                + blocks_to_bytes(blocks, block_size)
+                / (self.model.bandwidth_gbs * 1e9)
+                for blocks in recv_blocks
+            ),
+            default=0.0,
+        )
+        self._trace_collective("mpi.pivot_bcast", finish, 0.0)
+        return finish
 
     def barrier_time(self) -> float:
         """A zero-byte dissemination barrier: latency * ceil(log2 p)."""
@@ -132,6 +182,7 @@ class SimulatedComm:
             half = remaining // 2
             total += self.model.p2p_time(nbytes_per_rank * half)
             remaining -= half
+        self._trace_collective("mpi.scatter", total, nbytes_per_rank)
         return total
 
     def allgather_time(self, nbytes_per_rank: float) -> float:
@@ -143,6 +194,7 @@ class SimulatedComm:
         total = 0.0
         for k in range(rounds):
             total += self.model.p2p_time(nbytes_per_rank * (2**k))
+        self._trace_collective("mpi.allgather", total, nbytes_per_rank)
         return total
 
     def reduce_time(self, nbytes: float) -> float:
@@ -155,4 +207,6 @@ class SimulatedComm:
         if self.size == 1 or nbytes == 0:
             return 0.0
         rounds = math.ceil(math.log2(self.size))
-        return rounds * self.model.p2p_time(nbytes)
+        finish = rounds * self.model.p2p_time(nbytes)
+        self._trace_collective("mpi.reduce", finish, nbytes)
+        return finish

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.app.blocking import BlockGrid
 from repro.core.geometry import ColumnPartition, Rectangle
+from repro.obs import get_tracer, wall_clock_s
 from repro.util.validation import check_positive_int
 
 
@@ -36,10 +37,17 @@ class ParallelRunReport:
 
 def _compute_rectangle(
     payload: tuple[int, np.ndarray, np.ndarray]
-) -> tuple[int, np.ndarray]:
-    """Worker: multiply one owner's strips (runs in a separate process)."""
+) -> tuple[int, np.ndarray, float]:
+    """Worker: multiply one owner's strips (runs in a separate process).
+
+    The worker times itself and ships the wall duration home — spawned
+    processes have their own (disabled) tracer, so the parent records the
+    per-worker span from the returned duration.
+    """
     owner, a_strip, b_strip = payload
-    return owner, a_strip @ b_strip
+    started_s = wall_clock_s()
+    block = a_strip @ b_strip
+    return owner, block, wall_clock_s() - started_s
 
 
 def parallel_partitioned_matmul(
@@ -78,30 +86,43 @@ def parallel_partitioned_matmul(
         payloads.append((rect.owner, a[rows, :], b[:, cols]))
 
     c = np.zeros_like(a)
-    workers = max_workers or min(8, len(live))
-    if workers <= 1 or len(live) == 1:
-        results = [_compute_rectangle(p) for p in payloads]
-        workers_used = 1
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_compute_rectangle, payloads))
-        workers_used = workers
+    tracer = get_tracer()
+    with tracer.span(
+        "parallel.matmul", category="runtime", rectangles=len(live)
+    ) as span:
+        workers = max_workers or min(8, len(live))
+        if workers <= 1 or len(live) == 1:
+            results = [_compute_rectangle(p) for p in payloads]
+            workers_used = 1
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_compute_rectangle, payloads))
+            workers_used = workers
 
-    by_owner = {r.owner: r for r in live}
-    elements = 0
-    for owner, block in results:
-        rect = by_owner[owner]
-        rows = grid.block_slice(rect.row, rect.height)
-        cols = grid.block_slice(rect.col, rect.width)
-        c[rows, cols] = block
-        elements += block.size
-    if elements != grid.elements * grid.elements:
-        raise RuntimeError(
-            f"workers produced {elements} elements, expected "
-            f"{grid.elements ** 2} — the partition did not tile the matrix"
+        by_owner = {r.owner: r for r in live}
+        elements = 0
+        for owner, block, worker_wall_s in results:
+            rect = by_owner[owner]
+            rows = grid.block_slice(rect.row, rect.height)
+            cols = grid.block_slice(rect.col, rect.width)
+            c[rows, cols] = block
+            elements += block.size
+            if tracer.enabled:
+                tracer.record(
+                    "parallel.worker",
+                    category="runtime",
+                    wall_duration_s=worker_wall_s,
+                    owner=owner,
+                    elements=int(block.size),
+                )
+        if elements != grid.elements * grid.elements:
+            raise RuntimeError(
+                f"workers produced {elements} elements, expected "
+                f"{grid.elements ** 2} — the partition did not tile the matrix"
+            )
+        span.set_attr("workers_used", workers_used)
+        return c, ParallelRunReport(
+            workers_used=workers_used,
+            rectangles_computed=len(live),
+            elements_computed=elements,
         )
-    return c, ParallelRunReport(
-        workers_used=workers_used,
-        rectangles_computed=len(live),
-        elements_computed=elements,
-    )

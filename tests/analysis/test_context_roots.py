@@ -1,0 +1,88 @@
+"""Regression: fixture ``repro`` trees must not shadow the real package.
+
+``tests/analysis/fixtures/repro/...`` deliberately mimics the source
+layout so the domain rules fire on it.  :class:`ProjectContext` therefore
+has to be explicit about which tree is which: ``resolve_module`` works
+lexically relative to the tree containing ``near``, and ``src_root`` /
+``in_source_tree`` anchor the root-level checks (docs/api.md coverage)
+at the real source tree only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.engine import lint_paths
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = HERE / "fixtures"
+
+
+@pytest.fixture()
+def ctx():
+    return ProjectContext(REPO_ROOT)
+
+
+def test_resolution_is_anchored_at_the_callers_tree(ctx):
+    src_near = SRC / "repro" / "util" / "validation.py"
+    fixture_near = FIXTURES / "repro" / "runtime" / "clean_runtime.py"
+    assert (
+        ctx.resolve_module("repro.util.units", src_near)
+        == (SRC / "repro" / "util" / "units.py").resolve()
+    )
+    assert (
+        ctx.resolve_module("repro.util.units", fixture_near)
+        == (FIXTURES / "repro" / "util" / "units.py").resolve()
+    )
+
+
+def test_src_root_defaults_to_root_src(ctx):
+    assert ctx.src_root == SRC.resolve()
+    assert ctx.in_source_tree(SRC / "repro" / "obs" / "__init__.py")
+    assert not ctx.in_source_tree(FIXTURES / "repro" / "util" / "units.py")
+    assert not ctx.in_source_tree(REPO_ROOT / "docs" / "api.md")
+
+
+def test_src_root_can_be_overridden(tmp_path):
+    ctx = ProjectContext(REPO_ROOT, src_root=tmp_path)
+    assert ctx.src_root == tmp_path.resolve()
+    assert not ctx.in_source_tree(SRC / "repro" / "cli.py")
+    assert ctx.in_source_tree(tmp_path / "repro" / "anything.py")
+
+
+def test_paper_constants_are_cached_per_tree(ctx):
+    src_constants = ctx.paper_constants(
+        SRC / "repro" / "experiments" / "common.py"
+    )
+    fixture_constants = ctx.paper_constants(
+        FIXTURES / "repro" / "experiments" / "bad_constants.py"
+    )
+    # the fixture paper_data.py is a miniature — the two trees must yield
+    # independent (and here different) constant sets from one context
+    assert src_constants != fixture_constants
+
+
+@pytest.mark.analysis
+def test_linting_both_trees_in_one_run_matches_separate_runs():
+    """One session over src + fixtures == the union of separate sessions.
+
+    The historical failure mode: a combined run anchored root-level
+    checks on whichever tree came first, so fixture ``__init__`` files
+    were held to docs/api.md (or src ones exempted).
+    """
+    obs_pkg = SRC / "repro" / "obs"
+    combined = lint_paths([obs_pkg, FIXTURES], root=REPO_ROOT)
+    src_only = lint_paths([obs_pkg], root=REPO_ROOT)
+    fixtures_only = lint_paths([FIXTURES], root=REPO_ROOT)
+    assert combined.parse_errors == []
+    assert sorted(d.format() for d in combined.diagnostics) == sorted(
+        d.format()
+        for d in [*src_only.diagnostics, *fixtures_only.diagnostics]
+    )
+    # and the real obs package is clean on its own
+    assert src_only.diagnostics == []

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import ExperimentConfig
 from repro.measurement.benchmark import HybridBenchmark
 from repro.platform.device import build_devices
 from repro.platform.presets import cpu_only_node, ig_icl_node
+
+try:
+    from hypothesis import settings
+
+    # tier-1 keeps the property suites bounded so the full run stays fast;
+    # nightly removes the deadline and widens the search.
+    settings.register_profile("tier1", max_examples=25, deadline=None)
+    settings.register_profile("nightly", max_examples=400, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
+except ImportError:  # pragma: no cover - hypothesis is in the base image
+    pass
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,181 @@
+"""Property-based tests of the partitioners (hypothesis).
+
+For *random* monotone speed functions — not just the paper's presets —
+every partitioner must return allocations that sum to the total, are
+non-negative, respect bounded-model capacity, and (when no capacity is
+binding) balance the finish times.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    balance_report,
+    geometric_partition,
+    partition_cpm,
+    partition_fpm,
+    partition_homogeneous,
+)
+from repro.core.speed_function import SpeedFunction, SpeedSample
+
+pytestmark = pytest.mark.property
+
+
+def _draw_sizes(draw, n_points: int) -> list[float]:
+    return sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=500.0),
+                min_size=n_points,
+                max_size=n_points,
+                unique=True,
+            )
+        )
+    )
+
+
+@st.composite
+def speed_function(draw, bounded: bool | None = None) -> SpeedFunction:
+    """A random speed function with a non-decreasing (repaired) time function.
+
+    Adversarial: the repair may leave exact time plateaus, on which the
+    equal-finish-time solution is not unique — allocation *validity* must
+    still hold there, balance need not (see :func:`strict_speed_function`).
+    """
+    n_points = draw(st.integers(min_value=1, max_value=6))
+    sizes = _draw_sizes(draw, n_points)
+    speeds = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=n_points,
+            max_size=n_points,
+        )
+    )
+    is_bounded = draw(st.booleans()) if bounded is None else bounded
+    samples = [SpeedSample(x, s) for x, s in zip(sizes, speeds)]
+    return SpeedFunction(samples, bounded=is_bounded).with_monotonic_time()
+
+
+@st.composite
+def strict_speed_function(draw, bounded: bool | None = None) -> SpeedFunction:
+    """A random speed function whose time function strictly increases.
+
+    Built by drawing increasing knot times with >= 5% gaps and deriving
+    speeds as size/time — the partitioning theory's actual precondition,
+    under which the equal-finish-time solution is unique.
+    """
+    n_points = draw(st.integers(min_value=1, max_value=6))
+    sizes = _draw_sizes(draw, n_points)
+    t = draw(st.floats(min_value=0.01, max_value=10.0))
+    times = [t]
+    for _ in range(n_points - 1):
+        t *= draw(st.floats(min_value=1.05, max_value=3.0))
+        times.append(t)
+    is_bounded = draw(st.booleans()) if bounded is None else bounded
+    samples = [SpeedSample(x, x / t) for x, t in zip(sizes, times)]
+    fn = SpeedFunction(samples, bounded=is_bounded)
+    # the repair must be the identity here — also exercises that path
+    return fn.with_monotonic_time()
+
+
+@st.composite
+def partition_problem(draw, bounded: bool | None = None, strict: bool = False):
+    """(models, total) with the total guaranteed under combined capacity."""
+    fn_strategy = (
+        strict_speed_function(bounded=bounded)
+        if strict
+        else speed_function(bounded=bounded)
+    )
+    fns = draw(st.lists(fn_strategy, min_size=1, max_size=6))
+    cap = sum(fn.max_size for fn in fns if fn.bounded)
+    if all(fn.bounded for fn in fns):
+        # keep the workload clearly inside the combined capacity
+        frac = draw(st.floats(min_value=0.05, max_value=0.9))
+        total = frac * cap
+    else:
+        total = draw(st.floats(min_value=0.5, max_value=5000.0))
+    return fns, total
+
+
+def _check_allocation(fns, total, allocs):
+    assert len(allocs) == len(fns)
+    assert all(a >= 0.0 for a in allocs)
+    assert math.isclose(sum(allocs), total, rel_tol=1e-6)
+    for fn, a in zip(fns, allocs):
+        if fn.bounded:
+            assert a <= fn.max_size * (1 + 1e-9)
+
+
+def _caps_binding(fns, allocs) -> bool:
+    return any(
+        fn.bounded and a >= fn.max_size * (1 - 1e-9)
+        for fn, a in zip(fns, allocs)
+    )
+
+
+@given(partition_problem())
+def test_fpm_allocations_are_valid(problem):
+    fns, total = problem
+    allocs = partition_fpm(fns, total)
+    _check_allocation(fns, total, allocs)
+
+
+@given(partition_problem(bounded=False, strict=True))
+def test_fpm_balances_unbounded_models(problem):
+    fns, total = problem
+    allocs = partition_fpm(fns, total)
+    assert balance_report(fns, allocs).balanced
+
+
+@given(partition_problem(strict=True))
+def test_fpm_balanced_unless_a_cap_binds(problem):
+    fns, total = problem
+    allocs = partition_fpm(fns, total)
+    # a processor pinned at capacity legitimately finishes early; with no
+    # cap binding the equal-finish-time solution must be balanced
+    assert balance_report(fns, allocs).balanced or _caps_binding(fns, allocs)
+
+
+@given(partition_problem())
+def test_geometric_allocations_are_valid(problem):
+    fns, total = problem
+    allocs = geometric_partition(fns, total)
+    _check_allocation(fns, total, allocs)
+
+
+@given(partition_problem(bounded=False, strict=True))
+def test_geometric_agrees_with_fpm(problem):
+    fns, total = problem
+    fpm = partition_fpm(fns, total)
+    geo = geometric_partition(fns, total)
+    # two independent derivations of the same equal-finish-time solution
+    for a, b in zip(fpm, geo):
+        assert math.isclose(a, b, rel_tol=1e-4, abs_tol=1e-6 * total)
+
+
+@given(
+    speeds=st.lists(
+        st.floats(min_value=0.01, max_value=1000.0), min_size=1, max_size=12
+    ),
+    total=st.floats(min_value=0.5, max_value=10000.0),
+)
+def test_cpm_is_proportional_to_speeds(speeds, total):
+    allocs = partition_cpm(speeds, total)
+    assert math.isclose(sum(allocs), total, rel_tol=1e-9)
+    s = sum(speeds)
+    for a, v in zip(allocs, speeds):
+        assert math.isclose(a, total * v / s, rel_tol=1e-12)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    total=st.floats(min_value=1e-3, max_value=1e6),
+)
+def test_homogeneous_is_the_exact_equal_split(n, total):
+    allocs = partition_homogeneous(n, total)
+    assert allocs == [total / n] * n

@@ -1,0 +1,103 @@
+"""Golden-trace and instrumentation-coverage tests of ``repro profile``.
+
+The span *structure* of a deterministic run — names, categories, nesting,
+counts, but never durations — is pinned against a committed golden JSON.
+A structural drift means the instrumentation (or the pipeline beneath it)
+changed and the golden must be regenerated deliberately::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.experiments.common import ExperimentConfig
+    from repro.obs import span_skeleton
+    from repro.obs.cli import profile_experiment
+    tracer, _, _ = profile_experiment('fig6', ExperimentConfig(seed=42, fast=True))
+    open('tests/obs/golden_fig6_fast_skeleton.json', 'w').write(
+        json.dumps(span_skeleton(tracer), indent=1, sort_keys=True) + '\\n')"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.common import ExperimentConfig
+from repro.obs import span_skeleton
+from repro.obs.cli import profile_experiment
+
+GOLDEN = Path(__file__).parent / "golden_fig6_fast_skeleton.json"
+
+
+@pytest.fixture(scope="module")
+def fig6_tracer():
+    tracer, result, _ = profile_experiment(
+        "fig6", ExperimentConfig(seed=42, fast=True)
+    )
+    assert result is not None
+    return tracer
+
+
+def test_fig6_span_skeleton_matches_the_golden(fig6_tracer):
+    produced = json.dumps(
+        span_skeleton(fig6_tracer), indent=1, sort_keys=True
+    ) + "\n"
+    assert produced == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_fig6_trace_covers_at_least_four_layers(fig6_tracer):
+    def categories(nodes):
+        for node in nodes:
+            yield node["cat"]
+            yield from categories(node.get("children", []))
+
+    seen = set(categories(span_skeleton(fig6_tracer)))
+    assert {"experiment", "measurement", "partition", "app"} <= seen
+    assert "runtime" in seen  # the pivot broadcast of the simulated comm
+
+
+def test_profile_cli_writes_valid_chrome_trace_and_csv(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.csv"
+    code = cli_main(
+        [
+            "profile",
+            "fig6",
+            "--fast",
+            "--quiet",
+            "--trace",
+            str(trace_path),
+            "--metrics",
+            str(metrics_path),
+        ]
+    )
+    assert code == 0
+    trace = json.loads(trace_path.read_text(encoding="utf-8"))
+    events = trace["traceEvents"]
+    assert events, "trace must contain events"
+    for event in events:
+        assert event["ph"] in {"X", "C"}
+        assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    roots = [e for e in events if e["name"] == "experiment.fig6"]
+    assert len(roots) == 1
+    header, *rows = metrics_path.read_text(encoding="utf-8").splitlines()
+    assert header == "kind,name,count,value,min,max"
+    assert any(row.startswith("counter,fpm.samples,") for row in rows)
+    out = capsys.readouterr().out
+    assert str(trace_path) in out
+
+
+def test_profile_cli_prints_a_summary_by_default(capsys):
+    code = cli_main(["profile", "fig6", "--fast", "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "experiment.fig6" in out
+
+
+def test_profile_rejects_unknown_experiments():
+    with pytest.raises(KeyError):
+        profile_experiment("nope", ExperimentConfig(fast=True))

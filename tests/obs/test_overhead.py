@@ -1,0 +1,108 @@
+"""Off-by-default tracing must cost (almost) nothing.
+
+The instrumented hot path runs under the no-op tracer unless ``repro
+profile`` installs a real one.  This test bounds the no-op cost: count
+the obs API calls one partition invocation makes, price them with a
+micro-benchmark of the null operations, and require the estimate to stay
+under 5% of the partition call itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.partition import partition_fpm
+from repro.core.speed_function import SpeedFunction
+from repro.obs import NULL_TRACER, NullTracer, get_tracer, use_tracer
+
+
+class CountingNullTracer(NullTracer):
+    """Counts obs API invocations while staying disabled and inert."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def span(self, name, category="repro", **attrs):
+        self.calls += 1
+        return super().span(name, category, **attrs)
+
+    def record(self, name, category="repro", **kwargs):
+        self.calls += 1
+        return super().record(name, category, **kwargs)
+
+    def counter(self, name):
+        self.calls += 1
+        return super().counter(name)
+
+    def gauge(self, name):
+        self.calls += 1
+        return super().gauge(name)
+
+
+def _models() -> list[SpeedFunction]:
+    return [
+        SpeedFunction.from_points(
+            [10.0 * (i + 1), 300.0, 900.0],
+            [1.0, 2.0 + 0.1 * i, 2.5 + 0.1 * i],
+        )
+        for i in range(8)
+    ]
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Per-call seconds, best of ``repeats`` batches (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_default_tracer_is_the_noop_singleton():
+    assert get_tracer() is NULL_TRACER
+    assert not NULL_TRACER.enabled
+
+
+def test_noop_tracer_overhead_is_under_five_percent():
+    models = _models()
+
+    # how many obs calls does one partition make when tracing is off?
+    counting = CountingNullTracer()
+    with use_tracer(counting):
+        partition_fpm(models, 2000.0)
+    obs_calls = counting.calls
+    assert obs_calls >= 1  # the coarse span is unconditionally opened
+
+    batch = 20
+    per_partition = _best_of(
+        lambda: [partition_fpm(models, 2000.0) for _ in range(batch)]
+    ) / batch
+
+    # price one null obs round-trip (span open/close via the CM protocol)
+    ops = 2000
+
+    def null_ops() -> None:
+        for _ in range(ops):
+            with NULL_TRACER.span("x", category="partition", total=1.0):
+                pass
+
+    per_op = _best_of(null_ops) / ops
+
+    estimated_overhead = obs_calls * per_op
+    assert estimated_overhead < 0.05 * per_partition, (
+        f"no-op tracing estimated at {estimated_overhead * 1e6:.2f}us per "
+        f"partition call ({obs_calls} obs calls x {per_op * 1e9:.0f}ns) "
+        f"vs a {per_partition * 1e6:.2f}us partition call"
+    )
+
+
+def test_enabled_guard_skips_per_iteration_work():
+    counting = CountingNullTracer()
+    with use_tracer(counting):
+        partition_fpm(_models(), 2000.0)
+    # only the coarse span — no per-iteration record/gauge traffic —
+    # may reach the disabled tracer from a partition call
+    assert counting.calls == 1

@@ -1,0 +1,204 @@
+"""Unit tests of the tracer, metrics, and exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricRegistry,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    metrics_csv,
+    set_tracer,
+    span_skeleton,
+    summary_tree,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """A controllable wall clock for deterministic span durations."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+def test_spans_nest_under_the_active_span(tracer, clock):
+    with tracer.span("outer") as outer:
+        clock.advance(1.0)
+        with tracer.span("inner") as inner:
+            clock.advance(0.5)
+    assert tracer.roots == [outer]
+    assert outer.children == [inner]
+    assert inner.wall_duration_s == pytest.approx(0.5)
+    assert outer.wall_duration_s == pytest.approx(1.5)
+    assert tracer.active_span is None
+
+
+def test_span_attrs_and_sim_clock(tracer):
+    with tracer.span("s", category="test", n=3) as span:
+        span.set_attr("extra", "x")
+        span.mark_sim(0.0, 2.5)
+    assert span.attrs == {"n": 3, "extra": "x"}
+    assert span.sim_duration_s == pytest.approx(2.5)
+
+
+def test_record_attaches_a_completed_child(tracer):
+    with tracer.span("parent"):
+        tracer.record("done", wall_duration_s=0.25, k=1)
+    (child,) = tracer.roots[0].children
+    assert child.name == "done"
+    assert child.wall_duration_s == pytest.approx(0.25)
+    assert child.attrs == {"k": 1}
+
+
+def test_exiting_a_parent_closes_unclosed_descendants(tracer, clock):
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    clock.advance(1.0)
+    outer.finish()
+    assert inner.wall_end_s is not None
+    assert tracer.active_span is None
+
+
+def test_finish_is_idempotent(tracer, clock):
+    span = tracer.span("s")
+    clock.advance(1.0)
+    span.finish()
+    clock.advance(1.0)
+    span.finish()
+    assert span.wall_duration_s == pytest.approx(1.0)
+
+
+def test_counters_and_gauges(tracer, clock):
+    tracer.counter("hits").add(2)
+    tracer.counter("hits").add()
+    clock.advance(1.0)
+    tracer.gauge("depth").set(3.0)
+    tracer.gauge("depth").set(1.0)
+    assert tracer.metrics.counter("hits").value == 3
+    gauge = tracer.metrics.gauge("depth")
+    assert gauge.count == 2
+    assert (gauge.last, gauge.min, gauge.max) == (1.0, 1.0, 3.0)
+    with pytest.raises(ValueError):
+        tracer.counter("hits").add(-1)
+
+
+def test_metric_registry_snapshot():
+    registry = MetricRegistry(clock=lambda: 0.0)
+    registry.counter("c").add(5)
+    registry.gauge("g").set(2.0)
+    assert registry.snapshot() == {"c": 5.0, "g": 2.0}
+
+
+def test_use_tracer_installs_and_restores(tracer):
+    assert get_tracer() is NULL_TRACER
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+def test_set_tracer_returns_the_previous(tracer):
+    previous = set_tracer(tracer)
+    try:
+        assert previous is NULL_TRACER
+        assert get_tracer() is tracer
+    finally:
+        set_tracer(previous)
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    assert not null.enabled
+    with null.span("anything", k=1) as span:
+        span.set_attr("a", 1)
+        span.mark_sim(0.0, 1.0)
+    null.record("r", wall_duration_s=1.0)
+    null.counter("c").add(5)
+    null.gauge("g").set(1.0)
+    assert null.counter("c").value == 0
+    assert null.gauge("g").count == 0
+    assert null.now() == 0.0
+
+
+def _sample_tracer() -> tuple[Tracer, FakeClock]:
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("root", category="experiment"):
+        for i in range(3):
+            with tracer.span("step", category="work", i=i) as s:
+                clock.advance(0.5)
+                s.mark_sim(0.0, 1.0)
+            tracer.counter("steps").add(1)
+            tracer.gauge("depth").set(float(i))
+    return tracer, clock
+
+
+def test_chrome_trace_event_shape():
+    tracer, _ = _sample_tracer()
+    trace = chrome_trace(tracer)
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {e["name"] for e in complete} == {"root", "step"}
+    assert len([e for e in complete if e["name"] == "step"]) == 3
+    for e in complete:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+        assert {"pid", "tid", "cat", "args"} <= set(e)
+    assert {e["name"] for e in counters} == {"steps", "depth"}
+    # a trace must survive a JSON round-trip for the viewers to load it
+    assert json.loads(json.dumps(trace)) == trace
+
+
+def test_span_skeleton_aggregates_siblings():
+    tracer, _ = _sample_tracer()
+    assert span_skeleton(tracer) == [
+        {
+            "name": "root",
+            "cat": "experiment",
+            "count": 1,
+            "children": [{"name": "step", "cat": "work", "count": 3}],
+        }
+    ]
+
+
+def test_metrics_csv_lists_counters_and_gauges():
+    tracer, _ = _sample_tracer()
+    rows = list(csv.DictReader(io.StringIO(metrics_csv(tracer))))
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["steps"]["kind"] == "counter"
+    assert by_name["steps"]["value"] == "3"
+    assert by_name["depth"]["kind"] == "gauge"
+    assert float(by_name["depth"]["max"]) == 2.0
+
+
+def test_summary_tree_mentions_spans_and_metrics():
+    tracer, _ = _sample_tracer()
+    text = summary_tree(tracer)
+    assert "root" in text and "step" in text
+    assert "3x" in text
+    assert "steps" in text and "depth" in text

@@ -1,0 +1,81 @@
+"""Property-based tests of resource timelines (hypothesis).
+
+The overlap simulator's integrity rests on :class:`Timeline` semantics:
+``merge_intervals`` must compute the exact union of half-open intervals,
+and ``conflicts()`` must flag double-booking exactly when a brute-force
+all-pairs check would.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.timeline import Interval, Timeline, merge_intervals
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def interval(draw, resources=("compute", "dma_in", "dma_out")) -> Interval:
+    start = draw(st.floats(min_value=0.0, max_value=100.0))
+    length = draw(st.floats(min_value=0.0, max_value=20.0))
+    return Interval(draw(st.sampled_from(resources)), start, start + length)
+
+
+intervals = st.lists(interval(), max_size=20)
+
+
+def _in_union(point: float, spans) -> bool:
+    return any(start <= point < end for start, end in spans)
+
+
+@given(intervals)
+def test_merge_intervals_is_sorted_and_disjoint(ivs):
+    merged = merge_intervals(ivs)
+    assert merged == sorted(merged)
+    for (_, prev_end), (next_start, _) in zip(merged, merged[1:]):
+        assert next_start > prev_end
+
+
+@given(intervals)
+def test_merge_intervals_preserves_the_union(ivs):
+    merged = merge_intervals(ivs)
+    # probe at every endpoint and segment midpoint: membership in the
+    # merged spans must match membership in the original set
+    probes = set()
+    for iv in ivs:
+        probes.update((iv.start, iv.end, (iv.start + iv.end) / 2))
+    for p in probes:
+        original = any(iv.start <= p < iv.end for iv in ivs)
+        assert _in_union(p, merged) == original
+    assert sum(e - s for s, e in merged) <= sum(iv.duration for iv in ivs)
+
+
+@given(intervals)
+def test_conflicts_matches_brute_force(ivs):
+    timeline = Timeline(list(ivs))
+    brute = any(
+        a.resource == b.resource
+        and a.duration > 0
+        and b.duration > 0
+        and a.overlaps(b)
+        for i, a in enumerate(ivs)
+        for b in ivs[i + 1 :]
+    )
+    assert bool(timeline.conflicts()) == brute
+    if brute:
+        with pytest.raises(ValueError):
+            timeline.validate()
+    else:
+        timeline.validate()
+
+
+@given(intervals)
+def test_utilization_is_a_fraction_of_the_makespan(ivs):
+    timeline = Timeline(list(ivs))
+    for resource in timeline.resources():
+        busy = timeline.busy_time(resource)
+        assert 0.0 <= busy <= timeline.makespan() + 1e-12
+        assert 0.0 <= timeline.utilization(resource) <= 1.0 + 1e-12

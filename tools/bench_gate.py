@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI bench runner: execute the benchmark suite and archive the results.
+
+Thin wrapper over ``pytest benchmarks/ --benchmark-json`` for CI jobs and
+local regression hunting.  Writes the machine-readable record (timings
+plus each bench's ``extra_info`` headline numbers) to ``BENCH_2.json`` at
+the repository root by default, so successive PRs leave comparable
+artifacts.  Run from the repository root:
+
+    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_2.json] [pytest args...]
+
+Extra arguments are forwarded to pytest, e.g. ``-k fig6`` to time a
+single experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default artifact name; the suffix tracks the PR sequence.
+DEFAULT_OUT = "BENCH_2.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_gate",
+        description="run benchmarks/ and write a --benchmark-json artifact",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / DEFAULT_OUT),
+        help=f"benchmark JSON artifact (default: {DEFAULT_OUT} at the root)",
+    )
+    args, pytest_args = parser.parse_known_args(argv)
+
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks"),
+        "-q",
+        f"--benchmark-json={args.out}",
+        *pytest_args,
+    ]
+    env_path = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        env_path + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else env_path
+    )
+    code = subprocess.call(command, cwd=REPO_ROOT, env=env)
+    artifact = Path(args.out)
+    if code == 0 and artifact.is_file():
+        print(f"bench gate ok: results in {artifact}")
+    elif code != 0:
+        print(f"bench gate FAILED: pytest exit {code}", file=sys.stderr)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
