@@ -1,0 +1,35 @@
+"""Benchmark: the full report cold vs warm through the artifact store.
+
+The headline number of the orchestrator PR: a warm store replays every
+frozen experiment result, so the second ``repro report`` run costs disk
+reads instead of benchmark sweeps.  ``cache_speedup`` in the archived
+``extra_info`` records the measured cold/warm ratio; ``REPRO_BENCH_JOBS``
+(set by ``tools/bench_gate.py --jobs N``) sizes the worker pool of the
+cold run.
+"""
+
+import os
+import time
+
+from repro.experiments.orchestrator import run_full_report
+from repro.store import ResultStore
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def test_report_cold_vs_warm(benchmark, config, tmp_path):
+    store = ResultStore(tmp_path / "store")
+
+    t0 = time.perf_counter()
+    cold_text = run_full_report(config, jobs=JOBS, store=store)
+    cold_seconds = time.perf_counter() - t0
+
+    warm_text = benchmark(run_full_report, config, store=store)
+    assert warm_text == cold_text
+
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["cache_speedup"] = round(cold_seconds / warm_seconds, 1)
+    assert cold_seconds / warm_seconds >= 5.0

@@ -1,0 +1,121 @@
+"""The stable high-level API: build models, partition, run experiments.
+
+Four entry points cover the library's everyday uses without touching the
+internal layers; all arguments are keyword-only so call sites stay
+readable and future knobs can be added without breaking anyone:
+
+* :func:`build_models` — benchmark a node and return its FPMs (cached
+  via the active store when one is installed);
+* :func:`partition` — split a workload under any of the paper's
+  algorithms;
+* :func:`run_experiment` — run one registered table/figure/ablation;
+* :func:`load_cached_result` — peek at a frozen result without running;
+* :func:`run_report` — the full paper-vs-measured report, optionally
+  parallel and store-backed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.matmul import HybridMatMul
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.partition import (
+    geometric_partition,
+    partition_cpm,
+    partition_fpm,
+    partition_homogeneous,
+)
+from repro.experiments import orchestrator
+from repro.experiments.common import ExperimentConfig
+from repro.platform.presets import ig_icl_node
+from repro.platform.spec import NodeSpec
+from repro.store import ResultStore
+
+
+def build_models(
+    *,
+    node: NodeSpec | None = None,
+    seed: int = 42,
+    noise_sigma: float = 0.02,
+    gpu_version: int = 3,
+    max_blocks: float = 6500.0,
+    cpu_points: int = 12,
+    gpu_points: int = 16,
+    adaptive: bool = True,
+) -> dict[str, FunctionalPerformanceModel]:
+    """Benchmark every compute unit of a node and build its FPMs.
+
+    Defaults reproduce the paper's hybrid node; install a store
+    (:func:`repro.store.use_store`) to make repeated builds warm.
+    """
+    app = HybridMatMul(
+        node or ig_icl_node(),
+        seed=seed,
+        noise_sigma=noise_sigma,
+        gpu_version=gpu_version,
+    )
+    return app.build_models(
+        max_blocks=max_blocks,
+        cpu_points=cpu_points,
+        gpu_points=gpu_points,
+        adaptive=adaptive,
+    )
+
+
+def partition(models: list, total: float, *, strategy: str = "fpm") -> list[float]:
+    """Split ``total`` workload units across ``models`` under a strategy.
+
+    ``strategy`` is one of ``"fpm"`` (equal finish times via the
+    time-function bisection), ``"geometric"`` (the equivalent ray
+    rotation), ``"cpm"`` (proportional to constant speeds) or
+    ``"homogeneous"`` (even split — ``models`` only sets the count).
+    """
+    if strategy == "fpm":
+        return partition_fpm(models, total)
+    if strategy == "geometric":
+        return geometric_partition(models, total)
+    if strategy == "cpm":
+        return partition_cpm(models, total)
+    if strategy == "homogeneous":
+        return partition_homogeneous(len(models), total)
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected fpm, geometric, cpm "
+        f"or homogeneous"
+    )
+
+
+def run_experiment(
+    name: str,
+    *,
+    config: ExperimentConfig | None = None,
+    store: ResultStore | None = None,
+) -> Any:
+    """Run one registered experiment by name; see ``repro list-experiments``."""
+    return orchestrator.run_experiment(
+        name, config or ExperimentConfig(), store=store
+    )
+
+
+def load_cached_result(
+    name: str,
+    *,
+    config: ExperimentConfig | None = None,
+    store: ResultStore | None = None,
+) -> Any | None:
+    """A previous identical run's frozen result, or None on miss."""
+    return orchestrator.load_cached_result(
+        name, config or ExperimentConfig(), store=store
+    )
+
+
+def run_report(
+    *,
+    config: ExperimentConfig | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> str:
+    """The complete text report (``repro report``), orchestrated."""
+    return orchestrator.run_full_report(
+        config or ExperimentConfig(), jobs=jobs, store=store
+    )

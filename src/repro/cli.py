@@ -4,42 +4,53 @@ Runs one experiment (or the full report) and prints the same rows/series
 the paper's tables and figures show.  ``--plot`` renders curve figures as
 ASCII charts; ``--export-json PATH`` archives the raw result.
 
+Runs are backed by the content-addressed artifact store by default
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``): built models and frozen
+results are replayed when their inputs are unchanged.  ``--no-cache``
+disables the store, ``--cache-dir`` relocates it, and ``--jobs N`` fans
+the report's experiments out over worker processes.
+
 ``repro lint [paths]`` dispatches to the static analyser
 (:mod:`repro.analysis`) instead of running an experiment; ``repro
 profile <experiment>`` runs one experiment under the tracer
-(:mod:`repro.obs`) and exports spans/metrics.
+(:mod:`repro.obs`) and exports spans/metrics; ``repro list-experiments``
+prints the registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
-from repro.experiments import (
-    fig2_socket_fpm,
-    fig3_gpu_versions,
-    fig5_contention,
-    fig6_process_times,
-    fig7_exec_vs_size,
-    jacobi_app,
-    table2_exec_time,
-    table3_partitioning,
-)
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.export import export_json
-from repro.experiments.report import full_report
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.store import ResultStore, default_store, use_store
 from repro.util.asciiplot import line_plot
 
-_EXPERIMENTS = {
-    "fig2": (fig2_socket_fpm.run, fig2_socket_fpm.format_result),
-    "fig3": (fig3_gpu_versions.run, fig3_gpu_versions.format_result),
-    "fig5": (fig5_contention.run, fig5_contention.format_result),
-    "fig6": (fig6_process_times.run, fig6_process_times.format_result),
-    "fig7": (fig7_exec_vs_size.run, fig7_exec_vs_size.format_result),
-    "table2": (table2_exec_time.run, table2_exec_time.format_result),
-    "table3": (table3_partitioning.run, table3_partitioning.format_result),
-    "jacobi": (jacobi_app.run, jacobi_app.format_result),
-}
+
+def _runnable_names() -> list[str]:
+    """The directly runnable experiments (ablations run via 'ablations')."""
+    return [e.name for e in all_experiments() if e.kind != "ablation"]
+
+
+def __getattr__(name: str):
+    # Pre-registry callers read the experiment table from this module;
+    # keep the attribute alive as a deprecated view of the registry.
+    if name == "_EXPERIMENTS":
+        warnings.warn(
+            "repro.cli._EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry (all_experiments/get_experiment)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            e.name: (e.run, e.format_result)
+            for e in all_experiments()
+            if e.kind != "ablation"
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _plot_fig2(result) -> str:
@@ -113,11 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["report", "models", "ablations"],
+        choices=sorted(_runnable_names())
+        + ["report", "models", "ablations", "list-experiments"],
         help=(
             "which table/figure to reproduce ('report' runs everything; "
             "'models' builds and saves the node's FPMs; 'ablations' runs "
-            "all extension studies)"
+            "all extension studies; 'list-experiments' prints the registry)"
         ),
     )
     parser.add_argument("--seed", type=int, default=42, help="experiment seed")
@@ -161,7 +173,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=6500.0,
         help="model range for the 'models' command, in b x b blocks",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the 'report' command (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact store: rebuild models and results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     return parser
+
+
+def _resolve_store(args) -> ResultStore | None:
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return ResultStore(args.cache_dir)
+    return default_store()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,16 +222,23 @@ def main(argv: list[str] | None = None) -> int:
         fast=args.fast,
         gpu_version=args.gpu_version,
     )
+    if args.experiment == "list-experiments":
+        return _list_experiments_command()
+    store = _resolve_store(args)
     if args.experiment == "report":
-        print(full_report(config))
+        from repro.experiments.orchestrator import run_full_report
+
+        print(run_full_report(config, jobs=args.jobs, store=store))
         return 0
-    if args.experiment == "models":
-        return _build_models_command(config, args.out, args.max_blocks)
-    if args.experiment == "ablations":
-        return _run_ablations_command(config)
-    run, fmt = _EXPERIMENTS[args.experiment]
-    result = run(config)
-    print(fmt(result))
+    with use_store(store):
+        if args.experiment == "models":
+            return _build_models_command(config, args.out, args.max_blocks)
+        if args.experiment == "ablations":
+            return _run_ablations_command(config, store)
+        from repro.experiments.orchestrator import run_experiment
+
+        result = run_experiment(args.experiment, config, store=store)
+    print(get_experiment(args.experiment).format_result(result))
     if args.plot:
         plotter = _PLOTTERS.get(args.experiment)
         if plotter is None:
@@ -207,14 +252,25 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _run_ablations_command(config: ExperimentConfig) -> int:
-    """Run every extension study and print its regenerated output."""
-    from repro.experiments import ablations
+def _list_experiments_command() -> int:
+    """Print the experiment registry as a table."""
+    print(f"{'name':<22} {'kind':<9} {'module':<46} paper refs")
+    for e in all_experiments():
+        refs = ", ".join(e.paper_refs) or "-"
+        print(f"{e.name:<22} {e.kind:<9} {e.module:<46} {refs}")
+    return 0
 
-    for name in ablations.__all__:
-        module = getattr(ablations, name)
+
+def _run_ablations_command(config: ExperimentConfig, store) -> int:
+    """Run every extension study and print its regenerated output."""
+    from repro.experiments.orchestrator import run_experiment
+
+    for exp in all_experiments():
+        if exp.kind != "ablation":
+            continue
+        name = exp.name
         print(f"=== {name} " + "=" * max(0, 60 - len(name)))
-        print(module.format_result(module.run(config)))
+        print(exp.format_result(run_experiment(name, config, store=store)))
         print()
     return 0
 

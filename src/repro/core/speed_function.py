@@ -21,6 +21,8 @@ import bisect
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.validation import (
     check_nonnegative,
     check_positive,
@@ -102,6 +104,51 @@ class SpeedFunction:
         w = (size - x0) / (x1 - x0)
         return s0 + w * (s1 - s0)
 
+    def speed_batch(self, sizes) -> np.ndarray:
+        """Vectorised :meth:`speed` over an array of sizes.
+
+        ``np.interp`` clamps to the end samples, which matches the scalar
+        extension semantics exactly; bounded models still reject sizes
+        beyond their range.  Used by the hot sweep paths (monotonicity
+        checks, curve fitting, figure grids) where a Python-level loop of
+        bisect calls dominates the profile.
+        """
+        xs = np.asarray(sizes, dtype=float)
+        if xs.size and float(xs.min()) < 0.0:
+            raise ValueError("sizes must be non-negative")
+        if (
+            self.bounded
+            and xs.size
+            and float(xs.max()) > self._sizes[-1] * (1 + 1e-12)
+        ):
+            raise ValueError(
+                f"size {float(xs.max())} beyond the bounded model range "
+                f"[0, {self._sizes[-1]}]"
+            )
+        return np.interp(xs, self._sizes_array(), self._speeds_array())
+
+    def time_batch(self, sizes) -> np.ndarray:
+        """Vectorised :meth:`time`: ``x / s(x)`` elementwise, 0 at x=0."""
+        xs = np.asarray(sizes, dtype=float)
+        speeds = self.speed_batch(xs)
+        out = np.zeros_like(xs, dtype=float)
+        np.divide(xs, speeds, out=out, where=xs > 0.0)
+        return out
+
+    def _sizes_array(self) -> np.ndarray:
+        cached = getattr(self, "_sizes_array_cache", None)
+        if cached is None:
+            cached = np.asarray(self._sizes, dtype=float)
+            object.__setattr__(self, "_sizes_array_cache", cached)
+        return cached
+
+    def _speeds_array(self) -> np.ndarray:
+        cached = getattr(self, "_speeds_array_cache", None)
+        if cached is None:
+            cached = np.asarray(self._speeds, dtype=float)
+            object.__setattr__(self, "_speeds_array_cache", cached)
+        return cached
+
     def time(self, size: float) -> float:
         """Execution time in *size units per speed unit*: ``t(x) = x / s(x)``.
 
@@ -176,6 +223,16 @@ class SpeedFunction:
         return min(max(x, x0), x1)
 
     def _invert_time_bisect(self, budget: float) -> float:
+        # memoised per instance: the partitioners re-query the same budgets
+        # (the final bracket repeats the best midpoint), and a repeated
+        # budget must return the identical allocation anyway
+        cache = getattr(self, "_invert_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_invert_cache", cache)
+        hit = cache.get(budget)
+        if hit is not None:
+            return hit
         hi_cap = self._sizes[-1] if self.bounded else math.inf
         hi = max(1.0, self._sizes[0])
         while self.time(hi) <= budget:
@@ -191,7 +248,74 @@ class SpeedFunction:
                 hi = mid
             if hi - lo <= 1e-12 * max(1.0, hi):
                 break
+        if len(cache) > 1024:
+            cache.clear()
+        cache[budget] = lo
         return lo
+
+    def size_at_ray(self, slope: float, cap: float = math.inf) -> float:
+        """Intersection of the speed curve with the ray ``s = slope * x``.
+
+        This is the geometric partitioning primitive of [5]: the ray's
+        inverse slope is an execution time, and the intersection is the
+        workload finishing exactly in that time.  On monotone-time
+        functions the root is computed *exactly* — the ratio
+        ``s(x) / x = 1 / t(x)`` is non-increasing, so the crossing
+        segment is found by bisecting the knot ratios and the linear
+        equation solved in closed form.  Non-monotone functions fall back
+        to numerical bisection.  ``cap`` bounds the answer (device
+        capacity); bounded models never exceed their sampled range.
+        """
+        check_positive("slope", slope)
+        if self._knot_times() is not None:
+            return self._ray_exact(slope, cap)
+        return self._ray_bisect(slope, cap)
+
+    def _ray_exact(self, slope: float, cap: float) -> float:
+        ratios = getattr(self, "_ray_ratios_cache", None)
+        if ratios is None:
+            # negated knot ratios are non-decreasing -> bisect-compatible
+            ratios = tuple(-s / x for x, s in zip(self._sizes, self._speeds))
+            object.__setattr__(self, "_ray_ratios_cache", ratios)
+        if slope >= -ratios[0]:
+            # constant-speed head: s(x) = s0, crossing at s0 / slope
+            return min(self._speeds[0] / slope, self._sizes[0], cap)
+        if slope <= -ratios[-1]:
+            if self.bounded:
+                return min(self._sizes[-1], cap)
+            # constant-speed tail
+            return min(self._speeds[-1] / slope, cap)
+        seg = bisect.bisect_right(ratios, -slope) - 1
+        seg = min(max(seg, 0), len(self._sizes) - 2)
+        x0, x1 = self._sizes[seg], self._sizes[seg + 1]
+        s0, s1 = self._speeds[seg], self._speeds[seg + 1]
+        m = (s1 - s0) / (x1 - x0)
+        # solve slope * x = s0 + m (x - x0)
+        denom = slope - m
+        if abs(denom) < 1e-300:
+            return min(x1, cap)
+        x = (s0 - m * x0) / denom
+        return min(max(x, x0), x1, cap)
+
+    def _ray_bisect(self, slope: float, cap: float) -> float:
+        limit = cap if math.isfinite(cap) else 1e18
+        if self.bounded:
+            limit = min(limit, self._sizes[-1])
+        hi = max(1.0, self._sizes[0])
+        while slope * hi < self.speed(hi):
+            if hi >= limit:
+                return limit
+            hi = min(hi * 2.0, limit)
+        lo = 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if slope * mid < self.speed(mid):
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return hi
 
     def is_time_monotonic(self, grid_points: int = 512) -> bool:
         """Check (numerically) that ``t(x)`` is non-decreasing on the range.
@@ -207,13 +331,8 @@ class SpeedFunction:
             step = (hi - lo) / grid_points
             xs.extend(lo + i * step for i in range(1, grid_points))
         xs.sort()
-        prev = 0.0
-        for x in xs:
-            t = self.time(x)
-            if t < prev * (1.0 - 1e-12):
-                return False
-            prev = t
-        return True
+        times = self.time_batch(xs)
+        return not bool(np.any(times[1:] < times[:-1] * (1.0 - 1e-12)))
 
     def with_monotonic_time(self) -> "SpeedFunction":
         """A repaired copy whose time function is non-decreasing.

@@ -8,6 +8,13 @@ whole evaluation at once.
 """
 
 from repro.experiments.common import ExperimentConfig
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
 from repro.experiments.fig2_socket_fpm import run as run_fig2
 from repro.experiments.fig3_gpu_versions import run as run_fig3
 from repro.experiments.fig5_contention import run as run_fig5
@@ -19,6 +26,11 @@ from repro.experiments.table3_partitioning import run as run_table3
 
 __all__ = [
     "ExperimentConfig",
+    "Experiment",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
     "run_fig2",
     "run_fig3",
     "run_fig5",

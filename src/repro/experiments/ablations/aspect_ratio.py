@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.surface import aspect_sensitivity, build_surface
 from repro.experiments.common import ExperimentConfig, make_bench
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 GTX680_INDEX = 1
@@ -70,6 +71,7 @@ def run(
     )
 
 
+@register_experiment("aspect_ratio", run=run, kind="ablation", paper_refs=("Section IV",))
 def format_result(result: AspectRatioResult) -> str:
     rows = [
         [round(a), f"{100 * n:.1f}%", f"{100 * e:.1f}%"]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 from repro.util.units import DEFAULT_BLOCKING_FACTOR
 
@@ -80,6 +81,7 @@ def run(
     )
 
 
+@register_experiment("blocking_factor", run=run, kind="ablation", paper_refs=("Section V",))
 def format_result(result: BlockingFactorResult) -> str:
     rows = [
         [b, n, t, imb]

@@ -27,6 +27,7 @@ from repro.core.comm_aware import comm_aware_refinement
 from repro.experiments.common import ExperimentConfig, make_app
 from repro.runtime.mpi_sim import CommModel
 from repro.util.units import blocks_to_bytes, gemm_kernel_flops
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 60
@@ -91,6 +92,7 @@ def run(
     )
 
 
+@register_experiment("comm_aware", run=run, kind="ablation", paper_refs=())
 def format_result(result: CommAwareResult) -> str:
     rows = [
         [bw, p, r, m, f"{100 * (1 - r / p):.1f}%"]

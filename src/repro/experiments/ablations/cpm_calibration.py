@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.app.matmul import PartitioningStrategy
 from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 DEFAULT_CALIBRATIONS = (400.0, 1600.0, 4900.0)
@@ -76,6 +77,7 @@ def run(
     )
 
 
+@register_experiment("cpm_calibration", run=run, kind="ablation", paper_refs=("Table III",))
 def format_result(result: CpmCalibrationResult) -> str:
     headers = ["n"] + [
         f"CPM@{cal:.0f} (s)" for cal in result.calibrations

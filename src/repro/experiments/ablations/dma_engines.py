@@ -16,6 +16,7 @@ from repro.kernels.gemm_gpu import gpu_kernel
 from repro.platform.contention import CpuGpuInterference
 from repro.platform.device import SimulatedGpu
 from repro.platform.presets import geforce_gtx680
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_series
 from repro.util.units import DEFAULT_BLOCKING_FACTOR
 
@@ -68,6 +69,7 @@ def run(
     )
 
 
+@register_experiment("dma_engines", run=run, kind="ablation", paper_refs=("Fig. 4b",))
 def format_result(result: DmaEnginesResult) -> str:
     table = render_series(
         "blocks",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.app.matmul import PartitioningStrategy
 from repro.core.dynamic import ThresholdRebalancer, run_dynamic_balancing
 from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 60
@@ -119,6 +120,7 @@ class _FrozenPolicy:
         return list(current)
 
 
+@register_experiment("dynamic_vs_static", run=run, kind="ablation", paper_refs=("Section II",))
 def format_result(result: DynamicVsStaticResult) -> str:
     rows = [
         ["homogeneous static", result.homogeneous_time, 0.0, 0],

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 DEFAULT_SIZES = (40, 60)
@@ -69,6 +70,7 @@ def run(
     )
 
 
+@register_experiment("gpu_kernel_version", run=run, kind="ablation", paper_refs=("Fig. 3",))
 def format_result(result: KernelVersionResult) -> str:
     rows = []
     for version in (1, 2, 3):

@@ -26,6 +26,7 @@ from repro.app.matmul import HybridMatMul
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import cpu_only_node, ig_icl_node, tesla_c870
 from repro.platform.spec import GpuAttachment, NodeSpec
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 100  # blocks; 10000 blocks across the cluster
@@ -103,6 +104,7 @@ def run(
     )
 
 
+@register_experiment("hierarchical_cluster", run=run, kind="ablation", paper_refs=())
 def format_result(result: ClusterResult) -> str:
     rows = [
         [name, alloc]

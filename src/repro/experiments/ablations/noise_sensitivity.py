@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 DEFAULT_SIGMAS = (0.0, 0.02, 0.05, 0.1, 0.2)
@@ -94,6 +95,7 @@ def _execute_on(app: HybridMatMul, plan):
     )
 
 
+@register_experiment("noise_sensitivity", run=run, kind="ablation", paper_refs=())
 def format_result(result: NoiseSensitivityResult) -> str:
     rows = [
         [p.sigma, p.repetitions_total, p.true_imbalance, p.fpm_total_time]

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.app.matmul import PartitioningStrategy
 from repro.experiments.common import ExperimentConfig, make_app
 from repro.measurement.online import PartialFpmBuilder, online_partition
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 60
@@ -88,6 +89,7 @@ def run(
     )
 
 
+@register_experiment("online_fpm", run=run, kind="ablation", paper_refs=())
 def format_result(result: OnlineFpmResult) -> str:
     rows = [
         ["full sweep", result.full_repetitions, "-", "-"],

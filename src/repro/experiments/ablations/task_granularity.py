@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.app.matmul import PartitioningStrategy
 from repro.core.scheduling import simulate_work_stealing, static_reference_makespan
 from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 60
@@ -82,6 +83,7 @@ def run(
     )
 
 
+@register_experiment("task_granularity", run=run, kind="ablation", paper_refs=())
 def format_result(result: TaskGranularityResult) -> str:
     rows = [
         [chunk, span, f"{100 * share:.0f}%"]

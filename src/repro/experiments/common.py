@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Iterator
 
 from repro.app.matmul import HybridMatMul
@@ -41,6 +41,16 @@ class ExperimentConfig:
 
     def faster(self) -> "ExperimentConfig":
         return replace(self, fast=True)
+
+    def cache_key(self) -> dict:
+        """Every field, for content-addressed store keys.
+
+        ``asdict`` walks the dataclass fields, so a knob added later is
+        automatically part of the digest.  In particular ``fast`` is
+        included: a fast run and a full run of the same experiment use
+        different sweeps and must never share a cache entry.
+        """
+        return asdict(self)
 
 
 @contextmanager

@@ -8,29 +8,22 @@ EXPERIMENTS.md or post-processed elsewhere.
 from __future__ import annotations
 
 import csv
-import dataclasses
 import io
 import json
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.util.serde import from_jsonable, to_jsonable
+
 
 def result_to_dict(result: Any) -> Any:
     """Recursively convert dataclasses/tuples to JSON-compatible values."""
-    if dataclasses.is_dataclass(result) and not isinstance(result, type):
-        return {
-            f.name: result_to_dict(getattr(result, f.name))
-            for f in dataclasses.fields(result)
-        }
-    if isinstance(result, dict):
-        return {str(k): result_to_dict(v) for k, v in result.items()}
-    if isinstance(result, (list, tuple)):
-        return [result_to_dict(v) for v in result]
-    if isinstance(result, (str, int, float, bool)) or result is None:
-        return result
-    raise TypeError(
-        f"cannot export value of type {type(result).__name__}"
-    )
+    return to_jsonable(result)
+
+
+def result_from_dict(result_type: type, data: Any) -> Any:
+    """Rebuild a result dataclass from :func:`result_to_dict` output."""
+    return from_jsonable(result_type, data)
 
 
 def export_json(result: Any, path: str | Path) -> None:

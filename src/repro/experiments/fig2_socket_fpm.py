@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.experiments.common import ExperimentConfig, make_bench
 from repro.experiments.paper_data import FIG2_MAX_BLOCKS
 from repro.measurement.fpm_builder import SizeGrid
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_series
 
 
@@ -44,6 +45,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> Fig2Result:
     return Fig2Result(sizes=grid.sizes, s5=tuple(s5), s6=tuple(s6))
 
 
+@register_experiment("fig2", run=run, kind="figure", paper_refs=("Fig. 2",))
 def format_result(result: Fig2Result) -> str:
     """Render the figure's two series as a table (GFlops)."""
     return render_series(

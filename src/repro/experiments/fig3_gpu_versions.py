@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentConfig, make_bench
 from repro.measurement.fpm_builder import SizeGrid
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_series
 
 #: Index of the GTX680 in the preset node's GPU attachment order.
@@ -63,6 +64,7 @@ def run(
     )
 
 
+@register_experiment("fig3", run=run, kind="figure", paper_refs=("Fig. 3", "Fig. 4a"))
 def format_result(result: Fig3Result) -> str:
     """Render the figure's three series as a table (GFlops)."""
     table = render_series(

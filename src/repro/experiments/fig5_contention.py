@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentConfig, make_bench
 from repro.measurement.fpm_builder import SizeGrid
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 GTX680_INDEX = 1
@@ -127,6 +128,7 @@ def run(
     return Fig5Result(shared=tuple(series))
 
 
+@register_experiment("fig5", run=run, kind="figure", paper_refs=("Fig. 5",))
 def format_result(result: Fig5Result) -> str:
     """Render both panels plus the measured contention drops."""
     parts = []

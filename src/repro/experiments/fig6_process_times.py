@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.app.matmul import PartitioningStrategy
 from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 MATRIX_SIZE = 60
@@ -63,6 +64,7 @@ def run(
     )
 
 
+@register_experiment("fig6", run=run, kind="figure", paper_refs=("Fig. 6",))
 def format_result(result: Fig6Result) -> str:
     """Render the two bar charts as a rank table plus the headline cut."""
     rows = [

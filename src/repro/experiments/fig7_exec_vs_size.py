@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.app.matmul import PartitioningStrategy
 from repro.experiments.common import ExperimentConfig, make_app
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_series
 
 DEFAULT_SIZES = (10, 20, 30, 40, 50, 60, 70, 80)
@@ -59,6 +60,7 @@ def run(
     )
 
 
+@register_experiment("fig7", run=run, kind="figure", paper_refs=("Fig. 7",))
 def format_result(result: Fig7Result) -> str:
     """Render the figure's three series plus the headline cuts."""
     table = render_series(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.app.jacobi import JacobiApp
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 GRID_ROWS = 60_000
@@ -89,6 +90,7 @@ def run(
     )
 
 
+@register_experiment("jacobi", run=run, kind="app", paper_refs=())
 def format_result(result: JacobiExperimentResult) -> str:
     rows = [
         [name, alloc]

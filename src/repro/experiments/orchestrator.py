@@ -1,0 +1,199 @@
+"""Experiment orchestration: store-backed runs, optionally across processes.
+
+This is the engine behind ``repro report --jobs N``.  It schedules
+registered experiments (:mod:`repro.experiments.registry`) over a
+process pool, replays frozen results from the active artifact store
+(:mod:`repro.store`) when their inputs are unchanged, and records fresh
+results for the next run.  Because every experiment derives all its
+randomness from the :class:`~repro.experiments.common.ExperimentConfig`
+seed, a parallel run is bit-identical to the sequential one — the pool
+only changes wall-clock time, never results.
+
+Workers share warm models through the store: each process opens the same
+store root, so the first one to build an FPM persists it and the rest
+replay it from disk (atomic writes make concurrent builders safe — the
+losers overwrite with identical bytes).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Iterable
+
+from repro.experiments.common import ExperimentConfig, experiment_span
+from repro.experiments.registry import get_experiment
+from repro.obs import get_tracer
+from repro.store import ResultStore, get_store, use_store
+from repro.util.serde import (
+    from_jsonable,
+    qualified_type_name,
+    resolve_type_name,
+    to_jsonable,
+)
+
+#: The figures/tables the paper report renders, in print order.
+REPORT_EXPERIMENTS = (
+    "fig2",
+    "fig3",
+    "fig5",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+)
+
+
+def result_key(name: str, config: ExperimentConfig) -> dict:
+    """The store key of one experiment result: name + full configuration."""
+    return {
+        "artifact": "experiment-result",
+        "experiment": name,
+        "config": config.cache_key(),
+    }
+
+
+def _encode_result(result: Any) -> dict:
+    """A frozen result as a self-describing JSON payload."""
+    return {
+        "result_type": qualified_type_name(type(result)),
+        "result": to_jsonable(result),
+    }
+
+
+def _decode_result(payload: dict) -> Any:
+    return from_jsonable(resolve_type_name(payload["result_type"]), payload["result"])
+
+
+def load_cached_result(
+    name: str, config: ExperimentConfig, *, store: ResultStore | None = None
+) -> Any | None:
+    """The frozen result of a previous identical run, or None.
+
+    ``store`` defaults to the active store; with no store at all this is
+    always a miss (caching off is the hermetic default).
+    """
+    store = get_store() if store is None else store
+    if store is None:
+        return None
+    payload = store.get("result", result_key(name, config))
+    if payload is None:
+        return None
+    return _decode_result(payload)
+
+
+def run_experiment(
+    name: str,
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    store: ResultStore | None = None,
+) -> Any:
+    """Run one registered experiment (or replay its frozen result).
+
+    The run happens under the experiment's root span with ``store``
+    installed as the active store, so model building inside the
+    experiment shares the same cache; on a result hit the experiment
+    body never executes and the span carries ``cache_hit=True``.
+    """
+    exp = get_experiment(name)
+    store = get_store() if store is None else store
+    with use_store(store):
+        with experiment_span(name, config) as span:
+            cached = load_cached_result(name, config, store=store)
+            if cached is not None:
+                if get_tracer().enabled:
+                    span.set_attr("cache_hit", True)
+                return cached
+            result = exp.run(config)
+        if store is not None:
+            store.put("result", result_key(name, config), _encode_result(result))
+    return result
+
+
+def _worker(
+    name: str, config: ExperimentConfig, store_root: str | None, salt: str | None
+) -> tuple[str, dict]:
+    """Pool entry point: run one experiment in a fresh process.
+
+    The store is re-opened from its root (a ResultStore is cheap and the
+    path plus salt pin it exactly); the result travels back as the same
+    JSON payload the store records, so the parent decodes it with the
+    identical code path a cache hit uses.
+    """
+    store = ResultStore(store_root, salt) if store_root is not None else None
+    result = run_experiment(name, config, store=store)
+    return name, _encode_result(result)
+
+
+def run_experiments(
+    names: Iterable[str],
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> dict[str, Any]:
+    """Run several experiments, optionally across a process pool.
+
+    Returns ``{name: result}`` in the order of ``names``.  ``jobs <= 1``
+    runs sequentially in-process; ``jobs > 1`` fans the experiments out
+    over ``ProcessPoolExecutor`` workers that share the store on disk.
+    Results are identical either way (each experiment is deterministic
+    in ``config``), so ``--jobs`` is purely a wall-clock knob.
+    """
+    names = list(names)
+    for name in names:
+        get_experiment(name)  # fail fast on unknown names, before forking
+    store = get_store() if store is None else store
+    if jobs <= 1 or len(names) <= 1:
+        return {n: run_experiment(n, config, store=store) for n in names}
+
+    root = str(store.root) if store is not None else None
+    salt = store.salt if store is not None else None
+    out: dict[str, Any] = {}
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_worker, n, config, root, salt) for n in names]
+        for future in concurrent.futures.as_completed(futures):
+            name, payload = future.result()
+            out[name] = _decode_result(payload)
+    return {n: out[n] for n in names}
+
+
+def run_full_report(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> str:
+    """The complete paper-vs-measured report (text), orchestrated.
+
+    Runs the seven figure/table experiments (parallel when ``jobs > 1``,
+    replayed from ``store`` when warm), renders each section with its
+    registered formatter, and appends the shape checks.
+    """
+    from repro.experiments import report
+
+    tracer = get_tracer()
+    with tracer.span("report.full", category="experiment", jobs=jobs) as span:
+        results = run_experiments(REPORT_EXPERIMENTS, config, jobs=jobs, store=store)
+        if tracer.enabled:
+            span.set_attr("experiments", len(results))
+        sections = [
+            get_experiment(name).format_result(results[name])
+            for name in REPORT_EXPERIMENTS
+        ]
+        checks = report.shape_checks(
+            results["fig2"],
+            results["fig3"],
+            results["fig5"],
+            results["table2"],
+            results["table3"],
+            results["fig6"],
+            results["fig7"],
+        )
+    check_lines = ["Shape checks (paper claim vs measured):"]
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        check_lines.append(
+            f"  [{status}] {c.name}: expected {c.expected}, measured {c.measured}"
+        )
+    sections.append("\n".join(check_lines))
+    return "\n\n".join(sections)

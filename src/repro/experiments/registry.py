@@ -1,0 +1,119 @@
+"""The experiment registry: one catalogue of every table/figure/ablation.
+
+Experiment modules register themselves at import time (the same pattern
+:mod:`repro.analysis.rules` uses for lint rules): the module decorates
+its ``format_result`` with :func:`register_experiment`, passing its
+``run`` callable, and the frozen :class:`Experiment` record lands in the
+catalogue.  Consumers — the CLI, the report orchestrator, the profiler,
+the benchmark gate — look experiments up by name instead of importing
+the modules by hand, so adding an experiment is one decorator, not four
+edited call sites.
+
+The catalogue is populated lazily: :func:`all_experiments` (and friends)
+import :mod:`repro.experiments` and :mod:`repro.experiments.ablations`
+on first use, which triggers every module's registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: registration order is preserved — figures/tables first, then ablations
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable experiment and how to render its result.
+
+    Attributes
+    ----------
+    name:
+        The CLI-facing identifier (``"fig2"``, ``"online_fpm"``, ...).
+    run:
+        ``run(config: ExperimentConfig) -> <Result>`` — a frozen
+        dataclass result, deterministic in the config.
+    format_result:
+        Renders a result as the text the report prints.
+    kind:
+        ``"figure"``, ``"table"``, ``"app"`` or ``"ablation"``.
+    paper_refs:
+        The paper artifacts this experiment reproduces (empty for
+        extensions beyond the published evaluation).
+    """
+
+    name: str
+    run: Callable[..., Any]
+    format_result: Callable[[Any], str]
+    kind: str = "figure"
+    paper_refs: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("figure", "table", "app", "ablation"):
+            raise ValueError(f"unknown experiment kind {self.kind!r}")
+
+    @property
+    def module(self) -> str:
+        """The defining module (derived from ``run``)."""
+        return self.run.__module__
+
+
+def register_experiment(
+    name: str,
+    *,
+    run: Callable[..., Any],
+    kind: str = "figure",
+    paper_refs: tuple[str, ...] = (),
+) -> Callable[[Callable[[Any], str]], Callable[[Any], str]]:
+    """Decorator for a module's ``format_result``; registers the pair.
+
+    Applied at the bottom of each experiment module (``run`` is already
+    defined there), so importing the module is registering it::
+
+        @register_experiment("fig2", run=run, paper_refs=("Fig. 2",))
+        def format_result(result: Fig2Result) -> str: ...
+    """
+
+    def decorate(format_result: Callable[[Any], str]) -> Callable[[Any], str]:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} is already registered")
+        _REGISTRY[name] = Experiment(
+            name=name,
+            run=run,
+            format_result=format_result,
+            kind=kind,
+            paper_refs=tuple(paper_refs),
+        )
+        return format_result
+
+    return decorate
+
+
+def _load() -> None:
+    """Import every experiment module so its registration runs."""
+    import repro.experiments  # noqa: F401  (imports the figure/table modules)
+    import repro.experiments.ablations  # noqa: F401
+
+
+def all_experiments() -> tuple[Experiment, ...]:
+    """Every registered experiment, in registration order."""
+    _load()
+    return tuple(_REGISTRY.values())
+
+
+def experiment_names() -> tuple[str, ...]:
+    """The registered names, in registration order."""
+    return tuple(e.name for e in all_experiments())
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look one experiment up by name (raises KeyError with the catalogue)."""
+    _load()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no experiment named {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None

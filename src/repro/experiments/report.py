@@ -165,30 +165,20 @@ def shape_checks(
 
 
 def full_report(config: ExperimentConfig = ExperimentConfig()) -> str:
-    """Run everything and return the complete text report."""
-    fig2 = fig2_socket_fpm.run(config)
-    fig3 = fig3_gpu_versions.run(config)
-    fig5 = fig5_contention.run(config)
-    table2 = table2_exec_time.run(config)
-    table3 = table3_partitioning.run(config)
-    fig6 = fig6_process_times.run(config)
-    fig7 = fig7_exec_vs_size.run(config)
+    """Deprecated alias of :func:`repro.experiments.orchestrator.run_full_report`.
 
-    sections = [
-        fig2_socket_fpm.format_result(fig2),
-        fig3_gpu_versions.format_result(fig3),
-        fig5_contention.format_result(fig5),
-        table2_exec_time.format_result(table2),
-        table3_partitioning.format_result(table3),
-        fig6_process_times.format_result(fig6),
-        fig7_exec_vs_size.format_result(fig7),
-    ]
-    checks = shape_checks(fig2, fig3, fig5, table2, table3, fig6, fig7)
-    check_lines = ["Shape checks (paper claim vs measured):"]
-    for c in checks:
-        status = "PASS" if c.passed else "FAIL"
-        check_lines.append(
-            f"  [{status}] {c.name}: expected {c.expected}, measured {c.measured}"
-        )
-    sections.append("\n".join(check_lines))
-    return "\n\n".join(sections)
+    Kept so pre-orchestrator call sites keep working; it runs the same
+    experiments sequentially and without a store.
+    """
+    import warnings
+
+    from repro.experiments.orchestrator import run_full_report
+
+    warnings.warn(
+        "full_report() is deprecated; use "
+        "repro.experiments.orchestrator.run_full_report() (or repro.api."
+        "run_report()), which adds --jobs parallelism and store caching",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_full_report(config)

@@ -29,6 +29,7 @@ from repro.experiments.paper_data import (
     TABLE2_HYBRID_FPM,
     TABLE2_SIZES,
 )
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 GTX680_INDEX = 1
@@ -75,6 +76,7 @@ def run(
     )
 
 
+@register_experiment("table2", run=run, kind="table", paper_refs=("Table II",))
 def format_result(result: Table2Result) -> str:
     """Render measured next to the paper's published seconds."""
     rows = []

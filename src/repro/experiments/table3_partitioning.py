@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.app.matmul import HybridMatMul, PartitioningStrategy
 from repro.experiments.common import ExperimentConfig, make_app
 from repro.experiments.paper_data import TABLE3_CPM, TABLE3_FPM, TABLE3_SIZES
+from repro.experiments.registry import register_experiment
 from repro.util.tables import render_table
 
 
@@ -82,6 +83,7 @@ def run(
     )
 
 
+@register_experiment("table3", run=run, kind="table", paper_refs=("Table III",))
 def format_result(result: Table3Result) -> str:
     """Render measured next to the paper's published allocations."""
     rows = []

@@ -14,10 +14,12 @@ import math
 from dataclasses import dataclass
 
 from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.serialization import fpm_from_dict, fpm_to_dict
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.kernels.interface import Kernel
 from repro.measurement.benchmark import HybridBenchmark
 from repro.obs import get_tracer
+from repro.store import bench_key, get_store, kernel_key
 from repro.util.validation import check_positive, check_positive_int
 
 
@@ -111,10 +113,25 @@ class FpmBuilder:
 
         ``bounded`` defaults to whether the kernel itself has a finite
         valid range; ``adaptive`` enables midpoint refinement.
+
+        When a store is active (:func:`repro.store.get_store`), the built
+        model is cached under a digest of every input — benchmark
+        identity, kernel, clamped grid, contention state and the
+        builder's refinement knobs — and an identical later call replays
+        it instead of re-measuring.
         """
         valid = kernel.valid_range
         if math.isfinite(valid.max_blocks):
             grid = grid.clamped(valid.max_blocks)
+
+        store = get_store()
+        key = None
+        if store is not None:
+            key = self._cache_key(kernel, grid, busy_cpu_cores, name, bounded, adaptive)
+            cached = store.get("fpm", key)
+            if cached is not None:
+                return fpm_from_dict(cached)
+
         tracer = get_tracer()
         with tracer.span(
             "fpm.build",
@@ -146,15 +163,44 @@ class FpmBuilder:
                     else math.isfinite(valid.max_blocks)
                 ),
             )
-            return FunctionalPerformanceModel(
+            model = FunctionalPerformanceModel(
                 name=name or kernel.name,
                 speed_function=fn,
                 kernel_name=kernel.name,
                 block_size=kernel.block_size,
                 repetitions_total=reps_total,
             )
+            if store is not None:
+                store.put("fpm", key, fpm_to_dict(model))
+            return model
 
     # ------------------------------------------------------------ internal
+    def _cache_key(
+        self,
+        kernel: Kernel,
+        grid: SizeGrid,
+        busy_cpu_cores: int,
+        name: str | None,
+        bounded: bool | None,
+        adaptive: bool,
+    ) -> dict:
+        """Every input that shapes the built model, as a store key."""
+        return {
+            "artifact": "fpm-build",
+            "bench": bench_key(self.bench),
+            "kernel": kernel_key(kernel),
+            "grid": list(grid.sizes),
+            "busy_cpu_cores": busy_cpu_cores,
+            "name": name,
+            "bounded": bounded,
+            "adaptive": adaptive,
+            "tuning": [
+                self.adaptive_tolerance,
+                self.adaptive_variation,
+                self.max_adaptive_rounds,
+                self.min_interval,
+            ],
+        }
     def _measure_sample(
         self, kernel: Kernel, size: float, busy_cpu_cores: int
     ) -> tuple[SpeedSample, int]:

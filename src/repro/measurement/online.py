@@ -26,6 +26,8 @@ from repro.core.partition import partition_fpm
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.kernels.interface import Kernel
 from repro.measurement.benchmark import HybridBenchmark
+from repro.store import bench_key, get_store, kernel_key
+from repro.util.serde import from_jsonable, to_jsonable
 from repro.util.validation import check_positive, check_positive_int
 
 
@@ -127,11 +129,40 @@ def online_partition(
     ``movement_tolerance`` — the loop stops once the L1 change between
     successive distributions is below this fraction of ``total`` *and*
     the last round added no new measurements.
+
+    When a store is active and every builder is pristine (no samples
+    yet), the convergence history is cached under the ``partition`` kind;
+    a warm run replays the frozen result without touching the benchmark.
+    Pre-warmed builders bypass the cache — their accumulated samples are
+    part of the outcome but not of the key.
     """
     check_positive_int("total", total)
     check_positive_int("max_rounds", max_rounds)
     if not builders:
         raise ValueError("need at least one partial model builder")
+
+    store = get_store()
+    key = None
+    if store is not None and all(b.num_samples == 0 for b in builders):
+        key = {
+            "artifact": "online-partition",
+            "builders": [
+                {
+                    "bench": bench_key(b.bench),
+                    "kernel": kernel_key(b.kernel),
+                    "name": b.name,
+                    "min_spacing": b.min_spacing,
+                }
+                for b in builders
+            ],
+            "total": total,
+            "max_rounds": max_rounds,
+            "movement_tolerance": movement_tolerance,
+        }
+        cached = store.get("partition", key)
+        if cached is not None:
+            return from_jsonable(OnlinePartitionResult, cached)
+
     for b in builders:
         if b.num_samples < 2:
             b.bootstrap(max(1.0, total / 256.0), float(total))
@@ -155,9 +186,12 @@ def online_partition(
                 converged = True
                 break
         previous = allocations
-    return OnlinePartitionResult(
+    result = OnlinePartitionResult(
         rounds=tuple(rounds),
         allocations=rounds[-1].allocations,
         converged=converged,
         repetitions_spent=sum(b.repetitions_spent for b in builders),
     )
+    if key is not None:
+        store.put("partition", key, to_jsonable(result))
+    return result

@@ -34,25 +34,21 @@ def profile_experiment(
     result, and its formatter.  This is the programmatic core of
     ``repro profile``; the golden-trace tests call it directly.
     """
-    # lazy: repro.cli imports the experiment modules; importing it at
-    # module scope would cycle through repro.obs during package init
-    from repro.cli import _EXPERIMENTS
-    from repro.experiments.common import experiment_span
+    # lazy: the registry imports the experiment modules; importing them
+    # at module scope would cycle through repro.obs during package init
+    from repro.experiments.orchestrator import run_experiment
+    from repro.experiments.registry import get_experiment
 
-    if name not in _EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
-        )
-    run, fmt = _EXPERIMENTS[name]
+    exp = get_experiment(name)
     tracer = Tracer()
     with use_tracer(tracer):
-        with experiment_span(name, config):
-            result = run(config)
-    return tracer, result, fmt
+        # no store: a profile should always run the real code path
+        result = run_experiment(name, config, store=None)
+    return tracer, result, exp.format_result
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.cli import _EXPERIMENTS
+    from repro.experiments.registry import experiment_names
 
     parser = argparse.ArgumentParser(
         prog="repro-profile",
@@ -63,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS),
+        choices=sorted(experiment_names()),
         help="which experiment to run under the tracer",
     )
     parser.add_argument(

@@ -1,0 +1,56 @@
+"""Content-addressed on-disk cache for models, partitions and results.
+
+Building a functional performance model is the expensive step of the
+whole reproduction — the paper's reliability protocol (Section III)
+times each point repeatedly until the confidence interval closes — and
+every figure/table experiment used to redo it from scratch for identical
+``(NodeSpec, seed, noise, sweep)`` inputs.  This package persists those
+artifacts once, addressed by a BLAKE2 digest of *all* their inputs plus
+a code-version salt (:mod:`repro.store.keys`), so a warm run replays
+them instead of re-measuring while any changed input — or a corrupted
+cache file — transparently forces a rebuild.
+
+The active store follows the tracer pattern: off by default
+(:func:`get_store` returns None and every producer computes from
+scratch), installed for a run with :func:`use_store` or
+:func:`set_store`.  The CLI (``repro report``) activates
+:func:`default_store` unless ``--no-cache`` is given.
+"""
+
+from repro.store.keys import (
+    STORE_SCHEMA,
+    bench_key,
+    canonical_json,
+    code_salt,
+    digest_key,
+    kernel_key,
+    models_key,
+    node_key,
+)
+from repro.store.store import (
+    KINDS,
+    ResultStore,
+    default_store,
+    default_store_root,
+    get_store,
+    set_store,
+    use_store,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "bench_key",
+    "canonical_json",
+    "kernel_key",
+    "code_salt",
+    "digest_key",
+    "models_key",
+    "node_key",
+    "KINDS",
+    "ResultStore",
+    "default_store",
+    "default_store_root",
+    "get_store",
+    "set_store",
+    "use_store",
+]

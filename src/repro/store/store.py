@@ -1,0 +1,204 @@
+"""The on-disk content-addressed artifact store.
+
+Layout (one JSON file per artifact, sharded by kind)::
+
+    <root>/
+      fpm/<digest>.json        built performance-model sets
+      partition/<digest>.json  frozen partition decisions
+      result/<digest>.json     frozen experiment results
+
+Each file is a self-describing envelope: the kind, the digest it is
+stored under, the salt it was computed with, the full (canonical) key,
+and the payload.  :meth:`ResultStore.get` re-derives the digest from the
+recorded key and refuses mismatched, differently-salted, or unparseable
+files — a corrupted or stale entry is indistinguishable from a miss, so
+the caller rebuilds and overwrites.  Writes go through a temporary file
+and an atomic ``os.replace``, which also makes concurrent writers (the
+parallel orchestrator's workers) safe: last writer wins with a complete
+file, never a torn one.
+
+Hits, misses and puts are counted on the active tracer
+(``store.hit`` / ``store.miss`` / ``store.put``), and every disk
+round-trip is wrapped in a ``store.get`` / ``store.put`` span, so
+``repro profile`` shows exactly what the cache saved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs import get_tracer
+from repro.store.keys import code_salt, digest_key
+
+_ENVELOPE_FORMAT = 1
+
+#: Artifact kinds the store shards by.
+KINDS = ("fpm", "partition", "result")
+
+
+class ResultStore:
+    """A content-addressed cache rooted at one directory.
+
+    ``salt`` defaults to the library's code-version salt; tests override
+    it to prove that a salt change orphans every existing entry.
+    """
+
+    def __init__(self, root: str | Path, salt: str | None = None):
+        self.root = Path(root)
+        self.salt = code_salt() if salt is None else salt
+
+    # ------------------------------------------------------------ addressing
+    def path_for(self, kind: str, key: Any) -> Path:
+        """Where an artifact with this key lives (existing or not)."""
+        self._check_kind(kind)
+        return self.root / kind / f"{digest_key(kind, key, self.salt)}.json"
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}; expected {KINDS}")
+
+    # ------------------------------------------------------------------- get
+    def get(self, kind: str, key: Any) -> Any | None:
+        """The cached payload for ``key``, or None on miss/corruption."""
+        path = self.path_for(kind, key)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._read(kind, key, path)
+        with tracer.span("store.get", category="store", kind=kind) as span:
+            payload = self._read(kind, key, path)
+            span.set_attr("hit", payload is not None)
+            return payload
+
+    def _read(self, kind: str, key: Any, path: Path) -> Any | None:
+        tracer = get_tracer()
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope["format"] != _ENVELOPE_FORMAT:
+                raise ValueError(f"unknown envelope format {envelope['format']!r}")
+            if envelope["salt"] != self.salt:
+                raise ValueError("entry written under a different salt")
+            expected = digest_key(kind, envelope["key"], self.salt)
+            if envelope["digest"] != expected or path.stem != expected:
+                raise ValueError("digest does not match the recorded key")
+            payload = envelope["payload"]
+        except FileNotFoundError:
+            tracer.counter("store.miss").add()
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # unreadable / corrupted / stale entry: treat as a miss so the
+            # caller rebuilds; the rebuild's put overwrites the bad file
+            tracer.counter("store.miss").add()
+            tracer.counter("store.corrupt").add()
+            return None
+        tracer.counter("store.hit").add()
+        return payload
+
+    # ------------------------------------------------------------------- put
+    def put(self, kind: str, key: Any, payload: Any) -> Path:
+        """Persist ``payload`` under ``key``; returns the artifact path."""
+        path = self.path_for(kind, key)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._write(kind, key, payload, path)
+        with tracer.span("store.put", category="store", kind=kind):
+            return self._write(kind, key, payload, path)
+
+    def _write(self, kind: str, key: Any, payload: Any, path: Path) -> Path:
+        from repro.store.keys import _plain
+
+        envelope = {
+            "format": _ENVELOPE_FORMAT,
+            "kind": kind,
+            "digest": path.stem,
+            "salt": self.salt,
+            "key": _plain(key),
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(envelope, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        get_tracer().counter("store.put").add()
+        return path
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate(self, kind: str, key: Any) -> bool:
+        """Explicitly drop one artifact; True if something was removed."""
+        path = self.path_for(kind, key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self, kind: str | None = None) -> int:
+        """Remove every artifact (of one kind, or all); returns the count."""
+        kinds = (kind,) if kind is not None else KINDS
+        removed = 0
+        for k in kinds:
+            self._check_kind(k)
+            shard = self.root / k
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def entries(self, kind: str | None = None) -> list[Path]:
+        """Paths of the stored artifacts (of one kind, or all), sorted."""
+        kinds = (kind,) if kind is not None else KINDS
+        out: list[Path] = []
+        for k in kinds:
+            self._check_kind(k)
+            shard = self.root / k
+            if shard.is_dir():
+                out.extend(sorted(shard.glob("*.json")))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r}, entries={len(self.entries())})"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro`` — the CLI's default root."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def default_store() -> ResultStore:
+    """A store at :func:`default_store_root` (created lazily on first put)."""
+    return ResultStore(default_store_root())
+
+
+_ACTIVE: ResultStore | None = None
+
+
+def get_store() -> ResultStore | None:
+    """The process-local active store, or None when caching is off."""
+    return _ACTIVE
+
+
+def set_store(store: ResultStore | None) -> ResultStore | None:
+    """Install ``store`` as the active store; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+@contextmanager
+def use_store(store: ResultStore | None) -> Iterator[ResultStore | None]:
+    """Activate ``store`` for a ``with`` block (None disables caching)."""
+    previous = set_store(store)
+    try:
+        yield store
+    finally:
+        set_store(previous)

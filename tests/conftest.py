@@ -23,6 +23,22 @@ except ImportError:  # pragma: no cover - hypothesis is in the base image
     pass
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the CLI's default artifact store at a throwaway directory.
+
+    Keeps the suite hermetic: no test run reads or pollutes the
+    developer's ~/.cache/repro.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:  # pragma: no cover - depends on the invoking environment
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def node():
     """The paper's hybrid node (Table I preset)."""

@@ -196,3 +196,83 @@ class TestProperties:
         bigger = min(x * (1 + 1e-4) + 1e-6, cap)
         if bigger > x:
             assert g.time(bigger) >= budget * (1 - 1e-4)
+
+
+class TestBatchEvaluation:
+    """speed_batch/time_batch must agree with the scalar paths exactly."""
+
+    def test_matches_scalar_everywhere(self):
+        f = fn([(1, 10), (2, 20), (4, 15)])
+        xs = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0]
+        assert list(f.speed_batch(xs)) == [f.speed(x) for x in xs]
+        assert list(f.time_batch(xs)) == [f.time(x) for x in xs]
+
+    def test_zero_size_has_zero_time(self):
+        f = fn([(1, 10), (2, 20)])
+        assert f.time_batch([0.0])[0] == 0.0
+
+    def test_negative_sizes_rejected(self):
+        f = fn([(1, 10), (2, 20)])
+        with pytest.raises(ValueError):
+            f.speed_batch([1.0, -0.5])
+
+    def test_bounded_range_enforced(self):
+        f = fn([(1, 10), (2, 20)], bounded=True)
+        assert list(f.speed_batch([1.5, 2.0])) == [f.speed(1.5), f.speed(2.0)]
+        with pytest.raises(ValueError, match="bounded model range"):
+            f.speed_batch([1.0, 2.5])
+
+    def test_empty_input(self):
+        f = fn([(1, 10), (2, 20)])
+        assert f.speed_batch([]).shape == (0,)
+
+    @given(
+        speed_functions(),
+        st.lists(st.floats(min_value=0, max_value=2e4), max_size=16),
+    )
+    @settings(max_examples=100)
+    def test_batch_equals_scalar(self, f, xs):
+        batch = f.speed_batch(xs)
+        for x, s in zip(xs, batch):
+            assert s == pytest.approx(f.speed(x), rel=1e-12, abs=1e-12)
+
+
+class TestRayIntersection:
+    def test_constant_head_branch(self):
+        f = fn([(10, 50), (20, 80)])
+        # steep ray crosses the constant-speed head: x = s0 / slope
+        assert f.size_at_ray(50.0) == pytest.approx(1.0)
+
+    def test_constant_tail_branch(self):
+        f = fn([(10, 50), (20, 80)])
+        # shallow ray crosses the constant tail: x = s1 / slope
+        assert f.size_at_ray(0.1) == pytest.approx(800.0)
+
+    def test_bounded_tail_clamps_to_range(self):
+        f = fn([(10, 50), (20, 80)], bounded=True)
+        assert f.size_at_ray(0.1) == 20.0
+
+    def test_cap_wins(self):
+        f = fn([(10, 50), (20, 80)])
+        assert f.size_at_ray(0.1, cap=100.0) == 100.0
+
+    def test_interior_segment_solved_in_closed_form(self):
+        f = fn([(10, 50), (20, 80)])
+        # on the segment: s(x) = 50 + 3 (x - 10); slope 5 -> 5x = 20 + 3x
+        assert f.size_at_ray(5.0) == pytest.approx(10.0)
+
+    @given(speed_functions(), st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=100)
+    def test_exact_ray_agrees_with_bisection(self, f, slope):
+        g = f.with_monotonic_time()
+        if g._knot_times() is None:
+            return  # non-monotone: only the bisection path exists
+        exact = g._ray_exact(slope, math.inf)
+        numeric = g._ray_bisect(slope, math.inf)
+        assert exact == pytest.approx(numeric, rel=1e-6, abs=1e-6)
+
+    def test_inverse_memo_returns_identical_results(self):
+        f = fn([(1, 10), (2, 20), (4, 15)])
+        first = f._invert_time_bisect(0.13)
+        assert f._invert_cache[0.13] == first
+        assert f._invert_time_bisect(0.13) == first

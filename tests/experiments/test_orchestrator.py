@@ -1,0 +1,150 @@
+"""Orchestrator: registry-driven runs, result caching, process pools.
+
+Covers the PR's acceptance criteria directly: the warm-cache report must
+be at least 5x faster than the cold one (measured on the span tree), and
+a parallel run must be bit-identical to the sequential one.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig6_process_times import Fig6Result
+from repro.experiments.orchestrator import (
+    REPORT_EXPERIMENTS,
+    load_cached_result,
+    result_key,
+    run_experiment,
+    run_experiments,
+    run_full_report,
+)
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.obs import Tracer, use_tracer
+from repro.store import ResultStore, canonical_json, digest_key
+from repro.util.serde import to_jsonable
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRegistry:
+    def test_all_nineteen_experiments_registered(self):
+        names = [e.name for e in all_experiments()]
+        assert len(names) == len(set(names)) == 19
+        for required in REPORT_EXPERIMENTS + ("jacobi", "online_fpm"):
+            assert required in names
+
+    def test_entries_are_frozen_and_renderable(self):
+        exp = get_experiment("fig6")
+        assert dataclasses.is_dataclass(exp) and exp.__dataclass_params__.frozen
+        assert exp.kind == "figure"
+        assert exp.paper_refs == ("Fig. 6",)
+        assert exp.module == "repro.experiments.fig6_process_times"
+
+    def test_unknown_name_lists_the_catalogue(self):
+        with pytest.raises(KeyError, match="fig2"):
+            get_experiment("fig99")
+
+
+class TestResultCaching:
+    def test_typed_round_trip(self, fast_config, store):
+        cold = run_experiment("fig6", fast_config, store=store)
+        warm = run_experiment("fig6", fast_config, store=store)
+        assert isinstance(warm, Fig6Result)
+        assert warm == cold
+        assert load_cached_result("fig6", fast_config, store=store) == cold
+
+    def test_no_store_means_no_cache(self, fast_config):
+        assert load_cached_result("fig6", fast_config) is None
+
+    def test_fast_and_full_configs_never_collide(self):
+        """Satellite regression: ``fast`` participates in the cache key."""
+        full = ExperimentConfig(seed=7, noise_sigma=0.01, fast=False)
+        fast = full.faster()
+        assert fast != full
+        for name in REPORT_EXPERIMENTS:
+            assert digest_key("result", result_key(name, full)) != digest_key(
+                "result", result_key(name, fast)
+            )
+
+    def test_cache_key_covers_every_config_field(self, fast_config):
+        covered = set(fast_config.cache_key())
+        declared = {f.name for f in dataclasses.fields(ExperimentConfig)}
+        assert covered == declared
+
+    def test_unknown_experiment_fails_before_running(self, fast_config, store):
+        with pytest.raises(KeyError):
+            run_experiments(["fig6", "fig99"], fast_config, store=store)
+
+
+class TestParallelism:
+    def test_jobs_are_bit_identical(self, fast_config, tmp_path):
+        sequential = run_experiments(
+            REPORT_EXPERIMENTS,
+            fast_config,
+            jobs=1,
+            store=ResultStore(tmp_path / "seq"),
+        )
+        parallel = run_experiments(
+            REPORT_EXPERIMENTS,
+            fast_config,
+            jobs=4,
+            store=ResultStore(tmp_path / "par"),
+        )
+        assert list(sequential) == list(parallel) == list(REPORT_EXPERIMENTS)
+        for name in REPORT_EXPERIMENTS:
+            assert canonical_json(to_jsonable(sequential[name])) == canonical_json(
+                to_jsonable(parallel[name])
+            ), name
+
+    def test_parallel_report_without_store(self, fast_config):
+        # jobs > 1 must also work cache-less (results travel via pickle)
+        results = run_experiments(("fig6", "fig7"), fast_config, jobs=2, store=None)
+        assert isinstance(results["fig6"], Fig6Result)
+
+
+class TestWarmReport:
+    def test_warm_report_is_at_least_5x_faster(self, fast_config, store):
+        """The tentpole's acceptance criterion, measured on the span tree."""
+        cold_tracer = Tracer()
+        with use_tracer(cold_tracer):
+            cold_text = run_full_report(fast_config, store=store)
+        warm_tracer = Tracer()
+        with use_tracer(warm_tracer):
+            warm_text = run_full_report(fast_config, store=store)
+        assert warm_text == cold_text
+
+        (cold_root,) = cold_tracer.roots
+        (warm_root,) = warm_tracer.roots
+        assert cold_root.name == warm_root.name == "report.full"
+        assert cold_root.wall_duration_s >= 5.0 * warm_root.wall_duration_s
+
+        # every experiment replayed from the store, none re-measured
+        metrics = warm_tracer.metrics.snapshot()
+        assert metrics["store.hit"] == len(REPORT_EXPERIMENTS)
+        assert "store.miss" not in metrics
+        experiment_spans = [
+            s for s in warm_root.children if s.name.startswith("experiment.")
+        ]
+        assert len(experiment_spans) == len(REPORT_EXPERIMENTS)
+        assert all(s.attrs.get("cache_hit") for s in experiment_spans)
+
+    def test_report_text_matches_the_legacy_path(self, fast_config):
+        from repro.experiments.report import full_report
+
+        with pytest.deprecated_call():
+            legacy = full_report(fast_config)
+        assert run_full_report(fast_config) == legacy
+
+
+@pytest.mark.nightly
+def test_full_resolution_parallel_report(tmp_path):
+    """Nightly: the paper-resolution report through a 4-worker pool."""
+    config = ExperimentConfig()
+    store = ResultStore(tmp_path / "cache")
+    text = run_full_report(config, jobs=4, store=store)
+    assert "[FAIL]" not in text
+    assert run_full_report(config, jobs=1, store=ResultStore(tmp_path / "b")) == text

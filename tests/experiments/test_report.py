@@ -3,12 +3,12 @@
 import pytest
 
 from repro.experiments.common import ExperimentConfig
-from repro.experiments.report import full_report
+from repro.experiments.orchestrator import run_full_report
 
 
 @pytest.fixture(scope="module")
 def report_text(fast_config):
-    return full_report(fast_config)
+    return run_full_report(fast_config)
 
 
 class TestFullReport:

@@ -1,0 +1,147 @@
+"""ResultStore: round trips, invalidation, corruption, and counters."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.store import ResultStore, get_store, set_store, use_store
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        key = {"experiment": "fig6", "seed": 42}
+        store.put("result", key, {"value": [1, 2, 3]})
+        assert store.get("result", key) == {"value": [1, 2, 3]}
+
+    def test_miss_on_absent_key(self, store):
+        assert store.get("result", {"seed": 1}) is None
+
+    def test_kinds_are_disjoint(self, store):
+        store.put("fpm", {"k": 1}, "model")
+        assert store.get("partition", {"k": 1}) is None
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            store.put("figments", {}, 1)
+
+    def test_overwrite_wins(self, store):
+        store.put("result", {"k": 1}, "old")
+        store.put("result", {"k": 1}, "new")
+        assert store.get("result", {"k": 1}) == "new"
+
+
+class TestInvalidation:
+    """Satellite 4: every changed input or damaged file forces a rebuild."""
+
+    def test_changed_key_field_misses(self, store):
+        store.put("result", {"seed": 42, "fast": True}, "cached")
+        assert store.get("result", {"seed": 43, "fast": True}) is None
+        assert store.get("result", {"seed": 42, "fast": False}) is None
+
+    def test_changed_salt_orphans_entries(self, tmp_path):
+        old = ResultStore(tmp_path, salt="v1")
+        old.put("result", {"k": 1}, "payload")
+        upgraded = ResultStore(tmp_path, salt="v2")
+        assert upgraded.get("result", {"k": 1}) is None
+
+    def test_corrupted_file_is_a_miss(self, store):
+        key = {"k": 1}
+        path = store.put("result", key, "payload")
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get("result", key) is None
+        # the rebuild's put repairs the entry in place
+        store.put("result", key, "rebuilt")
+        assert store.get("result", key) == "rebuilt"
+
+    def test_tampered_key_is_a_miss(self, store):
+        # an envelope whose recorded key no longer matches its digest
+        path = store.put("result", {"k": 1}, "payload")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["key"] = {"k": 2}
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.get("result", {"k": 1}) is None
+
+    def test_explicit_invalidate(self, store):
+        store.put("result", {"k": 1}, "payload")
+        assert store.invalidate("result", {"k": 1}) is True
+        assert store.get("result", {"k": 1}) is None
+        assert store.invalidate("result", {"k": 1}) is False
+
+    def test_clear_by_kind_and_all(self, store):
+        store.put("result", {"k": 1}, "a")
+        store.put("fpm", {"k": 1}, "b")
+        assert store.clear("result") == 1
+        assert len(store.entries()) == 1
+        assert store.clear() == 1
+        assert store.entries() == []
+
+
+class TestCounters:
+    def test_hit_miss_put_counters(self, store):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            store.get("result", {"k": 1})
+            store.put("result", {"k": 1}, "x")
+            store.get("result", {"k": 1})
+        metrics = tracer.metrics.snapshot()
+        assert metrics["store.miss"] == 1
+        assert metrics["store.put"] == 1
+        assert metrics["store.hit"] == 1
+
+    def test_corrupt_counter(self, store):
+        path = store.put("result", {"k": 1}, "x")
+        path.write_text("garbage", encoding="utf-8")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert store.get("result", {"k": 1}) is None
+        metrics = tracer.metrics.snapshot()
+        assert metrics["store.corrupt"] == 1
+
+    def test_get_and_put_emit_spans(self, store):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            store.put("result", {"k": 1}, "x")
+            hit = store.get("result", {"k": 1})
+        assert hit == "x"
+        names = [s.name for s in tracer.roots]
+        assert names == ["store.put", "store.get"]
+        assert tracer.roots[1].attrs["hit"] is True
+
+
+class TestActiveStore:
+    def test_off_by_default(self):
+        assert get_store() is None
+
+    def test_use_store_restores_previous(self, store):
+        with use_store(store):
+            assert get_store() is store
+            with use_store(None):
+                assert get_store() is None
+            assert get_store() is store
+        assert get_store() is None
+
+    def test_set_store_returns_previous(self, store):
+        assert set_store(store) is None
+        try:
+            assert get_store() is store
+        finally:
+            assert set_store(None) is store
+
+
+def test_repr_is_stable(store):
+    assert "ResultStore" in repr(store)
+
+
+def test_envelope_is_self_describing(store):
+    path = store.put("fpm", {"model": "s6"}, {"speed": 1.0})
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    assert envelope["kind"] == "fpm"
+    assert envelope["key"] == {"model": "s6"}
+    assert envelope["digest"] == path.stem
+    assert envelope["salt"] == store.salt

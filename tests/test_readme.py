@@ -37,7 +37,7 @@ class TestReadme:
         from repro.cli import build_parser
 
         parser = build_parser()
-        for match in re.findall(r"python -m repro (\w+)", README):
+        for match in re.findall(r"python -m repro ([\w-]+)", README):
             args = parser.parse_args([match])
             assert args.experiment == match
 

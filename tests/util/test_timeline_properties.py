@@ -50,7 +50,9 @@ def test_merge_intervals_preserves_the_union(ivs):
     for p in probes:
         original = any(iv.start <= p < iv.end for iv in ivs)
         assert _in_union(p, merged) == original
-    assert sum(e - s for s, e in merged) <= sum(iv.duration for iv in ivs)
+    total = sum(iv.duration for iv in ivs)
+    # summation order differs between the two sides, so allow float round-off
+    assert sum(e - s for s, e in merged) <= total + 1e-9 * max(1.0, total)
 
 
 @given(intervals)

@@ -3,14 +3,15 @@
 
 Thin wrapper over ``pytest benchmarks/ --benchmark-json`` for CI jobs and
 local regression hunting.  Writes the machine-readable record (timings
-plus each bench's ``extra_info`` headline numbers) to ``BENCH_2.json`` at
+plus each bench's ``extra_info`` headline numbers) to ``BENCH_3.json`` at
 the repository root by default, so successive PRs leave comparable
 artifacts.  Run from the repository root:
 
-    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_2.json] [pytest args...]
+    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_3.json] [--jobs N] [pytest args...]
 
-Extra arguments are forwarded to pytest, e.g. ``-k fig6`` to time a
-single experiment.
+``--jobs N`` sizes the orchestrator's worker pool for the report
+benchmarks (exported as ``REPRO_BENCH_JOBS``).  Extra arguments are
+forwarded to pytest, e.g. ``-k fig6`` to time a single experiment.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Default artifact name; the suffix tracks the PR sequence.
-DEFAULT_OUT = "BENCH_2.json"
+DEFAULT_OUT = "BENCH_3.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +37,13 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=str(REPO_ROOT / DEFAULT_OUT),
         help=f"benchmark JSON artifact (default: {DEFAULT_OUT} at the root)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the report benchmarks (REPRO_BENCH_JOBS)",
     )
     args, pytest_args = parser.parse_known_args(argv)
 
@@ -50,6 +58,7 @@ def main(argv: list[str] | None = None) -> int:
     ]
     env_path = str(REPO_ROOT / "src")
     env = dict(os.environ)
+    env["REPRO_BENCH_JOBS"] = str(args.jobs)
     env["PYTHONPATH"] = (
         env_path + os.pathsep + env["PYTHONPATH"]
         if env.get("PYTHONPATH")
