@@ -1,0 +1,89 @@
+"""Benchmark: cold FPM construction on the vectorised measurement engine.
+
+Times the batch fast path (``measure_speeds`` / ``FpmBuilder``) and compares
+it against the scalar repeat-until-reliable oracle it must stay bit-identical
+to.  The headline gate: a cold fig2-style sweep must run at least 3x faster
+batched than the per-repetition scalar loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import make_bench
+from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+from repro.measurement.reliability import (
+    ReliabilityCriterion,
+    measure_until_reliable_batch,
+)
+from repro.platform.noise import NoiseModel
+from repro.util.rng import RngStream
+
+#: The fig2-style sweep: socket kernel across the figure's size range.
+SWEEP_SIZES = SizeGrid.linear(12.0, 1200.0, 24).sizes
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fpm_cold_sweep_batch_vs_scalar(benchmark, config):
+    """The tentpole gate: batched sweep >= 3x faster than the scalar oracle."""
+    bench = make_bench(config)
+    kernel = bench.socket_kernel(0, 5)
+
+    batch_result = benchmark(bench.measure_speeds, kernel, SWEEP_SIZES)
+
+    scalar_s = _best_of(
+        lambda: [bench.measure_speed(kernel, s) for s in SWEEP_SIZES]
+    )
+    batch_s = _best_of(lambda: bench.measure_speeds(kernel, SWEEP_SIZES))
+    speedup = scalar_s / batch_s
+
+    # same floats, just faster
+    scalar_result = [bench.measure_speed(kernel, s) for s in SWEEP_SIZES]
+    assert [m.speed_gflops for m in batch_result] == [
+        m.speed_gflops for m in scalar_result
+    ]
+    assert speedup >= 3.0, (
+        f"batch sweep only {speedup:.2f}x faster than the scalar oracle"
+    )
+    benchmark.extra_info["sweep_points"] = len(SWEEP_SIZES)
+    benchmark.extra_info["scalar_ms"] = round(scalar_s * 1e3, 2)
+    benchmark.extra_info["batch_ms"] = round(batch_s * 1e3, 2)
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
+
+
+def test_fpm_single_grid_build(benchmark, config):
+    """Adaptive FPM construction for one GPU unit, end to end."""
+    bench = make_bench(config)
+    kernel = bench.gpu_kernel(1, config.gpu_version)
+    grid = SizeGrid.geometric(12.0, 4000.0, 12)
+    builder = FpmBuilder(bench)
+
+    model = benchmark(builder.build, kernel, grid, adaptive=True)
+
+    assert len(model.speed_function.samples) >= len(grid.sizes)
+    benchmark.extra_info["grid_points"] = len(grid.sizes)
+    benchmark.extra_info["model_samples"] = len(model.speed_function.samples)
+    benchmark.extra_info["repetitions_total"] = model.repetitions_total
+
+
+def test_reliability_loop_batch(benchmark):
+    """The inner repeat-until-reliable protocol on chunked noise draws."""
+    noise = NoiseModel(RngStream(42).child("bench"), 0.05)
+    criterion = ReliabilityCriterion(rel_err=0.01, max_repetitions=100)
+
+    def sample_batch(start, count):
+        return noise.perturb_batch(
+            1.0, ("kernel",), [f"r{r}" for r in range(start, start + count)]
+        )
+
+    m = benchmark(measure_until_reliable_batch, sample_batch, criterion)
+    assert m.reliable
+    benchmark.extra_info["repetitions"] = m.repetitions

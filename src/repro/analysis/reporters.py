@@ -41,8 +41,7 @@ def render_text(result: LintResult, new: list[Diagnostic] | None = None) -> str:
             f"in {result.files_checked} file(s)"
             + (f" [{counts}]" if counts else "")
         )
-    for error in result.parse_errors:
-        lines.append(f"parse error: {error}")
+    lines.extend(f"parse error: {error}" for error in result.parse_errors)
     return "\n".join(lines)
 
 

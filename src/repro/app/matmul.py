@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.cpm import ConstantPerformanceModel, cpms_from_even_split
 from repro.core.fpm import FunctionalPerformanceModel
@@ -71,11 +72,18 @@ class MatMulPlan:
     process_allocations: tuple[int, ...]
     partition: ColumnPartition
 
+    @cached_property
+    def _allocation_index(self) -> dict[str, int]:
+        return {
+            unit.name: alloc
+            for unit, alloc in zip(self.units, self.unit_allocations)
+        }
+
     def allocation_of(self, unit_name: str) -> int:
-        for unit, alloc in zip(self.units, self.unit_allocations):
-            if unit.name == unit_name:
-                return alloc
-        raise KeyError(f"no unit named {unit_name!r}")
+        try:
+            return self._allocation_index[unit_name]
+        except KeyError:
+            raise KeyError(f"no unit named {unit_name!r}") from None
 
 
 class HybridMatMul:
@@ -95,10 +103,17 @@ class HybridMatMul:
         self.binding: BindingPlan = default_binding(node)
         self.comm_model = comm_model or CommModel()
         self._models: dict[str, FunctionalPerformanceModel] = {}
+        self._units: tuple[ComputeUnit, ...] | None = None
 
     # ----------------------------------------------------------- topology
     def compute_units(self) -> list[ComputeUnit]:
-        """GPUs first (attachment order), then sockets — the model set."""
+        """GPUs first (attachment order), then sockets — the model set.
+
+        The node and binding are fixed per instance, so the unit list is
+        computed once and a fresh copy returned on every call.
+        """
+        if self._units is not None:
+            return list(self._units)
         units: list[ComputeUnit] = []
         for gpu_index, att in enumerate(self.node.gpus):
             rank = self.binding.dedicated_ranks()[gpu_index]
@@ -124,6 +139,7 @@ class HybridMatMul:
                     member_ranks=ranks,
                 )
             )
+        self._units = tuple(units)
         return units
 
     def cpu_cores_of(self, unit: ComputeUnit) -> int:

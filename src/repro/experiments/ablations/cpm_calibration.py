@@ -82,13 +82,12 @@ def format_result(result: CpmCalibrationResult) -> str:
     headers = ["n"] + [
         f"CPM@{cal:.0f} (s)" for cal in result.calibrations
     ] + ["FPM (s)"]
-    rows = []
-    for j, n in enumerate(result.sizes):
-        rows.append(
-            [n]
-            + [result.cpm_times[i][j] for i in range(len(result.calibrations))]
-            + [result.fpm_times[j]]
-        )
+    rows = [
+        [n]
+        + [result.cpm_times[i][j] for i in range(len(result.calibrations))]
+        + [result.fpm_times[j]]
+        for j, n in enumerate(result.sizes)
+    ]
     table = render_table(
         headers,
         rows,

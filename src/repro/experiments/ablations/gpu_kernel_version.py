@@ -72,13 +72,12 @@ def run(
 
 @register_experiment("gpu_kernel_version", run=run, kind="ablation", paper_refs=("Fig. 3",))
 def format_result(result: KernelVersionResult) -> str:
-    rows = []
-    for version in (1, 2, 3):
-        rows.append(
-            [f"v{version}"]
-            + [result.time_of(version, n) for n in result.sizes]
-            + [f"{100 * result.gtx_share[version - 1]:.0f}%"]
-        )
+    rows = [
+        [f"v{version}"]
+        + [result.time_of(version, n) for n in result.sizes]
+        + [f"{100 * result.gtx_share[version - 1]:.0f}%"]
+        for version in (1, 2, 3)
+    ]
     big = result.sizes[-1]
     table = render_table(
         ["GPU kernel"]

@@ -37,12 +37,13 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> Fig2Result:
     # socket 2 is CPU-only (6 usable cores); socket 0 hosts the C870 so its
     # CPU group has 5 cores — exactly the paper's S5/S6 split.
     grid = SizeGrid.linear(12.0, FIG2_MAX_BLOCKS, config.sweep_points)
-    s5 = []
-    s6 = []
-    for x in grid.sizes:
-        s5.append(bench.measure_socket_speed(0, 5, x).speed_gflops)
-        s6.append(bench.measure_socket_speed(2, 6, x).speed_gflops)
-    return Fig2Result(sizes=grid.sizes, s5=tuple(s5), s6=tuple(s6))
+    s5 = bench.measure_speeds(bench.socket_kernel(0, 5), grid.sizes)
+    s6 = bench.measure_speeds(bench.socket_kernel(2, 6), grid.sizes)
+    return Fig2Result(
+        sizes=grid.sizes,
+        s5=tuple(m.speed_gflops for m in s5),
+        s6=tuple(m.speed_gflops for m in s6),
+    )
 
 
 @register_experiment("fig2", run=run, kind="figure", paper_refs=("Fig. 2",))

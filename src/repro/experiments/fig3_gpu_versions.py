@@ -49,12 +49,15 @@ def run(
     bench = make_bench(config)
     grid = SizeGrid.linear(40.0, 4200.0, config.sweep_points)
     limit = bench.gpu_kernel(gpu_index, 3).memory_limit_blocks
-    series = {1: [], 2: [], 3: []}
-    for x in grid.sizes:
-        for version in (1, 2, 3):
-            series[version].append(
-                bench.measure_gpu_speed(gpu_index, x, version).speed_gflops
+    series = {
+        version: [
+            m.speed_gflops
+            for m in bench.measure_speeds(
+                bench.gpu_kernel(gpu_index, version), grid.sizes
             )
+        ]
+        for version in (1, 2, 3)
+    }
     return Fig3Result(
         sizes=grid.sizes,
         v1=tuple(series[1]),

@@ -99,32 +99,44 @@ def run(
     att = bench.node.gpus[gpu_index]
     cpu_cores = bench.node.socket_spec(att.socket_index).cores - 1
 
+    cpu_kernel_shared = bench.socket_kernel(att.socket_index, cpu_cores, gpu_active=True)
+    cpu_kernel_solo = bench.socket_kernel(att.socket_index, cpu_cores)
+    gpu_kernel = bench.gpu_kernel(gpu_index, config.gpu_version)
+
     series: list[ContentionSeries] = []
     for frac, (gpu_lo, gpu_hi) in SHARE_REGIMES:
         grid = SizeGrid.linear(gpu_lo, gpu_hi, max(4, config.sweep_points // 2))
-        points: list[SharePoint] = []
+        # The per-device sizes the scalar measure_shared_socket would derive
+        # from each total, kept float-for-float so speeds match it bitwise.
+        cpu_areas: list[float] = []
+        gpu_shared_areas: list[float] = []
         for gpu_area in grid.sizes:
             total = gpu_area / (1.0 - frac)
-            cpu_shared, gpu_shared = bench.measure_shared_socket(
-                gpu_index, total, frac, config.gpu_version
+            cpu_area = total * frac
+            cpu_areas.append(cpu_area)
+            gpu_shared_areas.append(total - cpu_area)
+        cpu_shared = bench.measure_speeds(cpu_kernel_shared, cpu_areas)
+        gpu_shared = bench.measure_speeds(
+            gpu_kernel, gpu_shared_areas, busy_cpu_cores=cpu_cores
+        )
+        cpu_excl = bench.measure_speeds(
+            cpu_kernel_solo, [m.area_blocks for m in cpu_shared]
+        )
+        gpu_excl = bench.measure_speeds(gpu_kernel, grid.sizes)
+        points = tuple(
+            SharePoint(
+                cpu_area=cs.area_blocks,
+                gpu_area=gpu_area,
+                cpu_speed_shared=cs.speed_gflops,
+                cpu_speed_exclusive=ce.speed_gflops,
+                gpu_speed_shared=gs.speed_gflops,
+                gpu_speed_exclusive=ge.speed_gflops,
             )
-            cpu_excl = bench.measure_socket_speed(
-                att.socket_index, cpu_cores, cpu_shared.area_blocks
+            for gpu_area, cs, ce, gs, ge in zip(
+                grid.sizes, cpu_shared, cpu_excl, gpu_shared, gpu_excl
             )
-            gpu_excl = bench.measure_gpu_speed(
-                gpu_index, gpu_area, config.gpu_version
-            )
-            points.append(
-                SharePoint(
-                    cpu_area=cpu_shared.area_blocks,
-                    gpu_area=gpu_area,
-                    cpu_speed_shared=cpu_shared.speed_gflops,
-                    cpu_speed_exclusive=cpu_excl.speed_gflops,
-                    gpu_speed_shared=gpu_shared.speed_gflops,
-                    gpu_speed_exclusive=gpu_excl.speed_gflops,
-                )
-            )
-        series.append(ContentionSeries(cpu_fraction=frac, points=tuple(points)))
+        )
+        series.append(ContentionSeries(cpu_fraction=frac, points=points))
     return Fig5Result(shared=tuple(series))
 
 

@@ -79,19 +79,18 @@ def run(
 @register_experiment("table2", run=run, kind="table", paper_refs=("Table II",))
 def format_result(result: Table2Result) -> str:
     """Render measured next to the paper's published seconds."""
-    rows = []
-    for i, n in enumerate(result.sizes):
-        rows.append(
-            [
-                f"{n}x{n}",
-                result.cpus_only[i],
-                TABLE2_CPUS_ONLY.get(n, float("nan")),
-                result.gtx680_only[i],
-                TABLE2_GTX680_ONLY.get(n, float("nan")),
-                result.hybrid_fpm[i],
-                TABLE2_HYBRID_FPM.get(n, float("nan")),
-            ]
-        )
+    rows = [
+        [
+            f"{n}x{n}",
+            result.cpus_only[i],
+            TABLE2_CPUS_ONLY.get(n, float("nan")),
+            result.gtx680_only[i],
+            TABLE2_GTX680_ONLY.get(n, float("nan")),
+            result.hybrid_fpm[i],
+            TABLE2_HYBRID_FPM.get(n, float("nan")),
+        ]
+        for i, n in enumerate(result.sizes)
+    ]
     return render_table(
         [
             "matrix",

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kernels.interface import KernelRange
+from repro.kernels.interface import KernelRange, as_area_array
 from repro.platform.device import SimulatedSocket
 from repro.util.validation import check_positive_int
 
@@ -63,13 +63,16 @@ class CpuGemmKernel:
         ignored — CPU-side contention is captured by ``active_cores`` and
         ``gpu_active``.
         """
-        del busy_cpu_cores
         if area_blocks < 0:
             raise ValueError(f"area_blocks must be >= 0, got {area_blocks}")
-        if area_blocks == 0:
-            return 0.0
-        return self.socket.kernel_time(
-            area_blocks, self.active_cores, self.gpu_active
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each area of a batch (the sweep fast path)."""
+        del busy_cpu_cores
+        areas = as_area_array(area_blocks)
+        return self.socket.kernel_time_batch(
+            areas, self.active_cores, self.gpu_active
         )
 
 
@@ -111,13 +114,16 @@ class CpuCoreGemmKernel:
 
     def run_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         """Seconds for one kernel run of THIS core's area ``x`` blocks."""
-        del busy_cpu_cores
         if area_blocks < 0:
             raise ValueError(f"area_blocks must be >= 0, got {area_blocks}")
-        if area_blocks == 0:
-            return 0.0
-        return self.socket.core(0).kernel_time(
-            area_blocks, self.active_cores, self.gpu_active
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each per-core area of a batch."""
+        del busy_cpu_cores
+        areas = as_area_array(area_blocks)
+        return self.socket.core(0).kernel_time_batch(
+            areas, self.active_cores, self.gpu_active
         )
 
 

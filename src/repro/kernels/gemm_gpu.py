@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.kernels.interface import KernelRange
+import numpy as np
+
+from repro.kernels.interface import KernelRange, as_area_array
 from repro.kernels.outofcore import TilingPlan, near_square_shape, plan_tiling
-from repro.kernels.overlap import TileWork, schedule_overlap
+from repro.kernels.overlap import TileWork, overlap_makespan, schedule_overlap
 from repro.platform.device import SimulatedGpu
 from repro.util.validation import check_nonnegative
 
@@ -68,6 +70,14 @@ class _GpuGemmKernelBase:
             keep_resident=keep_resident,
         )
 
+    def _resident_time_batch(
+        self, areas: np.ndarray, busy_cpu_cores: int
+    ) -> np.ndarray:
+        """Device-resident run time per area: pivot upload + one aligned compute."""
+        return self.gpu.upload_pivots_time_batch(
+            areas, busy_cpu_cores
+        ) + self.gpu.compute_time_batch(areas, True, busy_cpu_cores)
+
     def _serial_tiled_time(
         self, plan: TilingPlan, area_blocks: float, busy_cpu_cores: int
     ) -> float:
@@ -97,10 +107,18 @@ class GpuGemmKernelV1(_GpuGemmKernelBase):
 
     def run_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         self._check_area(area_blocks)
-        if area_blocks == 0:
-            return 0.0
-        plan = self._tiling(area_blocks, buffered=1, keep_resident=0)
-        return self._serial_tiled_time(plan, area_blocks, busy_cpu_cores)
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each area; tiled sizes are planned one by one."""
+        areas = as_area_array(area_blocks)
+        out = np.zeros(areas.size)
+        for i, area in enumerate(areas.tolist()):
+            if area == 0.0:
+                continue
+            plan = self._tiling(area, buffered=1, keep_resident=0)
+            out[i] = self._serial_tiled_time(plan, area, busy_cpu_cores)
+        return out
 
 
 @dataclass(frozen=True)
@@ -113,14 +131,21 @@ class GpuGemmKernelV2(_GpuGemmKernelBase):
 
     def run_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         self._check_area(area_blocks)
-        if area_blocks == 0:
-            return 0.0
-        if self.gpu.memory.fits_resident(area_blocks):
-            return self.gpu.upload_pivots_time(
-                area_blocks, busy_cpu_cores
-            ) + self.gpu.compute_time(area_blocks, True, busy_cpu_cores)
-        plan = self._tiling(area_blocks, buffered=2, keep_resident=2)
-        return self._serial_tiled_time(plan, area_blocks, busy_cpu_cores)
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each area: vectorised while device-resident,
+        serial out-of-core tiling beyond capacity."""
+        areas = as_area_array(area_blocks)
+        out = np.zeros(areas.size)
+        resident = areas <= self.gpu.memory.resident_capacity_blocks()
+        if resident.any():
+            out[resident] = self._resident_time_batch(areas[resident], busy_cpu_cores)
+        for i in np.flatnonzero(~resident).tolist():
+            area = float(areas[i])
+            plan = self._tiling(area, buffered=2, keep_resident=2)
+            out[i] = self._serial_tiled_time(plan, area, busy_cpu_cores)
+        return out
 
 
 @dataclass(frozen=True)
@@ -133,25 +158,38 @@ class GpuGemmKernelV3(_GpuGemmKernelBase):
 
     def run_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         self._check_area(area_blocks)
-        if area_blocks == 0:
-            return 0.0
-        if self.gpu.memory.fits_resident(area_blocks):
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each area: vectorised while device-resident,
+        overlap-scheduled (with the serial fallback) beyond capacity."""
+        areas = as_area_array(area_blocks)
+        out = np.zeros(areas.size)
+        resident = areas <= self.gpu.memory.resident_capacity_blocks()
+        if resident.any():
             # In the resident range the only transfers are the tiny pivot
             # pieces; overlap cannot help, so v3 == v2 there (Fig. 3).
-            return self.gpu.upload_pivots_time(
-                area_blocks, busy_cpu_cores
-            ) + self.gpu.compute_time(area_blocks, True, busy_cpu_cores)
-        overlapped = self.schedule(area_blocks, busy_cpu_cores).makespan
-        # On devices where the concurrent-copy penalty outweighs the
-        # overlap (tiny memory, single engine, slow link), a sane runtime
-        # falls back to the synchronous path — version 3 degenerates to
-        # version 2 rather than losing to it.
-        plan = self._tiling(area_blocks, buffered=2, keep_resident=2)
-        serial = self._serial_tiled_time(plan, area_blocks, busy_cpu_cores)
-        return min(overlapped, serial)
+            out[resident] = self._resident_time_batch(areas[resident], busy_cpu_cores)
+        for i in np.flatnonzero(~resident).tolist():
+            area = float(areas[i])
+            overlapped = overlap_makespan(
+                self._works(area, busy_cpu_cores),
+                self.gpu.spec.dma_engines,
+                c_buffers=2,
+            )
+            # On devices where the concurrent-copy penalty outweighs the
+            # overlap (tiny memory, single engine, slow link), a sane runtime
+            # falls back to the synchronous path — version 3 degenerates to
+            # version 2 rather than losing to it.
+            plan = self._tiling(area, buffered=2, keep_resident=2)
+            serial = self._serial_tiled_time(plan, area, busy_cpu_cores)
+            out[i] = min(overlapped, serial)
+        return out
 
-    def schedule(self, area_blocks: float, busy_cpu_cores: int = 0):
-        """The full overlap schedule for one run (for inspection and tests)."""
+    def _works(
+        self, area_blocks: float, busy_cpu_cores: int
+    ) -> tuple[TileWork, ...]:
+        """Per-tile (upload, compute, download) durations of one run."""
         plan = self._tiling(area_blocks, buffered=2, keep_resident=2)
         pivot_total = self.gpu.upload_pivots_time(area_blocks, busy_cpu_cores)
         pivot_share = pivot_total / plan.num_tiles
@@ -170,7 +208,12 @@ class GpuGemmKernelV3(_GpuGemmKernelBase):
                 )
             compute = self.gpu.compute_time(tile_area, tile.aligned, busy_cpu_cores)
             works.append(TileWork(upload=upload, compute=compute, download=download))
-        return schedule_overlap(works, self.gpu.spec.dma_engines, c_buffers=2)
+        return tuple(works)
+
+    def schedule(self, area_blocks: float, busy_cpu_cores: int = 0):
+        """The full overlap schedule for one run (for inspection and tests)."""
+        works = self._works(area_blocks, busy_cpu_cores)
+        return schedule_overlap(list(works), self.gpu.spec.dma_engines, c_buffers=2)
 
 
 @dataclass(frozen=True)
@@ -188,11 +231,15 @@ class InCoreGpuGemmKernel(_GpuGemmKernelBase):
     def run_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         check_nonnegative("area_blocks", area_blocks)
         self.valid_range.require(area_blocks, self.name)
-        if area_blocks == 0:
-            return 0.0
-        return self.gpu.upload_pivots_time(
-            area_blocks, busy_cpu_cores
-        ) + self.gpu.compute_time(area_blocks, True, busy_cpu_cores)
+        return float(self.run_time_batch((area_blocks,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, area_blocks, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Ideal seconds at each (in-core) area, fully vectorised."""
+        areas = as_area_array(area_blocks)
+        valid = self.valid_range
+        for area in areas.tolist():
+            valid.require(area, self.name)
+        return self._resident_time_batch(areas, busy_cpu_cores)
 
 
 _VERSIONS = {

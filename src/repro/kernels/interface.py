@@ -11,10 +11,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from repro.util.units import gemm_kernel_flops
 from repro.util.validation import check_nonnegative
+
+
+def as_area_array(area_blocks: "Sequence[float] | np.ndarray") -> np.ndarray:
+    """Normalise a batch of problem areas to a validated 1-D float64 array.
+
+    Shared by every kernel's ``run_time_batch``: rejects negative areas with
+    the scalar methods' semantics, so batched and scalar validation agree.
+    """
+    areas = np.asarray(area_blocks, dtype=np.float64)
+    if areas.ndim != 1:
+        raise ValueError(f"area_blocks batch must be 1-D, got shape {areas.shape}")
+    if areas.size and float(areas.min()) < 0:
+        raise ValueError(f"area_blocks must be >= 0, got {float(areas.min())}")
+    return areas
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,17 @@ class Kernel(Protocol):
         under it; for CPU kernels the argument signals a busy GPU when
         negative conventions are avoided by the dedicated parameter of
         :class:`repro.kernels.gemm_cpu.CpuGemmKernel`).
+        """
+        ...
+
+    def run_time_batch(
+        self, area_blocks: "Sequence[float] | np.ndarray", busy_cpu_cores: int = 0
+    ) -> np.ndarray:
+        """Ideal seconds of one kernel run at EACH area of a batch.
+
+        The vectorised twin of :meth:`run_time` — element ``i`` equals
+        ``run_time(area_blocks[i], busy_cpu_cores)`` bitwise.  Measurement
+        sweeps call this once per grid instead of once per point.
         """
         ...
 

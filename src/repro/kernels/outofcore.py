@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.util.validation import check_nonnegative, check_positive, check_positive_int
 
@@ -130,6 +131,7 @@ def _split_lengths(total: int, parts: int, alignment: int) -> list[int]:
     return lengths
 
 
+@lru_cache(maxsize=1024)
 def plan_tiling(
     rows: int,
     cols: int,
@@ -146,6 +148,10 @@ def plan_tiling(
     ``keep_resident`` rectangles are marked as needing no transfers, but
     only when more tiles than that exist — otherwise everything is resident
     and the plan degenerates to the in-core case.
+
+    Plans are deterministic and immutable, so results are memoised — the
+    execution simulator and the measurement sweeps re-plan the same
+    geometry for every repetition/iteration.
     """
     check_positive_int("rows", rows)
     check_positive_int("cols", cols)

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kernels.interface import KernelRange
+from repro.kernels.interface import KernelRange, as_area_array
 from repro.platform.device import SimulatedGpu, SimulatedSocket
 from repro.util.validation import check_nonnegative, check_positive_int
 
@@ -85,11 +85,14 @@ class CpuStencilKernel:
 
     def run_time(self, rows: float, busy_cpu_cores: int = 0) -> float:
         """Seconds for one sweep of ``rows`` rows on the core group."""
-        del busy_cpu_cores
         check_nonnegative("rows", rows)
-        if rows == 0:
-            return 0.0
-        cells = rows * self.width
+        return float(self.run_time_batch((rows,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, rows, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Roofline sweep time at each row count, fully vectorised."""
+        del busy_cpu_cores
+        areas = as_area_array(rows)
+        cells = areas * self.width
         flops = cells * FLOPS_PER_CELL
         core_rate = (
             self.socket.spec.cpu.peak_gflops
@@ -102,7 +105,8 @@ class CpuStencilKernel:
         flop_time = flops / (core_rate * self.active_cores * interference)
         bw = self.socket.spec.mem_bandwidth_gbs * 1e9 * interference
         bw_time = cells * TRAFFIC_BYTES_PER_CELL / bw
-        return max(flop_time, bw_time) + CPU_SWEEP_OVERHEAD_S
+        sweep = np.maximum(flop_time, bw_time) + CPU_SWEEP_OVERHEAD_S
+        return np.where(areas == 0.0, 0.0, sweep)
 
 
 @dataclass(frozen=True)
@@ -156,9 +160,16 @@ class GpuStencilKernel:
         """Seconds for one sweep of ``rows`` rows."""
         check_nonnegative("rows", rows)
         self.valid_range.require(rows, self.name)
-        if rows == 0:
-            return 0.0
-        cells = rows * self.width
+        return float(self.run_time_batch((rows,), busy_cpu_cores)[0])
+
+    def run_time_batch(self, rows, busy_cpu_cores: int = 0) -> np.ndarray:
+        """Sweep time at each row count: device-bandwidth term plus halo,
+        with the streamed-excess PCIe term past residency, vectorised."""
+        areas = as_area_array(rows)
+        valid = self.valid_range
+        for area in areas.tolist():
+            valid.require(area, self.name)
+        cells = areas * self.width
         slow = self.gpu.interference.gpu_speed_factor(
             busy_cpu_cores, self.gpu.socket_cores
         )
@@ -169,17 +180,20 @@ class GpuStencilKernel:
         )
         halo = self.gpu.pcie.contiguous_time(2 * self.width * CELL_BYTES) * 2
         total = sweep + halo + GPU_SWEEP_OVERHEAD_S
-        excess_rows = rows - self.resident_capacity_rows
-        if excess_rows > 0:
+        excess_rows = areas - self.resident_capacity_rows
+        streamed = excess_rows > 0
+        if streamed.any():
             # stream only the non-resident rows: up and down each sweep,
             # pitched pageable transfers (footprint scaled to the device's
             # staging capacity as for the GEMM kernels)
-            excess_bytes = excess_rows * self.width * CELL_BYTES
-            bw = self.gpu.pcie.pitched_bandwidth_gbs(
-                rows / self.resident_capacity_rows * self.gpu.pcie.staging_blocks
+            excess_bytes = excess_rows[streamed] * self.width * CELL_BYTES
+            bw = self.gpu.pcie.pitched_bandwidth_gbs_batch(
+                areas[streamed]
+                / self.resident_capacity_rows
+                * self.gpu.pcie.staging_blocks
             )
-            total += 2.0 * excess_bytes / (bw * 1e9)
-        return total / slow
+            total[streamed] = total[streamed] + 2.0 * excess_bytes / (bw * 1e9)
+        return np.where(areas == 0.0, 0.0, total / slow)
 
 
 def numpy_jacobi_sweep(grid: np.ndarray, out: np.ndarray) -> None:

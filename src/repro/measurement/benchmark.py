@@ -13,6 +13,9 @@ reliability criterion, and exposes the three experiments of Section III:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.kernels.gemm_cpu import CpuGemmKernel
 from repro.kernels.gemm_gpu import gpu_kernel as make_gpu_kernel
@@ -21,6 +24,7 @@ from repro.measurement.reliability import (
     Measurement,
     ReliabilityCriterion,
     measure_until_reliable,
+    measure_until_reliable_batch,
 )
 from repro.measurement.timer import SimulatedTimer
 from repro.obs import get_tracer
@@ -115,6 +119,73 @@ class HybridBenchmark:
                 speed_gflops=speed,
                 timing=timing,
             )
+
+    def measure_times(
+        self,
+        kernel: Kernel,
+        sizes: Sequence[float],
+        busy_cpu_cores: int = 0,
+    ) -> list[Measurement]:
+        """Reliable mean times at many problem sizes (the batch fast path).
+
+        The kernel's ideal times come from ONE ``run_time_batch`` call and
+        each size's repetitions are drawn in chunks through
+        :func:`measure_until_reliable_batch`; every returned ``Measurement``
+        is bit-identical to :meth:`measure_time` at the same size.
+        """
+        sizes = [float(size) for size in sizes]
+        for size in sizes:
+            check_positive("area_blocks", size)
+        tracer = get_tracer()
+        with tracer.span(
+            "bench.measure_times",
+            category="measurement",
+            kernel=kernel.name,
+            sizes=len(sizes),
+        ):
+            ideals = kernel.run_time_batch(np.asarray(sizes), busy_cpu_cores)
+            timings = []
+            for size, ideal in zip(sizes, ideals):
+                def sample_batch(start, count, _size=size, _ideal=float(ideal)):
+                    return self.timer.time_kernel_batch(
+                        kernel,
+                        _size,
+                        range(start, start + count),
+                        busy_cpu_cores,
+                        ideal_seconds=_ideal,
+                    )
+
+                timings.append(
+                    measure_until_reliable_batch(sample_batch, self.criterion)
+                )
+            return timings
+
+    def measure_speeds(
+        self,
+        kernel: Kernel,
+        sizes: Sequence[float],
+        busy_cpu_cores: int = 0,
+    ) -> list[SpeedMeasurement]:
+        """Reliable speeds (GFlops) at many problem sizes in one sweep.
+
+        The vectorised twin of calling :meth:`measure_speed` per size, with
+        bit-identical results — used by the FPM builders and the figure
+        sweeps.
+        """
+        sizes = [float(size) for size in sizes]
+        timings = self.measure_times(kernel, sizes, busy_cpu_cores)
+        speeds = []
+        for size, timing in zip(sizes, timings):
+            flops = gemm_kernel_flops(size, kernel.block_size)
+            speed = flops / timing.mean / 1e9
+            speeds.append(
+                SpeedMeasurement(
+                    area_blocks=size,
+                    speed_gflops=speed,
+                    timing=timing,
+                )
+            )
+        return speeds
 
     def measure_socket_speed(
         self,

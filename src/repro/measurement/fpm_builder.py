@@ -140,12 +140,10 @@ class FpmBuilder:
             grid_points=len(grid.sizes),
             adaptive=adaptive,
         ) as span:
-            samples: dict[float, SpeedSample] = {}
-            reps_total = 0
-            for size in grid.sizes:
-                sample, reps = self._measure_sample(kernel, size, busy_cpu_cores)
-                samples[size] = sample
-                reps_total += reps
+            grid_samples, reps_total = self._measure_samples(
+                kernel, list(grid.sizes), busy_cpu_cores
+            )
+            samples: dict[float, SpeedSample] = dict(zip(grid.sizes, grid_samples))
 
             if adaptive:
                 reps_total += self._refine(kernel, samples, busy_cpu_cores)
@@ -201,25 +199,34 @@ class FpmBuilder:
                 self.min_interval,
             ],
         }
-    def _measure_sample(
-        self, kernel: Kernel, size: float, busy_cpu_cores: int
-    ) -> tuple[SpeedSample, int]:
+    def _measure_samples(
+        self, kernel: Kernel, sizes: list[float], busy_cpu_cores: int
+    ) -> tuple[list[SpeedSample], int]:
+        """Measure a batch of sizes in one sweep (the vectorised fast path).
+
+        Speeds come from :meth:`HybridBenchmark.measure_speeds`, which is
+        bit-identical to per-size ``measure_speed`` calls; the
+        ``fpm.samples`` counter advances by the batch size so its total
+        matches the old per-point accounting exactly.
+        """
         tracer = get_tracer()
         with tracer.span(
-            "fpm.sample", category="measurement", size_blocks=size
+            "fpm.samples", category="measurement", sizes=len(sizes)
         ) as span:
-            m = self.bench.measure_speed(kernel, size, busy_cpu_cores)
+            measured = self.bench.measure_speeds(kernel, sizes, busy_cpu_cores)
+            reps_total = sum(m.timing.repetitions for m in measured)
             if tracer.enabled:
-                span.set_attr("speed_gflops", m.speed_gflops)
-                tracer.counter("fpm.samples").add(1)
-            return (
+                span.set_attr("repetitions_total", reps_total)
+                tracer.counter("fpm.samples").add(len(measured))
+            samples = [
                 SpeedSample(
                     size=size,
                     speed=m.speed_gflops,
                     rel_precision=m.timing.rel_precision,
-                ),
-                m.timing.repetitions,
-            )
+                )
+                for size, m in zip(sizes, measured)
+            ]
+            return samples, reps_total
 
     def _refine(
         self,
@@ -227,20 +234,32 @@ class FpmBuilder:
         samples: dict[float, SpeedSample],
         busy_cpu_cores: int,
     ) -> int:
-        """Insert midpoints where linear interpolation mispredicts speed."""
+        """Insert midpoints where linear interpolation mispredicts speed.
+
+        Each round measures all of its midpoints in ONE batched sweep —
+        midpoints of disjoint intervals never serve as endpoints within a
+        round, so the chord and cliff tests see the same speeds as the old
+        one-point-at-a-time loop.
+        """
         reps_total = 0
         intervals = _adjacent_pairs(sorted(samples))
         for _ in range(self.max_adaptive_rounds):
-            next_intervals: list[tuple[float, float]] = []
+            splits: list[tuple[float, float, float]] = []
             for lo, hi in intervals:
                 mid = 0.5 * (lo + hi)
                 if mid <= lo or mid >= hi or (hi - lo) < self.min_interval:
                     continue  # nothing meaningfully between the endpoints
-                predicted = 0.5 * (samples[lo].speed + samples[hi].speed)
-                sample, reps = self._measure_sample(kernel, mid, busy_cpu_cores)
-                get_tracer().counter("fpm.adaptive.points").add(1)
-                reps_total += reps
+                splits.append((lo, hi, mid))
+            if not splits:
+                break
+            mids = [mid for _, _, mid in splits]
+            mid_samples, reps = self._measure_samples(kernel, mids, busy_cpu_cores)
+            get_tracer().counter("fpm.adaptive.points").add(len(mids))
+            reps_total += reps
+            next_intervals: list[tuple[float, float]] = []
+            for (lo, hi, mid), sample in zip(splits, mid_samples):
                 samples[mid] = sample
+                predicted = 0.5 * (samples[lo].speed + samples[hi].speed)
                 err = abs(predicted - sample.speed) / sample.speed
                 if err > self.adaptive_tolerance:
                     next_intervals.extend([(lo, mid), (mid, hi)])

@@ -52,8 +52,7 @@ class PartialFpmBuilder:
         check_positive("lo", lo)
         if not hi > lo:
             raise ValueError(f"hi ({hi}) must exceed lo ({lo})")
-        for size in (lo, hi):
-            self._measure(size)
+        self._measure_batch([lo, hi])
 
     def refine_at(self, size: float) -> bool:
         """Measure at ``size`` unless a nearby sample already exists.
@@ -64,7 +63,7 @@ class PartialFpmBuilder:
         for existing in self._samples:
             if abs(existing - size) <= self.min_spacing * size:
                 return False
-        self._measure(size)
+        self._measure_batch([size])
         return True
 
     def model(self) -> FunctionalPerformanceModel:
@@ -86,14 +85,14 @@ class PartialFpmBuilder:
     def num_samples(self) -> int:
         return len(self._samples)
 
-    def _measure(self, size: float) -> None:
-        m = self.bench.measure_speed(self.kernel, size)
-        self._samples[size] = SpeedSample(
-            size=size,
-            speed=m.speed_gflops,
-            rel_precision=m.timing.rel_precision,
-        )
-        self.repetitions_spent += m.timing.repetitions
+    def _measure_batch(self, sizes: list[float]) -> None:
+        for size, m in zip(sizes, self.bench.measure_speeds(self.kernel, sizes)):
+            self._samples[size] = SpeedSample(
+                size=size,
+                speed=m.speed_gflops,
+                rel_precision=m.timing.rel_precision,
+            )
+            self.repetitions_spent += m.timing.repetitions
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.obs import get_tracer
-from repro.util.stats import RunningStats
+from repro.util.stats import (
+    RunningStats,
+    first_reliable_prefix,
+    relative_precision_cached,
+)
 from repro.util.validation import check_positive, check_positive_int, check_probability
 
 
@@ -87,6 +93,95 @@ def measure_until_reliable(
         if tracer.enabled:
             # samples are accepted when their measurement converged, and
             # charged as rejected when the repetition budget ran out first
+            kind = "accepted" if reliable else "rejected"
+            tracer.counter(f"measure.samples.{kind}").add(stats.count)
+            tracer.gauge("measure.ci_rel_width").set(rel_precision)
+            span.set_attr("repetitions", stats.count)
+            span.set_attr("reliable", reliable)
+            span.set_attr("mean_s", stats.mean)
+        return Measurement(
+            mean=stats.mean,
+            std=stats.std,
+            repetitions=stats.count,
+            rel_precision=rel_precision,
+            reliable=reliable,
+        )
+
+
+def _absorb_chunk(
+    stats: RunningStats,
+    values: np.ndarray,
+    start: int,
+    criterion: ReliabilityCriterion,
+) -> bool:
+    """Feed one drawn chunk into the accumulator; True when the rule fired.
+
+    A negative timing only raises when the scalar loop would actually have
+    reached it, i.e. when no earlier prefix of the chunk already stopped.
+    """
+    negative = np.flatnonzero(values < 0)
+    limit = len(values) if negative.size == 0 else int(negative[0])
+    stopped = first_reliable_prefix(
+        stats,
+        values[:limit],
+        criterion.rel_err,
+        criterion.confidence,
+        criterion.min_repetitions,
+    )
+    if not stopped and negative.size > 0:
+        rep = start + limit
+        raise ValueError(f"negative timing {float(values[limit])} from repetition {rep}")
+    return stopped
+
+
+def measure_until_reliable_batch(
+    sample_batch: Callable[[int, int], np.ndarray],
+    criterion: ReliabilityCriterion = ReliabilityCriterion(),
+) -> Measurement:
+    """Array-based twin of :func:`measure_until_reliable`.
+
+    ``sample_batch(start, count)`` returns the timings of repetitions
+    ``start .. start + count - 1`` as one float array.  Repetitions are
+    drawn in growing chunks (``min_repetitions``, then doubling, capped at
+    the remaining budget) and the Student-t stopping rule is evaluated over
+    the cumulative statistics of every prefix, so the protocol stops at the
+    exact repetition the scalar loop would have — the returned
+    ``Measurement`` is bit-identical to the oracle's.
+
+    Observability: one ``measure.chunk`` span per drawn chunk replaces the
+    scalar path's per-repetition spans; the accepted/rejected counter
+    totals, the CI-width gauge and the span attributes are unchanged.
+    """
+    tracer = get_tracer()
+    with tracer.span("measure.reliable", category="measurement") as span:
+        stats = RunningStats()
+        stopped = False
+        chunk = criterion.min_repetitions
+        while not stopped and stats.count < criterion.max_repetitions:
+            count = min(chunk, criterion.max_repetitions - stats.count)
+            start = stats.count
+            values = np.asarray(sample_batch(start, count), dtype=np.float64)
+            if values.shape != (count,):
+                raise ValueError(
+                    f"sample_batch({start}, {count}) returned shape {values.shape}"
+                )
+            if tracer.enabled:
+                with tracer.span(
+                    "measure.chunk",
+                    category="measurement",
+                    first_repetition=start,
+                    repetitions=count,
+                ):
+                    stopped = _absorb_chunk(stats, values, start, criterion)
+            else:
+                stopped = _absorb_chunk(stats, values, start, criterion)
+            chunk *= 2
+        rel_precision = relative_precision_cached(stats, criterion.confidence)
+        reliable = rel_precision <= criterion.rel_err
+        if tracer.enabled:
+            # same accounting as the scalar oracle: samples are accepted
+            # when their measurement converged, rejected when the budget
+            # ran out first
             kind = "accepted" if reliable else "rejected"
             tracer.counter(f"measure.samples.{kind}").add(stats.count)
             tracer.gauge("measure.ci_rel_width").set(rel_precision)

@@ -10,6 +10,9 @@ operation) corresponds to timing the kernel's full ``run_time``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
 
 from repro.kernels.interface import Kernel
 from repro.platform.noise import NoiseModel
@@ -42,4 +45,32 @@ class SimulatedTimer:
         ideal = kernel.run_time(area_blocks, busy_cpu_cores)
         return self.noise.perturb(
             ideal, kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}", f"r{repetition}"
+        )
+
+    def time_kernel_batch(
+        self,
+        kernel: Kernel,
+        area_blocks: float,
+        repetitions: Iterable[int],
+        busy_cpu_cores: int = 0,
+        ideal_seconds: float | None = None,
+    ) -> np.ndarray:
+        """Noisy timings of many repetitions at ONE size, in one call.
+
+        Bit-identical to ``[self.time_kernel(kernel, area_blocks, r,
+        busy_cpu_cores) for r in repetitions]``; ``ideal_seconds`` lets the
+        sweep hoist the (deterministic) ``kernel.run_time`` out of the
+        repetition loop.
+        """
+        check_nonnegative("area_blocks", area_blocks)
+        reps = [int(r) for r in repetitions]
+        for rep in reps:
+            if rep < 0:
+                raise ValueError(f"repetition must be >= 0, got {rep}")
+        if ideal_seconds is None:
+            ideal_seconds = kernel.run_time(area_blocks, busy_cpu_cores)
+        return self.noise.perturb_batch(
+            ideal_seconds,
+            (kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}"),
+            [f"r{rep}" for rep in reps],
         )

@@ -64,30 +64,30 @@ def chrome_trace(tracer: Tracer) -> dict:
         _span_events(root, origin, events)
     last_ts = max((e["ts"] + e["dur"] for e in events), default=0.0)
     for name, gauge in tracer.metrics.gauges.items():
-        for ts, value in zip(gauge.timestamps_s, gauge.values):
-            events.append(
-                {
-                    "name": name,
-                    "cat": "metric",
-                    "ph": "C",
-                    "ts": max(0.0, (ts - origin)) * _US,
-                    "pid": 1,
-                    "tid": 1,
-                    "args": {"value": value},
-                }
-            )
-    for name, counter in tracer.metrics.counters.items():
-        events.append(
+        events.extend(
             {
                 "name": name,
                 "cat": "metric",
                 "ph": "C",
-                "ts": last_ts,
+                "ts": max(0.0, (ts - origin)) * _US,
                 "pid": 1,
                 "tid": 1,
-                "args": {"value": counter.value},
+                "args": {"value": value},
             }
+            for ts, value in zip(gauge.timestamps_s, gauge.values)
         )
+    events.extend(
+        {
+            "name": name,
+            "cat": "metric",
+            "ph": "C",
+            "ts": last_ts,
+            "pid": 1,
+            "tid": 1,
+            "args": {"value": counter.value},
+        }
+        for name, counter in tracer.metrics.counters.items()
+    )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -166,8 +166,7 @@ def summary_tree(tracer: Tracer) -> str:
     snapshot = tracer.metrics.snapshot()
     if snapshot:
         lines.append("metrics")
-        for name in sorted(snapshot):
-            lines.append(f"  {name} = {snapshot[name]:g}")
+        lines.extend(f"  {name} = {snapshot[name]:g}" for name in sorted(snapshot))
     return "\n".join(lines)
 
 

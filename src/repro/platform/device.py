@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from repro.platform.contention import CpuGpuInterference, SocketContention
 from repro.platform.memory import (
@@ -30,7 +33,7 @@ from repro.platform.memory import (
 )
 from repro.platform.pcie import PcieLink
 from repro.platform.spec import GpuSpec, NodeSpec, SocketSpec
-from repro.util.units import gemm_kernel_flops
+from repro.util.units import gemm_kernel_flops, gemm_kernel_flops_batch
 from repro.util.validation import (
     check_nonnegative,
     check_positive,
@@ -47,11 +50,11 @@ class SimulatedCore:
     interference: CpuGpuInterference
     block_size: int
 
-    @property
+    @cached_property
     def cache(self) -> CoreCacheModel:
         return CoreCacheModel(self.socket.cpu)
 
-    @property
+    @cached_property
     def contention(self) -> SocketContention:
         return SocketContention(self.socket.contention_alpha)
 
@@ -73,6 +76,23 @@ class SimulatedCore:
             * self.interference.cpu_speed_factor(gpu_active)
         )
 
+    def rate_gflops_batch(
+        self,
+        per_core_area_blocks: np.ndarray,
+        active_cores: int = 1,
+        gpu_active: bool = False,
+    ) -> np.ndarray:
+        """:meth:`rate_gflops` over an array of (pre-validated) areas."""
+        solo = self.cache.core_rate_gflops_batch(per_core_area_blocks)
+        return (
+            solo
+            * blocking_factor_efficiency(
+                self.block_size, self.socket.cpu.gemm_halfpoint_elems
+            )
+            * self.contention.efficiency(active_cores)
+            * self.interference.cpu_speed_factor(gpu_active)
+        )
+
     def kernel_time(
         self,
         per_core_area_blocks: float,
@@ -85,6 +105,22 @@ class SimulatedCore:
         flops = gemm_kernel_flops(per_core_area_blocks, self.block_size)
         rate = self.rate_gflops(per_core_area_blocks, active_cores, gpu_active)
         return flops / (rate * 1e9)
+
+    def kernel_time_batch(
+        self,
+        per_core_area_blocks: np.ndarray,
+        active_cores: int = 1,
+        gpu_active: bool = False,
+    ) -> np.ndarray:
+        """:meth:`kernel_time` over an array of per-core areas.
+
+        Element-identical to the scalar method (a zero area divides 0 flops
+        by a positive rate, which is exactly the scalar early-out's 0.0).
+        """
+        areas = np.asarray(per_core_area_blocks, dtype=np.float64)
+        flops = gemm_kernel_flops_batch(areas, self.block_size)
+        rates = self.rate_gflops_batch(areas, active_cores, gpu_active)
+        return flops / (rates * 1e9)
 
 
 @dataclass(frozen=True)
@@ -133,6 +169,23 @@ class SimulatedSocket:
         per_core = socket_area_blocks / cores
         return self.core(0).kernel_time(per_core, cores, gpu_active)
 
+    def kernel_time_batch(
+        self,
+        socket_area_blocks: np.ndarray,
+        active_cores: int | None = None,
+        gpu_active: bool = False,
+    ) -> np.ndarray:
+        """:meth:`kernel_time` over an array of socket areas."""
+        cores = self.spec.cores if active_cores is None else active_cores
+        check_positive_int("active_cores", cores)
+        if cores > self.spec.cores:
+            raise ValueError(
+                f"{cores} active cores requested but {self.name} has "
+                f"{self.spec.cores}"
+            )
+        per_core = np.asarray(socket_area_blocks, dtype=np.float64) / cores
+        return self.core(0).kernel_time_batch(per_core, cores, gpu_active)
+
     def speed_gflops(
         self,
         socket_area_blocks: float,
@@ -156,11 +209,11 @@ class SimulatedGpu:
     socket_cores: int
     block_size: int
 
-    @property
+    @cached_property
     def memory(self) -> GpuMemoryModel:
         return GpuMemoryModel(self.spec, self.block_size)
 
-    @property
+    @cached_property
     def pcie(self) -> PcieLink:
         return PcieLink(self.spec, staging_blocks=self.memory.resident_capacity_blocks())
 
@@ -212,6 +265,43 @@ class SimulatedGpu:
         rate = self.kernel_rate_gflops(tile_area_blocks, aligned)
         rate *= self.interference.gpu_speed_factor(busy_cpu_cores, self.socket_cores)
         return flops / (rate * 1e9)
+
+    def compute_time_batch(
+        self,
+        tile_area_blocks: np.ndarray,
+        aligned: bool = True,
+        busy_cpu_cores: int = 0,
+    ) -> np.ndarray:
+        """:meth:`compute_time` over an array of (near-square) tile areas.
+
+        Element-identical to the scalar method; used by the GPU kernels'
+        ``run_time_batch`` for the device-resident size range.
+        """
+        areas = np.asarray(tile_area_blocks, dtype=np.float64)
+        flops = gemm_kernel_flops_batch(areas, self.block_size)
+        rates = self.spec.peak_gflops * areas / (areas + self.spec.rate_half_blocks)
+        rates = rates * blocking_factor_efficiency(
+            self.block_size, self.spec.gemm_halfpoint_elems
+        )
+        if not aligned:
+            rates = rates / self.spec.misalignment_penalty
+        rates = rates * self.interference.gpu_speed_factor(
+            busy_cpu_cores, self.socket_cores
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            times = flops / (rates * 1e9)
+        return np.where(areas == 0.0, 0.0, times)
+
+    def upload_pivots_time_batch(
+        self, area_blocks: np.ndarray, busy_cpu_cores: int = 0
+    ) -> np.ndarray:
+        """:meth:`upload_pivots_time` over an array of areas."""
+        blocks = self.memory.pivot_blocks_batch(area_blocks)
+        nbytes = blocks * self.memory.block_bytes
+        times = self.pcie.contiguous_time_batch(nbytes)
+        return times / self.interference.gpu_speed_factor(
+            busy_cpu_cores, self.socket_cores
+        )
 
     def upload_pivots_time(self, area_blocks: float, busy_cpu_cores: int = 0) -> float:
         """Seconds to send the pivot column and row pieces for area ``x``."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.platform.spec import CpuSpec, GpuSpec
 from repro.util.units import blocks_to_bytes
 from repro.util.validation import check_nonnegative, check_positive
@@ -60,9 +62,24 @@ class CoreCacheModel:
         droop = 1.0 / (1.0 + self.cpu.mem_pressure_slope * over)
         return ramp * droop
 
+    def efficiency_batch(self, per_core_area_blocks: np.ndarray) -> np.ndarray:
+        """:meth:`efficiency` over an array of areas, element-identical.
+
+        Areas are assumed pre-validated (>= 0) by the calling kernel.
+        """
+        a = np.asarray(per_core_area_blocks, dtype=np.float64)
+        ramp = 1.0 - self.cpu.ramp_depth * np.exp(-a / self.cpu.ramp_blocks)
+        over = np.maximum(0.0, a - self.cpu.mem_pressure_blocks)
+        droop = 1.0 / (1.0 + self.cpu.mem_pressure_slope * over)
+        return ramp * droop
+
     def core_rate_gflops(self, per_core_area_blocks: float) -> float:
         """Solo-core GEMM rate at the given per-core problem area."""
         return self.cpu.peak_gflops * self.efficiency(per_core_area_blocks)
+
+    def core_rate_gflops_batch(self, per_core_area_blocks: np.ndarray) -> np.ndarray:
+        """:meth:`core_rate_gflops` over an array of areas."""
+        return self.cpu.peak_gflops * self.efficiency_batch(per_core_area_blocks)
 
 
 @dataclass(frozen=True)
@@ -94,6 +111,10 @@ class GpuMemoryModel:
         """
         check_nonnegative("area_blocks", area_blocks)
         return 2.0 * math.sqrt(area_blocks)
+
+    def pivot_blocks_batch(self, area_blocks: np.ndarray) -> np.ndarray:
+        """:meth:`pivot_blocks` over an array of (pre-validated) areas."""
+        return 2.0 * np.sqrt(np.asarray(area_blocks, dtype=np.float64))
 
     def resident_capacity_blocks(self) -> float:
         """Largest C area (blocks) whose submatrix + pivots fit on device.

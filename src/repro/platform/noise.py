@@ -11,8 +11,11 @@ experiment is reproducible from one seed while distinct repetitions differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.util.rng import RngStream
+import numpy as np
+
+from repro.util.rng import RngStream, sibling_generators
 from repro.util.validation import check_nonnegative
 
 
@@ -65,6 +68,42 @@ class NoiseModel:
             if stream.child("outlier").uniform() < self.outlier_prob:
                 value *= self.outlier_factor
         return value
+
+    def perturb_batch(
+        self,
+        seconds: float,
+        context: Sequence[object],
+        rep_keys: Sequence[object],
+    ) -> np.ndarray:
+        """Noisy versions of ONE ideal timing for many repetitions at once.
+
+        Bit-identical to ``[self.perturb(seconds, *context, key) for key in
+        rep_keys]``: the (device, size, contention) part of the stream path
+        is hashed once, and each repetition's draws come from the same named
+        child streams the scalar path would construct.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        n = len(rep_keys)
+        if seconds == 0.0 or (self.sigma == 0.0 and self.outlier_prob == 0.0):
+            return np.full(n, float(seconds))
+        prefix = (*self.rng.path, *context)
+        if self.sigma == 0.0:
+            # lognormal_factor short-circuits to 1.0 without consuming a draw
+            values = np.full(n, seconds * 1.0)
+        else:
+            gens = sibling_generators(self.rng.seed, prefix, rep_keys)
+            normals = np.array([g.normal(0.0, self.sigma) for g in gens])
+            values = seconds * np.exp(normals)
+        if self.outlier_prob > 0.0:
+            outlier_gens = sibling_generators(
+                self.rng.seed, prefix, [(key, "outlier") for key in rep_keys]
+            )
+            draws = np.array([g.uniform(0.0, 1.0) for g in outlier_gens])
+            values = np.where(
+                draws < self.outlier_prob, values * self.outlier_factor, values
+            )
+        return values
 
     def quiet(self) -> "NoiseModel":
         """A zero-noise copy (deterministic timings)."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.platform.spec import GpuSpec
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -38,6 +40,12 @@ class PcieLink:
             return 0.0
         return self.gpu.pcie_latency_s + nbytes / (self.gpu.pcie_contig_gbs * 1e9)
 
+    def contiguous_time_batch(self, nbytes: np.ndarray) -> np.ndarray:
+        """:meth:`contiguous_time` over an array of (pre-validated) sizes."""
+        nb = np.asarray(nbytes, dtype=np.float64)
+        times = self.gpu.pcie_latency_s + nb / (self.gpu.pcie_contig_gbs * 1e9)
+        return np.where(nb == 0.0, 0.0, times)
+
     def pitched_bandwidth_gbs(self, footprint_blocks: float) -> float:
         """Effective GB/s of pitched C-rectangle copies.
 
@@ -51,6 +59,16 @@ class PcieLink:
             return self.gpu.pcie_pitched_pinned_gbs
         ratio = footprint_blocks / self.staging_blocks
         return self.gpu.pcie_pageable_gbs / (ratio ** self.gpu.pageable_decay_power)
+
+    def pitched_bandwidth_gbs_batch(self, footprint_blocks: np.ndarray) -> np.ndarray:
+        """:meth:`pitched_bandwidth_gbs` over an array of footprints."""
+        fp = np.asarray(footprint_blocks, dtype=np.float64)
+        ratio = fp / self.staging_blocks
+        with np.errstate(divide="ignore"):
+            pageable = self.gpu.pcie_pageable_gbs / ratio**self.gpu.pageable_decay_power
+        return np.where(
+            fp <= self.staging_blocks, self.gpu.pcie_pitched_pinned_gbs, pageable
+        )
 
     def pitched_time(self, nbytes: float, footprint_blocks: float) -> float:
         """Seconds to move ``nbytes`` of a pitched rectangle one way."""

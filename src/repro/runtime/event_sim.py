@@ -31,6 +31,14 @@ class EventSimulator:
         self._seq = itertools.count()
         self.now = 0.0
         self._processed = 0
+        # One tracer lookup per simulator, not per event: schedule() and
+        # run() are the engine's inner loops.  Counter handles are cached
+        # alongside; counter TOTALS stay identical to per-event accounting.
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
+            self._scheduled_counter = self._tracer.counter("sim.events.scheduled")
+            self._processed_counter = self._tracer.counter("sim.events.processed")
+            self._depth_gauge = self._tracer.gauge("sim.queue_depth")
 
     def schedule(self, delay: float, action: Callable[["EventSimulator"], None]) -> None:
         """Run ``action`` ``delay`` seconds from the current clock."""
@@ -39,10 +47,8 @@ class EventSimulator:
         heapq.heappush(
             self._queue, _Event(self.now + delay, next(self._seq), action)
         )
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("sim.events.scheduled").add(1)
-            tracer.gauge("sim.queue_depth").set(len(self._queue))
+        if self._tracer.enabled:
+            self._scheduled_counter.add(1)
 
     def schedule_at(self, time: float, action: Callable[["EventSimulator"], None]) -> None:
         """Run ``action`` at an absolute simulation time (>= now)."""
@@ -51,26 +57,29 @@ class EventSimulator:
                 f"cannot schedule at {time}, clock already at {self.now}"
             )
         heapq.heappush(self._queue, _Event(time, next(self._seq), action))
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("sim.events.scheduled").add(1)
-            tracer.gauge("sim.queue_depth").set(len(self._queue))
+        if self._tracer.enabled:
+            self._scheduled_counter.add(1)
 
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to ``until``); return the clock."""
-        tracer = get_tracer()
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                self.now = until
-                return self.now
-            event = heapq.heappop(self._queue)
-            self.now = event.time
-            self._processed += 1
-            if tracer.enabled:
-                tracer.counter("sim.events.processed").add(1)
-                tracer.gauge("sim.queue_depth").set(len(self._queue))
-            event.action(self)
-        return self.now
+        drained = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    self.now = until
+                    return self.now
+                event = heapq.heappop(self._queue)
+                self.now = event.time
+                self._processed += 1
+                drained += 1
+                event.action(self)
+            return self.now
+        finally:
+            # Per-drain (not per-event) instrumentation: one counter add
+            # covering every event processed, one final queue-depth sample.
+            if drained and self._tracer.enabled:
+                self._processed_counter.add(drained)
+                self._depth_gauge.set(len(self._queue))
 
     @property
     def events_processed(self) -> int:

@@ -10,8 +10,19 @@ reproducible even when the code paths that consume randomness are reordered.
 from __future__ import annotations
 
 import hashlib
+from typing import Iterable, Sequence
 
 import numpy as np
+
+
+def _path_hasher(base_seed: int, names: Iterable[object]):
+    """The BLAKE2 hasher of a seed path, ready to be extended or digested."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(base_seed)).encode("utf-8"))
+    for name in names:
+        h.update(b"/")
+        h.update(str(name).encode("utf-8"))
+    return h
 
 
 def derive_seed(base_seed: int, *names: str) -> int:
@@ -20,12 +31,51 @@ def derive_seed(base_seed: int, *names: str) -> int:
     Uses BLAKE2 over the textual path so the mapping is stable across runs,
     platforms and Python versions (unlike ``hash()``).
     """
-    h = hashlib.blake2b(digest_size=8)
-    h.update(str(int(base_seed)).encode("utf-8"))
-    for name in names:
-        h.update(b"/")
-        h.update(str(name).encode("utf-8"))
-    return int.from_bytes(h.digest(), "little")
+    return int.from_bytes(_path_hasher(base_seed, names).digest(), "little")
+
+
+def sibling_seeds(
+    base_seed: int,
+    prefix: Sequence[object],
+    leaves: Iterable[object],
+) -> list[int]:
+    """Seeds of many streams sharing a path prefix, hashing the prefix once.
+
+    Each leaf may be one path component or a tuple of trailing components:
+    ``sibling_seeds(s, ("a",), [("b", "c")])[0] == derive_seed(s, "a", "b", "c")``.
+    The prefix digest is computed once and extended per leaf via hasher
+    copies, which is what makes batched noise generation cheap; the result
+    is bit-identical to calling :func:`derive_seed` on each full path.
+    """
+    base = _path_hasher(base_seed, prefix)
+    seeds = []
+    for leaf in leaves:
+        h = base.copy()
+        for part in leaf if isinstance(leaf, tuple) else (leaf,):
+            h.update(b"/")
+            h.update(str(part).encode("utf-8"))
+        seeds.append(int.from_bytes(h.digest(), "little"))
+    return seeds
+
+
+def sibling_generators(
+    base_seed: int,
+    prefix: Sequence[object],
+    leaves: Iterable[object],
+) -> list[np.random.Generator]:
+    """Generators of many sibling streams (see :func:`sibling_seeds`).
+
+    ``sibling_generators(s, p, [leaf])[0]`` draws the same sequence as
+    ``RngStream(s, (*p, leaf)).generator``: for integer seeds
+    ``default_rng(seed)`` is exactly ``Generator(PCG64(seed))``, spelled
+    directly here to skip the dispatch overhead on the batched hot path.
+    """
+    generator = np.random.Generator
+    pcg64 = np.random.PCG64
+    return [
+        generator(pcg64(seed))
+        for seed in sibling_seeds(base_seed, prefix, leaves)
+    ]
 
 
 class RngStream:

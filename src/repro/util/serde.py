@@ -99,7 +99,7 @@ def _decode_union(args: tuple, data: Any) -> Any:
     for arg in args:
         if arg is type(None):
             continue
-        try:
+        try:  # noqa: PERF203 - attempting each union arm IS the algorithm
             return _decode(arg, data)
         except (TypeError, ValueError, KeyError):
             continue

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
+import numpy as np  # noqa: F401 - ndarray in annotations
 from scipy import stats as _scipy_stats
 
 from repro.util.validation import check_positive, check_probability
@@ -27,6 +29,11 @@ def student_t_critical(confidence: float, dof: int) -> float:
         raise ValueError(f"dof must be >= 1, got {dof}")
     alpha = 1.0 - confidence
     return float(_scipy_stats.t.ppf(1.0 - alpha / 2.0, dof))
+
+
+@lru_cache(maxsize=4096)
+def _student_t_critical_cached(confidence: float, dof: int) -> float:
+    return student_t_critical(confidence, dof)
 
 
 def confidence_interval(
@@ -106,6 +113,56 @@ class RunningStats:
         mean = self.mean + delta * other.count / n
         m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
         return RunningStats(n, mean, m2)
+
+
+def relative_precision_cached(stats: RunningStats, confidence: float = 0.95) -> float:
+    """:meth:`RunningStats.relative_precision` via the memoised t-critical.
+
+    Bit-identical to the scalar method (same scipy value, same operation
+    order); used by the batch measurement path for its final statistics so
+    a cold FPM sweep pays one ``t.ppf`` call per distinct (confidence, dof)
+    instead of one per measurement.
+    """
+    if stats.count < 2 or stats.mean == 0.0:
+        return math.inf
+    t = _student_t_critical_cached(confidence, stats.count - 1)
+    half = t * stats.std / math.sqrt(stats.count)
+    return abs(half / stats.mean)
+
+
+def first_reliable_prefix(
+    stats: RunningStats,
+    values: np.ndarray,
+    rel_err: float,
+    confidence: float,
+    min_count: int,
+) -> bool:
+    """Absorb a chunk of observations, stopping at the first reliable prefix.
+
+    Feeds ``values`` into ``stats`` in order and returns True when some
+    prefix (of the accumulated sample, counting observations absorbed
+    before this call) first satisfies ``count >= min_count`` and
+    :meth:`RunningStats.is_reliable`; ``stats`` is then left exactly at the
+    state after the stopping observation, as if the later values were never
+    drawn.  Returns False (with every value absorbed) otherwise.
+
+    The Welford recurrence is inherently sequential, so the chunk is
+    absorbed in a scalar loop; the Student-t rule at each prefix uses the
+    memoised critical value and the exact operation order of
+    :func:`relative_precision`, making the stopping decision bit-identical
+    to checking :meth:`RunningStats.is_reliable` after every observation
+    while paying one ``t.ppf`` call per distinct dof for the whole sweep.
+    """
+    check_positive("rel_err", rel_err)
+    for value in values:
+        stats.add(float(value))
+        if stats.count < min_count or stats.count < 2 or stats.mean == 0.0:
+            continue
+        t = _student_t_critical_cached(confidence, stats.count - 1)
+        half = t * stats.std / math.sqrt(stats.count)
+        if abs(half / stats.mean) <= rel_err:
+            return True
+    return False
 
 
 def geometric_mean(values: list[float]) -> float:

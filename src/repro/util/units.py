@@ -42,6 +42,16 @@ def gemm_kernel_flops(area_blocks: float, block_size: int = DEFAULT_BLOCKING_FAC
     return 2.0 * blocks_to_elements(area_blocks, block_size) * block_size
 
 
+def gemm_kernel_flops_batch(area_blocks, block_size: int = DEFAULT_BLOCKING_FACTOR):
+    """:func:`gemm_kernel_flops` over an array of areas, element-identical.
+
+    Areas are assumed pre-validated (>= 0); the operation order mirrors the
+    scalar helper exactly so batched kernel times match scalar ones bitwise.
+    """
+    check_positive("block_size", block_size)
+    return 2.0 * (area_blocks * block_size * block_size) * block_size
+
+
 def matmul_total_flops(n_blocks: int, block_size: int = DEFAULT_BLOCKING_FACTOR) -> float:
     """Total flops of the full ``n x n``-block square matrix multiplication.
 

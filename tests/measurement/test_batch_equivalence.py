@@ -1,0 +1,155 @@
+"""Golden equivalence: the vectorised measurement engine vs the scalar oracle.
+
+``measure_until_reliable`` (one sample() call per repetition) is kept as the
+reference implementation; every fast path built on the batch engine must be
+bit-identical to it — same floats, same repetition counts, same error
+messages, same observability counter totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement.benchmark import HybridBenchmark
+from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+from repro.measurement.reliability import (
+    ReliabilityCriterion,
+    measure_until_reliable,
+    measure_until_reliable_batch,
+)
+from repro.obs import Tracer, use_tracer
+from repro.platform.noise import NoiseModel
+from repro.util.rng import RngStream
+
+SIZES = (12.0, 40.0, 130.0, 700.0, 2500.0)
+
+
+@pytest.fixture(scope="module")
+def bench(node):
+    return HybridBenchmark(node)
+
+
+def _kernels(bench):
+    return [
+        (bench.socket_kernel(0, 5), 0),
+        (bench.socket_kernel(0, 6, gpu_active=True), 0),
+        (bench.gpu_kernel(0, 1), 0),
+        (bench.gpu_kernel(1, 2), 3),
+        (bench.gpu_kernel(1, 3), 5),
+    ]
+
+
+class TestKernelBatch:
+    def test_run_time_batch_matches_scalar(self, bench):
+        for kernel, busy in _kernels(bench):
+            batch = kernel.run_time_batch(np.asarray(SIZES), busy)
+            for size, value in zip(SIZES, batch):
+                assert float(value) == kernel.run_time(size, busy)
+
+    def test_rejects_negative_area(self, bench):
+        kernel = bench.socket_kernel(0, 5)
+        with pytest.raises(ValueError, match="area_blocks"):
+            kernel.run_time_batch([12.0, -1.0])
+
+    def test_rejects_non_1d_batch(self, bench):
+        kernel = bench.socket_kernel(0, 5)
+        with pytest.raises(ValueError, match="1-D"):
+            kernel.run_time_batch(np.ones((2, 2)))
+
+
+class TestMeasureSpeedsBatch:
+    def test_bit_identical_to_scalar_loop(self, bench):
+        for kernel, busy in _kernels(bench):
+            batch = bench.measure_speeds(kernel, SIZES, busy)
+            for size, got in zip(SIZES, batch):
+                want = bench.measure_speed(kernel, size, busy)
+                assert got.area_blocks == want.area_blocks
+                assert got.speed_gflops == want.speed_gflops
+                assert got.timing == want.timing
+
+    def test_counter_totals_match_scalar_path(self, bench):
+        kernel = bench.socket_kernel(0, 5)
+        scalar_tracer = Tracer()
+        with use_tracer(scalar_tracer):
+            for size in SIZES:
+                bench.measure_speed(kernel, size)
+        batch_tracer = Tracer()
+        with use_tracer(batch_tracer):
+            bench.measure_speeds(kernel, SIZES)
+        for name in ("measure.samples.accepted", "measure.samples.rejected"):
+            assert (
+                batch_tracer.counter(name).value
+                == scalar_tracer.counter(name).value
+            )
+
+
+class TestReliabilityBatch:
+    def test_negative_timing_message_matches_scalar(self):
+        values = [1.0, 2.0, 1.5, -1.0, 1.0]
+        criterion = ReliabilityCriterion(
+            rel_err=1e-9, min_repetitions=2, max_repetitions=5
+        )
+        with pytest.raises(ValueError, match="negative timing -1.0 from repetition 3"):
+            measure_until_reliable(lambda rep: values[rep], criterion)
+        with pytest.raises(ValueError, match="negative timing -1.0 from repetition 3"):
+            measure_until_reliable_batch(
+                lambda start, count: np.asarray(values[start : start + count]),
+                criterion,
+            )
+
+    def test_negative_after_stop_never_sampled_by_scalar(self):
+        # the scalar loop stops at repetition 2 and never sees the negative;
+        # the batch path draws it (chunks are prefetched) but must not raise
+        values = [1.0, 1.0, -1.0, -1.0]
+        criterion = ReliabilityCriterion(
+            rel_err=0.5, min_repetitions=2, max_repetitions=4
+        )
+        scalar = measure_until_reliable(lambda rep: values[rep], criterion)
+        batch = measure_until_reliable_batch(
+            lambda start, count: np.asarray(values[start : start + count]),
+            criterion,
+        )
+        assert batch == scalar
+        assert batch.repetitions == 2
+
+    def test_budget_exhaustion_identical(self):
+        noise = NoiseModel(RngStream(7).child("bench"), 0.8)
+        criterion = ReliabilityCriterion(
+            rel_err=0.001, min_repetitions=5, max_repetitions=37
+        )
+        scalar = measure_until_reliable(
+            lambda rep: noise.perturb(1.0, "k", f"r{rep}"), criterion
+        )
+        batch = measure_until_reliable_batch(
+            lambda start, count: noise.perturb_batch(
+                1.0, ("k",), [f"r{r}" for r in range(start, start + count)]
+            ),
+            criterion,
+        )
+        assert batch == scalar
+        assert not batch.reliable
+        assert batch.repetitions == 37
+
+
+class TestFpmBuilderBatch:
+    def test_adaptive_build_counters_consistent(self, bench):
+        grid = SizeGrid.geometric(12.0, 3000.0, 8)
+        kernel = bench.gpu_kernel(1, 3)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            model = FpmBuilder(bench).build(kernel, grid, adaptive=True)
+        samples = model.speed_function.samples
+        assert tracer.counter("fpm.samples").value == len(samples)
+        assert tracer.counter("fpm.adaptive.points").value == len(samples) - len(
+            grid.sizes
+        )
+
+    def test_build_matches_scalar_speeds(self, bench):
+        grid = SizeGrid.linear(12.0, 1200.0, 6)
+        kernel = bench.socket_kernel(2, 6)
+        model = FpmBuilder(bench).build(kernel, grid)
+        for sample in model.speed_function.samples:
+            want = bench.measure_speed(kernel, sample.size)
+            assert sample.speed == want.speed_gflops
+            assert sample.rel_precision == want.timing.rel_precision

@@ -1,0 +1,123 @@
+"""Property tests: the batch measurement engine is bit-identical (hypothesis).
+
+The vectorised fast path (``perturb_batch``, ``measure_until_reliable_batch``,
+``run_time_batch``) must return the EXACT floats of the scalar oracle for any
+noise level, outlier rate, stopping criterion and problem size — not merely
+close ones: FPM tables are cached content-addressed, so a single differing
+bit forks the artifact store.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.measurement.benchmark import HybridBenchmark
+from repro.measurement.reliability import (
+    ReliabilityCriterion,
+    measure_until_reliable,
+    measure_until_reliable_batch,
+)
+from repro.platform.noise import NoiseModel
+from repro.platform.presets import ig_icl_node
+from repro.util.rng import RngStream
+
+pytestmark = pytest.mark.property
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+sigmas = st.floats(min_value=0.0, max_value=0.5)
+outlier_probs = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def criteria(draw):
+    min_reps = draw(st.integers(min_value=1, max_value=12))
+    return ReliabilityCriterion(
+        rel_err=draw(st.floats(min_value=0.005, max_value=0.5)),
+        confidence=draw(st.sampled_from([0.9, 0.95, 0.99])),
+        min_repetitions=min_reps,
+        max_repetitions=min_reps + draw(st.integers(min_value=0, max_value=60)),
+    )
+
+
+@given(
+    seeds,
+    sigmas,
+    outlier_probs,
+    st.floats(min_value=0.0, max_value=10.0),
+    st.integers(min_value=1, max_value=40),
+)
+def test_perturb_batch_matches_scalar(seed, sigma, outlier_prob, seconds, n):
+    noise = NoiseModel(
+        RngStream(seed).child("bench"), sigma, outlier_prob=outlier_prob
+    )
+    keys = [f"r{i}" for i in range(n)]
+    batch = noise.perturb_batch(seconds, ("kernel", "x12.0", "busy0"), keys)
+    assert batch.shape == (n,)
+    for value, key in zip(batch, keys):
+        assert float(value) == noise.perturb(
+            seconds, "kernel", "x12.0", "busy0", key
+        )
+
+
+@given(
+    seeds,
+    sigmas,
+    outlier_probs,
+    st.floats(min_value=1e-6, max_value=5.0),
+    criteria(),
+)
+def test_reliability_batch_matches_scalar(
+    seed, sigma, outlier_prob, seconds, criterion
+):
+    noise = NoiseModel(
+        RngStream(seed).child("bench"), sigma, outlier_prob=outlier_prob
+    )
+    scalar = measure_until_reliable(
+        lambda rep: noise.perturb(seconds, "kernel", f"r{rep}"), criterion
+    )
+    batch = measure_until_reliable_batch(
+        lambda start, count: noise.perturb_batch(
+            seconds, ("kernel",), [f"r{r}" for r in range(start, start + count)]
+        ),
+        criterion,
+    )
+    # frozen-dataclass equality: mean, std, repetitions, rel_precision and
+    # the reliable flag must all be EXACTLY equal
+    assert batch == scalar
+
+
+_BENCH: list[HybridBenchmark] = []
+
+
+def _bench() -> HybridBenchmark:
+    if not _BENCH:
+        _BENCH.append(HybridBenchmark(ig_icl_node()))
+    return _BENCH[0]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=6000.0), min_size=1, max_size=8
+    ),
+    st.integers(min_value=0, max_value=5),
+)
+def test_cpu_run_time_batch_matches_scalar(areas, busy):
+    kernel = _bench().socket_kernel(0, 5)
+    batch = kernel.run_time_batch(areas, busy)
+    for area, value in zip(areas, batch):
+        assert float(value) == kernel.run_time(area, busy)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=6000.0), min_size=1, max_size=8
+    ),
+    st.integers(min_value=0, max_value=5),
+)
+def test_gpu_v3_run_time_batch_matches_scalar(areas, busy):
+    kernel = _bench().gpu_kernel(0, 3)
+    batch = kernel.run_time_batch(areas, busy)
+    for area, value in zip(areas, batch):
+        assert float(value) == kernel.run_time(area, busy)
