@@ -1,0 +1,88 @@
+"""Benchmark: recovery re-solve cost and the fault layer's fault-free tax.
+
+Two gates ride on this bench:
+
+* the recovery pipeline (drop -> re-solve -> replay) is cheap relative
+  to a fault-free run's planning cost — it reuses the same partitioner;
+* installing the fault layer **disabled** (``faults=None`` vs an inert
+  :class:`FaultPlan`) costs less than 5% on the measurement hot path:
+  the guard is one branch, and an inert plan short-circuits before any
+  hashing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.measurement.benchmark import HybridBenchmark
+from repro.app.matmul import HybridMatMul
+from repro.platform.faults import DeviceDrop, FaultPlan
+from repro.platform.presets import ig_icl_node
+from repro.runtime.recovery import run_with_recovery
+
+#: the fig2-style hot path used for the fault-free-overhead gate.
+SWEEP_SIZES = tuple(float(s) for s in range(12, 1200, 50))
+N = 40
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _app():
+    app = HybridMatMul(ig_icl_node(), seed=7, noise_sigma=0.01)
+    app.build_models(
+        max_blocks=1700.0, cpu_points=6, gpu_points=8, adaptive=False
+    )
+    return app
+
+
+def test_recovery_resolve_cost(benchmark):
+    """Time the full degraded run (drop at half the makespan)."""
+    app = _app()
+    fault_free = run_with_recovery(app, N, drops=()).fault_free_time_s
+    drop = DeviceDrop(time_s=0.5 * fault_free, device="GeForce GTX680")
+
+    result = benchmark(run_with_recovery, app, N, (drop,))
+
+    assert sum(result.degraded_unit_allocations) == N * N
+    benchmark.extra_info["blocks_migrated"] = result.blocks_migrated
+    benchmark.extra_info["overhead_fraction"] = round(
+        result.overhead_fraction, 4
+    )
+
+
+def test_fault_layer_disabled_is_free(benchmark):
+    """Gate: inert fault plan within 5% of no plan on the hot path."""
+    node = ig_icl_node()
+    clean = HybridBenchmark(node, seed=31, noise_sigma=0.01)
+    inert = HybridBenchmark(
+        node, seed=31, noise_sigma=0.01, faults=FaultPlan.from_spec("", seed=31)
+    )
+    kernel_c = clean.socket_kernel(0, 5)
+    kernel_i = inert.socket_kernel(0, 5)
+
+    # same floats first (the gate is about cost, not behaviour)
+    want = [m.speed_gflops for m in clean.measure_speeds(kernel_c, SWEEP_SIZES)]
+    got = [m.speed_gflops for m in inert.measure_speeds(kernel_i, SWEEP_SIZES)]
+    assert got == want
+
+    clean_s = _best_of(lambda: clean.measure_speeds(kernel_c, SWEEP_SIZES))
+    inert_s = _best_of(lambda: inert.measure_speeds(kernel_i, SWEEP_SIZES))
+    overhead = inert_s / clean_s - 1.0
+
+    benchmark(inert.measure_speeds, kernel_i, SWEEP_SIZES)
+
+    assert overhead < 0.05, (
+        f"inert fault plan costs {100 * overhead:.1f}% on the measurement "
+        f"hot path (gate: < 5%)"
+    )
+    benchmark.extra_info["sweep_points"] = len(SWEEP_SIZES)
+    benchmark.extra_info["clean_ms"] = round(clean_s * 1e3, 2)
+    benchmark.extra_info["inert_ms"] = round(inert_s * 1e3, 2)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 4)

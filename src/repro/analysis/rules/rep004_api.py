@@ -69,6 +69,19 @@ def _exported_imports(
     return exports
 
 
+def _has_module_getattr(tree: ast.Module) -> bool:
+    """True when the module defines a PEP 562 ``__getattr__`` hook.
+
+    Lazy re-exports (``__all__`` names resolved by module ``__getattr__``,
+    e.g. to break an import cycle) have no static binding; like pyflakes'
+    F822, the never-binds check stands down for such modules.
+    """
+    return any(
+        isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__"
+        for stmt in tree.body
+    )
+
+
 def _defined_names(tree: ast.Module) -> set[str]:
     """Top-level bindings of a module (defs, classes, assignments, imports)."""
     names: set[str] = set()
@@ -115,13 +128,14 @@ class ApiContractRule(Rule):
             return
         declared = set(entries)
         bound = _defined_names(ctx.tree)
-        for name in entries:
-            if name not in bound:
-                ctx.report(
-                    self.rule_id,
-                    ctx.tree,
-                    f"__all__ lists `{name}` but the module never binds it",
-                )
+        if not _has_module_getattr(ctx.tree):
+            for name in entries:
+                if name not in bound:
+                    ctx.report(
+                        self.rule_id,
+                        ctx.tree,
+                        f"__all__ lists `{name}` but the module never binds it",
+                    )
         for local, module, original, node in exports:
             if local not in declared:
                 ctx.report(

@@ -30,6 +30,7 @@ from repro.app.execution import ExecutionResult, simulate_execution
 from repro.measurement.benchmark import HybridBenchmark
 from repro.measurement.binding import BindingPlan, default_binding
 from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
+from repro.platform.faults import FaultPlan
 from repro.platform.spec import NodeSpec
 from repro.runtime.mpi_sim import CommModel, SimulatedComm
 from repro.runtime.process import DeviceBoundProcess, bind_processes
@@ -96,10 +97,13 @@ class HybridMatMul:
         noise_sigma: float = 0.02,
         gpu_version: int = 3,
         comm_model: CommModel | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.node = node
         self.gpu_version = gpu_version
-        self.bench = HybridBenchmark(node, seed=seed, noise_sigma=noise_sigma)
+        self.bench = HybridBenchmark(
+            node, seed=seed, noise_sigma=noise_sigma, faults=faults
+        )
         self.binding: BindingPlan = default_binding(node)
         self.comm_model = comm_model or CommModel()
         self._models: dict[str, FunctionalPerformanceModel] = {}
@@ -273,6 +277,48 @@ class HybridMatMul:
                 f"allocations sum to {sum(unit_allocations)}, expected {n * n}"
             )
         process_allocs = self._expand_to_processes(units, list(unit_allocations))
+        partition = column_based_partition(process_allocs, n)
+        return MatMulPlan(
+            n=n,
+            strategy=PartitioningStrategy(strategy),
+            units=tuple(units),
+            unit_allocations=tuple(int(a) for a in unit_allocations),
+            process_allocations=tuple(process_allocs),
+            partition=partition,
+        )
+
+    def plan_for_units(
+        self,
+        n: int,
+        units: list[ComputeUnit],
+        unit_allocations: list[int],
+        strategy: PartitioningStrategy | str = PartitioningStrategy.FPM,
+    ) -> MatMulPlan:
+        """Materialise a plan over a *subset* of this node's units.
+
+        The degraded-mode seam used by :mod:`repro.runtime.recovery`:
+        after a device drop, the partitioner re-solves over the surviving
+        units and this method expands the allocations to processes and
+        rebuilds the geometry.  Ranks of excluded units receive zero
+        blocks (their rectangles are empty), so the plan still spans the
+        node's full process set.
+        """
+        check_positive_int("n", n)
+        known = {u.name for u in self.compute_units()}
+        unknown = [u.name for u in units if u.name not in known]
+        if unknown:
+            raise ValueError(f"units not on this node: {unknown}")
+        if len(unit_allocations) != len(units):
+            raise ValueError(
+                f"{len(unit_allocations)} allocations for {len(units)} units"
+            )
+        if sum(unit_allocations) != n * n:
+            raise ValueError(
+                f"allocations sum to {sum(unit_allocations)}, expected {n * n}"
+            )
+        process_allocs = self._expand_to_processes(
+            list(units), [int(a) for a in unit_allocations]
+        )
         partition = column_based_partition(process_allocs, n)
         return MatMulPlan(
             n=n,

@@ -181,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the 'report' command (default: 1)",
     )
     parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection spec, e.g. 'fail:GeForce GTX680:p=0.3; "
+            "spike:*:p=0.05,x=10' (see docs/fault-tolerance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment timeout for the 'report' command",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the artifact store: rebuild models and results",
@@ -221,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
         noise_sigma=args.noise,
         fast=args.fast,
         gpu_version=args.gpu_version,
+        faults=args.faults,
     )
     if args.experiment == "list-experiments":
         return _list_experiments_command()
@@ -228,7 +245,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "report":
         from repro.experiments.orchestrator import run_full_report
 
-        print(run_full_report(config, jobs=args.jobs, store=store))
+        print(
+            run_full_report(
+                config, jobs=args.jobs, store=store, timeout_s=args.timeout
+            )
+        )
         return 0
     with use_store(store):
         if args.experiment == "models":

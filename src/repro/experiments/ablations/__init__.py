@@ -29,6 +29,9 @@ quantify them on the simulated platform:
   would beat the paper's computation-only partitioning (it does not: the
   broadcast term grows as sqrt of the allocation, so the simplification
   is robust even at 40x the communication cost).
+* :mod:`fault_tolerance` — recovery overhead vs drop time when a device
+  hard-fails mid-run and the runtime re-solves the partition over the
+  survivors (model-based vs observed-speed re-solve).
 """
 
 from repro.experiments.ablations import (
@@ -38,6 +41,7 @@ from repro.experiments.ablations import (
     cpm_calibration,
     dma_engines,
     dynamic_vs_static,
+    fault_tolerance,
     gpu_kernel_version,
     hierarchical_cluster,
     noise_sensitivity,
@@ -52,6 +56,7 @@ __all__ = [
     "cpm_calibration",
     "dma_engines",
     "dynamic_vs_static",
+    "fault_tolerance",
     "gpu_kernel_version",
     "hierarchical_cluster",
     "noise_sensitivity",

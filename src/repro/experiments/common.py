@@ -9,6 +9,7 @@ from typing import Iterator
 from repro.app.matmul import HybridMatMul
 from repro.measurement.benchmark import HybridBenchmark
 from repro.obs import Span, get_tracer
+from repro.platform.faults import FaultPlan, parse_fault_spec
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.util.validation import check_nonnegative, check_positive
@@ -30,10 +31,15 @@ class ExperimentConfig:
     #: largest problem the models must cover, in blocks (Fig. 7 goes to
     #: 80 x 80 = 6400).
     model_max_blocks: float = 6500.0
+    #: fault-injection spec (:func:`repro.platform.faults.parse_fault_spec`
+    #: grammar), or None for the fault-free default.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         check_nonnegative("noise_sigma", self.noise_sigma)
         check_positive("model_max_blocks", self.model_max_blocks)
+        if self.faults is not None:
+            parse_fault_spec(self.faults)  # fail fast on bad grammar
 
     @property
     def sweep_points(self) -> int:
@@ -70,7 +76,18 @@ def experiment_span(name: str, config: ExperimentConfig) -> Iterator[Span]:
         gpu_version=config.gpu_version,
         fast=config.fast,
     ) as span:
+        # only stamp the attribute when faults are on, so fault-free span
+        # skeletons (and their golden traces) are unchanged
+        if config.faults is not None and tracer.enabled:
+            span.set_attr("faults", config.faults)
         yield span
+
+
+def _fault_plan(config: ExperimentConfig) -> FaultPlan | None:
+    """The config's seeded fault plan, or None when fault-free."""
+    if config.faults is None:
+        return None
+    return FaultPlan.from_spec(config.faults, seed=config.seed)
 
 
 def make_bench(config: ExperimentConfig, node: NodeSpec | None = None) -> HybridBenchmark:
@@ -79,6 +96,7 @@ def make_bench(config: ExperimentConfig, node: NodeSpec | None = None) -> Hybrid
         node or ig_icl_node(),
         seed=config.seed,
         noise_sigma=config.noise_sigma,
+        faults=_fault_plan(config),
     )
 
 
@@ -93,6 +111,7 @@ def make_app(
         seed=config.seed,
         noise_sigma=config.noise_sigma,
         gpu_version=config.gpu_version,
+        faults=_fault_plan(config),
     )
     if build_models:
         app.build_models(
@@ -111,4 +130,5 @@ def make_cpu_only_app(config: ExperimentConfig) -> HybridMatMul:
         seed=config.seed,
         noise_sigma=config.noise_sigma,
         gpu_version=config.gpu_version,
+        faults=_fault_plan(config),
     )

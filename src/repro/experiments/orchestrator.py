@@ -18,7 +18,8 @@ losers overwrite with identical bytes).
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.experiments.common import ExperimentConfig, experiment_span
 from repro.experiments.registry import get_experiment
@@ -41,6 +42,27 @@ REPORT_EXPERIMENTS = (
     "fig6",
     "fig7",
 )
+
+
+class ExperimentError(RuntimeError):
+    """An experiment failed; carries which one (workers lose that context)."""
+
+    def __init__(self, name: str, cause: BaseException):
+        self.experiment = name
+        super().__init__(f"experiment {name!r} failed: {cause}")
+
+
+@dataclass(frozen=True)
+class FailedExperiment:
+    """Sentinel result for an experiment that failed after its retries.
+
+    ``run_experiments(..., on_error="collect")`` returns one of these in
+    place of the result, so a degraded report can render the failure as a
+    section instead of aborting its siblings.  Never cached.
+    """
+
+    name: str
+    error: str
 
 
 def result_key(name: str, config: ExperimentConfig) -> dict:
@@ -124,12 +146,26 @@ def _worker(
     return name, _encode_result(result)
 
 
+def _handle_failure(
+    name: str, exc: BaseException, on_error: str, tracer
+) -> FailedExperiment:
+    """Final (post-retry) failure: collect a sentinel or raise wrapped."""
+    if tracer.enabled:
+        tracer.counter("report.failures").add(1)
+    if on_error == "collect":
+        return FailedExperiment(name=name, error=f"{type(exc).__name__}: {exc}")
+    raise ExperimentError(name, exc) from exc
+
+
 def run_experiments(
     names: Iterable[str],
     config: ExperimentConfig = ExperimentConfig(),
     *,
     jobs: int = 1,
     store: ResultStore | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    on_error: str = "raise",
 ) -> dict[str, Any]:
     """Run several experiments, optionally across a process pool.
 
@@ -138,22 +174,78 @@ def run_experiments(
     over ``ProcessPoolExecutor`` workers that share the store on disk.
     Results are identical either way (each experiment is deterministic
     in ``config``), so ``--jobs`` is purely a wall-clock knob.
+
+    Failure handling: each failed (or, pooled, timed-out) experiment is
+    resubmitted up to ``retries`` times; a final failure either cancels
+    the still-pending siblings and re-raises wrapped in
+    :class:`ExperimentError` naming the experiment (``on_error="raise"``,
+    the default) or yields a :class:`FailedExperiment` sentinel in the
+    result mapping (``on_error="collect"``, the degraded-report mode).
+    ``timeout_s`` bounds each pooled attempt; a timed-out worker process
+    cannot be killed mid-task, so it is abandoned best-effort.
     """
     names = list(names)
     for name in names:
         get_experiment(name)  # fail fast on unknown names, before forking
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
     store = get_store() if store is None else store
+    tracer = get_tracer()
+
     if jobs <= 1 or len(names) <= 1:
-        return {n: run_experiment(n, config, store=store) for n in names}
+        out: dict[str, Any] = {}
+        for name in names:
+            for attempt in range(retries + 1):
+                try:
+                    out[name] = run_experiment(name, config, store=store)
+                    break
+                except Exception as exc:
+                    if attempt < retries:
+                        if tracer.enabled:
+                            tracer.counter("report.retries").add(1)
+                        continue
+                    out[name] = _handle_failure(name, exc, on_error, tracer)
+        return out
 
     root = str(store.root) if store is not None else None
     salt = store.salt if store is not None else None
-    out: dict[str, Any] = {}
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_worker, n, config, root, salt) for n in names]
-        for future in concurrent.futures.as_completed(futures):
-            name, payload = future.result()
-            out[name] = _decode_result(payload)
+    out = {}
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {
+            name: pool.submit(_worker, name, config, root, salt) for name in names
+        }
+        for name in names:
+            attempt = 0
+            while True:
+                try:
+                    _, payload = futures[name].result(timeout=timeout_s)
+                    out[name] = _decode_result(payload)
+                    break
+                except Exception as exc:
+                    if attempt < retries:
+                        attempt += 1
+                        if tracer.enabled:
+                            tracer.counter("report.retries").add(1)
+                        futures[name] = pool.submit(
+                            _worker, name, config, root, salt
+                        )
+                        continue
+                    if on_error == "raise":
+                        # stop scheduling the siblings before re-raising;
+                        # already-running workers cannot be interrupted
+                        for other in futures.values():
+                            other.cancel()
+                    out[name] = _handle_failure(name, exc, on_error, tracer)
+                    break
+    finally:
+        # not the context manager: shutdown(wait=True) would block on a
+        # hung (timed-out) worker long after its result was given up on
+        pool.shutdown(wait=False, cancel_futures=True)
     return {n: out[n] for n in names}
 
 
@@ -162,38 +254,74 @@ def run_full_report(
     *,
     jobs: int = 1,
     store: ResultStore | None = None,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    experiments: Sequence[str] = REPORT_EXPERIMENTS,
 ) -> str:
     """The complete paper-vs-measured report (text), orchestrated.
 
     Runs the seven figure/table experiments (parallel when ``jobs > 1``,
     replayed from ``store`` when warm), renders each section with its
     registered formatter, and appends the shape checks.
+
+    Degrades gracefully: an experiment that still fails after ``retries``
+    resubmissions renders as a ``[FAILED <name>: <error>]`` section
+    instead of aborting the others, and the shape checks are skipped
+    (with a note naming the failures) when any of the seven report
+    experiments is missing.
     """
     from repro.experiments import report
 
+    names = tuple(experiments)
     tracer = get_tracer()
     with tracer.span("report.full", category="experiment", jobs=jobs) as span:
-        results = run_experiments(REPORT_EXPERIMENTS, config, jobs=jobs, store=store)
+        results = run_experiments(
+            names,
+            config,
+            jobs=jobs,
+            store=store,
+            timeout_s=timeout_s,
+            retries=retries,
+            on_error="collect",
+        )
+        failed = [
+            name for name in names if isinstance(results[name], FailedExperiment)
+        ]
         if tracer.enabled:
             span.set_attr("experiments", len(results))
-        sections = [
-            get_experiment(name).format_result(results[name])
+            span.set_attr("failures", len(failed))
+        sections = []
+        for name in names:
+            result = results[name]
+            if isinstance(result, FailedExperiment):
+                sections.append(f"[FAILED {name}: {result.error}]")
+            else:
+                sections.append(get_experiment(name).format_result(result))
+        checks = None
+        if set(REPORT_EXPERIMENTS) <= set(names) and not any(
+            isinstance(results[name], FailedExperiment)
             for name in REPORT_EXPERIMENTS
-        ]
-        checks = report.shape_checks(
-            results["fig2"],
-            results["fig3"],
-            results["fig5"],
-            results["table2"],
-            results["table3"],
-            results["fig6"],
-            results["fig7"],
+        ):
+            checks = report.shape_checks(
+                results["fig2"],
+                results["fig3"],
+                results["fig5"],
+                results["table2"],
+                results["table3"],
+                results["fig6"],
+                results["fig7"],
+            )
+    if checks is None:
+        sections.append(
+            "Shape checks skipped: "
+            f"{len(failed)} experiment(s) failed ({', '.join(failed) or 'n/a'})."
         )
-    check_lines = ["Shape checks (paper claim vs measured):"]
-    for c in checks:
-        status = "PASS" if c.passed else "FAIL"
-        check_lines.append(
-            f"  [{status}] {c.name}: expected {c.expected}, measured {c.measured}"
-        )
-    sections.append("\n".join(check_lines))
+    else:
+        check_lines = ["Shape checks (paper claim vs measured):"]
+        for c in checks:
+            status = "PASS" if c.passed else "FAIL"
+            check_lines.append(
+                f"  [{status}] {c.name}: expected {c.expected}, measured {c.measured}"
+            )
+        sections.append("\n".join(check_lines))
     return "\n\n".join(sections)

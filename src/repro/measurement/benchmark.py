@@ -29,6 +29,7 @@ from repro.measurement.reliability import (
 from repro.measurement.timer import SimulatedTimer
 from repro.obs import get_tracer
 from repro.platform.device import SimulatedGpu, SimulatedSocket, build_devices
+from repro.platform.faults import FaultPlan, RetryPolicy
 from repro.platform.noise import NoiseModel
 from repro.platform.spec import NodeSpec
 from repro.util.rng import RngStream
@@ -47,17 +48,24 @@ class SpeedMeasurement:
 
 @dataclass
 class HybridBenchmark:
-    """Benchmarking facade over one simulated hybrid node."""
+    """Benchmarking facade over one simulated hybrid node.
+
+    ``faults`` installs a deterministic fault plan on the timer (its RNG
+    stream is disjoint from the noise model's ``"bench"`` stream); failing
+    invocations are retried under ``retry`` by the reliability protocol.
+    """
 
     node: NodeSpec
     seed: int = 42
     noise_sigma: float = 0.02
     criterion: ReliabilityCriterion = field(default_factory=ReliabilityCriterion)
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         self.sockets, self.gpus = build_devices(self.node)
         noise = NoiseModel(RngStream(self.seed).child("bench"), self.noise_sigma)
-        self.timer = SimulatedTimer(noise)
+        self.timer = SimulatedTimer(noise, faults=self.faults)
 
     # ------------------------------------------------------------ kernels
     def socket_kernel(
@@ -88,10 +96,11 @@ class HybridBenchmark:
             area_blocks=area_blocks,
         ) as span:
             timing = measure_until_reliable(
-                lambda rep: self.timer.time_kernel(
-                    kernel, area_blocks, rep, busy_cpu_cores
+                lambda rep, attempt=0: self.timer.time_kernel(
+                    kernel, area_blocks, rep, busy_cpu_cores, attempt=attempt
                 ),
                 self.criterion,
+                retry=self.retry,
             )
             if tracer.enabled:
                 span.set_attr("mean_s", timing.mean)
@@ -155,8 +164,20 @@ class HybridBenchmark:
                         ideal_seconds=_ideal,
                     )
 
+                def sample(rep, attempt=0, _size=size):
+                    # scalar fallback for repetitions whose batch draw was
+                    # marked as an injected fault (and for their retries)
+                    return self.timer.time_kernel(
+                        kernel, _size, rep, busy_cpu_cores, attempt=attempt
+                    )
+
                 timings.append(
-                    measure_until_reliable_batch(sample_batch, self.criterion)
+                    measure_until_reliable_batch(
+                        sample_batch,
+                        self.criterion,
+                        retry=self.retry,
+                        sample=sample,
+                    )
                 )
             return timings
 

@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.obs import get_tracer
+from repro.platform.faults import KernelFaultError, RetryPolicy
 from repro.util.stats import (
     RunningStats,
     first_reliable_prefix,
@@ -59,35 +60,96 @@ class Measurement:
             raise ValueError("a measurement needs at least one repetition")
 
 
+class _FaultLedger:
+    """Per-measurement accounting of injected faults and retries."""
+
+    __slots__ = ("faults", "retries", "backoff_s")
+
+    def __init__(self) -> None:
+        self.faults = 0
+        self.retries = 0
+        self.backoff_s = 0.0
+
+    def flush(self, tracer, span) -> None:
+        """Emit the fault counters/attributes (no-op when nothing faulted)."""
+        if not tracer.enabled or self.faults == 0:
+            return
+        tracer.counter("measure.faults").add(self.faults)
+        tracer.counter("measure.retries").add(self.retries)
+        span.set_attr("faults", self.faults)
+        span.set_attr("retries", self.retries)
+        span.set_attr("backoff_s", self.backoff_s)
+
+
+def _sample_with_retry(
+    sample: Callable[..., float],
+    rep: int,
+    retry: RetryPolicy | None,
+    ledger: _FaultLedger,
+) -> float:
+    """One repetition's timing, retrying injected kernel failures.
+
+    Attempt 0 calls ``sample(rep)`` (the unmodified protocol); retries call
+    ``sample(rep, attempt)`` so the timer keys the re-invocation under a
+    fresh stream leaf.  The final failure propagates unchanged when the
+    retry budget is exhausted (or no policy is given).
+    """
+    attempt = 0
+    while True:
+        try:
+            if attempt == 0:
+                return sample(rep)
+            return sample(rep, attempt)
+        except KernelFaultError:
+            ledger.faults += 1
+            if retry is None or attempt >= retry.max_retries:
+                raise
+            attempt += 1
+            ledger.retries += 1
+            ledger.backoff_s += retry.backoff_s(attempt)
+
+
 def measure_until_reliable(
-    sample: Callable[[int], float],
+    sample: Callable[..., float],
     criterion: ReliabilityCriterion = ReliabilityCriterion(),
+    retry: RetryPolicy | None = None,
 ) -> Measurement:
     """Repeat ``sample(repetition_index)`` until the criterion is met.
 
     Returns the sample statistics; ``reliable`` is False when the
     repetition budget ran out first (the result is still usable, as on a
     noisy real platform, but flagged).
+
+    ``retry`` bounds recovery from injected
+    :class:`~repro.platform.faults.KernelFaultError` failures: each failed
+    invocation is retried as ``sample(rep, attempt)`` with exponential
+    backoff until the policy's budget runs out, with ``measure.faults`` /
+    ``measure.retries`` counters and span attributes recording what
+    happened (flushed even when the final failure propagates).
     """
     tracer = get_tracer()
     with tracer.span("measure.reliable", category="measurement") as span:
         stats = RunningStats()
-        for rep in range(criterion.max_repetitions):
-            if tracer.enabled:
-                with tracer.span(
-                    "measure.repetition", category="measurement", repetition=rep
+        ledger = _FaultLedger()
+        try:
+            for rep in range(criterion.max_repetitions):
+                if tracer.enabled:
+                    with tracer.span(
+                        "measure.repetition", category="measurement", repetition=rep
+                    ):
+                        value = _sample_with_retry(sample, rep, retry, ledger)
+                else:
+                    value = _sample_with_retry(sample, rep, retry, ledger)
+                if value < 0:
+                    raise ValueError(f"negative timing {value} from repetition {rep}")
+                stats.add(value)
+                if (
+                    stats.count >= criterion.min_repetitions
+                    and stats.is_reliable(criterion.rel_err, criterion.confidence)
                 ):
-                    value = sample(rep)
-            else:
-                value = sample(rep)
-            if value < 0:
-                raise ValueError(f"negative timing {value} from repetition {rep}")
-            stats.add(value)
-            if (
-                stats.count >= criterion.min_repetitions
-                and stats.is_reliable(criterion.rel_err, criterion.confidence)
-            ):
-                break
+                    break
+        finally:
+            ledger.flush(tracer, span)
         rel_precision = stats.relative_precision(criterion.confidence)
         reliable = stats.is_reliable(criterion.rel_err, criterion.confidence)
         if tracer.enabled:
@@ -113,30 +175,64 @@ def _absorb_chunk(
     values: np.ndarray,
     start: int,
     criterion: ReliabilityCriterion,
+    retry: RetryPolicy | None = None,
+    sample: Callable[..., float] | None = None,
+    ledger: _FaultLedger | None = None,
 ) -> bool:
     """Feed one drawn chunk into the accumulator; True when the rule fired.
 
     A negative timing only raises when the scalar loop would actually have
     reached it, i.e. when no earlier prefix of the chunk already stopped.
+    A NaN marks an injected kernel failure at attempt 0; when the scalar
+    loop would have reached it, the repetition is replayed through the
+    scalar ``sample`` under the shared retry protocol, so the recovered
+    value (or the final, propagated failure) is bit-identical to the
+    scalar oracle's.
     """
-    negative = np.flatnonzero(values < 0)
-    limit = len(values) if negative.size == 0 else int(negative[0])
-    stopped = first_reliable_prefix(
+    special = np.flatnonzero(np.isnan(values) | (values < 0))
+    pos = 0
+    for index in special:
+        index = int(index)
+        if first_reliable_prefix(
+            stats,
+            values[pos:index],
+            criterion.rel_err,
+            criterion.confidence,
+            criterion.min_repetitions,
+        ):
+            return True
+        rep = start + index
+        if values[index] < 0:
+            raise ValueError(
+                f"negative timing {float(values[index])} from repetition {rep}"
+            )
+        if sample is None:
+            raise KernelFaultError(
+                "<batch>", 0, (f"r{rep}", "no scalar sample fallback")
+            )
+        value = _sample_with_retry(sample, rep, retry, ledger or _FaultLedger())
+        if value < 0:
+            raise ValueError(f"negative timing {value} from repetition {rep}")
+        stats.add(value)
+        if stats.count >= criterion.min_repetitions and stats.is_reliable(
+            criterion.rel_err, criterion.confidence
+        ):
+            return True
+        pos = index + 1
+    return first_reliable_prefix(
         stats,
-        values[:limit],
+        values[pos:],
         criterion.rel_err,
         criterion.confidence,
         criterion.min_repetitions,
     )
-    if not stopped and negative.size > 0:
-        rep = start + limit
-        raise ValueError(f"negative timing {float(values[limit])} from repetition {rep}")
-    return stopped
 
 
 def measure_until_reliable_batch(
     sample_batch: Callable[[int, int], np.ndarray],
     criterion: ReliabilityCriterion = ReliabilityCriterion(),
+    retry: RetryPolicy | None = None,
+    sample: Callable[..., float] | None = None,
 ) -> Measurement:
     """Array-based twin of :func:`measure_until_reliable`.
 
@@ -148,34 +244,48 @@ def measure_until_reliable_batch(
     exact repetition the scalar loop would have — the returned
     ``Measurement`` is bit-identical to the oracle's.
 
+    Fault protocol: NaN entries mark injected attempt-0 kernel failures;
+    each one the scalar loop would reach is replayed through ``sample``
+    (the scalar fallback) under ``retry``, reproducing the oracle's
+    recovered values, counters and error messages exactly.
+
     Observability: one ``measure.chunk`` span per drawn chunk replaces the
     scalar path's per-repetition spans; the accepted/rejected counter
-    totals, the CI-width gauge and the span attributes are unchanged.
+    totals, the fault/retry accounting, the CI-width gauge and the span
+    attributes are unchanged.
     """
     tracer = get_tracer()
     with tracer.span("measure.reliable", category="measurement") as span:
         stats = RunningStats()
+        ledger = _FaultLedger()
         stopped = False
         chunk = criterion.min_repetitions
-        while not stopped and stats.count < criterion.max_repetitions:
-            count = min(chunk, criterion.max_repetitions - stats.count)
-            start = stats.count
-            values = np.asarray(sample_batch(start, count), dtype=np.float64)
-            if values.shape != (count,):
-                raise ValueError(
-                    f"sample_batch({start}, {count}) returned shape {values.shape}"
-                )
-            if tracer.enabled:
-                with tracer.span(
-                    "measure.chunk",
-                    category="measurement",
-                    first_repetition=start,
-                    repetitions=count,
-                ):
-                    stopped = _absorb_chunk(stats, values, start, criterion)
-            else:
-                stopped = _absorb_chunk(stats, values, start, criterion)
-            chunk *= 2
+        try:
+            while not stopped and stats.count < criterion.max_repetitions:
+                count = min(chunk, criterion.max_repetitions - stats.count)
+                start = stats.count
+                values = np.asarray(sample_batch(start, count), dtype=np.float64)
+                if values.shape != (count,):
+                    raise ValueError(
+                        f"sample_batch({start}, {count}) returned shape {values.shape}"
+                    )
+                if tracer.enabled:
+                    with tracer.span(
+                        "measure.chunk",
+                        category="measurement",
+                        first_repetition=start,
+                        repetitions=count,
+                    ):
+                        stopped = _absorb_chunk(
+                            stats, values, start, criterion, retry, sample, ledger
+                        )
+                else:
+                    stopped = _absorb_chunk(
+                        stats, values, start, criterion, retry, sample, ledger
+                    )
+                chunk *= 2
+        finally:
+            ledger.flush(tracer, span)
         rel_precision = relative_precision_cached(stats, criterion.confidence)
         reliable = rel_precision <= criterion.rel_err
         if tracer.enabled:

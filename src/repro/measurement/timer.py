@@ -15,6 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.kernels.interface import Kernel
+from repro.platform.faults import FaultPlan, KernelFaultError
 from repro.platform.noise import NoiseModel
 from repro.util.validation import check_nonnegative
 
@@ -27,9 +28,18 @@ class SimulatedTimer:
     name, problem size, contention state and repetition index, so repeated
     timings differ (as on hardware) while the full experiment stays
     reproducible from one seed.
+
+    An optional :class:`FaultPlan` injects deterministic failures and
+    transient spikes: a failing invocation raises
+    :class:`~repro.platform.faults.KernelFaultError`, and retry attempts
+    (``attempt > 0``) consult the plan under a fresh stream leaf so a
+    retried repetition can succeed.  The noise context only gains the
+    attempt suffix on retries, keeping attempt-0 timings bit-identical to
+    a fault-free run.
     """
 
     noise: NoiseModel
+    faults: FaultPlan | None = None
 
     def time_kernel(
         self,
@@ -37,15 +47,33 @@ class SimulatedTimer:
         area_blocks: float,
         repetition: int,
         busy_cpu_cores: int = 0,
+        attempt: int = 0,
     ) -> float:
         """One noisy timing of one kernel run (seconds)."""
         check_nonnegative("area_blocks", area_blocks)
         if repetition < 0:
             raise ValueError(f"repetition must be >= 0, got {repetition}")
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
         ideal = kernel.run_time(area_blocks, busy_cpu_cores)
-        return self.noise.perturb(
-            ideal, kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}", f"r{repetition}"
-        )
+        spike = 1.0
+        if self.faults is not None:
+            tail = (
+                f"x{area_blocks}",
+                f"busy{busy_cpu_cores}",
+                f"r{repetition}",
+                f"a{attempt}",
+            )
+            outcome = self.faults.kernel_outcome(kernel.name, *tail)
+            if outcome.failed:
+                raise KernelFaultError(kernel.name, outcome.error_code, tail)
+            spike = outcome.spike_factor
+        context = [
+            kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}", f"r{repetition}"
+        ]
+        if attempt > 0:
+            context.append(f"a{attempt}")
+        return self.noise.perturb(ideal, *context) * spike
 
     def time_kernel_batch(
         self,
@@ -61,6 +89,11 @@ class SimulatedTimer:
         busy_cpu_cores) for r in repetitions]``; ``ideal_seconds`` lets the
         sweep hoist the (deterministic) ``kernel.run_time`` out of the
         repetition loop.
+
+        With a fault plan installed, an attempt-0 failure is marked as NaN
+        (simulated timings are never NaN) rather than raised, so one bad
+        repetition does not lose the whole chunk; the batch reliability
+        protocol replays marked entries through the scalar retry path.
         """
         check_nonnegative("area_blocks", area_blocks)
         reps = [int(r) for r in repetitions]
@@ -69,8 +102,17 @@ class SimulatedTimer:
                 raise ValueError(f"repetition must be >= 0, got {rep}")
         if ideal_seconds is None:
             ideal_seconds = kernel.run_time(area_blocks, busy_cpu_cores)
-        return self.noise.perturb_batch(
+        values = self.noise.perturb_batch(
             ideal_seconds,
             (kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}"),
             [f"r{rep}" for rep in reps],
         )
+        if self.faults is not None and not self.faults.inert:
+            failed, factors, _ = self.faults.kernel_outcomes_batch(
+                kernel.name,
+                (f"x{area_blocks}", f"busy{busy_cpu_cores}"),
+                [(f"r{rep}", "a0") for rep in reps],
+            )
+            values = values * factors
+            values[failed] = np.nan
+        return values

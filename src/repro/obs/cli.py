@@ -101,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(1, 2, 3),
         help="GPU kernel version for the application experiments",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection spec, e.g. 'fail:*:p=0.1' — the trace then "
+            "carries measure.faults/measure.retries counters"
+        ),
+    )
     return parser
 
 
@@ -112,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         noise_sigma=args.noise,
         fast=args.fast,
         gpu_version=args.gpu_version,
+        faults=args.faults,
     )
     tracer, result, fmt = profile_experiment(args.experiment, config)
     if not args.quiet:

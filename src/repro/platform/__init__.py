@@ -12,6 +12,15 @@ as the paper treats hardware: as black boxes that can be timed.
 
 from repro.platform.contention import CpuGpuInterference, SocketContention
 from repro.platform.device import SimulatedCore, SimulatedGpu, SimulatedSocket
+from repro.platform.faults import (
+    DeviceDrop,
+    DeviceFaults,
+    FaultPlan,
+    FaultSpec,
+    KernelFaultError,
+    RetryPolicy,
+    parse_fault_spec,
+)
 from repro.platform.memory import CoreCacheModel, GpuMemoryModel
 from repro.platform.noise import NoiseModel
 from repro.platform.pcie import PcieLink
@@ -32,6 +41,13 @@ __all__ = [
     "SimulatedSocket",
     "CoreCacheModel",
     "GpuMemoryModel",
+    "DeviceDrop",
+    "DeviceFaults",
+    "FaultPlan",
+    "FaultSpec",
+    "KernelFaultError",
+    "RetryPolicy",
+    "parse_fault_spec",
     "NoiseModel",
     "PcieLink",
     "ig_icl_node",

@@ -4,17 +4,42 @@ The paper executes the application as MPI processes bound to cores of one
 hybrid node.  This package provides the simulation equivalents: a
 discrete-event engine (:mod:`repro.runtime.event_sim`), a communicator with
 a latency/bandwidth cost model and tree collectives
-(:mod:`repro.runtime.mpi_sim`), and process abstractions bound to simulated
-devices (:mod:`repro.runtime.process`).
+(:mod:`repro.runtime.mpi_sim`), process abstractions bound to simulated
+devices (:mod:`repro.runtime.process`), and degraded-mode repartitioning
+after device drops (:mod:`repro.runtime.recovery`).
 """
 
-from repro.runtime.event_sim import EventSimulator
+from repro.runtime.event_sim import EventHandle, EventSimulator
 from repro.runtime.mpi_sim import CommModel, SimulatedComm
 from repro.runtime.process import DeviceBoundProcess
 
 __all__ = [
+    "EventHandle",
     "EventSimulator",
     "CommModel",
     "SimulatedComm",
     "DeviceBoundProcess",
+    "RecoveryError",
+    "RecoveryPolicy",
+    "DropEvent",
+    "RecoveryResult",
+    "run_with_recovery",
 ]
+
+_RECOVERY_EXPORTS = (
+    "RecoveryError",
+    "RecoveryPolicy",
+    "DropEvent",
+    "RecoveryResult",
+    "run_with_recovery",
+)
+
+
+def __getattr__(name: str):
+    # recovery plans over repro.app, which itself imports this package; a
+    # lazy attribute breaks the cycle while keeping the flat public API
+    if name in _RECOVERY_EXPORTS:
+        from repro.runtime import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

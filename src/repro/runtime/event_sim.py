@@ -21,6 +21,29 @@ class _Event:
     time: float
     seq: int
     action: Callable[["EventSimulator"], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for one scheduled event.
+
+    Cancelling marks the event; it stays in the queue and is discarded
+    (uncounted) when popped, so cancellation is O(1) and the heap
+    invariant is untouched.  Cancelling an already-executed or
+    already-cancelled event is a no-op.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
 
 
 class EventSimulator:
@@ -40,35 +63,49 @@ class EventSimulator:
             self._processed_counter = self._tracer.counter("sim.events.processed")
             self._depth_gauge = self._tracer.gauge("sim.queue_depth")
 
-    def schedule(self, delay: float, action: Callable[["EventSimulator"], None]) -> None:
+    def schedule(
+        self, delay: float, action: Callable[["EventSimulator"], None]
+    ) -> EventHandle:
         """Run ``action`` ``delay`` seconds from the current clock."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue, _Event(self.now + delay, next(self._seq), action)
-        )
+        event = _Event(self.now + delay, next(self._seq), action)
+        heapq.heappush(self._queue, event)
         if self._tracer.enabled:
             self._scheduled_counter.add(1)
+        return EventHandle(event)
 
-    def schedule_at(self, time: float, action: Callable[["EventSimulator"], None]) -> None:
+    def schedule_at(
+        self, time: float, action: Callable[["EventSimulator"], None]
+    ) -> EventHandle:
         """Run ``action`` at an absolute simulation time (>= now)."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time}, clock already at {self.now}"
             )
-        heapq.heappush(self._queue, _Event(time, next(self._seq), action))
+        event = _Event(time, next(self._seq), action)
+        heapq.heappush(self._queue, event)
         if self._tracer.enabled:
             self._scheduled_counter.add(1)
+        return EventHandle(event)
 
     def run(self, until: float | None = None) -> float:
-        """Process events (optionally only up to ``until``); return the clock."""
+        """Process events (optionally only up to ``until``); return the clock.
+
+        Cancelled events are discarded as they surface: they advance
+        neither the clock nor ``events_processed``.
+        """
         drained = 0
+        discarded = 0
         try:
             while self._queue:
                 if until is not None and self._queue[0].time > until:
                     self.now = until
                     return self.now
                 event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    discarded += 1
+                    continue
                 self.now = event.time
                 self._processed += 1
                 drained += 1
@@ -77,9 +114,12 @@ class EventSimulator:
         finally:
             # Per-drain (not per-event) instrumentation: one counter add
             # covering every event processed, one final queue-depth sample.
-            if drained and self._tracer.enabled:
-                self._processed_counter.add(drained)
-                self._depth_gauge.set(len(self._queue))
+            if self._tracer.enabled:
+                if drained:
+                    self._processed_counter.add(drained)
+                    self._depth_gauge.set(len(self._queue))
+                if discarded:
+                    self._tracer.counter("sim.events.cancelled").add(discarded)
 
     @property
     def events_processed(self) -> int:

@@ -52,6 +52,20 @@ class SimulatedComm:
         self.size = size
         self.model = model
 
+    def shrink(self, survivors: int) -> "SimulatedComm":
+        """A communicator over the surviving ranks after device failures.
+
+        The simulation analogue of ULFM's ``MPI_Comm_shrink``: the cost
+        model is inherited, only the rank count changes.  ``survivors``
+        must be in ``[1, size]`` — losing every process is not a
+        communicator, it is a crash.
+        """
+        if not 1 <= survivors <= self.size:
+            raise ValueError(
+                f"survivors must be in [1, {self.size}], got {survivors}"
+            )
+        return SimulatedComm(survivors, self.model)
+
     def bcast_time(self, nbytes: float, participants: int | None = None) -> float:
         """Completion time of a binomial-tree broadcast to ``participants``.
 

@@ -38,16 +38,20 @@ class ParallelRunReport:
 def _compute_rectangle(
     payload: tuple[int, np.ndarray, np.ndarray]
 ) -> tuple[int, np.ndarray, float]:
-    """Worker: multiply one owner's strips (runs in a separate process).
+    """Worker: multiply one rectangle's strips (runs in a separate process).
+
+    The payload is keyed by rectangle *index*, not owner — an owner may
+    hold several rectangles (one per column it participates in), and the
+    assembly must place each block at its own rectangle's coordinates.
 
     The worker times itself and ships the wall duration home — spawned
     processes have their own (disabled) tracer, so the parent records the
     per-worker span from the returned duration.
     """
-    owner, a_strip, b_strip = payload
+    index, a_strip, b_strip = payload
     started_s = wall_clock_s()
     block = a_strip @ b_strip
-    return owner, block, wall_clock_s() - started_s
+    return index, block, wall_clock_s() - started_s
 
 
 def parallel_partitioned_matmul(
@@ -80,10 +84,10 @@ def parallel_partitioned_matmul(
         )
     live: list[Rectangle] = [r for r in partition.rectangles if r.area > 0]
     payloads = []
-    for rect in live:
+    for index, rect in enumerate(live):
         rows = grid.block_slice(rect.row, rect.height)
         cols = grid.block_slice(rect.col, rect.width)
-        payloads.append((rect.owner, a[rows, :], b[:, cols]))
+        payloads.append((index, a[rows, :], b[:, cols]))
 
     c = np.zeros_like(a)
     tracer = get_tracer()
@@ -97,12 +101,12 @@ def parallel_partitioned_matmul(
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 results = list(pool.map(_compute_rectangle, payloads))
-            workers_used = workers
+            # a pool never uses more processes than it has tasks
+            workers_used = min(workers, len(live))
 
-        by_owner = {r.owner: r for r in live}
         elements = 0
-        for owner, block, worker_wall_s in results:
-            rect = by_owner[owner]
+        for index, block, worker_wall_s in results:
+            rect = live[index]
             rows = grid.block_slice(rect.row, rect.height)
             cols = grid.block_slice(rect.col, rect.width)
             c[rows, cols] = block
@@ -112,7 +116,7 @@ def parallel_partitioned_matmul(
                     "parallel.worker",
                     category="runtime",
                     wall_duration_s=worker_wall_s,
-                    owner=owner,
+                    owner=rect.owner,
                     elements=int(block.size),
                 )
         if elements != grid.elements * grid.elements:

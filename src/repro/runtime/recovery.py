@@ -1,0 +1,314 @@
+"""Degraded-mode repartitioning after hard device drops.
+
+The FPM partitioner "predicts the future" for a fixed device set; this
+module is what happens when the future disagrees.  A
+:class:`~repro.platform.faults.DeviceDrop` removes one compute unit at a
+simulated time; the runtime aborts the in-flight panel, re-solves the
+partition over the *surviving* units (reusing the exact machinery of
+:mod:`repro.core.partition` — or, model-free, the observed-speed
+rebalancer of :mod:`repro.core.dynamic`), charges data migration plus a
+plan broadcast on a shrunk communicator (the ULFM ``MPI_Comm_shrink``
+analogue), and replays the remaining panels under the degraded plan.
+
+Everything is deterministic: the drop schedule comes from a seeded
+:class:`~repro.platform.faults.FaultPlan` (or explicit drops), the event
+engine breaks ties by insertion order, and the partitioners are pure —
+so the same seed yields bit-identical degraded partitions and recovery
+makespans, across runs and across process counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.dynamic import SpeedBasedRebalancer
+from repro.core.integer import refine_integer_partition, round_partition
+from repro.core.partition import partition_fpm
+from repro.obs import get_tracer
+from repro.platform.faults import DeviceDrop, FaultPlan
+from repro.runtime.event_sim import EventSimulator
+from repro.runtime.mpi_sim import SimulatedComm
+from repro.util.validation import check_in, check_nonnegative, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports runtime)
+    from repro.app.matmul import HybridMatMul, MatMulPlan
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryPolicy",
+    "DropEvent",
+    "RecoveryResult",
+    "run_with_recovery",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Recovery is impossible (no survivors, or capacity exhausted)."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the runtime re-solves the partition after a drop.
+
+    ``strategy="fpm"`` re-runs the functional-performance partitioner over
+    the survivors' models (balanced from the first degraded panel);
+    ``"observed"`` redistributes proportionally to the speeds observed
+    under the pre-drop plan (model-free, the Section II dynamic scheme).
+    ``migration_cost_per_block`` charges moving one b x b block between
+    surviving processes; ``replan_nbytes`` is the broadcast payload of the
+    new plan on the shrunk communicator.
+    """
+
+    strategy: str = "fpm"
+    migration_cost_per_block: float = 0.0009
+    replan_nbytes: float = 4096.0
+
+    def __post_init__(self) -> None:
+        check_in("strategy", self.strategy, ("fpm", "observed"))
+        check_nonnegative("migration_cost_per_block", self.migration_cost_per_block)
+        check_nonnegative("replan_nbytes", self.replan_nbytes)
+
+
+@dataclass(frozen=True)
+class DropEvent:
+    """One device drop as the runtime experienced it."""
+
+    device: str
+    time_s: float
+    panels_completed: int  # main-loop iterations finished when it struck
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Makespan-with-recovery vs fault-free, plus the degraded plan."""
+
+    n: int
+    strategy: str
+    fault_free_time_s: float
+    recovery_time_s: float
+    drops: tuple[DropEvent, ...]
+    ignored_drops: tuple[DeviceDrop, ...]  # struck after completion
+    unit_names: tuple[str, ...]
+    baseline_unit_allocations: tuple[int, ...]
+    degraded_unit_allocations: tuple[int, ...]  # 0 for dropped units
+    blocks_migrated: int
+    migration_time_s: float
+    degraded_panels: int  # panels executed under a degraded plan
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative makespan cost of the faults (0.0 = fault-free)."""
+        return self.recovery_time_s / self.fault_free_time_s - 1.0
+
+
+def _observed_unit_times(units, processes, plan) -> list[float]:
+    """Per-unit iteration times observed under ``plan`` (max over members)."""
+    by_rank = {p.rank: p for p in processes}
+    areas: dict[int, int] = {}
+    for rect in plan.partition.rectangles:
+        areas[rect.owner] = areas.get(rect.owner, 0) + rect.area
+    return [
+        max(
+            by_rank[rank].iteration_time(areas.get(rank, 0))
+            for rank in unit.member_ranks
+        )
+        for unit in units
+    ]
+
+
+def _survivor_allocations(
+    app: "HybridMatMul",
+    plan: "MatMulPlan",
+    survivors: list,
+    n: int,
+    policy: RecoveryPolicy,
+    processes: list,
+) -> list[int]:
+    """Re-solve the allocation over the surviving units."""
+    total = n * n
+    if policy.strategy == "fpm":
+        models = app.models_for(survivors)
+        try:
+            continuous = partition_fpm(models, float(total))
+        except ValueError as exc:
+            raise RecoveryError(
+                f"survivors cannot absorb the workload: {exc}"
+            ) from exc
+        allocs = round_partition(models, continuous, total)
+        return refine_integer_partition(models, allocs)
+    current = [plan.allocation_of(u.name) for u in survivors]
+    times = _observed_unit_times(survivors, processes, plan)
+    return SpeedBasedRebalancer().next_distribution(current, times, total)
+
+
+def run_with_recovery(
+    app: "HybridMatMul",
+    n: int,
+    drops: FaultPlan | Sequence[DeviceDrop],
+    policy: RecoveryPolicy = RecoveryPolicy(),
+) -> RecoveryResult:
+    """Simulate the application run under hard device drops.
+
+    ``drops`` is a :class:`FaultPlan` (its ``drop`` clauses are used) or an
+    explicit drop sequence.  The run executes the baseline FPM plan panel
+    by panel on the event engine; each drop cancels the in-flight panel
+    (it is replayed), re-solves the partition over the survivors per
+    ``policy``, charges migration + plan broadcast, and resumes.  Drops
+    landing after the last panel finished are recorded as ignored.
+
+    The app's models must already cover every survivor (``build_models``
+    or ``set_models`` first).
+    """
+    check_positive_int("n", n)
+    if isinstance(drops, FaultPlan):
+        drops = drops.device_drops()
+    drops = sorted(drops, key=lambda d: (d.time_s, d.device))
+
+    units = app.compute_units()
+    unit_names = tuple(u.name for u in units)
+    unknown = [d.device for d in drops if d.device not in unit_names]
+    if unknown:
+        raise ValueError(
+            f"dropped devices not on this node: {unknown} "
+            f"(units: {list(unit_names)})"
+        )
+    if len({d.device for d in drops}) != len(drops):
+        raise ValueError("each device can drop at most once")
+
+    from repro.app.execution import simulate_execution
+
+    baseline = app.plan(n)
+    processes = app.processes()
+    comm = SimulatedComm(app.binding.num_processes, app.comm_model)
+    block_size = app.node.block_size
+    baseline_exec = simulate_execution(
+        processes, baseline.partition, comm, block_size
+    )
+
+    state = {
+        "completed": 0,
+        "iteration_s": baseline_exec.iteration_time,
+        "plan": baseline,
+        "alive": set(unit_names),
+        "inflight": None,
+        "recovering": None,
+        "finish_s": None,
+        "applied": [],
+        "ignored": [],
+        "blocks_migrated": 0,
+        "migration_s": 0.0,
+        "degraded_panels": 0,
+    }
+
+    def start_panel(sim: EventSimulator) -> None:
+        state["inflight"] = sim.schedule(state["iteration_s"], finish_panel)
+
+    def finish_panel(sim: EventSimulator) -> None:
+        state["inflight"] = None
+        state["completed"] += 1
+        if len(state["alive"]) < len(unit_names):
+            state["degraded_panels"] += 1
+        if state["completed"] < n:
+            start_panel(sim)
+        else:
+            state["finish_s"] = sim.now
+
+    def recovered(sim: EventSimulator) -> None:
+        state["recovering"] = None
+        start_panel(sim)
+
+    def make_drop(drop: DeviceDrop):
+        def on_drop(sim: EventSimulator) -> None:
+            if state["completed"] >= n:
+                state["ignored"].append(drop)
+                return
+            if state["inflight"] is not None:
+                state["inflight"].cancel()  # the panel is replayed degraded
+                state["inflight"] = None
+            if state["recovering"] is not None:
+                state["recovering"].cancel()  # re-solve with the new survivor set
+                state["recovering"] = None
+            state["alive"].discard(drop.device)
+            survivors = [u for u in units if u.name in state["alive"]]
+            if not survivors:
+                raise RecoveryError(
+                    f"no surviving compute units after dropping {drop.device!r}"
+                )
+            allocs = _survivor_allocations(
+                app, state["plan"], survivors, n, policy, processes
+            )
+            new_plan = app.plan_for_units(n, survivors, allocs)
+            old_by_rank = state["plan"].process_allocations
+            new_by_rank = new_plan.process_allocations
+            moved = sum(
+                max(0, new - old) for new, old in zip(new_by_rank, old_by_rank)
+            )
+            survivor_ranks = [r for u in survivors for r in u.member_ranks]
+            shrunk = comm.shrink(len(survivor_ranks))
+            replan_s = (
+                moved * policy.migration_cost_per_block
+                + shrunk.bcast_time(policy.replan_nbytes)
+            )
+            degraded_exec = simulate_execution(
+                [p for p in processes if p.rank in survivor_ranks],
+                new_plan.partition,
+                shrunk,
+                block_size,
+            )
+            state["plan"] = new_plan
+            state["iteration_s"] = degraded_exec.iteration_time
+            state["blocks_migrated"] += moved
+            state["migration_s"] += replan_s
+            state["applied"].append(
+                DropEvent(
+                    device=drop.device,
+                    time_s=drop.time_s,
+                    panels_completed=state["completed"],
+                )
+            )
+            state["recovering"] = sim.schedule(replan_s, recovered)
+
+        return on_drop
+
+    tracer = get_tracer()
+    with tracer.span(
+        "runtime.recovery",
+        category="runtime",
+        n=n,
+        drops=len(drops),
+        strategy=policy.strategy,
+    ) as span:
+        sim = EventSimulator()
+        start_panel(sim)
+        for drop in drops:
+            sim.schedule_at(drop.time_s, make_drop(drop))
+        sim.run()
+        if tracer.enabled:
+            tracer.counter("recovery.drops").add(len(state["applied"]))
+            if state["blocks_migrated"]:
+                tracer.counter("recovery.blocks_migrated").add(
+                    state["blocks_migrated"]
+                )
+            span.set_attr("panels_completed", state["completed"])
+            span.mark_sim(0.0, state["finish_s"])
+
+    final_plan = state["plan"]
+    degraded = tuple(
+        final_plan.allocation_of(name) if name in {u.name for u in final_plan.units} else 0
+        for name in unit_names
+    )
+    return RecoveryResult(
+        n=n,
+        strategy=policy.strategy,
+        fault_free_time_s=baseline_exec.total_time,
+        recovery_time_s=state["finish_s"],
+        drops=tuple(state["applied"]),
+        ignored_drops=tuple(state["ignored"]),
+        unit_names=unit_names,
+        baseline_unit_allocations=baseline.unit_allocations,
+        degraded_unit_allocations=degraded,
+        blocks_migrated=state["blocks_migrated"],
+        migration_time_s=state["migration_s"],
+        degraded_panels=state["degraded_panels"],
+    )

@@ -1,0 +1,11 @@
+"""Negative fixture: PEP 562 lazy re-exports are not 'never bound'."""
+
+__all__ = [
+    "lazy_thing",
+]
+
+
+def __getattr__(name: str):
+    if name == "lazy_thing":
+        return 42
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -29,6 +29,7 @@ CLEAN_FIXTURES = [
     FIXTURES / "repro" / "experiments" / "clean_experiment.py",
     FIXTURES / "repro" / "goodpkg" / "__init__.py",
     FIXTURES / "repro" / "goodpkg" / "helpers.py",
+    FIXTURES / "repro" / "lazypkg" / "__init__.py",
 ]
 
 

@@ -13,6 +13,8 @@ from repro.experiments.common import ExperimentConfig
 from repro.experiments.fig6_process_times import Fig6Result
 from repro.experiments.orchestrator import (
     REPORT_EXPERIMENTS,
+    ExperimentError,
+    FailedExperiment,
     load_cached_result,
     result_key,
     run_experiment,
@@ -31,10 +33,14 @@ def store(tmp_path):
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments_registered(self):
+    def test_all_twenty_experiments_registered(self):
         names = [e.name for e in all_experiments()]
-        assert len(names) == len(set(names)) == 19
-        for required in REPORT_EXPERIMENTS + ("jacobi", "online_fpm"):
+        assert len(names) == len(set(names)) == 20
+        for required in REPORT_EXPERIMENTS + (
+            "jacobi",
+            "online_fpm",
+            "fault_tolerance",
+        ):
             assert required in names
 
     def test_entries_are_frozen_and_renderable(self):
@@ -138,6 +144,123 @@ class TestWarmReport:
         with pytest.deprecated_call():
             legacy = full_report(fast_config)
         assert run_full_report(fast_config) == legacy
+
+
+@pytest.fixture()
+def boom_experiment():
+    """A registered experiment that always fails (removed on teardown)."""
+    from repro.experiments import registry
+    from repro.experiments.registry import register_experiment
+
+    def boom_run(config):
+        raise RuntimeError("kaboom")
+
+    @register_experiment("boom", run=boom_run, kind="ablation")
+    def boom_fmt(result):  # pragma: no cover - never rendered
+        return "never"
+
+    yield "boom"
+    registry._REGISTRY.pop("boom", None)
+
+
+@pytest.fixture()
+def broken_fig2():
+    """Swap fig2's run for a failing one (restored on teardown)."""
+    from repro.experiments import registry
+
+    original = get_experiment("fig2")
+
+    def fail_run(config):
+        raise RuntimeError("injected fig2 failure")
+
+    registry._REGISTRY["fig2"] = dataclasses.replace(original, run=fail_run)
+    yield "fig2"
+    registry._REGISTRY["fig2"] = original
+
+
+class TestFailureHandling:
+    def test_raise_mode_wraps_the_experiment_name(self, fast_config, boom_experiment):
+        with pytest.raises(ExperimentError, match="'boom' failed: kaboom") as err:
+            run_experiments(["boom"], fast_config, store=None)
+        assert err.value.experiment == "boom"
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_collect_mode_yields_a_sentinel(self, fast_config, boom_experiment):
+        results = run_experiments(
+            ["boom"], fast_config, store=None, on_error="collect"
+        )
+        assert results["boom"] == FailedExperiment(
+            name="boom", error="RuntimeError: kaboom"
+        )
+
+    def test_retry_reruns_and_counts(self, fast_config):
+        from repro.experiments import registry
+        from repro.experiments.registry import register_experiment
+
+        attempts = []
+
+        def flaky_run(config):
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise RuntimeError("transient")
+            return Fig6Result  # any picklable sentinel
+
+        @register_experiment("flaky", run=flaky_run, kind="ablation")
+        def flaky_fmt(result):  # pragma: no cover
+            return "ok"
+
+        try:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                results = run_experiments(
+                    ["flaky"], fast_config, store=None, retries=1
+                )
+            assert results["flaky"] is Fig6Result
+            assert len(attempts) == 2
+            assert tracer.metrics.snapshot()["report.retries"] == 1
+        finally:
+            registry._REGISTRY.pop("flaky", None)
+
+    def test_pooled_failure_cancels_and_names_the_experiment(
+        self, fast_config, boom_experiment
+    ):
+        with pytest.raises(ExperimentError, match="boom"):
+            run_experiments(["fig6", "boom"], fast_config, jobs=2, store=None)
+
+    def test_invalid_arguments_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="on_error"):
+            run_experiments(["fig6"], fast_config, on_error="explode")
+        with pytest.raises(ValueError, match="retries"):
+            run_experiments(["fig6"], fast_config, retries=-1)
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_experiments(["fig6"], fast_config, timeout_s=0.0)
+
+
+class TestDegradedReport:
+    def test_failed_section_renders_and_checks_are_skipped(
+        self, fast_config, store, broken_fig2
+    ):
+        text = run_full_report(fast_config, store=store, retries=0)
+        assert "[FAILED fig2: RuntimeError: injected fig2 failure]" in text
+        assert "Shape checks skipped: 1 experiment(s) failed (fig2)." in text
+        assert "Shape checks (paper claim vs measured):" not in text
+        # the other six sections render normally
+        assert text.count("[FAILED") == 1
+
+    def test_pooled_degraded_report_matches_sequential(
+        self, fast_config, tmp_path, broken_fig2
+    ):
+        sequential = run_full_report(
+            fast_config, jobs=1, store=ResultStore(tmp_path / "a"), retries=0
+        )
+        pooled = run_full_report(
+            fast_config, jobs=4, store=ResultStore(tmp_path / "b"), retries=0
+        )
+        assert pooled == sequential
+
+    def test_failure_never_cached(self, fast_config, store, broken_fig2):
+        run_full_report(fast_config, store=store, retries=0)
+        assert load_cached_result("fig2", fast_config, store=store) is None
 
 
 @pytest.mark.nightly

@@ -19,6 +19,7 @@ from repro.measurement.reliability import (
     measure_until_reliable_batch,
 )
 from repro.obs import Tracer, use_tracer
+from repro.platform.faults import FaultPlan, KernelFaultError, RetryPolicy
 from repro.platform.noise import NoiseModel
 from repro.util.rng import RngStream
 
@@ -130,6 +131,118 @@ class TestReliabilityBatch:
         assert batch == scalar
         assert not batch.reliable
         assert batch.repetitions == 37
+
+
+class TestFaultInjectedEquivalence:
+    """The fault layer must not fork the scalar/batch equivalence."""
+
+    def _faulty_bench(self, node, spec="fail:*:p=0.1,code=13; spike:*:p=0.1,x=6"):
+        # a generous retry budget: exhaustion (p^(1+retries) per rep) would
+        # abort the measurement, which is its own test below
+        return HybridBenchmark(
+            node,
+            seed=31,
+            noise_sigma=0.01,
+            faults=FaultPlan.from_spec(spec, seed=31),
+            retry=RetryPolicy(max_retries=6),
+        )
+
+    def test_bit_identical_under_faults(self, node):
+        bench = self._faulty_bench(node)
+        for kernel, busy in _kernels(bench):
+            batch = bench.measure_speeds(kernel, SIZES, busy)
+            for size, got in zip(SIZES, batch):
+                want = bench.measure_speed(kernel, size, busy)
+                assert got.area_blocks == want.area_blocks
+                assert got.speed_gflops == want.speed_gflops
+                assert got.timing == want.timing
+
+    def test_fault_counter_totals_match_scalar_path(self, node):
+        bench = self._faulty_bench(node)
+        kernel = bench.socket_kernel(0, 5)
+        scalar_tracer = Tracer()
+        with use_tracer(scalar_tracer):
+            for size in SIZES:
+                bench.measure_speed(kernel, size)
+        batch_tracer = Tracer()
+        with use_tracer(batch_tracer):
+            bench.measure_speeds(kernel, SIZES)
+        scalar = scalar_tracer.metrics.snapshot()
+        batch = batch_tracer.metrics.snapshot()
+        assert scalar.get("measure.faults", 0) > 0  # the spec actually fired
+        for name in (
+            "measure.faults",
+            "measure.retries",
+            "measure.samples.accepted",
+            "measure.samples.rejected",
+        ):
+            assert batch.get(name, 0) == scalar.get(name, 0), name
+
+    def test_exhaustion_messages_identical(self, node):
+        # p=1: every attempt fails, both paths give up with the same error
+        bench = self._faulty_bench(node, spec="fail:*:p=1,code=13")
+        kernel = bench.socket_kernel(0, 5)
+        with pytest.raises(KernelFaultError) as scalar_err:
+            bench.measure_time(kernel, 50.0)
+        with pytest.raises(KernelFaultError) as batch_err:
+            bench.measure_times(kernel, [50.0])
+        assert str(scalar_err.value) == str(batch_err.value)
+        assert "error code 13" in str(scalar_err.value)
+        # the final attempt index is the retry budget
+        assert f"a{bench.retry.max_retries}" in str(scalar_err.value)
+
+    def test_inert_plan_matches_no_plan(self, node):
+        clean = HybridBenchmark(node, seed=31, noise_sigma=0.01)
+        inert = HybridBenchmark(
+            node,
+            seed=31,
+            noise_sigma=0.01,
+            faults=FaultPlan.from_spec("", seed=31),
+        )
+        kernel_c = clean.socket_kernel(1, 6)
+        kernel_i = inert.socket_kernel(1, 6)
+        for size in SIZES:
+            assert clean.measure_speed(kernel_c, size) == inert.measure_speed(
+                kernel_i, size
+            )
+
+    def test_fault_free_runs_have_no_fault_counters(self, node):
+        # the fault layer installed-but-disabled must not pollute metrics
+        bench = HybridBenchmark(node, seed=31, noise_sigma=0.01)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            bench.measure_speed(bench.socket_kernel(0, 5), 40.0)
+        snapshot = tracer.metrics.snapshot()
+        assert "measure.faults" not in snapshot
+        assert "measure.retries" not in snapshot
+
+    def test_retry_recovers_and_costs_repetitions(self):
+        # rep 1 fails on attempts 0-1 and succeeds on attempt 2
+        calls = []
+
+        def sample(rep, attempt=0):
+            calls.append((rep, attempt))
+            if rep == 1 and attempt < 2:
+                raise KernelFaultError("dev", 9, (f"r{rep}", f"a{attempt}"))
+            return 1.0
+
+        criterion = ReliabilityCriterion(
+            rel_err=0.5, min_repetitions=3, max_repetitions=3
+        )
+        retry = RetryPolicy(max_retries=3)
+        result = measure_until_reliable(sample, criterion, retry=retry)
+        assert result.repetitions == 3
+        assert (1, 0) in calls and (1, 1) in calls and (1, 2) in calls
+
+    def test_no_retry_policy_propagates_first_failure(self):
+        def sample(rep, attempt=0):
+            raise KernelFaultError("dev", 9, (f"r{rep}", f"a{attempt}"))
+
+        criterion = ReliabilityCriterion(
+            rel_err=0.5, min_repetitions=1, max_repetitions=2
+        )
+        with pytest.raises(KernelFaultError, match="r0/a0"):
+            measure_until_reliable(sample, criterion)
 
 
 class TestFpmBuilderBatch:

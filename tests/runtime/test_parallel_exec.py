@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.geometry import column_based_partition
+from repro.core.geometry import ColumnPartition, Rectangle, column_based_partition
 from repro.runtime.parallel_exec import parallel_partitioned_matmul
 
 
@@ -58,6 +58,50 @@ class TestParallelPartitionedMatmul:
             parallel_partitioned_matmul(
                 np.zeros((3, 3)), np.zeros((3, 3)), part, block_size=4
             )
+
+    def _duplicate_owner_partition(self):
+        """Owner 0 holds two rectangles (one per column) — n=4, two columns."""
+        return ColumnPartition(
+            n=4,
+            column_widths=(2, 2),
+            rectangles=(
+                Rectangle(owner=0, col=0, row=0, width=2, height=2),
+                Rectangle(owner=1, col=0, row=2, width=2, height=2),
+                Rectangle(owner=2, col=2, row=0, width=2, height=2),
+                Rectangle(owner=0, col=2, row=2, width=2, height=2),
+            ),
+        )
+
+    def test_owner_with_two_rectangles_assembles_both(self):
+        """Regression: results were keyed by owner, so an owner's second
+        rectangle overwrote its first and the matrix was mistiled."""
+        part = self._duplicate_owner_partition()
+        a, b = random_matrices(4, 5, seed=7)
+        c, report = parallel_partitioned_matmul(
+            a, b, part, block_size=5, max_workers=2
+        )
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+        assert report.rectangles_computed == 4
+        assert report.elements_computed == a.size
+
+    def test_owner_with_two_rectangles_serial_path(self):
+        part = self._duplicate_owner_partition()
+        a, b = random_matrices(4, 5, seed=8)
+        c, report = parallel_partitioned_matmul(
+            a, b, part, block_size=5, max_workers=1
+        )
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+
+    def test_workers_used_never_exceeds_rectangles(self):
+        """Regression: the report claimed the requested pool size even
+        when there were fewer tasks than workers."""
+        part = column_based_partition([50, 50], 10)
+        a, b = random_matrices(10, 3, seed=9)
+        _, report = parallel_partitioned_matmul(
+            a, b, part, block_size=3, max_workers=8
+        )
+        assert report.rectangles_computed == 2
+        assert report.workers_used == 2
 
     def test_fpm_plan_parallel_correctness(self, node):
         """End to end: a real FPM plan, executed by real processes."""

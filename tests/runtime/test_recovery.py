@@ -1,0 +1,168 @@
+"""Degraded-mode repartitioning: event cancellation, shrink, recovery runs."""
+
+import pytest
+
+from repro.app.matmul import HybridMatMul
+from repro.platform.faults import DeviceDrop, FaultPlan
+from repro.platform.presets import ig_icl_node
+from repro.runtime.event_sim import EventSimulator
+from repro.runtime.mpi_sim import SimulatedComm
+from repro.runtime.recovery import (
+    RecoveryError,
+    RecoveryPolicy,
+    run_with_recovery,
+)
+
+N = 40
+GTX = "GeForce GTX680"
+C870 = "Tesla C870"
+
+
+@pytest.fixture(scope="module")
+def app():
+    """The paper's node with fast models covering the test sizes."""
+    application = HybridMatMul(ig_icl_node(), seed=7, noise_sigma=0.01)
+    application.build_models(
+        max_blocks=1700.0, cpu_points=6, gpu_points=8, adaptive=False
+    )
+    return application
+
+
+class TestEventCancellation:
+    def test_cancelled_event_never_fires(self):
+        sim = EventSimulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda s: seen.append("cancelled"))
+        sim.schedule(2.0, lambda s: seen.append("kept"))
+        handle.cancel()
+        assert handle.cancelled
+        end = sim.run()
+        assert seen == ["kept"]
+        assert end == 2.0
+
+    def test_cancelled_events_do_not_advance_the_clock(self):
+        sim = EventSimulator()
+        sim.schedule(5.0, lambda s: None).cancel()
+        sim.schedule(1.0, lambda s: None)
+        assert sim.run() == 1.0
+
+    def test_cancellation_from_inside_a_handler(self):
+        sim = EventSimulator()
+        seen = []
+        later = sim.schedule(2.0, lambda s: seen.append("too late"))
+        sim.schedule(1.0, lambda s: later.cancel())
+        sim.run()
+        assert seen == []
+
+
+class TestCommShrink:
+    def test_shrink_preserves_cost_model(self):
+        comm = SimulatedComm(13)
+        shrunk = comm.shrink(5)
+        assert shrunk.size == 5
+        assert shrunk.model == comm.model
+        assert shrunk.bcast_time(4096.0) < comm.bcast_time(4096.0)
+
+    def test_shrink_validates_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(4).shrink(0)
+        with pytest.raises(ValueError):
+            SimulatedComm(4).shrink(5)
+
+
+class TestRecoveryInvariants:
+    def test_drop_reassigns_everything_to_survivors(self, app):
+        drop = DeviceDrop(time_s=0.5, device=GTX)
+        result = run_with_recovery(app, N, drops=(drop,))
+        index = result.unit_names.index(GTX)
+        assert result.degraded_unit_allocations[index] == 0
+        assert sum(result.degraded_unit_allocations) == N * N
+        assert sum(result.baseline_unit_allocations) == N * N
+        assert result.recovery_time_s > result.fault_free_time_s
+        assert result.overhead_fraction > 0.0
+        assert result.blocks_migrated > 0
+        assert result.degraded_panels > 0
+        assert result.drops[0].device == GTX
+
+    def test_deterministic_across_runs(self, app):
+        drop = DeviceDrop(time_s=0.5, device=GTX)
+        a = run_with_recovery(app, N, drops=(drop,))
+        b = run_with_recovery(app, N, drops=(drop,))
+        assert a == b
+
+    def test_fault_plan_equals_explicit_drops(self, app):
+        plan = FaultPlan.from_spec(f"drop:{GTX}:t=0.5", seed=7)
+        via_plan = run_with_recovery(app, N, drops=plan)
+        explicit = run_with_recovery(
+            app, N, drops=(DeviceDrop(time_s=0.5, device=GTX),)
+        )
+        assert via_plan == explicit
+
+    def test_observed_strategy_also_balances(self, app):
+        drop = DeviceDrop(time_s=0.5, device=GTX)
+        result = run_with_recovery(
+            app, N, drops=(drop,), policy=RecoveryPolicy(strategy="observed")
+        )
+        assert result.strategy == "observed"
+        assert sum(result.degraded_unit_allocations) == N * N
+        assert result.degraded_unit_allocations[result.unit_names.index(GTX)] == 0
+
+    def test_two_drop_cascade(self, app):
+        drops = (
+            DeviceDrop(time_s=0.3, device=GTX),
+            DeviceDrop(time_s=0.9, device=C870),
+        )
+        result = run_with_recovery(app, N, drops=drops)
+        degraded = dict(zip(result.unit_names, result.degraded_unit_allocations))
+        assert degraded[GTX] == 0 and degraded[C870] == 0
+        assert sum(result.degraded_unit_allocations) == N * N
+        assert len(result.drops) == 2
+
+    def test_late_drop_is_ignored(self, app):
+        fault_free = run_with_recovery(app, N, drops=()).fault_free_time_s
+        late = DeviceDrop(time_s=fault_free * 10, device=GTX)
+        result = run_with_recovery(app, N, drops=(late,))
+        assert result.ignored_drops == (late,)
+        assert result.drops == ()
+        assert result.recovery_time_s == pytest.approx(fault_free)
+        assert result.degraded_unit_allocations == result.baseline_unit_allocations
+
+    def test_unknown_device_rejected(self, app):
+        with pytest.raises(ValueError, match="not on this node"):
+            run_with_recovery(
+                app, N, drops=(DeviceDrop(time_s=0.1, device="no-such-gpu"),)
+            )
+
+    def test_duplicate_drop_rejected(self, app):
+        drops = (
+            DeviceDrop(time_s=0.1, device=GTX),
+            DeviceDrop(time_s=0.2, device=GTX),
+        )
+        with pytest.raises(ValueError, match="at most once"):
+            run_with_recovery(app, N, drops=drops)
+
+    def test_no_survivors_raises(self, app):
+        drops = tuple(
+            DeviceDrop(time_s=0.1 * (i + 1), device=unit.name)
+            for i, unit in enumerate(app.compute_units())
+        )
+        with pytest.raises(RecoveryError, match="no surviving"):
+            run_with_recovery(app, N, drops=drops)
+
+
+@pytest.mark.property
+class TestRecoveryProperty:
+    def test_invariants_hold_across_drop_times(self, app):
+        """Whenever the drop lands mid-run, the degraded plan re-tiles
+        the full workload over the survivors and costs extra makespan."""
+        fault_free = run_with_recovery(app, N, drops=()).fault_free_time_s
+        for fraction in (0.05, 0.2, 0.4, 0.6, 0.8, 0.95):
+            drop = DeviceDrop(time_s=fraction * fault_free, device=GTX)
+            result = run_with_recovery(app, N, drops=(drop,))
+            assert sum(result.degraded_unit_allocations) == N * N
+            assert result.degraded_unit_allocations[
+                result.unit_names.index(GTX)
+            ] == 0
+            assert result.recovery_time_s > fault_free
+            # rerunning is bit-identical (the acceptance criterion)
+            assert run_with_recovery(app, N, drops=(drop,)) == result

@@ -19,6 +19,12 @@ class TestParser:
         assert args.seed == 42
         assert args.fast is False
         assert args.gpu_version == 3
+        assert args.faults is None
+        assert args.timeout is None
+
+    def test_faults_spec_accepted(self):
+        args = build_parser().parse_args(["report", "--faults", "fail:*:p=0.5"])
+        assert args.faults == "fail:*:p=0.5"
 
 
 class TestMain:
@@ -48,6 +54,22 @@ class TestMain:
     def test_plot_flag_without_plotter(self, capsys):
         assert main(["table3", "--fast", "--plot"]) == 0
         assert "no plot defined" in capsys.readouterr().out
+
+    def test_report_degrades_under_total_faults(self, capsys):
+        """The acceptance criterion: a report with forced failures still
+        exits 0, rendering every section as [FAILED ...] instead of dying."""
+        code = main(
+            ["report", "--fast", "--no-cache", "--faults", "fail:*:p=1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("[FAILED") == 7
+        assert "injected kernel failure" in out
+        assert "Shape checks skipped: 7 experiment(s) failed" in out
+
+    def test_bad_faults_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            main(["fig2", "--fast", "--faults", "bogus"])
 
     def test_export_json(self, capsys, tmp_path):
         path = tmp_path / "fig2.json"
