@@ -1,0 +1,186 @@
+"""Whole-project call graph over :class:`~repro.analysis.symbols.ModuleSummary`.
+
+Links the per-file summaries into one directed graph whose nodes are
+fully-qualified function symbols (``repro.store.store.set_store``,
+``repro.util.rng.RngStream.child``, ...).  Edges come from the lexically
+resolved call targets the extractor recorded; three extra resolution
+steps happen here, because they need cross-file knowledge:
+
+- **re-export following** — ``repro.obs.get_tracer`` resolves through the
+  package ``__init__``'s import map to ``repro.obs.tracer.get_tracer``;
+- **constructor binding** — a call to a class resolves to its
+  ``__init__`` when one is defined;
+- **unique-method binding** — an unresolved ``obj.m(...)`` marker
+  (``@method:m``) binds to ``SomeClass.m`` iff exactly one class in the
+  project defines ``m``; ambiguous names stay unbound rather than guess.
+
+The graph answers the reachability questions the flow rules ask
+(:meth:`CallGraph.reachable`) and reconstructs the source→sink symbol
+path a diagnostic message carries (:meth:`CallGraph.call_path`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.analysis.symbols import CallSite, FunctionSummary, ModuleSummary
+
+#: Re-export chains longer than this are cycles or pathologies; stop.
+_MAX_REEXPORT_HOPS = 8
+
+
+class CallGraph:
+    """The project-wide call graph, built from module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = {}
+        self.functions: dict[str, FunctionSummary] = {}
+        self.fn_module: dict[str, str] = {}
+        self.classes: set[str] = set()
+        for summary in summaries:
+            self.modules[summary.module] = summary
+            self.classes.update(summary.classes)
+            for qualname, fn in summary.functions.items():
+                self.functions[qualname] = fn
+                self.fn_module[qualname] = summary.module
+        self._method_index: dict[str, list[str]] = {}
+        for qualname, fn in self.functions.items():
+            if fn.is_method or self._owning_class(qualname) is not None:
+                self._method_index.setdefault(fn.name, []).append(qualname)
+        #: caller qualname -> [(callee qualname, witness call site)]
+        self.edges: dict[str, list[tuple[str, CallSite]]] = {}
+        for qualname, fn in self.functions.items():
+            out: list[tuple[str, CallSite]] = []
+            for site in fn.calls:
+                callee = self.resolve(site.target)
+                if callee is not None and callee != qualname:
+                    out.append((callee, site))
+            for submit in fn.submits:
+                if submit.target is None:
+                    continue
+                callee = self.resolve(submit.target)
+                if callee is not None and callee != qualname:
+                    out.append(
+                        (
+                            callee,
+                            CallSite(
+                                target=submit.target,
+                                line=submit.line,
+                                col=submit.col,
+                            ),
+                        )
+                    )
+            if out:
+                self.edges[qualname] = out
+
+    # ------------------------------------------------------------ resolution
+    def _owning_class(self, qualname: str) -> str | None:
+        owner = qualname.rsplit(".", 1)[0]
+        return owner if owner in self.classes else None
+
+    def resolve(self, target: str | None) -> str | None:
+        """Bind a recorded call target to a project function, if possible."""
+        if target is None:
+            return None
+        if target.startswith("@method:"):
+            candidates = self._method_index.get(target[len("@method:"):], [])
+            return candidates[0] if len(candidates) == 1 else None
+        for _ in range(_MAX_REEXPORT_HOPS):
+            if target in self.functions:
+                return target
+            if target in self.classes:
+                init = f"{target}.__init__"
+                return init if init in self.functions else None
+            prefix = self._longest_module_prefix(target)
+            if prefix is None:
+                return None
+            remainder = target[len(prefix) + 1:]
+            if not remainder:
+                return None  # a bare module reference, not a call target
+            leaf, _, rest = remainder.partition(".")
+            imports = self.modules[prefix].imports
+            if leaf in imports:
+                target = imports[leaf] + (f".{rest}" if rest else "")
+                continue
+            return None
+        return None
+
+    def _longest_module_prefix(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix
+        return None
+
+    # ---------------------------------------------------------- reachability
+    def reachable(
+        self,
+        starts: Iterable[str],
+        skip_module: Callable[[str], bool] | None = None,
+    ) -> dict[str, str | None]:
+        """BFS forest from ``starts``: ``{reached qualname: predecessor}``.
+
+        ``skip_module`` prunes traversal *into* functions of matching
+        modules (their bodies are trusted boundaries, e.g. ``repro.obs``
+        for the wall-clock rule).  Start nodes are never pruned.
+        """
+        forest: dict[str, str | None] = {}
+        queue: deque[str] = deque()
+        for start in starts:
+            if start in self.functions and start not in forest:
+                forest[start] = None
+                queue.append(start)
+        while queue:
+            caller = queue.popleft()
+            for callee, _site in self.edges.get(caller, ()):
+                if callee in forest:
+                    continue
+                if skip_module is not None and skip_module(
+                    self.fn_module[callee]
+                ):
+                    continue
+                forest[callee] = caller
+                queue.append(callee)
+        return forest
+
+    @staticmethod
+    def call_path(forest: dict[str, str | None], node: str) -> list[str]:
+        """The start→node symbol path recorded by :meth:`reachable`."""
+        path = [node]
+        seen = {node}
+        while True:
+            pred = forest.get(path[-1])
+            if pred is None or pred in seen:
+                break
+            path.append(pred)
+            seen.add(pred)
+        return list(reversed(path))
+
+    # -------------------------------------------------------------- queries
+    def submit_sites(self):
+        """Every executor submission: ``(module, function, SubmitSite)``."""
+        for qualname, fn in sorted(self.functions.items()):
+            for submit in fn.submits:
+                yield self.fn_module[qualname], fn, submit
+
+    def functions_of_module(self, module: str) -> list[str]:
+        """Qualnames of the functions defined in ``module``, sorted."""
+        return sorted(
+            q for q, m in self.fn_module.items() if m == module
+        )
+
+    def rng_globals(self) -> dict[str, "str"]:
+        """Project-wide shared generators: ``{fq name: defining module}``."""
+        out: dict[str, str] = {}
+        for module, summary in self.modules.items():
+            for site in summary.module_rng:
+                if site.name is not None:
+                    out[site.name] = module
+        return out
+
+
+def build_call_graph(summaries: Iterable[ModuleSummary]) -> CallGraph:
+    """Link summaries into a :class:`CallGraph` (thin named constructor)."""
+    return CallGraph(summaries)

@@ -4,6 +4,12 @@ Invoked as ``repro lint <paths>`` (via :mod:`repro.cli`), as the
 ``repro-lint`` console script, or directly as
 ``python -m repro.analysis <paths>``.
 
+``--flow`` adds the interprocedural tier (REP101+: call-graph, taint,
+executor-safety, unit-flow rules); ``--changed-only`` narrows reporting
+to files git considers modified (full tree outside a repo); flow-tier
+summaries are cached content-addressed under ``.repro-lint-cache``
+unless ``--no-cache``.
+
 Exit status: 0 when no violations beyond the baseline (and no parse
 errors), 1 when new violations exist, 2 on usage errors.
 """
@@ -11,6 +17,7 @@ errors), 1 when new violations exist, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -18,7 +25,41 @@ from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.context import find_project_root
 from repro.analysis.engine import lint_paths
 from repro.analysis.registry import all_rules, get_rule
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
+
+#: Default on-disk location of the flow-summary cache, under the root.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def changed_files(root: Path) -> list[Path] | None:
+    """Files git reports as touched (staged, unstaged or untracked).
+
+    Returns ``None`` when ``root`` is not inside a git work tree (or git
+    is unavailable), so the caller can fall back to the full tree.
+    Renames report the *new* path — the old one no longer exists.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    out: list[Path] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:  # rename: "old -> new"
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        if entry.endswith(".py"):
+            out.append(Path(root) / entry)
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format",
     )
@@ -45,6 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural (call-graph) tier, REP101+",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only on files git considers modified; falls back to "
+            "the full tree outside a git repository"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "flow-summary cache directory "
+            f"(default: <project root>/{DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the flow-summary cache",
     )
     parser.add_argument(
         "--baseline",
@@ -98,8 +165,33 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    result = lint_paths(args.paths, rules=rules)
     root = find_project_root(Path(args.paths[0]))
+
+    only = None
+    if args.changed_only:
+        only = changed_files(root)
+        if only is None:
+            print(
+                "warning: --changed-only outside a git repository; "
+                "linting the full tree",
+                file=sys.stderr,
+            )
+
+    cache = None
+    flow_active = args.flow or any(
+        hasattr(rule, "check_flow") for rule in (rules or ())
+    )
+    if flow_active and not args.no_cache:
+        from repro.store import ResultStore
+
+        cache_dir = (
+            Path(args.cache_dir) if args.cache_dir else root / DEFAULT_CACHE_DIR
+        )
+        cache = ResultStore(cache_dir)
+
+    result = lint_paths(
+        args.paths, rules=rules, root=root, flow=args.flow, only=only, cache=cache
+    )
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
     )
@@ -122,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(result, new=report_new))
+    elif args.format == "sarif":
+        print(render_sarif(result, new=report_new))
     else:
         print(render_text(result, new=report_new))
     return 1 if (new or result.parse_errors) else 0

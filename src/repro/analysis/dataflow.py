@@ -1,0 +1,184 @@
+"""A small forward may-taint engine over one function body.
+
+The flow rules need to answer questions like "does the value created by
+``numpy.random.default_rng(...)`` reach this ``pool.submit`` call?"
+inside a single function.  :class:`TaintEngine` answers them with a
+deliberately simple abstraction: a *may* analysis over local names,
+evaluated in two statement-order passes (the second pass stabilises
+loop-carried taint), with no path sensitivity.  That is enough to track
+the assignment chains real code writes — ``gen = default_rng(0)``,
+``alias = gen``, ``with ProcessPoolExecutor() as pool`` — while staying
+fast enough to run over every function of the tree on each lint.
+
+Taint *seeds* are resolved call targets mapped to tags, e.g.
+``{"numpy.random.default_rng": "rng"}``.  Two taint shapes exist per tag:
+
+- ``<tag>`` — the name holds a value produced by a seeded constructor;
+- ``ctor:<tag>`` — the name *aliases* the constructor itself
+  (``make = np.random.default_rng``), so calling it yields ``<tag>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+#: Resolver signature: expression -> fully-qualified dotted name or None.
+Resolver = Callable[[ast.AST], "str | None"]
+
+
+class TaintEngine:
+    """Forward taint propagation through one function (or module) body.
+
+    ``seeds`` maps resolved call targets to taint tags; ``resolve``
+    turns an expression (Name/Attribute chain) into its fully-qualified
+    dotted name in the enclosing module's namespace, or ``None``.
+    """
+
+    def __init__(self, seeds: dict[str, str], resolve: Resolver):
+        self.seeds = dict(seeds)
+        self.resolve = resolve
+
+    # ------------------------------------------------------------ public API
+    def run(self, body: list[ast.stmt]) -> dict[str, str]:
+        """Taint state after ``body``: ``{local name: tag}``.
+
+        Two passes over the statements in source order make taint that
+        flows backwards through a loop (``for _ in ...: use(g); g = ...``)
+        visible on the first pass of the next iteration, without a full
+        fixpoint.
+        """
+        state: dict[str, str] = {}
+        for _ in range(2):
+            before = dict(state)
+            for stmt in body:
+                self._visit_stmt(stmt, state)
+            if state == before:
+                break
+        return state
+
+    def taint_of(self, expr: ast.AST, state: dict[str, str]) -> str | None:
+        """The taint tag carried by ``expr`` under ``state``, if any."""
+        if isinstance(expr, ast.Name):
+            tag = state.get(expr.id)
+            if tag is not None and not tag.startswith("ctor:"):
+                return tag
+            return self._seed_alias(expr)
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, state)
+        if isinstance(expr, ast.Attribute):
+            # an attribute of a tainted value stays tainted (conservative:
+            # `stream.generator` on an rng-tainted stream is still rng)
+            base_tag = self.taint_of(expr.value, state)
+            if base_tag is not None:
+                return base_tag
+            return self._seed_alias(expr)
+        if isinstance(expr, ast.IfExp):
+            return self.taint_of(expr.body, state) or self.taint_of(
+                expr.orelse, state
+            )
+        if isinstance(expr, (ast.Await, ast.Starred)):
+            return self.taint_of(expr.value, state)
+        return None
+
+    # -------------------------------------------------------------- internals
+    def _seed_alias(self, expr: ast.AST) -> str | None:
+        """``ctor:`` style taint when ``expr`` names a seeded constructor."""
+        resolved = self.resolve(expr)
+        if resolved is not None and resolved in self.seeds:
+            return f"ctor:{self.seeds[resolved]}"
+        return None
+
+    def _call_taint(self, call: ast.Call, state: dict[str, str]) -> str | None:
+        """Taint produced by a call: seeded target or aliased constructor."""
+        resolved = self.resolve(call.func)
+        if resolved is not None and resolved in self.seeds:
+            return self.seeds[resolved]
+        if isinstance(call.func, ast.Name):
+            tag = state.get(call.func.id)
+            if tag is not None and tag.startswith("ctor:"):
+                return tag[len("ctor:"):]
+        return None
+
+    def _expr_taint_or_ctor(
+        self, expr: ast.AST, state: dict[str, str]
+    ) -> str | None:
+        """Like :meth:`taint_of` but preserves ``ctor:`` aliasing taint."""
+        if isinstance(expr, ast.Name) and expr.id in state:
+            return state[expr.id]
+        alias = None
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            alias = self._seed_alias(expr)
+        if alias is not None:
+            return alias
+        return self.taint_of(expr, state)
+
+    def _bind(self, target: ast.AST, tag: str | None, state: dict[str, str]):
+        if isinstance(target, ast.Name):
+            if tag is None:
+                state.pop(target.id, None)
+            else:
+                state[target.id] = tag
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tag, state)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tag, state)
+
+    def _visit_stmt(self, stmt: ast.stmt, state: dict[str, str]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            for target in stmt.targets:
+                if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                    value, (ast.Tuple, ast.List)
+                ) and len(target.elts) == len(value.elts):
+                    for t, v in zip(target.elts, value.elts):
+                        self._bind(t, self._expr_taint_or_ctor(v, state), state)
+                else:
+                    self._bind(
+                        target, self._expr_taint_or_ctor(value, state), state
+                    )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(
+                stmt.target, self._expr_taint_or_ctor(stmt.value, state), state
+            )
+        elif isinstance(stmt, ast.AugAssign):
+            # x += tainted taints x; x += clean leaves the old taint alone
+            tag = self._expr_taint_or_ctor(stmt.value, state)
+            if tag is not None:
+                self._bind(stmt.target, tag, state)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._bind(target, None, state)
+        elif isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        self._expr_taint_or_ctor(item.context_expr, state),
+                        state,
+                    )
+            self._visit_block(stmt.body, state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tag = self.taint_of(stmt.iter, state)
+            if iter_tag is not None:
+                self._bind(stmt.target, iter_tag, state)
+            self._visit_block(stmt.body, state)
+            self._visit_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.If):
+            self._visit_block(stmt.body, state)
+            self._visit_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.While):
+            self._visit_block(stmt.body, state)
+            self._visit_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body, state)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, state)
+            self._visit_block(stmt.orelse, state)
+            self._visit_block(stmt.finalbody, state)
+        # nested defs/classes get their own engine run; nothing to do here
+
+    def _visit_block(self, body: list[ast.stmt], state: dict[str, str]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, state)

@@ -2,18 +2,28 @@
 
 :func:`lint_paths` is the single entry point used by the CLI, the gate
 wrapper and the tests: expand paths to ``.py`` files, parse each once,
-run every (selected) rule over each :class:`FileContext`, and return the
-sorted diagnostics plus any files that failed to parse.
+run every (selected) per-file rule over each :class:`FileContext`, and —
+when the flow tier is enabled — build the whole-project call graph and
+run the interprocedural rules over it.  Returns the sorted diagnostics,
+any files that failed to parse, and per-rule wall times.
+
+Two orthogonal narrowing knobs support the incremental pre-commit path:
+``only`` restricts *reporting* to a subset of files (per-file rules skip
+the rest entirely; the call graph is still built over everything, since
+a change in one file can create a violation whose sink is another), and
+``cache`` (a :class:`~repro.store.ResultStore`) makes unchanged files
+cost a content digest instead of a parse in the flow tier.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.context import FileContext, ProjectContext, find_project_root
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.registry import FlowRule, Rule, all_rules
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {
@@ -28,6 +38,10 @@ _SKIP_DIRS = {
 }
 
 
+#: Pseudo-rule key under which call-graph construction time is recorded.
+GRAPH_TIME_KEY = "callgraph"
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run."""
@@ -35,6 +49,8 @@ class LintResult:
     diagnostics: list[Diagnostic]
     files_checked: int
     parse_errors: list[str] = field(default_factory=list)
+    #: wall seconds per rule id (plus ``callgraph`` for graph building)
+    rule_times_s: dict = field(default_factory=dict)
 
     @property
     def counts_by_rule(self) -> dict[str, int]:
@@ -64,6 +80,7 @@ def lint_file(
     path: Path,
     project: ProjectContext,
     rules: list[Rule],
+    rule_times_s: dict | None = None,
 ) -> tuple[list[Diagnostic], str | None]:
     """Lint one file; return (diagnostics, parse-error-or-None)."""
     try:
@@ -78,7 +95,12 @@ def lint_file(
         return [], f"{path}:{exc.lineno}: syntax error: {exc.msg}"
     ctx = FileContext(Path(path), source, tree, project)
     for rule in rules:
+        start = time.perf_counter()
         rule.check(ctx)
+        if rule_times_s is not None:
+            rule_times_s[rule.rule_id] = rule_times_s.get(
+                rule.rule_id, 0.0
+            ) + (time.perf_counter() - start)
     return sorted(ctx.diagnostics), None
 
 
@@ -86,24 +108,74 @@ def lint_paths(
     paths: list[Path] | list[str],
     rules: list[Rule] | None = None,
     root: Path | None = None,
+    flow: bool = False,
+    only: list[Path] | list[str] | None = None,
+    cache=None,
 ) -> LintResult:
-    """Lint every python file under ``paths`` with ``rules`` (default: all)."""
+    """Lint every python file under ``paths`` with ``rules`` (default: all).
+
+    ``flow=True`` enables the interprocedural tier for the default rule
+    set; explicitly selecting a flow rule via ``rules`` enables it too.
+    ``only`` narrows reporting to the given files (see module docstring);
+    ``cache`` is a :class:`~repro.store.ResultStore` for flow summaries.
+    """
     resolved = [Path(p) for p in paths]
     files = iter_python_files(resolved)
     if root is None:
         anchor = files[0] if files else (resolved[0] if resolved else Path.cwd())
         root = find_project_root(Path(anchor))
-    project = ProjectContext(Path(root))
+    root = Path(root)
+    project = ProjectContext(root)
     active = list(all_rules()) if rules is None else list(rules)
+    flow_rules = [r for r in active if isinstance(r, FlowRule)]
+    file_rules = [r for r in active if not isinstance(r, FlowRule)]
+    if rules is None and not flow:
+        flow_rules = []  # the flow tier is opt-in for the default set
+
+    only_files: set[Path] | None = None
+    if only is not None:
+        only_files = set(iter_python_files([Path(p) for p in only]))
+
+    rule_times_s: dict = {}
     diagnostics: list[Diagnostic] = []
     parse_errors: list[str] = []
-    for path in files:
-        found, error = lint_file(path, project, active)
+    targets = (
+        files
+        if only_files is None
+        else [f for f in files if f in only_files]
+    )
+    for path in targets:
+        found, error = lint_file(path, project, file_rules, rule_times_s)
         diagnostics.extend(found)
         if error is not None:
             parse_errors.append(error)
+
+    if flow_rules:
+        from repro.analysis.flow import build_flow_project
+
+        start = time.perf_counter()
+        flow_project = build_flow_project(files, root, cache=cache)
+        rule_times_s[GRAPH_TIME_KEY] = time.perf_counter() - start
+        for rule in flow_rules:
+            start = time.perf_counter()
+            rule.check_flow(flow_project)
+            rule_times_s[rule.rule_id] = rule_times_s.get(
+                rule.rule_id, 0.0
+            ) + (time.perf_counter() - start)
+        flow_diags = flow_project.diagnostics
+        if only_files is not None:
+            rel_only = set()
+            for f in only_files:
+                try:
+                    rel_only.add(f.resolve().relative_to(root.resolve()).as_posix())
+                except ValueError:
+                    rel_only.add(f.as_posix())
+            flow_diags = [d for d in flow_diags if d.path in rel_only]
+        diagnostics.extend(flow_diags)
+
     return LintResult(
         diagnostics=sorted(diagnostics),
-        files_checked=len(files),
+        files_checked=len(targets),
         parse_errors=parse_errors,
+        rule_times_s=rule_times_s,
     )

@@ -1,0 +1,120 @@
+"""The flow tier: project-wide analysis state handed to the flow rules.
+
+:func:`build_flow_project` summarises every file of a lint run
+(:mod:`repro.analysis.symbols`), links the summaries into a call graph
+(:mod:`repro.analysis.callgraph`) and wraps both in a
+:class:`FlowProject` — the object a :class:`~repro.analysis.registry.FlowRule`
+receives.  Interprocedural diagnostics are *sink-anchored*: they are
+reported at the line where the bad value arrives (the executor submit,
+the clock read, the global write), which is where an inline
+``# repro: noqa REP10x`` suppresses them; the source→sink journey lives
+in the message as a symbol path, not as line numbers, so baseline keys
+survive unrelated edits.
+
+Summaries are cached in the artifact store under the ``lint`` kind,
+keyed by file path + content digest + summary format: an unchanged file
+costs one digest instead of a parse, which keeps full-tree flow lints
+cheap enough for the pre-commit path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.symbols import (
+    SUMMARY_FORMAT,
+    ModuleSummary,
+    extract_summary,
+    source_digest,
+)
+from repro.analysis.context import module_name_for
+
+
+class FlowProject:
+    """Everything a flow rule needs: the graph, and sink-aware reporting."""
+
+    def __init__(self, graph: CallGraph, root: Path):
+        self.graph = graph
+        self.root = Path(root)
+        self.diagnostics: list[Diagnostic] = []
+
+    def module_of(self, qualname: str) -> ModuleSummary:
+        """The summary of the module defining ``qualname``."""
+        return self.graph.modules[self.graph.fn_module[qualname]]
+
+    def report(
+        self, rule: str, module: str, line: int, col: int, message: str
+    ) -> None:
+        """File a diagnostic at its sink unless a noqa there silences it."""
+        summary = self.graph.modules[module]
+        if summary.is_suppressed(rule, line):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                path=summary.path, line=line, col=col, rule=rule, message=message
+            )
+        )
+
+
+def summary_cache_key(relpath: str, digest: str) -> dict:
+    """Store key of one cached module summary (path + content + format)."""
+    return {
+        "artifact": "flow-summary",
+        "format": SUMMARY_FORMAT,
+        "path": relpath,
+        "digest": digest,
+    }
+
+
+def _load_summary(
+    path: Path, root: Path, cache
+) -> ModuleSummary | None:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    digest = source_digest(source)
+    if cache is not None:
+        payload = cache.get("lint", summary_cache_key(relpath, digest))
+        if payload is not None:
+            try:
+                cached = ModuleSummary.from_json(payload)
+                if cached.digest == digest and cached.path == relpath:
+                    return cached
+            except (KeyError, TypeError, ValueError):
+                pass  # stale/corrupt cache entry: fall through and rebuild
+    import ast
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError):
+        return None
+    summary = extract_summary(source, tree, module_name_for(path), relpath)
+    if cache is not None:
+        cache.put("lint", summary_cache_key(relpath, digest), summary.to_json())
+    return summary
+
+
+def build_flow_project(
+    files: Iterable[Path], root: Path, cache=None
+) -> FlowProject:
+    """Summarise ``files``, link the call graph, return the project.
+
+    ``cache`` is a :class:`~repro.store.ResultStore` (or None): summaries
+    are content-addressed under the ``lint`` kind so only changed files
+    pay the extraction cost on repeat runs.
+    """
+    root = Path(root)
+    summaries: list[ModuleSummary] = []
+    for path in files:
+        summary = _load_summary(Path(path), root, cache)
+        if summary is not None:
+            summaries.append(summary)
+    return FlowProject(build_call_graph(summaries), root)

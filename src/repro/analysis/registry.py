@@ -31,6 +31,24 @@ class Rule:
         raise NotImplementedError
 
 
+class FlowRule(Rule):
+    """Base class for whole-project (interprocedural) rules.
+
+    Flow rules run once per lint over the call graph the flow tier
+    builds, not once per file; they implement :meth:`check_flow` and
+    report through ``flow.report`` so sink-line suppressions are
+    honoured.  The engine only runs them when the flow tier is enabled
+    (``repro lint --flow``) or when a flow rule is selected explicitly.
+    """
+
+    def check(self, ctx: FileContext) -> None:
+        """Flow rules have no per-file pass."""
+
+    def check_flow(self, flow) -> None:
+        """Inspect the whole project; report via ``flow.report``."""
+        raise NotImplementedError
+
+
 def register_rule(cls: type[Rule]) -> type[Rule]:
     """Class decorator: instantiate and add to the registry (id-unique)."""
     rule = cls()

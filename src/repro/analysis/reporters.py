@@ -1,4 +1,4 @@
-"""Diagnostic rendering: human text and machine JSON."""
+"""Diagnostic rendering: human text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -6,6 +6,11 @@ import json
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintResult
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, new: list[Diagnostic] | None = None) -> str:
@@ -56,4 +61,63 @@ def render_json(result: LintResult, new: list[Diagnostic] | None = None) -> str:
     }
     if new is not None:
         payload["new"] = [d.to_json() for d in new]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult, new: list[Diagnostic] | None = None) -> str:
+    """SARIF 2.1.0 log for editor/CI ingestion (one run, one driver).
+
+    In baseline mode only the *new* diagnostics become results — SARIF
+    consumers gate on result presence, which must match the exit status.
+    The driver's rule table lists every registered rule (not just the
+    violated ones) so suppressed runs still document the rule catalog.
+    """
+    from repro.analysis.registry import all_rules
+
+    shown = result.diagnostics if new is None else new
+    run = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": [
+                    {
+                        "id": rule.rule_id,
+                        "shortDescription": {"text": rule.title},
+                        "fullDescription": {"text": rule.rationale},
+                    }
+                    for rule in all_rules()
+                ],
+            }
+        },
+        "results": [
+            {
+                "ruleId": diag.rule,
+                "level": diag.severity,
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": diag.path},
+                            "region": {
+                                "startLine": diag.line,
+                                "startColumn": diag.col,
+                            },
+                        }
+                    }
+                ],
+            }
+            for diag in shown
+        ],
+        "invocations": [
+            {
+                "executionSuccessful": not result.parse_errors,
+                "toolExecutionNotifications": [
+                    {"level": "error", "message": {"text": error}}
+                    for error in result.parse_errors
+                ],
+            }
+        ],
+    }
+    payload = {"$schema": _SARIF_SCHEMA, "version": "2.1.0", "runs": [run]}
     return json.dumps(payload, indent=2, sort_keys=True)

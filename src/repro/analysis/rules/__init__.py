@@ -6,6 +6,10 @@ Importing this package registers every rule with
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    flow_clock,
+    flow_executor,
+    flow_rng,
+    flow_units,
     rep001_determinism,
     rep002_units,
     rep003_runtime,
@@ -19,4 +23,8 @@ __all__ = [
     "rep003_runtime",
     "rep004_api",
     "rep005_experiments",
+    "flow_rng",
+    "flow_clock",
+    "flow_executor",
+    "flow_units",
 ]

@@ -1,8 +1,26 @@
-"""Shared AST helpers for the domain rules."""
+"""Shared AST helpers and target sets for the domain rules."""
 
 from __future__ import annotations
 
 import ast
+
+#: Wall-clock reads — the simulated clock or SimulatedTimer must be used
+#: instead.  Shared by REP001 (per-file) and REP102 (interprocedural).
+CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
 
 
 def build_import_map(tree: ast.Module) -> dict[str, str]:

@@ -1,0 +1,85 @@
+"""REP102 — wall-clock leakage into the simulated runtime.
+
+REP001 catches a ``time.time()`` written directly inside a simulated
+package; this rule catches the indirect version: a helper three calls
+away that reads the wall clock while executing *under* the event
+simulator.  Simulated time and wall time advance independently, so any
+such read silently couples results to host speed.
+
+Sources are the functions of the simulated-runtime modules
+(``event_sim``, ``mpi_sim``, ``recovery``) and every method of a
+``SimulatedTimer`` class.  Traversal does not descend into
+``repro.obs`` — :func:`repro.obs.tracer.wall_clock_s` is the one
+sanctioned wall-clock boundary (observation, not simulation) — nor into
+the analyser itself.  Diagnostics anchor at the clock call (the sink)
+and carry the source→sink symbol path in the message.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import FlowRule, register_rule
+from repro.analysis.rules.common import CLOCK_CALLS
+
+#: Modules whose every function executes under simulated time.
+SOURCE_MODULES = (
+    "repro.runtime.event_sim",
+    "repro.runtime.mpi_sim",
+    "repro.runtime.recovery",
+)
+
+#: Classes whose methods are simulated-time sources wherever defined.
+SOURCE_CLASSES = ("SimulatedTimer",)
+
+#: Trusted boundaries the reachability walk never enters.
+TRUSTED_PREFIXES = ("repro.obs", "repro.analysis")
+
+
+def _is_source(qualname: str, module: str) -> bool:
+    if module in SOURCE_MODULES:
+        return True
+    return any(cls in qualname.split(".") for cls in SOURCE_CLASSES)
+
+
+def _is_trusted(module: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in TRUSTED_PREFIXES
+    )
+
+
+@register_rule
+class ClockFlowRule(FlowRule):
+    """No wall-clock read reachable from the simulated runtime."""
+
+    rule_id = "REP102"
+    title = "clock flow: wall-clock reads reachable from the simulated runtime"
+    rationale = (
+        "code running under the event simulator must never read host time; "
+        "the only sanctioned boundary is repro.obs.tracer.wall_clock_s"
+    )
+
+    def check_flow(self, flow) -> None:
+        graph = flow.graph
+        starts = sorted(
+            q
+            for q, m in graph.fn_module.items()
+            if _is_source(q, m) and not _is_trusted(m)
+        )
+        forest = graph.reachable(starts, skip_module=_is_trusted)
+        for qualname in sorted(forest):
+            module = graph.fn_module[qualname]
+            if _is_trusted(module):
+                continue
+            for site in graph.functions[qualname].calls:
+                if site.target not in CLOCK_CALLS:
+                    continue
+                path = " -> ".join(graph.call_path(forest, qualname))
+                flow.report(
+                    self.rule_id,
+                    module,
+                    site.line,
+                    site.col,
+                    f"wall-clock read `{site.target}` reachable from the "
+                    f"simulated runtime (path: {path}); take time from the "
+                    "event simulator, or observe through "
+                    "repro.obs.tracer.wall_clock_s",
+                )

@@ -1,0 +1,65 @@
+"""REP103 — executor-safety: shared state written by pool workers.
+
+The parallel orchestrator fans experiments out over a
+``ProcessPoolExecutor``; with a process pool a worker's write to
+module-level state updates a *copy* and is silently lost, and with a
+thread pool (or fork start method) it races.  Either way the result
+depends on pool internals, which is exactly what the reproduction must
+not do.
+
+The rule walks the call graph from every resolved ``submit``/``map``
+worker and flags each write to module-level state it can reach —
+``global`` rebinds and in-place mutations of module-level containers
+(including the active-store and tracer registries).  A deliberate
+worker-side re-open (the documented ``set_store`` pattern) is silenced
+at the sink line with ``# repro: noqa REP103`` plus a justification.
+Diagnostics anchor at the write (the sink) and carry the
+submit→worker→write symbol path in the message.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import FlowRule, register_rule
+
+
+@register_rule
+class ExecutorFlowRule(FlowRule):
+    """No module-level writes reachable from executor-submitted work."""
+
+    rule_id = "REP103"
+    title = "executor flow: module-level state written by pool workers"
+    rationale = (
+        "writes to module globals from submitted work are lost or raced "
+        "depending on the pool; thread results through return values"
+    )
+
+    def check_flow(self, flow) -> None:
+        graph = flow.graph
+        workers: dict[str, str] = {}  # worker qualname -> submitting fn
+        for _module, fn, submit in graph.submit_sites():
+            callee = graph.resolve(submit.target)
+            if callee is not None:
+                workers.setdefault(callee, fn.qualname)
+        forest = graph.reachable(sorted(workers))
+        seen: set[tuple] = set()
+        for qualname in sorted(forest):
+            module = graph.fn_module[qualname]
+            fn = graph.functions[qualname]
+            for write in fn.global_writes:
+                key = (module, write.line, write.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                path = graph.call_path(forest, qualname)
+                submitter = workers.get(path[0], path[0])
+                chain = " -> ".join([submitter, *path])
+                verb = "rebinds" if write.kind == "global" else "mutates"
+                flow.report(
+                    self.rule_id,
+                    module,
+                    write.line,
+                    write.col,
+                    f"executor-submitted code {verb} module-level "
+                    f"`{write.name}` (path: {chain}); pool workers must not "
+                    "write shared state — return results instead",
+                )

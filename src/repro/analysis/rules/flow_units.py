@@ -1,0 +1,98 @@
+"""REP104 — unit-dimension flow across call boundaries.
+
+REP002 checks arithmetic inside one expression; this rule follows the
+suffix conventions (``_s``, ``_sim_s``, ``_bytes``, ``_flops``, ...)
+*through calls*: an argument whose suffix names one unit family must not
+fill a parameter whose suffix names another, and a call result bound to
+a unit-suffixed name should come from a callee whose own name does not
+promise a different unit.  ``_sim_s`` (simulated seconds) is a distinct
+family from ``_s`` (wall seconds) — mixing them compiles, runs, and is
+always wrong.
+
+Parameter suffixes come from the callee's summary, so the check is
+interprocedural but still purely lexical: no types, just the naming
+convention the tree already enforces per-file.  Diagnostics anchor at
+the call site and carry the caller→callee symbol path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import FlowRule, register_rule
+
+# NOTE: repro.analysis.symbols imports this package's ``common`` module,
+# which initialises the package and hence this module — so the
+# flow_unit_family import must be deferred to call time.
+
+
+@register_rule
+class UnitFlowRule(FlowRule):
+    """Unit-suffixed values keep their dimension across call boundaries."""
+
+    rule_id = "REP104"
+    title = "unit flow: dimension conflicts between arguments and parameters"
+    rationale = (
+        "suffix conventions are the tree's unit system; a _bytes value "
+        "filling a _blocks parameter corrupts FPM curves silently"
+    )
+
+    def check_flow(self, flow) -> None:
+        from repro.analysis.symbols import flow_unit_family
+
+        graph = flow.graph
+        for qualname in sorted(graph.functions):
+            module = graph.fn_module[qualname]
+            fn = graph.functions[qualname]
+            for site in fn.calls:
+                callee = graph.resolve(site.target)
+                self._check_result_binding(
+                    flow, module, qualname, site, callee
+                )
+                if callee is None:
+                    continue
+                params = graph.functions[callee].params
+                for slot, argname, family in site.arg_units:
+                    if isinstance(slot, int):
+                        if slot >= len(params):
+                            continue
+                        pname = params[slot]
+                    else:
+                        if slot not in params:
+                            continue
+                        pname = slot
+                    pfamily = flow_unit_family(pname)
+                    if pfamily is None or pfamily == family:
+                        continue
+                    flow.report(
+                        self.rule_id,
+                        module,
+                        site.line,
+                        site.col,
+                        f"unit mismatch: `{argname}` ({family}) fills "
+                        f"parameter `{pname}` ({pfamily}) "
+                        f"(path: {qualname} -> {callee})",
+                    )
+
+    def _check_result_binding(
+        self, flow, module: str, qualname: str, site, callee: str | None
+    ) -> None:
+        """``x_bytes = elapsed_s(...)`` — result unit vs target unit."""
+        from repro.analysis.symbols import flow_unit_family
+
+        if site.assign_unit is None:
+            return
+        raw = callee if callee is not None else site.target
+        if raw.startswith("@method:"):
+            raw = raw[len("@method:"):]
+        ret_family = flow_unit_family(raw.rsplit(".", 1)[-1])
+        target_name, target_family = site.assign_unit
+        if ret_family is None or ret_family == target_family:
+            return
+        flow.report(
+            self.rule_id,
+            module,
+            site.line,
+            site.col,
+            f"unit mismatch: `{target_name}` ({target_family}) bound to the "
+            f"result of `{raw}` ({ret_family}) "
+            f"(path: {qualname} -> {callee or raw})",
+        )

@@ -16,7 +16,11 @@ import ast
 
 from repro.analysis.context import FileContext
 from repro.analysis.registry import Rule, register_rule
-from repro.analysis.rules.common import build_import_map, resolve_call_target
+from repro.analysis.rules.common import (
+    CLOCK_CALLS,
+    build_import_map,
+    resolve_call_target,
+)
 
 #: Packages whose behaviour must be a pure function of the seed.
 ENFORCED_PACKAGES = (
@@ -27,21 +31,7 @@ ENFORCED_PACKAGES = (
 )
 
 #: Wall-clock reads (the sim clock or SimulatedTimer must be used instead).
-_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "time.clock_gettime",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-}
+_CLOCK_CALLS = CLOCK_CALLS
 
 #: Module prefixes whose *any* call is unmanaged randomness.
 _RNG_PREFIXES = ("random.", "numpy.random.")

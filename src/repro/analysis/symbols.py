@@ -1,0 +1,764 @@
+"""Per-file symbol resolution for the flow tier.
+
+:func:`extract_summary` condenses one parsed source file into a
+:class:`ModuleSummary`: every function/method with its resolved call
+targets, executor submissions, RNG creation sites, reads and writes of
+module-level state, parameter names and unit-suffix information — plus
+the file's ``# repro: noqa`` map.  Summaries are plain-data and
+JSON-round-trippable, which is what lets the engine cache them in the
+artifact store keyed by file content digest: an unchanged file never
+re-parses, and the call graph (:mod:`repro.analysis.callgraph`) links
+summaries without touching the AST again.
+
+Resolution is purely lexical, like the rest of the analyser:
+
+- bare names resolve through enclosing local defs, module-level defs and
+  the import map (``from x import y as z``);
+- ``self.m(...)`` inside ``class C`` resolves to ``module.C.m`` when
+  ``C`` defines ``m``;
+- other attribute calls resolve through imported module aliases
+  (``np.random.default_rng`` -> ``numpy.random.default_rng``) or fall
+  back to a ``@method:<name>`` marker the call graph may later bind via
+  its unique-method-name index.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.analysis.context import module_name_for, parse_noqa
+from repro.analysis.dataflow import TaintEngine
+from repro.analysis.rules.common import build_import_map, dotted_name
+from repro.analysis.rules.rep002_units import SUFFIX_FAMILIES
+
+#: Bump when the summary shape changes: cached entries of older formats
+#: are misses, so the store never feeds a stale shape to the graph.
+SUMMARY_FORMAT = 1
+
+#: Call targets that create a numpy bit generator (REP101 sources).
+RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng": "rng",
+    "numpy.random.Generator": "rng",
+}
+
+#: Call targets that create a worker pool (REP101/REP103 sinks hang off
+#: ``.submit`` / ``.map`` calls on values tainted by these).
+EXECUTOR_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor": "executor",
+    "concurrent.futures.ThreadPoolExecutor": "executor",
+    "concurrent.futures.process.ProcessPoolExecutor": "executor",
+    "concurrent.futures.thread.ThreadPoolExecutor": "executor",
+    "multiprocessing.Pool": "executor",
+    "multiprocessing.pool.Pool": "executor",
+}
+
+#: Methods that hand a callable to a pool; first argument is the worker.
+SUBMIT_METHODS = {"submit": "submit", "map": "map", "imap": "map", "apply_async": "submit"}
+
+#: Mutating container methods: calling one on a module-level name is a
+#: write to shared state (REP103).
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+}
+
+#: Unit families for the *flow* rule: the REP002 table plus the short
+#: suffixes the tree actually uses across call boundaries.  ``_sim_s``
+#: (simulated seconds) is deliberately a different family from ``_s``
+#: (wall seconds): adding them compiles and is always a bug.
+FLOW_SUFFIX_FAMILIES = dict(SUFFIX_FAMILIES)
+FLOW_SUFFIX_FAMILIES.update({"s": "seconds", "ns": "nanoseconds"})
+
+
+def flow_unit_family(name: str | None) -> str | None:
+    """Unit family of an identifier, judged by its (flow-tier) suffix."""
+    if not name:
+        return None
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if leaf == "sim_s" or leaf.endswith("_sim_s"):
+        return "sim_seconds"
+    token = leaf.rsplit("_", 1)[-1]
+    if token == leaf:
+        # a bare name is only a unit when it *is* the suffix word
+        # (``blocks``), never a coincidental short name like ``s``
+        return SUFFIX_FAMILIES.get(token)
+    return FLOW_SUFFIX_FAMILIES.get(token)
+
+
+# --------------------------------------------------------------------------
+# summary records (all JSON-round-trippable)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallSite:
+    """One call inside a function, with its resolved target."""
+
+    target: str  #: fq dotted name, or ``@method:<leaf>`` marker
+    line: int
+    col: int
+    #: ``(slot, argument name, family)`` per unit-suffixed argument; the
+    #: slot is an int position (0-based, self excluded) or a keyword name.
+    arg_units: tuple = ()
+    #: ``(target name, family)`` when the call's result is bound to a
+    #: unit-suffixed name (``x_bytes = f(...)``).
+    assign_unit: tuple | None = None
+
+    def to_json(self) -> dict:
+        out = {"target": self.target, "line": self.line, "col": self.col}
+        if self.arg_units:
+            out["arg_units"] = [list(u) for u in self.arg_units]
+        if self.assign_unit:
+            out["assign_unit"] = list(self.assign_unit)
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CallSite":
+        return cls(
+            target=data["target"],
+            line=data["line"],
+            col=data["col"],
+            arg_units=tuple(tuple(u) for u in data.get("arg_units", ())),
+            assign_unit=(
+                tuple(data["assign_unit"]) if data.get("assign_unit") else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SubmitSite:
+    """A ``pool.submit(fn, ...)`` / ``pool.map(fn, ...)`` call site."""
+
+    kind: str  #: "submit" | "map"
+    target: str | None  #: resolved worker callable, when resolvable
+    line: int
+    col: int
+    #: names of rng-tainted arguments passed alongside the callable
+    rng_args: tuple = ()
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "line": self.line,
+            "col": self.col,
+            "rng_args": list(self.rng_args),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SubmitSite":
+        return cls(
+            kind=data["kind"],
+            target=data.get("target"),
+            line=data["line"],
+            col=data["col"],
+            rng_args=tuple(data.get("rng_args", ())),
+        )
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """A write to module-level state from inside a function."""
+
+    name: str  #: fully-qualified ``module.NAME``
+    line: int
+    col: int
+    kind: str  #: "global" (rebind via ``global``) | "mutation"
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GlobalWrite":
+        return cls(
+            name=data["name"],
+            line=data["line"],
+            col=data["col"],
+            kind=data["kind"],
+        )
+
+
+@dataclass(frozen=True)
+class RngSite:
+    """A generator creation site (``default_rng`` / ``Generator`` call)."""
+
+    name: str | None  #: bound name (fq for module level), None if anonymous
+    target: str  #: the creating call target
+    line: int
+    col: int
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RngSite":
+        return cls(
+            name=data.get("name"),
+            target=data["target"],
+            line=data["line"],
+            col=data["col"],
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the flow rules need to know about one function."""
+
+    qualname: str
+    name: str
+    line: int
+    is_method: bool
+    params: tuple = ()  #: positional parameter names (self/cls stripped)
+    calls: tuple = ()
+    submits: tuple = ()
+    global_writes: tuple = ()
+    #: fq names of module-level / imported values this function reads
+    global_reads: tuple = ()
+    #: generator creations inside this function
+    rng_sites: tuple = ()
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "is_method": self.is_method,
+            "params": list(self.params),
+            "calls": [c.to_json() for c in self.calls],
+            "submits": [s.to_json() for s in self.submits],
+            "global_writes": [w.to_json() for w in self.global_writes],
+            "global_reads": list(self.global_reads),
+            "rng_sites": [r.to_json() for r in self.rng_sites],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FunctionSummary":
+        return cls(
+            qualname=data["qualname"],
+            name=data["name"],
+            line=data["line"],
+            is_method=data["is_method"],
+            params=tuple(data.get("params", ())),
+            calls=tuple(CallSite.from_json(c) for c in data.get("calls", ())),
+            submits=tuple(
+                SubmitSite.from_json(s) for s in data.get("submits", ())
+            ),
+            global_writes=tuple(
+                GlobalWrite.from_json(w) for w in data.get("global_writes", ())
+            ),
+            global_reads=tuple(data.get("global_reads", ())),
+            rng_sites=tuple(
+                RngSite.from_json(r) for r in data.get("rng_sites", ())
+            ),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The flow-tier condensation of one source file."""
+
+    module: str
+    path: str  #: project-root-relative POSIX path
+    digest: str  #: content digest the summary was extracted from
+    functions: dict = field(default_factory=dict)  #: qualname -> FunctionSummary
+    classes: tuple = ()  #: fq class names defined here
+    imports: dict = field(default_factory=dict)  #: local name -> fq target
+    module_rng: tuple = ()  #: module-level RngSites (name is fq)
+    module_globals: tuple = ()  #: names assigned at module level
+    suppressions: dict = field(default_factory=dict)  #: line -> rules | None
+
+    def to_json(self) -> dict:
+        return {
+            "format": SUMMARY_FORMAT,
+            "module": self.module,
+            "path": self.path,
+            "digest": self.digest,
+            "functions": {
+                q: f.to_json() for q, f in sorted(self.functions.items())
+            },
+            "classes": list(self.classes),
+            "imports": dict(sorted(self.imports.items())),
+            "module_rng": [r.to_json() for r in self.module_rng],
+            "module_globals": list(self.module_globals),
+            "suppressions": {
+                str(line): (None if rules is None else sorted(rules))
+                for line, rules in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            digest=data["digest"],
+            functions={
+                q: FunctionSummary.from_json(f)
+                for q, f in data.get("functions", {}).items()
+            },
+            classes=tuple(data.get("classes", ())),
+            imports=dict(data.get("imports", {})),
+            module_rng=tuple(
+                RngSite.from_json(r) for r in data.get("module_rng", ())
+            ),
+            module_globals=tuple(data.get("module_globals", ())),
+            suppressions={
+                int(line): (None if rules is None else set(rules))
+                for line, rules in data.get("suppressions", {}).items()
+            },
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``# repro: noqa`` on ``line`` silences ``rule`` here."""
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+
+def source_digest(source: str) -> str:
+    """Content digest used as the summary cache key component."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def walk_scope(fn: ast.AST):
+    """Yield ``fn``'s nodes without descending into nested defs/classes.
+
+    Like :func:`ast.walk` but a nested ``def``/``class`` is a boundary:
+    its body belongs to its own :class:`FunctionSummary`, so calls inside
+    it must not be attributed to the enclosing function.  Lambdas and
+    comprehensions are *not* boundaries — they execute in (and taint) the
+    enclosing scope.
+    """
+    from collections import deque
+
+    todo = deque([fn])
+    while todo:
+        node = todo.popleft()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            todo.append(child)
+
+
+# --------------------------------------------------------------------------
+# extraction
+# --------------------------------------------------------------------------
+def extract_summary(
+    source: str, tree: ast.Module, module: str, relpath: str
+) -> ModuleSummary:
+    """Condense one parsed file into its :class:`ModuleSummary`."""
+    return _Extractor(source, tree, module, relpath).extract()
+
+
+def summarize_file(path, root) -> "ModuleSummary | None":
+    """Parse and summarize ``path`` (None when unreadable/unparsable)."""
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    try:
+        relpath = path.resolve().relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return extract_summary(source, tree, module_name_for(path), relpath)
+
+
+class _Extractor:
+    """One-pass (per scope) walker building a :class:`ModuleSummary`."""
+
+    def __init__(self, source: str, tree: ast.Module, module: str, relpath: str):
+        self.tree = tree
+        self.module = module
+        self.summary = ModuleSummary(
+            module=module,
+            path=relpath,
+            digest=source_digest(source),
+            suppressions=parse_noqa(source),
+        )
+        self.imports = build_import_map(tree)
+        self.summary.imports = dict(self.imports)
+        self.module_defs = self._module_level_defs(tree)
+        self.summary.module_globals = tuple(sorted(self.module_defs["names"]))
+        self.taint_seeds = {**RNG_CONSTRUCTORS, **EXECUTOR_CONSTRUCTORS}
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _module_level_defs(tree: ast.Module) -> dict:
+        funcs: set[str] = set()
+        classes: dict[str, set[str]] = {}
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                classes[stmt.name] = {
+                    sub.name
+                    for sub in stmt.body
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                for node in ast.walk(stmt.target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        return {"funcs": funcs, "classes": classes, "names": names}
+
+    def resolve_expr(self, expr: ast.AST, scope: "_Scope") -> str | None:
+        """Fully-qualified dotted name of an expression, or ``None``."""
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        return self.resolve_dotted(name, scope)
+
+    def resolve_dotted(self, name: str, scope: "_Scope") -> str | None:
+        head, _, rest = name.partition(".")
+        # self/cls method access inside a class body
+        if head in ("self", "cls") and scope.class_name is not None:
+            if rest:
+                leaf = rest.split(".")[0]
+                methods = self.module_defs["classes"].get(scope.class_name, ())
+                if leaf in methods:
+                    return f"{self.module}.{scope.class_name}.{leaf}"
+                return f"@method:{name.rsplit('.', 1)[-1]}"
+            return None
+        # lexically enclosing function defs
+        for enclosing in reversed(scope.local_defs):
+            if head in enclosing["names"]:
+                base = f"{enclosing['qual']}.{head}"
+                return f"{base}.{rest}" if rest else base
+        # module-level defs
+        if head in self.module_defs["funcs"]:
+            base = f"{self.module}.{head}"
+            return f"{base}.{rest}" if rest else base
+        if head in self.module_defs["classes"]:
+            base = f"{self.module}.{head}"
+            return f"{base}.{rest}" if rest else base
+        if head in self.imports:
+            base = self.imports[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.module_defs["names"]:
+            base = f"{self.module}.{head}"
+            return f"{base}.{rest}" if rest else base
+        if rest:
+            # unresolvable head with an attribute chain: a method call on
+            # some local value — leave a marker the call graph may bind
+            return f"@method:{name.rsplit('.', 1)[-1]}"
+        return head  # builtin or unknown bare name
+
+    # ------------------------------------------------------------ extraction
+    def extract(self) -> ModuleSummary:
+        scope = _Scope(qual=self.module, class_name=None, local_defs=[])
+        # module-level rng creations (shared by construction)
+        engine = TaintEngine(
+            self.taint_seeds, lambda e: self.resolve_expr(e, scope)
+        )
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                target_fq = self.resolve_expr(stmt.value.func, scope)
+                if target_fq in RNG_CONSTRUCTORS:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.summary.module_rng += (
+                                RngSite(
+                                    name=f"{self.module}.{target.id}",
+                                    target=target_fq,
+                                    line=stmt.lineno,
+                                    col=stmt.col_offset + 1,
+                                ),
+                            )
+        del engine
+        classes = []
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(stmt, scope, is_method=False)
+            elif isinstance(stmt, ast.ClassDef):
+                classes.append(f"{self.module}.{stmt.name}")
+                class_scope = _Scope(
+                    qual=f"{self.module}.{stmt.name}",
+                    class_name=stmt.name,
+                    local_defs=[],
+                )
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._extract_function(sub, class_scope, is_method=True)
+        self.summary.classes = tuple(classes)
+        return self.summary
+
+    def _extract_function(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: "_Scope",
+        is_method: bool,
+    ) -> None:
+        qualname = f"{scope.qual}.{fn.name}"
+        decorators = {dotted_name(d) for d in fn.decorator_list}
+        static = is_method and (
+            "staticmethod" in decorators or "classmethod" in decorators
+        )
+        params = [a.arg for a in (*fn.args.posonlyargs, *fn.args.args)]
+        if is_method and not static and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        nested = [
+            stmt
+            for stmt in fn.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        fn_scope = _Scope(
+            qual=qualname,
+            class_name=scope.class_name,
+            local_defs=scope.local_defs
+            + [{"qual": qualname, "names": {n.name for n in nested}}],
+        )
+        resolve = lambda e: self.resolve_expr(e, fn_scope)  # noqa: E731
+        engine = TaintEngine(self.taint_seeds, resolve)
+        taint = engine.run(fn.body)
+
+        for inner in nested:
+            self._extract_function(inner, fn_scope, is_method=False)
+
+        calls: list[CallSite] = []
+        submits: list[SubmitSite] = []
+        writes: list[GlobalWrite] = []
+        reads: set[str] = set()
+        rng_sites: list[RngSite] = []
+        own_nodes = list(walk_scope(fn))
+        declared_global = {
+            name
+            for node in own_nodes
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        assign_parent: dict[int, tuple] = {}
+        for node in own_nodes:
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    family = flow_unit_family(node.targets[0].id)
+                    if family is not None:
+                        assign_parent[id(node.value)] = (
+                            node.targets[0].id,
+                            family,
+                        )
+        for node in own_nodes:
+            if isinstance(node, ast.Call):
+                self._extract_call(
+                    node,
+                    fn_scope,
+                    taint,
+                    engine,
+                    calls,
+                    submits,
+                    writes,
+                    rng_sites,
+                    assign_parent,
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._extract_write(node, fn_scope, declared_global, writes)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                fq = self._read_target(node.id, fn_scope)
+                if fq is not None:
+                    reads.add(fq)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                name = dotted_name(node)
+                if name is not None:
+                    head_fq = self._read_target(name.split(".")[0], fn_scope)
+                    if head_fq is not None:
+                        reads.add(head_fq)
+        self.summary.functions[qualname] = FunctionSummary(
+            qualname=qualname,
+            name=fn.name,
+            line=fn.lineno,
+            is_method=is_method and not static,
+            params=tuple(params),
+            calls=tuple(calls),
+            submits=tuple(submits),
+            global_writes=tuple(writes),
+            global_reads=tuple(sorted(reads)),
+            rng_sites=tuple(rng_sites),
+        )
+
+    def _read_target(self, name: str, scope: "_Scope") -> str | None:
+        """fq name of a module-global or imported value read, else None."""
+        if name in self.module_defs["names"]:
+            return f"{self.module}.{name}"
+        if name in self.imports:
+            return self.imports[name]
+        return None
+
+    def _extract_call(
+        self,
+        node: ast.Call,
+        scope: "_Scope",
+        taint: dict[str, str],
+        engine: TaintEngine,
+        calls: list,
+        submits: list,
+        writes: list,
+        rng_sites: list,
+        assign_parent: dict,
+    ) -> None:
+        target = self.resolve_expr(node.func, scope)
+        line, col = node.lineno, node.col_offset + 1
+        # rng creation (direct or through a constructor alias)
+        created = engine.taint_of(node, taint)
+        if created == "rng":
+            direct = target if target in RNG_CONSTRUCTORS else "numpy.random.default_rng"
+            bound = assign_parent.get(id(node))
+            rng_sites.append(
+                RngSite(
+                    name=bound[0] if bound else None,
+                    target=direct,
+                    line=line,
+                    col=col,
+                )
+            )
+        # executor submission?
+        if isinstance(node.func, ast.Attribute) and node.func.attr in SUBMIT_METHODS:
+            base_tag = engine.taint_of(node.func.value, taint)
+            if base_tag == "executor":
+                worker = (
+                    self.resolve_expr(node.args[0], scope) if node.args else None
+                )
+                if worker is not None and worker.startswith("@method:"):
+                    worker = None
+                rng_args = []
+                for arg in node.args[1:]:
+                    if engine.taint_of(arg, taint) == "rng":
+                        rng_args.append(dotted_name(arg) or "<expr>")
+                    else:
+                        fq = self.resolve_expr(arg, scope)
+                        if fq is not None and any(
+                            fq == site.name for site in self.summary.module_rng
+                        ):
+                            rng_args.append(fq)
+                for kw in node.keywords:
+                    if kw.value is not None and engine.taint_of(
+                        kw.value, taint
+                    ) == "rng":
+                        rng_args.append(kw.arg or "<kwargs>")
+                submits.append(
+                    SubmitSite(
+                        kind=SUBMIT_METHODS[node.func.attr],
+                        target=worker,
+                        line=line,
+                        col=col,
+                        rng_args=tuple(rng_args),
+                    )
+                )
+        # mutator method on this module's own module-level state?  Cross-
+        # module container mutation is caught by the subscript/attribute
+        # assignment check instead — a lexical pass cannot tell an imported
+        # value from an imported submodule, and `other_mod.update(...)`
+        # must not count as a write.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.module_defs["names"]
+        ):
+            writes.append(
+                GlobalWrite(
+                    name=f"{self.module}.{node.func.value.id}",
+                    line=line,
+                    col=col,
+                    kind="mutation",
+                )
+            )
+        if target is None:
+            return
+        arg_units = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break  # positions past a *splat are unknowable
+            family = flow_unit_family(dotted_name(arg))
+            if family is not None:
+                arg_units.append((index, dotted_name(arg), family))
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            family = flow_unit_family(dotted_name(kw.value))
+            if family is not None:
+                arg_units.append((kw.arg, dotted_name(kw.value), family))
+        calls.append(
+            CallSite(
+                target=target,
+                line=line,
+                col=col,
+                arg_units=tuple(arg_units),
+                assign_unit=assign_parent.get(id(node)),
+            )
+        )
+
+    def _extract_write(
+        self,
+        node: ast.Assign | ast.AugAssign | ast.AnnAssign,
+        scope: "_Scope",
+        declared_global: set[str],
+        writes: list,
+    ) -> None:
+        targets = (
+            list(node.targets) if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared_global:
+                writes.append(
+                    GlobalWrite(
+                        name=f"{self.module}.{target.id}",
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        kind="global",
+                    )
+                )
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base: ast.AST = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    fq = self._read_target(base.id, scope)
+                    if fq is not None:
+                        writes.append(
+                            GlobalWrite(
+                                name=fq,
+                                line=node.lineno,
+                                col=node.col_offset + 1,
+                                kind="mutation",
+                            )
+                        )
+
+
+@dataclass
+class _Scope:
+    """Lexical position during extraction."""
+
+    qual: str
+    class_name: str | None
+    local_defs: list

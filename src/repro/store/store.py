@@ -6,6 +6,7 @@ Layout (one JSON file per artifact, sharded by kind)::
       fpm/<digest>.json        built performance-model sets
       partition/<digest>.json  frozen partition decisions
       result/<digest>.json     frozen experiment results
+      lint/<digest>.json       flow-tier module summaries (static analyser)
 
 Each file is a self-describing envelope: the kind, the digest it is
 stored under, the salt it was computed with, the full (canonical) key,
@@ -37,7 +38,7 @@ from repro.store.keys import code_salt, digest_key
 _ENVELOPE_FORMAT = 1
 
 #: Artifact kinds the store shards by.
-KINDS = ("fpm", "partition", "result")
+KINDS = ("fpm", "partition", "result", "lint")
 
 
 class ResultStore:
@@ -187,10 +188,16 @@ def get_store() -> ResultStore | None:
 
 
 def set_store(store: ResultStore | None) -> ResultStore | None:
-    """Install ``store`` as the active store; returns the previous one."""
+    """Install ``store`` as the active store; returns the previous one.
+
+    Pool workers call this deliberately (via ``use_store``) to re-open
+    the store in their own process: the rebind is process-local by
+    design, never shared back, so the executor-safety rule is silenced
+    at the write below.
+    """
     global _ACTIVE
     previous = _ACTIVE
-    _ACTIVE = store
+    _ACTIVE = store  # repro: noqa REP103  (worker-local re-open by design)
     return previous
 
 

@@ -1,0 +1,20 @@
+"""REP103 source: a pool worker two calls away from shared-state writes."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.exec.registry import record_result, reopen_cache
+
+
+def _worker(name, payload):
+    reopen_cache("/tmp/store")
+    record_result(name, payload)
+    return name
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        futures = [
+            pool.submit(_worker, name, payload)
+            for name, payload in configs.items()
+        ]
+    return [f.result() for f in futures]

@@ -1,0 +1,21 @@
+"""REP103 sinks: module-level state written by a function the pool runs.
+
+``record_result`` is the violation (a ``global`` rebind and a container
+mutation); ``reopen_cache`` is the sanctioned worker-local re-open
+pattern, silenced at the sink line — the multi-file noqa regression.
+"""
+
+RESULTS: dict = {}
+_COUNT = 0
+_CACHE: dict = {}
+
+
+def record_result(name, payload):
+    global _COUNT
+    _COUNT = _COUNT + 1
+    RESULTS[name] = payload
+
+
+def reopen_cache(path):
+    global _CACHE
+    _CACHE = {"path": path}  # repro: noqa REP103  (worker-local re-open)

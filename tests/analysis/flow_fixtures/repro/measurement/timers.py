@@ -1,0 +1,8 @@
+"""A helper that reads the wall clock — fine on its own (this module is
+not simulated), a REP102 violation once the event simulator reaches it."""
+
+import time
+
+
+def elapsed_wall_s(start_s):
+    return time.perf_counter() - start_s

@@ -1,0 +1,11 @@
+"""Unit-suffixed callees for the REP104 fixtures."""
+
+BLOCK_BYTES = 65536
+
+
+def bytes_for(count_blocks):
+    return count_blocks * BLOCK_BYTES
+
+
+def wall_span_s(end_s, start_s):
+    return end_s - start_s

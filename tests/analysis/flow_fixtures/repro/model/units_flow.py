@@ -1,0 +1,25 @@
+"""REP104 true positives: unit suffixes violated across call boundaries.
+
+``plan`` feeds a ``_bytes`` value to a ``_blocks`` parameter and a
+``_sim_s`` (simulated seconds) value to an ``_s`` (wall seconds)
+parameter; ``drift_blocks`` binds a seconds-returning callee to a
+blocks-suffixed name.  ``ok_span_s`` is the in-file negative control.
+"""
+
+from repro.model.convert import bytes_for, wall_span_s
+
+
+def plan(payload_bytes, window_sim_s):
+    size_bytes = bytes_for(payload_bytes)
+    drift_s = wall_span_s(window_sim_s, 0.0)
+    return size_bytes, drift_s
+
+
+def drift_blocks_of(end_s):
+    elapsed_blocks = wall_span_s(end_s, 0.0)
+    return elapsed_blocks
+
+
+def ok_span_s(end_s, start_s):
+    span_s = wall_span_s(end_s, start_s)
+    return span_s

@@ -1,0 +1,8 @@
+"""Fixture mirror of ``repro.obs.tracer`` — the sanctioned wall-clock
+boundary.  REP102's traversal never descends into ``repro.obs``."""
+
+import time
+
+
+def wall_clock_s():
+    return time.perf_counter()

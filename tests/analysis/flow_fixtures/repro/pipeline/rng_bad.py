@@ -1,0 +1,10 @@
+"""REP101 true positives: generators created outside ``repro.util.rng``."""
+
+import numpy as np
+
+SHARED = np.random.default_rng(7)
+
+
+def jitter_blocks(n_blocks, seed):
+    rng = np.random.default_rng(seed)
+    return n_blocks + int(rng.integers(0, 4))

@@ -1,0 +1,20 @@
+"""REP101 negative control: seeds cross the pool, generators do not."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util.rng import make_root, sibling_seeds
+
+
+def worker_from_seed(seed, n_blocks):
+    rng = make_root(seed)
+    return float(rng.normal(size=n_blocks).sum())
+
+
+def run_all(n_blocks):
+    root = make_root(0)
+    with ProcessPoolExecutor() as pool:
+        futures = [
+            pool.submit(worker_from_seed, seed, n_blocks)
+            for seed in sibling_seeds(root, 4)
+        ]
+    return [f.result() for f in futures]

@@ -1,0 +1,22 @@
+"""REP101 canary: a shared generator handed to executor-submitted work.
+
+Exactly one diagnostic must come out of this file — at the submit sink,
+with the source→sink symbol path — not a second one at ``GEN``'s
+creation site.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+GEN = np.random.default_rng(123)
+
+
+def worker(rng, n_blocks):
+    return float(rng.normal(size=n_blocks).sum())
+
+
+def run_all(n_blocks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, GEN, n_blocks) for _ in range(4)]
+    return [f.result() for f in futures]

@@ -1,0 +1,17 @@
+"""REP102 canary: the simulated runtime reaching a wall-clock read.
+
+``EventSimulator.advance`` calls into ``repro.measurement.timers``, which
+reads ``time.perf_counter`` — one diagnostic at that read, carrying the
+path ``...EventSimulator.advance -> ...elapsed_wall_s``.
+"""
+
+from repro.measurement.timers import elapsed_wall_s
+
+
+class EventSimulator:
+    def __init__(self):
+        self.now_sim_s = 0.0
+
+    def advance(self, dt_sim_s):
+        self.now_sim_s += dt_sim_s
+        return elapsed_wall_s(0.0)

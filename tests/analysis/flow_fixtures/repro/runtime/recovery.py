@@ -1,0 +1,11 @@
+"""REP102 negative control: simulated code observing time through the
+sanctioned ``repro.obs`` boundary produces no diagnostic."""
+
+from repro.obs.tracer import wall_clock_s
+
+
+def checkpoint_overhead_s(n_blocks):
+    started_s = wall_clock_s()
+    for _ in range(n_blocks):
+        pass
+    return wall_clock_s() - started_s

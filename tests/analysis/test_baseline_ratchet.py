@@ -1,0 +1,92 @@
+"""Baseline ratchet edge cases (ISSUE 6 satellite).
+
+The ratchet's contract: shrinking is always legal, any growth — new key
+or grown count — fails, and keys are stable under everything except a
+real change of (path, rule, message).  For flow rules that means the
+message must carry *symbol paths*, never line numbers, so whole-file
+line drift cannot invalidate an accepted baseline.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import get_rule
+
+HERE = Path(__file__).parent
+FLOW_FIXTURES = HERE / "flow_fixtures"
+REPO_ROOT = HERE.parent.parent
+
+
+def diag(path="a.py", line=1, rule="REP001", message="m"):
+    return Diagnostic(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_shrinking_baseline_is_legal():
+    baseline = Baseline.from_diagnostics(
+        [diag(message="gone"), diag(message="stays")]
+    )
+    new, fixed = baseline.filter_new([diag(message="stays")])
+    assert new == []
+    assert fixed == [diag(message="gone").key()]
+
+
+def test_count_growth_fails_even_for_known_key():
+    baseline = Baseline.from_diagnostics([diag(message="dup")])
+    new, _fixed = baseline.filter_new(
+        [diag(line=1, message="dup"), diag(line=50, message="dup")]
+    )
+    assert len(new) == 1  # the second occurrence is beyond the accepted count
+    assert new[0].line == 50  # earliest occurrences are forgiven first
+
+
+def test_renamed_file_changes_key_and_retires_old_entry():
+    """A rename is a real identity change: the old key shows up as fixed
+    (shrink the baseline), the new path is a new violation to re-accept."""
+    baseline = Baseline.from_diagnostics([diag(path="old.py")])
+    new, fixed = baseline.filter_new([diag(path="new.py")])
+    assert [d.path for d in new] == ["new.py"]
+    assert fixed == [diag(path="old.py").key()]
+
+
+def test_flow_keys_survive_line_drift(tmp_path):
+    """Accepted flow diagnostics keep matching after code moves down the
+    file: the key has no line number and the message only symbol paths."""
+    tree = tmp_path / "repro" / "exec"
+    shutil.copytree(FLOW_FIXTURES / "repro" / "exec", tree)
+    rules = [get_rule("REP103")]
+    before = lint_paths([tmp_path], rules=rules, root=tmp_path)
+    assert before.diagnostics, "fixture must produce flow diagnostics"
+    baseline = Baseline.from_diagnostics(before.diagnostics)
+
+    # shift both the sink file and the source file by a prologue
+    for name in ("registry.py", "orchestrator.py"):
+        path = tree / name
+        path.write_text(
+            "# drift\n# drift\n# drift\n" + path.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+    after = lint_paths([tmp_path], rules=rules, root=tmp_path)
+    assert [d.line for d in after.diagnostics] != [
+        d.line for d in before.diagnostics
+    ], "the drift must actually move the sinks"
+    new, fixed = baseline.filter_new(after.diagnostics)
+    assert new == []
+    assert fixed == []
+
+
+def test_flow_messages_carry_no_line_numbers():
+    """Defence for the drift guarantee: no flow message embeds positions
+    (on this fixture tree that means no digits at all — symbol paths and
+    prose only)."""
+    import re
+
+    rules = [get_rule(r) for r in ("REP101", "REP102", "REP103", "REP104")]
+    result = lint_paths([FLOW_FIXTURES], rules=rules, root=REPO_ROOT)
+    assert result.diagnostics
+    for diagnostic in result.diagnostics:
+        assert not re.search(r"\d", diagnostic.message), diagnostic.message

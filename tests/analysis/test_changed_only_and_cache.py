@@ -1,0 +1,141 @@
+"""``--changed-only`` (git-aware narrowing) and the flow-summary cache."""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import changed_files, main as lint_main
+from repro.analysis.engine import lint_paths
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent.parent
+
+_GIT_ENV = {
+    "GIT_AUTHOR_NAME": "t",
+    "GIT_AUTHOR_EMAIL": "t@example.invalid",
+    "GIT_COMMITTER_NAME": "t",
+    "GIT_COMMITTER_EMAIL": "t@example.invalid",
+    "HOME": "/nonexistent",  # ignore any user-level git config
+}
+
+
+def git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo), *args],
+        check=True,
+        capture_output=True,
+        env={**_GIT_ENV, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+@pytest.fixture
+def tmp_repo(tmp_path):
+    """A git repo holding a tiny repro tree with one REP002 violation
+    per file (unit families mixed in an addition)."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    bad = "def f(n_bytes, n_blocks):\n    return n_bytes + n_blocks\n"
+    (pkg / "alpha.py").write_text(bad, encoding="utf-8")
+    (pkg / "beta.py").write_text(bad, encoding="utf-8")
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def test_changed_files_tracks_modified_and_untracked(tmp_repo):
+    assert changed_files(tmp_repo) == []
+    alpha = tmp_repo / "repro" / "core" / "alpha.py"
+    alpha.write_text(alpha.read_text() + "\n", encoding="utf-8")
+    (tmp_repo / "repro" / "core" / "gamma.py").write_text("x = 1\n")
+    changed = {p.name for p in changed_files(tmp_repo)}
+    assert changed == {"alpha.py", "gamma.py"}
+
+
+def test_changed_files_outside_git_is_none(tmp_path):
+    assert changed_files(tmp_path) is None
+
+
+def test_cli_changed_only_narrows_reporting(tmp_repo, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_repo)
+    alpha = tmp_repo / "repro" / "core" / "alpha.py"
+    alpha.write_text(alpha.read_text() + "\n", encoding="utf-8")
+    assert lint_main(["repro", "--no-baseline", "--changed-only"]) == 1
+    out = capsys.readouterr().out
+    assert "alpha.py" in out
+    assert "beta.py" not in out  # unchanged: not reported
+    # without the flag both files report
+    assert lint_main(["repro", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "alpha.py" in out and "beta.py" in out
+
+
+def test_cli_changed_only_falls_back_outside_git(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "alpha.py").write_text(
+        "def f(n_bytes, n_blocks):\n    return n_bytes + n_blocks\n"
+    )
+    assert lint_main(["repro", "--no-baseline", "--changed-only"]) == 1
+    captured = capsys.readouterr()
+    assert "alpha.py" in captured.out  # full tree linted anyway
+    assert "falls back" in captured.err or "full tree" in captured.err
+
+
+def test_engine_only_filters_flow_diagnostics_to_sinks():
+    """The call graph spans everything, but reporting narrows to the
+    ``only`` files: with only the *source* file listed, the sink-anchored
+    diagnostic (in another file) is dropped; with the sink file listed,
+    it survives."""
+    flow_fixtures = HERE / "flow_fixtures"
+    source = flow_fixtures / "repro" / "runtime" / "event_sim.py"
+    sink = flow_fixtures / "repro" / "measurement" / "timers.py"
+    from repro.analysis.registry import get_rule
+
+    rules = [get_rule("REP102")]
+    narrowed = lint_paths(
+        [flow_fixtures], rules=rules, root=REPO_ROOT, only=[source]
+    )
+    assert narrowed.diagnostics == []
+    kept = lint_paths(
+        [flow_fixtures], rules=rules, root=REPO_ROOT, only=[sink]
+    )
+    assert len(kept.diagnostics) == 1
+    assert kept.diagnostics[0].path.endswith("timers.py")
+
+
+def test_cli_flow_cache_populates_and_reuses(tmp_repo, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_repo)
+    cache_dir = tmp_repo / "cache"
+    argv = [
+        "repro",
+        "--no-baseline",
+        "--flow",
+        "--rules",
+        "REP104",
+        "--cache-dir",
+        str(cache_dir),
+    ]
+    assert lint_main(argv) == 0
+    capsys.readouterr()
+    entries = sorted((cache_dir / "lint").glob("*.json"))
+    assert len(entries) == 2  # one summary per fixture file
+    assert lint_main(argv) == 0  # warm run: same verdict off the cache
+    mtimes = [p.stat().st_mtime_ns for p in entries]
+    assert mtimes == [p.stat().st_mtime_ns for p in sorted(
+        (cache_dir / "lint").glob("*.json")
+    )]
+
+
+def test_rule_times_are_recorded():
+    result = lint_paths(
+        [HERE / "flow_fixtures"], root=REPO_ROOT, flow=True
+    )
+    assert "callgraph" in result.rule_times_s
+    for rule_id in ("REP001", "REP101", "REP102", "REP103", "REP104"):
+        assert result.rule_times_s.get(rule_id, -1.0) >= 0.0

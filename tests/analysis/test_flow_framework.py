@@ -1,0 +1,288 @@
+"""Unit tests for the flow tier's machinery: summary extraction, the
+taint engine, call-graph resolution, and the content-addressed summary
+cache (no flow rules involved)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.dataflow import TaintEngine
+from repro.analysis.flow import build_flow_project, summary_cache_key
+from repro.analysis.symbols import (
+    ModuleSummary,
+    extract_summary,
+    flow_unit_family,
+    source_digest,
+    walk_scope,
+)
+from repro.store import ResultStore
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent.parent
+
+
+def summarize(source: str, module: str, relpath: str | None = None):
+    tree = ast.parse(source)
+    return extract_summary(source, tree, module, relpath or "x.py")
+
+
+# -- taint engine ----------------------------------------------------------
+
+
+def run_taint(source: str):
+    tree = ast.parse(source)
+    seeds = {
+        "numpy.random.default_rng": "rng",
+        "concurrent.futures.ProcessPoolExecutor": "executor",
+    }
+
+    def resolve(expr):
+        name_parts = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            name_parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        name_parts.append(node.id)
+        dotted = ".".join(reversed(name_parts))
+        return {
+            "default_rng": "numpy.random.default_rng",
+            "ProcessPoolExecutor": "concurrent.futures.ProcessPoolExecutor",
+        }.get(dotted.split(".")[0], dotted)
+
+    return TaintEngine(seeds, resolve).run(tree.body)
+
+
+def test_taint_direct_and_alias():
+    state = run_taint("rng = default_rng(0)\nalias = rng\nother = 1\n")
+    assert state["rng"] == "rng"
+    assert state["alias"] == "rng"
+    assert "other" not in state
+
+
+def test_taint_tuple_unpack_and_with():
+    state = run_taint(
+        "a, b = default_rng(0), 1\n"
+        "with ProcessPoolExecutor() as pool:\n"
+        "    pass\n"
+    )
+    assert state["a"] == "rng"
+    assert "b" not in state
+    assert state["pool"] == "executor"
+
+
+def test_taint_two_pass_sees_later_binding():
+    # the alias appears textually *before* the tainted assignment: the
+    # second pass catches it (loop bodies read names bound further down)
+    state = run_taint(
+        "def nothing():\n    pass\n"
+        "alias = rng\n"
+        "rng = default_rng(0)\n"
+    )
+    assert state["alias"] == "rng"
+
+
+# -- scope walking / extraction -------------------------------------------
+
+
+def test_walk_scope_skips_nested_defs():
+    fn = ast.parse(
+        "def outer():\n"
+        "    x = 1\n"
+        "    def inner():\n"
+        "        y = 2\n"
+        "    return x\n"
+    ).body[0]
+    names = {
+        n.id for n in walk_scope(fn) if isinstance(n, ast.Name)
+    }
+    assert "x" in names
+    assert "y" not in names  # inner's body belongs to inner's summary
+
+
+def test_extract_nested_call_attribution():
+    summary = summarize(
+        "import time\n"
+        "def outer():\n"
+        "    def inner():\n"
+        "        return time.perf_counter()\n"
+        "    return inner\n",
+        "repro.m",
+    )
+    outer = summary.functions["repro.m.outer"]
+    inner = summary.functions["repro.m.outer.inner"]
+    assert all(c.target != "time.perf_counter" for c in outer.calls)
+    assert any(c.target == "time.perf_counter" for c in inner.calls)
+
+
+def test_extract_methods_params_and_self():
+    summary = summarize(
+        "class Timer:\n"
+        "    def span_s(self, start_s):\n"
+        "        return self.read_s() - start_s\n"
+        "    def read_s(self):\n"
+        "        return 0.0\n",
+        "repro.m",
+    )
+    span = summary.functions["repro.m.Timer.span_s"]
+    assert span.params == ("start_s",)
+    assert span.is_method
+    assert any(c.target == "repro.m.Timer.read_s" for c in span.calls)
+    assert "repro.m.Timer" in summary.classes
+
+
+def test_extract_submit_and_global_write():
+    summary = summarize(
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "STATE = {}\n"
+        "def worker(n):\n"
+        "    STATE['k'] = n\n"
+        "def run():\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return pool.submit(worker, 1)\n",
+        "repro.m",
+    )
+    run = summary.functions["repro.m.run"]
+    assert len(run.submits) == 1
+    assert run.submits[0].target == "repro.m.worker"
+    worker = summary.functions["repro.m.worker"]
+    assert [(w.name, w.kind) for w in worker.global_writes] == [
+        ("repro.m.STATE", "mutation")
+    ]
+
+
+def test_flow_unit_family_suffixes():
+    assert flow_unit_family("total_bytes") == "bytes"
+    assert flow_unit_family("dt_s") == "seconds"
+    assert flow_unit_family("window_sim_s") == "sim_seconds"
+    assert flow_unit_family("nblocks") == "blocks"
+    assert flow_unit_family("s") is None  # bare short name is not a unit
+    assert flow_unit_family("payload") is None
+
+
+def test_module_summary_json_roundtrip():
+    summary = summarize(
+        "import numpy as np\n"
+        "GEN = np.random.default_rng(1)  # repro: noqa REP101\n"
+        "def f(n_blocks):\n"
+        "    return np.random.default_rng(n_blocks)\n",
+        "repro.m",
+    )
+    restored = ModuleSummary.from_json(summary.to_json())
+    assert restored.to_json() == summary.to_json()
+    assert restored.module_rng[0].name == "repro.m.GEN"
+    assert restored.is_suppressed("REP101", 2)
+    assert not restored.is_suppressed("REP102", 2)
+
+
+# -- call graph ------------------------------------------------------------
+
+
+def test_callgraph_reexport_and_ctor_binding():
+    pkg = summarize(
+        "from repro.pkg.impl import helper\n", "repro.pkg", "repro/pkg/__init__.py"
+    )
+    impl = summarize(
+        "class Thing:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"
+        "def helper():\n"
+        "    return Thing()\n",
+        "repro.pkg.impl",
+        "repro/pkg/impl.py",
+    )
+    user = summarize(
+        "from repro.pkg import helper\n"
+        "def use():\n"
+        "    return helper()\n",
+        "repro.user",
+        "repro/user.py",
+    )
+    graph = build_call_graph([pkg, impl, user])
+    # re-export: repro.pkg.helper -> repro.pkg.impl.helper
+    assert graph.resolve("repro.pkg.helper") == "repro.pkg.impl.helper"
+    # constructor binding: class -> __init__
+    assert graph.resolve("repro.pkg.impl.Thing") == "repro.pkg.impl.Thing.__init__"
+    callees = {c for c, _ in graph.edges["repro.user.use"]}
+    assert "repro.pkg.impl.helper" in callees
+
+
+def test_callgraph_unique_method_binding():
+    one = summarize(
+        "class A:\n"
+        "    def only_here(self):\n"
+        "        return 1\n",
+        "repro.a",
+        "repro/a.py",
+    )
+    two = summarize(
+        "class B:\n"
+        "    def everywhere(self):\n"
+        "        return 1\n"
+        "class C:\n"
+        "    def everywhere(self):\n"
+        "        return 2\n",
+        "repro.b",
+        "repro/b.py",
+    )
+    graph = build_call_graph([one, two])
+    assert graph.resolve("@method:only_here") == "repro.a.A.only_here"
+    assert graph.resolve("@method:everywhere") is None  # ambiguous: no guess
+
+
+def test_callgraph_reachability_and_path():
+    mods = [
+        summarize("def a():\n    return b()\ndef b():\n    return c()\n"
+                  "def c():\n    return 0\ndef d():\n    return 0\n",
+                  "repro.m", "repro/m.py")
+    ]
+    graph = build_call_graph(mods)
+    forest = graph.reachable(["repro.m.a"])
+    assert set(forest) == {"repro.m.a", "repro.m.b", "repro.m.c"}
+    assert graph.call_path(forest, "repro.m.c") == [
+        "repro.m.a", "repro.m.b", "repro.m.c"
+    ]
+
+
+# -- summary cache ---------------------------------------------------------
+
+
+def test_flow_summary_cache_round_trip(tmp_path, monkeypatch):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "mod.py").write_text(
+        "def f():\n    return 1\n", encoding="utf-8"
+    )
+    cache = ResultStore(tmp_path / "cache")
+
+    import repro.analysis.flow as flow_mod
+
+    calls = {"n": 0}
+    real = flow_mod.extract_summary
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(flow_mod, "extract_summary", counting)
+    first = build_flow_project([tree / "mod.py"], tmp_path, cache=cache)
+    assert calls["n"] == 1
+    second = build_flow_project([tree / "mod.py"], tmp_path, cache=cache)
+    assert calls["n"] == 1  # cache hit: no re-extraction
+    assert set(second.graph.functions) == set(first.graph.functions)
+    # the key is content-addressed: editing the file misses and re-extracts
+    (tree / "mod.py").write_text(
+        "def f():\n    return 2\n", encoding="utf-8"
+    )
+    build_flow_project([tree / "mod.py"], tmp_path, cache=cache)
+    assert calls["n"] == 2
+
+
+def test_summary_cache_key_includes_digest_and_format():
+    a = summary_cache_key("repro/mod.py", source_digest("x = 1\n"))
+    b = summary_cache_key("repro/mod.py", source_digest("x = 2\n"))
+    assert a != b
+    assert a["format"] == b["format"]

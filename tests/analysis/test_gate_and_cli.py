@@ -23,11 +23,12 @@ FIXTURES = HERE / "fixtures"
 def test_src_tree_lints_clean_vs_committed_baseline():
     """Tier-1 gate: the baseline may shrink but never grow.
 
-    The committed baseline is empty, so this asserts the whole ``src``
-    tree is violation-free; if a future PR legitimately accepts a
-    violation, the assertion still only fails on *new* ones.
+    Runs BOTH tiers — per-file and interprocedural — over ``src``.  The
+    committed baseline is empty, so this asserts the whole tree is
+    violation-free; if a future PR legitimately accepts a violation, the
+    assertion still only fails on *new* ones.
     """
-    result = lint_paths([SRC], root=REPO_ROOT)
+    result = lint_paths([SRC], root=REPO_ROOT, flow=True)
     assert result.parse_errors == []
     baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
     new, _fixed = baseline.filter_new(result.diagnostics)
@@ -43,14 +44,31 @@ def test_committed_baseline_is_empty():
     assert baseline.entries == {}
 
 
-def test_lint_gate_wrapper_passes_on_clean_tree(capsys):
+def _import_lint_gate():
     sys.path.insert(0, str(REPO_ROOT / "tools"))
     try:
         import lint_gate
     finally:
         sys.path.pop(0)
+    return lint_gate
+
+
+def test_lint_gate_wrapper_passes_on_clean_tree(capsys):
+    lint_gate = _import_lint_gate()
     assert lint_gate.main([]) == 0
-    assert "lint gate ok" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert "lint gate ok" in captured.out
+    # per-rule timings go to stderr, flow tier included
+    assert "callgraph" in captured.err
+    assert "REP101" in captured.err
+
+
+def test_lint_gate_fails_on_blown_budget(capsys):
+    """A run that exceeds the wall-time budget is a gate failure even on
+    a violation-free tree."""
+    lint_gate = _import_lint_gate()
+    assert lint_gate.main(["--budget-s", "0"]) == 1
+    assert "over the" in capsys.readouterr().out
 
 
 def test_cli_exit_codes_and_json(tmp_path, capsys, monkeypatch):
@@ -81,8 +99,29 @@ def test_cli_rule_selection_and_errors(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+    for rule_id in (
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP101",
+        "REP102",
+        "REP103",
+        "REP104",
+    ):
         assert rule_id in out
+
+
+def test_cli_flow_flag_runs_interprocedural_tier(capsys):
+    """``--flow`` surfaces a violation the per-file tier cannot see."""
+    bad = HERE / "flow_fixtures" / "repro" / "exec"
+    assert lint_main([str(bad), "--no-baseline", "--no-cache"]) == 0
+    capsys.readouterr()
+    assert (
+        lint_main([str(bad), "--no-baseline", "--no-cache", "--flow"]) == 1
+    )
+    assert "REP103" in capsys.readouterr().out
 
 
 def test_repro_cli_dispatches_lint(capsys):

@@ -19,10 +19,12 @@ from repro.analysis.registry import all_rules, get_rule
 
 HERE = Path(__file__).parent
 FIXTURES = HERE / "fixtures"
+FLOW_FIXTURES = HERE / "flow_fixtures"
 EXPECTED = HERE / "expected"
 REPO_ROOT = HERE.parent.parent
 
 RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005"]
+FLOW_RULE_IDS = ["REP101", "REP102", "REP103", "REP104"]
 
 CLEAN_FIXTURES = [
     FIXTURES / "repro" / "runtime" / "clean_runtime.py",
@@ -32,23 +34,35 @@ CLEAN_FIXTURES = [
     FIXTURES / "repro" / "lazypkg" / "__init__.py",
 ]
 
+#: Flow-fixture files that must stay silent under every flow rule (the
+#: sanctioned patterns: util.rng creation, obs boundary, seeds-not-
+#: generators across the pool, matching unit suffixes).
+CLEAN_FLOW_FIXTURES = [
+    FLOW_FIXTURES / "repro" / "util" / "rng.py",
+    FLOW_FIXTURES / "repro" / "pipeline" / "rng_clean.py",
+    FLOW_FIXTURES / "repro" / "runtime" / "recovery.py",
+    FLOW_FIXTURES / "repro" / "obs" / "tracer.py",
+    FLOW_FIXTURES / "repro" / "model" / "convert.py",
+]
 
-@pytest.mark.parametrize("rule_id", RULE_IDS)
+
+@pytest.mark.parametrize("rule_id", RULE_IDS + FLOW_RULE_IDS)
 def test_rule_catches_seeded_violations(rule_id):
-    """Each rule reproduces its golden diagnostics on the fixture tree."""
+    """Each rule reproduces its golden diagnostics on its fixture tree."""
     expected = json.loads(
         (EXPECTED / f"{rule_id.lower()}.json").read_text(encoding="utf-8")
     )
-    result = lint_paths([FIXTURES], rules=[get_rule(rule_id)], root=REPO_ROOT)
+    tree = FLOW_FIXTURES if rule_id in FLOW_RULE_IDS else FIXTURES
+    result = lint_paths([tree], rules=[get_rule(rule_id)], root=REPO_ROOT)
     assert result.parse_errors == []
     assert [d.to_json() for d in result.diagnostics] == expected
     assert expected, f"golden file for {rule_id} must seed at least one violation"
 
 
 def test_registry_is_complete():
-    """All five domain rules are registered with ids, titles, rationales."""
+    """Per-file and flow rules are registered with ids, titles, rationales."""
     rules = all_rules()
-    assert [r.rule_id for r in rules] == RULE_IDS
+    assert [r.rule_id for r in rules] == RULE_IDS + FLOW_RULE_IDS
     assert all(r.title and r.rationale for r in rules)
 
 
@@ -58,6 +72,22 @@ def test_clean_fixtures_yield_zero_diagnostics():
     assert result.parse_errors == []
     assert result.diagnostics == []
     assert result.files_checked == len(CLEAN_FIXTURES)
+
+
+def test_clean_flow_fixtures_yield_zero_flow_diagnostics():
+    """Negative control for the flow tier: sanctioned patterns stay silent.
+
+    The clean files are linted *together* (they form one call graph: the
+    pool submit in ``rng_clean`` resolves into ``util.rng``, ``recovery``
+    resolves into ``obs.tracer``) with every flow rule active.
+    """
+    result = lint_paths(
+        CLEAN_FLOW_FIXTURES,
+        rules=[get_rule(rule_id) for rule_id in FLOW_RULE_IDS],
+        root=REPO_ROOT,
+    )
+    assert result.parse_errors == []
+    assert result.diagnostics == []
 
 
 def test_noqa_suppresses_inline():

@@ -1,0 +1,66 @@
+"""SARIF 2.1.0 reporter: golden envelope plus structural invariants."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.reporters import render_sarif
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+EXPECTED = HERE / "expected"
+REPO_ROOT = HERE.parent.parent
+
+
+def test_sarif_golden_envelope():
+    """The SARIF log for the REP002 fixture matches the committed golden
+    byte for byte (update the golden in the same commit as any reporter
+    change)."""
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    result = lint_paths([bad], rules=[get_rule("REP002")], root=REPO_ROOT)
+    rendered = render_sarif(result)
+    golden = (EXPECTED / "sarif.json").read_text(encoding="utf-8")
+    assert rendered + "\n" == golden
+
+
+def test_sarif_structure_and_rule_table():
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    result = lint_paths([bad], rules=[get_rule("REP002")], root=REPO_ROOT)
+    log = json.loads(render_sarif(result))
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    # the driver documents the full rule catalog, not just violated rules
+    listed = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert listed == [rule.rule_id for rule in all_rules()]
+    assert run["results"], "fixture must produce results"
+    for item in run["results"]:
+        assert item["ruleId"] == "REP002"
+        location = item["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad_units.py")
+        assert location["region"]["startLine"] >= 1
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is True
+
+
+def test_sarif_baseline_mode_reports_only_new(tmp_path):
+    """In baseline mode the results list matches the gate's exit status:
+    accepted violations produce an empty results array."""
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    result = lint_paths([bad], rules=[get_rule("REP002")], root=REPO_ROOT)
+    log = json.loads(render_sarif(result, new=[]))
+    assert log["runs"][0]["results"] == []
+
+
+def test_cli_emits_sarif(capsys):
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    assert (
+        lint_main([str(bad), "--no-baseline", "--format", "sarif"]) == 1
+    )
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"]

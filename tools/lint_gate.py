@@ -2,10 +2,15 @@
 """CI gate: fail on lint violations beyond the committed baseline.
 
 Thin wrapper over :mod:`repro.analysis` for CI jobs and pre-commit
-hooks.  Exit status is non-zero when the tree has violations that the
-committed ``.repro-lint-baseline.json`` does not accept (or when any
-file fails to parse); a shrinking tree always passes.  Run from the
-repository root:
+hooks.  Runs both tiers — the per-file rules and the interprocedural
+flow tier (call graph + REP101..REP104) — and prints per-rule wall
+times to stderr.  Exit status is non-zero when the tree has violations
+that the committed ``.repro-lint-baseline.json`` does not accept, when
+any file fails to parse, or when the whole run blows its wall-time
+budget (``--budget-s``, default 15 s — the gate must stay cheap enough
+for the pre-commit path; a breach is a perf regression in the analyser
+and fails CI like any other regression).  A shrinking tree always
+passes.  Run from the repository root:
 
     PYTHONPATH=src python tools/lint_gate.py [paths...]
 
@@ -18,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -26,6 +32,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline  # noqa: E402
 from repro.analysis.engine import lint_paths  # noqa: E402
 from repro.analysis.reporters import render_text  # noqa: E402
+
+#: Default wall-time budget for the whole gate run, in seconds.
+DEFAULT_BUDGET_S = 15.0
+
+
+def print_timings(rule_times_s: dict, total_s: float, file=None) -> None:
+    """Per-rule wall times, slowest first, plus the run total."""
+    file = sys.stderr if file is None else file
+    for name, seconds in sorted(
+        rule_times_s.items(), key=lambda item: -item[1]
+    ):
+        print(f"  {name:<12} {seconds * 1000.0:8.1f} ms", file=file)
+    print(f"  {'total':<12} {total_s * 1000.0:8.1f} ms", file=file)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,9 +68,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline to the current violations and exit 0",
     )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the interprocedural tier (per-file rules only)",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=DEFAULT_BUDGET_S,
+        metavar="S",
+        help=f"wall-time budget for the run (default: {DEFAULT_BUDGET_S:.0f} s)",
+    )
     args = parser.parse_args(argv)
 
-    result = lint_paths(args.paths, root=REPO_ROOT)
+    started = time.perf_counter()
+    result = lint_paths(args.paths, root=REPO_ROOT, flow=not args.no_flow)
+    elapsed_s = time.perf_counter() - started
+    print("lint gate timings:", file=sys.stderr)
+    print_timings(result.rule_times_s, elapsed_s)
+
     baseline_path = Path(args.baseline)
 
     if args.update:
@@ -72,9 +108,17 @@ def main(argv: list[str] | None = None) -> int:
             "with `# repro: noqa REP00x`, or (rare) --update the baseline."
         )
         return 1
+    if elapsed_s > args.budget_s:
+        print(
+            f"lint gate FAILED: run took {elapsed_s:.1f} s, over the "
+            f"{args.budget_s:.1f} s budget — the analyser has a performance "
+            "regression (see the per-rule timings on stderr)"
+        )
+        return 1
     message = (
         f"lint gate ok: {result.files_checked} file(s), "
-        f"{len(result.diagnostics)} accepted violation(s)"
+        f"{len(result.diagnostics)} accepted violation(s), "
+        f"{elapsed_s:.1f} s"
     )
     if fixed:
         message += (
