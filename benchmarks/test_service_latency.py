@@ -1,0 +1,111 @@
+"""Benchmark: the partition service's warm-hit latency and throughput.
+
+The service PR's headline numbers: once a spec's answer is hot, the
+daemon must serve it at interactive latency and high throughput — the
+whole point of the answer/model LRUs over the content-addressed store.
+The gates are deliberately lenient (an order of magnitude above the
+measured figures) so they catch structural regressions — an accidental
+cold build or store read on the hot path — not machine noise.
+
+``extra_info`` archives the p50/p99 warm-hit latencies (from the
+service's own ``service.request_s`` histogram, the same data /metrics
+exposes) and the measured requests/second into ``BENCH_7.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from repro.service.core import REQUEST_LATENCY, PartitionService
+from repro.store import ResultStore
+
+#: Coarse knobs: the single cold build in the warm-up stays ~20 ms.
+_MODEL = {
+    "seed": 42,
+    "noise_sigma": 0.01,
+    "cpu_points": 4,
+    "gpu_points": 5,
+    "adaptive": False,
+    "max_blocks": 1800.0,
+}
+
+BURST = 500
+
+
+def _body(total_blocks: float) -> bytes:
+    return json.dumps(
+        {"preset": "cpu_only", "total_blocks": total_blocks, "model": _MODEL}
+    ).encode("utf-8")
+
+
+def test_warm_hit_latency_and_throughput(benchmark, tmp_path):
+    service = PartitionService(store=ResultStore(tmp_path / "store"))
+    hot = _body(1600.0)
+
+    async def warm_up():
+        await service.start()
+        response = await service.handle("POST", "/partition", hot)
+        assert response.status == 200
+
+    asyncio.run(warm_up())
+
+    def burst():
+        async def run():
+            responses = await asyncio.gather(
+                *(service.handle("POST", "/partition", hot) for _ in range(BURST))
+            )
+            assert all(r.status == 200 for r in responses)
+            assert all(r.json["source"] == "hot" for r in responses)
+
+        asyncio.run(run())
+
+    benchmark(burst)
+    asyncio.run(service.aclose())
+
+    hist = service.tracer.metrics.histograms[REQUEST_LATENCY]
+    p50_s = hist.percentile(50)
+    p99_s = hist.percentile(99)
+    throughput_rps = BURST / benchmark.stats.stats.mean
+    benchmark.extra_info["warm_p50_us"] = round(p50_s * 1e6, 1)
+    benchmark.extra_info["warm_p99_us"] = round(p99_s * 1e6, 1)
+    benchmark.extra_info["warm_hit_rps"] = round(throughput_rps, 1)
+
+    # structural gates: a cold build (~20 ms) or store read on the hot
+    # path would blow straight through these
+    assert p50_s < 5e-3, f"warm-hit p50 {p50_s * 1e3:.2f} ms >= 5 ms"
+    assert p99_s < 50e-3, f"warm-hit p99 {p99_s * 1e3:.2f} ms >= 50 ms"
+    assert throughput_rps > 500.0, f"warm-hit throughput {throughput_rps:.0f} rps"
+
+
+def test_warm_models_solve_latency(benchmark, tmp_path):
+    """Distinct sizes against one hot model set: the solve-only path."""
+    service = PartitionService(store=ResultStore(tmp_path / "store"))
+    fresh_totals = itertools.count(100)
+
+    async def warm_up():
+        await service.start()
+        response = await service.handle("POST", "/partition", _body(50.0))
+        assert response.status == 200
+
+    asyncio.run(warm_up())
+
+    def solve_batch():
+        async def run():
+            bodies = [_body(float(next(fresh_totals))) for _ in range(50)]
+            responses = await asyncio.gather(
+                *(service.handle("POST", "/partition", raw) for raw in bodies)
+            )
+            assert all(r.status == 200 for r in responses)
+            # never "built": the model set stays in the LRU throughout
+            assert all(r.json["source"] == "warm" for r in responses)
+
+        asyncio.run(run())
+
+    benchmark(solve_batch)
+    asyncio.run(service.aclose())
+
+    solve_ms = benchmark.stats.stats.mean / 50 * 1e3
+    benchmark.extra_info["warm_solve_ms"] = round(solve_ms, 3)
+    assert solve_ms < 50.0, f"warm-models solve {solve_ms:.1f} ms >= 50 ms"

@@ -50,7 +50,7 @@ from repro.measurement.benchmark import HybridBenchmark
 from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
 from repro.platform.presets import cpu_only_node, ig_icl_node
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ComputeUnit",

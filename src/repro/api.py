@@ -1,24 +1,36 @@
 """The stable high-level API: build models, partition, run experiments.
 
-Four entry points cover the library's everyday uses without touching the
-internal layers; all arguments are keyword-only so call sites stay
+These entry points cover the library's everyday uses without touching
+the internal layers; all arguments are keyword-only so call sites stay
 readable and future knobs can be added without breaking anyone:
 
 * :func:`build_models` — benchmark a node and return its FPMs (cached
   via the active store when one is installed);
 * :func:`partition` — split a workload under any of the paper's
   algorithms;
+* :func:`partition_node` — the service-shaped composition of the two: a
+  platform spec plus a problem size in, a named allocation out;
 * :func:`run_experiment` — run one registered table/figure/ablation;
 * :func:`load_cached_result` — peek at a frozen result without running;
 * :func:`run_report` — the full paper-vs-measured report, optionally
   parallel and store-backed.
+
+Async callers (the partition service, notebooks driving many solves)
+use the ``*_async`` variants, which run the synchronous pipeline on a
+worker thread via :func:`asyncio.to_thread`.  ``to_thread`` copies the
+calling context, and the active store binding is context-local
+(:mod:`repro.store`), so a store installed with
+:func:`repro.store.use_store` around the ``await`` is seen by the
+solve — the entry points are async-*safe*, not just async-flavoured.
 """
 
 from __future__ import annotations
 
+import asyncio
 from typing import Any
 
 from repro.app.matmul import HybridMatMul
+from repro.core.cpm import cpms_from_even_split
 from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.partition import (
     geometric_partition,
@@ -76,6 +88,11 @@ def partition(models: list, total: float, *, strategy: str = "fpm") -> list[floa
     if strategy == "geometric":
         return geometric_partition(models, total)
     if strategy == "cpm":
+        # the traditional partitioner works on constants; FPMs are
+        # calibrated at an even split of the problem (the paper's CPM
+        # procedure) before the proportional split
+        if models and isinstance(models[0], FunctionalPerformanceModel):
+            models = cpms_from_even_split(list(models), total)
         return partition_cpm(models, total)
     if strategy == "homogeneous":
         return partition_homogeneous(len(models), total)
@@ -83,6 +100,54 @@ def partition(models: list, total: float, *, strategy: str = "fpm") -> list[floa
         f"unknown strategy {strategy!r}; expected fpm, geometric, cpm "
         f"or homogeneous"
     )
+
+
+def partition_node(
+    *,
+    node: NodeSpec | None = None,
+    total_blocks: float,
+    strategy: str = "fpm",
+    seed: int = 42,
+    noise_sigma: float = 0.02,
+    gpu_version: int = 3,
+    max_blocks: float = 6500.0,
+    cpu_points: int = 12,
+    gpu_points: int = 16,
+    adaptive: bool = True,
+) -> dict[str, float]:
+    """Build a node's FPMs and split ``total_blocks`` across its units.
+
+    The one-call composition the partition service exposes over HTTP:
+    platform spec + problem size in, ``{unit name: allocation}`` out,
+    with units in sorted-name order (the order :func:`build_models`
+    reports).  Model building goes through the active store when one is
+    installed, so repeated calls for one spec are warm.
+    """
+    models = build_models(
+        node=node,
+        seed=seed,
+        noise_sigma=noise_sigma,
+        gpu_version=gpu_version,
+        max_blocks=max_blocks,
+        cpu_points=cpu_points,
+        gpu_points=gpu_points,
+        adaptive=adaptive,
+    )
+    names = sorted(models)
+    shares = partition(
+        [models[name] for name in names], total_blocks, strategy=strategy
+    )
+    return dict(zip(names, shares))
+
+
+async def build_models_async(**kwargs: Any) -> dict[str, FunctionalPerformanceModel]:
+    """:func:`build_models` on a worker thread (context — store — carried)."""
+    return await asyncio.to_thread(lambda: build_models(**kwargs))
+
+
+async def partition_node_async(**kwargs: Any) -> dict[str, float]:
+    """:func:`partition_node` on a worker thread (context — store — carried)."""
+    return await asyncio.to_thread(lambda: partition_node(**kwargs))
 
 
 def run_experiment(

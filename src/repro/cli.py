@@ -13,8 +13,9 @@ the report's experiments out over worker processes.
 ``repro lint [paths]`` dispatches to the static analyser
 (:mod:`repro.analysis`) instead of running an experiment; ``repro
 profile <experiment>`` runs one experiment under the tracer
-(:mod:`repro.obs`) and exports spans/metrics; ``repro list-experiments``
-prints the registry.
+(:mod:`repro.obs`) and exports spans/metrics; ``repro serve`` runs the
+partition-service daemon (:mod:`repro.service`); ``repro
+list-experiments`` prints the registry.
 """
 
 from __future__ import annotations
@@ -119,7 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Separate subcommands: `repro lint [paths] [--help]` runs the "
             "static analyser; `repro profile <experiment> [--help]` runs "
-            "one experiment under the tracer."
+            "one experiment under the tracer; `repro serve [--help]` runs "
+            "the partition service daemon."
         ),
     )
     parser.add_argument(
@@ -231,6 +233,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as profile_main
 
         return profile_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # ditto for the partition daemon
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(
         seed=args.seed,

@@ -10,8 +10,10 @@ visible without touching their numbers:
   carry both wall-clock and simulated-clock bounds, plus the no-op
   :class:`NullTracer` installed by default (one predictable branch on the
   hot paths, no allocation);
-* :mod:`repro.obs.metrics` — typed counters and gauges; gauges keep their
-  sample series so partitioner convergence curves become data;
+* :mod:`repro.obs.metrics` — typed counters, gauges and histograms;
+  gauges keep their sample series so partitioner convergence curves
+  become data, histograms keep bucketed latency distributions for the
+  partition service's ``/metrics`` endpoint;
 * :mod:`repro.obs.export` — exporters to Chrome/Perfetto ``trace_event``
   JSON, flat CSV metrics, a terminal summary tree, and the
   duration-free span skeleton used by the golden-trace tests.
@@ -42,7 +44,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics_csv,
 )
-from repro.obs.metrics import Counter, Gauge, MetricRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -57,6 +59,7 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricRegistry",
     "NULL_TRACER",
     "NullTracer",

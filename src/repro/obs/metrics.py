@@ -1,17 +1,21 @@
-"""Typed counters and gauges for the observability subsystem.
+"""Typed counters, gauges and histograms for the observability subsystem.
 
-Two metric kinds cover everything the pipeline needs:
+Three metric kinds cover everything the pipeline needs:
 
 * :class:`Counter` — a monotone event count (samples taken, events
   processed, refinement points inserted);
 * :class:`Gauge` — a last-value instrument that additionally keeps its
   min/max and the full sample series, so a gauge set once per partitioner
-  iteration *is* the convergence curve.
+  iteration *is* the convergence curve;
+* :class:`Histogram` — a latency/size distribution with cumulative
+  log-spaced buckets (Prometheus-style ``le`` boundaries) plus a bounded
+  reservoir of recent raw samples for exact percentile queries — what
+  the partition service's ``/metrics`` endpoint serves as p50/p99.
 
 Metrics are owned by a :class:`MetricRegistry` (one per
 :class:`repro.obs.tracer.Tracer`).  The no-op tracer hands out the inert
-:data:`NULL_COUNTER` / :data:`NULL_GAUGE` singletons instead, so
-disabled instrumentation never allocates.
+:data:`NULL_COUNTER` / :data:`NULL_GAUGE` / :data:`NULL_HISTOGRAM`
+singletons instead, so disabled instrumentation never allocates.
 """
 
 from __future__ import annotations
@@ -74,13 +78,95 @@ class Gauge:
         return max(self.values) if self.values else math.nan
 
 
+#: Default histogram boundaries: log-spaced from 100 µs to ~100 s, a good
+#: fit for request latencies in seconds (each bucket ~3.16x the previous).
+DEFAULT_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-8, 5))
+
+#: Raw samples a histogram retains for exact percentile queries; beyond
+#: this the reservoir keeps only the most recent window (bucket counts
+#: and the running sum stay exact forever).
+_RESERVOIR_LIMIT = 65536
+
+
+class Histogram:
+    """A distribution instrument: cumulative buckets + recent raw samples.
+
+    Bucket counts, ``total`` and ``sum`` are exact over the histogram's
+    whole life (what Prometheus scrapes); :meth:`percentile` is exact
+    while fewer than the reservoir limit of samples have been observed
+    and computed over the most recent window afterwards — a deliberate
+    trade so a long-lived daemon's memory stays bounded.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "total", "sum", "_samples")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name}: bounds must strictly increase")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: per-bound counts of observations <= bound, plus the +Inf overflow
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        samples = self._samples
+        samples.append(value)
+        if len(samples) > _RESERVOIR_LIMIT:
+            del samples[: len(samples) // 2]
+
+    @property
+    def count(self) -> int:
+        return self.total
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else math.nan
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self.bucket_counts[-1]))
+        return out
+
+
 class MetricRegistry:
-    """Name-keyed store of counters and gauges with stable iteration order."""
+    """Name-keyed store of counters, gauges and histograms with stable
+    iteration order."""
 
     def __init__(self, clock: Callable[[], float]):
         self._clock = clock
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """Get (or create) the counter called ``name``."""
@@ -96,6 +182,15 @@ class MetricRegistry:
             found = self._gauges[name] = Gauge(name, self._clock)
         return found
 
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get (or create) the histogram called ``name``."""
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, bounds)
+        return found
+
     @property
     def counters(self) -> dict[str, Counter]:
         return dict(self._counters)
@@ -103,6 +198,10 @@ class MetricRegistry:
     @property
     def gauges(self) -> dict[str, Gauge]:
         return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
 
     def snapshot(self) -> dict[str, float]:
         """Flat ``{name: value}`` view (counters and gauge last-values)."""
@@ -135,6 +234,19 @@ class _NullGauge(Gauge):
         """Discard the observation."""
 
 
+class _NullHistogram(Histogram):
+    """A histogram that ignores observations (handed out when tracing is off)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
 #: Shared inert instruments returned by the no-op tracer.
 NULL_COUNTER = _NullCounter("null")
 NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()

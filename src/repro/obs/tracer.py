@@ -21,11 +21,21 @@ into simulated results.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
-from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, Counter, Gauge, MetricRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
 
 
 def wall_clock_s() -> float:
@@ -133,8 +143,23 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = wall_clock_s):
         self._clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self.metrics = MetricRegistry(clock)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The open-span stack of the *calling* thread.
+
+        Spans nest per thread: the partition service's worker threads run
+        instrumented measurement code concurrently, and a shared stack
+        would interleave their trees (or pop another thread's spans).
+        Single-threaded callers see exactly the old behaviour; ``roots``
+        stays shared, so every thread's top-level spans land in one tree.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ---------------------------------------------------------------- clocks
     def now(self) -> float:
@@ -198,6 +223,12 @@ class Tracer:
         """The tracer-owned gauge called ``name``."""
         return self.metrics.gauge(name)
 
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The tracer-owned histogram called ``name``."""
+        return self.metrics.histogram(name, bounds)
+
 
 class _NullSpan:
     """The shared do-nothing span handed out while tracing is off."""
@@ -250,6 +281,12 @@ class NullTracer:
     def gauge(self, name: str) -> Gauge:
         """The shared no-op gauge."""
         return NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The shared no-op histogram."""
+        return NULL_HISTOGRAM
 
 
 #: Shared singletons: the process starts with tracing disabled.

@@ -1,0 +1,50 @@
+"""Partitioning-as-a-service: a long-lived asyncio daemon over the library.
+
+The ROADMAP's "millions of users" direction made concrete: a
+zero-dependency HTTP server (stdlib asyncio, hand-rolled HTTP/1.1) that
+accepts partition requests — platform spec plus problem size in,
+allocation JSON out — and makes the admission → cache → solve → respond
+path measurable end to end:
+
+* :mod:`repro.service.protocol` — strict request/response schemas; every
+  malformed input is a structured 4xx, never a 500;
+* :mod:`repro.service.core` — :class:`PartitionService`: answer/model
+  LRUs over the content-addressed store, single-flight coalescing of
+  concurrent FPM builds (N cold requests for one spec measure once), a
+  solve thread pool, and the ``/metrics`` registry (JSON + Prometheus);
+* :mod:`repro.service.http` — the asyncio transport with keep-alive and
+  admission limits; ``repro serve --port --workers`` runs it;
+* :mod:`repro.service.loadgen` — a deterministic, zipf-distributed
+  synthetic load generator (thousands of concurrent simulated clients)
+  whose summaries split seed-pure fields from wall-clock measurements.
+"""
+
+from repro.service.core import PartitionService, ServiceResponse
+from repro.service.http import HttpServer, serve
+from repro.service.loadgen import (
+    LoadgenConfig,
+    LoadSummary,
+    build_schedule,
+    run_load,
+    spec_pool,
+)
+from repro.service.protocol import (
+    PartitionRequest,
+    ProtocolError,
+    parse_partition_request,
+)
+
+__all__ = [
+    "HttpServer",
+    "LoadSummary",
+    "LoadgenConfig",
+    "PartitionRequest",
+    "PartitionService",
+    "ProtocolError",
+    "ServiceResponse",
+    "build_schedule",
+    "parse_partition_request",
+    "run_load",
+    "serve",
+    "spec_pool",
+]

@@ -1,0 +1,85 @@
+"""``repro serve`` — run the partition daemon from the command line.
+
+Dispatched from :mod:`repro.cli` the same way ``lint`` and ``profile``
+are: this module owns its own argparse surface so the experiment parser
+stays free of daemon flags.  The store resolution mirrors the experiment
+CLI (``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` by default, ``--no-cache``
+to disable, ``--cache-dir`` to relocate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.service.http import serve
+from repro.store import ResultStore, default_store
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve partition queries over HTTP: POST /partition "
+            "(platform spec + problem size -> allocation JSON), "
+            "GET /metrics, GET /healthz."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8432,
+        help="listen port (default: 8432; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="solve-pool threads for model builds and partition solves",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact store: every model build is cold",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.no_cache:
+        store = None
+    elif args.cache_dir:
+        store = ResultStore(args.cache_dir)
+    else:
+        store = default_store()
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                store=store,
+            )
+        )
+    except KeyboardInterrupt:
+        # asyncio.run usually absorbs the ^C by cancelling the main task
+        # (serve exits cleanly); this only triggers on a second ^C
+        pass
+    print("repro partition service stopped")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""A zero-dependency asyncio HTTP/1.1 shell around the partition service.
+
+Hand-rolled on ``asyncio.start_server`` — no frameworks, stdlib only —
+because the service's protocol surface is tiny: three routes, JSON
+bodies, ``Content-Length`` framing, keep-alive.  The parser accepts one
+request per loop iteration on a persistent connection, hands the
+(method, target, body) triple to :meth:`PartitionService.handle`, and
+writes the response back with explicit framing; anything malformed at
+the HTTP layer is answered with a structured 400 and the connection is
+closed.  Connection and in-flight gauges land on the service's tracer,
+so ``/metrics`` also describes the transport.
+
+:func:`serve` is the CLI's entry: start a server, print the address,
+run until cancelled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.core import PartitionService, ServiceResponse
+
+#: Hard cap on header block + body sizes (1 MiB each) — admission control.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_BAD_REQUEST = json.dumps(
+    {"error": {"code": "bad-http", "message": "malformed HTTP request"}}
+).encode("utf-8")
+
+_TOO_LARGE = json.dumps(
+    {"error": {"code": "too-large", "message": "request body too large"}}
+).encode("utf-8")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpServer:
+    """The listening socket plus per-connection request loops."""
+
+    def __init__(
+        self,
+        service: PartitionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def aclose(self) -> None:
+        """Stop accepting, close the listener, release the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    async def __aenter__(self) -> "HttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    @property
+    def address(self) -> str:
+        """The server's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------- connection loop
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        tracer = self.service.tracer
+        tracer.counter("service.connections").add()
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    return
+                method, target, headers, body = request
+                response = await self.service.handle(method, target, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, response, keep_alive)
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            TimeoutError,
+        ):
+            return  # peer went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        """One framed request, or None when the connection should close."""
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            await self._reject(writer, 400, _BAD_REQUEST)
+            return None
+        if not request_line.strip():
+            return None  # clean EOF between requests
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            await self._reject(writer, 400, _BAD_REQUEST)
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                await self._reject(writer, 400, _BAD_REQUEST)
+                return None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                await self._reject(writer, 400, _BAD_REQUEST)
+                return None
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+            if length < 0:
+                raise ValueError(length_text)
+        except ValueError:
+            await self._reject(writer, 400, _BAD_REQUEST)
+            return None
+        if length > MAX_BODY_BYTES:
+            await self._reject(writer, 413, _TOO_LARGE)
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: ServiceResponse,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in response.headers:
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+        )
+        await writer.drain()
+
+    async def _reject(
+        self, writer: asyncio.StreamWriter, status: int, body: bytes
+    ) -> None:
+        self.service.tracer.counter("service.errors.http").add()
+        await self._write_response(
+            writer,
+            ServiceResponse(status=status, body=body),
+            keep_alive=False,
+        )
+
+
+async def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8432,
+    workers: int = 4,
+    store=None,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Run the daemon until cancelled (the ``repro serve`` entry point)."""
+    service = PartitionService(store=store, workers=workers)
+    server = HttpServer(service, host=host, port=port)
+    async with server:
+        print(f"repro partition service listening on {server.address}")
+        if ready is not None:
+            ready.set()
+        try:
+            await asyncio.Event().wait()  # park forever; cancellation stops us
+        except asyncio.CancelledError:
+            pass

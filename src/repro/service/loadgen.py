@@ -1,0 +1,374 @@
+"""Deterministic synthetic load for the partition service.
+
+The generator builds a *schedule* — every request each simulated client
+will send, fully materialised before anything runs — from one integer
+seed, then replays it with real concurrency (one asyncio task per
+client) against either the in-process service or a TCP endpoint.
+Platform specs are drawn zipf-distributed from a synthetic pool, so a
+few hot specs dominate (the warm path) while the tail stays cold — the
+cache-hit regime the ROADMAP's service item targets.
+
+Determinism is a hard contract, mirroring the repository's REP001 rule:
+the schedule and every deterministic summary field are pure functions of
+``(seed, config)``.  The config therefore *refuses* anything but a plain
+integer seed — passing ``None`` or a float (the classic
+``time.time()``-derived seed) raises instead of silently breaking
+reproducibility.  Latency and throughput are measured through the
+sanctioned wall-clock boundary (:func:`repro.obs.wall_clock_s`) and kept
+out of the deterministic summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs import wall_clock_s
+from repro.platform.spec import (
+    CpuSpec,
+    GpuAttachment,
+    GpuSpec,
+    NodeSpec,
+    SocketSpec,
+)
+from repro.service.core import PartitionService
+from repro.store import canonical_json
+from repro.util.rng import RngStream
+from repro.util.serde import to_jsonable
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything that shapes a load run; hashable, validated, seed-pure."""
+
+    seed: int
+    clients: int = 100
+    requests_per_client: int = 5
+    spec_pool: int = 8
+    zipf_exponent: float = 1.2
+    strategy: str = "fpm"
+    total_blocks_choices: tuple[float, ...] = (400.0, 900.0, 1600.0)
+    #: model knobs forwarded in every request (coarse = fast builds)
+    noise_sigma: float = 0.01
+    cpu_points: int = 5
+    gpu_points: int = 6
+    adaptive: bool = False
+    max_blocks: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise TypeError(
+                f"seed must be a plain integer, got {type(self.seed).__name__}; "
+                "wall-clock-derived seeds (None/float) are refused so load "
+                "runs stay reproducible (REP001)"
+            )
+        check_positive_int("clients", self.clients)
+        check_positive_int("requests_per_client", self.requests_per_client)
+        check_positive_int("spec_pool", self.spec_pool)
+        check_positive("zipf_exponent", self.zipf_exponent)
+        if not self.total_blocks_choices:
+            raise ValueError("total_blocks_choices must not be empty")
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """The outcome of one load run.
+
+    ``deterministic()`` exposes the seed-pure part — request counts,
+    status counts and the digests of the schedule and of every
+    allocation — which two runs with one ``(seed, config)`` must
+    reproduce bit-identically.  Latency percentiles and throughput are
+    wall-clock measurements and deliberately excluded.
+    """
+
+    requests_total: int
+    ok: int
+    client_errors: int
+    server_errors: int
+    dropped: int
+    source_counts: dict[str, int]
+    schedule_digest: str
+    responses_digest: str
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_max_s: float
+    duration_s: float
+    throughput_rps: float
+
+    def deterministic(self) -> dict[str, Any]:
+        """The seed-pure summary fields (identical across reruns)."""
+        return {
+            "requests_total": self.requests_total,
+            "ok": self.ok,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "dropped": self.dropped,
+            "schedule_digest": self.schedule_digest,
+            "responses_digest": self.responses_digest,
+        }
+
+
+def spec_pool(config: LoadgenConfig) -> list[NodeSpec]:
+    """The synthetic platform population, derived purely from the seed.
+
+    Each spec varies socket count, cores, core speed, contention and GPU
+    attachment, so distinct pool entries hash to distinct model keys —
+    pool index 0 is the zipf head, the tail exercises cold builds.
+    """
+    specs = []
+    for index in range(config.spec_pool):
+        stream = RngStream(config.seed, ("loadgen", "spec", str(index)))
+        cores = 4 + stream.integers(0, 5)
+        cpu = CpuSpec(
+            name=f"synthetic-cpu-{index}",
+            clock_ghz=round(2.0 + stream.uniform(0.0, 1.5), 3),
+            peak_gflops=round(12.0 + stream.uniform(0.0, 18.0), 3),
+        )
+        socket = SocketSpec(
+            cpu=cpu,
+            cores=cores,
+            memory_gb=16.0,
+            contention_alpha=round(0.02 + stream.uniform(0.0, 0.06), 4),
+        )
+        gpus: tuple[GpuAttachment, ...] = ()
+        if stream.uniform() < 0.5:
+            gpu = GpuSpec(
+                name=f"synthetic-gpu-{index}",
+                clock_mhz=round(600.0 + stream.uniform(0.0, 700.0), 1),
+                cuda_cores=256 * (1 + stream.integers(0, 8)),
+                memory_mb=1024.0,
+                mem_bandwidth_gbs=round(80.0 + stream.uniform(0.0, 160.0), 2),
+                peak_gflops=round(300.0 + stream.uniform(0.0, 900.0), 2),
+            )
+            gpus = (GpuAttachment(gpu=gpu, socket_index=0),)
+        specs.append(
+            NodeSpec(
+                name=f"synthetic-node-{index}",
+                socket=socket,
+                num_sockets=1 + stream.integers(0, 2),
+                gpus=gpus,
+            )
+        )
+    return specs
+
+
+def zipf_weights(count: int, exponent: float) -> list[float]:
+    """Normalised zipf probabilities for ranks ``1..count``."""
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def build_schedule(config: LoadgenConfig) -> list[list[dict]]:
+    """Every client's request bodies, materialised and seed-pure."""
+    pool = [to_jsonable(spec) for spec in spec_pool(config)]
+    weights = zipf_weights(config.spec_pool, config.zipf_exponent)
+    schedule: list[list[dict]] = []
+    for client in range(config.clients):
+        stream = RngStream(config.seed, ("loadgen", "client", str(client)))
+        chooser = stream.generator
+        spec_indices = chooser.choice(
+            config.spec_pool, size=config.requests_per_client, p=weights
+        )
+        requests = []
+        for spec_index in spec_indices:
+            total = config.total_blocks_choices[
+                stream.integers(0, len(config.total_blocks_choices))
+            ]
+            requests.append(
+                {
+                    "node": pool[int(spec_index)],
+                    "total_blocks": total,
+                    "strategy": config.strategy,
+                    "model": {
+                        "seed": config.seed,
+                        "noise_sigma": config.noise_sigma,
+                        "cpu_points": config.cpu_points,
+                        "gpu_points": config.gpu_points,
+                        "adaptive": config.adaptive,
+                        "max_blocks": config.max_blocks,
+                    },
+                }
+            )
+        schedule.append(requests)
+    return schedule
+
+
+def schedule_digest(schedule: list[list[dict]]) -> str:
+    """Content digest of a schedule (the determinism witness)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(canonical_json(schedule).encode("utf-8"))
+    return h.hexdigest()
+
+
+class InProcessTransport:
+    """Drive :meth:`PartitionService.handle` directly — no sockets.
+
+    This is the load path the acceptance criteria measure: thousands of
+    concurrent clients against the in-process server, bounded only by
+    the service's own admission machinery.
+    """
+
+    def __init__(self, service: PartitionService):
+        self.service = service
+
+    async def post_partition(self, body: bytes) -> tuple[int, dict]:
+        response = await self.service.handle("POST", "/partition", body)
+        return response.status, response.json
+
+    async def aclose(self) -> None:
+        """Nothing to release."""
+
+
+class TcpTransport:
+    """One persistent HTTP/1.1 connection per client over real sockets."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def post_partition(self, body: bytes) -> tuple[int, dict]:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        request = (
+            f"POST /partition HTTP/1.1\r\nHost: {self.host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1") + body
+        self._writer.write(request)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await self._reader.readexactly(length)
+        return status, json.loads(payload.decode("utf-8"))
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+
+@dataclass
+class _RunState:
+    """Mutable tallies shared by the client tasks of one run."""
+
+    ok: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    dropped: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    source_counts: dict[str, int] = field(default_factory=dict)
+    #: (client, request index) -> canonical allocation record
+    responses: dict[tuple[int, int], Any] = field(default_factory=dict)
+
+
+async def run_load(
+    config: LoadgenConfig,
+    *,
+    service: PartitionService | None = None,
+    host: str | None = None,
+    port: int | None = None,
+) -> LoadSummary:
+    """Replay the schedule with one concurrent task per client.
+
+    Target either an in-process service (``service=...``) or a TCP
+    endpoint (``host=``/``port=``).  Every request is accounted for:
+    ``ok`` + ``client_errors`` + ``server_errors`` + ``dropped`` always
+    equals the schedule size, and ``dropped`` counts transport-level
+    failures (the load test's zero-drop criterion).
+    """
+    if (service is None) == (host is None or port is None):
+        raise ValueError("pass exactly one target: service=, or host= and port=")
+    schedule = build_schedule(config)
+    state = _RunState()
+
+    async def run_client(client_index: int, requests: list[dict]) -> None:
+        if service is not None:
+            transport: Any = InProcessTransport(service)
+        else:
+            transport = TcpTransport(host, port)
+        try:
+            for request_index, request in enumerate(requests):
+                body = json.dumps(request).encode("utf-8")
+                started_s = wall_clock_s()
+                try:
+                    status, payload = await transport.post_partition(body)
+                except Exception:  # transport failure = a dropped request
+                    state.dropped += 1
+                    continue
+                state.latencies_s.append(wall_clock_s() - started_s)
+                if status == 200:
+                    state.ok += 1
+                    source = payload.get("source", "?")
+                    state.source_counts[source] = (
+                        state.source_counts.get(source, 0) + 1
+                    )
+                    state.responses[(client_index, request_index)] = {
+                        "allocation": payload["allocation"],
+                        "total_blocks": payload["total_blocks"],
+                    }
+                elif status < 500:
+                    state.client_errors += 1
+                else:
+                    state.server_errors += 1
+        finally:
+            await transport.aclose()
+
+    started_s = wall_clock_s()
+    await asyncio.gather(
+        *(run_client(i, reqs) for i, reqs in enumerate(schedule))
+    )
+    duration_s = max(wall_clock_s() - started_s, 1e-9)
+
+    ordered = {
+        f"{client}:{index}": record
+        for (client, index), record in sorted(state.responses.items())
+    }
+    responses_hash = hashlib.blake2b(digest_size=16)
+    responses_hash.update(canonical_json(ordered).encode("utf-8"))
+    latencies = sorted(state.latencies_s)
+    total = config.clients * config.requests_per_client
+    return LoadSummary(
+        requests_total=total,
+        ok=state.ok,
+        client_errors=state.client_errors,
+        server_errors=state.server_errors,
+        dropped=state.dropped,
+        source_counts=dict(sorted(state.source_counts.items())),
+        schedule_digest=schedule_digest(schedule),
+        responses_digest=responses_hash.hexdigest(),
+        latency_p50_s=_quantile(latencies, 0.50),
+        latency_p99_s=_quantile(latencies, 0.99),
+        latency_max_s=latencies[-1] if latencies else float("nan"),
+        duration_s=duration_s,
+        throughput_rps=len(latencies) / duration_s,
+    )
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return float("nan")
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)

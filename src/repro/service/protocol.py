@@ -1,0 +1,341 @@
+"""Request/response schemas of the partition service's wire protocol.
+
+One request shape covers the service's workload (``POST /partition``)::
+
+    {
+      "preset": "ig_icl",              # or "node": {<NodeSpec JSON>}
+      "total_blocks": 1600.0,
+      "strategy": "fpm",               # fpm | geometric | cpm | homogeneous
+      "model": {                       # optional model-building knobs
+        "seed": 42, "noise_sigma": 0.02, "gpu_version": 3,
+        "max_blocks": 6500.0, "cpu_points": 12, "gpu_points": 16,
+        "adaptive": true
+      }
+    }
+
+Validation is strict and total: malformed JSON, unknown fields (at any
+nesting depth of the spec), missing/extra platform descriptions, bad
+numbers and bad enum values all raise :class:`ProtocolError` carrying an
+HTTP status and a structured ``{"error": {...}}`` payload — the service
+maps every one to a 4xx response, never a 500.  A request that parses is
+a frozen :class:`PartitionRequest` whose :meth:`~PartitionRequest.model_key`
+is the content address of its FPM build (node + every model knob, hashed
+with the store's canonical-JSON digest), which is exactly the key the
+service coalesces concurrent builds on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import types
+import typing
+from dataclasses import dataclass
+from typing import Any
+
+from repro.platform.presets import cpu_only_node, ig_icl_node
+from repro.platform.spec import NodeSpec
+from repro.store import digest_key, node_key
+from repro.util.serde import from_jsonable
+
+#: Named platform presets a request may use instead of an inline spec.
+PRESETS = {
+    "ig_icl": ig_icl_node,
+    "cpu_only": cpu_only_node,
+}
+
+#: Partitioning strategies the service accepts (repro.api.partition's).
+STRATEGIES = ("fpm", "geometric", "cpm", "homogeneous")
+
+#: Model-building knobs: name -> (expected type family, default).
+_MODEL_FIELDS = {
+    "seed": (int, 42),
+    "noise_sigma": (float, 0.02),
+    "gpu_version": (int, 3),
+    "max_blocks": (float, 6500.0),
+    "cpu_points": (int, 12),
+    "gpu_points": (int, 16),
+    "adaptive": (bool, True),
+}
+
+_TOP_FIELDS = ("node", "preset", "total_blocks", "strategy", "model")
+
+
+class ProtocolError(Exception):
+    """A client error with an HTTP status and a structured payload."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> dict:
+        """The JSON body a 4xx response carries."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """A validated partition query: platform spec, size, strategy, knobs."""
+
+    node: NodeSpec
+    total_blocks: float
+    strategy: str = "fpm"
+    seed: int = 42
+    noise_sigma: float = 0.02
+    gpu_version: int = 3
+    max_blocks: float = 6500.0
+    cpu_points: int = 12
+    gpu_points: int = 16
+    adaptive: bool = True
+
+    def model_key(self) -> str:
+        """The content address of this request's FPM build.
+
+        Everything that shapes the *models* participates — the node and
+        each model knob — while ``total_blocks`` and ``strategy`` do
+        not: requests that differ only in size or algorithm share one
+        build, which is what makes coalescing them worthwhile.
+        """
+        return digest_key(
+            "partition",
+            {
+                "artifact": "service-models",
+                "node": node_key(self.node),
+                "seed": self.seed,
+                "noise_sigma": self.noise_sigma,
+                "gpu_version": self.gpu_version,
+                "max_blocks": self.max_blocks,
+                "cpu_points": self.cpu_points,
+                "gpu_points": self.gpu_points,
+                "adaptive": self.adaptive,
+            },
+        )
+
+    def answer_key(self) -> str:
+        """The content address of the full answer (models + size + strategy)."""
+        return digest_key(
+            "partition",
+            {
+                "artifact": "service-answer",
+                "models": self.model_key(),
+                "total_blocks": self.total_blocks,
+                "strategy": self.strategy,
+            },
+        )
+
+    def model_kwargs(self) -> dict[str, Any]:
+        """Keyword arguments for :func:`repro.api.build_models`."""
+        return {
+            "node": self.node,
+            "seed": self.seed,
+            "noise_sigma": self.noise_sigma,
+            "gpu_version": self.gpu_version,
+            "max_blocks": self.max_blocks,
+            "cpu_points": self.cpu_points,
+            "gpu_points": self.gpu_points,
+            "adaptive": self.adaptive,
+        }
+
+
+def parse_partition_request(body: bytes | str) -> PartitionRequest:
+    """Parse and validate a ``POST /partition`` body.
+
+    Raises :class:`ProtocolError` (status 400) on any defect; never lets
+    a malformed body escape as an uncontrolled exception.
+    """
+    if isinstance(body, bytes):
+        try:
+            body = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(400, "bad-encoding", f"body is not UTF-8: {exc}")
+    try:
+        data = json.loads(body or "null")
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(400, "bad-json", f"body is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            400, "bad-json", f"request must be a JSON object, got {_kind(data)}"
+        )
+    unknown = sorted(set(data) - set(_TOP_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            400, "unknown-field", f"unknown request field(s): {', '.join(unknown)}"
+        )
+
+    node = _parse_node(data)
+    total_blocks = _require_number(
+        data, "total_blocks", minimum_exclusive=0.0
+    )
+    strategy = data.get("strategy", "fpm")
+    if strategy not in STRATEGIES:
+        raise ProtocolError(
+            400,
+            "bad-strategy",
+            f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}",
+        )
+    knobs = _parse_model_knobs(data.get("model", {}))
+    try:
+        return PartitionRequest(
+            node=node, total_blocks=total_blocks, strategy=strategy, **knobs
+        )
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(400, "bad-model-knob", str(exc))
+
+
+# ------------------------------------------------------------------ internals
+def _kind(value: Any) -> str:
+    return type(value).__name__
+
+
+def _parse_node(data: dict) -> NodeSpec:
+    has_node = "node" in data
+    has_preset = "preset" in data
+    if has_node == has_preset:
+        raise ProtocolError(
+            400,
+            "bad-platform",
+            "exactly one of 'node' (inline spec) or 'preset' is required",
+        )
+    if has_preset:
+        preset = data["preset"]
+        factory = PRESETS.get(preset)
+        if factory is None:
+            raise ProtocolError(
+                400,
+                "bad-platform",
+                f"unknown preset {preset!r}; expected one of "
+                f"{', '.join(sorted(PRESETS))}",
+            )
+        return factory()
+    spec = data["node"]
+    if not isinstance(spec, dict):
+        raise ProtocolError(
+            400, "bad-platform", f"'node' must be a JSON object, got {_kind(spec)}"
+        )
+    unknown = unknown_spec_fields(NodeSpec, spec)
+    if unknown:
+        raise ProtocolError(
+            400,
+            "unknown-field",
+            f"unknown platform spec field(s): {', '.join(unknown)}",
+        )
+    try:
+        return from_jsonable(NodeSpec, spec)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ProtocolError(400, "bad-platform", f"invalid platform spec: {exc}")
+
+
+def _require_number(
+    data: dict, field: str, *, minimum_exclusive: float | None = None
+) -> float:
+    if field not in data:
+        raise ProtocolError(400, "missing-field", f"required field {field!r} missing")
+    value = data[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            400, "bad-number", f"{field} must be a number, got {_kind(value)}"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(400, "bad-number", f"{field} must be finite")
+    if minimum_exclusive is not None and value <= minimum_exclusive:
+        raise ProtocolError(
+            400, "bad-number", f"{field} must be > {minimum_exclusive:g}"
+        )
+    return value
+
+
+def _parse_model_knobs(model: Any) -> dict[str, Any]:
+    if not isinstance(model, dict):
+        raise ProtocolError(
+            400, "bad-model-knob", f"'model' must be a JSON object, got {_kind(model)}"
+        )
+    unknown = sorted(set(model) - set(_MODEL_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            400, "unknown-field", f"unknown model field(s): {', '.join(unknown)}"
+        )
+    knobs: dict[str, Any] = {}
+    for name, (family, default) in _MODEL_FIELDS.items():
+        if name not in model:
+            knobs[name] = default
+            continue
+        value = model[name]
+        if family is bool:
+            if not isinstance(value, bool):
+                raise ProtocolError(
+                    400, "bad-model-knob", f"model.{name} must be a boolean"
+                )
+        elif family is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(
+                    400, "bad-model-knob", f"model.{name} must be an integer"
+                )
+        else:  # float family accepts ints
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    400, "bad-model-knob", f"model.{name} must be a number"
+                )
+            value = float(value)
+            if not math.isfinite(value):
+                raise ProtocolError(
+                    400, "bad-model-knob", f"model.{name} must be finite"
+                )
+        knobs[name] = value
+    return knobs
+
+
+def unknown_spec_fields(cls: type, data: Any, prefix: str = "") -> list[str]:
+    """Dotted paths of keys ``data`` carries that dataclass ``cls`` lacks.
+
+    Walks the nested spec structure the way :func:`repro.util.serde`
+    decodes it (dataclasses, tuples, lists, optionals), so a typo three
+    levels down — ``gpus[0].gpu.peak_glfops`` — is reported instead of
+    silently dropped by the lenient decoder.
+    """
+    if not dataclasses.is_dataclass(cls) or not isinstance(data, dict):
+        return []
+    hints = typing.get_type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = [f"{prefix}{key}" for key in sorted(set(data) - known)]
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        unknown.extend(
+            _unknown_in_hint(
+                hints.get(field.name, Any),
+                data[field.name],
+                f"{prefix}{field.name}.",
+            )
+        )
+    return unknown
+
+
+def _unknown_in_hint(hint: Any, data: Any, prefix: str) -> list[str]:
+    origin = typing.get_origin(hint)
+    if origin is None:
+        return unknown_spec_fields(hint, data, prefix)
+    args = typing.get_args(hint)
+    if origin in (typing.Union, types.UnionType):
+        out: list[str] = []
+        for arg in args:
+            if arg is type(None):
+                continue
+            out.extend(_unknown_in_hint(arg, data, prefix))
+        return out
+    if origin in (tuple, list) and isinstance(data, (list, tuple)):
+        if origin is tuple and args and args[-1] is not Ellipsis:
+            pairs = list(zip(args, data))
+        else:
+            inner = args[0] if args else Any
+            pairs = [(inner, item) for item in data]
+        out = []
+        for index, (inner, item) in enumerate(pairs):
+            out.extend(
+                _unknown_in_hint(inner, item, f"{prefix[:-1]}[{index}].")
+            )
+        return out
+    return []

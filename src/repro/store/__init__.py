@@ -13,8 +13,14 @@ cache file — transparently forces a rebuild.
 The active store follows the tracer pattern: off by default
 (:func:`get_store` returns None and every producer computes from
 scratch), installed for a run with :func:`use_store` or
-:func:`set_store`.  The CLI (``repro report``) activates
-:func:`default_store` unless ``--no-cache`` is given.
+:func:`set_store`.  The binding is *context-local* (``contextvars``):
+concurrent asyncio tasks or context-carrying threads each see their own
+store, which is what lets the partition service (:mod:`repro.service`)
+serve many requests against one store while anything else in the
+process uses another.  :class:`SingleFlight` coalesces concurrent
+builds of one artifact so a cold burst measures once.  The CLI
+(``repro report``) activates :func:`default_store` unless ``--no-cache``
+is given.
 """
 
 from repro.store.keys import (
@@ -27,6 +33,7 @@ from repro.store.keys import (
     models_key,
     node_key,
 )
+from repro.store.singleflight import SingleFlight
 from repro.store.store import (
     KINDS,
     ResultStore,
@@ -48,6 +55,7 @@ __all__ = [
     "node_key",
     "KINDS",
     "ResultStore",
+    "SingleFlight",
     "default_store",
     "default_store_root",
     "get_store",

@@ -1,0 +1,79 @@
+"""Single-flight coalescing for concurrent builds of one cache artifact.
+
+The partition service receives bursts of requests whose model sets hash
+to the same content address.  Without coordination, N concurrent cold
+requests would each run the full FPM measurement sweep, then overwrite
+each other's (identical) store entries — N-1 sweeps wasted.  A
+:class:`SingleFlight` group keyed by the store's digest lets the first
+requester (the *leader*) run the build while every later requester for
+the same key awaits the leader's result; the ``store.coalesced`` counter
+advances once per follower, so ``store.miss`` / ``store.coalesced``
+together prove that a cold burst performed exactly one build.
+
+The group is asyncio-native: keys map to futures on the running loop,
+and the actual (blocking, CPU-bound) build is whatever awaitable the
+caller supplies — typically a ``to_thread``/executor wrapper around the
+synchronous model builder.  Failures propagate to every waiter and the
+key is cleared, so the next request retries the build instead of
+replaying a cached exception forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Hashable
+
+from repro.obs import get_tracer
+
+
+class SingleFlight:
+    """Deduplicate concurrent async computations sharing a cache key."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Number of builds currently running (for gauges/tests)."""
+        return len(self._inflight)
+
+    def pending(self, key: Hashable) -> bool:
+        """True when a flight for ``key`` is already running.
+
+        Callers that need to distinguish "I led the build" from "I
+        joined one" check this immediately before :meth:`run` (no await
+        between the two keeps the answer exact on one event loop).
+        """
+        return key in self._inflight
+
+    async def run(
+        self, key: Hashable, thunk: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Run ``thunk`` once per concurrent burst of ``key``.
+
+        The first caller for a key executes ``thunk`` and resolves every
+        concurrent duplicate with its result; duplicates never start the
+        computation and each increments ``store.coalesced``.  Once the
+        leader finishes (either way) the key leaves the group, so a
+        *later* call starts a fresh flight — single-flight deduplicates
+        concurrency, it is not a cache.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            get_tracer().counter("store.coalesced").add()
+            return await asyncio.shield(existing)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: followers may be gone
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -179,25 +180,33 @@ def default_store() -> ResultStore:
     return ResultStore(default_store_root())
 
 
-_ACTIVE: ResultStore | None = None
+#: The active store is *context-local* (:mod:`contextvars`), not a module
+#: global: two asyncio tasks — or two threads spawned with a copied
+#: context, as :func:`asyncio.to_thread` does — can each install their
+#: own store and interleave freely without observing each other's.  The
+#: partition service relies on this to serve concurrent requests against
+#: one store while tests run against another in the same process.
+#: Sequential single-threaded use behaves exactly as the old global did.
+_ACTIVE: ContextVar[ResultStore | None] = ContextVar(
+    "repro_active_store", default=None
+)
 
 
 def get_store() -> ResultStore | None:
-    """The process-local active store, or None when caching is off."""
-    return _ACTIVE
+    """The context-local active store, or None when caching is off."""
+    return _ACTIVE.get()
 
 
 def set_store(store: ResultStore | None) -> ResultStore | None:
     """Install ``store`` as the active store; returns the previous one.
 
-    Pool workers call this deliberately (via ``use_store``) to re-open
-    the store in their own process: the rebind is process-local by
-    design, never shared back, so the executor-safety rule is silenced
-    at the write below.
+    The rebind is context-local: pool workers call this deliberately
+    (via ``use_store``) to re-open the store in their own process, and
+    concurrent tasks that each ``set_store`` never race — every context
+    sees only its own binding.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = store  # repro: noqa REP103  (worker-local re-open by design)
+    previous = _ACTIVE.get()
+    _ACTIVE.set(store)
     return previous
 
 

@@ -1,0 +1,98 @@
+"""Fixtures for the partition-service suite.
+
+Every test here runs the *in-process server*: coroutines driven by
+``asyncio.run`` against :meth:`PartitionService.handle` (or a real
+:class:`HttpServer` bound to port 0 for the transport tests).  Model
+knobs are deliberately coarse so cold FPM builds stay in the tens of
+milliseconds and large concurrent bursts finish quickly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import HttpServer, PartitionService
+from repro.store import ResultStore
+
+#: Coarse model knobs: a cold build takes ~20 ms instead of seconds.
+FAST_MODEL = {
+    "seed": 42,
+    "noise_sigma": 0.01,
+    "cpu_points": 4,
+    "gpu_points": 5,
+    "adaptive": False,
+    "max_blocks": 1800.0,
+}
+
+
+def pytest_collection_modifyitems(items):
+    # Everything under tests/service/ carries the `service` marker so the
+    # suite can be selected/excluded with `-m service`.
+    for item in items:
+        item.add_marker(pytest.mark.service)
+
+
+def make_body(
+    preset: str = "cpu_only",
+    total_blocks: float = 400.0,
+    strategy: str = "fpm",
+    **model_overrides,
+) -> bytes:
+    """A valid ``POST /partition`` body with fast model knobs."""
+    return json.dumps(
+        {
+            "preset": preset,
+            "total_blocks": total_blocks,
+            "strategy": strategy,
+            "model": {**FAST_MODEL, **model_overrides},
+        }
+    ).encode("utf-8")
+
+
+@pytest.fixture()
+def body():
+    """The request-body builder (importable helper, exposed as a fixture)."""
+    return make_body
+
+
+@pytest.fixture()
+def service_store(tmp_path):
+    """A throwaway on-disk store for one service instance."""
+    return ResultStore(tmp_path / "svc-store")
+
+
+@pytest.fixture()
+def run_service(service_store):
+    """Run ``await fn(service)`` inside a fresh started service.
+
+    ``run_service(fn, workers=..., store=...)`` enters the service's
+    async context (tracer install + solve pool) around the callable and
+    returns its result.
+    """
+
+    def runner(fn, *, store=service_store, **service_kwargs):
+        async def main():
+            async with PartitionService(store=store, **service_kwargs) as svc:
+                return await fn(svc)
+
+        return asyncio.run(main())
+
+    return runner
+
+
+@pytest.fixture()
+def run_server(service_store):
+    """Run ``await fn(server)`` against a live HTTP server on port 0."""
+
+    def runner(fn, *, store=service_store, **service_kwargs):
+        async def main():
+            service = PartitionService(store=store, **service_kwargs)
+            async with HttpServer(service, port=0) as server:
+                return await fn(server)
+
+        return asyncio.run(main())
+
+    return runner

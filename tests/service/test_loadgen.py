@@ -1,0 +1,182 @@
+"""The load generator: determinism, seed hygiene, and the load test itself.
+
+The acceptance load test lives here: ≥1000 concurrent simulated clients
+against the in-process server with zero dropped requests.  Determinism
+is tested at every layer — the spec pool, the zipf weights, the
+materialised schedule, and the seed-pure half of a full run's summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.service import (
+    LoadgenConfig,
+    build_schedule,
+    run_load,
+    spec_pool,
+)
+from repro.service.core import PartitionService
+from repro.service.loadgen import schedule_digest, zipf_weights
+from repro.store import ResultStore
+
+
+SMALL = dict(clients=6, requests_per_client=2, spec_pool=3)
+
+
+# ------------------------------------------------------------- configuration
+@pytest.mark.parametrize("bad_seed", [None, 1.5, True, "42", 2**1, float("nan")])
+def test_wall_clock_style_seeds_are_refused(bad_seed):
+    if bad_seed == 2:  # a plain int is fine — the control case
+        LoadgenConfig(seed=bad_seed)
+        return
+    with pytest.raises(TypeError, match="plain integer"):
+        LoadgenConfig(seed=bad_seed)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(clients=0),
+        dict(requests_per_client=-1),
+        dict(spec_pool=0),
+        dict(zipf_exponent=0.0),
+        dict(total_blocks_choices=()),
+    ],
+)
+def test_invalid_shapes_are_rejected(kwargs):
+    with pytest.raises((ValueError, TypeError)):
+        LoadgenConfig(seed=1, **kwargs)
+
+
+def test_zipf_weights_are_a_decreasing_distribution():
+    weights = zipf_weights(8, 1.2)
+    assert math.isclose(sum(weights), 1.0, rel_tol=1e-12)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+    # a steeper exponent concentrates more mass on the head
+    assert zipf_weights(8, 2.0)[0] > weights[0]
+
+
+# --------------------------------------------------------------- determinism
+def test_spec_pool_is_seed_pure_and_diverse():
+    config = LoadgenConfig(seed=77, **SMALL)
+    pool_a = spec_pool(config)
+    pool_b = spec_pool(config)
+    assert pool_a == pool_b
+    assert len({spec.name for spec in pool_a}) == config.spec_pool
+    assert spec_pool(LoadgenConfig(seed=78, **SMALL)) != pool_a
+
+
+def test_schedule_is_seed_pure():
+    config = LoadgenConfig(seed=5, **SMALL)
+    first = build_schedule(config)
+    second = build_schedule(config)
+    assert first == second
+    assert schedule_digest(first) == schedule_digest(second)
+    assert len(first) == config.clients
+    assert all(len(reqs) == config.requests_per_client for reqs in first)
+    other = build_schedule(LoadgenConfig(seed=6, **SMALL))
+    assert schedule_digest(other) != schedule_digest(first)
+
+
+def test_schedule_requests_carry_the_config_knobs():
+    config = LoadgenConfig(seed=5, **SMALL, strategy="cpm", cpu_points=4)
+    for requests in build_schedule(config):
+        for request in requests:
+            assert request["strategy"] == "cpm"
+            assert request["model"]["cpu_points"] == 4
+            assert request["model"]["seed"] == config.seed
+            assert request["total_blocks"] in config.total_blocks_choices
+            assert request["node"]["name"].startswith("synthetic-node-")
+
+
+def _run(config: LoadgenConfig, store_dir):
+    async def main():
+        async with PartitionService(store=ResultStore(store_dir)) as svc:
+            return await run_load(config, service=svc)
+
+    return asyncio.run(main())
+
+
+def test_run_load_summary_is_deterministic(tmp_path):
+    config = LoadgenConfig(seed=11, **SMALL, cpu_points=4, gpu_points=5)
+    first = _run(config, tmp_path / "a")
+    second = _run(config, tmp_path / "b")
+    assert first.deterministic() == second.deterministic()
+    assert first.requests_total == 12
+    assert first.ok == 12
+    assert first.dropped == 0
+    # wall-clock fields exist but stay out of the deterministic view
+    assert first.latency_p99_s >= first.latency_p50_s > 0.0
+    assert "latency_p50_s" not in first.deterministic()
+    assert "throughput_rps" not in first.deterministic()
+
+
+def test_run_load_requires_exactly_one_target():
+    config = LoadgenConfig(seed=1, **SMALL)
+    with pytest.raises(ValueError, match="exactly one target"):
+        asyncio.run(run_load(config))
+    with pytest.raises(ValueError, match="exactly one target"):
+        asyncio.run(
+            run_load(
+                config,
+                service=PartitionService(),
+                host="127.0.0.1",
+                port=1,
+            )
+        )
+
+
+# ---------------------------------------------------------- the load test
+def test_thousand_concurrent_clients_zero_drops(tmp_path):
+    """The acceptance criterion: ≥1000 clients, nothing dropped."""
+    config = LoadgenConfig(
+        seed=2026,
+        clients=1000,
+        requests_per_client=1,
+        spec_pool=3,
+        cpu_points=4,
+        gpu_points=5,
+    )
+    summary = _run(config, tmp_path / "store")
+    assert summary.requests_total == 1000
+    assert summary.dropped == 0
+    assert summary.server_errors == 0
+    assert summary.client_errors == 0
+    assert summary.ok == 1000
+    # the zipf head coalesces: at most one build per distinct spec
+    assert summary.source_counts.get("built", 0) <= config.spec_pool
+    assert (
+        summary.ok
+        + summary.client_errors
+        + summary.server_errors
+        + summary.dropped
+        == summary.requests_total
+    )
+
+
+def test_load_over_tcp_sockets_zero_drops(tmp_path):
+    """A smaller run through real sockets: the transport drops nothing."""
+    from repro.service import HttpServer
+
+    config = LoadgenConfig(
+        seed=31,
+        clients=20,
+        requests_per_client=2,
+        spec_pool=2,
+        cpu_points=4,
+        gpu_points=5,
+    )
+
+    async def main():
+        service = PartitionService(store=ResultStore(tmp_path / "tcp-store"))
+        async with HttpServer(service, port=0) as server:
+            return await run_load(config, host=server.host, port=server.port)
+
+    summary = asyncio.run(main())
+    assert summary.requests_total == 40
+    assert summary.ok == 40
+    assert summary.dropped == 0

@@ -1,0 +1,149 @@
+"""Property tests for the partition service (hypothesis).
+
+Three contracts, searched rather than enumerated:
+
+* every *valid* request yields an allocation that sums to its
+  ``total_blocks`` and matches :func:`repro.api.partition` called
+  directly on the same models — the daemon adds caching, not arithmetic;
+* repeating a request is idempotent (and served hot);
+* every *malformed* body maps to a structured 4xx — fuzzed junk can
+  never surface as a 500.
+
+The suites run under the bounded tier-1 hypothesis profile; a single
+module-scoped service keeps its model LRU warm across examples so the
+valid-request property costs one cold build per preset, not per example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import api
+from repro.platform.presets import cpu_only_node
+from repro.service.core import PartitionService
+from repro.store import ResultStore, use_store
+
+from tests.service.conftest import FAST_MODEL
+
+pytestmark = pytest.mark.property
+
+_SUPPRESS = [HealthCheck.function_scoped_fixture]
+
+
+@pytest.fixture(scope="module")
+def warm_service(tmp_path_factory):
+    """One service whose model LRU survives across hypothesis examples."""
+    store = ResultStore(tmp_path_factory.mktemp("service-prop"))
+    service = PartitionService(store=store)
+    asyncio.run(service.start())
+    yield service
+    asyncio.run(service.aclose())
+
+
+def _post(service: PartitionService, payload: dict):
+    body = json.dumps(payload).encode("utf-8")
+    return asyncio.run(service.handle("POST", "/partition", body))
+
+
+valid_requests = st.fixed_dictionaries(
+    {
+        "preset": st.sampled_from(["cpu_only", "ig_icl"]),
+        "total_blocks": st.one_of(
+            st.integers(min_value=1, max_value=1800).map(float),
+            st.floats(min_value=1.0, max_value=1800.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        "strategy": st.sampled_from(["fpm", "geometric", "cpm", "homogeneous"]),
+        "model": st.just(dict(FAST_MODEL)),
+    }
+)
+
+
+@given(request_payload=valid_requests)
+@settings(suppress_health_check=_SUPPRESS)
+def test_allocation_sums_to_total_blocks(warm_service, request_payload):
+    response = _post(warm_service, request_payload)
+    assert response.status == 200
+    payload = response.json
+    assert sum(payload["allocation"].values()) == pytest.approx(
+        request_payload["total_blocks"], rel=1e-9
+    )
+    assert all(share >= 0.0 for share in payload["allocation"].values())
+
+
+@given(request_payload=valid_requests)
+@settings(suppress_health_check=_SUPPRESS)
+def test_service_matches_direct_api_call(warm_service, request_payload):
+    """The daemon's answer is exactly the library's answer."""
+    response = _post(warm_service, request_payload)
+    assert response.status == 200
+    served = response.json["allocation"]
+
+    node = None if request_payload["preset"] == "ig_icl" else cpu_only_node()
+    with use_store(warm_service.store):
+        models = api.build_models(node=node, **FAST_MODEL)
+    ordered = [models[name] for name in sorted(models)]
+    expected = api.partition(
+        ordered,
+        request_payload["total_blocks"],
+        strategy=request_payload["strategy"],
+    )
+    assert list(served.values()) == pytest.approx(list(expected), rel=1e-12)
+    assert list(served.keys()) == sorted(models)
+
+
+@given(request_payload=valid_requests)
+@settings(suppress_health_check=_SUPPRESS)
+def test_repeat_requests_are_idempotent_and_hot(warm_service, request_payload):
+    first = _post(warm_service, request_payload)
+    second = _post(warm_service, request_payload)
+    assert first.status == second.status == 200
+    assert second.json["allocation"] == first.json["allocation"]
+    assert second.json["source"] == "hot"
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**6), max_value=10**6)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+malformed_bodies = st.one_of(
+    st.binary(max_size=64),  # raw junk, possibly not UTF-8 or not JSON
+    json_values.map(lambda v: json.dumps(v).encode("utf-8")),
+    # structurally close misses: a valid shell with one corrupted field
+    st.fixed_dictionaries(
+        {
+            "preset": st.sampled_from(["cpu_only", "nope", 7, None]),
+            "total_blocks": st.sampled_from(
+                [-1, 0, "many", None, True, [400.0]]
+            ),
+            "strategy": st.sampled_from(["fpm", "quantum", 3]),
+            "model": st.sampled_from(
+                [{"seed": 1.5}, {"unknown_knob": 1}, [], "fast"]
+            ),
+        }
+    ).map(lambda v: json.dumps(v).encode("utf-8")),
+)
+
+
+@given(body=malformed_bodies)
+@settings(suppress_health_check=_SUPPRESS)
+def test_malformed_bodies_never_500(warm_service, body):
+    response = asyncio.run(warm_service.handle("POST", "/partition", body))
+    assert response.status != 500
+    assert 200 <= response.status < 500
+    if response.status != 200:
+        payload = response.json
+        assert set(payload) == {"error"}
+        assert isinstance(payload["error"].get("code"), str)
+        assert isinstance(payload["error"].get("message"), str)

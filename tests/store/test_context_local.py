@@ -1,0 +1,109 @@
+"""The active store is context-local, not a process-global.
+
+Regression suite for the contextvars migration: two interleaved
+contexts — asyncio tasks, threads, or copied contexts — each see only
+their own ``use_store`` binding.  The partition service depends on this
+to serve concurrent requests against its own store while unrelated code
+(or another service) binds a different one in the same process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import threading
+
+import pytest
+
+from repro.store import ResultStore, get_store, set_store, use_store
+
+
+@pytest.fixture(autouse=True)
+def _clean_binding():
+    """Start each test from the unbound state, restore whatever was there."""
+    previous = set_store(None)
+    yield
+    set_store(previous)
+
+
+def test_use_store_nests_and_restores(tmp_path):
+    outer = ResultStore(tmp_path / "outer")
+    inner = ResultStore(tmp_path / "inner")
+    assert get_store() is None
+    with use_store(outer):
+        assert get_store() is outer
+        with use_store(inner):
+            assert get_store() is inner
+        assert get_store() is outer
+        with use_store(None):  # None disables caching inside the block
+            assert get_store() is None
+        assert get_store() is outer
+    assert get_store() is None
+
+
+def test_set_store_returns_the_previous_binding(tmp_path):
+    first = ResultStore(tmp_path / "first")
+    second = ResultStore(tmp_path / "second")
+    assert set_store(first) is None
+    assert set_store(second) is first
+    assert set_store(None) is second
+    assert get_store() is None
+
+
+def test_two_interleaved_asyncio_tasks_do_not_share_bindings(tmp_path):
+    """Two tasks ping-pong through awaits; neither sees the other's store."""
+    store_a = ResultStore(tmp_path / "a")
+    store_b = ResultStore(tmp_path / "b")
+    checkpoints: list[tuple[str, object]] = []
+
+    async def worker(name: str, store: ResultStore, beats: int) -> None:
+        with use_store(store):
+            for _ in range(beats):
+                await asyncio.sleep(0)  # interleave with the other task
+                checkpoints.append((name, get_store()))
+
+    async def main():
+        await asyncio.gather(
+            worker("a", store_a, beats=5), worker("b", store_b, beats=5)
+        )
+        # task-local bindings never leaked into the main task
+        assert get_store() is None
+
+    asyncio.run(main())
+    assert len(checkpoints) == 10
+    for name, seen in checkpoints:
+        assert seen is (store_a if name == "a" else store_b)
+
+
+def test_threads_do_not_inherit_or_leak_bindings(tmp_path):
+    main_store = ResultStore(tmp_path / "main")
+    thread_store = ResultStore(tmp_path / "thread")
+    seen_in_thread: list[object] = []
+
+    def thread_body():
+        # a bare thread starts from the default, not the parent's binding
+        seen_in_thread.append(get_store())
+        with use_store(thread_store):
+            seen_in_thread.append(get_store())
+
+    with use_store(main_store):
+        worker = threading.Thread(target=thread_body)
+        worker.start()
+        worker.join()
+        assert get_store() is main_store  # the thread's binding never leaked
+    assert seen_in_thread == [None, thread_store]
+
+
+def test_copied_contexts_carry_the_binding_to_threads(tmp_path):
+    """The asyncio.to_thread pattern: a copied context sees the store."""
+    store = ResultStore(tmp_path / "carried")
+    with use_store(store):
+        context = contextvars.copy_context()
+    assert context.run(get_store) is store
+    assert get_store() is None
+
+    async def main():
+        with use_store(store):
+            return await asyncio.to_thread(get_store)
+
+    assert asyncio.run(main()) is store
