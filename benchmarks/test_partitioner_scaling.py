@@ -65,3 +65,76 @@ def test_partition_scaling_is_subquadratic(heterogeneous_models):
 
     small, large = cost(25), cost(100)
     assert large < 16 * small  # 4x devices, allow 16x before alarming
+
+
+# ---------------------------------------------------------------------------
+# cluster scale: the vectorized solver and the two-level hierarchy
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_models(heterogeneous_models):
+    """10,000 devices (the 100-device zoo tiled with varied half-sizes)."""
+    return [
+        ramped(20.0 * (1.05 ** (i % 100)), 10.0 + (7 * i) % 90)
+        for i in range(10_000)
+    ]
+
+
+def test_partition_fpm_10000_devices(benchmark, cluster_models):
+    total = 1e7
+    alloc = benchmark(partition_fpm, cluster_models, total)
+    assert sum(alloc) == pytest.approx(total, rel=1e-6)
+    benchmark.extra_info["devices"] = len(cluster_models)
+
+
+def test_hierarchical_1000_nodes(benchmark):
+    """1000-node x 10-device cluster; 4 distinct node builds."""
+    from repro.core.hierarchical import hierarchical_partition
+
+    node_types = [
+        [ramped(15.0 + 3 * k + 0.8 * j, 12.0 + 5 * j) for j in range(10)]
+        for k in range(4)
+    ]
+    cluster = [node_types[i % 4] for i in range(1000)]
+    total = 1_000_000
+    tree = benchmark(
+        hierarchical_partition, cluster, total, aggregate_samples=16
+    )
+    assert sum(tree.node_allocations) == total
+    assert sum(tree.flat) == total
+    benchmark.extra_info["nodes"] = len(cluster)
+    benchmark.extra_info["units"] = 10 * len(cluster)
+
+
+def test_vectorized_solver_speedup_gate(heterogeneous_models):
+    """The batch solver must hold >= 10x over its scalar oracle at p=100.
+
+    Both paths share the Illinois driver and produce bit-identical
+    allocations (tests/core/test_batch_identity.py); this gate pins the
+    *reason* the batch path exists.  Best-of-5 timings keep CI noise out
+    of the ratio.
+    """
+    import time
+
+    from repro.core.partition import partition_fpm_scalar
+
+    total = 1e6
+    # warm the per-model row caches so both paths time pure solves
+    partition_fpm(heterogeneous_models, total)
+    partition_fpm_scalar(heterogeneous_models, total)
+
+    def best_of(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    batch = best_of(lambda: partition_fpm(heterogeneous_models, total))
+    scalar = best_of(lambda: partition_fpm_scalar(heterogeneous_models, total))
+    assert scalar / batch >= 10.0, (
+        f"vectorized solver speedup degraded: {scalar / batch:.1f}x "
+        f"(batch {batch * 1e6:.0f} us, scalar {scalar * 1e6:.0f} us)"
+    )

@@ -45,12 +45,13 @@ from repro.core.partition import (
     partition_fpm,
     partition_homogeneous,
 )
+from repro.core.solver import SolveResult, Solver, SolverOptions
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.measurement.benchmark import HybridBenchmark
 from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
 from repro.platform.presets import cpu_only_node, ig_icl_node
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ComputeUnit",
@@ -63,6 +64,9 @@ __all__ = [
     "partition_cpm",
     "partition_fpm",
     "partition_homogeneous",
+    "Solver",
+    "SolverOptions",
+    "SolveResult",
     "SpeedFunction",
     "SpeedSample",
     "HybridBenchmark",

@@ -15,6 +15,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     rep003_runtime,
     rep004_api,
     rep005_experiments,
+    rep006_solver,
 )
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "rep003_runtime",
     "rep004_api",
     "rep005_experiments",
+    "rep006_solver",
     "flow_rng",
     "flow_clock",
     "flow_executor",

@@ -1,4 +1,4 @@
-"""The stable high-level API: build models, partition, run experiments.
+"""The stable high-level API: build models, solve partitions, run experiments.
 
 These entry points cover the library's everyday uses without touching
 the internal layers; all arguments are keyword-only so call sites stay
@@ -6,14 +6,20 @@ readable and future knobs can be added without breaking anyone:
 
 * :func:`build_models` — benchmark a node and return its FPMs (cached
   via the active store when one is installed);
-* :func:`partition` — split a workload under any of the paper's
-  algorithms;
-* :func:`partition_node` — the service-shaped composition of the two: a
-  platform spec plus a problem size in, a named allocation out;
+* :class:`Solver` / :class:`SolverOptions` / :class:`SolveResult` — the
+  unified partitioning entry point: one options record, one ``solve``
+  call for flat and hierarchical cluster partitioning (re-exported from
+  :mod:`repro.core.solver`);
+* :func:`partition_node` — the service-shaped composition: a platform
+  spec plus a problem size in, a named allocation out;
 * :func:`run_experiment` — run one registered table/figure/ablation;
 * :func:`load_cached_result` — peek at a frozen result without running;
 * :func:`run_report` — the full paper-vs-measured report, optionally
   parallel and store-backed.
+
+The pre-``Solver`` :func:`partition` function is deprecated: it still
+works (module ``__getattr__`` serves it with a one-time
+``DeprecationWarning``) but new code should hold a :class:`Solver`.
 
 Async callers (the partition service, notebooks driving many solves)
 use the ``*_async`` variants, which run the synchronous pipeline on a
@@ -27,22 +33,31 @@ solve — the entry points are async-*safe*, not just async-flavoured.
 from __future__ import annotations
 
 import asyncio
+import warnings
 from typing import Any
 
 from repro.app.matmul import HybridMatMul
-from repro.core.cpm import cpms_from_even_split
 from repro.core.fpm import FunctionalPerformanceModel
-from repro.core.partition import (
-    geometric_partition,
-    partition_cpm,
-    partition_fpm,
-    partition_homogeneous,
-)
+from repro.core.solver import SolveResult, Solver, SolverOptions
 from repro.experiments import orchestrator
 from repro.experiments.common import ExperimentConfig
 from repro.platform.presets import ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.store import ResultStore
+
+__all__ = [
+    "Solver",
+    "SolverOptions",
+    "SolveResult",
+    "build_models",
+    "build_models_async",
+    "partition",  # deprecated, served lazily
+    "partition_node",
+    "partition_node_async",
+    "run_experiment",
+    "load_cached_result",
+    "run_report",
+]
 
 
 def build_models(
@@ -75,31 +90,41 @@ def build_models(
     )
 
 
-def partition(models: list, total: float, *, strategy: str = "fpm") -> list[float]:
-    """Split ``total`` workload units across ``models`` under a strategy.
+def _legacy_partition(
+    models: list, total: float, *, strategy: str = "fpm"
+) -> list[float]:
+    """Deprecated: split ``total`` across ``models`` under a strategy.
 
-    ``strategy`` is one of ``"fpm"`` (equal finish times via the
-    time-function bisection), ``"geometric"`` (the equivalent ray
-    rotation), ``"cpm"`` (proportional to constant speeds) or
-    ``"homogeneous"`` (even split — ``models`` only sets the count).
+    The pre-:class:`Solver` entry point; equivalent to
+    ``Solver(strategy=strategy).solve(models, total)``.  ``strategy``
+    accepts the historical names (``"fpm"``, ``"geometric"``, ``"cpm"``,
+    ``"homogeneous"``) plus the canonical ``"even"``.
     """
-    if strategy == "fpm":
-        return partition_fpm(models, total)
-    if strategy == "geometric":
-        return geometric_partition(models, total)
-    if strategy == "cpm":
-        # the traditional partitioner works on constants; FPMs are
-        # calibrated at an even split of the problem (the paper's CPM
-        # procedure) before the proportional split
-        if models and isinstance(models[0], FunctionalPerformanceModel):
-            models = cpms_from_even_split(list(models), total)
-        return partition_cpm(models, total)
-    if strategy == "homogeneous":
-        return partition_homogeneous(len(models), total)
-    raise ValueError(
-        f"unknown strategy {strategy!r}; expected fpm, geometric, cpm "
-        f"or homogeneous"
-    )
+    return list(Solver(strategy=strategy).solve(list(models), total).allocations)
+
+
+#: Deprecated module attributes, served by ``__getattr__`` with a
+#: one-time warning each: name -> (replacement object, message).
+_DEPRECATED = {
+    "partition": (
+        _legacy_partition,
+        "repro.api.partition is deprecated; use repro.api.Solver — e.g. "
+        "Solver(strategy='fpm').solve(models, total).allocations",
+    ),
+}
+_warned_deprecated: set[str] = set()
+
+
+def __getattr__(name: str):
+    # PEP 562: keep the pre-Solver entry points importable while steering
+    # new code (and `repro lint`) toward the Solver facade
+    if name in _DEPRECATED:
+        replacement, message = _DEPRECATED[name]
+        if name not in _warned_deprecated:
+            _warned_deprecated.add(name)
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def partition_node(
@@ -114,6 +139,8 @@ def partition_node(
     cpu_points: int = 12,
     gpu_points: int = 16,
     adaptive: bool = True,
+    tolerance: float | None = None,
+    max_iters: int | None = None,
 ) -> dict[str, float]:
     """Build a node's FPMs and split ``total_blocks`` across its units.
 
@@ -121,7 +148,8 @@ def partition_node(
     platform spec + problem size in, ``{unit name: allocation}`` out,
     with units in sorted-name order (the order :func:`build_models`
     reports).  Model building goes through the active store when one is
-    installed, so repeated calls for one spec are warm.
+    installed, so repeated calls for one spec are warm.  ``tolerance``
+    and ``max_iters`` tune the FPM solver (defaults when ``None``).
     """
     models = build_models(
         node=node,
@@ -133,11 +161,16 @@ def partition_node(
         gpu_points=gpu_points,
         adaptive=adaptive,
     )
+    solver_kwargs: dict[str, Any] = {"strategy": strategy}
+    if tolerance is not None:
+        solver_kwargs["tolerance"] = tolerance
+    if max_iters is not None:
+        solver_kwargs["max_iters"] = max_iters
     names = sorted(models)
-    shares = partition(
-        [models[name] for name in names], total_blocks, strategy=strategy
+    result = Solver(**solver_kwargs).solve(
+        [models[name] for name in names], total_blocks
     )
-    return dict(zip(names, shares))
+    return result.as_dict(names)
 
 
 async def build_models_async(**kwargs: Any) -> dict[str, FunctionalPerformanceModel]:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.integer import refine_integer_partition, round_partition
-from repro.core.partition import partition_cpm, partition_fpm
+from repro.core.solver import Solver
 from repro.core.cpm import cpms_from_even_split
 from repro.kernels.stencil import (
     CELL_BYTES,
@@ -157,13 +157,15 @@ class JacobiApp:
             alloc = [base + (1 if i < extra else 0) for i in range(len(names))]
         elif strategy == "fpm":
             models = self.models()
-            continuous = partition_fpm(models, float(rows))
+            continuous = list(Solver().solve(models, float(rows)).allocations)
             alloc = round_partition(models, continuous, rows)
             alloc = refine_integer_partition(models, alloc)
         elif strategy == "cpm":
             models = self.models()
             constants = cpms_from_even_split(models, calibration_total=2048.0)
-            continuous = partition_cpm(constants, float(rows))
+            continuous = list(
+                Solver(strategy="cpm").solve(constants, float(rows)).allocations
+            )
             alloc = round_partition(
                 [c.speed for c in constants], continuous, rows
             )

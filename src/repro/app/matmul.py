@@ -25,7 +25,7 @@ from repro.core.cpm import ConstantPerformanceModel, cpms_from_even_split
 from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.geometry import ColumnPartition, column_based_partition
 from repro.core.integer import refine_integer_partition, round_partition
-from repro.core.partition import partition_cpm, partition_fpm
+from repro.core.solver import Solver
 from repro.app.execution import ExecutionResult, simulate_execution
 from repro.measurement.benchmark import HybridBenchmark
 from repro.measurement.binding import BindingPlan, default_binding
@@ -234,13 +234,15 @@ class HybridMatMul:
         else:
             if strategy is PartitioningStrategy.FPM:
                 models = self.models_for(units)
-                continuous = partition_fpm(models, float(total))
+                continuous = list(Solver().solve(models, float(total)).allocations)
                 unit_allocs = round_partition(models, continuous, total)
                 unit_allocs = refine_integer_partition(models, unit_allocs)
             else:
                 calibration = cpm_calibration_total or 40.0 * 40.0
                 constants = self.constant_models(calibration)
-                continuous = partition_cpm(constants, float(total))
+                continuous = list(
+                    Solver(strategy="cpm").solve(constants, float(total)).allocations
+                )
                 speeds = [c.speed for c in constants]
                 unit_allocs = round_partition(speeds, continuous, total)
             process_allocs = self._expand_to_processes(units, unit_allocs)

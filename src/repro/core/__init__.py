@@ -9,10 +9,16 @@ Public surface:
   function with provenance metadata;
 * :class:`repro.core.cpm.ConstantPerformanceModel` — the traditional
   constant-speed baseline;
+* :class:`repro.core.solver.Solver` / :class:`repro.core.solver.SolverOptions`
+  — the unified partitioning entry point every layer above core goes
+  through;
 * :func:`repro.core.partition.partition_fpm` /
   :func:`repro.core.partition.partition_cpm` /
   :func:`repro.core.partition.partition_homogeneous` — the three data
-  partitioning algorithms compared in Section VI;
+  partitioning algorithms compared in Section VI (``partition_fpm`` is
+  the vectorized cluster-scale solver; ``partition_fpm_scalar`` is its
+  bit-identical per-model reference oracle, ``partition_fpm_many`` the
+  multi-target variant);
 * :func:`repro.core.integer.round_partition` — integer block allocation;
 * :func:`repro.core.geometry.column_based_partition` — the
   communication-minimising 2D matrix arrangement (Clarke et al. [17]);
@@ -36,9 +42,12 @@ from repro.core.partition import (
     geometric_partition,
     partition_cpm,
     partition_fpm,
+    partition_fpm_many,
+    partition_fpm_scalar,
     partition_homogeneous,
 )
 from repro.core.scheduling import simulate_work_stealing
+from repro.core.solver import SolveResult, Solver, SolverOptions
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.core.surface import SpeedSurface, area_slice, build_surface
 
@@ -59,8 +68,13 @@ __all__ = [
     "geometric_partition",
     "partition_cpm",
     "partition_fpm",
+    "partition_fpm_many",
+    "partition_fpm_scalar",
     "partition_homogeneous",
     "simulate_work_stealing",
+    "Solver",
+    "SolverOptions",
+    "SolveResult",
     "SpeedFunction",
     "SpeedSample",
     "SpeedSurface",

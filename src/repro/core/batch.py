@@ -1,0 +1,308 @@
+"""Batched speed-model evaluation — the cluster-scale solver's engine room.
+
+The FPM partitioner's inner loop asks one question of every model: *how
+much work finishes within time T?*  Answered per model in Python (the
+pre-vectorisation :func:`repro.core.partition.partition_fpm`), a
+10 000-device solve spends its whole budget on interpreter overhead.
+This module answers it for **all models at once**: one NumPy
+ray-intersection per solver iteration, following the cluster extension of
+the FPM method (Lastovetsky/Reddy/Rychkov/Clarke, arXiv:1109.3074).
+
+The piecewise-linear speed function makes the *time* function piecewise
+rational, so each model's inverse time is closed-form once the crossing
+segment is known.  :class:`BatchSpeedModels` precomputes, per model, an
+**augmented segment table** — head, interior and tail segments in a
+uniform ``x(T) = clip(T * a / (1 - T * b), lo, hi)`` shape — and stacks
+the tables into padded matrices.  Evaluating all models at a finish time
+``T`` is then: count crossed knots (one comparison over the knot-time
+matrix), gather each model's active row of the table (one fancy index),
+and apply the closed form elementwise.
+
+Bit-identity contract
+---------------------
+Every kernel here has a scalar twin (:func:`allocation_row_at`,
+:func:`time_row_at`) that performs the *same* floating-point operations
+in the *same* order on one model.  The scalar partitioner
+(:func:`repro.core.partition.partition_fpm_scalar`, the reference
+oracle) walks models with the twins; the vectorised partitioner uses the
+matrix kernels — and the two are **bit-identical** on every input, which
+the property suite enforces.  When touching a formula here, change both
+twins or the identity tests will fail.
+
+Models whose knot times are not non-decreasing (no monotone time
+function, so no well-defined closed-form inverse) fall back to
+:meth:`SpeedFunction.max_size_within_time` in *both* paths — identical
+by construction, merely not vectorised; measured models are repaired
+monotone before partitioning, so this path is cold.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.speed_function import SpeedFunction
+
+#: Denominators below this are treated as the segment's vertical asymptote
+#: (allocation pinned to the segment's upper end) in both twins.
+_TINY_DENOM = 1e-300
+
+#: Retained batch representations; keyed by model-tuple identity so the
+#: repeated solves of benchmarks, services and hierarchical fan-outs skip
+#: the stacking step.  Bounded, so long-lived processes cannot leak.
+_BATCH_CACHE_CAPACITY = 64
+_batch_cache: OrderedDict[tuple, "BatchSpeedModels"] = OrderedDict()
+
+
+def asum(values) -> float:
+    """The solver's canonical summation: NumPy pairwise reduction.
+
+    Both the scalar oracle and the vectorised solver total allocations
+    through this one helper, so their convergence decisions compare the
+    *same* float regardless of which path produced the addends.
+    """
+    return float(np.add.reduce(np.asarray(values, dtype=float)))
+
+
+# --------------------------------------------------------------- model rows
+def _row_params(fn: SpeedFunction):
+    """Per-model solver row, cached on the speed function.
+
+    Returns ``(sizes, speeds, knot_times, table, monotone)`` where
+    ``table`` is the augmented segment table of shape ``(m + 1, 4)`` with
+    columns ``a, b, lo, hi``; row ``k`` is the active segment when
+    exactly ``k`` knot times lie strictly below the queried finish time:
+
+    * ``k == 0`` — constant-speed head: ``x = T * s0`` capped at the
+      first sample;
+    * ``1 <= k <= m - 1`` — interior segment ``k - 1`` solved in closed
+      form (``b`` is the speed slope, ``a`` the intercept);
+    * ``k == m`` — tail: the bounded model's full range, or the
+      constant-speed extension to infinity.
+    """
+    cached = getattr(fn, "_solver_row_cache", None)
+    if cached is not None:
+        return cached
+    sizes = fn._sizes_array()
+    speeds = fn._speeds_array()
+    knot_times = sizes / speeds
+    m = sizes.size
+    table = np.empty((m + 1, 4), dtype=float)
+    # head
+    table[0] = (speeds[0], 0.0, 0.0, sizes[0])
+    if m > 1:
+        slope = (speeds[1:] - speeds[:-1]) / (sizes[1:] - sizes[:-1])
+        intercept = speeds[:-1] - slope * sizes[:-1]
+        table[1:m, 0] = intercept
+        table[1:m, 1] = slope
+        table[1:m, 2] = sizes[:-1]
+        table[1:m, 3] = sizes[1:]
+    # tail
+    if fn.bounded:
+        table[m] = (0.0, 0.0, sizes[-1], sizes[-1])
+    else:
+        table[m] = (speeds[-1], 0.0, sizes[-1], math.inf)
+    monotone = bool(np.all(knot_times[1:] >= knot_times[:-1] * (1.0 - 1e-12)))
+    row = (sizes, speeds, knot_times, table, monotone)
+    object.__setattr__(fn, "_solver_row_cache", row)
+    return row
+
+
+def allocation_row_at(fn: SpeedFunction, finish_time: float) -> float:
+    """Scalar twin of the batched allocation kernel (one model, one T).
+
+    Must mirror :meth:`BatchSpeedModels.allocations_at` operation for
+    operation — the bit-identity tests compare the two directly.
+    """
+    sizes, _, knot_times, table, monotone = _row_params(fn)
+    if not monotone:
+        cap = sizes[-1] if fn.bounded else math.inf
+        return min(fn.max_size_within_time(finish_time), cap)
+    k = int((knot_times < finish_time).sum())
+    a, b, lo, hi = table[k]
+    denom = 1.0 - finish_time * b
+    if abs(denom) < _TINY_DENOM:
+        x = hi
+    else:
+        x = finish_time * a / denom
+    return min(max(x, lo), hi)
+
+
+def time_row_at(fn: SpeedFunction, size: float) -> float:
+    """Scalar twin of the batched time kernel: ``t(x) = x / s(x)``."""
+    if size <= 0.0:
+        return 0.0
+    sizes, speeds, _, _, _ = _row_params(fn)
+    k = int((sizes < size).sum())
+    if k == 0:
+        s = speeds[0]
+    elif k == sizes.size:
+        s = speeds[-1]
+    else:
+        x0, x1 = sizes[k - 1], sizes[k]
+        s0, s1 = speeds[k - 1], speeds[k]
+        s = s0 + ((size - x0) / (x1 - x0)) * (s1 - s0)
+    return size / s
+
+
+class BatchSpeedModels:
+    """Stacked solver rows of a model set; one matrix query per iteration.
+
+    Build through :func:`batch_models`, which memoises by model identity
+    — services and benchmarks re-partitioning one model set pay the
+    stacking cost once.
+    """
+
+    __slots__ = (
+        "fns",
+        "count",
+        "_kt",
+        "_sizes",
+        "_speeds",
+        "_table",
+        "_rows",
+        "_caps",
+        "_nseg",
+        "_irregular",
+        "_s_first",
+        "_s_last",
+    )
+
+    def __init__(self, fns: tuple[SpeedFunction, ...]):
+        if not fns:
+            raise ValueError("need at least one speed function")
+        self.fns = fns
+        p = len(fns)
+        self.count = p
+        rows = [_row_params(fn) for fn in fns]
+        m_max = max(r[0].size for r in rows)
+        # Padding never participates: +inf knots are never "crossed", and
+        # table rows past a model's own tail are never selected.  A second
+        # column keeps the time kernel's interior gather in bounds for
+        # single-sample models (its result is overridden anyway).
+        m_pad = max(m_max, 2)
+        self._kt = np.full((p, m_pad), np.inf)
+        self._sizes = np.full((p, m_pad), np.inf)
+        self._speeds = np.zeros((p, m_pad))
+        self._table = np.zeros((p, m_max + 1, 4))
+        self._nseg = np.empty(p, dtype=np.intp)
+        caps = np.empty(p, dtype=float)
+        irregular = []
+        for i, (fn, (sizes, speeds, knot_times, table, monotone)) in enumerate(
+            zip(fns, rows)
+        ):
+            m = sizes.size
+            self._kt[i, :m] = knot_times
+            self._sizes[i, :m] = sizes
+            self._speeds[i, :m] = speeds
+            self._table[i, : m + 1] = table
+            self._nseg[i] = m
+            caps[i] = sizes[-1] if fn.bounded else np.inf
+            if not monotone:
+                irregular.append(i)
+        self._caps = caps
+        self._rows = np.arange(p)
+        self._irregular = tuple(irregular)
+        self._s_first = self._speeds[:, 0].copy()
+        self._s_last = np.array([r[1][-1] for r in rows])
+
+    @property
+    def caps(self) -> np.ndarray:
+        """Per-model capacity (max size for bounded models, else +inf)."""
+        return self._caps
+
+    # ------------------------------------------------------------ kernels
+    def allocations_at(self, finish_time: float) -> np.ndarray:
+        """Every model's largest workload finishing within ``finish_time``.
+
+        The vectorised twin of :func:`allocation_row_at`: one knot-count,
+        one gather, one closed-form evaluation — regardless of model
+        count.
+        """
+        counts = (self._kt < finish_time).sum(axis=1)
+        sel = self._table[self._rows, counts]
+        b = sel[:, 1]
+        lo = sel[:, 2]
+        hi = sel[:, 3]
+        denom = 1.0 - finish_time * b
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            x = finish_time * sel[:, 0] / denom
+        x = np.where(np.abs(denom) < _TINY_DENOM, hi, x)
+        x = np.minimum(np.maximum(x, lo), hi)
+        for i in self._irregular:
+            fn = self.fns[i]
+            x[i] = min(fn.max_size_within_time(finish_time), self._caps[i])
+        return x
+
+    def allocations_at_many(self, finish_times: np.ndarray) -> np.ndarray:
+        """:meth:`allocations_at` for a vector of finish times.
+
+        Returns the ``(len(finish_times), count)`` allocation matrix;
+        row ``g`` is bit-identical to ``allocations_at(finish_times[g])``
+        (broadcast elementwise arithmetic — same operations per element).
+        """
+        ts = np.asarray(finish_times, dtype=float)
+        counts = (self._kt[None, :, :] < ts[:, None, None]).sum(axis=2)
+        sel = self._table[self._rows[None, :], counts]
+        b = sel[:, :, 1]
+        lo = sel[:, :, 2]
+        hi = sel[:, :, 3]
+        t_col = ts[:, None]
+        denom = 1.0 - t_col * b
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            x = t_col * sel[:, :, 0] / denom
+        x = np.where(np.abs(denom) < _TINY_DENOM, hi, x)
+        x = np.minimum(np.maximum(x, lo), hi)
+        for i in self._irregular:
+            fn = self.fns[i]
+            cap = self._caps[i]
+            for g, t in enumerate(ts):
+                x[g, i] = min(fn.max_size_within_time(float(t)), cap)
+        return x
+
+    def total_allocation(self, finish_time: float) -> float:
+        """Summed :meth:`allocations_at` via the canonical reduction."""
+        return asum(self.allocations_at(finish_time))
+
+    def times_at(self, sizes) -> np.ndarray:
+        """Per-model execution time at per-model sizes (the bracket seed).
+
+        Vectorised twin of :func:`time_row_at` — element ``i`` is that
+        scalar call on model ``i``.
+        """
+        xs = np.asarray(sizes, dtype=float)
+        counts = (self._sizes < xs[:, None]).sum(axis=1)
+        ki = np.clip(counts, 1, np.maximum(self._nseg - 1, 1))
+        x0 = self._sizes[self._rows, ki - 1]
+        x1 = self._sizes[self._rows, ki]
+        s0 = self._speeds[self._rows, ki - 1]
+        s1 = self._speeds[self._rows, ki]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s = s0 + ((xs - x0) / (x1 - x0)) * (s1 - s0)
+        s = np.where(counts == 0, self._s_first, s)
+        s = np.where(counts >= self._nseg, self._s_last, s)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = xs / s
+        return np.where(xs > 0.0, t, 0.0)
+
+
+def batch_models(fns) -> BatchSpeedModels:
+    """The (memoised) batch representation of a model sequence.
+
+    The cache is keyed by *identity* of the model tuple's members —
+    callers that hold a model set and solve repeatedly (the partition
+    service, hierarchical fan-out, benchmarks) hit; freshly constructed
+    equal models miss harmlessly.
+    """
+    key = tuple(fns)
+    hit = _batch_cache.get(key)
+    if hit is not None:
+        _batch_cache.move_to_end(key)
+        return hit
+    built = BatchSpeedModels(key)
+    _batch_cache[key] = built
+    while len(_batch_cache) > _BATCH_CACHE_CAPACITY:
+        _batch_cache.popitem(last=False)
+    return built

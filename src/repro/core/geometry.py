@@ -24,10 +24,15 @@ The algorithm, following the column-based scheme of Beaumont et al. used by
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 
 from repro.util.validation import check_positive_int
+
+#: Largest processor count arranged by the exact O(p^3) grouping DP;
+#: beyond it the sqrt-shaped greedy takes over (see `_column_groups`).
+_EXACT_DP_LIMIT = 128
 
 
 @dataclass(frozen=True)
@@ -71,10 +76,19 @@ class ColumnPartition:
     column_widths: tuple[int, ...]
 
     def rectangle_of(self, owner: int) -> Rectangle:
-        for r in self.rectangles:
-            if r.owner == owner:
-                return r
-        raise KeyError(f"no rectangle for processor {owner}")
+        # lazily indexed: repeated lookups (the runtime asks per panel)
+        # must not rescan 10k rectangles; first match wins, matching the
+        # historical linear scan on duplicate-owner partitions
+        by_owner = getattr(self, "_by_owner", None)
+        if by_owner is None:
+            by_owner = {}
+            for r in self.rectangles:
+                by_owner.setdefault(r.owner, r)
+            object.__setattr__(self, "_by_owner", by_owner)
+        found = by_owner.get(owner)
+        if found is None:
+            raise KeyError(f"no rectangle for processor {owner}")
+        return found
 
     def realized_allocations(self, num_processors: int) -> list[int]:
         """Block areas actually granted by the grid, per processor."""
@@ -88,19 +102,48 @@ class ColumnPartition:
         return sum(r.half_perimeter for r in self.rectangles if r.area > 0)
 
     def validate_tiling(self) -> None:
-        """Raise ValueError unless rectangles tile the n x n grid exactly."""
+        """Raise ValueError unless rectangles tile the n x n grid exactly.
+
+        Exact area + in-bounds + pairwise disjoint imply an exact cover.
+        Disjointness is checked by a column sweep — close/open events in
+        x, active rectangles kept as sorted row intervals, each opening
+        rectangle compared with its two row neighbours — O(m log m)
+        comparisons instead of the all-pairs scan, which matters at
+        10k+ rectangles.
+        """
         area = sum(r.area for r in self.rectangles)
         if area != self.n * self.n:
             raise ValueError(
                 f"rectangles cover {area} blocks, expected {self.n * self.n}"
             )
         live = [r for r in self.rectangles if r.area > 0]
-        for i, a in enumerate(live):
-            if a.col + a.width > self.n or a.row + a.height > self.n:
-                raise ValueError(f"rectangle {a} exceeds the matrix bounds")
-            for b in live[i + 1 :]:
-                if a.intersects(b):
-                    raise ValueError(f"rectangles overlap: {a} and {b}")
+        events = []
+        for r in live:
+            if r.col + r.width > self.n or r.row + r.height > self.n:
+                raise ValueError(f"rectangle {r} exceeds the matrix bounds")
+            events.append((r.col, 1, r))
+            events.append((r.col + r.width, 0, r))
+        # closes sort before opens at equal x: sharing an edge is not an
+        # overlap (Rectangle.intersects is strict, and so is the sweep)
+        events.sort(key=lambda e: (e[0], e[1]))
+        rows: list[int] = []  # active rectangles' start rows, sorted
+        active: list[Rectangle] = []  # parallel to `rows`
+        for _, kind, r in events:
+            i = bisect.bisect_left(rows, r.row)
+            if kind == 0:  # close
+                while active[i] is not r:
+                    i += 1
+                rows.pop(i)
+                active.pop(i)
+                continue
+            # while disjoint, active row intervals are totally ordered, so
+            # only the immediate neighbours can collide with the newcomer
+            if i > 0 and active[i - 1].row + active[i - 1].height > r.row:
+                raise ValueError(f"rectangles overlap: {active[i - 1]} and {r}")
+            if i < len(rows) and rows[i] < r.row + r.height:
+                raise ValueError(f"rectangles overlap: {active[i]} and {r}")
+            rows.insert(i, r.row)
+            active.insert(i, r)
 
 
 def _largest_remainder(targets: list[float], total: int, minimum: list[int]) -> list[int]:
@@ -154,6 +197,48 @@ def ascii_layout(partition: ColumnPartition, cell_width: int = 2) -> str:
     )
 
 
+def _column_groups_heuristic(
+    areas_sorted: list[float], max_group: int, k_limit: int
+) -> list[int]:
+    """Greedy sqrt-shaped grouping for processor counts beyond the DP.
+
+    For near-uniform relative areas the half-perimeter objective
+    ``sum(count_c * width_c) + c`` is minimised by ~sqrt(p) columns of
+    equal area, so aim for that shape: pick ``k ≈ sqrt(p)`` (clamped to
+    feasibility), then cut the area-sorted sequence greedily so every
+    column carries ~1/k of the remaining area.  O(p) after the prefix
+    walk, exact-feasible by construction.
+    """
+    p = len(areas_sorted)
+    k_min = math.ceil(p / max_group)
+    if k_min > k_limit:
+        raise ValueError(
+            f"cannot arrange {p} processors with at most {max_group} per "
+            f"column and {k_limit} columns"
+        )
+    k = min(max(round(math.sqrt(p)), k_min, 1), k_limit)
+    remaining_area = sum(areas_sorted)
+    groups: list[int] = []
+    idx = 0
+    for c in range(k):
+        remaining_cols = k - c
+        remaining_items = p - idx
+        # bounds keeping every later column feasible: at least one item
+        # each, at most max_group each
+        lo = max(1, remaining_items - (remaining_cols - 1) * max_group)
+        hi = min(max_group, remaining_items - (remaining_cols - 1))
+        target = remaining_area / remaining_cols
+        size = 0
+        acc = 0.0
+        while size < lo or (size < hi and acc < target):
+            acc += areas_sorted[idx + size]
+            size += 1
+        groups.append(size)
+        idx += size
+        remaining_area -= acc
+    return groups
+
+
 def _column_groups(
     areas_sorted: list[float], max_group: int, max_columns: int | None = None
 ) -> list[int]:
@@ -161,11 +246,17 @@ def _column_groups(
 
     ``max_group`` caps the processors per column (a column of the n x n
     grid cannot stack more than n rectangles).  Returns the group sizes in
-    order.
+    order.  The exact DP is cubic in the processor count, so past
+    ``_EXACT_DP_LIMIT`` processors the sqrt-shaped greedy grouping takes
+    over — same contiguity and feasibility contract, near-optimal
+    half-perimeter at cluster scale.
     """
     p = len(areas_sorted)
     if max_group < 1:
         raise ValueError(f"max_group must be >= 1, got {max_group}")
+    k_limit = p if max_columns is None else min(p, max_columns)
+    if p > _EXACT_DP_LIMIT:
+        return _column_groups_heuristic(areas_sorted, max_group, k_limit)
     prefix = [0.0]
     for a in areas_sorted:
         prefix.append(prefix[-1] + a)
@@ -184,7 +275,6 @@ def _column_groups(
                 if c < cost[j][k]:
                     cost[j][k] = c
                     back[j][k] = m
-    k_limit = p if max_columns is None else min(p, max_columns)
     feasible = [k for k in range(1, k_limit + 1) if cost[p][k] < inf]
     if not feasible:
         raise ValueError(

@@ -18,6 +18,15 @@ A useful invariant (tested): because FPM partitioning equalises times at
 both levels, the hierarchical solution coincides with flat partitioning
 over the union of all units — hierarchy changes the *cost* of modelling
 and partitioning (linear in nodes instead of units), not the answer.
+
+Cluster scale.  A 1000-node × 10-device solve never runs 1000 × 24
+aggregate partitionings: every aggregation solves its whole sample grid
+in one masked multi-target search
+(:func:`repro.core.partition.partition_fpm_many`), nodes with identical
+unit models (the common case — clusters are built from a few SKUs) share
+one aggregate via a structural signature, and the per-node fan-out
+deduplicates by ``(signature, share)`` so identical nodes with identical
+shares are solved once.
 """
 
 from __future__ import annotations
@@ -26,22 +35,42 @@ from dataclasses import dataclass
 
 from repro.core.fpm import as_speed_function
 from repro.core.integer import round_partition
-from repro.core.partition import partition_fpm
+from repro.core.partition import (
+    FPM_MAX_ITERS,
+    FPM_TOLERANCE,
+    partition_fpm,
+    partition_fpm_many,
+)
+from repro.core.batch import batch_models
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.obs import get_tracer
 from repro.util.validation import check_positive, check_positive_int
 
 
+def _signature(fns: list[SpeedFunction]) -> tuple:
+    """A node's structural identity: its units' exact sample data.
+
+    Nodes with equal signatures have equal aggregate models and receive
+    equal solutions for equal shares, so both the aggregation and the
+    fan-out deduplicate on this key.
+    """
+    return tuple((fn._sizes, fn._speeds, fn.bounded) for fn in fns)
+
+
 def aggregate_speed_function(
     models: list,
     sizes: list[float],
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
 ) -> SpeedFunction:
     """A node's aggregate speed function from its units' models.
 
-    For each sampled total ``x`` the units are balanced by
-    :func:`repro.core.partition.partition_fpm`; the node's speed is the
-    total divided by the common finish time.  Bounded unit models bound
-    the aggregate only when *every* unit is bounded.
+    For each sampled total ``x`` the units are balanced by FPM
+    partitioning — all sample sizes in **one** multi-target solve — and
+    the node's speed is the total divided by the common finish time.
+    Bounded unit models bound the aggregate only when *every* unit is
+    bounded.
     """
     if not models:
         raise ValueError("need at least one unit model")
@@ -58,20 +87,25 @@ def aggregate_speed_function(
         units=len(fns),
         grid_points=len(sizes),
     ) as span:
-        samples = []
+        grid = []
         for x in sorted(set(sizes)):
             check_positive("sample size", x)
             if x > capacity:
                 break
-            allocs = partition_fpm(fns, x)
-            finish = max(
-                fn.time(a) for fn, a in zip(fns, allocs) if a > 0
-            )
-            samples.append(SpeedSample(size=x, speed=x / finish))
-        if not samples:
+            grid.append(float(x))
+        if not grid:
             raise ValueError(
                 "no sample size fits the node's combined capacity"
             )
+        rows = partition_fpm_many(
+            fns, grid, tolerance=tolerance, max_iters=max_iters
+        )
+        batch = batch_models(tuple(fns))
+        samples = []
+        for x, allocs in zip(grid, rows):
+            times = batch.times_at(allocs)
+            finish = float(max(t for t, a in zip(times, allocs) if a > 0))
+            samples.append(SpeedSample(size=x, speed=x / finish))
         span.set_attr("samples", len(samples))
         return SpeedFunction(samples, bounded=capacity != float("inf"))
 
@@ -101,6 +135,9 @@ def hierarchical_partition(
     node_unit_models: list[list],
     total: int,
     aggregate_samples: int = 24,
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
 ) -> HierarchicalPartition:
     """Two-level FPM partitioning of ``total`` blocks across a cluster.
 
@@ -114,6 +151,8 @@ def hierarchical_partition(
     aggregate_samples:
         Sample count for each node's aggregate speed function; sampled
         geometrically up to ``total``.
+    tolerance / max_iters:
+        Convergence knobs forwarded to every FPM solve.
     """
     check_positive_int("total", total)
     check_positive_int("aggregate_samples", aggregate_samples)
@@ -126,7 +165,7 @@ def hierarchical_partition(
         category="partition",
         nodes=len(node_unit_models),
         total=total,
-    ):
+    ) as span:
         # geometric sample grid up to the full workload
         lo, hi = max(1.0, total / 512.0), float(total)
         if aggregate_samples == 1 or lo >= hi:
@@ -135,22 +174,46 @@ def hierarchical_partition(
             ratio = (hi / lo) ** (1.0 / (aggregate_samples - 1))
             grid = [lo * ratio**i for i in range(aggregate_samples)]
 
-        node_models = [
-            aggregate_speed_function(units, grid) for units in node_unit_models
+        # one aggregate per distinct node build, shared across the fleet
+        node_fns = [
+            [as_speed_function(m) for m in units] for units in node_unit_models
         ]
-        continuous = partition_fpm(node_models, float(total))
+        signatures = [_signature(fns) for fns in node_fns]
+        aggregate_of: dict[tuple, SpeedFunction] = {}
+        for fns, sig in zip(node_fns, signatures):
+            if sig not in aggregate_of:
+                aggregate_of[sig] = aggregate_speed_function(
+                    fns, grid, tolerance=tolerance, max_iters=max_iters
+                )
+        span.set_attr("distinct_nodes", len(aggregate_of))
+
+        node_models = [aggregate_of[sig] for sig in signatures]
+        continuous = partition_fpm(
+            node_models, float(total), tolerance=tolerance, max_iters=max_iters
+        )
         node_allocs = round_partition(node_models, continuous, total)
         if tracer.enabled:
             for share in node_allocs:
                 tracer.gauge("partition.hierarchical.node_blocks").set(share)
 
+        # fan out each node's share to its units; identical nodes with
+        # identical shares share one inner solve
+        inner_of: dict[tuple, tuple[int, ...]] = {}
         unit_allocs = []
-        for units, share in zip(node_unit_models, node_allocs):
+        for fns, sig, share in zip(node_fns, signatures, node_allocs):
             if share == 0:
-                unit_allocs.append(tuple(0 for _ in units))
+                unit_allocs.append(tuple(0 for _ in fns))
                 continue
-            inner = partition_fpm(units, float(share))
-            unit_allocs.append(tuple(round_partition(units, inner, share)))
+            key = (sig, share)
+            found = inner_of.get(key)
+            if found is None:
+                inner = partition_fpm(
+                    fns, float(share), tolerance=tolerance, max_iters=max_iters
+                )
+                found = tuple(round_partition(fns, inner, share))
+                inner_of[key] = found
+            unit_allocs.append(found)
+        span.set_attr("fanout_solves", len(inner_of))
         return HierarchicalPartition(
             node_allocations=tuple(node_allocs),
             unit_allocations=tuple(unit_allocs),

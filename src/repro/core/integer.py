@@ -12,6 +12,7 @@ did not come from a balanced continuous solution.
 
 from __future__ import annotations
 
+import heapq
 import math
 
 from repro.core.fpm import as_speed_function
@@ -53,20 +54,29 @@ def round_partition(models, continuous: list[float], total: int) -> list[int]:
                 key=lambda j: fns[j].time(alloc[j]),
             )
             alloc[i] -= 1
-    while sum(alloc) < total:
-        best = None
-        best_time = math.inf
-        for i, fn in enumerate(fns):
-            if alloc[i] + 1 > caps[i]:
-                continue
-            t = fn.time(alloc[i] + 1)
-            if t < best_time:
-                best, best_time = i, t
-        if best is None:
+    # Hand out the leftover blocks cheapest-next-block first.  A heap of
+    # (time of the next block, index) makes this O(L log p) instead of a
+    # full scan per block; each processor has exactly one live entry (its
+    # own is replaced right after it receives a block, and nothing else
+    # changes its next-block time), and the index tie-break reproduces
+    # the linear scan's lowest-index-wins choice.
+    remaining = total - sum(alloc)
+    heap = [
+        (fn.time(alloc[i] + 1), i)
+        for i, fn in enumerate(fns)
+        if alloc[i] + 1 <= caps[i]
+    ]
+    heapq.heapify(heap)
+    while remaining > 0:
+        if not heap:
             raise ValueError(
                 f"combined capacity cannot hold {total} blocks"
             )
-        alloc[best] += 1
+        _, i = heapq.heappop(heap)
+        alloc[i] += 1
+        remaining -= 1
+        if alloc[i] + 1 <= caps[i]:
+            heapq.heappush(heap, (fns[i].time(alloc[i] + 1), i))
     return alloc
 
 

@@ -27,6 +27,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.batch import (
+    allocation_row_at,
+    asum,
+    batch_models,
+    time_row_at,
+)
 from repro.core.cpm import ConstantPerformanceModel
 from repro.core.fpm import as_speed_function
 from repro.core.speed_function import SpeedFunction
@@ -35,6 +43,17 @@ from repro.util.validation import check_positive, check_positive_int
 
 #: Relative tolerance on the total allocation reached by bisection.
 _SUM_TOL = 1e-9
+
+#: Default convergence knobs of the FPM solver: relative width of the
+#: finish-time bracket at which the search stops, and the hard iteration
+#: cap.  Exposed as keyword arguments (and through ``SolverOptions``) so
+#: callers can trade accuracy for latency.
+FPM_TOLERANCE = 1e-12
+FPM_MAX_ITERS = 200
+
+#: Iteration-count buckets for the ``partition.solver.iterations``
+#: histogram — the Illinois search lands in the 8–32 range on real FPMs.
+_ITER_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 def _normalise_models(models) -> list[SpeedFunction]:
@@ -57,8 +76,115 @@ def _allocations_at(fns: list[SpeedFunction], finish_time: float) -> list[float]
     return allocs
 
 
-def partition_fpm(models, total: float) -> list[float]:
+def _check_capacity(caps, total: float) -> None:
+    """Shared infeasibility check; ``asum`` so both twins compare alike."""
+    cap_sum = asum(caps)
+    if cap_sum < total:
+        raise ValueError(
+            f"total workload {total} exceeds the combined model capacity "
+            f"{cap_sum} (all models bounded)"
+        )
+
+
+def _solve_equal_time(
+    evaluate,
+    total: float,
+    t_hi: float,
+    *,
+    tolerance: float,
+    max_iters: int,
+    trace=None,
+):
+    """Illinois search for the equal-finish-time ``T*`` of one workload.
+
+    ``evaluate(T)`` returns the per-processor allocation vector at finish
+    time ``T`` (any sequence; totalled through :func:`asum`).  Both
+    :func:`partition_fpm` (batched evaluator) and
+    :func:`partition_fpm_scalar` (per-model twin) run through this one
+    driver, so every branch decision — bracketing, the false-position /
+    bisection choice, the Illinois halving, convergence — is taken on
+    bit-identical floats in both.  The residual test is a single
+    comparison of the *summed* allocation, so tolerance semantics do not
+    depend on the processor count.
+
+    Returns ``(allocs, iterations, evals)`` where ``allocs`` is the
+    evaluation at the bracket's upper end (the smallest examined ``T``
+    with enough work), matching the pre-vectorisation bisection contract.
+    """
+    t_lo = 0.0
+    g_lo = 0.0 - total
+    allocs = evaluate(t_hi)
+    s_hi = asum(allocs)
+    evals = 1
+    while s_hi < total:
+        t_hi *= 2.0
+        if t_hi > 1e30:  # pragma: no cover - capacity check prevents this
+            raise RuntimeError("failed to bracket the balanced finish time")
+        allocs = evaluate(t_hi)
+        s_hi = asum(allocs)
+        evals += 1
+    g_hi = s_hi - total
+
+    iterations = 0
+    side = 0
+    for iteration in range(max_iters):
+        if g_hi == 0.0 or t_hi - t_lo <= tolerance * max(1.0, t_hi):
+            break
+        gap = g_hi - g_lo
+        if gap != 0.0:
+            t_mid = t_hi - g_hi * (t_hi - t_lo) / gap
+        else:  # pragma: no cover - g_lo < 0 <= g_hi keeps gap positive
+            t_mid = 0.5 * (t_lo + t_hi)
+        if not (t_lo < t_mid < t_hi):
+            t_mid = 0.5 * (t_lo + t_hi)
+        mid_allocs = evaluate(t_mid)
+        g_mid = asum(mid_allocs) - total
+        evals += 1
+        iterations = iteration + 1
+        if trace is not None:
+            trace(iteration, mid_allocs)
+        if g_mid >= 0.0:
+            t_hi = t_mid
+            g_hi = g_mid
+            allocs = mid_allocs
+            if side == 1:
+                g_lo *= 0.5
+            side = 1
+        else:
+            t_lo = t_mid
+            g_lo = g_mid
+            if side == -1:
+                g_hi *= 0.5
+            side = -1
+    return allocs, iterations, evals
+
+
+def _record_solver_metrics(
+    tracer, mode: str, processors: int, iterations: int, evals: int
+) -> None:
+    """Feed the ``partition.solver.*`` instruments (tracing enabled only)."""
+    tracer.counter("partition.solver.solves").add(1)
+    tracer.counter(f"partition.solver.solves.{mode}").add(1)
+    tracer.counter("partition.solver.evaluations").add(evals)
+    tracer.histogram("partition.solver.iterations", _ITER_BUCKETS).observe(iterations)
+    tracer.gauge("partition.solver.processors").set(processors)
+
+
+def partition_fpm(
+    models,
+    total: float,
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
+) -> list[float]:
     """FPM-based data partitioning: equal-finish-time allocations.
+
+    The solver operates on **all models at once**: each Illinois
+    iteration evaluates one batched ray-intersection
+    (:meth:`BatchSpeedModels.allocations_at`) and one vectorized residual
+    test, so a 10 000-device solve costs the same number of NumPy kernels
+    as a 2-device solve.  Allocations are bit-identical to
+    :func:`partition_fpm_scalar`, the per-model reference oracle.
 
     Parameters
     ----------
@@ -66,6 +192,10 @@ def partition_fpm(models, total: float) -> list[float]:
         Per-processor FPMs / speed functions / constants.
     total:
         Total workload in problem-size units (b x b blocks).
+    tolerance:
+        Relative finish-time bracket width at which the search stops.
+    max_iters:
+        Hard cap on solver iterations.
 
     Returns
     -------
@@ -79,45 +209,181 @@ def partition_fpm(models, total: float) -> list[float]:
         ``total``.
     """
     check_positive("total", total)
+    check_positive("tolerance", tolerance)
+    check_positive_int("max_iters", max_iters)
     fns = _normalise_models(models)
-    caps = [_capacity(fn) for fn in fns]
-    if sum(caps) < total:
-        raise ValueError(
-            f"total workload {total} exceeds the combined model capacity "
-            f"{sum(caps)} (all models bounded)"
-        )
+    batch = batch_models(tuple(fns))
+    caps = batch.caps
+    _check_capacity(caps, total)
 
     tracer = get_tracer()
     with tracer.span(
         "partition.fpm", category="partition", processors=len(fns), total=total
     ) as span:
-        # Bracket the finish time: t_lo gives too little work, t_hi enough.
-        t_lo = 0.0
-        t_hi = max(fn.time(min(total, cap)) for fn, cap in zip(fns, caps)) + 1e-12
-        while sum(_allocations_at(fns, t_hi)) < total:
-            t_hi *= 2.0
-            if t_hi > 1e30:  # pragma: no cover - capacity check prevents this
-                raise RuntimeError("failed to bracket the balanced finish time")
+        t_hi = float(np.max(batch.times_at(np.minimum(total, caps)))) + 1e-12
+        trace = None
+        if tracer.enabled:
 
-        iterations = 0
-        for iteration in range(200):
-            t_mid = 0.5 * (t_lo + t_hi)
-            mid_allocs = _allocations_at(fns, t_mid)
-            if sum(mid_allocs) >= total:
-                t_hi = t_mid
-            else:
-                t_lo = t_mid
-            iterations = iteration + 1
-            if tracer.enabled:
+            def trace(iteration, mid_allocs):
                 _trace_iteration(
                     tracer, "partition.fpm", iteration, fns, mid_allocs, total
                 )
-            if t_hi - t_lo <= 1e-12 * max(1.0, t_hi):
-                break
 
-        allocs = _allocations_at(fns, t_hi)
+        allocs, iterations, evals = _solve_equal_time(
+            batch.allocations_at,
+            total,
+            t_hi,
+            tolerance=tolerance,
+            max_iters=max_iters,
+            trace=trace,
+        )
         span.set_attr("iterations", iterations)
-        return _rescale(allocs, total, caps)
+        if tracer.enabled:
+            _record_solver_metrics(tracer, "vector", len(fns), iterations, evals)
+        return _rescale([float(a) for a in allocs], total, [float(c) for c in caps])
+
+
+def partition_fpm_scalar(
+    models,
+    total: float,
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
+) -> list[float]:
+    """Reference oracle for :func:`partition_fpm`: one model at a time.
+
+    Runs the *same* Illinois driver with the scalar twin kernels
+    (:func:`repro.core.batch.allocation_row_at` /
+    :func:`repro.core.batch.time_row_at`), so its result is bit-identical
+    to the vectorized solver on every input — the property suite holds
+    the two against each other.  It is deliberately trace-free: a plain
+    readable statement of the algorithm, not a production path.
+    """
+    check_positive("total", total)
+    check_positive("tolerance", tolerance)
+    check_positive_int("max_iters", max_iters)
+    fns = _normalise_models(models)
+    caps = [_capacity(fn) for fn in fns]
+    _check_capacity(caps, total)
+
+    def evaluate(finish_time):
+        return [allocation_row_at(fn, finish_time) for fn in fns]
+
+    t_hi = max(
+        time_row_at(fn, min(total, cap)) for fn, cap in zip(fns, caps)
+    ) + 1e-12
+    allocs, _, _ = _solve_equal_time(
+        evaluate, total, t_hi, tolerance=tolerance, max_iters=max_iters
+    )
+    return _rescale([float(a) for a in allocs], total, [float(c) for c in caps])
+
+
+def _row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row :func:`asum`.  A loop on purpose: each row must total via
+
+    the same pairwise reduction as the single-solve path, and
+    ``np.add.reduce(matrix, axis=1)`` does not promise that order.
+    """
+    return np.array([np.add.reduce(matrix[g]) for g in range(matrix.shape[0])])
+
+
+def partition_fpm_many(
+    models,
+    totals,
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
+) -> list[list[float]]:
+    """:func:`partition_fpm` for several workload totals over one model set.
+
+    One masked Illinois search advances every target at once — the
+    hierarchical aggregator uses this to build a node's whole aggregate
+    speed function in a handful of matrix kernels.  Row ``g`` of the
+    result is **bit-identical** to ``partition_fpm(models, totals[g])``:
+    each target's bracket evolves by exactly the decisions the single
+    solve would take, on exactly the same floats.
+    """
+    check_positive("tolerance", tolerance)
+    check_positive_int("max_iters", max_iters)
+    fns = _normalise_models(models)
+    targets = [float(t) for t in totals]
+    if not targets:
+        return []
+    batch = batch_models(tuple(fns))
+    caps = batch.caps
+    for t in targets:
+        check_positive("total", t)
+        _check_capacity(caps, t)
+
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.fpm.many",
+        category="partition",
+        processors=len(fns),
+        targets=len(targets),
+    ) as span:
+        tot = np.asarray(targets, dtype=float)
+        n = tot.size
+        t_hi = np.empty(n)
+        for g in range(n):
+            t_hi[g] = float(np.max(batch.times_at(np.minimum(tot[g], caps)))) + 1e-12
+        sums = _row_sums(batch.allocations_at_many(t_hi))
+        evals = n
+        while True:
+            need = sums < tot
+            if not bool(need.any()):
+                break
+            if bool(np.any(t_hi[need] > 1e30)):  # pragma: no cover
+                raise RuntimeError("failed to bracket the balanced finish time")
+            t_hi[need] *= 2.0
+            sums[need] = _row_sums(batch.allocations_at_many(t_hi[need]))
+            evals += int(need.sum())
+
+        g_hi = sums - tot
+        t_lo = np.zeros(n)
+        g_lo = 0.0 - tot
+        side = np.zeros(n, dtype=np.int8)
+        iterations = 0
+        for iteration in range(max_iters):
+            width_done = (t_hi - t_lo) <= tolerance * np.maximum(1.0, t_hi)
+            active = ~((g_hi == 0.0) | width_done)
+            if not bool(active.any()):
+                break
+            idx = np.nonzero(active)[0]
+            gap = g_hi[idx] - g_lo[idx]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t_mid = t_hi[idx] - g_hi[idx] * (t_hi[idx] - t_lo[idx]) / gap
+            inside = (t_lo[idx] < t_mid) & (t_mid < t_hi[idx])
+            t_mid = np.where(inside, t_mid, 0.5 * (t_lo[idx] + t_hi[idx]))
+            g_mid = _row_sums(batch.allocations_at_many(t_mid)) - tot[idx]
+            evals += idx.size
+            iterations = iteration + 1
+
+            ge = g_mid >= 0.0
+            hi_idx = idx[ge]
+            g_lo[hi_idx] = np.where(
+                side[hi_idx] == 1, g_lo[hi_idx] * 0.5, g_lo[hi_idx]
+            )
+            t_hi[hi_idx] = t_mid[ge]
+            g_hi[hi_idx] = g_mid[ge]
+            side[hi_idx] = 1
+            lo_idx = idx[~ge]
+            g_hi[lo_idx] = np.where(
+                side[lo_idx] == -1, g_hi[lo_idx] * 0.5, g_hi[lo_idx]
+            )
+            t_lo[lo_idx] = t_mid[~ge]
+            g_lo[lo_idx] = g_mid[~ge]
+            side[lo_idx] = -1
+
+        final = batch.allocations_at_many(t_hi)
+        span.set_attr("iterations", iterations)
+        if tracer.enabled:
+            _record_solver_metrics(tracer, "many", len(fns), iterations, evals)
+        caps_list = [float(c) for c in caps]
+        return [
+            _rescale([float(a) for a in final[g]], targets[g], caps_list)
+            for g in range(n)
+        ]
 
 
 def _trace_iteration(

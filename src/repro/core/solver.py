@@ -1,0 +1,189 @@
+"""The unified partitioning entry point: :class:`Solver`.
+
+The partitioning algorithms grew up as free functions with drifting
+signatures — :func:`repro.core.partition.partition_fpm`,
+:func:`~repro.core.partition.partition_cpm`,
+:func:`~repro.core.partition.partition_homogeneous`,
+:func:`repro.core.hierarchical.hierarchical_partition` — and every layer
+above core picked one by hand.  :class:`Solver` is the single facade the
+rest of the system (apps, runtime recovery, online measurement, the
+partition service) goes through:
+
+>>> from repro.core.solver import Solver, SolverOptions
+>>> solver = Solver(SolverOptions(strategy="fpm"))
+>>> solver.solve(models, 6000.0).allocations   # doctest: +SKIP
+
+One options record carries every knob (keyword-only, validated at
+construction), one ``solve`` call covers flat and hierarchical cluster
+solves, and the result object keeps the strategy and per-node structure
+next to the numbers.  ``repro lint`` rule REP006 flags direct
+partitioner imports outside :mod:`repro.core` so new code arrives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.core.cpm import cpms_from_even_split
+from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.hierarchical import HierarchicalPartition, hierarchical_partition
+from repro.core.partition import (
+    FPM_MAX_ITERS,
+    FPM_TOLERANCE,
+    geometric_partition,
+    partition_cpm,
+    partition_fpm,
+    partition_homogeneous,
+)
+from repro.util.validation import check_positive, check_positive_int
+
+#: Strategies ``SolverOptions`` accepts.  ``"even"`` is the canonical
+#: name of the uniform split; ``"homogeneous"`` is normalised to it.
+#: ``"geometric"`` keeps the paper's ray-rotation formulation reachable.
+STRATEGIES = ("fpm", "cpm", "even", "geometric")
+
+Strategy = Literal["fpm", "cpm", "even", "geometric"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class SolverOptions:
+    """Every solver knob, validated once at construction.
+
+    Parameters
+    ----------
+    strategy:
+        ``"fpm"`` (equal finish times), ``"cpm"`` (proportional to
+        constant speeds; FPM inputs are calibrated at an even split
+        first, the paper's CPM procedure), ``"even"`` (uniform split;
+        ``"homogeneous"`` is accepted as an alias) or ``"geometric"``
+        (the ray-rotation formulation of FPM).
+    hierarchy:
+        Two-level cluster mode: ``solve`` expects one list of unit
+        models *per node* and an integer total, splits between nodes on
+        per-node aggregate FPMs, then within each node.  FPM only.
+    tolerance / max_iters:
+        FPM convergence knobs, passed straight to the Illinois solver.
+    aggregate_samples:
+        Grid size of each node's aggregate speed function in
+        hierarchical mode.
+    """
+
+    strategy: Strategy = "fpm"
+    hierarchy: bool = False
+    tolerance: float = FPM_TOLERANCE
+    max_iters: int = FPM_MAX_ITERS
+    aggregate_samples: int = 24
+
+    def __post_init__(self) -> None:
+        if self.strategy == "homogeneous":
+            object.__setattr__(self, "strategy", "even")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{', '.join(STRATEGIES)}"
+            )
+        check_positive("tolerance", self.tolerance)
+        check_positive_int("max_iters", self.max_iters)
+        check_positive_int("aggregate_samples", self.aggregate_samples)
+        if self.hierarchy and self.strategy != "fpm":
+            raise ValueError(
+                f"hierarchical partitioning requires strategy='fpm', "
+                f"got {self.strategy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A solve's allocations plus the structure that produced them."""
+
+    allocations: tuple[float, ...]
+    strategy: str
+    hierarchy: HierarchicalPartition | None = None
+
+    @property
+    def total(self) -> float:
+        """The workload the allocations account for."""
+        return sum(self.allocations)
+
+    def as_dict(self, names) -> dict[str, float]:
+        """Allocations keyed by caller-supplied unit names."""
+        names = list(names)
+        if len(names) != len(self.allocations):
+            raise ValueError(
+                f"{len(names)} names for {len(self.allocations)} allocations"
+            )
+        return dict(zip(names, self.allocations))
+
+
+class Solver:
+    """The one partitioning entry point; construction is free, reuse it.
+
+    ``Solver(options)`` or ``Solver(strategy="cpm", ...)`` — keyword
+    overrides are merged into the options record.  A solver is immutable
+    and thread-safe; ``with_options`` derives a variant.
+    """
+
+    __slots__ = ("options",)
+
+    def __init__(self, options: SolverOptions | None = None, **overrides):
+        base = options if options is not None else SolverOptions()
+        if overrides:
+            base = replace(base, **overrides)
+        object.__setattr__(self, "options", base)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard rail
+        raise AttributeError("Solver is immutable; use with_options()")
+
+    def __repr__(self) -> str:
+        return f"Solver({self.options!r})"
+
+    def with_options(self, **overrides) -> "Solver":
+        """A new solver with some options replaced."""
+        return Solver(replace(self.options, **overrides))
+
+    def solve(self, models, total) -> SolveResult:
+        """Split ``total`` workload units across ``models``.
+
+        Flat mode: ``models`` is one sequence of FPMs / speed functions /
+        constants.  Hierarchical mode (``options.hierarchy``): one
+        sequence of unit models per node, integer ``total``; the result
+        carries the :class:`HierarchicalPartition` and its flat
+        per-unit allocations.
+        """
+        opts = self.options
+        if opts.hierarchy:
+            tree = hierarchical_partition(
+                [list(units) for units in models],
+                int(total),
+                aggregate_samples=opts.aggregate_samples,
+                tolerance=opts.tolerance,
+                max_iters=opts.max_iters,
+            )
+            return SolveResult(
+                allocations=tuple(float(a) for a in tree.flat),
+                strategy=opts.strategy,
+                hierarchy=tree,
+            )
+        models = list(models)
+        if opts.strategy == "fpm":
+            allocs = partition_fpm(
+                models, total, tolerance=opts.tolerance, max_iters=opts.max_iters
+            )
+        elif opts.strategy == "geometric":
+            allocs = geometric_partition(models, total)
+        elif opts.strategy == "cpm":
+            constants = models
+            if models and isinstance(models[0], FunctionalPerformanceModel):
+                # calibrate FPMs at an even split of the problem — the
+                # paper's CPM procedure — before the proportional split
+                constants = cpms_from_even_split(models, total)
+            allocs = partition_cpm(constants, total)
+        else:  # "even"
+            allocs = partition_homogeneous(len(models), total)
+        return SolveResult(allocations=tuple(allocs), strategy=opts.strategy)
+
+
+def solve(models, total, **options) -> SolveResult:
+    """One-shot convenience: ``Solver(**options).solve(models, total)``."""
+    return Solver(**options).solve(models, total)

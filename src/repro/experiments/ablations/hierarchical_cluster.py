@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.hierarchical import hierarchical_partition
 from repro.core.integer import makespan
-from repro.core.partition import partition_fpm
+from repro.core.solver import Solver
 from repro.core.integer import round_partition
 from repro.app.matmul import HybridMatMul
 from repro.experiments.common import ExperimentConfig
@@ -91,7 +91,7 @@ def run(
     hier = hierarchical_partition(per_node_models, total)
 
     flat_models = [m for models in per_node_models for m in models]
-    flat_cont = partition_fpm(flat_models, float(total))
+    flat_cont = list(Solver().solve(flat_models, float(total)).allocations)
     flat_int = round_partition(flat_models, flat_cont, total)
 
     l1 = sum(abs(a - b) for a, b in zip(hier.flat, flat_int)) / total

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.integer import round_partition
-from repro.core.partition import partition_fpm
+from repro.core.solver import Solver
 from repro.core.speed_function import SpeedFunction, SpeedSample
 from repro.kernels.interface import Kernel
 from repro.measurement.benchmark import HybridBenchmark
@@ -171,7 +171,7 @@ def online_partition(
     converged = False
     for _ in range(max_rounds):
         models = [b.model() for b in builders]
-        continuous = partition_fpm(models, float(total))
+        continuous = list(Solver().solve(models, float(total)).allocations)
         allocations = tuple(round_partition(models, continuous, total))
         new_points = sum(
             1

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.dynamic import SpeedBasedRebalancer
 from repro.core.integer import refine_integer_partition, round_partition
-from repro.core.partition import partition_fpm
+from repro.core.solver import Solver
 from repro.obs import get_tracer
 from repro.platform.faults import DeviceDrop, FaultPlan
 from repro.runtime.event_sim import EventSimulator
@@ -130,7 +130,7 @@ def _survivor_allocations(
     if policy.strategy == "fpm":
         models = app.models_for(survivors)
         try:
-            continuous = partition_fpm(models, float(total))
+            continuous = list(Solver().solve(models, float(total)).allocations)
         except ValueError as exc:
             raise RecoveryError(
                 f"survivors cannot absorb the workload: {exc}"

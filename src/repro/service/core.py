@@ -230,17 +230,37 @@ class PartitionService:
 
         model_key = request.model_key()
         models, source = await self._models_for(model_key, request)
-        allocation = await self._run_solve(
-            api.partition, list(models.values()), request.total_blocks,
-            strategy=request.strategy,
-        )
-        answer = {
-            "allocation": dict(zip(models.keys(), allocation)),
-            "units": list(models.keys()),
-            "total_blocks": request.total_blocks,
-            "strategy": request.strategy,
-            "model_key": model_key,
-        }
+        solver = api.Solver(request.solver_options())
+        if request.hierarchy_nodes > 0:
+            # a homogeneous cluster of identical nodes built from the
+            # request's platform spec; the solver dedupes internally
+            cluster = [list(models.values())] * request.hierarchy_nodes
+            result = await self._run_solve(solver.solve, cluster, int(request.total_blocks))
+            tree = result.hierarchy
+            answer = {
+                "allocation": {
+                    f"node{i}.{name}": alloc
+                    for i, node in enumerate(tree.unit_allocations)
+                    for name, alloc in zip(models.keys(), node)
+                },
+                "node_allocations": list(tree.node_allocations),
+                "nodes": request.hierarchy_nodes,
+                "units": list(models.keys()),
+                "total_blocks": request.total_blocks,
+                "strategy": request.strategy,
+                "model_key": model_key,
+            }
+        else:
+            result = await self._run_solve(
+                solver.solve, list(models.values()), request.total_blocks
+            )
+            answer = {
+                "allocation": dict(zip(models.keys(), result.allocations)),
+                "units": list(models.keys()),
+                "total_blocks": request.total_blocks,
+                "strategy": request.strategy,
+                "model_key": model_key,
+            }
         self._lru_put(self._hot_answers, answer_key, answer, self._max_hot_answers)
         self.tracer.counter(f"service.partition.{source}").add()
         return {**answer, "source": source}

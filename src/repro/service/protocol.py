@@ -5,13 +5,25 @@ One request shape covers the service's workload (``POST /partition``)::
     {
       "preset": "ig_icl",              # or "node": {<NodeSpec JSON>}
       "total_blocks": 1600.0,
-      "strategy": "fpm",               # fpm | geometric | cpm | homogeneous
+      "strategy": "fpm",               # fpm | geometric | cpm | homogeneous | even
       "model": {                       # optional model-building knobs
         "seed": 42, "noise_sigma": 0.02, "gpu_version": 3,
         "max_blocks": 6500.0, "cpu_points": 12, "gpu_points": 16,
         "adaptive": true
+      },
+      "solver": {                      # optional FPM solver knobs
+        "tolerance": 1e-12, "max_iters": 200
+      },
+      "hierarchy": {                   # optional: a cluster of identical nodes
+        "nodes": 16, "aggregate_samples": 24
       }
     }
+
+With a ``hierarchy`` block the service treats the platform spec as one
+node of a homogeneous cluster ``nodes`` wide and answers with the
+two-level solve (per-node block counts plus per-unit allocations inside
+each node); ``total_blocks`` must then be a whole number and the
+strategy must be ``fpm``.
 
 Validation is strict and total: malformed JSON, unknown fields (at any
 nesting depth of the spec), missing/extra platform descriptions, bad
@@ -34,6 +46,7 @@ import typing
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.solver import FPM_MAX_ITERS, FPM_TOLERANCE, SolverOptions
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.store import digest_key, node_key
@@ -45,8 +58,9 @@ PRESETS = {
     "cpu_only": cpu_only_node,
 }
 
-#: Partitioning strategies the service accepts (repro.api.partition's).
-STRATEGIES = ("fpm", "geometric", "cpm", "homogeneous")
+#: Partitioning strategies the service accepts (``repro.api.Solver``'s,
+#: plus the historical ``homogeneous`` alias of ``even``).
+STRATEGIES = ("fpm", "geometric", "cpm", "homogeneous", "even")
 
 #: Model-building knobs: name -> (expected type family, default).
 _MODEL_FIELDS = {
@@ -59,7 +73,22 @@ _MODEL_FIELDS = {
     "adaptive": (bool, True),
 }
 
-_TOP_FIELDS = ("node", "preset", "total_blocks", "strategy", "model")
+#: FPM solver knobs: name -> (expected type family, default).
+_SOLVER_FIELDS = {
+    "tolerance": (float, FPM_TOLERANCE),
+    "max_iters": (int, FPM_MAX_ITERS),
+}
+
+#: Hierarchy knobs; ``nodes`` has no default — its presence in the
+#: request is what switches the answer to the two-level solve.
+_HIERARCHY_FIELDS = {
+    "nodes": (int, None),
+    "aggregate_samples": (int, 24),
+}
+
+_TOP_FIELDS = (
+    "node", "preset", "total_blocks", "strategy", "model", "solver", "hierarchy"
+)
 
 
 class ProtocolError(Exception):
@@ -90,6 +119,10 @@ class PartitionRequest:
     cpu_points: int = 12
     gpu_points: int = 16
     adaptive: bool = True
+    tolerance: float = FPM_TOLERANCE
+    max_iters: int = FPM_MAX_ITERS
+    hierarchy_nodes: int = 0  # 0 = flat (single-node) solve
+    aggregate_samples: int = 24
 
     def model_key(self) -> str:
         """The content address of this request's FPM build.
@@ -115,7 +148,13 @@ class PartitionRequest:
         )
 
     def answer_key(self) -> str:
-        """The content address of the full answer (models + size + strategy)."""
+        """The content address of the full answer.
+
+        Everything the solve depends on participates: the model build,
+        the size and strategy, the solver knobs, and the hierarchy
+        shape — requests differing in any of them must not share a
+        cached answer.
+        """
         return digest_key(
             "partition",
             {
@@ -123,7 +162,21 @@ class PartitionRequest:
                 "models": self.model_key(),
                 "total_blocks": self.total_blocks,
                 "strategy": self.strategy,
+                "tolerance": self.tolerance,
+                "max_iters": self.max_iters,
+                "hierarchy_nodes": self.hierarchy_nodes,
+                "aggregate_samples": self.aggregate_samples,
             },
+        )
+
+    def solver_options(self) -> SolverOptions:
+        """The validated :class:`repro.core.solver.SolverOptions`."""
+        return SolverOptions(
+            strategy=self.strategy,
+            hierarchy=self.hierarchy_nodes > 0,
+            tolerance=self.tolerance,
+            max_iters=self.max_iters,
+            aggregate_samples=self.aggregate_samples,
         )
 
     def model_kwargs(self) -> dict[str, Any]:
@@ -176,10 +229,55 @@ def parse_partition_request(body: bytes | str) -> PartitionRequest:
             "bad-strategy",
             f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}",
         )
-    knobs = _parse_model_knobs(data.get("model", {}))
+    knobs = _parse_knob_block(data.get("model", {}), "model", _MODEL_FIELDS)
+    solver = _parse_knob_block(data.get("solver", {}), "solver", _SOLVER_FIELDS)
+    if solver["tolerance"] <= 0.0:
+        raise ProtocolError(400, "bad-solver-knob", "solver.tolerance must be > 0")
+    if solver["max_iters"] < 1:
+        raise ProtocolError(400, "bad-solver-knob", "solver.max_iters must be >= 1")
+
+    hierarchy_nodes = 0
+    aggregate_samples = _HIERARCHY_FIELDS["aggregate_samples"][1]
+    if "hierarchy" in data:
+        hier = _parse_knob_block(data["hierarchy"], "hierarchy", _HIERARCHY_FIELDS)
+        if hier["nodes"] is None:
+            raise ProtocolError(
+                400, "bad-hierarchy-knob", "hierarchy.nodes is required"
+            )
+        if hier["nodes"] < 1:
+            raise ProtocolError(
+                400, "bad-hierarchy-knob", "hierarchy.nodes must be >= 1"
+            )
+        if hier["aggregate_samples"] < 1:
+            raise ProtocolError(
+                400, "bad-hierarchy-knob", "hierarchy.aggregate_samples must be >= 1"
+            )
+        if strategy != "fpm":
+            raise ProtocolError(
+                400,
+                "bad-hierarchy-knob",
+                f"hierarchical partitioning requires strategy 'fpm', "
+                f"got {strategy!r}",
+            )
+        if total_blocks != int(total_blocks):
+            raise ProtocolError(
+                400,
+                "bad-number",
+                "total_blocks must be a whole number of blocks for "
+                "hierarchical requests",
+            )
+        hierarchy_nodes = hier["nodes"]
+        aggregate_samples = hier["aggregate_samples"]
+
     try:
         return PartitionRequest(
-            node=node, total_blocks=total_blocks, strategy=strategy, **knobs
+            node=node,
+            total_blocks=total_blocks,
+            strategy=strategy,
+            hierarchy_nodes=hierarchy_nodes,
+            aggregate_samples=aggregate_samples,
+            **knobs,
+            **solver,
         )
     except (ValueError, TypeError) as exc:
         raise ProtocolError(400, "bad-model-knob", str(exc))
@@ -248,41 +346,51 @@ def _require_number(
     return value
 
 
-def _parse_model_knobs(model: Any) -> dict[str, Any]:
-    if not isinstance(model, dict):
+def _parse_knob_block(raw: Any, block: str, fields: dict) -> dict[str, Any]:
+    """Validate one optional typed-knob block (``model``/``solver``/...).
+
+    Unknown keys are reported by dotted path (``solver.tolerence``) under
+    the shared ``unknown-field`` code; type defects carry the block's own
+    ``bad-<block>-knob`` code.
+    """
+    code = f"bad-{block}-knob"
+    if not isinstance(raw, dict):
         raise ProtocolError(
-            400, "bad-model-knob", f"'model' must be a JSON object, got {_kind(model)}"
+            400, code, f"{block!r} must be a JSON object, got {_kind(raw)}"
         )
-    unknown = sorted(set(model) - set(_MODEL_FIELDS))
+    unknown = sorted(set(raw) - set(fields))
     if unknown:
         raise ProtocolError(
-            400, "unknown-field", f"unknown model field(s): {', '.join(unknown)}"
+            400,
+            "unknown-field",
+            f"unknown request field(s): "
+            f"{', '.join(f'{block}.{name}' for name in unknown)}",
         )
     knobs: dict[str, Any] = {}
-    for name, (family, default) in _MODEL_FIELDS.items():
-        if name not in model:
+    for name, (family, default) in fields.items():
+        if name not in raw:
             knobs[name] = default
             continue
-        value = model[name]
+        value = raw[name]
         if family is bool:
             if not isinstance(value, bool):
                 raise ProtocolError(
-                    400, "bad-model-knob", f"model.{name} must be a boolean"
+                    400, code, f"{block}.{name} must be a boolean"
                 )
         elif family is int:
             if isinstance(value, bool) or not isinstance(value, int):
                 raise ProtocolError(
-                    400, "bad-model-knob", f"model.{name} must be an integer"
+                    400, code, f"{block}.{name} must be an integer"
                 )
         else:  # float family accepts ints
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ProtocolError(
-                    400, "bad-model-knob", f"model.{name} must be a number"
+                    400, code, f"{block}.{name} must be a number"
                 )
             value = float(value)
             if not math.isfinite(value):
                 raise ProtocolError(
-                    400, "bad-model-knob", f"model.{name} must be finite"
+                    400, code, f"{block}.{name} must be finite"
                 )
         knobs[name] = value
     return knobs

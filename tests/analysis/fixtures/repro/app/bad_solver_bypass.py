@@ -1,0 +1,14 @@
+"""Seeded REP006 violations: partition internals imported above core."""
+
+import repro.core.partition as raw_partition
+from repro.core import partition_fpm_scalar
+from repro.core.partition import partition_cpm, partition_fpm
+
+
+def bypass_the_facade(models, total):
+    """Calls the solver internals instead of repro.core.solver.Solver."""
+    allocs = partition_fpm(models, total)
+    oracle = partition_fpm_scalar(models, total)
+    constants = partition_cpm(models, total)
+    many = raw_partition.partition_fpm_many(models, [total])
+    return allocs, oracle, constants, many

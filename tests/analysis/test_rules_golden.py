@@ -23,7 +23,7 @@ FLOW_FIXTURES = HERE / "flow_fixtures"
 EXPECTED = HERE / "expected"
 REPO_ROOT = HERE.parent.parent
 
-RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005"]
+RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005", "REP006"]
 FLOW_RULE_IDS = ["REP101", "REP102", "REP103", "REP104"]
 
 CLEAN_FIXTURES = [

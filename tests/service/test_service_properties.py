@@ -87,10 +87,10 @@ def test_service_matches_direct_api_call(warm_service, request_payload):
     with use_store(warm_service.store):
         models = api.build_models(node=node, **FAST_MODEL)
     ordered = [models[name] for name in sorted(models)]
-    expected = api.partition(
-        ordered,
-        request_payload["total_blocks"],
-        strategy=request_payload["strategy"],
+    expected = list(
+        api.Solver(strategy=request_payload["strategy"])
+        .solve(ordered, request_payload["total_blocks"])
+        .allocations
     )
     assert list(served.values()) == pytest.approx(list(expected), rel=1e-12)
     assert list(served.keys()) == sorted(models)

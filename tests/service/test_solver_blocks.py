@@ -1,0 +1,177 @@
+"""The optional ``solver`` and ``hierarchy`` request blocks.
+
+Typed convergence knobs (``solver.tolerance``/``solver.max_iters``)
+flow into :class:`repro.core.solver.SolverOptions`; the ``hierarchy``
+block turns the request's platform into one node of a homogeneous
+cluster and the answer into a two-level allocation.  Unknown fields
+inside either block report dotted paths, bad values report per-block
+codes — the same strict-4xx contract as the rest of the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.solver import FPM_MAX_ITERS, FPM_TOLERANCE
+from repro.service import ProtocolError, parse_partition_request
+
+from tests.service.conftest import FAST_MODEL
+
+
+def _body(**extra) -> bytes:
+    base = {
+        "preset": "cpu_only",
+        "total_blocks": 400.0,
+        "strategy": "fpm",
+        "model": dict(FAST_MODEL),
+    }
+    base.update(extra)
+    return json.dumps(base).encode("utf-8")
+
+
+# ------------------------------------------------------------ solver block
+def test_solver_block_defaults_when_absent():
+    request = parse_partition_request(_body())
+    assert request.tolerance == FPM_TOLERANCE
+    assert request.max_iters == FPM_MAX_ITERS
+    opts = request.solver_options()
+    assert opts.strategy == "fpm"
+    assert opts.hierarchy is False
+
+
+def test_solver_block_knobs_reach_solver_options():
+    request = parse_partition_request(
+        _body(solver={"tolerance": 1e-9, "max_iters": 50})
+    )
+    assert request.tolerance == 1e-9
+    assert request.max_iters == 50
+    opts = request.solver_options()
+    assert opts.tolerance == 1e-9
+    assert opts.max_iters == 50
+
+
+def test_solver_knobs_change_the_answer_key():
+    plain = parse_partition_request(_body())
+    tuned = parse_partition_request(_body(solver={"tolerance": 1e-6}))
+    assert plain.model_key() == tuned.model_key()  # same models
+    assert plain.answer_key() != tuned.answer_key()  # different solve
+
+
+@pytest.mark.parametrize(
+    "block, code",
+    [
+        ({"tolerance": 0.0}, "bad-solver-knob"),
+        ({"tolerance": -1.0}, "bad-solver-knob"),
+        ({"tolerance": "tight"}, "bad-solver-knob"),
+        ({"max_iters": 0}, "bad-solver-knob"),
+        ({"max_iters": 2.5}, "bad-solver-knob"),
+    ],
+)
+def test_bad_solver_knobs_are_structured_errors(block, code):
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_partition_request(_body(solver=block))
+    assert excinfo.value.code == code
+
+
+def test_unknown_solver_field_reports_dotted_path():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_partition_request(_body(solver={"tolerence": 1e-9}))
+    assert excinfo.value.code == "unknown-field"
+    assert "solver.tolerence" in str(excinfo.value)
+
+
+# --------------------------------------------------------- hierarchy block
+def test_hierarchy_block_parses():
+    request = parse_partition_request(
+        _body(hierarchy={"nodes": 4, "aggregate_samples": 8})
+    )
+    assert request.hierarchy_nodes == 4
+    assert request.aggregate_samples == 8
+    opts = request.solver_options()
+    assert opts.hierarchy is True
+    assert opts.aggregate_samples == 8
+
+
+def test_hierarchy_nodes_change_the_answer_key():
+    flat = parse_partition_request(_body())
+    deep = parse_partition_request(_body(hierarchy={"nodes": 2}))
+    assert flat.answer_key() != deep.answer_key()
+
+
+@pytest.mark.parametrize(
+    "extra, code",
+    [
+        ({"hierarchy": {"nodes": 0}}, "bad-hierarchy-knob"),
+        ({"hierarchy": {"aggregate_samples": 4}}, "bad-hierarchy-knob"),
+        ({"hierarchy": {"nodes": 2, "aggregate_samples": 0}}, "bad-hierarchy-knob"),
+        (
+            {"hierarchy": {"nodes": 2}, "strategy": "geometric"},
+            "bad-hierarchy-knob",
+        ),
+        (
+            {"hierarchy": {"nodes": 2}, "total_blocks": 400.5},
+            "bad-number",
+        ),
+    ],
+)
+def test_bad_hierarchy_blocks_are_structured_errors(extra, code):
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_partition_request(_body(**extra))
+    assert excinfo.value.code == code
+
+
+def test_unknown_hierarchy_field_reports_dotted_path():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_partition_request(_body(hierarchy={"nodes": 2, "depth": 3}))
+    assert excinfo.value.code == "unknown-field"
+    assert "hierarchy.depth" in str(excinfo.value)
+
+
+# ----------------------------------------------------------- end to end
+def test_hierarchical_request_returns_two_level_answer(run_service):
+    async def scenario(svc):
+        return await svc.handle(
+            "POST",
+            "/partition",
+            _body(hierarchy={"nodes": 2, "aggregate_samples": 6}),
+        )
+
+    response = run_service(scenario)
+    assert response.status == 200
+    payload = response.json
+    assert payload["nodes"] == 2
+    assert len(payload["node_allocations"]) == 2
+    assert sum(payload["node_allocations"]) == 400
+    # per-unit keys are namespaced by node
+    assert all(key.startswith("node") for key in payload["allocation"])
+    assert sum(payload["allocation"].values()) == pytest.approx(400.0)
+
+
+def test_flat_request_carries_no_hierarchy_fields(run_service):
+    async def scenario(svc):
+        return await svc.handle("POST", "/partition", _body())
+
+    response = run_service(scenario)
+    assert response.status == 200
+    assert "nodes" not in response.json
+    assert "node_allocations" not in response.json
+
+
+def test_solver_block_round_trips_through_the_service(run_service):
+    async def scenario(svc):
+        loose = await svc.handle(
+            "POST", "/partition", _body(solver={"tolerance": 1e-3})
+        )
+        tight = await svc.handle(
+            "POST", "/partition", _body(solver={"tolerance": 1e-12})
+        )
+        return loose, tight
+
+    loose, tight = run_service(scenario)
+    assert loose.status == tight.status == 200
+    # both are fresh solves (different answer keys), not cache hits
+    assert loose.json["source"] == "built"
+    assert tight.json["source"] in {"built", "warm"}
+    assert sum(tight.json["allocation"].values()) == pytest.approx(400.0)

@@ -3,11 +3,11 @@
 
 Thin wrapper over ``pytest benchmarks/ --benchmark-json`` for CI jobs and
 local regression hunting.  Writes the machine-readable record (timings
-plus each bench's ``extra_info`` headline numbers) to ``BENCH_7.json`` at
+plus each bench's ``extra_info`` headline numbers) to ``BENCH_8.json`` at
 the repository root by default, so successive PRs leave comparable
 artifacts.  Run from the repository root:
 
-    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_7.json] [--jobs N] [pytest args...]
+    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_8.json] [--jobs N] [pytest args...]
 
 ``--jobs N`` sizes the orchestrator's worker pool for the report
 benchmarks (exported as ``REPRO_BENCH_JOBS``).  Extra arguments are
@@ -25,7 +25,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Default artifact name; the suffix tracks the PR sequence.
-DEFAULT_OUT = "BENCH_7.json"
+DEFAULT_OUT = "BENCH_8.json"
 
 
 def main(argv: list[str] | None = None) -> int:
