@@ -1,0 +1,172 @@
+"""Cluster-scale runtime fast path: vectorized sim + warm re-solves.
+
+Two speedup gates back this PR's headline numbers, each paired with a
+bit-identity suite so the fast path cannot buy speed with drift:
+
+* the batched event lane must hold >= 10x over the scalar event path on
+  a 10,000-device x 100-panel simulated matmul run
+  (tests/runtime/test_panel_loop.py holds the lanes bit-identical);
+* a warm :meth:`Solver.resolve` after a handful of model refreshes must
+  hold >= 3x over the cold solve it replaces at 10,000 devices
+  (tests/core/test_resolve.py holds exact mode bit-identical).
+"""
+
+import time
+
+import pytest
+
+from repro.core.partition import partition_fpm
+from repro.core.solver import Solver
+from repro.core.speed_function import SpeedFunction
+from repro.runtime.mpi_sim import CommModel, SimulatedComm
+from repro.runtime.panel_loop import simulate_spmd_run
+
+DEVICES = 10_000
+PANELS = 100
+
+
+def ramped(peak, half):
+    sizes = [half / 4, half, 2 * half, 8 * half, 32 * half]
+    return SpeedFunction.from_points(
+        sizes, [peak * s / (s + half) for s in sizes]
+    )
+
+
+def make_cluster(devices=DEVICES):
+    return [
+        ramped(20.0 * (1.05 ** (i % 100)), 10.0 + (7 * i) % 90)
+        for i in range(devices)
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster_models():
+    return make_cluster()
+
+
+@pytest.fixture(scope="module")
+def cluster_allocations(cluster_models):
+    return partition_fpm(cluster_models, 1e7)
+
+
+def _best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_runtime_sim_vector_10000x100(
+    benchmark, cluster_models, cluster_allocations
+):
+    comm = SimulatedComm(DEVICES, CommModel())
+    result = benchmark(
+        simulate_spmd_run,
+        cluster_models,
+        cluster_allocations,
+        PANELS,
+        comm=comm,
+        engine="vector",
+    )
+    assert len(result.panel_finish_s) == PANELS
+    benchmark.extra_info["devices"] = DEVICES
+    benchmark.extra_info["panels"] = PANELS
+
+
+def test_runtime_sim_speedup_gate(cluster_models, cluster_allocations):
+    """Vector lane >= 10x over the scalar event path at 10,000 x 100.
+
+    The scalar oracle walks one heap event per device per panel (a
+    million events here) — timed once; the vector lane is best-of-3.
+    Both lanes are bit-identical (tests/runtime/test_panel_loop.py and
+    the hypothesis suite), so the ratio measures pure dispatch cost.
+    """
+    comm = SimulatedComm(DEVICES, CommModel())
+
+    def run(engine):
+        return simulate_spmd_run(
+            cluster_models,
+            cluster_allocations,
+            PANELS,
+            comm=comm,
+            engine=engine,
+        )
+
+    run("vector")  # warm model row caches for both lanes
+
+    vector = _best_of(lambda: run("vector"), reps=3)
+    start = time.perf_counter()
+    scalar_result = run("scalar")
+    scalar = time.perf_counter() - start
+
+    assert scalar_result.total_time_s == run("vector").total_time_s
+    assert scalar / vector >= 10.0, (
+        f"vectorized event lane speedup degraded: {scalar / vector:.1f}x "
+        f"(vector {vector * 1e3:.1f} ms, scalar {scalar * 1e3:.1f} ms)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# warm-started incremental re-solves
+# ---------------------------------------------------------------------------
+
+
+def _perturbed(fn, factor):
+    sizes = [s.size for s in fn.samples]
+    speeds = [s.speed * factor for s in fn.samples]
+    return SpeedFunction.from_points(sizes, speeds)
+
+
+def test_warm_resolve_10000_devices(benchmark, cluster_models):
+    solver = Solver()
+    previous = solver.solve(cluster_models, 1e7)
+    changed = {i: _perturbed(cluster_models[i], 1.1) for i in range(5)}
+    result = benchmark(solver.resolve, previous, changed_models=changed)
+    assert result.warm is not None
+    benchmark.extra_info["devices"] = DEVICES
+    benchmark.extra_info["changed_models"] = len(changed)
+
+
+def test_warm_resolve_speedup_gate(cluster_models):
+    """Warm resolve >= 3x over the cold solve it replaces at p=10,000.
+
+    Each cold rep uses a freshly perturbed model list so the batch cache
+    (keyed on model identity) cannot serve it a pre-stacked batch — the
+    comparison is against what a cold caller actually pays.  Exact mode
+    keeps warm allocations bit-identical to the cold ones
+    (tests/core/test_resolve.py), so the ratio is pure restacking cost.
+    """
+    solver = Solver()
+    previous = solver.solve(cluster_models, 1e7)
+
+    def perturbation(rep):
+        return {
+            i: _perturbed(cluster_models[i], 1.0 + 0.01 * (rep + 1))
+            for i in range(5)
+        }
+
+    reps = 3
+    warm = float("inf")
+    cold = float("inf")
+    for rep in range(reps):
+        changed = perturbation(rep)
+        updated = list(cluster_models)
+        for i, m in changed.items():
+            updated[i] = m
+
+        start = time.perf_counter()
+        warm_result = solver.resolve(previous, changed_models=changed)
+        warm = min(warm, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        cold_result = solver.solve(updated, 1e7)
+        cold = min(cold, time.perf_counter() - start)
+
+        assert warm_result.allocations == cold_result.allocations
+
+    assert cold / warm >= 3.0, (
+        f"warm resolve speedup degraded: {cold / warm:.2f}x "
+        f"(warm {warm * 1e3:.2f} ms, cold {cold * 1e3:.2f} ms)"
+    )

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.geometry import ColumnPartition
 from repro.obs import get_tracer
 from repro.runtime.mpi_sim import SimulatedComm
+from repro.runtime.panel_loop import simulate_panel_loop
 from repro.runtime.process import DeviceBoundProcess
 from repro.util.validation import check_positive_int
 
@@ -46,19 +49,14 @@ class ExecutionResult:
         return max(positive) / min(positive)
 
 
-def simulate_execution(
-    processes: list[DeviceBoundProcess],
-    partition: ColumnPartition,
-    comm: SimulatedComm,
-    block_size: int,
-) -> ExecutionResult:
-    """Simulate the full application run over a given matrix arrangement.
+def _iteration_profile(
+    processes: list[DeviceBoundProcess], partition: ColumnPartition
+) -> tuple[list[int], list[float], list[int]]:
+    """Per-rank (areas, kernel times, pivot receive sizes) of one iteration.
 
-    ``processes`` must cover every rectangle owner in ``partition``; ranks
-    with empty rectangles simply idle through the compute phase.
+    Shared prologue of the analytic and event-simulated execution paths,
+    so both time exactly the same per-process profile.
     """
-    check_positive_int("block_size", block_size)
-    n = partition.n
     by_rank = {p.rank: p for p in processes}
     rects = {r.owner: r for r in partition.rectangles}
     missing = set(rects) - set(by_rank)
@@ -80,10 +78,29 @@ def simulate_execution(
             recv_blocks.append(rect.height + rect.width)
         else:
             recv_blocks.append(0)
+    return areas, compute_per_iter, recv_blocks
+
+
+def simulate_execution(
+    processes: list[DeviceBoundProcess],
+    partition: ColumnPartition,
+    comm: SimulatedComm,
+    block_size: int,
+) -> ExecutionResult:
+    """Simulate the full application run over a given matrix arrangement.
+
+    ``processes`` must cover every rectangle owner in ``partition``; ranks
+    with empty rectangles simply idle through the compute phase.
+    """
+    check_positive_int("block_size", block_size)
+    n = partition.n
+    areas, compute_per_iter, recv_blocks = _iteration_profile(
+        processes, partition
+    )
 
     # Broadcast phase: every process receives its pivot column and row
     # pieces; the cost model lives with the communicator (runtime layer).
-    p = len(by_rank)
+    p = len(compute_per_iter)
     tracer = get_tracer()
     with tracer.span(
         "exec.simulate", category="app", n=n, processes=p
@@ -100,5 +117,62 @@ def simulate_execution(
             computation_time=tuple(n * t for t in compute_per_iter),
             communication_time=n * comm_per_iter,
             iteration_time=iteration,
+            areas=tuple(areas),
+        )
+
+
+def simulate_execution_events(
+    processes: list[DeviceBoundProcess],
+    partition: ColumnPartition,
+    comm: SimulatedComm,
+    block_size: int,
+    *,
+    panels: int | None = None,
+    engine: str = "vector",
+) -> ExecutionResult:
+    """Event-driven twin of :func:`simulate_execution`, panel by panel.
+
+    Instead of multiplying one analytic iteration by ``n``, the run is
+    played on the discrete-event engine as ``panels`` barrier-
+    synchronised generations (default: all ``n`` main-loop iterations) —
+    the substrate for drift, faults, or any per-panel dynamics the
+    closed form cannot express.  On static inputs the totals agree with
+    the analytic path to float accumulation order, and the ``vector`` /
+    ``scalar`` engines agree bit-identically
+    (:mod:`repro.runtime.panel_loop`).
+    """
+    check_positive_int("block_size", block_size)
+    n = partition.n
+    areas, compute_per_iter, recv_blocks = _iteration_profile(
+        processes, partition
+    )
+    p = len(compute_per_iter)
+    tracer = get_tracer()
+    with tracer.span(
+        "exec.simulate_events", category="app", n=n, processes=p, engine=engine
+    ) as span:
+        if engine == "vector":
+            comm_per_iter = comm.pivot_bcast_time(
+                np.asarray(recv_blocks, dtype=float),
+                block_size,
+                participants=p,
+            )
+        else:
+            comm_per_iter = comm.pivot_bcast_time(
+                recv_blocks, block_size, participants=p
+            )
+        result = simulate_panel_loop(
+            compute_per_iter,
+            panels if panels is not None else n,
+            comm_per_iter,
+            engine=engine,
+        )
+        span.mark_sim(0.0, result.total_time_s)
+        return ExecutionResult(
+            n=n,
+            total_time=result.total_time_s,
+            computation_time=result.compute_time_s,
+            communication_time=result.comm_time_s,
+            iteration_time=result.panel_finish_s[0],
             areas=tuple(areas),
         )

@@ -26,7 +26,11 @@ from repro.core.fpm import FunctionalPerformanceModel
 from repro.core.geometry import ColumnPartition, column_based_partition
 from repro.core.integer import refine_integer_partition, round_partition
 from repro.core.solver import Solver
-from repro.app.execution import ExecutionResult, simulate_execution
+from repro.app.execution import (
+    ExecutionResult,
+    simulate_execution,
+    simulate_execution_events,
+)
 from repro.measurement.benchmark import HybridBenchmark
 from repro.measurement.binding import BindingPlan, default_binding
 from repro.measurement.fpm_builder import FpmBuilder, SizeGrid
@@ -346,6 +350,29 @@ class HybridMatMul:
         comm = SimulatedComm(self.binding.num_processes, self.comm_model)
         return simulate_execution(
             self.processes(), plan.partition, comm, self.node.block_size
+        )
+
+    def execute_events(
+        self,
+        plan: MatMulPlan,
+        *,
+        panels: int | None = None,
+        engine: str = "vector",
+    ) -> ExecutionResult:
+        """Play the run on the event engine, one batched panel per iteration.
+
+        Same profile as :meth:`execute` but simulated panel by panel
+        (:func:`repro.app.execution.simulate_execution_events`); ``panels``
+        defaults to all ``n`` main-loop iterations.
+        """
+        comm = SimulatedComm(self.binding.num_processes, self.comm_model)
+        return simulate_execution_events(
+            self.processes(),
+            plan.partition,
+            comm,
+            self.node.block_size,
+            panels=panels,
+            engine=engine,
         )
 
     def run(

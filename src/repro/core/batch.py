@@ -213,6 +213,124 @@ class BatchSpeedModels:
         """Per-model capacity (max size for bounded models, else +inf)."""
         return self._caps
 
+    # ----------------------------------------------------- incremental clone
+    def with_updates(
+        self, replacements=None, dropped=()
+    ) -> "BatchSpeedModels":
+        """A derived batch with some rows replaced and/or removed.
+
+        ``replacements`` maps model index to its new
+        :class:`SpeedFunction`; ``dropped`` lists indices to remove (a
+        failed device, say).  Only the affected rows are rebuilt — the
+        rest of the stacked matrices are copied wholesale — so a
+        10 000-device re-solve after a handful of model refreshes skips
+        the per-model Python stacking loop entirely.  Every kernel of the
+        result is **bit-identical** to a fresh
+        ``BatchSpeedModels(new_fns)``: row padding beyond a model's own
+        samples never participates in any kernel (+inf knots are never
+        crossed, rows past the tail are never gathered), so inheriting
+        the parent's padding width is harmless.  A replacement with more
+        samples than the parent's padding can hold falls back to the full
+        rebuild — identical by construction, merely not incremental.
+
+        Returns ``self`` unchanged when there is nothing to do.
+        """
+        reps: dict[int, SpeedFunction] = {}
+        for i, fn in (replacements or {}).items():
+            idx = int(i)
+            if not 0 <= idx < self.count:
+                raise ValueError(
+                    f"replacement index {idx} out of range for "
+                    f"{self.count} models"
+                )
+            reps[idx] = fn
+        drop = sorted({int(i) for i in dropped})
+        for i in drop:
+            if not 0 <= i < self.count:
+                raise ValueError(
+                    f"dropped index {i} out of range for {self.count} models"
+                )
+            if i in reps:
+                raise ValueError(f"index {i} is both replaced and dropped")
+        if len(drop) >= self.count:
+            raise ValueError("cannot drop every model")
+        if not reps and not drop:
+            return self
+
+        fns = list(self.fns)
+        new_rows = {i: _row_params(fn) for i, fn in reps.items()}
+        m_max = self._table.shape[1] - 1
+        if any(r[0].size > m_max for r in new_rows.values()):
+            for i, fn in reps.items():
+                fns[i] = fn
+            for i in reversed(drop):
+                del fns[i]
+            return BatchSpeedModels(tuple(fns))
+
+        kt = self._kt.copy()
+        sizes_ = self._sizes.copy()
+        speeds = self._speeds.copy()
+        table = self._table.copy()
+        nseg = self._nseg.copy()
+        caps = self._caps.copy()
+        s_first = self._s_first.copy()
+        s_last = self._s_last.copy()
+        irregular = set(self._irregular)
+        for i, fn in reps.items():
+            sizes, spd, knot_times, row_table, monotone = new_rows[i]
+            m = sizes.size
+            kt[i] = np.inf
+            kt[i, :m] = knot_times
+            sizes_[i] = np.inf
+            sizes_[i, :m] = sizes
+            speeds[i] = 0.0
+            speeds[i, :m] = spd
+            table[i] = 0.0
+            table[i, : m + 1] = row_table
+            nseg[i] = m
+            caps[i] = sizes[-1] if fn.bounded else np.inf
+            s_first[i] = spd[0]
+            s_last[i] = spd[-1]
+            fns[i] = fn
+            irregular.discard(i)
+            if not monotone:
+                irregular.add(i)
+        if drop:
+            keep = np.ones(self.count, dtype=bool)
+            keep[drop] = False
+            kt = kt[keep]
+            sizes_ = sizes_[keep]
+            speeds = speeds[keep]
+            table = table[keep]
+            nseg = nseg[keep]
+            caps = caps[keep]
+            s_first = s_first[keep]
+            s_last = s_last[keep]
+            gone = set(drop)
+            remap = {}
+            j = 0
+            for i in range(self.count):
+                if i not in gone:
+                    remap[i] = j
+                    j += 1
+            irregular = {remap[i] for i in irregular if i not in gone}
+            fns = [fn for i, fn in enumerate(fns) if i not in gone]
+
+        clone = object.__new__(BatchSpeedModels)
+        clone.fns = tuple(fns)
+        clone.count = len(fns)
+        clone._kt = kt
+        clone._sizes = sizes_
+        clone._speeds = speeds
+        clone._table = table
+        clone._nseg = nseg
+        clone._caps = caps
+        clone._rows = np.arange(len(fns))
+        clone._irregular = tuple(sorted(irregular))
+        clone._s_first = s_first
+        clone._s_last = s_last
+        return clone
+
     # ------------------------------------------------------------ kernels
     def allocations_at(self, finish_time: float) -> np.ndarray:
         """Every model's largest workload finishing within ``finish_time``.

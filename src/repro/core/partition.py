@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.batch import (
+    BatchSpeedModels,
     allocation_row_at,
     asum,
     batch_models,
@@ -107,9 +108,11 @@ def _solve_equal_time(
     comparison of the *summed* allocation, so tolerance semantics do not
     depend on the processor count.
 
-    Returns ``(allocs, iterations, evals)`` where ``allocs`` is the
-    evaluation at the bracket's upper end (the smallest examined ``T``
-    with enough work), matching the pre-vectorisation bisection contract.
+    Returns ``(allocs, iterations, evals, t_hi)`` where ``allocs`` is
+    the evaluation at the bracket's upper end (the smallest examined
+    ``T`` with enough work), matching the pre-vectorisation bisection
+    contract, and ``t_hi`` is that finish time — the equal-time ray a
+    warm re-solve can seed its bracket with.
     """
     t_lo = 0.0
     g_lo = 0.0 - total
@@ -156,7 +159,7 @@ def _solve_equal_time(
             if side == -1:
                 g_hi *= 0.5
             side = -1
-    return allocs, iterations, evals
+    return allocs, iterations, evals, t_hi
 
 
 def _record_solver_metrics(
@@ -168,6 +171,36 @@ def _record_solver_metrics(
     tracer.counter("partition.solver.evaluations").add(evals)
     tracer.histogram("partition.solver.iterations", _ITER_BUCKETS).observe(iterations)
     tracer.gauge("partition.solver.processors").set(processors)
+
+
+@dataclass(frozen=True)
+class FpmSolveState:
+    """Warm-start carrier of one flat FPM solve.
+
+    Produced by :func:`partition_fpm_with_state` (and threaded through
+    :class:`repro.core.solver.SolveResult`); consumed by
+    :func:`resolve_fpm`, which reuses the stacked batch representation —
+    rebuilding only the rows of changed models — and can seed the
+    Illinois bracket with the previous equal-time ray.  Opaque to
+    callers: hold it, hand it back, never reach inside.
+    """
+
+    batch: BatchSpeedModels
+    total: float
+    finish_time: float
+
+    @property
+    def processors(self) -> int:
+        """Number of models the state covers."""
+        return self.batch.count
+
+
+#: Re-solve modes accepted by :func:`resolve_fpm`.  ``"exact"`` replays
+#: the cold solve on the incrementally-updated batch (bit-identical to a
+#: fresh :func:`partition_fpm`); ``"bracket"`` additionally seeds the
+#: Illinois bracket with the previous equal-time ray — fewer
+#: evaluations, allocations equal only to solver tolerance.
+RESOLVE_MODES = ("exact", "bracket")
 
 
 def partition_fpm(
@@ -208,6 +241,20 @@ def partition_fpm(
         If every model is bounded and the combined capacity cannot hold
         ``total``.
     """
+    allocs, _ = partition_fpm_with_state(
+        models, total, tolerance=tolerance, max_iters=max_iters
+    )
+    return allocs
+
+
+def partition_fpm_with_state(
+    models,
+    total: float,
+    *,
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
+) -> tuple[list[float], FpmSolveState]:
+    """:func:`partition_fpm` plus the warm state for incremental re-solves."""
     check_positive("total", total)
     check_positive("tolerance", tolerance)
     check_positive_int("max_iters", max_iters)
@@ -229,7 +276,7 @@ def partition_fpm(
                     tracer, "partition.fpm", iteration, fns, mid_allocs, total
                 )
 
-        allocs, iterations, evals = _solve_equal_time(
+        allocs, iterations, evals, t_star = _solve_equal_time(
             batch.allocations_at,
             total,
             t_hi,
@@ -240,7 +287,98 @@ def partition_fpm(
         span.set_attr("iterations", iterations)
         if tracer.enabled:
             _record_solver_metrics(tracer, "vector", len(fns), iterations, evals)
-        return _rescale([float(a) for a in allocs], total, [float(c) for c in caps])
+        scaled = _rescale(allocs, total, caps)
+        state = FpmSolveState(
+            batch=batch, total=float(total), finish_time=t_star
+        )
+        return scaled, state
+
+
+def resolve_fpm(
+    state: FpmSolveState,
+    *,
+    replacements=None,
+    dropped=(),
+    total: float | None = None,
+    mode: str = "exact",
+    tolerance: float = FPM_TOLERANCE,
+    max_iters: int = FPM_MAX_ITERS,
+) -> tuple[list[float], FpmSolveState]:
+    """Warm-started incremental re-solve of a previous flat FPM solve.
+
+    ``replacements`` maps model index to its new speed function (a
+    refreshed online measurement, say); ``dropped`` lists failed model
+    indices; ``total`` overrides the previous workload.  The previous
+    batch representation is updated in place of rebuilt
+    (:meth:`BatchSpeedModels.with_updates`), so only changed rows pay the
+    stacking cost.
+
+    In ``"exact"`` mode (default) the solve replays the cold seed and
+    driver on the updated batch — allocations are **bit-identical** to
+    :func:`partition_fpm` on the updated model list, which the property
+    suite enforces.  ``"bracket"`` mode seeds the Illinois bracket with
+    the previous equal-time ray instead: typically ~2 evaluations when
+    the change is small, allocations equal to the cold solve only within
+    solver tolerance.
+    """
+    if mode not in RESOLVE_MODES:
+        raise ValueError(
+            f"unknown resolve mode {mode!r}; expected one of {RESOLVE_MODES}"
+        )
+    check_positive("tolerance", tolerance)
+    check_positive_int("max_iters", max_iters)
+    new_total = state.total if total is None else float(total)
+    check_positive("total", new_total)
+    reps = None
+    if replacements:
+        reps = {
+            int(i): as_speed_function(m) for i, m in replacements.items()
+        }
+    batch = state.batch.with_updates(reps, dropped)
+    caps = batch.caps
+    _check_capacity(caps, new_total)
+    noop = batch is state.batch and new_total == state.total
+
+    tracer = get_tracer()
+    with tracer.span(
+        "partition.resolve",
+        category="partition",
+        processors=batch.count,
+        total=new_total,
+        mode=mode,
+    ) as span:
+        if mode == "bracket":
+            t_hi = state.finish_time
+        else:
+            t_hi = (
+                float(np.max(batch.times_at(np.minimum(new_total, caps))))
+                + 1e-12
+            )
+        allocs, iterations, evals, t_star = _solve_equal_time(
+            batch.allocations_at,
+            new_total,
+            t_hi,
+            tolerance=tolerance,
+            max_iters=max_iters,
+        )
+        span.set_attr("iterations", iterations)
+        if tracer.enabled:
+            tracer.counter("partition.resolve.solves").add(1)
+            tracer.counter(f"partition.resolve.{mode}").add(1)
+            if noop:
+                tracer.counter("partition.resolve.noop").add(1)
+            if reps or dropped:
+                tracer.counter("partition.resolve.rows_rebuilt").add(
+                    len(reps or ()) + len(tuple(dropped))
+                )
+            tracer.histogram(
+                "partition.resolve.evaluations", _ITER_BUCKETS
+            ).observe(evals)
+        scaled = _rescale(allocs, new_total, caps)
+        new_state = FpmSolveState(
+            batch=batch, total=new_total, finish_time=t_star
+        )
+        return scaled, new_state
 
 
 def partition_fpm_scalar(
@@ -272,10 +410,10 @@ def partition_fpm_scalar(
     t_hi = max(
         time_row_at(fn, min(total, cap)) for fn, cap in zip(fns, caps)
     ) + 1e-12
-    allocs, _, _ = _solve_equal_time(
+    allocs, _, _, _ = _solve_equal_time(
         evaluate, total, t_hi, tolerance=tolerance, max_iters=max_iters
     )
-    return _rescale([float(a) for a in allocs], total, [float(c) for c in caps])
+    return _rescale(allocs, total, caps)
 
 
 def _row_sums(matrix: np.ndarray) -> np.ndarray:
@@ -379,10 +517,8 @@ def partition_fpm_many(
         span.set_attr("iterations", iterations)
         if tracer.enabled:
             _record_solver_metrics(tracer, "many", len(fns), iterations, evals)
-        caps_list = [float(c) for c in caps]
         return [
-            _rescale([float(a) for a in final[g]], targets[g], caps_list)
-            for g in range(n)
+            _rescale(final[g], targets[g], caps) for g in range(n)
         ]
 
 
@@ -543,28 +679,39 @@ def balance_report(models, allocations) -> BalanceReport:
     return BalanceReport(times=times, makespan=makespan, imbalance=imbalance)
 
 
-def _rescale(allocs: list[float], total: float, caps: list[float]) -> list[float]:
-    """Scale allocations to sum exactly to ``total`` without breaching caps."""
-    s = sum(allocs)
+def _rescale(allocs, total: float, caps) -> list[float]:
+    """Scale allocations to sum exactly to ``total`` without breaching caps.
+
+    The happy path is vectorised but bit-identical to the scalar loop it
+    replaced: sums go through ``np.add.accumulate`` (a strict left fold,
+    the same additions in the same order as ``sum``), the clip is the
+    same elementwise ``min``.  Both the batched and the scalar-oracle
+    partitioners finish through this one function, so the identity
+    contract between them is unaffected.
+    """
+    arr = np.asarray(allocs, dtype=float)
+    caps_arr = np.asarray(caps, dtype=float)
+    s = float(np.add.accumulate(arr)[-1])
     if s <= 0:
         raise RuntimeError("partitioner produced an empty allocation")
     if abs(s - total) <= _SUM_TOL * total:
         factor = total / s
-        scaled = [min(a * factor, cap) for a, cap in zip(allocs, caps)]
-        deficit = total - sum(scaled)
+        scaled = np.minimum(arr * factor, caps_arr)
+        deficit = total - float(np.add.accumulate(scaled)[-1])
         if abs(deficit) > _SUM_TOL * total:
             # push any residual into uncapped processors
-            free = [i for i, cap in enumerate(caps) if scaled[i] < cap]
-            if not free:
+            free = np.nonzero(scaled < caps_arr)[0]
+            if free.size == 0:
                 raise ValueError("capacity exhausted while rescaling")
             scaled[free[0]] += deficit
-        return scaled
+        return scaled.tolist()
     # Bisection stopped short (pathological models, e.g. time plateaus);
     # distribute the gap evenly among the processors that can absorb it —
     # below-cap ones when adding work, positive ones when taking it away.
     # Clamping may strand a remainder, so repeat until the sum converges
     # (each round retires at least one clamped processor).
-    out = list(allocs)
+    out = arr.tolist()
+    caps = caps_arr.tolist()
     for _ in range(len(out) + 1):
         gap = total - sum(out)
         if abs(gap) <= _SUM_TOL * total:

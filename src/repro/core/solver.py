@@ -22,19 +22,21 @@ partitioner imports outside :mod:`repro.core` so new code arrives here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Literal
 
 from repro.core.cpm import cpms_from_even_split
-from repro.core.fpm import FunctionalPerformanceModel
+from repro.core.fpm import FunctionalPerformanceModel, as_speed_function
 from repro.core.hierarchical import HierarchicalPartition, hierarchical_partition
 from repro.core.partition import (
     FPM_MAX_ITERS,
     FPM_TOLERANCE,
+    FpmSolveState,
     geometric_partition,
     partition_cpm,
-    partition_fpm,
+    partition_fpm_with_state,
     partition_homogeneous,
+    resolve_fpm,
 )
 from repro.util.validation import check_positive, check_positive_int
 
@@ -95,11 +97,20 @@ class SolverOptions:
 
 @dataclass(frozen=True)
 class SolveResult:
-    """A solve's allocations plus the structure that produced them."""
+    """A solve's allocations plus the structure that produced them.
+
+    Flat FPM solves additionally carry an opaque ``warm`` state:
+    handing the result back to :meth:`Solver.resolve` re-solves after
+    model changes or device drops without re-stacking the whole batch
+    representation.  ``warm`` never participates in equality or repr.
+    """
 
     allocations: tuple[float, ...]
     strategy: str
     hierarchy: HierarchicalPartition | None = None
+    warm: FpmSolveState | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total(self) -> float:
@@ -167,10 +178,13 @@ class Solver:
             )
         models = list(models)
         if opts.strategy == "fpm":
-            allocs = partition_fpm(
+            allocs, warm = partition_fpm_with_state(
                 models, total, tolerance=opts.tolerance, max_iters=opts.max_iters
             )
-        elif opts.strategy == "geometric":
+            return SolveResult(
+                allocations=tuple(allocs), strategy=opts.strategy, warm=warm
+            )
+        if opts.strategy == "geometric":
             allocs = geometric_partition(models, total)
         elif opts.strategy == "cpm":
             constants = models
@@ -182,6 +196,61 @@ class Solver:
         else:  # "even"
             allocs = partition_homogeneous(len(models), total)
         return SolveResult(allocations=tuple(allocs), strategy=opts.strategy)
+
+    def resolve(
+        self,
+        previous: SolveResult,
+        *,
+        changed_models=None,
+        dropped=(),
+        total: float | None = None,
+        mode: str = "exact",
+    ) -> SolveResult:
+        """Warm-started incremental re-solve of a previous flat FPM solve.
+
+        ``previous`` must carry warm state (any flat ``strategy="fpm"``
+        :meth:`solve` result does).  ``changed_models`` maps model index
+        to its refreshed model, ``dropped`` lists removed model indices,
+        ``total`` overrides the previous workload.  Only the changed rows
+        of the batched solver representation are rebuilt.
+
+        In ``"exact"`` mode (default) the returned allocations are
+        **bit-identical** to a cold :meth:`solve` over the updated model
+        list; ``"bracket"`` mode additionally seeds the root search with
+        the previous equal-time ray — fewer evaluations, equality only to
+        solver tolerance.  The result carries fresh warm state, so
+        resolves chain.
+        """
+        opts = self.options
+        if opts.strategy != "fpm" or opts.hierarchy:
+            raise ValueError(
+                "resolve requires a flat strategy='fpm' solver, got "
+                f"strategy={opts.strategy!r} hierarchy={opts.hierarchy}"
+            )
+        state = previous.warm
+        if state is None:
+            raise ValueError(
+                "previous result carries no warm state; only flat FPM "
+                "Solver.solve results can seed a resolve"
+            )
+        replacements = None
+        if changed_models:
+            replacements = {
+                int(i): as_speed_function(m)
+                for i, m in changed_models.items()
+            }
+        allocs, new_state = resolve_fpm(
+            state,
+            replacements=replacements,
+            dropped=dropped,
+            total=total,
+            mode=mode,
+            tolerance=opts.tolerance,
+            max_iters=opts.max_iters,
+        )
+        return SolveResult(
+            allocations=tuple(allocs), strategy="fpm", warm=new_state
+        )
 
 
 def solve(models, total, **options) -> SolveResult:

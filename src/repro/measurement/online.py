@@ -46,6 +46,9 @@ class PartialFpmBuilder:
     min_spacing: float = 0.08
     _samples: dict[float, SpeedSample] = field(default_factory=dict)
     repetitions_spent: int = 0
+    _cached_model: FunctionalPerformanceModel | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def bootstrap(self, lo: float, hi: float) -> None:
         """Seed the model with measurements at the range ends."""
@@ -67,19 +70,29 @@ class PartialFpmBuilder:
         return True
 
     def model(self) -> FunctionalPerformanceModel:
-        """The current partial model (monotonic-time repaired)."""
+        """The current partial model (monotonic-time repaired).
+
+        Memoised until the next measurement lands: rounds that did not
+        refine this device hand the *same* model object back, which lets
+        the online loop re-solve incrementally (only genuinely refreshed
+        devices rebuild their solver rows) and keeps the batch cache
+        warm.
+        """
+        if self._cached_model is not None:
+            return self._cached_model
         if not self._samples:
             raise ValueError(
                 f"partial model {self.name!r} has no samples; call bootstrap()"
             )
         ordered = [self._samples[k] for k in sorted(self._samples)]
-        return FunctionalPerformanceModel(
+        self._cached_model = FunctionalPerformanceModel(
             name=self.name,
             speed_function=SpeedFunction(ordered).with_monotonic_time(),
             kernel_name=self.kernel.name,
             block_size=self.kernel.block_size,
             repetitions_total=self.repetitions_spent,
         )
+        return self._cached_model
 
     @property
     def num_samples(self) -> int:
@@ -93,6 +106,7 @@ class PartialFpmBuilder:
                 rel_precision=m.timing.rel_precision,
             )
             self.repetitions_spent += m.timing.repetitions
+        self._cached_model = None
 
 
 @dataclass(frozen=True)
@@ -169,9 +183,25 @@ def online_partition(
     previous: tuple[int, ...] | None = None
     rounds: list[OnlineRound] = []
     converged = False
+    solver = Solver()
+    prev_solve = None
+    prev_models: list[FunctionalPerformanceModel] = []
     for _ in range(max_rounds):
         models = [b.model() for b in builders]
-        continuous = list(Solver().solve(models, float(total)).allocations)
+        if prev_solve is None:
+            solve_result = solver.solve(models, float(total))
+        else:
+            # memoised models make change detection an identity test; the
+            # warm exact-mode resolve rebuilds only refreshed solver rows
+            # and stays bit-identical to the cold solve it replaces
+            changed = {
+                i: m
+                for i, (m, pm) in enumerate(zip(models, prev_models))
+                if m is not pm
+            }
+            solve_result = solver.resolve(prev_solve, changed_models=changed)
+        prev_solve, prev_models = solve_result, models
+        continuous = list(solve_result.allocations)
         allocations = tuple(round_partition(models, continuous, total))
         new_points = sum(
             1

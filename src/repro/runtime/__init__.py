@@ -9,16 +9,25 @@ devices (:mod:`repro.runtime.process`), and degraded-mode repartitioning
 after device drops (:mod:`repro.runtime.recovery`).
 """
 
-from repro.runtime.event_sim import EventHandle, EventSimulator
+from repro.runtime.event_sim import BatchHandle, EventHandle, EventSimulator
 from repro.runtime.mpi_sim import CommModel, SimulatedComm
+from repro.runtime.panel_loop import (
+    PanelLoopResult,
+    simulate_panel_loop,
+    simulate_spmd_run,
+)
 from repro.runtime.process import DeviceBoundProcess
 
 __all__ = [
+    "BatchHandle",
     "EventHandle",
     "EventSimulator",
     "CommModel",
     "SimulatedComm",
     "DeviceBoundProcess",
+    "PanelLoopResult",
+    "simulate_panel_loop",
+    "simulate_spmd_run",
     "RecoveryError",
     "RecoveryPolicy",
     "DropEvent",

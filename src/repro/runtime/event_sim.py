@@ -4,14 +4,37 @@ Used by the simulated communicator to time tree collectives, and available
 to extensions that need richer schedules than the analytic paths (e.g. the
 per-process traces of the execution simulator).  Determinism: ties in event
 time break by insertion sequence number.
+
+Two scheduling lanes share one heap:
+
+* the **scalar lane** (:meth:`EventSimulator.schedule` /
+  :meth:`EventSimulator.schedule_at`) — one heap entry per event, one
+  Python callback per event; the reference semantics.
+* the **batch lane** (:meth:`EventSimulator.schedule_batch`) — a whole
+  *drain generation* (one NumPy array of fire times) enters the heap as a
+  single entry and fires in vectorised runs.  The observable behaviour is
+  identical to scheduling the same times on the scalar lane — same clock
+  trajectory, same tie order (insertion order within equal times, across
+  both lanes), same ``events_processed`` — but a generation of ``p``
+  events costs O(1) heap operations and O(1) callbacks instead of O(p),
+  which is what makes cluster-scale panel loops affordable
+  (:mod:`repro.runtime.panel_loop`).
+
+One caveat bounds the equivalence: a run's extent is fixed when the
+generation surfaces, so events scheduled *by* a batch callback are
+ordered after the contiguous run that produced them (the scalar lane
+would interleave them element by element).  Workloads that only schedule
+from generation boundaries — the panel-loop pattern — observe identical
+behaviour on both lanes.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from repro.obs import get_tracer
 
@@ -22,6 +45,14 @@ class _Event:
     seq: int
     action: Callable[["EventSimulator"], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
+    #: Set on batch-lane marker entries: the heap entry stands for the
+    #: group's next unfired element and dispatches through the group.
+    group: "_BatchGroup | None" = field(default=None, compare=False)
+
+
+def _batch_marker(sim: "EventSimulator") -> None:  # pragma: no cover
+    raise AssertionError("batch marker events dispatch through their group")
 
 
 class EventHandle:
@@ -33,17 +64,71 @@ class EventHandle:
     already-cancelled event is a no-op.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "EventSimulator"):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.executed:
+            return
+        event.cancelled = True
+        self._sim._live -= 1
 
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+
+class _BatchGroup:
+    """Shared state of one batched drain generation.
+
+    ``times``/``seqs``/``indices`` are sorted by ``(time, seq)`` — a
+    stable sort by time, since sequence numbers are issued in element
+    order — so firing the arrays front to back replays exactly the heap
+    order the scalar lane would produce.  ``pos`` is the first unfired
+    element.
+    """
+
+    __slots__ = ("times", "seqs", "indices", "action", "pos", "cancelled")
+
+    def __init__(self, times, seqs, indices, action):
+        self.times = times
+        self.seqs = seqs
+        self.indices = indices
+        self.action = action
+        self.pos = 0
+        self.cancelled = False
+
+
+class BatchHandle:
+    """Cancellation handle for a batched generation (all unfired elements)."""
+
+    __slots__ = ("_group", "_sim")
+
+    def __init__(self, group: _BatchGroup, sim: "EventSimulator"):
+        self._group = group
+        self._sim = sim
+
+    def cancel(self) -> None:
+        group = self._group
+        if group.cancelled:
+            return
+        group.cancelled = True
+        self._sim._live -= len(group.times) - group.pos
+
+    @property
+    def cancelled(self) -> bool:
+        return self._group.cancelled
+
+    @property
+    def remaining(self) -> int:
+        """Unfired elements (0 once drained or after :meth:`cancel`)."""
+        if self._group.cancelled:
+            return 0
+        return len(self._group.times) - self._group.pos
 
 
 class EventSimulator:
@@ -51,9 +136,10 @@ class EventSimulator:
 
     def __init__(self) -> None:
         self._queue: list[_Event] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self.now = 0.0
         self._processed = 0
+        self._live = 0  # scheduled, not yet executed nor cancelled
         # One tracer lookup per simulator, not per event: schedule() and
         # run() are the engine's inner loops.  Counter handles are cached
         # alongside; counter TOTALS stay identical to per-event accounting.
@@ -69,11 +155,13 @@ class EventSimulator:
         """Run ``action`` ``delay`` seconds from the current clock."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(self.now + delay, next(self._seq), action)
+        event = _Event(self.now + delay, self._next_seq, action)
+        self._next_seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         if self._tracer.enabled:
             self._scheduled_counter.add(1)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_at(
         self, time: float, action: Callable[["EventSimulator"], None]
@@ -83,17 +171,63 @@ class EventSimulator:
             raise ValueError(
                 f"cannot schedule at {time}, clock already at {self.now}"
             )
-        event = _Event(time, next(self._seq), action)
+        event = _Event(time, self._next_seq, action)
+        self._next_seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         if self._tracer.enabled:
             self._scheduled_counter.add(1)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def schedule_batch(self, delays, action) -> BatchHandle:
+        """Schedule one drain generation from an array of delays.
+
+        ``delays`` is a 1-D array-like of non-negative offsets from the
+        current clock; element ``i`` behaves exactly like
+        ``schedule(delays[i], ...)`` issued in index order (so equal-time
+        ties break by index, and interleave correctly with scalar-lane
+        events).  ``action(sim, times, indices)`` is invoked once per
+        contiguous run of elements that fire without an intervening
+        foreign event: ``times`` are the absolute fire times (ascending)
+        and ``indices`` the corresponding positions in ``delays``.  The
+        clock at callback time is ``times[-1]``.
+        """
+        arr = np.asarray(delays, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("schedule_batch needs a non-empty 1-D delay array")
+        if float(arr.min()) < 0:
+            raise ValueError(
+                f"cannot schedule into the past (delay={float(arr.min())})"
+            )
+        count = arr.size
+        times = self.now + arr
+        order = np.argsort(times, kind="stable")
+        base = self._next_seq
+        self._next_seq += count
+        group = _BatchGroup(
+            times[order], base + order, order.astype(np.intp), action
+        )
+        heapq.heappush(
+            self._queue,
+            _Event(
+                float(group.times[0]),
+                int(group.seqs[0]),
+                _batch_marker,
+                group=group,
+            ),
+        )
+        self._live += count
+        if self._tracer.enabled:
+            self._scheduled_counter.add(count)
+        return BatchHandle(group, self)
 
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to ``until``); return the clock.
 
         Cancelled events are discarded as they surface: they advance
-        neither the clock nor ``events_processed``.
+        neither the clock nor ``events_processed``.  Batched generations
+        fire in vectorised runs bounded by the next foreign event (and
+        ``until``), preserving the scalar lane's exact ordering.
         """
         drained = 0
         discarded = 0
@@ -103,11 +237,65 @@ class EventSimulator:
                     self.now = until
                     return self.now
                 event = heapq.heappop(self._queue)
+                group = event.group
+                if group is not None:
+                    size = len(group.times)
+                    pos = group.pos
+                    if group.cancelled:
+                        discarded += size - pos
+                        group.pos = size
+                        continue
+                    end = size
+                    if until is not None:
+                        end = pos + int(
+                            np.searchsorted(
+                                group.times[pos:end], until, side="right"
+                            )
+                        )
+                    if self._queue:
+                        head = self._queue[0]
+                        cut = pos + int(
+                            np.searchsorted(
+                                group.times[pos:end], head.time, side="left"
+                            )
+                        )
+                        while (
+                            cut < end
+                            and group.times[cut] == head.time
+                            and group.seqs[cut] < head.seq
+                        ):
+                            cut += 1
+                        end = cut
+                    # The popped marker is the heap minimum, so at least
+                    # element ``pos`` fires (its (time, seq) precedes the
+                    # new head's, and its time is within ``until``).
+                    fire_times = group.times[pos:end]
+                    fire_indices = group.indices[pos:end]
+                    fired = end - pos
+                    group.pos = end
+                    self.now = float(fire_times[-1])
+                    self._processed += fired
+                    self._live -= fired
+                    drained += fired
+                    if end < size:
+                        heapq.heappush(
+                            self._queue,
+                            _Event(
+                                float(group.times[end]),
+                                int(group.seqs[end]),
+                                _batch_marker,
+                                group=group,
+                            ),
+                        )
+                    group.action(self, fire_times, fire_indices)
+                    continue
                 if event.cancelled:
                     discarded += 1
                     continue
+                event.executed = True
                 self.now = event.time
                 self._processed += 1
+                self._live -= 1
                 drained += 1
                 event.action(self)
             return self.now
@@ -117,7 +305,7 @@ class EventSimulator:
             if self._tracer.enabled:
                 if drained:
                     self._processed_counter.add(drained)
-                    self._depth_gauge.set(len(self._queue))
+                    self._depth_gauge.set(self._live)
                 if discarded:
                     self._tracer.counter("sim.events.cancelled").add(discarded)
 
@@ -127,4 +315,9 @@ class EventSimulator:
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        """Events scheduled but neither executed nor cancelled.
+
+        Cancelled events do not count even while they still occupy the
+        heap awaiting lazy discard.
+        """
+        return self._live

@@ -13,9 +13,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.obs import get_tracer
 from repro.runtime.event_sim import EventSimulator
-from repro.util.units import blocks_to_bytes
+from repro.util.units import blocks_to_bytes, blocks_to_bytes_batch
 from repro.util.validation import check_nonnegative, check_positive
 
 
@@ -115,6 +117,35 @@ class SimulatedComm:
         span.finish()
         return finish
 
+    def bcast_time_fast(
+        self, nbytes: float, participants: int | None = None
+    ) -> float:
+        """Closed-form twin of :meth:`bcast_time` — O(1), bit-identical.
+
+        In the simulated binomial tree, rank ``r`` receives the payload
+        after ``popcount(r)`` sequential hops (one per set bit of its
+        rank), so the broadcast completes when the deepest rank's per-hop
+        times have accumulated ``max_{r < p} popcount(r)`` times.  This
+        method performs exactly those float additions, skipping the
+        event-engine walk — the equivalence test holds the two against
+        each other across participant counts.
+        """
+        p = self.size if participants is None else participants
+        if p < 1 or p > self.size:
+            raise ValueError(
+                f"participants must be in [1, {self.size}], got {p}"
+            )
+        if p == 1 or nbytes == 0:
+            return 0.0
+        per_hop = self.model.p2p_time(nbytes)
+        deepest = p - 1
+        depth = max(bin(deepest).count("1"), deepest.bit_length() - 1)
+        finish = 0.0
+        for _ in range(depth):
+            finish += per_hop
+        self._trace_collective("mpi.bcast", finish, nbytes)
+        return finish
+
     def gather_time(self, nbytes_per_rank: float) -> float:
         """Completion time of a binomial-tree gather to rank 0.
 
@@ -159,18 +190,36 @@ class SimulatedComm:
         (``recv_blocks`` entries, in b x b blocks); with a tree
         distribution the completion time is dominated by the largest
         per-process payload plus the tree's latency depth.
+
+        Passing a NumPy array evaluates the formula over the whole device
+        array in one vectorised expression (bit-identical to the scalar
+        generator, which iterables keep exercising as the oracle) — the
+        per-panel path of cluster-scale simulations.
         """
         p = self.size if participants is None else participants
         depth = math.ceil(math.log2(p)) if p > 1 else 0
-        finish = max(
-            (
-                self.model.latency_s * depth
-                + blocks_to_bytes(blocks, block_size)
-                / (self.model.bandwidth_gbs * 1e9)
-                for blocks in recv_blocks
-            ),
-            default=0.0,
-        )
+        if isinstance(recv_blocks, np.ndarray):
+            blocks = np.asarray(recv_blocks, dtype=float)
+            if blocks.size == 0:
+                finish = 0.0
+            else:
+                finish = float(
+                    np.max(
+                        self.model.latency_s * depth
+                        + blocks_to_bytes_batch(blocks, block_size)
+                        / (self.model.bandwidth_gbs * 1e9)
+                    )
+                )
+        else:
+            finish = max(
+                (
+                    self.model.latency_s * depth
+                    + blocks_to_bytes(blocks, block_size)
+                    / (self.model.bandwidth_gbs * 1e9)
+                    for blocks in recv_blocks
+                ),
+                default=0.0,
+            )
         self._trace_collective("mpi.pivot_bcast", finish, 0.0)
         return finish
 

@@ -1,0 +1,244 @@
+"""Cluster-scale SPMD panel-loop simulation: vectorised + scalar oracle.
+
+The paper's iterative data-parallel applications (matmul's broadcast-
+update main loop, Jacobi sweeps) execute ``P`` *panels*: each panel
+distributes pivot data, runs one kernel per device, and completes when
+the slowest device finishes — a barrier.  Simulated one event per device
+per panel on the discrete-event engine, a 10k-device x 100-panel run is
+a million Python heap operations; that scalar walk is kept here as the
+reference oracle.  The production lane instead schedules each panel as
+**one batched drain generation** (:meth:`EventSimulator.schedule_batch`)
+whose fire times come from a single NumPy expression over the device
+array, so the whole run costs O(P) NumPy calls.
+
+Bit-identity contract
+---------------------
+Both lanes run on the same event engine and perform the same IEEE
+operations elementwise — per-device compute times come from the solver's
+stacked segment tables (:meth:`BatchSpeedModels.times_at`) or their
+scalar twin (:func:`time_row_at`), per-panel collectives from
+:meth:`SimulatedComm.pivot_bcast_time` in array or iterable form — so
+totals, per-panel finish times, per-device compute accumulations and
+``events_processed`` are **bit-identical** between engines.  The
+equivalence suite (tests/runtime/test_panel_loop.py) enforces this, and
+the BENCH_9 gate pins the >= 10x speedup that justifies the batch lane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batch import batch_models, time_row_at
+from repro.core.fpm import as_speed_function
+from repro.obs import get_tracer
+from repro.runtime.event_sim import EventSimulator
+from repro.runtime.mpi_sim import SimulatedComm
+from repro.util.units import DEFAULT_BLOCKING_FACTOR
+from repro.util.validation import check_nonnegative, check_positive_int
+
+#: Recognised panel-loop engines: the vectorised batch lane (production)
+#: and the per-event scalar lane (reference oracle).
+ENGINES = ("vector", "scalar")
+
+
+@dataclass(frozen=True)
+class PanelLoopResult:
+    """Outcome of a simulated P-panel SPMD run."""
+
+    panels: int
+    devices: int
+    total_time_s: float
+    comm_time_s: float
+    compute_time_s: tuple[float, ...]  # per-device accumulated kernel time
+    panel_finish_s: tuple[float, ...]  # absolute completion time per panel
+    events_processed: int
+    engine: str
+
+    @property
+    def makespan_computation_s(self) -> float:
+        """Accumulated kernel time of the slowest device."""
+        return max(self.compute_time_s)
+
+    @property
+    def imbalance(self) -> float:
+        """Slowest over fastest busy device (1.0 == perfect balance)."""
+        busy = [t for t in self.compute_time_s if t > 0]
+        return max(busy) / min(busy) if busy else 1.0
+
+
+def _run_vector(compute: np.ndarray, panels: int, comm_s: float):
+    sim = EventSimulator()
+    devices = compute.size
+    delays = comm_s + compute  # one elementwise add, reused every panel
+    totals = np.zeros(devices)
+    finishes = np.empty(panels)
+    state = {"panel": 0, "remaining": devices}
+
+    def on_panel(sim2: EventSimulator, times, indices) -> None:
+        state["remaining"] -= indices.size
+        if state["remaining"]:
+            return  # a foreign event split the generation; wait for the rest
+        np.add(totals, compute, out=totals)
+        k = state["panel"]
+        finishes[k] = sim2.now
+        state["panel"] = k + 1
+        if state["panel"] < panels:
+            state["remaining"] = devices
+            sim2.schedule_batch(delays, on_panel)
+
+    sim.schedule_batch(delays, on_panel)
+    total = sim.run()
+    return sim, total, totals, finishes
+
+
+def _run_scalar(compute: np.ndarray, panels: int, comm_s: float):
+    sim = EventSimulator()
+    devices = compute.size
+    totals = np.zeros(devices)
+    finishes = np.empty(panels)
+    state = {"panel": 0, "remaining": devices}
+
+    def make_finish(i: int):
+        def finish(sim2: EventSimulator) -> None:
+            totals[i] += compute[i]
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                k = state["panel"]
+                finishes[k] = sim2.now
+                state["panel"] = k + 1
+                if state["panel"] < panels:
+                    start_panel(sim2)
+
+        return finish
+
+    finishers = [make_finish(i) for i in range(devices)]
+
+    def start_panel(sim2: EventSimulator) -> None:
+        state["remaining"] = devices
+        for i in range(devices):
+            sim2.schedule(comm_s + compute[i], finishers[i])
+
+    start_panel(sim)
+    total = sim.run()
+    return sim, total, totals, finishes
+
+
+def simulate_panel_loop(
+    compute_s,
+    panels: int,
+    comm_s: float = 0.0,
+    *,
+    engine: str = "vector",
+) -> PanelLoopResult:
+    """Simulate ``panels`` barrier-synchronised panels over a device array.
+
+    ``compute_s[i]`` is device ``i``'s kernel time per panel and
+    ``comm_s`` the per-panel collective charged before compute; each
+    panel starts when the previous one's slowest device finishes.  The
+    ``vector`` engine schedules each panel as one batched generation;
+    ``scalar`` schedules one event per device (the oracle) — results are
+    bit-identical (module doc).
+    """
+    check_positive_int("panels", panels)
+    check_nonnegative("comm_s", comm_s)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    compute = np.asarray(compute_s, dtype=float)
+    if compute.ndim != 1 or compute.size == 0:
+        raise ValueError("compute_s must be a non-empty 1-D array")
+    if float(compute.min()) < 0:
+        raise ValueError("compute_s entries must be non-negative")
+
+    tracer = get_tracer()
+    with tracer.span(
+        "runtime.panel_loop",
+        category="runtime",
+        devices=int(compute.size),
+        panels=panels,
+        engine=engine,
+    ) as span:
+        runner = _run_vector if engine == "vector" else _run_scalar
+        sim, total, totals, finishes = runner(compute, panels, comm_s)
+        span.mark_sim(0.0, total)
+        span.set_attr("events", sim.events_processed)
+    comm_total = 0.0
+    for _ in range(panels):
+        comm_total += comm_s
+    if tracer.enabled:
+        tracer.counter("runtime.sim.panels").add(panels)
+        tracer.counter("runtime.sim.device_events").add(int(compute.size) * panels)
+        tracer.counter(f"runtime.sim.runs.{engine}").add(1)
+        hist = tracer.histogram("runtime.sim.panel_s")
+        previous = 0.0
+        for finish in finishes:
+            hist.observe(float(finish) - previous)
+            previous = float(finish)
+    return PanelLoopResult(
+        panels=panels,
+        devices=int(compute.size),
+        total_time_s=float(total),
+        comm_time_s=comm_total,
+        compute_time_s=tuple(totals.tolist()),
+        panel_finish_s=tuple(finishes.tolist()),
+        events_processed=sim.events_processed,
+        engine=engine,
+    )
+
+
+def simulate_spmd_run(
+    models,
+    allocations,
+    panels: int,
+    *,
+    comm: SimulatedComm | None = None,
+    block_size: int = DEFAULT_BLOCKING_FACTOR,
+    recv_blocks=None,
+    engine: str = "vector",
+) -> PanelLoopResult:
+    """Simulate a P-panel SPMD run of devices described by speed models.
+
+    Per-device per-panel compute times come from the stacked segment
+    tables (:meth:`BatchSpeedModels.times_at` on the ``vector`` engine,
+    the :func:`time_row_at` scalar twin on ``scalar``); when a
+    communicator is given, the per-panel collective is the pivot
+    broadcast over the device array, with ``recv_blocks`` defaulting to
+    the square-ish rectangle perimeter ``2 * sqrt(allocation)`` blocks
+    per device.  Engines are bit-identical; ``vector`` costs O(panels)
+    NumPy calls regardless of device count.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    fns = [as_speed_function(m) for m in models]
+    if not fns:
+        raise ValueError("need at least one performance model")
+    alloc = np.asarray(allocations, dtype=float)
+    if alloc.size != len(fns):
+        raise ValueError(
+            f"{len(fns)} models but {alloc.size} allocations"
+        )
+    if engine == "vector":
+        compute = batch_models(tuple(fns)).times_at(alloc)
+        comm_s = 0.0
+        if comm is not None:
+            recv = (
+                np.asarray(recv_blocks, dtype=float)
+                if recv_blocks is not None
+                else 2.0 * np.sqrt(alloc)
+            )
+            comm_s = comm.pivot_bcast_time(recv, block_size)
+    else:
+        compute = np.array(
+            [time_row_at(fn, float(a)) for fn, a in zip(fns, alloc)]
+        )
+        comm_s = 0.0
+        if comm is not None:
+            recv = (
+                [float(r) for r in recv_blocks]
+                if recv_blocks is not None
+                else [2.0 * math.sqrt(float(a)) for a in alloc]
+            )
+            comm_s = comm.pivot_bcast_time(recv, block_size)
+    return simulate_panel_loop(compute, panels, comm_s, engine=engine)

@@ -83,11 +83,17 @@ def parallel_partitioned_matmul(
             f"partition, got A {a.shape}, B {b.shape}"
         )
     live: list[Rectangle] = [r for r in partition.rectangles if r.area > 0]
-    payloads = []
-    for index, rect in enumerate(live):
-        rows = grid.block_slice(rect.row, rect.height)
-        cols = grid.block_slice(rect.col, rect.width)
-        payloads.append((index, a[rows, :], b[:, cols]))
+    slices = [
+        (
+            grid.block_slice(rect.row, rect.height),
+            grid.block_slice(rect.col, rect.width),
+        )
+        for rect in live
+    ]
+    payloads = [
+        (index, a[rows, :], b[:, cols])
+        for index, (rows, cols) in enumerate(slices)
+    ]
 
     c = np.zeros_like(a)
     tracer = get_tracer()
@@ -107,8 +113,7 @@ def parallel_partitioned_matmul(
         elements = 0
         for index, block, worker_wall_s in results:
             rect = live[index]
-            rows = grid.block_slice(rect.row, rect.height)
-            cols = grid.block_slice(rect.col, rect.width)
+            rows, cols = slices[index]
             c[rows, cols] = block
             elements += block.size
             if tracer.enabled:

@@ -124,22 +124,45 @@ def _survivor_allocations(
     n: int,
     policy: RecoveryPolicy,
     processes: list,
-) -> list[int]:
-    """Re-solve the allocation over the surviving units."""
+    warm=None,
+):
+    """Re-solve the allocation over the surviving units.
+
+    Returns ``(allocations, warm)`` where ``warm`` carries the FPM
+    solve's warm state tagged with the survivor names it covers: the
+    *next* drop re-solves through :meth:`Solver.resolve` with only the
+    newly dropped indices, reusing the stacked batch representation.
+    Exact mode keeps every degraded partition bit-identical to the cold
+    re-solve it replaces.  The observed-speed strategy is model-free and
+    carries no state.
+    """
     total = n * n
     if policy.strategy == "fpm":
         models = app.models_for(survivors)
+        names = tuple(u.name for u in survivors)
         try:
-            continuous = list(Solver().solve(models, float(total)).allocations)
+            if warm is not None:
+                prev_result, prev_names = warm
+                alive = set(names)
+                dropped_idx = [
+                    i for i, name in enumerate(prev_names) if name not in alive
+                ]
+                result = Solver().resolve(prev_result, dropped=dropped_idx)
+            else:
+                result = Solver().solve(models, float(total))
         except ValueError as exc:
             raise RecoveryError(
                 f"survivors cannot absorb the workload: {exc}"
             ) from exc
+        continuous = list(result.allocations)
         allocs = round_partition(models, continuous, total)
-        return refine_integer_partition(models, allocs)
+        return refine_integer_partition(models, allocs), (result, names)
     current = [plan.allocation_of(u.name) for u in survivors]
     times = _observed_unit_times(survivors, processes, plan)
-    return SpeedBasedRebalancer().next_distribution(current, times, total)
+    return (
+        SpeedBasedRebalancer().next_distribution(current, times, total),
+        None,
+    )
 
 
 def run_with_recovery(
@@ -199,6 +222,7 @@ def run_with_recovery(
         "blocks_migrated": 0,
         "migration_s": 0.0,
         "degraded_panels": 0,
+        "warm": None,  # (SolveResult, survivor names) of the last FPM re-solve
     }
 
     def start_panel(sim: EventSimulator) -> None:
@@ -235,8 +259,9 @@ def run_with_recovery(
                 raise RecoveryError(
                     f"no surviving compute units after dropping {drop.device!r}"
                 )
-            allocs = _survivor_allocations(
-                app, state["plan"], survivors, n, policy, processes
+            allocs, state["warm"] = _survivor_allocations(
+                app, state["plan"], survivors, n, policy, processes,
+                warm=state["warm"],
             )
             new_plan = app.plan_for_units(n, survivors, allocs)
             old_by_rank = state["plan"].process_allocations

@@ -117,6 +117,12 @@ class PartitionService:
         self._flight = SingleFlight()
         self._hot_models: OrderedDict[str, dict] = OrderedDict()
         self._hot_answers: OrderedDict[str, dict] = OrderedDict()
+        # Warm solver states of flat FPM solves, keyed by model key: a
+        # repeat solve over the same model digest (any workload total)
+        # goes through Solver.resolve and skips re-stacking the batch
+        # representation.  Exact mode keeps responses bit-identical to
+        # the cold solve, so every cache tier above stays oblivious.
+        self._warm_solves: OrderedDict[str, Any] = OrderedDict()
         self._max_hot_models = max_hot_models
         self._max_hot_answers = max_hot_answers
         self._previous_tracer: Any = None
@@ -251,9 +257,22 @@ class PartitionService:
                 "model_key": model_key,
             }
         else:
-            result = await self._run_solve(
-                solver.solve, list(models.values()), request.total_blocks
-            )
+            result = None
+            if request.strategy == "fpm":
+                previous = self._lru_get(self._warm_solves, model_key)
+                if previous is not None:
+                    result = await self._run_solve(
+                        solver.resolve, previous, total=request.total_blocks
+                    )
+                    self.tracer.counter("service.partition.warm_resolve").add()
+            if result is None:
+                result = await self._run_solve(
+                    solver.solve, list(models.values()), request.total_blocks
+                )
+            if request.strategy == "fpm" and result.warm is not None:
+                self._lru_put(
+                    self._warm_solves, model_key, result, self._max_hot_models
+                )
             answer = {
                 "allocation": dict(zip(models.keys(), result.allocations)),
                 "units": list(models.keys()),

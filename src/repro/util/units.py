@@ -33,6 +33,17 @@ def blocks_to_bytes(area_blocks: float, block_size: int = DEFAULT_BLOCKING_FACTO
     return blocks_to_elements(area_blocks, block_size) * BYTES_PER_SP_ELEMENT
 
 
+def blocks_to_bytes_batch(area_blocks, block_size: int = DEFAULT_BLOCKING_FACTOR):
+    """:func:`blocks_to_bytes` over an array of areas, element-identical.
+
+    Areas are assumed pre-validated (>= 0); the operation order mirrors
+    the scalar helper exactly so batched byte counts match scalar ones
+    bitwise.
+    """
+    check_positive("block_size", block_size)
+    return area_blocks * block_size * block_size * BYTES_PER_SP_ELEMENT
+
+
 def gemm_kernel_flops(area_blocks: float, block_size: int = DEFAULT_BLOCKING_FACTOR) -> float:
     """Flops of ONE kernel run ``C_i += A_(b) x B_(b)`` on area ``area_blocks``.
 

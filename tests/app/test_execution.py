@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.app.execution import simulate_execution
+from repro.app.execution import simulate_execution, simulate_execution_events
 from repro.core.geometry import column_based_partition
 from repro.measurement.binding import default_binding
 from repro.runtime.mpi_sim import CommModel, SimulatedComm
@@ -77,3 +77,45 @@ class TestSimulateExecution:
         part = even_partition(12, 30)  # 30 owners > 24 processes
         with pytest.raises(ValueError, match="without processes"):
             simulate_execution(processes, part, comm, node.block_size)
+
+
+class TestSimulateExecutionEvents:
+    def test_engines_bit_identical(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        vec = simulate_execution_events(
+            processes, part, comm, node.block_size, engine="vector"
+        )
+        sca = simulate_execution_events(
+            processes, part, comm, node.block_size, engine="scalar"
+        )
+        assert vec.total_time == sca.total_time
+        assert vec.computation_time == sca.computation_time
+        assert vec.communication_time == sca.communication_time
+        assert vec.iteration_time == sca.iteration_time
+
+    def test_matches_analytic_path(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        analytic = simulate_execution(processes, part, comm, node.block_size)
+        events = simulate_execution_events(
+            processes, part, comm, node.block_size
+        )
+        assert events.total_time == pytest.approx(analytic.total_time)
+        assert events.iteration_time == pytest.approx(analytic.iteration_time)
+        assert events.communication_time == pytest.approx(
+            analytic.communication_time
+        )
+        for got, want in zip(events.computation_time, analytic.computation_time):
+            assert got == pytest.approx(want)
+        assert events.areas == analytic.areas
+
+    def test_panel_count_override(self, processes, comm, node):
+        part = even_partition(12, len(processes))
+        short = simulate_execution_events(
+            processes, part, comm, node.block_size, panels=3
+        )
+        assert short.total_time == pytest.approx(3 * short.iteration_time)
+
+    def test_rejects_partition_without_processes(self, processes, comm, node):
+        part = even_partition(12, 30)
+        with pytest.raises(ValueError, match="without processes"):
+            simulate_execution_events(processes, part, comm, node.block_size)

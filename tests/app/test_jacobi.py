@@ -110,3 +110,30 @@ class TestExecution:
     def test_halo_time_positive(self, app):
         _, res = app.run(30_000, 10, "fpm")
         assert res.halo_time > 0
+
+
+class TestExecuteEvents:
+    def test_engines_bit_identical(self, app):
+        part = app.plan(30_000, "fpm")
+        vec = app.execute_events(part, 10, engine="vector")
+        sca = app.execute_events(part, 10, engine="scalar")
+        assert vec.total_time == sca.total_time
+        assert vec.sweep_time_per_unit == sca.sweep_time_per_unit
+        assert vec.halo_time == sca.halo_time
+
+    def test_matches_analytic_execute(self, app):
+        part = app.plan(30_000, "fpm")
+        analytic = app.execute(part, 10)
+        events = app.execute_events(part, 10)
+        assert events.iterations == analytic.iterations
+        assert events.total_time == pytest.approx(analytic.total_time)
+        assert events.halo_time == pytest.approx(analytic.halo_time)
+        for got, want in zip(
+            events.sweep_time_per_unit, analytic.sweep_time_per_unit
+        ):
+            assert got == pytest.approx(want)
+
+    def test_rejects_mismatched_partition(self, app):
+        bad = StripPartition(total_rows=10, rows_per_unit=(5, 5))
+        with pytest.raises(ValueError, match="strips"):
+            app.execute_events(bad, 3)

@@ -102,6 +102,28 @@ class TestExecute:
         verify_partition_numerically(plan.partition, block_size=3, seed=0)
 
 
+class TestExecuteEvents:
+    def test_engines_bit_identical(self, app):
+        plan = app.plan(24, PartitioningStrategy.FPM)
+        vec = app.execute_events(plan, panels=6, engine="vector")
+        sca = app.execute_events(plan, panels=6, engine="scalar")
+        assert vec.total_time == sca.total_time
+        assert vec.computation_time == sca.computation_time
+        assert vec.communication_time == sca.communication_time
+
+    def test_matches_analytic_execute(self, app):
+        plan = app.plan(24, PartitioningStrategy.FPM)
+        analytic = app.execute(plan)
+        events = app.execute_events(plan)
+        assert events.n == analytic.n
+        assert events.areas == analytic.areas
+        assert events.total_time == pytest.approx(analytic.total_time)
+        assert events.iteration_time == pytest.approx(analytic.iteration_time)
+        assert events.communication_time == pytest.approx(
+            analytic.communication_time
+        )
+
+
 class TestModelPersistence:
     def test_models_round_trip_through_json(self, app, node, tmp_path):
         path = tmp_path / "models.json"

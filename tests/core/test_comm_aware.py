@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.comm_aware import (
     comm_aware_refinement,
+    comm_aware_refinement_scalar,
     predicted_iteration_time,
 )
 from repro.core.integer import round_partition
@@ -101,3 +102,64 @@ class TestCommAwareRefinement:
         assert predicted_iteration_time(models, refined, beta) <= (
             predicted_iteration_time(models, start, beta) + 1e-9
         )
+
+
+class TestScalarOracleEquivalence:
+    """The vectorised hill-climb must match the quadratic oracle exactly."""
+
+    def test_bounded_and_zero_allocations(self):
+        bounded = SpeedFunction.from_points([1, 50], [1000, 1000], bounded=True)
+        models = [constant(1.0), bounded, constant(5.0)]
+        start = [100, 0, 30]
+        assert comm_aware_refinement(
+            models, start, beta=0.5
+        ) == comm_aware_refinement_scalar(models, start, beta=0.5)
+
+    def test_single_unit(self):
+        models = [constant(10.0)]
+        assert comm_aware_refinement(
+            models, [40], beta=0.3
+        ) == comm_aware_refinement_scalar(models, [40], beta=0.3)
+
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=1.0, max_value=200.0), min_size=2, max_size=6
+        ),
+        total=st.integers(min_value=20, max_value=2000),
+        beta=st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_on_constants(self, speeds, total, beta):
+        models = [constant(s) for s in speeds]
+        start = round_partition(models, partition_fpm(models, float(total)), total)
+        assert comm_aware_refinement(
+            models, list(start), beta=beta
+        ) == comm_aware_refinement_scalar(models, list(start), beta=beta)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        beta=st.floats(min_value=0.0, max_value=0.1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_on_piecewise_models(self, seed, beta):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        p = int(rng.integers(2, 7))
+        models = []
+        for _ in range(p):
+            peak = float(rng.uniform(5.0, 200.0))
+            half = float(rng.uniform(5.0, 80.0))
+            sizes = [half / 2, half, 4 * half, 16 * half]
+            models.append(
+                SpeedFunction.from_points(
+                    sizes, [peak * s / (s + half) for s in sizes]
+                )
+            )
+        total = int(rng.integers(20, 2000))
+        start = round_partition(
+            models, partition_fpm(models, float(total)), total
+        )
+        assert comm_aware_refinement(
+            models, list(start), beta=beta
+        ) == comm_aware_refinement_scalar(models, list(start), beta=beta)

@@ -1,5 +1,6 @@
 """Unit tests for the discrete-event engine."""
 
+import numpy as np
 import pytest
 
 from repro.runtime.event_sim import EventSimulator
@@ -67,3 +68,207 @@ class TestEventSimulator:
             sim.schedule(1.0, lambda s: None)
         sim.run()
         assert sim.events_processed == 4
+
+    def test_cancelled_event_does_not_run(self):
+        sim = EventSimulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda s: seen.append("cancelled"))
+        sim.schedule(2.0, lambda s: seen.append("kept"))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run()
+        assert seen == ["kept"]
+        assert sim.events_processed == 1
+
+
+class TestPendingCount:
+    """`pending` counts live events only (regression: cancelled handles
+    used to keep counting until they were lazily drained)."""
+
+    def test_pending_excludes_cancelled(self):
+        sim = EventSimulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        assert sim.pending == 2
+        handle.cancel()
+        assert sim.pending == 1  # cancelled but still in the heap
+        handle.cancel()  # idempotent: must not double-decrement
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = EventSimulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.run(until=1.5)
+        assert sim.pending == 1
+        handle.cancel()  # already executed: no effect on the count
+        assert sim.pending == 1
+
+    def test_pending_excludes_cancelled_batch(self):
+        sim = EventSimulator()
+        handle = sim.schedule_batch([1.0, 2.0, 3.0], lambda s, t, i: None)
+        sim.schedule(9.0, lambda s: None)
+        assert sim.pending == 4
+        handle.cancel()
+        assert sim.pending == 1
+        assert handle.remaining == 0
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 1
+
+
+class TestBatchLane:
+    def test_batch_fires_like_scalar_events(self):
+        delays = [3.0, 1.0, 2.0]
+        scalar = EventSimulator()
+        order_scalar = []
+        for i, d in enumerate(delays):
+            scalar.schedule(d, lambda s, i=i: order_scalar.append((s.now, i)))
+        scalar.run()
+
+        batch = EventSimulator()
+        order_batch = []
+
+        def on_fire(s, times, indices):
+            order_batch.extend(
+                (float(t), int(i)) for t, i in zip(times, indices)
+            )
+
+        batch.schedule_batch(delays, on_fire)
+        end = batch.run()
+        assert order_batch == order_scalar
+        assert end == scalar.now
+        assert batch.events_processed == scalar.events_processed == 3
+
+    def test_ties_break_by_element_index(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_batch(
+            [1.0, 1.0, 1.0],
+            lambda s, t, i: seen.extend(int(j) for j in i),
+        )
+        sim.run()
+        assert seen == [0, 1, 2]
+
+    def test_interleaves_with_scalar_lane(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_batch(
+            [1.0, 3.0], lambda s, t, i: seen.extend(("batch", int(j)) for j in i)
+        )
+        sim.schedule(2.0, lambda s: seen.append(("scalar", s.now)))
+        sim.run()
+        assert seen == [("batch", 0), ("scalar", 2.0), ("batch", 1)]
+
+    def test_cross_lane_ties_break_by_schedule_order(self):
+        # batch scheduled first wins the tie; scalar scheduled first wins too
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_batch([1.0], lambda s, t, i: seen.append("batch"))
+        sim.schedule(1.0, lambda s: seen.append("scalar"))
+        sim.run()
+        assert seen == ["batch", "scalar"]
+
+        sim2 = EventSimulator()
+        seen2 = []
+        sim2.schedule(1.0, lambda s: seen2.append("scalar"))
+        sim2.schedule_batch([1.0], lambda s, t, i: seen2.append("batch"))
+        sim2.run()
+        assert seen2 == ["scalar", "batch"]
+
+    def test_run_until_cuts_inside_a_generation(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_batch(
+            [1.0, 2.0, 3.0], lambda s, t, i: seen.extend(int(j) for j in i)
+        )
+        sim.run(until=2.5)
+        assert seen == [0, 1]
+        assert sim.now == 2.5
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [0, 1, 2]
+        assert sim.now == 3.0
+
+    def test_callback_scheduling_defers_to_run_boundary(self):
+        # Run boundaries are fixed when the generation surfaces: a batch
+        # callback's own scheduling takes effect after the contiguous run
+        # that produced it (the documented batch-lane contract), so with
+        # nothing else queued the whole generation fires as one run first.
+        sim = EventSimulator()
+        seen = []
+
+        def on_fire(s, times, indices):
+            seen.extend(("batch", int(j)) for j in indices)
+            if int(indices[0]) == 0:
+                s.schedule(1.5, lambda s2: seen.append(("scalar", s2.now)))
+
+        sim.schedule_batch([1.0, 3.0, 5.0], on_fire)
+        sim.run()
+        assert seen == [
+            ("batch", 0),
+            ("batch", 1),
+            ("batch", 2),
+            ("scalar", 6.5),
+        ]
+
+    def test_preexisting_events_split_the_generation(self):
+        # A foreign event already queued *before* the generation surfaces
+        # does split it, and a callback scheduled from the first run
+        # interleaves correctly with the remaining elements.
+        sim = EventSimulator()
+        seen = []
+
+        def on_fire(s, times, indices):
+            seen.extend(("batch", int(j)) for j in indices)
+            if int(indices[0]) == 0:
+                s.schedule(3.5, lambda s2: seen.append(("scalar", s2.now)))
+
+        sim.schedule_batch([1.0, 5.0, 7.0], on_fire)
+        sim.schedule(2.0, lambda s: seen.append(("probe", s.now)))
+        sim.run()
+        # element 0 fires alone (probe at 2.0 bounds the run); its callback
+        # lands at 1.0 + 3.5 = 4.5, between the probe and element 1
+        assert seen == [
+            ("batch", 0),
+            ("probe", 2.0),
+            ("scalar", 4.5),
+            ("batch", 1),
+            ("batch", 2),
+        ]
+
+    def test_batch_clock_at_callback_is_last_fired_time(self):
+        sim = EventSimulator()
+        clocks = []
+        sim.schedule_batch(
+            [1.0, 2.0, 4.0], lambda s, t, i: clocks.append(s.now)
+        )
+        sim.run()
+        assert clocks == [4.0]
+
+    def test_cancel_mid_generation(self):
+        sim = EventSimulator()
+        seen = []
+        holder = {}
+
+        def on_fire(s, times, indices):
+            seen.extend(int(j) for j in indices)
+            holder["handle"].cancel()
+
+        holder["handle"] = sim.schedule_batch([1.0, 3.0, 5.0], on_fire)
+        sim.schedule(2.0, lambda s: None)
+        sim.run()
+        assert seen == [0]
+        assert sim.events_processed == 2  # element 0 + the scalar event
+        assert sim.pending == 0
+
+    def test_rejects_bad_batches(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule_batch([], lambda s, t, i: None)
+        with pytest.raises(ValueError):
+            sim.schedule_batch([1.0, -0.5], lambda s, t, i: None)
+        with pytest.raises(ValueError):
+            sim.schedule_batch(np.zeros((2, 2)), lambda s, t, i: None)

@@ -126,3 +126,37 @@ class TestGatherAndBarrier:
     def test_rejects_zero_size(self):
         with pytest.raises(ValueError):
             SimulatedComm(0)
+
+
+class TestFastCollectives:
+    """Closed-form / vectorised twins of the event-simulated collectives."""
+
+    def test_bcast_fast_bit_identical_to_event_tree(self):
+        comm = SimulatedComm(64, CommModel(latency_s=3e-6, bandwidth_gbs=1.7))
+        for p in range(1, 65):
+            assert comm.bcast_time_fast(123_456, p) == comm.bcast_time(
+                123_456, p
+            ), f"divergence at p={p}"
+
+    def test_bcast_fast_zero_bytes_free(self):
+        assert SimulatedComm(8).bcast_time_fast(0) == 0.0
+
+    def test_bcast_fast_rejects_bad_participants(self):
+        comm = SimulatedComm(4)
+        with pytest.raises(ValueError):
+            comm.bcast_time_fast(100, 5)
+
+    def test_pivot_bcast_array_matches_scalar(self):
+        import numpy as np
+
+        comm = SimulatedComm(16)
+        blocks = [3.0, 41.5, 7.25, 0.0, 19.0]
+        scalar = comm.pivot_bcast_time(blocks, 640)
+        vector = comm.pivot_bcast_time(np.array(blocks), 640)
+        assert vector == scalar
+
+    def test_pivot_bcast_empty_array(self):
+        import numpy as np
+
+        comm = SimulatedComm(4)
+        assert comm.pivot_bcast_time(np.array([]), 640) == 0.0

@@ -1,0 +1,89 @@
+"""The bench-gate comparison logic and artifact discovery."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_gate", bench_gate)
+_spec.loader.exec_module(bench_gate)
+
+
+def _write_artifact(path: Path, timings: dict[str, float]) -> None:
+    record = {
+        "benchmarks": [
+            {"name": name, "stats": {"min": seconds}}
+            for name, seconds in timings.items()
+        ]
+    }
+    path.write_text(json.dumps(record))
+
+
+class TestLoadBenchmarks:
+    def test_extracts_best_of_times(self, tmp_path):
+        artifact = tmp_path / "BENCH_1.json"
+        _write_artifact(artifact, {"a": 0.5, "b": 2.0})
+        assert bench_gate.load_benchmarks(artifact) == {"a": 0.5, "b": 2.0}
+
+
+class TestFindBaseline:
+    def test_picks_highest_numbered_other_artifact(self, tmp_path):
+        for n in (2, 8, 9):
+            _write_artifact(tmp_path / f"BENCH_{n}.json", {"a": 1.0})
+        out = tmp_path / "BENCH_9.json"
+        assert bench_gate.find_baseline(tmp_path, out) == (
+            tmp_path / "BENCH_8.json"
+        )
+
+    def test_ignores_non_sequence_files(self, tmp_path):
+        (tmp_path / "BENCH_extra.json").write_text("{}")
+        out = tmp_path / "BENCH_9.json"
+        _write_artifact(out, {"a": 1.0})
+        assert bench_gate.find_baseline(tmp_path, out) is None
+
+
+class TestCompare:
+    def test_regression_beyond_tolerance_fails(self):
+        regressions, lines = bench_gate.compare(
+            {"fast": 1.0, "slow": 1.0}, {"fast": 1.1, "slow": 1.5}, 0.20
+        )
+        assert regressions == ["slow"]
+        assert any("REGRESSED" in line and "slow" in line for line in lines)
+
+    def test_improvement_and_within_tolerance_pass(self):
+        regressions, _ = bench_gate.compare(
+            {"a": 1.0, "b": 2.0}, {"a": 0.4, "b": 2.3}, 0.20
+        )
+        assert regressions == []
+
+    def test_only_common_benchmarks_are_compared(self):
+        regressions, lines = bench_gate.compare(
+            {"gone": 1.0}, {"new": 99.0}, 0.20
+        )
+        assert regressions == []
+        assert lines == []
+
+    def test_zero_baseline_is_skipped(self):
+        regressions, lines = bench_gate.compare({"z": 0.0}, {"z": 5.0}, 0.20)
+        assert regressions == []
+        assert lines == []
+
+
+class TestDefaults:
+    def test_default_artifact_tracks_current_pr(self):
+        assert bench_gate.DEFAULT_OUT == "BENCH_9.json"
+
+    def test_default_out_has_a_committed_predecessor(self):
+        """The shipped baseline the next run will be diffed against."""
+        out = REPO / bench_gate.DEFAULT_OUT
+        baseline = bench_gate.find_baseline(REPO, out)
+        assert baseline is not None
+        assert bench_gate.load_benchmarks(baseline)

@@ -1,0 +1,80 @@
+"""No in-tree code may use the deprecated ``repro.api.partition`` shim.
+
+The shim exists for external callers only (it warns once and forwards to
+:class:`repro.api.Solver`).  This AST scan locks production code,
+examples, benchmarks, and tools to the supported API: importing
+``partition`` from ``repro.api`` or touching an ``api.partition`` /
+``repro.api.partition`` attribute anywhere in-tree fails the suite.
+Tests are exempt — the shim's own coverage lives there.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+SCANNED_DIRS = ("src", "examples", "benchmarks", "tools")
+
+#: The shim's own definition site — the one legitimate mention.
+ALLOWED = {REPO / "src" / "repro" / "api.py"}
+
+
+def _python_files() -> list[Path]:
+    files: list[Path] = []
+    for name in SCANNED_DIRS:
+        root = REPO / name
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
+def _attr_chain(node: ast.Attribute) -> str:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _shim_uses(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    uses: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.api" and any(
+                alias.name == "partition" for alias in node.names
+            ):
+                uses.append(
+                    f"{path}:{node.lineno}: from repro.api import partition"
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "partition":
+            chain = _attr_chain(node)
+            if chain.endswith("api.partition"):
+                uses.append(f"{path}:{node.lineno}: {chain}")
+    return uses
+
+
+def test_scan_covers_the_package():
+    files = _python_files()
+    assert any(f.name == "solver.py" for f in files)
+    assert any(f.parent.name == "tools" for f in files)
+
+
+@pytest.mark.parametrize(
+    "path", _python_files(), ids=lambda p: str(p.relative_to(REPO))
+)
+def test_no_in_tree_use_of_api_partition_shim(path):
+    if path in ALLOWED:
+        pytest.skip("the shim's own definition site")
+    uses = _shim_uses(path)
+    assert not uses, (
+        "deprecated repro.api.partition shim used in-tree; call "
+        "repro.api.Solver().solve(...) instead:\n" + "\n".join(uses)
+    )

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
-"""CI bench runner: execute the benchmark suite and archive the results.
+"""CI bench runner: execute the benchmark suite, archive and diff results.
 
-Thin wrapper over ``pytest benchmarks/ --benchmark-json`` for CI jobs and
+Wrapper over ``pytest benchmarks/ --benchmark-json`` for CI jobs and
 local regression hunting.  Writes the machine-readable record (timings
-plus each bench's ``extra_info`` headline numbers) to ``BENCH_8.json`` at
-the repository root by default, so successive PRs leave comparable
-artifacts.  Run from the repository root:
+plus each bench's ``extra_info`` headline numbers) to ``BENCH_9.json`` at
+the repository root by default, then diffs it against the newest previous
+``BENCH_N.json`` artifact: any benchmark present in both runs whose
+best-of (``stats.min``) time regressed by more than the tolerance fails
+the gate, so a perf PR cannot silently undo an earlier one.  Run from
+the repository root:
 
-    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_8.json] [--jobs N] [pytest args...]
+    PYTHONPATH=src python tools/bench_gate.py [--out BENCH_9.json]
+        [--baseline BENCH_8.json] [--no-compare] [--tolerance 0.20]
+        [--jobs N] [pytest args...]
 
 ``--jobs N`` sizes the orchestrator's worker pool for the report
 benchmarks (exported as ``REPRO_BENCH_JOBS``).  Extra arguments are
-forwarded to pytest, e.g. ``-k fig6`` to time a single experiment.
+forwarded to pytest, e.g. ``-k fig6`` to time a single experiment (the
+comparison only covers whatever actually ran).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -25,18 +33,99 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Default artifact name; the suffix tracks the PR sequence.
-DEFAULT_OUT = "BENCH_8.json"
+DEFAULT_OUT = "BENCH_9.json"
+
+#: Allowed relative slowdown of a previously recorded best-of time.
+#: Benchmarks share CI machines with noisy neighbours; 20% separates a
+#: real regression from scheduling jitter on the best-of-N minimum.
+DEFAULT_TOLERANCE = 0.20
+
+_ARTIFACT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_benchmarks(path: Path) -> dict[str, float]:
+    """Map benchmark name -> best-of (``stats.min``) seconds."""
+    with open(path) as fh:
+        record = json.load(fh)
+    return {
+        bench["name"]: float(bench["stats"]["min"])
+        for bench in record.get("benchmarks", [])
+    }
+
+
+def find_baseline(root: Path, exclude: Path) -> Path | None:
+    """The highest-numbered ``BENCH_N.json`` at ``root`` besides ``exclude``."""
+    best: tuple[int, Path] | None = None
+    for candidate in root.glob("BENCH_*.json"):
+        match = _ARTIFACT_RE.match(candidate.name)
+        if match is None or candidate.resolve() == exclude.resolve():
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, candidate)
+    return best[1] if best else None
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """(regressions, report lines) for benchmarks present in both runs."""
+    regressions: list[str] = []
+    lines: list[str] = []
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        old, new = baseline[name], current[name]
+        if old <= 0.0:
+            continue
+        ratio = new / old
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSED"
+            regressions.append(name)
+        lines.append(
+            f"  {status:>9}  {name}: {old:.6f}s -> {new:.6f}s ({ratio:.2f}x)"
+        )
+    return regressions, lines
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench_gate",
-        description="run benchmarks/ and write a --benchmark-json artifact",
+        description=(
+            "run benchmarks/, write a --benchmark-json artifact, and fail "
+            "on regressions against the previous artifact"
+        ),
     )
     parser.add_argument(
         "--out",
         default=str(REPO_ROOT / DEFAULT_OUT),
         help=f"benchmark JSON artifact (default: {DEFAULT_OUT} at the root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "previous artifact to diff against (default: the highest-"
+            "numbered BENCH_N.json at the root other than --out)"
+        ),
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the baseline diff (first run of a new sequence)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help=(
+            "allowed relative slowdown of a baseline best-of time "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -66,11 +155,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     code = subprocess.call(command, cwd=REPO_ROOT, env=env)
     artifact = Path(args.out)
-    if code == 0 and artifact.is_file():
-        print(f"bench gate ok: results in {artifact}")
-    elif code != 0:
+    if code != 0:
         print(f"bench gate FAILED: pytest exit {code}", file=sys.stderr)
-    return code
+        return code
+    if not artifact.is_file():
+        print(f"bench gate FAILED: no artifact at {artifact}", file=sys.stderr)
+        return 1
+
+    if args.no_compare:
+        print(f"bench gate ok (comparison skipped): results in {artifact}")
+        return 0
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else find_baseline(artifact.resolve().parent, artifact)
+    )
+    if baseline_path is None:
+        print(f"bench gate ok (no baseline found): results in {artifact}")
+        return 0
+    regressions, lines = compare(
+        load_benchmarks(baseline_path),
+        load_benchmarks(artifact),
+        args.tolerance,
+    )
+    print(f"bench gate: {artifact.name} vs baseline {baseline_path.name}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"bench gate FAILED: {len(regressions)} benchmark(s) regressed "
+            f"beyond {args.tolerance:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate ok: results in {artifact}")
+    return 0
 
 
 if __name__ == "__main__":
