@@ -1,0 +1,93 @@
+"""Benchmark: the drift controller's cost and its quality gates.
+
+Three gates ride on this bench:
+
+* **no oscillation** — under pure measurement noise on a stationary
+  platform the controller never repartitions (zero commits, zero
+  rejects, zero detections);
+* **one decision per change** — a hard step throttle is answered by
+  exactly one committed repartition;
+* **gain recovery** — on the throttle-ramp scenario the controller
+  recovers at least half of the oracle repartitioner's makespan gain
+  over the static FPM baseline.
+"""
+
+from __future__ import annotations
+
+from repro.app.matmul import HybridMatMul
+from repro.platform.drift import DriftModel
+from repro.platform.noise import NoiseModel
+from repro.platform.presets import ig_icl_node
+from repro.runtime.drift_control import run_with_drift_control
+from repro.util.rng import RngStream
+
+N = 40
+STEP = "throttle:GTX680:t0=2,tau=0,floor=0.5"
+RAMP = "throttle:GTX680:t0=2,tau=10,floor=0.45"
+
+
+def _app():
+    app = HybridMatMul(ig_icl_node(), seed=7, noise_sigma=0.01)
+    app.build_models(
+        max_blocks=1700.0, cpu_points=6, gpu_points=8, adaptive=False
+    )
+    return app
+
+
+def _noise():
+    return NoiseModel(RngStream(123).child("panel-noise"), sigma=0.01)
+
+
+def test_drift_controller_run_cost(benchmark):
+    """Time the controlled run on the step throttle; gate its decisions."""
+    app = _app()
+    drift = DriftModel.from_spec(STEP, seed=11)
+    noise = _noise()
+
+    result = benchmark(
+        run_with_drift_control, app, N, drift, mode="controller", noise=noise
+    )
+
+    assert result.commits == 1, "a step change must repartition exactly once"
+    assert result.detections == 1
+    assert sum(result.final_unit_allocations) == N * N
+    benchmark.extra_info["commits"] = result.commits
+    benchmark.extra_info["blocks_migrated"] = result.blocks_migrated
+    benchmark.extra_info["makespan_s"] = round(result.total_time_s, 3)
+
+
+def test_drift_controller_quality_gates(benchmark):
+    """Gate: >= 50% of the oracle gain on the ramp, none wasted on noise."""
+    app = _app()
+    noise = _noise()
+    ramp = DriftModel.from_spec(RAMP, seed=11)
+
+    quiet = run_with_drift_control(
+        app, N, DriftModel.from_spec("", seed=11), mode="controller", noise=noise
+    )
+    assert quiet.commits == 0 and quiet.rejects == 0 and quiet.detections == 0, (
+        "the controller repartitioned on pure measurement noise"
+    )
+
+    runs = {
+        mode: run_with_drift_control(app, N, ramp, mode=mode, noise=noise)
+        for mode in ("static", "controller", "oracle")
+    }
+    gain_ctl = runs["static"].total_time_s - runs["controller"].total_time_s
+    gain_oracle = runs["static"].total_time_s - runs["oracle"].total_time_s
+    assert gain_oracle > 0
+    recovered = gain_ctl / gain_oracle
+    assert recovered >= 0.5, (
+        f"controller recovers {100 * recovered:.0f}% of the oracle gain "
+        f"on the throttle ramp (gate: >= 50%)"
+    )
+
+    benchmark(run_with_drift_control, app, N, ramp, mode="oracle", noise=noise)
+
+    benchmark.extra_info["static_s"] = round(runs["static"].total_time_s, 3)
+    benchmark.extra_info["controller_s"] = round(
+        runs["controller"].total_time_s, 3
+    )
+    benchmark.extra_info["oracle_s"] = round(runs["oracle"].total_time_s, 3)
+    benchmark.extra_info["gain_recovered"] = round(recovered, 4)
+    benchmark.extra_info["controller_commits"] = runs["controller"].commits

@@ -28,6 +28,11 @@ _INTERNALS = frozenset(
         "partition_fpm_scalar",
         "partition_fpm_many",
         "partition_cpm",
+        # the warm-state solve/re-solve pair the online layers (recovery,
+        # drift control, the service's warm chain) must reach through
+        # Solver.solve/Solver.resolve
+        "partition_fpm_with_state",
+        "resolve_fpm",
     }
 )
 

@@ -192,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--drift",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "time-varying device speed spec, e.g. 'throttle:GeForce "
+            "GTX680:t0=2,tau=10,floor=0.5; jitter:*:sigma=0.01' "
+            "(see docs/drift.md)"
+        ),
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -245,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         fast=args.fast,
         gpu_version=args.gpu_version,
         faults=args.faults,
+        drift=args.drift,
     )
     if args.experiment == "list-experiments":
         return _list_experiments_command()

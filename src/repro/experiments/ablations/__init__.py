@@ -32,6 +32,9 @@ quantify them on the simulated platform:
 * :mod:`fault_tolerance` — recovery overhead vs drop time when a device
   hard-fails mid-run and the runtime re-solves the partition over the
   survivors (model-based vs observed-speed re-solve).
+* :mod:`drift` — online repartitioning under time-varying device speed:
+  the hysteresis-gated controller vs the static partition and an
+  oracle, swept over throttle magnitude and detection threshold.
 """
 
 from repro.experiments.ablations import (
@@ -40,6 +43,7 @@ from repro.experiments.ablations import (
     comm_aware,
     cpm_calibration,
     dma_engines,
+    drift,
     dynamic_vs_static,
     fault_tolerance,
     gpu_kernel_version,
@@ -55,6 +59,7 @@ __all__ = [
     "comm_aware",
     "cpm_calibration",
     "dma_engines",
+    "drift",
     "dynamic_vs_static",
     "fault_tolerance",
     "gpu_kernel_version",

@@ -9,6 +9,7 @@ from typing import Iterator
 from repro.app.matmul import HybridMatMul
 from repro.measurement.benchmark import HybridBenchmark
 from repro.obs import Span, get_tracer
+from repro.platform.drift import DriftModel, parse_drift_spec
 from repro.platform.faults import FaultPlan, parse_fault_spec
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
@@ -34,12 +35,18 @@ class ExperimentConfig:
     #: fault-injection spec (:func:`repro.platform.faults.parse_fault_spec`
     #: grammar), or None for the fault-free default.
     faults: str | None = None
+    #: time-varying device speed spec
+    #: (:func:`repro.platform.drift.parse_drift_spec` grammar), or None
+    #: for a stationary platform.
+    drift: str | None = None
 
     def __post_init__(self) -> None:
         check_nonnegative("noise_sigma", self.noise_sigma)
         check_positive("model_max_blocks", self.model_max_blocks)
         if self.faults is not None:
             parse_fault_spec(self.faults)  # fail fast on bad grammar
+        if self.drift is not None:
+            parse_drift_spec(self.drift)  # fail fast on bad grammar
 
     @property
     def sweep_points(self) -> int:
@@ -76,10 +83,12 @@ def experiment_span(name: str, config: ExperimentConfig) -> Iterator[Span]:
         gpu_version=config.gpu_version,
         fast=config.fast,
     ) as span:
-        # only stamp the attribute when faults are on, so fault-free span
+        # only stamp the attributes when the knobs are on, so default span
         # skeletons (and their golden traces) are unchanged
         if config.faults is not None and tracer.enabled:
             span.set_attr("faults", config.faults)
+        if config.drift is not None and tracer.enabled:
+            span.set_attr("drift", config.drift)
         yield span
 
 
@@ -88,6 +97,13 @@ def _fault_plan(config: ExperimentConfig) -> FaultPlan | None:
     if config.faults is None:
         return None
     return FaultPlan.from_spec(config.faults, seed=config.seed)
+
+
+def make_drift_model(config: ExperimentConfig) -> DriftModel | None:
+    """The config's seeded drift model, or None when stationary."""
+    if config.drift is None:
+        return None
+    return DriftModel.from_spec(config.drift, seed=config.seed)
 
 
 def make_bench(config: ExperimentConfig, node: NodeSpec | None = None) -> HybridBenchmark:

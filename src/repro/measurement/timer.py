@@ -15,9 +15,30 @@ from typing import Iterable
 import numpy as np
 
 from repro.kernels.interface import Kernel
+from repro.platform.drift import DriftModel
 from repro.platform.faults import FaultPlan, KernelFaultError
 from repro.platform.noise import NoiseModel
 from repro.util.validation import check_nonnegative
+
+
+def compose_timing(ideal_s, drift_time_factor, spike_factor, perturb):
+    """The ONE place the timing modifiers compose, in pinned order.
+
+    ``(ideal x drift time-multiplier) -> noise perturbation -> x fault
+    spike``.  Floating-point multiplication is not associative, so the
+    scalar and batch measurement lanes (and every future consumer) must
+    compose through this function — any private re-ordering would break
+    their bit-identity, which tests/measurement/test_timing_composition.py
+    enforces with all three modifiers enabled at once.
+
+    ``perturb`` is the noise application (scalar
+    :meth:`~repro.platform.noise.NoiseModel.perturb` bound to its
+    context, or the batched twin); ``spike_factor`` may be a scalar or a
+    per-repetition array.  With ``drift_time_factor == 1.0`` and
+    ``spike_factor == 1.0`` the result is exactly ``perturb(ideal_s)`` —
+    drift-free fault-free timings are unchanged bit for bit.
+    """
+    return perturb(ideal_s * drift_time_factor) * spike_factor
 
 
 @dataclass
@@ -36,10 +57,24 @@ class SimulatedTimer:
     retried repetition can succeed.  The noise context only gains the
     attempt suffix on retries, keeping attempt-0 timings bit-identical to
     a fault-free run.
+
+    An optional :class:`~repro.platform.drift.DriftModel` makes the
+    platform non-stationary: timings taken at simulated time ``at_s``
+    are stretched by the device's drift time-multiplier.  All modifiers
+    compose through :func:`compose_timing` (the pinned order), and
+    ``at_s`` participates in neither the noise nor the fault stream
+    paths — at the default ``at_s = 0.0`` with no drift rules, timings
+    are bit-identical to a drift-free timer.
     """
 
     noise: NoiseModel
     faults: FaultPlan | None = None
+    drift: DriftModel | None = None
+
+    def _drift_time_factor(self, device: str, at_s: float) -> float:
+        if self.drift is None or self.drift.inert:
+            return 1.0
+        return self.drift.time_multiplier(device, at_s)
 
     def time_kernel(
         self,
@@ -48,6 +83,7 @@ class SimulatedTimer:
         repetition: int,
         busy_cpu_cores: int = 0,
         attempt: int = 0,
+        at_s: float = 0.0,
     ) -> float:
         """One noisy timing of one kernel run (seconds)."""
         check_nonnegative("area_blocks", area_blocks)
@@ -73,7 +109,12 @@ class SimulatedTimer:
         ]
         if attempt > 0:
             context.append(f"a{attempt}")
-        return self.noise.perturb(ideal, *context) * spike
+        return compose_timing(
+            ideal,
+            self._drift_time_factor(kernel.name, at_s),
+            spike,
+            lambda seconds: self.noise.perturb(seconds, *context),
+        )
 
     def time_kernel_batch(
         self,
@@ -82,13 +123,14 @@ class SimulatedTimer:
         repetitions: Iterable[int],
         busy_cpu_cores: int = 0,
         ideal_seconds: float | None = None,
+        at_s: float = 0.0,
     ) -> np.ndarray:
         """Noisy timings of many repetitions at ONE size, in one call.
 
         Bit-identical to ``[self.time_kernel(kernel, area_blocks, r,
-        busy_cpu_cores) for r in repetitions]``; ``ideal_seconds`` lets the
-        sweep hoist the (deterministic) ``kernel.run_time`` out of the
-        repetition loop.
+        busy_cpu_cores, at_s=at_s) for r in repetitions]``;
+        ``ideal_seconds`` lets the sweep hoist the (deterministic)
+        ``kernel.run_time`` out of the repetition loop.
 
         With a fault plan installed, an attempt-0 failure is marked as NaN
         (simulated timings are never NaN) rather than raised, so one bad
@@ -102,17 +144,24 @@ class SimulatedTimer:
                 raise ValueError(f"repetition must be >= 0, got {rep}")
         if ideal_seconds is None:
             ideal_seconds = kernel.run_time(area_blocks, busy_cpu_cores)
-        values = self.noise.perturb_batch(
-            ideal_seconds,
-            (kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}"),
-            [f"r{rep}" for rep in reps],
-        )
+        spike_factors: np.ndarray | float = 1.0
+        failed = None
         if self.faults is not None and not self.faults.inert:
-            failed, factors, _ = self.faults.kernel_outcomes_batch(
+            failed, spike_factors, _ = self.faults.kernel_outcomes_batch(
                 kernel.name,
                 (f"x{area_blocks}", f"busy{busy_cpu_cores}"),
                 [(f"r{rep}", "a0") for rep in reps],
             )
-            values = values * factors
+        values = compose_timing(
+            ideal_seconds,
+            self._drift_time_factor(kernel.name, at_s),
+            spike_factors,
+            lambda seconds: self.noise.perturb_batch(
+                seconds,
+                (kernel.name, f"x{area_blocks}", f"busy{busy_cpu_cores}"),
+                [f"r{rep}" for rep in reps],
+            ),
+        )
+        if failed is not None:
             values[failed] = np.nan
         return values

@@ -12,6 +12,12 @@ as the paper treats hardware: as black boxes that can be timed.
 
 from repro.platform.contention import CpuGpuInterference, SocketContention
 from repro.platform.device import SimulatedCore, SimulatedGpu, SimulatedSocket
+from repro.platform.drift import (
+    DeviceDrift,
+    DriftModel,
+    DriftSpec,
+    parse_drift_spec,
+)
 from repro.platform.faults import (
     DeviceDrop,
     DeviceFaults,
@@ -41,6 +47,10 @@ __all__ = [
     "SimulatedSocket",
     "CoreCacheModel",
     "GpuMemoryModel",
+    "DeviceDrift",
+    "DriftModel",
+    "DriftSpec",
+    "parse_drift_spec",
     "DeviceDrop",
     "DeviceFaults",
     "FaultPlan",

@@ -1,0 +1,399 @@
+"""Time-varying device speed: the non-stationary platform layer.
+
+The paper's functional performance models assume each device's speed
+function is stationary, but real platforms disagree: DGEMM throughput is
+data-dependent (arXiv:1912.05381) and GPU performance shifts across
+machines and over time (arXiv:1904.09538).  This module makes that
+non-stationarity a first-class, *seeded* phenomenon — a
+:class:`DriftModel` yields a speed multiplier per ``(device, sim-time)``
+so the runtime above (:mod:`repro.runtime.drift_control`) has something
+real to detect and repartition against.
+
+Design mirrors :class:`repro.platform.noise.NoiseModel` and
+:class:`repro.platform.faults.FaultPlan`: every stochastic draw comes
+from a named BLAKE2-derived RNG stream keyed by ``(seed, device,
+window)``, so the same triple always yields the same multiplier
+regardless of query order, and the batched query
+(:meth:`DriftModel.speed_multipliers`) is bit-identical to the scalar
+one — the scalar/batch simulation lanes must see the same platform.
+
+Drift specs are written in the same clause grammar as ``--faults``::
+
+    throttle:GeForce GTX680:t0=1.5,tau=0.3,floor=0.5; burst:*:p=0.05,x=2,len=0.5; jitter:*:sigma=0.01
+
+* ``throttle`` — from simulated time ``t0`` the device's speed decays
+  exponentially (time constant ``tau`` seconds) towards ``floor`` times
+  its nominal speed; ``tau=0`` is a hard step.  Thermal throttling, a
+  co-located tenant, a powercap.
+* ``burst`` — with probability ``p`` per window of ``len`` seconds the
+  device's *timing* is stretched by factor ``x`` for that window (a
+  transient slowdown; speed is multiplied by ``1/x``).
+* ``jitter`` — per-window log-normal speed jitter with log-std
+  ``sigma`` (window ``w`` seconds, default 1.0): slow wander around the
+  nominal speed.
+
+Device names match compute-unit / kernel names; ``*`` is a wildcard
+matching any device, exact names win over substring matches which win
+over the wildcard (the :class:`~repro.platform.faults.FaultSpec` rules).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import RngStream, sibling_generators
+from repro.util.validation import check_nonnegative, check_probability
+
+__all__ = [
+    "DeviceDrift",
+    "DriftSpec",
+    "DriftModel",
+    "parse_drift_spec",
+    "STEADY",
+]
+
+
+@dataclass(frozen=True)
+class DeviceDrift:
+    """The drift profile of one device (all knobs default to 'steady').
+
+    ``throttle_floor`` is the asymptotic speed fraction after the
+    throttle at ``throttle_t0_s`` (None = no throttle); ``burst_factor``
+    stretches timings (speed x ``1/factor``) in affected windows;
+    ``jitter_sigma`` is per-window log-normal speed jitter.
+    """
+
+    throttle_t0_s: float | None = None
+    throttle_tau_s: float = 0.0
+    throttle_floor: float = 0.5
+    burst_prob: float = 0.0
+    burst_factor: float = 2.0
+    burst_len_s: float = 1.0
+    jitter_sigma: float = 0.0
+    jitter_window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.throttle_t0_s is not None:
+            check_nonnegative("throttle_t0_s", self.throttle_t0_s)
+        check_nonnegative("throttle_tau_s", self.throttle_tau_s)
+        if not 0.0 < self.throttle_floor <= 1.0:
+            raise ValueError(
+                f"throttle floor must be in (0, 1], got {self.throttle_floor}"
+            )
+        check_probability("burst_prob", self.burst_prob)
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst factor must be >= 1, got {self.burst_factor}"
+            )
+        if self.burst_len_s <= 0.0:
+            raise ValueError(
+                f"burst window must be > 0 s, got {self.burst_len_s}"
+            )
+        check_nonnegative("jitter_sigma", self.jitter_sigma)
+        if self.jitter_window_s <= 0.0:
+            raise ValueError(
+                f"jitter window must be > 0 s, got {self.jitter_window_s}"
+            )
+
+    @property
+    def inert(self) -> bool:
+        """True when the device's speed never departs from nominal."""
+        return (
+            self.throttle_t0_s is None
+            and self.burst_prob == 0.0
+            and self.jitter_sigma == 0.0
+        )
+
+    @property
+    def stochastic(self) -> bool:
+        """True when a multiplier query needs an RNG draw."""
+        return self.burst_prob > 0.0 or self.jitter_sigma > 0.0
+
+    def throttle_envelope(self, t_s: float) -> float:
+        """The deterministic throttle speed fraction at ``t_s``."""
+        t0 = self.throttle_t0_s
+        if t0 is None or t_s < t0:
+            return 1.0
+        floor = self.throttle_floor
+        tau = self.throttle_tau_s
+        if tau == 0.0:
+            return floor
+        return floor + (1.0 - floor) * math.exp(-(t_s - t0) / tau)
+
+
+#: Shared steady profile (the fast path returns it without hashing).
+STEADY = DeviceDrift()
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """An ordered rule table ``(device_pattern, DeviceDrift)``.
+
+    Lookup precedence mirrors :class:`repro.platform.faults.FaultSpec`:
+    exact name, then substring (kernel names embed their device), then
+    the ``*`` wildcard — first match wins within each tier.
+    """
+
+    rules: tuple[tuple[str, DeviceDrift], ...] = ()
+
+    def for_device(self, device: str) -> DeviceDrift:
+        """The drift profile of one device (STEADY when unmatched)."""
+        device = str(device)
+        wildcard: DeviceDrift | None = None
+        substring: DeviceDrift | None = None
+        for pattern, drift in self.rules:
+            if pattern == device:
+                return drift
+            if pattern == "*":
+                if wildcard is None:
+                    wildcard = drift
+            elif pattern in device and substring is None:
+                substring = drift
+        if substring is not None:
+            return substring
+        return wildcard if wildcard is not None else STEADY
+
+    @property
+    def inert(self) -> bool:
+        """True when no rule can ever move a device off nominal speed."""
+        return all(drift.inert for _, drift in self.rules)
+
+
+def _parse_params(kind: str, text: str, clause: str) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad drift parameter {item!r} in clause {clause!r} "
+                f"(expected key=value)"
+            )
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad drift parameter value {value!r} in clause {clause!r}"
+            ) from None
+    allowed = {
+        "throttle": {"t0", "tau", "floor"},
+        "burst": {"p", "x", "len"},
+        "jitter": {"sigma", "w"},
+    }[kind]
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for {kind!r} "
+            f"in clause {clause!r} (allowed: {sorted(allowed)})"
+        )
+    return params
+
+
+def parse_drift_spec(text: str) -> DriftSpec:
+    """Parse the drift clause grammar into a :class:`DriftSpec`.
+
+    ``clause (';' clause)*`` where each clause is
+    ``throttle:<device>:t0=T[,tau=S][,floor=F]`` |
+    ``burst:<device>:p=P[,x=F][,len=L]`` |
+    ``jitter:<device>:sigma=S[,w=W]``.  Clauses naming the same device
+    merge into one :class:`DeviceDrift`; an empty string yields an
+    empty (inert) spec.
+    """
+    merged: dict[str, DeviceDrift] = {}
+    order: list[str] = []
+    for raw in text.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        parts = clause.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(
+                f"bad drift clause {clause!r} (expected kind:device:params)"
+            )
+        kind, device, params_text = (p.strip() for p in parts)
+        if kind not in ("throttle", "burst", "jitter"):
+            raise ValueError(
+                f"unknown drift kind {kind!r} in clause {clause!r} "
+                f"(expected throttle, burst or jitter)"
+            )
+        if not device:
+            raise ValueError(f"empty device in clause {clause!r}")
+        params = _parse_params(kind, params_text, clause)
+        current = merged.get(device, STEADY)
+        if kind == "throttle":
+            if "t0" not in params:
+                raise ValueError(f"clause {clause!r} needs t0=<seconds>")
+            current = DeviceDrift(
+                throttle_t0_s=params["t0"],
+                throttle_tau_s=params.get("tau", 0.0),
+                throttle_floor=params.get("floor", 0.5),
+                burst_prob=current.burst_prob,
+                burst_factor=current.burst_factor,
+                burst_len_s=current.burst_len_s,
+                jitter_sigma=current.jitter_sigma,
+                jitter_window_s=current.jitter_window_s,
+            )
+        elif kind == "burst":
+            if "p" not in params:
+                raise ValueError(f"clause {clause!r} needs p=<probability>")
+            current = DeviceDrift(
+                throttle_t0_s=current.throttle_t0_s,
+                throttle_tau_s=current.throttle_tau_s,
+                throttle_floor=current.throttle_floor,
+                burst_prob=params["p"],
+                burst_factor=params.get("x", current.burst_factor),
+                burst_len_s=params.get("len", current.burst_len_s),
+                jitter_sigma=current.jitter_sigma,
+                jitter_window_s=current.jitter_window_s,
+            )
+        else:  # jitter
+            if "sigma" not in params:
+                raise ValueError(f"clause {clause!r} needs sigma=<log-std>")
+            current = DeviceDrift(
+                throttle_t0_s=current.throttle_t0_s,
+                throttle_tau_s=current.throttle_tau_s,
+                throttle_floor=current.throttle_floor,
+                burst_prob=current.burst_prob,
+                burst_factor=current.burst_factor,
+                burst_len_s=current.burst_len_s,
+                jitter_sigma=params["sigma"],
+                jitter_window_s=params.get("w", current.jitter_window_s),
+            )
+        if device not in merged:
+            order.append(device)
+        merged[device] = current
+    return DriftSpec(rules=tuple((d, merged[d]) for d in order))
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Seeded, deterministic time-varying device speed for one experiment.
+
+    The model owns an :class:`RngStream` (conventionally
+    ``RngStream(seed).child("drift")``, disjoint from the noise model's
+    ``"bench"`` and the fault plan's ``"faults"`` streams) and a
+    :class:`DriftSpec`.  Every multiplier is a pure function of
+    ``(seed, device, time window)`` — querying twice, in any order,
+    scalar or batched, yields identical values.
+
+    The *speed* multiplier combines, in pinned order, the deterministic
+    throttle envelope, the burst factor of the burst window containing
+    ``t``, and the jitter factor of the jitter window containing ``t``.
+    The *time* multiplier is its reciprocal — what simulated kernel
+    timings are stretched by.
+    """
+
+    rng: RngStream
+    spec: DriftSpec
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: DriftSpec | str,
+        seed: int,
+        stream: str = "drift",
+    ) -> "DriftModel":
+        """Build a model from a spec (or spec text) and a base seed."""
+        if isinstance(spec, str):
+            spec = parse_drift_spec(spec)
+        return cls(rng=RngStream(seed).child(stream), spec=spec)
+
+    @property
+    def inert(self) -> bool:
+        """True when every device always runs at nominal speed."""
+        return self.spec.inert
+
+    # ------------------------------------------------------------- scalar
+    def speed_multiplier(self, device: str, t_s: float) -> float:
+        """The speed multiplier of one device at one simulated time."""
+        check_nonnegative("t_s", t_s)
+        drift = self.spec.for_device(device)
+        if drift.inert:
+            return 1.0
+        value = drift.throttle_envelope(t_s)
+        if drift.burst_prob > 0.0:
+            window = math.floor(t_s / drift.burst_len_s)
+            draw = (
+                self.rng.child(str(device)).child("burst").child(f"w{window}")
+            ).uniform()
+            if draw < drift.burst_prob:
+                value = value * (1.0 / drift.burst_factor)
+        if drift.jitter_sigma > 0.0:
+            window = math.floor(t_s / drift.jitter_window_s)
+            stream = (
+                self.rng.child(str(device)).child("jitter").child(f"w{window}")
+            )
+            value = value * stream.lognormal_factor(drift.jitter_sigma)
+        return value
+
+    def time_multiplier(self, device: str, t_s: float) -> float:
+        """The timing stretch of one device at ``t_s`` (1 / speed)."""
+        return 1.0 / self.speed_multiplier(device, t_s)
+
+    # -------------------------------------------------------------- batch
+    def speed_multipliers(
+        self, devices: Sequence[str], t_s: float
+    ) -> np.ndarray:
+        """Speed multipliers of MANY devices at one time, in one call.
+
+        Bit-identical to ``[self.speed_multiplier(d, t_s) for d in
+        devices]``: the draws come from the same named streams the
+        scalar path would construct (hashed via
+        :func:`repro.util.rng.sibling_generators`), and the throttle /
+        burst / jitter factors compose in the same pinned order.
+        """
+        check_nonnegative("t_s", t_s)
+        names = [str(d) for d in devices]
+        values = np.ones(len(names))
+        if self.inert:
+            return values
+        profiles = [self.spec.for_device(d) for d in names]
+        for i, drift in enumerate(profiles):
+            if not drift.inert:
+                values[i] = drift.throttle_envelope(t_s)
+        prefix = self.rng.path
+        burst_idx = [i for i, d in enumerate(profiles) if d.burst_prob > 0.0]
+        if burst_idx:
+            leaves = [
+                (
+                    names[i],
+                    "burst",
+                    f"w{math.floor(t_s / profiles[i].burst_len_s)}",
+                )
+                for i in burst_idx
+            ]
+            gens = sibling_generators(self.rng.seed, prefix, leaves)
+            for i, gen in zip(burst_idx, gens):
+                if float(gen.uniform(0.0, 1.0)) < profiles[i].burst_prob:
+                    values[i] = values[i] * (1.0 / profiles[i].burst_factor)
+        jitter_idx = [
+            i for i, d in enumerate(profiles) if d.jitter_sigma > 0.0
+        ]
+        if jitter_idx:
+            leaves = [
+                (
+                    names[i],
+                    "jitter",
+                    f"w{math.floor(t_s / profiles[i].jitter_window_s)}",
+                )
+                for i in jitter_idx
+            ]
+            gens = sibling_generators(self.rng.seed, prefix, leaves)
+            for i, gen in zip(jitter_idx, gens):
+                factor = float(
+                    np.exp(gen.normal(0.0, profiles[i].jitter_sigma))
+                )
+                values[i] = values[i] * factor
+        return values
+
+    def time_multipliers(
+        self, devices: Sequence[str], t_s: float
+    ) -> np.ndarray:
+        """Timing stretches of many devices at one time (1 / speed)."""
+        return 1.0 / self.speed_multipliers(devices, t_s)

@@ -93,12 +93,25 @@ class NoiseModel:
             values = np.full(n, seconds * 1.0)
         else:
             gens = sibling_generators(self.rng.seed, prefix, rep_keys)
+            # Deliberately NOT vectorised: each repetition draws from its
+            # OWN BLAKE2-seeded PCG64 stream (the scalar path's stream
+            # tree), and NumPy can only sample many values from one
+            # bit-generator — batching the draws would consume different
+            # random bits.  Worse, ``Generator.normal`` is ziggurat
+            # rejection sampling (a data-dependent number of raw draws),
+            # so no closed-form vector expression can reproduce it.
+            # Vectorising here would break the batch == scalar
+            # bit-identity contract in the docstring, which the
+            # hypothesis suite (tests/platform/test_noise_properties.py)
+            # locks with outliers enabled; the loop stays.
             normals = np.array([g.normal(0.0, self.sigma) for g in gens])
             values = seconds * np.exp(normals)
         if self.outlier_prob > 0.0:
             outlier_gens = sibling_generators(
                 self.rng.seed, prefix, [(key, "outlier") for key in rep_keys]
             )
+            # Same constraint as above: per-repetition streams, scalar
+            # draws, bit-identity over vector speed.
             draws = np.array([g.uniform(0.0, 1.0) for g in outlier_gens])
             values = np.where(
                 draws < self.outlier_prob, values * self.outlier_factor, values

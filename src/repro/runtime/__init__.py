@@ -32,7 +32,13 @@ __all__ = [
     "RecoveryPolicy",
     "DropEvent",
     "RecoveryResult",
+    "plan_switch_cost",
     "run_with_recovery",
+    "DriftControlPolicy",
+    "DriftController",
+    "RepartitionEvent",
+    "DriftRunResult",
+    "run_with_drift_control",
 ]
 
 _RECOVERY_EXPORTS = (
@@ -40,15 +46,29 @@ _RECOVERY_EXPORTS = (
     "RecoveryPolicy",
     "DropEvent",
     "RecoveryResult",
+    "plan_switch_cost",
     "run_with_recovery",
+)
+
+_DRIFT_EXPORTS = (
+    "DriftControlPolicy",
+    "DriftController",
+    "RepartitionEvent",
+    "DriftRunResult",
+    "run_with_drift_control",
 )
 
 
 def __getattr__(name: str):
-    # recovery plans over repro.app, which itself imports this package; a
-    # lazy attribute breaks the cycle while keeping the flat public API
+    # recovery and drift control plan over repro.app, which itself imports
+    # this package; lazy attributes break the cycle while keeping the flat
+    # public API
     if name in _RECOVERY_EXPORTS:
         from repro.runtime import recovery
 
         return getattr(recovery, name)
+    if name in _DRIFT_EXPORTS:
+        from repro.runtime import drift_control
+
+        return getattr(drift_control, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

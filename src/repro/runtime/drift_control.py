@@ -1,0 +1,651 @@
+"""Online drift detection and hysteresis-gated repartitioning.
+
+The FPM partition is computed once, from speed functions assumed
+stationary; :mod:`repro.platform.drift` makes the simulated platform
+break that assumption.  This module closes the loop: a
+:class:`DriftController` watches the per-unit panel timings the runtime
+already collects, maintains EWMA/CUSUM statistics of the log-residual
+against the current model's predictions, and when drift is *sustained*
+(CUSUM crossing, not a single noisy panel) hands back per-unit time
+inflation estimates.  :func:`run_with_drift_control` then prices a
+repartition — a warm :meth:`~repro.core.solver.Solver.resolve` over the
+rescaled models, the migration + plan-broadcast charge of
+:func:`~repro.runtime.recovery.plan_switch_cost` — and commits the new
+plan only when the predicted makespan gain over the *remaining* panels
+beats that cost by the policy margin.
+
+Hysteresis (why the controller cannot oscillate)
+------------------------------------------------
+Every decision — commit or reject — ends with a *recalibration*: the
+controller's expected times are replaced by the model predictions under
+the freshly estimated speed scales, its EWMA/CUSUM state is zeroed, and
+detection is suppressed for ``cooldown_panels``.  After a step change
+the recalibrated expectations match the drifted reality, so subsequent
+residuals are pure measurement noise; with the CUSUM slack ``slack``
+above the noise scale the statistics have negative drift and stay at
+zero — no second trigger, hence exactly one repartition per step.  On
+pure noise the CUSUM never accumulates ``threshold`` in the first
+place, hence zero repartitions.  Rejections recalibrate too: a gain not
+worth the migration cost is *accepted as the new normal* instead of
+being re-litigated every panel.
+
+Device drops compose with drift: :func:`run_with_drift_control` accepts
+the same drop schedule as :func:`~repro.runtime.recovery.run_with_recovery`
+and re-solves over the survivors through the shared warm-state chain.
+The warm rows already carry every committed model rescale, so the drop
+re-solve passes *only* ``dropped`` indices — never ``changed_models``
+again — which is what keeps a drop landing mid-repartition from
+double-applying the controller's updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.core.batch import time_row_at
+from repro.core.fpm import as_speed_function
+from repro.core.integer import refine_integer_partition, round_partition
+from repro.core.solver import Solver
+from repro.measurement.timer import compose_timing
+from repro.obs import get_tracer
+from repro.platform.drift import DriftModel
+from repro.platform.faults import DeviceDrop, FaultPlan
+from repro.platform.noise import NoiseModel
+from repro.runtime.event_sim import EventSimulator
+from repro.runtime.mpi_sim import SimulatedComm
+from repro.runtime.recovery import (
+    DropEvent,
+    RecoveryError,
+    RecoveryPolicy,
+    plan_switch_cost,
+)
+from repro.util.validation import (
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports runtime)
+    from repro.app.matmul import HybridMatMul
+
+__all__ = [
+    "MODES",
+    "DriftControlPolicy",
+    "DriftController",
+    "RepartitionEvent",
+    "DriftRunResult",
+    "run_with_drift_control",
+]
+
+#: Recognised run modes: the static-FPM baseline (never repartitions),
+#: the online controller, and the clairvoyant oracle that reads the true
+#: drift multipliers.
+MODES = ("static", "controller", "oracle")
+
+
+@dataclass(frozen=True)
+class DriftControlPolicy:
+    """Knobs of the online repartition controller.
+
+    ``alpha`` is the EWMA smoothing weight on the per-unit log-residual
+    ``z = ln(observed / expected)``; ``slack`` and ``threshold`` are the
+    two-sided CUSUM drift allowance and decision threshold in the same
+    log units (``slack`` must exceed the measurement-noise scale or pure
+    noise will eventually trigger); ``cooldown_panels`` suppresses
+    detection while freshly recalibrated statistics settle;
+    ``commit_margin`` requires the predicted gain to beat the switch
+    cost by that fraction; ``min_scale_step`` ignores estimated speed
+    changes smaller than that fraction (no model churn from residual
+    noise); ``recovery`` prices migration and the plan broadcast
+    (shared with drop recovery); ``resolve_cost_s`` charges the warm
+    incremental re-solve itself on a committed switch.
+    """
+
+    alpha: float = 0.3
+    slack: float = 0.05
+    threshold: float = 0.4
+    cooldown_panels: int = 2
+    commit_margin: float = 0.25
+    min_scale_step: float = 0.01
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    resolve_cost_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        check_positive("slack", self.slack)
+        check_positive("threshold", self.threshold)
+        check_nonnegative("cooldown_panels", self.cooldown_panels)
+        check_nonnegative("commit_margin", self.commit_margin)
+        check_nonnegative("min_scale_step", self.min_scale_step)
+        check_nonnegative("resolve_cost_s", self.resolve_cost_s)
+
+
+class DriftController:
+    """EWMA/CUSUM change detector over per-unit panel timings.
+
+    Pure observer: it never touches the plan itself.  Feed it each
+    panel's observed per-unit compute times; it returns ``None`` while
+    the platform tracks the model and a ``{unit: time_inflation}``
+    mapping once some unit's CUSUM crosses the threshold —
+    ``time_inflation > 1`` means the unit runs slower than modelled.
+    After the caller acts (commit *or* reject), it must call
+    :meth:`recalibrate` with the expectations of the plan it kept; that
+    reset is the hysteresis that prevents oscillation (module doc).
+    """
+
+    def __init__(
+        self,
+        expected_s: Mapping[str, float],
+        policy: DriftControlPolicy = DriftControlPolicy(),
+    ) -> None:
+        if not expected_s:
+            raise ValueError("need expected times for at least one unit")
+        self.policy = policy
+        self._expected: dict[str, float] = {}
+        self._ewma: dict[str, float] = {}
+        self._gp: dict[str, float] = {}
+        self._gn: dict[str, float] = {}
+        # Onset accumulators: (count, sum of z) since each one-sided
+        # statistic last touched zero — the CUSUM maximum-likelihood
+        # estimate of the post-change residual mean.
+        self._pos_onset: dict[str, tuple[int, float]] = {}
+        self._neg_onset: dict[str, tuple[int, float]] = {}
+        self._panels = 0
+        self._cooldown = 0
+        self.detections = 0
+        self.recalibrate(expected_s, cooldown=0)
+
+    @property
+    def units(self) -> tuple[str, ...]:
+        return tuple(self._expected)
+
+    def recalibrate(
+        self, expected_s: Mapping[str, float], cooldown: int | None = None
+    ) -> None:
+        """Adopt new expected times; zero statistics; start a cooldown."""
+        for name, expected in expected_s.items():
+            check_positive(f"expected_s[{name!r}]", expected)
+        self._expected = dict(expected_s)
+        self._ewma = {name: 0.0 for name in self._expected}
+        self._gp = {name: 0.0 for name in self._expected}
+        self._gn = {name: 0.0 for name in self._expected}
+        self._pos_onset = {name: (0, 0.0) for name in self._expected}
+        self._neg_onset = {name: (0, 0.0) for name in self._expected}
+        self._panels = 0
+        self._cooldown = (
+            self.policy.cooldown_panels if cooldown is None else cooldown
+        )
+
+    def drop_unit(self, name: str) -> None:
+        """Forget a dropped unit (its timings stop arriving)."""
+        self._expected.pop(name, None)
+        self._ewma.pop(name, None)
+        self._gp.pop(name, None)
+        self._gn.pop(name, None)
+        self._pos_onset.pop(name, None)
+        self._neg_onset.pop(name, None)
+
+    def _inflation(self, name: str) -> float:
+        """Post-change time-inflation estimate of one unit.
+
+        The mean residual since the dominant CUSUM side last touched
+        zero — the change-point MLE of the shift magnitude.  For a hard
+        step this is the post-step mean (not diluted by pre-step
+        panels), which is what lets one commit fully absorb the step.
+        Units whose statistics sit at zero report 1.0: no change.
+        """
+        if self._gp[name] >= self._gn[name]:
+            count, total = self._pos_onset[name]
+        else:
+            count, total = self._neg_onset[name]
+        if count == 0:
+            return 1.0
+        return math.exp(total / count)
+
+    def observe(self, observed_s: Mapping[str, float]) -> dict[str, float] | None:
+        """Ingest one panel's per-unit timings; detect sustained drift.
+
+        Returns ``None`` (keep running) or per-unit time-inflation
+        estimates (:meth:`_inflation`) at the moment some unit's
+        one-sided CUSUM exceeded the policy threshold.
+        """
+        policy = self.policy
+        self._panels += 1
+        triggered = False
+        for name, expected in self._expected.items():
+            obs = observed_s[name]
+            check_positive(f"observed_s[{name!r}]", obs)
+            z = math.log(obs / expected)
+            self._ewma[name] = (1.0 - policy.alpha) * self._ewma[name] \
+                + policy.alpha * z
+            self._gp[name] = max(0.0, self._gp[name] + z - policy.slack)
+            self._gn[name] = max(0.0, self._gn[name] - z - policy.slack)
+            if self._gp[name] == 0.0:
+                self._pos_onset[name] = (0, 0.0)
+            else:
+                count, total = self._pos_onset[name]
+                self._pos_onset[name] = (count + 1, total + z)
+            if self._gn[name] == 0.0:
+                self._neg_onset[name] = (0, 0.0)
+            else:
+                count, total = self._neg_onset[name]
+                self._neg_onset[name] = (count + 1, total + z)
+            if self._gp[name] > policy.threshold \
+                    or self._gn[name] > policy.threshold:
+                triggered = True
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        if not triggered:
+            return None
+        self.detections += 1
+        return {name: self._inflation(name) for name in self._expected}
+
+
+@dataclass(frozen=True)
+class RepartitionEvent:
+    """One controller (or oracle) repartition decision."""
+
+    panel: int  # panels completed when the decision was made
+    time_s: float  # simulated time of the decision
+    committed: bool
+    predicted_gain_s: float  # over the remaining panels
+    cost_s: float  # migration + plan broadcast (+ re-solve)
+    blocks_moved: int
+    speed_scales: tuple[float, ...]  # per alive unit, vs the base models
+
+
+@dataclass(frozen=True)
+class DriftRunResult:
+    """Outcome of a drifted run under one repartition mode."""
+
+    n: int
+    mode: str
+    total_time_s: float
+    repartitions: tuple[RepartitionEvent, ...]
+    detections: int
+    unit_names: tuple[str, ...]
+    baseline_unit_allocations: tuple[int, ...]
+    final_unit_allocations: tuple[int, ...]  # 0 for dropped units
+    blocks_migrated: int
+    switch_time_s: float
+    drops: tuple[DropEvent, ...]
+    ignored_drops: tuple[DeviceDrop, ...]
+
+    @property
+    def commits(self) -> int:
+        """Committed repartitions (what the hysteresis tests count)."""
+        return sum(1 for event in self.repartitions if event.committed)
+
+    @property
+    def rejects(self) -> int:
+        return sum(1 for event in self.repartitions if not event.committed)
+
+
+def run_with_drift_control(
+    app: "HybridMatMul",
+    n: int,
+    drift: DriftModel,
+    policy: DriftControlPolicy = DriftControlPolicy(),
+    *,
+    mode: str = "controller",
+    noise: NoiseModel | None = None,
+    drops: FaultPlan | Sequence[DeviceDrop] = (),
+) -> DriftRunResult:
+    """Simulate the n-panel run on a drifting platform under one mode.
+
+    Each panel's true per-unit compute time is the unit model's
+    prediction stretched by the drift time-multiplier at the panel's
+    start instant, optionally noised through the pinned
+    :func:`~repro.measurement.timer.compose_timing` order; the panel
+    completes at the slowest unit plus the pivot broadcast.  ``static``
+    never repartitions, ``controller`` runs the
+    :class:`DriftController` loop, ``oracle`` reads the true multipliers
+    and repartitions whenever the gain beats the cost (no hysteresis
+    needed — it never chases noise).  Hard ``drops`` compose with every
+    mode through the shared warm re-solve chain.
+    """
+    check_positive_int("n", n)
+    check_in("mode", mode, MODES)
+    if isinstance(drops, FaultPlan):
+        drops = drops.device_drops()
+    drops = sorted(drops, key=lambda d: (d.time_s, d.device))
+
+    units = app.compute_units()
+    unit_names = tuple(u.name for u in units)
+    unknown = [d.device for d in drops if d.device not in unit_names]
+    if unknown:
+        raise ValueError(
+            f"dropped devices not on this node: {unknown} "
+            f"(units: {list(unit_names)})"
+        )
+    if len({d.device for d in drops}) != len(drops):
+        raise ValueError("each device can drop at most once")
+
+    base_fns = {
+        u.name: as_speed_function(m)
+        for u, m in zip(units, app.models_for(units))
+    }
+    total = n * n
+    solver = Solver()
+    block_size = app.node.block_size
+
+    def unit_time(name: str, blocks: float, scale: float = 1.0) -> float:
+        fn = base_fns[name]
+        if scale != 1.0:
+            fn = fn.scaled(scale)
+        return time_row_at(fn, float(blocks))
+
+    def integer_allocations(scaled_fns, continuous) -> list[int]:
+        allocs = round_partition(scaled_fns, list(continuous), total)
+        return refine_integer_partition(scaled_fns, allocs)
+
+    # Initial solve through the facade so the warm chain starts here.
+    initial = solver.solve([base_fns[name] for name in unit_names], float(total))
+    baseline_allocs = integer_allocations(
+        [base_fns[name] for name in unit_names], initial.allocations
+    )
+    baseline_plan = app.plan_from_unit_allocations(n, baseline_allocs)
+
+    comm = SimulatedComm(app.binding.num_processes, app.comm_model)
+
+    def panel_comm_s(plan, alive_units, comm_now) -> float:
+        recv = [
+            2.0 * math.sqrt(float(plan.allocation_of(u.name)))
+            for u in alive_units
+        ]
+        return comm_now.pivot_bcast_time(recv, block_size)
+
+    state: dict = {
+        "completed": 0,
+        "plan": baseline_plan,
+        "alive": set(unit_names),
+        "scales": {name: 1.0 for name in unit_names},
+        "warm": (initial, unit_names),
+        "comm": comm,
+        "comm_s": panel_comm_s(baseline_plan, units, comm),
+        "inflight": None,
+        "switching": None,
+        "finish_s": None,
+        "obs": None,
+        "events": [],
+        "applied": [],
+        "ignored": [],
+        "blocks_migrated": 0,
+        "switch_s": 0.0,
+    }
+
+    def alive_units() -> list:
+        return [u for u in units if u.name in state["alive"]]
+
+    def expected_times(plan, scales) -> dict[str, float]:
+        return {
+            u.name: unit_time(u.name, plan.allocation_of(u.name), scales[u.name])
+            for u in alive_units()
+        }
+
+    controller: DriftController | None = None
+    if mode == "controller":
+        controller = DriftController(
+            expected_times(baseline_plan, state["scales"]), policy
+        )
+
+    def observe_panel(now: float, panel: int) -> dict[str, float]:
+        obs: dict[str, float] = {}
+        for u in alive_units():
+            ideal = unit_time(u.name, state["plan"].allocation_of(u.name))
+            factor = drift.time_multiplier(u.name, now)
+            if noise is None:
+                obs[u.name] = ideal * factor
+            else:
+                obs[u.name] = compose_timing(
+                    ideal,
+                    factor,
+                    1.0,
+                    lambda seconds, name=u.name: noise.perturb(
+                        seconds, "panel", name, f"p{panel}"
+                    ),
+                )
+        return obs
+
+    def start_panel(sim: EventSimulator) -> None:
+        obs = observe_panel(sim.now, state["completed"])
+        state["obs"] = obs
+        duration = max(obs.values()) + state["comm_s"]
+        state["inflight"] = sim.schedule(duration, finish_panel)
+
+    def switched(sim: EventSimulator) -> None:
+        state["switching"] = None
+        start_panel(sim)
+
+    def evaluate_repartition(sim: EventSimulator, scales_new: dict) -> bool:
+        """Resolve under ``scales_new``; commit iff gain beats cost.
+
+        Returns True when a switch was committed (the caller must not
+        start the next panel; ``switched`` resumes after the charge).
+        Whether or not the plan switches, the warm state and assumed
+        scales adopt the new estimates.
+        """
+        live = alive_units()
+        prev_result, prev_names = state["warm"]
+        changed = {
+            i: base_fns[name].scaled(scales_new[name])
+            for i, name in enumerate(prev_names)
+            if scales_new[name] != state["scales"][name]
+        }
+        result = (
+            solver.resolve(prev_result, changed_models=changed)
+            if changed
+            else prev_result
+        )
+        scaled_fns = [
+            base_fns[u.name].scaled(scales_new[u.name]) for u in live
+        ]
+        allocs = integer_allocations(scaled_fns, result.allocations)
+        new_plan = app.plan_for_units(n, live, allocs)
+        remaining = n - state["completed"]
+        current_compute = max(
+            unit_time(
+                u.name, state["plan"].allocation_of(u.name), scales_new[u.name]
+            )
+            for u in live
+        )
+        new_compute = max(
+            unit_time(u.name, alloc, scales_new[u.name])
+            for u, alloc in zip(live, allocs)
+        )
+        new_comm_s = panel_comm_s(new_plan, live, state["comm"])
+        gain = (
+            (current_compute + state["comm_s"]) - (new_compute + new_comm_s)
+        ) * remaining
+        moved, cost = plan_switch_cost(
+            state["plan"].process_allocations,
+            new_plan.process_allocations,
+            state["comm"],
+            policy.recovery,
+        )
+        cost += policy.resolve_cost_s
+        commit = gain > (1.0 + policy.commit_margin) * cost
+        state["events"].append(
+            RepartitionEvent(
+                panel=state["completed"],
+                time_s=sim.now,
+                committed=commit,
+                predicted_gain_s=gain,
+                cost_s=cost,
+                blocks_moved=moved,
+                speed_scales=tuple(scales_new[u.name] for u in live),
+            )
+        )
+        state["warm"] = (result, prev_names)
+        state["scales"] = dict(state["scales"], **scales_new)
+        if commit:
+            state["plan"] = new_plan
+            state["comm_s"] = new_comm_s
+            state["blocks_migrated"] += moved
+            state["switch_s"] += cost
+            state["switching"] = sim.schedule(cost, switched)
+        if controller is not None:
+            controller.recalibrate(expected_times(state["plan"], state["scales"]))
+        return commit
+
+    def oracle_check(sim: EventSimulator) -> bool:
+        truth = {
+            u.name: drift.speed_multiplier(u.name, sim.now)
+            for u in alive_units()
+        }
+        if all(
+            truth[name] == state["scales"][name] for name in truth
+        ):
+            return False
+        return evaluate_repartition(sim, truth)
+
+    def finish_panel(sim: EventSimulator) -> None:
+        state["inflight"] = None
+        state["completed"] += 1
+        if state["completed"] >= n:
+            state["finish_s"] = sim.now
+            return
+        if mode == "controller":
+            inflation = controller.observe(state["obs"])
+            if inflation is not None:
+                scales_new = {
+                    name: (
+                        state["scales"][name] / inflation[name]
+                        if abs(inflation[name] - 1.0) > policy.min_scale_step
+                        else state["scales"][name]
+                    )
+                    for name in inflation
+                }
+                if evaluate_repartition(sim, scales_new):
+                    return
+        elif mode == "oracle":
+            if oracle_check(sim):
+                return
+        start_panel(sim)
+
+    def make_drop(drop: DeviceDrop):
+        def on_drop(sim: EventSimulator) -> None:
+            if state["completed"] >= n:
+                state["ignored"].append(drop)
+                return
+            if state["inflight"] is not None:
+                state["inflight"].cancel()  # the panel is replayed degraded
+                state["inflight"] = None
+            if state["switching"] is not None:
+                # The drop interrupts an in-flight plan switch; the
+                # survivors re-solve below supersedes it.
+                state["switching"].cancel()
+                state["switching"] = None
+            state["alive"].discard(drop.device)
+            if controller is not None:
+                controller.drop_unit(drop.device)
+            survivors = alive_units()
+            if not survivors:
+                raise RecoveryError(
+                    f"no surviving compute units after dropping {drop.device!r}"
+                )
+            prev_result, prev_names = state["warm"]
+            dropped_idx = [
+                i for i, name in enumerate(prev_names)
+                if name not in state["alive"]
+            ]
+            # Only ``dropped`` here: the warm rows already carry every
+            # committed rescale, so re-passing changed_models would
+            # double-apply them.
+            result = solver.resolve(prev_result, dropped=dropped_idx)
+            new_names = tuple(
+                name for name in prev_names if name in state["alive"]
+            )
+            scaled_fns = [
+                base_fns[name].scaled(state["scales"][name])
+                for name in new_names
+            ]
+            allocs = integer_allocations(scaled_fns, result.allocations)
+            new_plan = app.plan_for_units(n, survivors, allocs)
+            survivor_ranks = [r for u in survivors for r in u.member_ranks]
+            shrunk = state["comm"].shrink(len(survivor_ranks))
+            moved, cost = plan_switch_cost(
+                state["plan"].process_allocations,
+                new_plan.process_allocations,
+                shrunk,
+                policy.recovery,
+            )
+            state["warm"] = (result, new_names)
+            state["plan"] = new_plan
+            state["comm"] = shrunk
+            state["comm_s"] = panel_comm_s(new_plan, survivors, shrunk)
+            state["blocks_migrated"] += moved
+            state["switch_s"] += cost
+            state["applied"].append(
+                DropEvent(
+                    device=drop.device,
+                    time_s=drop.time_s,
+                    panels_completed=state["completed"],
+                )
+            )
+            if controller is not None:
+                controller.recalibrate(
+                    expected_times(new_plan, state["scales"])
+                )
+            state["switching"] = sim.schedule(cost, switched)
+
+        return on_drop
+
+    tracer = get_tracer()
+    with tracer.span(
+        "runtime.drift_control",
+        category="runtime",
+        n=n,
+        mode=mode,
+        drops=len(drops),
+    ) as span:
+        sim = EventSimulator()
+        start_panel(sim)
+        for drop in drops:
+            sim.schedule_at(drop.time_s, make_drop(drop))
+        sim.run()
+        events: list[RepartitionEvent] = state["events"]
+        commits = sum(1 for e in events if e.committed)
+        if tracer.enabled:
+            tracer.counter("runtime.drift.panels").add(n)
+            tracer.counter(f"runtime.drift.runs.{mode}").add(1)
+            if controller is not None:
+                tracer.counter("runtime.drift.detections").add(
+                    controller.detections
+                )
+            tracer.counter("runtime.drift.commits").add(commits)
+            tracer.counter("runtime.drift.rejects").add(len(events) - commits)
+            gain_hist = tracer.histogram("runtime.drift.predicted_gain_s")
+            cost_hist = tracer.histogram("runtime.drift.switch_cost_s")
+            for event in events:
+                gain_hist.observe(event.predicted_gain_s)
+                if event.committed:
+                    cost_hist.observe(event.cost_s)
+        span.set_attr("repartitions", commits)
+        span.mark_sim(0.0, state["finish_s"])
+
+    final_plan = state["plan"]
+    final_names = {u.name for u in final_plan.units}
+    final = tuple(
+        final_plan.allocation_of(name) if name in final_names else 0
+        for name in unit_names
+    )
+    return DriftRunResult(
+        n=n,
+        mode=mode,
+        total_time_s=state["finish_s"],
+        repartitions=tuple(events),
+        detections=controller.detections if controller is not None else 0,
+        unit_names=unit_names,
+        baseline_unit_allocations=tuple(baseline_allocs),
+        final_unit_allocations=final,
+        blocks_migrated=state["blocks_migrated"],
+        switch_time_s=state["switch_s"],
+        drops=tuple(state["applied"]),
+        ignored_drops=tuple(state["ignored"]),
+    )

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.batch import batch_models, time_row_at
 from repro.core.fpm import as_speed_function
 from repro.obs import get_tracer
+from repro.platform.drift import DriftModel
 from repro.runtime.event_sim import EventSimulator
 from repro.runtime.mpi_sim import SimulatedComm
 from repro.util.units import DEFAULT_BLOCKING_FACTOR
@@ -69,41 +71,65 @@ class PanelLoopResult:
         return max(busy) / min(busy) if busy else 1.0
 
 
-def _run_vector(compute: np.ndarray, panels: int, comm_s: float):
+def _run_vector(
+    compute: np.ndarray,
+    panels: int,
+    comm_s: float,
+    drift: DriftModel | None = None,
+    names: Sequence[str] | None = None,
+):
     sim = EventSimulator()
     devices = compute.size
     delays = comm_s + compute  # one elementwise add, reused every panel
     totals = np.zeros(devices)
     finishes = np.empty(panels)
-    state = {"panel": 0, "remaining": devices}
+    state = {"panel": 0, "remaining": devices, "effective": compute}
+
+    def schedule_panel(sim2: EventSimulator) -> None:
+        state["remaining"] = devices
+        if drift is None:
+            sim2.schedule_batch(delays, on_panel)
+            return
+        # Drifted compute at the panel's start instant; one batched
+        # multiplier query keeps this lane bit-identical to the scalar
+        # per-device walk (DriftModel's own batch contract).
+        effective = compute * drift.time_multipliers(names, sim2.now)
+        state["effective"] = effective
+        sim2.schedule_batch(comm_s + effective, on_panel)
 
     def on_panel(sim2: EventSimulator, times, indices) -> None:
         state["remaining"] -= indices.size
         if state["remaining"]:
             return  # a foreign event split the generation; wait for the rest
-        np.add(totals, compute, out=totals)
+        np.add(totals, state["effective"], out=totals)
         k = state["panel"]
         finishes[k] = sim2.now
         state["panel"] = k + 1
         if state["panel"] < panels:
-            state["remaining"] = devices
-            sim2.schedule_batch(delays, on_panel)
+            schedule_panel(sim2)
 
-    sim.schedule_batch(delays, on_panel)
+    schedule_panel(sim)
     total = sim.run()
     return sim, total, totals, finishes
 
 
-def _run_scalar(compute: np.ndarray, panels: int, comm_s: float):
+def _run_scalar(
+    compute: np.ndarray,
+    panels: int,
+    comm_s: float,
+    drift: DriftModel | None = None,
+    names: Sequence[str] | None = None,
+):
     sim = EventSimulator()
     devices = compute.size
     totals = np.zeros(devices)
     finishes = np.empty(panels)
+    effective = compute.copy()
     state = {"panel": 0, "remaining": devices}
 
     def make_finish(i: int):
         def finish(sim2: EventSimulator) -> None:
-            totals[i] += compute[i]
+            totals[i] += effective[i]
             state["remaining"] -= 1
             if state["remaining"] == 0:
                 k = state["panel"]
@@ -118,8 +144,12 @@ def _run_scalar(compute: np.ndarray, panels: int, comm_s: float):
 
     def start_panel(sim2: EventSimulator) -> None:
         state["remaining"] = devices
+        if drift is not None:
+            now = sim2.now
+            for i in range(devices):
+                effective[i] = compute[i] * drift.time_multiplier(names[i], now)
         for i in range(devices):
-            sim2.schedule(comm_s + compute[i], finishers[i])
+            sim2.schedule(comm_s + effective[i], finishers[i])
 
     start_panel(sim)
     total = sim.run()
@@ -132,6 +162,8 @@ def simulate_panel_loop(
     comm_s: float = 0.0,
     *,
     engine: str = "vector",
+    drift: DriftModel | None = None,
+    device_names: Sequence[str] | None = None,
 ) -> PanelLoopResult:
     """Simulate ``panels`` barrier-synchronised panels over a device array.
 
@@ -141,6 +173,13 @@ def simulate_panel_loop(
     ``vector`` engine schedules each panel as one batched generation;
     ``scalar`` schedules one event per device (the oracle) — results are
     bit-identical (module doc).
+
+    An optional :class:`~repro.platform.drift.DriftModel` makes device
+    speed time-varying: each panel's compute times are stretched by the
+    per-device drift time-multiplier sampled at the panel's start
+    instant (``device_names`` keys the drift rules).  Both engines query
+    the same multipliers — the vector lane in one batched call, the
+    scalar lane per device — so their results stay bit-identical.
     """
     check_positive_int("panels", panels)
     check_nonnegative("comm_s", comm_s)
@@ -151,6 +190,17 @@ def simulate_panel_loop(
         raise ValueError("compute_s must be a non-empty 1-D array")
     if float(compute.min()) < 0:
         raise ValueError("compute_s entries must be non-negative")
+    if drift is not None and drift.inert:
+        drift = None  # steady platform: keep the precomputed-delay path
+    names: tuple[str, ...] | None = None
+    if drift is not None:
+        if device_names is None:
+            raise ValueError("drift requires device_names")
+        names = tuple(str(name) for name in device_names)
+        if len(names) != compute.size:
+            raise ValueError(
+                f"{compute.size} devices but {len(names)} device_names"
+            )
 
     tracer = get_tracer()
     with tracer.span(
@@ -161,7 +211,7 @@ def simulate_panel_loop(
         engine=engine,
     ) as span:
         runner = _run_vector if engine == "vector" else _run_scalar
-        sim, total, totals, finishes = runner(compute, panels, comm_s)
+        sim, total, totals, finishes = runner(compute, panels, comm_s, drift, names)
         span.mark_sim(0.0, total)
         span.set_attr("events", sim.events_processed)
     comm_total = 0.0
@@ -197,6 +247,8 @@ def simulate_spmd_run(
     block_size: int = DEFAULT_BLOCKING_FACTOR,
     recv_blocks=None,
     engine: str = "vector",
+    drift: DriftModel | None = None,
+    device_names: Sequence[str] | None = None,
 ) -> PanelLoopResult:
     """Simulate a P-panel SPMD run of devices described by speed models.
 
@@ -241,4 +293,11 @@ def simulate_spmd_run(
                 else [2.0 * math.sqrt(float(a)) for a in alloc]
             )
             comm_s = comm.pivot_bcast_time(recv, block_size)
-    return simulate_panel_loop(compute, panels, comm_s, engine=engine)
+    return simulate_panel_loop(
+        compute,
+        panels,
+        comm_s,
+        engine=engine,
+        drift=drift,
+        device_names=device_names,
+    )

@@ -39,6 +39,7 @@ __all__ = [
     "RecoveryPolicy",
     "DropEvent",
     "RecoveryResult",
+    "plan_switch_cost",
     "run_with_recovery",
 ]
 
@@ -98,8 +99,39 @@ class RecoveryResult:
 
     @property
     def overhead_fraction(self) -> float:
-        """Relative makespan cost of the faults (0.0 = fault-free)."""
+        """Relative makespan cost of the faults (0.0 = fault-free).
+
+        A zero-panel run has no fault-free makespan to compare against,
+        so the overhead is defined as 0.0 rather than a division error.
+        """
+        if self.fault_free_time_s == 0.0:
+            return 0.0
         return self.recovery_time_s / self.fault_free_time_s - 1.0
+
+
+def plan_switch_cost(
+    old_by_rank: Sequence[int],
+    new_by_rank: Sequence[int],
+    comm: SimulatedComm,
+    policy: RecoveryPolicy,
+) -> tuple[int, float]:
+    """Migration + plan-broadcast cost of switching per-rank allocations.
+
+    ``moved`` counts only blocks a rank *gains* (every moved block has
+    exactly one receiver, so counting receipts avoids double-charging
+    the sender side); the time charge is the migration of those blocks
+    plus one broadcast of the new plan on ``comm``.  Shared by drop
+    recovery and the drift repartition controller so both price a plan
+    switch identically.
+    """
+    moved = sum(
+        max(0, new - old) for new, old in zip(new_by_rank, old_by_rank)
+    )
+    seconds = (
+        moved * policy.migration_cost_per_block
+        + comm.bcast_time(policy.replan_nbytes)
+    )
+    return moved, seconds
 
 
 def _observed_unit_times(units, processes, plan) -> list[float]:
@@ -264,16 +296,13 @@ def run_with_recovery(
                 warm=state["warm"],
             )
             new_plan = app.plan_for_units(n, survivors, allocs)
-            old_by_rank = state["plan"].process_allocations
-            new_by_rank = new_plan.process_allocations
-            moved = sum(
-                max(0, new - old) for new, old in zip(new_by_rank, old_by_rank)
-            )
             survivor_ranks = [r for u in survivors for r in u.member_ranks]
             shrunk = comm.shrink(len(survivor_ranks))
-            replan_s = (
-                moved * policy.migration_cost_per_block
-                + shrunk.bcast_time(policy.replan_nbytes)
+            moved, replan_s = plan_switch_cost(
+                state["plan"].process_allocations,
+                new_plan.process_allocations,
+                shrunk,
+                policy,
             )
             degraded_exec = simulate_execution(
                 [p for p in processes if p.rank in survivor_ranks],

@@ -39,7 +39,9 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__, api
+from repro.core.fpm import as_speed_function
 from repro.obs import Tracer, set_tracer, wall_clock_s
+from repro.platform.drift import DriftModel
 from repro.service.protocol import (
     PartitionRequest,
     ProtocolError,
@@ -257,8 +259,30 @@ class PartitionService:
                 "model_key": model_key,
             }
         else:
+            funcs = list(models.values())
+            multipliers = None
+            if request.drift_spec is not None:
+                # Answer for the platform as it is at at_s: scale each
+                # unit's speed function by its deterministic drift
+                # multiplier before the solve.
+                drift = DriftModel.from_spec(
+                    request.drift_spec, seed=request.drift_seed
+                )
+                multipliers = {
+                    name: drift.speed_multiplier(name, request.drift_at_s)
+                    for name in models
+                }
+                funcs = [
+                    as_speed_function(m).scaled(multipliers[name])
+                    if multipliers[name] != 1.0
+                    else m
+                    for name, m in models.items()
+                ]
+                self.tracer.counter("service.partition.drifted").add()
             result = None
-            if request.strategy == "fpm":
+            # the warm chain caches the STATIONARY models' solver state;
+            # drift-scaled functions must neither read nor seed it
+            if request.strategy == "fpm" and multipliers is None:
                 previous = self._lru_get(self._warm_solves, model_key)
                 if previous is not None:
                     result = await self._run_solve(
@@ -267,9 +291,13 @@ class PartitionService:
                     self.tracer.counter("service.partition.warm_resolve").add()
             if result is None:
                 result = await self._run_solve(
-                    solver.solve, list(models.values()), request.total_blocks
+                    solver.solve, funcs, request.total_blocks
                 )
-            if request.strategy == "fpm" and result.warm is not None:
+            if (
+                request.strategy == "fpm"
+                and multipliers is None
+                and result.warm is not None
+            ):
                 self._lru_put(
                     self._warm_solves, model_key, result, self._max_hot_models
                 )
@@ -280,6 +308,12 @@ class PartitionService:
                 "strategy": request.strategy,
                 "model_key": model_key,
             }
+            if multipliers is not None:
+                answer["drift"] = {
+                    "spec": request.drift_spec,
+                    "at_s": request.drift_at_s,
+                    "multipliers": multipliers,
+                }
         self._lru_put(self._hot_answers, answer_key, answer, self._max_hot_answers)
         self.tracer.counter(f"service.partition.{source}").add()
         return {**answer, "source": source}

@@ -16,6 +16,10 @@ One request shape covers the service's workload (``POST /partition``)::
       },
       "hierarchy": {                   # optional: a cluster of identical nodes
         "nodes": 16, "aggregate_samples": 24
+      },
+      "drift": {                       # optional: time-varying device speed
+        "spec": "throttle:GTX680:t0=2,tau=10,floor=0.5",
+        "at_s": 30.0, "seed": 42
       }
     }
 
@@ -24,6 +28,14 @@ node of a homogeneous cluster ``nodes`` wide and answers with the
 two-level solve (per-node block counts plus per-unit allocations inside
 each node); ``total_blocks`` must then be a whole number and the
 strategy must be ``fpm``.
+
+With a ``drift`` block the service answers for the platform *as it is
+at* ``at_s`` seconds into a run under the given time-varying speed spec
+(:func:`repro.platform.drift.parse_drift_spec` grammar): each unit's
+speed function is scaled by its deterministic drift multiplier before
+the solve.  Drift composes with any flat strategy but not with
+``hierarchy`` (the aggregate node FPM has no per-unit identity to
+drift).
 
 Validation is strict and total: malformed JSON, unknown fields (at any
 nesting depth of the spec), missing/extra platform descriptions, bad
@@ -47,6 +59,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.solver import FPM_MAX_ITERS, FPM_TOLERANCE, SolverOptions
+from repro.platform.drift import parse_drift_spec
 from repro.platform.presets import cpu_only_node, ig_icl_node
 from repro.platform.spec import NodeSpec
 from repro.store import digest_key, node_key
@@ -86,8 +99,17 @@ _HIERARCHY_FIELDS = {
     "aggregate_samples": (int, 24),
 }
 
+#: Drift knobs; ``spec`` has no default — its presence in the request is
+#: what switches the solve to the drifted speed functions.
+_DRIFT_FIELDS = {
+    "spec": (str, None),
+    "at_s": (float, 0.0),
+    "seed": (int, 42),
+}
+
 _TOP_FIELDS = (
-    "node", "preset", "total_blocks", "strategy", "model", "solver", "hierarchy"
+    "node", "preset", "total_blocks", "strategy", "model", "solver",
+    "hierarchy", "drift",
 )
 
 
@@ -123,6 +145,9 @@ class PartitionRequest:
     max_iters: int = FPM_MAX_ITERS
     hierarchy_nodes: int = 0  # 0 = flat (single-node) solve
     aggregate_samples: int = 24
+    drift_spec: str | None = None  # None = stationary platform
+    drift_at_s: float = 0.0
+    drift_seed: int = 42
 
     def model_key(self) -> str:
         """The content address of this request's FPM build.
@@ -166,6 +191,9 @@ class PartitionRequest:
                 "max_iters": self.max_iters,
                 "hierarchy_nodes": self.hierarchy_nodes,
                 "aggregate_samples": self.aggregate_samples,
+                "drift_spec": self.drift_spec,
+                "drift_at_s": self.drift_at_s,
+                "drift_seed": self.drift_seed,
             },
         )
 
@@ -269,6 +297,30 @@ def parse_partition_request(body: bytes | str) -> PartitionRequest:
         hierarchy_nodes = hier["nodes"]
         aggregate_samples = hier["aggregate_samples"]
 
+    drift_spec = None
+    drift_at_s = _DRIFT_FIELDS["at_s"][1]
+    drift_seed = _DRIFT_FIELDS["seed"][1]
+    if "drift" in data:
+        block = _parse_knob_block(data["drift"], "drift", _DRIFT_FIELDS)
+        if block["spec"] is None:
+            raise ProtocolError(400, "bad-drift-knob", "drift.spec is required")
+        try:
+            parse_drift_spec(block["spec"])  # fail fast on bad grammar
+        except ValueError as exc:
+            raise ProtocolError(400, "bad-drift-knob", f"bad drift.spec: {exc}")
+        if block["at_s"] < 0.0:
+            raise ProtocolError(400, "bad-drift-knob", "drift.at_s must be >= 0")
+        if hierarchy_nodes > 0:
+            raise ProtocolError(
+                400,
+                "bad-drift-knob",
+                "drift does not compose with hierarchical partitioning: "
+                "the aggregate node FPM has no per-unit identity to drift",
+            )
+        drift_spec = block["spec"]
+        drift_at_s = block["at_s"]
+        drift_seed = block["seed"]
+
     try:
         return PartitionRequest(
             node=node,
@@ -276,6 +328,9 @@ def parse_partition_request(body: bytes | str) -> PartitionRequest:
             strategy=strategy,
             hierarchy_nodes=hierarchy_nodes,
             aggregate_samples=aggregate_samples,
+            drift_spec=drift_spec,
+            drift_at_s=drift_at_s,
+            drift_seed=drift_seed,
             **knobs,
             **solver,
         )
@@ -376,6 +431,11 @@ def _parse_knob_block(raw: Any, block: str, fields: dict) -> dict[str, Any]:
             if not isinstance(value, bool):
                 raise ProtocolError(
                     400, code, f"{block}.{name} must be a boolean"
+                )
+        elif family is str:
+            if not isinstance(value, str):
+                raise ProtocolError(
+                    400, code, f"{block}.{name} must be a string"
                 )
         elif family is int:
             if isinstance(value, bool) or not isinstance(value, int):

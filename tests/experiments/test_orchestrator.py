@@ -33,13 +33,14 @@ def store(tmp_path):
 
 
 class TestRegistry:
-    def test_all_twenty_experiments_registered(self):
+    def test_all_twenty_one_experiments_registered(self):
         names = [e.name for e in all_experiments()]
-        assert len(names) == len(set(names)) == 20
+        assert len(names) == len(set(names)) == 21
         for required in REPORT_EXPERIMENTS + (
             "jacobi",
             "online_fpm",
             "fault_tolerance",
+            "drift",
         ):
             assert required in names
 

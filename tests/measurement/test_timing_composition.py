@@ -1,0 +1,118 @@
+"""The pinned timing-modifier composition order, with everything on.
+
+Satellite of the drift PR: ``compose_timing`` is the ONE place the
+ideal time, the drift time-multiplier, the fault spike and the noise
+perturbation compose.  These tests enable all three modifiers at once
+and assert the scalar and batch measurement lanes produce bit-identical
+timings — floating-point multiplication is not associative, so any
+private re-ordering in either lane would show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measurement.timer import SimulatedTimer, compose_timing
+from repro.platform.drift import DriftModel
+from repro.platform.faults import FaultPlan
+from repro.platform.noise import NoiseModel
+from repro.util.rng import RngStream
+
+
+def _timer(sigma=0.03, spike_p=0.6, drift_spec="jitter:*:sigma=0.2"):
+    """A timer with noise + spikes + drift all enabled (no failures)."""
+    noise = NoiseModel(RngStream(17).child("bench"), sigma=sigma)
+    faults = FaultPlan.from_spec(f"spike:*:p={spike_p},x=4", seed=17)
+    drift = DriftModel.from_spec(drift_spec, seed=17)
+    return SimulatedTimer(noise, faults=faults, drift=drift)
+
+
+class TestComposeTiming:
+    def test_pinned_order(self):
+        # (ideal x drift) -> perturb -> x spike, NOT any other grouping.
+        perturb = lambda s: s * 1.0000001  # noqa: E731 - stand-in noise
+        value = compose_timing(3.0, 1.5, 2.0, perturb)
+        assert value == ((3.0 * 1.5) * 1.0000001) * 2.0
+
+    def test_neutral_factors_are_exact_identity(self):
+        ideal = 0.123456789
+        assert compose_timing(ideal, 1.0, 1.0, lambda s: s) == ideal
+
+    def test_array_spike_factor_broadcasts(self):
+        spikes = np.array([1.0, 4.0])
+        values = compose_timing(2.0, 1.5, spikes, lambda s: np.full(2, s))
+        assert np.array_equal(values, np.array([3.0, 12.0]))
+
+
+class TestAllModifiersBitIdentity:
+    @pytest.mark.parametrize("at_s", [0.0, 0.5, 3.25, 11.0])
+    def test_batch_equals_scalar_with_noise_spikes_and_drift(
+        self, quiet_bench, at_s
+    ):
+        timer = _timer()
+        kernel = quiet_bench.gpu_kernel(1, 3)
+        reps = list(range(12))
+        batch = timer.time_kernel_batch(kernel, 700.0, reps, at_s=at_s)
+        scalar = np.array(
+            [
+                timer.time_kernel(kernel, 700.0, rep, at_s=at_s)
+                for rep in reps
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_drift_free_timer_unchanged(self, quiet_bench):
+        """drift=None reproduces the pre-drift timer bit for bit."""
+        noise = NoiseModel(RngStream(17).child("bench"), sigma=0.03)
+        faults = FaultPlan.from_spec("spike:*:p=0.6,x=4", seed=17)
+        plain = SimulatedTimer(noise, faults=faults)
+        inert = SimulatedTimer(
+            noise, faults=faults, drift=DriftModel.from_spec("", seed=17)
+        )
+        kernel = quiet_bench.socket_kernel(0, 5)
+        for rep in range(8):
+            assert plain.time_kernel(kernel, 300.0, rep) == inert.time_kernel(
+                kernel, 300.0, rep
+            )
+        reps = list(range(8))
+        assert np.array_equal(
+            plain.time_kernel_batch(kernel, 300.0, reps),
+            inert.time_kernel_batch(kernel, 300.0, reps),
+        )
+
+    def test_at_zero_without_throttle_matches_drift_free(self, quiet_bench):
+        """Drift rules that are quiet at t=0 leave default timings alone."""
+        noise = NoiseModel(RngStream(17).child("bench"), sigma=0.03)
+        drifted = SimulatedTimer(
+            noise, drift=DriftModel.from_spec("throttle:*:t0=5", seed=17)
+        )
+        plain = SimulatedTimer(noise)
+        kernel = quiet_bench.gpu_kernel(0, 2)
+        assert drifted.time_kernel(kernel, 500.0, 0) == plain.time_kernel(
+            kernel, 500.0, 0
+        )
+        # ... and past t0 the throttle stretches the timing.
+        assert drifted.time_kernel(kernel, 500.0, 0, at_s=6.0) > \
+            plain.time_kernel(kernel, 500.0, 0)
+
+    def test_drift_scales_independent_of_noise_stream(self, quiet_bench):
+        """at_s participates in neither the noise nor the fault paths."""
+        timer = _timer(drift_spec="throttle:*:t0=0,tau=0,floor=0.5")
+        kernel = quiet_bench.gpu_kernel(1, 3)
+        base = _timer(drift_spec="")
+        # Hard 0.5-speed throttle from t=0 means a 2.0 time multiplier;
+        # the drift factor multiplies INSIDE the perturbation (pinned
+        # order), so the bitwise expectation goes through compose_timing
+        # with the same noise and spike draws as the undrifted timer.
+        ideal = kernel.run_time(700.0, 0)
+        spike = base.faults.kernel_outcome(
+            kernel.name, "x700.0", "busy0", "r3", "a0"
+        ).spike_factor
+        expected = compose_timing(
+            ideal,
+            2.0,
+            spike,
+            lambda s: base.noise.perturb(
+                s, kernel.name, "x700.0", "busy0", "r3"
+            ),
+        )
+        assert timer.time_kernel(kernel, 700.0, 3, at_s=1.0) == expected

@@ -166,3 +166,101 @@ class TestRecoveryProperty:
             assert result.recovery_time_s > fault_free
             # rerunning is bit-identical (the acceptance criterion)
             assert run_with_recovery(app, N, drops=(drop,)) == result
+
+
+class TestOverheadFraction:
+    def _result(self, fault_free, recovery):
+        from repro.runtime.recovery import RecoveryResult
+
+        return RecoveryResult(
+            n=1,
+            strategy="fpm",
+            fault_free_time_s=fault_free,
+            recovery_time_s=recovery,
+            drops=(),
+            ignored_drops=(),
+            unit_names=("u",),
+            baseline_unit_allocations=(1,),
+            degraded_unit_allocations=(1,),
+            blocks_migrated=0,
+            migration_time_s=0.0,
+            degraded_panels=0,
+        )
+
+    def test_zero_fault_free_time_returns_zero(self):
+        """Regression: a zero-panel run must not divide by zero."""
+        assert self._result(0.0, 0.0).overhead_fraction == 0.0
+        assert self._result(0.0, 1.5).overhead_fraction == 0.0
+
+    def test_normal_overhead_unchanged(self):
+        assert self._result(2.0, 3.0).overhead_fraction == pytest.approx(0.5)
+        assert self._result(2.0, 2.0).overhead_fraction == 0.0
+
+
+class TestPlanSwitchCost:
+    def test_counts_only_gained_blocks(self):
+        from repro.runtime.mpi_sim import CommModel
+        from repro.runtime.recovery import plan_switch_cost
+
+        comm = SimulatedComm(4, CommModel())
+        policy = RecoveryPolicy(migration_cost_per_block=0.001,
+                                replan_nbytes=512.0)
+        moved, seconds = plan_switch_cost(
+            [10, 10, 10, 10], [4, 13, 13, 10], comm, policy
+        )
+        assert moved == 6  # 3 + 3 gained; the sender side is free
+        assert seconds == pytest.approx(
+            6 * 0.001 + comm.bcast_time(512.0)
+        )
+
+    def test_identical_plans_cost_only_the_broadcast(self):
+        from repro.runtime.mpi_sim import CommModel
+        from repro.runtime.recovery import plan_switch_cost
+
+        comm = SimulatedComm(4, CommModel())
+        policy = RecoveryPolicy()
+        moved, seconds = plan_switch_cost([5, 5], [5, 5], comm, policy)
+        assert moved == 0
+        assert seconds == pytest.approx(comm.bcast_time(policy.replan_nbytes))
+
+    def test_recovery_uses_the_shared_helper(self, app):
+        """The run's migration charge decomposes exactly as the helper's
+        formula over the baseline -> degraded allocation delta."""
+        drop = DeviceDrop(time_s=1.0, device=GTX)
+        result = run_with_recovery(app, N, drops=(drop,))
+        assert result.blocks_migrated > 0
+        policy = RecoveryPolicy()
+        survivors = [
+            u for u in app.compute_units() if u.name != GTX
+        ]
+        survivor_ranks = [r for u in survivors for r in u.member_ranks]
+        comm = SimulatedComm(
+            app.binding.num_processes, app.comm_model
+        ).shrink(len(survivor_ranks))
+        assert result.migration_time_s == pytest.approx(
+            result.blocks_migrated * policy.migration_cost_per_block
+            + comm.bcast_time(policy.replan_nbytes)
+        )
+
+
+class TestDuplicateDropClauses:
+    def test_same_device_in_multiple_spec_clauses_merges_last_wins(self, app):
+        """The fault-spec grammar merges per-device clauses, so a device
+        named twice yields ONE drop at the last clause's time — the run
+        must see a single drop, not a duplicate-device error."""
+        plan = FaultPlan.from_spec(
+            f"drop:{C870}:t=1; drop:{C870}:t=2.5", seed=3
+        )
+        assert len(plan.device_drops()) == 1
+        assert plan.device_drops()[0].time_s == 2.5
+        result = run_with_recovery(app, N, drops=plan)
+        assert [d.device for d in result.drops] == [C870]
+        assert result.drops[0].time_s == 2.5
+
+    def test_same_device_twice_in_explicit_drops_still_rejected(self, app):
+        drops = (
+            DeviceDrop(time_s=1.0, device=C870),
+            DeviceDrop(time_s=2.0, device=C870),
+        )
+        with pytest.raises(ValueError, match="at most once"):
+            run_with_recovery(app, N, drops=drops)

@@ -79,7 +79,7 @@ class TestCompare:
 
 class TestDefaults:
     def test_default_artifact_tracks_current_pr(self):
-        assert bench_gate.DEFAULT_OUT == "BENCH_9.json"
+        assert bench_gate.DEFAULT_OUT == "BENCH_10.json"
 
     def test_default_out_has_a_committed_predecessor(self):
         """The shipped baseline the next run will be diffed against."""

@@ -33,7 +33,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Default artifact name; the suffix tracks the PR sequence.
-DEFAULT_OUT = "BENCH_9.json"
+DEFAULT_OUT = "BENCH_10.json"
 
 #: Allowed relative slowdown of a previously recorded best-of time.
 #: Benchmarks share CI machines with noisy neighbours; 20% separates a
